@@ -1,0 +1,29 @@
+// Command remon-attack runs the §4 security experiment suite: concrete
+// attack scenarios against live ReMon instances, each expected to be
+// detected or neutralised, plus the VARAN-baseline contrast from §6.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"remon/internal/attack"
+)
+
+func main() {
+	fmt.Println("ReMon security experiment suite (§4)")
+	fmt.Println("------------------------------------")
+	failed := 0
+	for _, o := range attack.RunAll() {
+		fmt.Println(o)
+		if !o.Detected {
+			failed++
+		}
+	}
+	fmt.Println("------------------------------------")
+	if failed > 0 {
+		fmt.Printf("%d scenario(s) NOT handled as the design requires\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("all scenarios handled as the design requires")
+}

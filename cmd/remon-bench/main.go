@@ -1,0 +1,99 @@
+// Command remon-bench regenerates the paper's evaluation (§5): every
+// figure and table, printed as the same rows/series the paper reports.
+//
+// Usage:
+//
+//	remon-bench [-experiment table1|fig3|fig4|fig5|table2|all]
+//	            [-iterations N] [-connections N] [-requests N] [-quick]
+//
+// Absolute numbers are virtual-time measurements on the simulated
+// substrate; the claim being reproduced is the *shape* (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"remon/internal/bench"
+	"remon/internal/workload"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table1, fig3, fig4, fig5, table2 or all")
+	iterations := flag.Int("iterations", 0, "synthetic profile iterations per thread (0 = default)")
+	connections := flag.Int("connections", 0, "server benchmark client connections (0 = default)")
+	requests := flag.Int("requests", 0, "requests per connection (0 = default)")
+	maxReplicas := flag.Int("max-replicas", 0, "Figure 5 replica sweep upper bound (0 = 7)")
+	quick := flag.Bool("quick", false, "small sizes for a fast smoke run")
+	flag.Parse()
+
+	o := bench.Options{
+		Iterations:        *iterations,
+		ServerConnections: *connections,
+		RequestsPerConn:   *requests,
+		MaxReplicas:       *maxReplicas,
+	}.Defaults()
+	if *quick {
+		o = bench.Quick()
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "remon-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if want("table1") {
+		run("Table 1: monitor levels for spatial system call exemption", func() error {
+			fmt.Print(bench.FormatTable1())
+			return nil
+		})
+	}
+	if want("fig3") {
+		run("Figure 3: PARSEC 2.1 + SPLASH-2x normalized execution time (2 replicas)", func() error {
+			res, err := bench.RunFig3(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFig(res, []string{"no IP-MON", "IP-MON/NONSOCKET_RW_LEVEL"}))
+			return nil
+		})
+	}
+	if want("fig4") {
+		run("Figure 4: Phoronix suite across spatial relaxation policies (2 replicas)", func() error {
+			res, err := bench.RunFig4(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFig(res, workload.Fig4LevelNames))
+			return nil
+		})
+	}
+	if want("fig5") {
+		run("Figure 5: server benchmarks, two network scenarios, 2-7 replicas", func() error {
+			rows, err := bench.RunFig5(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFig5(rows))
+			return nil
+		})
+	}
+	if want("table2") {
+		run("Table 2: comparison with other MVEE designs (2 replicas)", func() error {
+			rows, err := bench.RunTable2(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatTable2(rows))
+			return nil
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Attack-detection: a memory-corruption exploit simulated against a
+// ReMon-protected program. Diversification makes the hijack succeed only
+// in one replica; the behavioural divergence is caught — in the
+// unmonitored fast path by the slave's IP-MON (§3.3), in the monitored
+// path by GHUMVEE's lockstep comparison.
+//
+//	go run ./examples/attack-detection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"remon/internal/attack"
+	"remon/internal/core"
+	"remon/internal/libc"
+	"remon/internal/policy"
+	"remon/internal/vkernel"
+)
+
+func main() {
+	fmt.Println("Scenario: a server parses a request; a crafted input overwrites a")
+	fmt.Println("data pointer. Disjoint code layouts mean the overwritten pointer is")
+	fmt.Println("only meaningful in the master replica — the slave keeps benign")
+	fmt.Println("behaviour, and the MVEE sees the streams diverge.")
+	fmt.Println()
+
+	rep, err := core.RunProgram(core.Config{
+		Mode: core.ModeReMon, Replicas: 2, Policy: policy.SocketRWLevel,
+	}, func(env *libc.Env) {
+		// The 'request': both replicas receive identical bytes.
+		request := []byte("GET /account?id=1337")
+
+		// The 'vulnerability': a bounds error lets the attacker redirect
+		// the response target. Under DCL the injected address only makes
+		// sense in one replica's layout, so behaviour forks.
+		responseFile := "/tmp/response.log"
+		if env.T.Proc.ReplicaIndex == 0 {
+			responseFile = "/tmp/exfiltrated-secrets" // hijacked master
+		}
+
+		fd, errno := env.Open(responseFile, vkernel.OCreat|vkernel.ORdwr, 0o644)
+		if errno != 0 {
+			return
+		}
+		env.Write(fd, request)
+		env.Close(fd)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if rep.Verdict.Diverged {
+		fmt.Printf("DETECTED: %s (syscall: %s)\n", rep.Verdict.Reason, rep.Verdict.Syscall)
+		fmt.Println("all replicas terminated before the exploit's write completed anywhere observable")
+	} else {
+		fmt.Println("NOT DETECTED — this should never happen")
+	}
+
+	fmt.Println()
+	fmt.Println("Full §4 scenario suite:")
+	for _, o := range attack.RunAll() {
+		fmt.Println(" ", o)
+	}
+}

@@ -1,0 +1,209 @@
+// Package apps implements the server applications of §5.2 against the
+// simulated kernel's syscall API: an epoll-based event-loop server (the
+// nginx / lighttpd / memcached / redis / beanstalkd shape) and a
+// thread-per-connection server (the apache / thttpd shape). Both speak a
+// fixed-size request/response protocol driven by the workload package's
+// clients.
+//
+// The epoll server registers *pointer-valued* cookies (addresses from the
+// replica's diversified heap) with epoll_ctl, so running it under any
+// monitor exercises the §3.9 shadow-mapping machinery end to end: each
+// replica's event loop only works if it gets its own cookies back.
+package apps
+
+import (
+	"remon/internal/libc"
+	"remon/internal/model"
+	"remon/internal/vkernel"
+)
+
+// Style selects the server architecture.
+type Style int
+
+// Server styles.
+const (
+	// StyleEpoll: single event loop multiplexing all connections.
+	StyleEpoll Style = iota
+	// StyleThreaded: one worker thread per accepted connection.
+	StyleThreaded
+)
+
+// ServerConfig parameterises a server program.
+type ServerConfig struct {
+	Name string
+	Addr string
+	// RequestSize / ResponseSize define the protocol.
+	RequestSize  int
+	ResponseSize int
+	// ComputePerRequest models request handling work (parsing, hashing,
+	// page generation).
+	ComputePerRequest model.Duration
+	// TotalConnections: the server exits after this many connections
+	// close (the benchmark's fixed workload).
+	TotalConnections int
+	Style            Style
+}
+
+// Server builds the replica program for the configuration.
+func Server(cfg ServerConfig) libc.Program {
+	switch cfg.Style {
+	case StyleThreaded:
+		return threadedServer(cfg)
+	default:
+		return epollServer(cfg)
+	}
+}
+
+// connState tracks one in-flight connection of the epoll server.
+type connState struct {
+	fd     int
+	served int
+}
+
+// epollServer is the event-loop variant.
+func epollServer(cfg ServerConfig) libc.Program {
+	return func(env *libc.Env) {
+		lfd, errno := env.Socket()
+		if errno != 0 {
+			return
+		}
+		if errno := env.Bind(lfd, cfg.Addr); errno != 0 {
+			return
+		}
+		if errno := env.Listen(lfd, 128); errno != 0 {
+			return
+		}
+		epfd, errno := env.EpollCreate()
+		if errno != 0 {
+			return
+		}
+		// Cookies are heap addresses — different in every replica.
+		listenerCookie := uint64(env.Alloc(16))
+		conns := map[uint64]*connState{}
+		env.EpollCtl(epfd, vkernel.EpollCtlAdd, lfd, libc.EpollEvent{
+			Events: vkernel.EpollIn, Data: listenerCookie,
+		})
+
+		resp := make([]byte, cfg.ResponseSize)
+		for i := range resp {
+			resp[i] = byte('a' + i%26)
+		}
+		reqBuf := make([]byte, cfg.RequestSize+64)
+		closed := 0
+		events := make([]libc.EpollEvent, 16)
+
+		for closed < cfg.TotalConnections {
+			n, errno := env.EpollWait(epfd, events, -1)
+			if errno != 0 {
+				return
+			}
+			for i := 0; i < n; i++ {
+				ev := events[i]
+				if ev.Data == listenerCookie {
+					cfd, errno := env.Accept(lfd)
+					if errno != 0 {
+						continue
+					}
+					cookie := uint64(env.Alloc(16))
+					conns[cookie] = &connState{fd: cfd}
+					env.EpollCtl(epfd, vkernel.EpollCtlAdd, cfd, libc.EpollEvent{
+						Events: vkernel.EpollIn, Data: cookie,
+					})
+					continue
+				}
+				st := conns[ev.Data]
+				if st == nil {
+					continue
+				}
+				got, errno := env.Recv(st.fd, reqBuf)
+				if errno != 0 || got == 0 {
+					// Client closed (or reset): retire the connection.
+					env.EpollCtl(epfd, vkernel.EpollCtlDel, st.fd, libc.EpollEvent{})
+					env.Close(st.fd)
+					delete(conns, ev.Data)
+					closed++
+					continue
+				}
+				env.Compute(cfg.ComputePerRequest)
+				env.Send(st.fd, resp)
+				st.served++
+			}
+		}
+		env.Close(epfd)
+		env.Close(lfd)
+	}
+}
+
+// threadedServer is the thread-per-connection variant.
+func threadedServer(cfg ServerConfig) libc.Program {
+	return func(env *libc.Env) {
+		lfd, errno := env.Socket()
+		if errno != 0 {
+			return
+		}
+		if errno := env.Bind(lfd, cfg.Addr); errno != 0 {
+			return
+		}
+		if errno := env.Listen(lfd, 128); errno != 0 {
+			return
+		}
+		resp := make([]byte, cfg.ResponseSize)
+		for i := range resp {
+			resp[i] = byte('a' + i%26)
+		}
+		var handles []*libc.ThreadHandle
+		for served := 0; served < cfg.TotalConnections; served++ {
+			cfd, errno := env.Accept(lfd)
+			if errno != 0 {
+				break
+			}
+			fd := cfd
+			handles = append(handles, env.Spawn(func(we *libc.Env) {
+				buf := make([]byte, cfg.RequestSize+64)
+				for {
+					got, errno := we.Recv(fd, buf)
+					if errno != 0 || got == 0 {
+						we.Close(fd)
+						return
+					}
+					we.Compute(cfg.ComputePerRequest)
+					we.Send(fd, resp)
+				}
+			}))
+		}
+		for _, h := range handles {
+			h.Join()
+		}
+		env.Close(lfd)
+	}
+}
+
+// KVStore builds a redis/memcached-style server: the same network shape
+// as the epoll server plus an in-memory keyspace exercised per request.
+func KVStore(cfg ServerConfig) libc.Program {
+	inner := epollServer(cfg)
+	return func(env *libc.Env) {
+		// The keyspace models per-request hashing work; the epoll loop's
+		// ComputePerRequest already charges it, so the store itself only
+		// needs to exist to be realistic for memory behaviour.
+		store := map[string][]byte{}
+		for i := 0; i < 64; i++ {
+			store[string(rune('a'+i%26))+itoa(i)] = make([]byte, 128)
+		}
+		inner(env)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

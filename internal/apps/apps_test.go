@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"testing"
+
+	"remon/internal/core"
+	"remon/internal/libc"
+	"remon/internal/model"
+	"remon/internal/policy"
+	"remon/internal/vkernel"
+	"remon/internal/vnet"
+	"remon/internal/workload"
+)
+
+// runServerClient spins up a server under the given mode and drives it
+// with clients, returning the client result and the server report.
+func runServerClient(t *testing.T, cfg ServerConfig, mode core.Mode, replicas int) (workload.ClientResult, *core.Report) {
+	t.Helper()
+	net := vnet.New(vnet.Loopback)
+	k := vkernel.New(net)
+	mvee, err := core.New(core.Config{
+		Mode: mode, Replicas: replicas, Policy: policy.SocketRWLevel,
+		Kernel: k, Partitions: cfg.TotalConnections + 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *core.Report, 1)
+	go func() { done <- mvee.Run(Server(cfg)) }()
+	res := workload.RunClients(k, workload.ClientConfig{
+		Addr:            cfg.Addr,
+		Connections:     cfg.TotalConnections,
+		RequestsPerConn: 5,
+		RequestSize:     cfg.RequestSize, ResponseSize: cfg.ResponseSize,
+		ThinkTime: model.Microsecond,
+	}, 1)
+	rep := <-done
+	return res, rep
+}
+
+func TestEpollServerNative(t *testing.T) {
+	cfg := ServerConfig{
+		Name: "epoll-native", Addr: "a1:80",
+		RequestSize: 64, ResponseSize: 256,
+		ComputePerRequest: model.Microsecond,
+		TotalConnections:  4, Style: StyleEpoll,
+	}
+	res, rep := runServerClient(t, cfg, core.ModeNative, 1)
+	if res.Errors != 0 || res.Completed != 20 {
+		t.Fatalf("clients: %+v", res)
+	}
+	if rep.Verdict.Diverged {
+		t.Fatal("native run diverged")
+	}
+}
+
+func TestEpollServerReMon(t *testing.T) {
+	cfg := ServerConfig{
+		Name: "epoll-remon", Addr: "a2:80",
+		RequestSize: 64, ResponseSize: 256,
+		ComputePerRequest: model.Microsecond,
+		TotalConnections:  4, Style: StyleEpoll,
+	}
+	res, rep := runServerClient(t, cfg, core.ModeReMon, 2)
+	if res.Errors != 0 || res.Completed != 20 {
+		t.Fatalf("clients: %+v", res)
+	}
+	if rep.Verdict.Diverged {
+		t.Fatalf("ReMon run diverged: %+v", rep.Verdict)
+	}
+	// The epoll fast path must actually be exercised.
+	var unmon uint64
+	for _, s := range rep.IPMon {
+		unmon += s.Unmonitored
+	}
+	if unmon == 0 {
+		t.Fatal("no unmonitored calls — epoll fast path not used")
+	}
+}
+
+func TestEpollServerGHUMVEE(t *testing.T) {
+	cfg := ServerConfig{
+		Name: "epoll-ghumvee", Addr: "a3:80",
+		RequestSize: 64, ResponseSize: 256,
+		ComputePerRequest: model.Microsecond,
+		TotalConnections:  3, Style: StyleEpoll,
+	}
+	res, rep := runServerClient(t, cfg, core.ModeGHUMVEE, 2)
+	if res.Errors != 0 || res.Completed != 15 {
+		t.Fatalf("clients: %+v", res)
+	}
+	if rep.Verdict.Diverged {
+		t.Fatalf("GHUMVEE run diverged: %+v", rep.Verdict)
+	}
+}
+
+func TestThreadedServerReMon(t *testing.T) {
+	cfg := ServerConfig{
+		Name: "threaded-remon", Addr: "a4:80",
+		RequestSize: 64, ResponseSize: 512,
+		ComputePerRequest: model.Microsecond,
+		TotalConnections:  3, Style: StyleThreaded,
+	}
+	res, rep := runServerClient(t, cfg, core.ModeReMon, 2)
+	if res.Errors != 0 || res.Completed != 15 {
+		t.Fatalf("clients: %+v", res)
+	}
+	if rep.Verdict.Diverged {
+		t.Fatalf("threaded ReMon run diverged: %+v", rep.Verdict)
+	}
+}
+
+func TestThreadedServerThreeReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := ServerConfig{
+		Name: "threaded-3", Addr: "a5:80",
+		RequestSize: 32, ResponseSize: 128,
+		ComputePerRequest: model.Microsecond,
+		TotalConnections:  2, Style: StyleThreaded,
+	}
+	res, rep := runServerClient(t, cfg, core.ModeReMon, 3)
+	if res.Errors != 0 || res.Completed != 10 {
+		t.Fatalf("clients: %+v", res)
+	}
+	if rep.Verdict.Diverged {
+		t.Fatalf("3-replica run diverged: %+v", rep.Verdict)
+	}
+}
+
+func TestKVStoreWrapper(t *testing.T) {
+	cfg := ServerConfig{
+		Name: "kv", Addr: "a6:80",
+		RequestSize: 32, ResponseSize: 64,
+		ComputePerRequest: model.Microsecond,
+		TotalConnections:  2, Style: StyleEpoll,
+	}
+	net := vnet.New(vnet.Loopback)
+	k := vkernel.New(net)
+	mvee, err := core.New(core.Config{
+		Mode: core.ModeReMon, Replicas: 2, Policy: policy.SocketRWLevel,
+		Kernel: k, Partitions: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *core.Report, 1)
+	go func() { done <- mvee.Run(KVStore(cfg)) }()
+	res := workload.RunClients(k, workload.ClientConfig{
+		Addr: cfg.Addr, Connections: 2, RequestsPerConn: 4,
+		RequestSize: 32, ResponseSize: 64,
+	}, 2)
+	rep := <-done
+	if res.Errors != 0 || rep.Verdict.Diverged {
+		t.Fatalf("kv run: clients %+v verdict %+v", res, rep.Verdict)
+	}
+}
+
+// progServer is a compile-time check that Server returns a libc.Program.
+var _ libc.Program = Server(ServerConfig{})

@@ -1,0 +1,494 @@
+// Package core is ReMon's orchestration layer and the library's primary
+// public surface: it builds a set of diversified replica processes, wires
+// the three components of Figure 2 — GHUMVEE (CP monitor), IP-MON
+// (in-process monitor) and IK-B (in-kernel broker) — and runs replica
+// programs under a chosen monitoring mode and relaxation policy.
+//
+// Three run modes cover the paper's design space:
+//
+//   - ModeNative: one process, no monitoring (the baseline of every
+//     normalised figure).
+//   - ModeGHUMVEE: the CP monitor alone, every syscall lockstepped (the
+//     "no IP-MON" bars of Figures 3–5).
+//   - ModeReMon: the full hybrid — IK-B routes unmonitored calls to
+//     IP-MON under a spatial (and optionally temporal) relaxation policy,
+//     everything else to GHUMVEE.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"remon/internal/ghumvee"
+	"remon/internal/ikb"
+	"remon/internal/ipmon"
+	"remon/internal/libc"
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/policy"
+	"remon/internal/rb"
+	"remon/internal/rr"
+	"remon/internal/vkernel"
+	"remon/internal/vnet"
+)
+
+// Mode selects the monitoring architecture.
+type Mode int
+
+// Run modes.
+const (
+	ModeNative Mode = iota
+	ModeGHUMVEE
+	ModeReMon
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeGHUMVEE:
+		return "ghumvee"
+	case ModeReMon:
+		return "remon"
+	}
+	return "?"
+}
+
+// TemporalConfig enables the probabilistic temporal exemption policy.
+type TemporalConfig struct {
+	MinApprovals int
+	ExemptProb   float64
+	// WindowCalls bounds the exemption window in invocations since the
+	// last approval (0 = unbounded).
+	WindowCalls int
+}
+
+// Config parameterises an MVEE instance.
+type Config struct {
+	Mode     Mode
+	Replicas int
+	Policy   policy.Level
+	Temporal *TemporalConfig
+	// RBSize is the replication buffer size (default 16 MiB, §4).
+	RBSize uint64
+	// Partitions is the number of per-logical-thread RB partitions
+	// (default 8).
+	Partitions int
+	// Seed drives layout diversification and token minting.
+	Seed uint64
+	// Kernel reuses an existing kernel (so servers under the MVEE and
+	// native clients share a network); nil creates a fresh one.
+	Kernel *vkernel.Kernel
+	// Network is used when a fresh kernel is created.
+	Network *vnet.Network
+
+	// Ablation knobs (DESIGN.md §5).
+	// AblateAlwaysWake disables §3.7's wake suppression.
+	AblateAlwaysWake bool
+	// AblateBlocking forces the slave wait strategy: nil = file-map
+	// prediction, true = always futex, false = always spin.
+	AblateBlocking *bool
+}
+
+// MVEE is one monitored replica set.
+type MVEE struct {
+	Cfg     Config
+	Kernel  *vkernel.Kernel
+	Monitor *ghumvee.Monitor // nil for ModeNative
+	Broker  *ikb.Broker      // nil for ModeNative
+	IPMons  []*ipmon.IPMon   // ModeReMon only
+
+	procs   []*vkernel.Process
+	rbuf    *rb.Buffer
+	rbBases []mem.Addr
+	rrLog   *rr.Log
+	agents  []*rr.Agent
+
+	mu       sync.Mutex
+	ltids    map[*vkernel.Thread]int
+	nextLtid []int // per replica
+	threads  []*vkernel.Thread
+	baseTime model.Duration
+}
+
+// Report summarises one Run.
+type Report struct {
+	Mode     Mode
+	Replicas int
+	Policy   policy.Level
+	// Duration is the run's virtual wall-clock: the maximum final thread
+	// clock minus the start time.
+	Duration model.Duration
+	// Syscalls is the number of user syscalls issued during the run.
+	Syscalls uint64
+	Verdict  ghumvee.Verdict
+	Monitor  ghumvee.Stats
+	Broker   ikb.Stats
+	IPMon    []ipmon.Stats
+}
+
+// New constructs an MVEE.
+func New(cfg Config) (*MVEE, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Mode == ModeNative {
+		cfg.Replicas = 1
+	}
+	if cfg.RBSize == 0 {
+		cfg.RBSize = 16 << 20
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5EED0001
+	}
+	k := cfg.Kernel
+	if k == nil {
+		k = vkernel.New(cfg.Network)
+	}
+	m := &MVEE{
+		Cfg:      cfg,
+		Kernel:   k,
+		ltids:    map[*vkernel.Thread]int{},
+		nextLtid: make([]int, cfg.Replicas),
+	}
+
+	for i := 0; i < cfg.Replicas; i++ {
+		p := k.NewProcess(fmt.Sprintf("replica-%d", i), cfg.Seed+uint64(i)*0x9E37, i)
+		m.procs = append(m.procs, p)
+		m.registerProcMaps(p)
+	}
+
+	if cfg.Mode == ModeNative {
+		return m, nil
+	}
+
+	m.Monitor = ghumvee.New(k, m.procs)
+	m.Broker = ikb.New(k, m.Monitor)
+	m.Broker.SetApprover(m.Monitor)
+	k.SetInterceptor(m.Broker)
+
+	if cfg.Mode == ModeReMon {
+		if err := m.setupIPMon(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// registerProcMaps exposes /proc/<pid>/maps as a monitored special file
+// whose content is filtered: the RB, IP-MON arenas and file map never
+// appear (§3.1).
+func (m *MVEE) registerProcMaps(p *vkernel.Process) {
+	path := fmt.Sprintf("/proc/%d", p.PID)
+	if err := m.Kernel.FS.MkdirAll(path, 0o555); err != nil {
+		return
+	}
+	proc := p
+	_ = m.Kernel.FS.AddSpecial(path+"/maps", func(pid int) []byte {
+		return []byte(proc.Mem.MapsText("rb", "ipmon", "filemap"))
+	})
+}
+
+// setupIPMon performs §3.5's arbitrated initialisation: GHUMVEE creates
+// the shared RB segment, every replica attaches it at a randomised,
+// per-replica address, and each replica's IP-MON instance is built.
+// The registration syscall itself is issued by each replica at Run time.
+func (m *MVEE) setupIPMon() error {
+	m.Monitor.SetAllowShm(true)
+	defer m.Monitor.SetAllowShm(false)
+
+	// Master creates the segment (arbitrated by GHUMVEE).
+	initThreads := make([]*vkernel.Thread, len(m.procs))
+	for i, p := range m.procs {
+		initThreads[i] = p.NewThread(nil)
+	}
+	r := initThreads[0].RawSyscall(vkernel.SysShmget, 0, m.Cfg.RBSize, 0)
+	if !r.Ok() {
+		return fmt.Errorf("core: shmget RB: %v", r.Errno)
+	}
+	shmID := int(r.Val)
+	seg := m.Kernel.ShmSegment(shmID)
+
+	// Every replica attaches at a kernel-randomised address; the mapping
+	// is named "rb" so the maps filter hides it.
+	m.rbBases = make([]mem.Addr, len(m.procs))
+	for i, p := range m.procs {
+		reg, err := p.Mem.MapShared(seg, mem.ProtRead|mem.ProtWrite, "rb")
+		if err != nil {
+			return fmt.Errorf("core: mapping RB into replica %d: %v", i, err)
+		}
+		m.rbBases[i] = reg.Start
+	}
+	for _, t := range initThreads {
+		t.ExitThread(0)
+	}
+
+	buf, err := rb.New(seg, len(m.procs), m.Cfg.Partitions, m.Monitor)
+	if err != nil {
+		return err
+	}
+	m.rbuf = buf
+	m.Monitor.AttachRB(buf)
+	if m.Cfg.AblateAlwaysWake {
+		buf.SetAlwaysWake(true)
+	}
+
+	var temporal *policy.Temporal
+	for i, p := range m.procs {
+		spatial := policy.NewSpatial(m.Cfg.Policy)
+		if m.Cfg.Temporal != nil {
+			// All replicas share one seed: the decision stream must be
+			// identical across replicas (policy.Temporal's contract).
+			temporal = policy.NewTemporal(m.Cfg.Temporal.MinApprovals,
+				m.Cfg.Temporal.ExemptProb, m.Cfg.Temporal.WindowCalls, m.Cfg.Seed)
+		}
+		ip := ipmon.New(ipmon.Config{
+			Replica:          i,
+			Proc:             p,
+			Buf:              buf,
+			RBBase:           m.rbBases[i],
+			FileMap:          m.Monitor.FileMap(),
+			Shadow:           m.Monitor.EpollShadow(),
+			Policy:           spatial,
+			Temporal:         temporal,
+			LtidOf:           m.ltidOf,
+			BlockingOverride: m.Cfg.AblateBlocking,
+		})
+		m.IPMons = append(m.IPMons, ip)
+	}
+	return nil
+}
+
+func (m *MVEE) ltidOf(t *vkernel.Thread) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ltids[t]
+}
+
+// registerThread binds a thread to its logical id everywhere.
+func (m *MVEE) registerThread(t *vkernel.Thread, ltid int) {
+	m.mu.Lock()
+	m.ltids[t] = ltid
+	m.threads = append(m.threads, t)
+	m.mu.Unlock()
+	if m.Monitor != nil {
+		m.Monitor.RegisterThread(t, ltid)
+	}
+}
+
+// Run executes prog in every replica and reports the outcome. The same
+// Program value runs once per replica; per-replica state must live in
+// variables declared inside the program body (never captured from outside).
+func (m *MVEE) Run(prog libc.Program) *Report {
+	m.mu.Lock()
+	m.baseTime = 0
+	m.mu.Unlock()
+
+	if m.Cfg.Mode == ModeReMon && m.rrLog == nil {
+		m.rrLog = rr.NewLog()
+	}
+	if m.Cfg.Mode == ModeGHUMVEE && m.rrLog == nil {
+		m.rrLog = rr.NewLog()
+	}
+	m.agents = nil
+	if m.rrLog != nil {
+		for i := range m.procs {
+			m.agents = append(m.agents, rr.NewAgent(m.rrLog, i == 0))
+		}
+	}
+
+	startCalls := m.Kernel.UserSyscalls()
+	var wg sync.WaitGroup
+	for i := range m.procs {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			m.runReplica(idx, prog)
+		}(i)
+	}
+	wg.Wait()
+	if m.rrLog != nil {
+		m.rrLog.Close()
+		m.rrLog = nil
+	}
+	return m.report(startCalls)
+}
+
+// runReplica bootstraps one replica: main thread, hooks, optional IP-MON
+// registration, program body, exit.
+func (m *MVEE) runReplica(idx int, prog libc.Program) {
+	p := m.procs[idx]
+	t := p.NewThread(nil)
+	m.registerThread(t, 0)
+
+	hooks := &libc.Hooks{}
+	if m.agents != nil {
+		hooks.Agent = m.agents[idx]
+	}
+	hooks.Spawn = func(parent *libc.Env, fn libc.Program) *libc.ThreadHandle {
+		return m.spawnThread(idx, parent, fn)
+	}
+	env := libc.NewEnv(t, 0, hooks)
+
+	defer func() {
+		if r := recover(); r != nil && r != libc.ErrKilled {
+			panic(r)
+		}
+		if !t.Exited() {
+			t.ExitThread(0)
+		}
+	}()
+
+	if m.Cfg.Mode == ModeReMon {
+		ip := m.IPMons[idx]
+		mask := ip.UnmonitoredMask()
+		m.Broker.StageRegistration(p, &ikb.Registration{
+			Mask:   mask,
+			Entry:  ip.Entry,
+			RBBase: m.rbBases[idx],
+		})
+		// The new registration syscall (§3.5): arguments carry the mask
+		// cardinality and RB size so the lockstep comparison has
+		// something to bite on.
+		r := t.Syscall(vkernel.SysIPMonRegister, uint64((&mask).Count()), m.Cfg.RBSize, 1)
+		if !r.Ok() {
+			panic(fmt.Sprintf("core: ipmon_register failed in replica %d: %v", idx, r.Errno))
+		}
+	}
+
+	prog(env)
+	if !t.Exited() {
+		env.Exit(0)
+	}
+}
+
+// spawnThread creates the replica-local kernel thread for a logical
+// thread spawn, assigning the same ltid in every replica (spawn order is
+// serialised by the record/replay agent).
+func (m *MVEE) spawnThread(idx int, parent *libc.Env, fn libc.Program) *libc.ThreadHandle {
+	m.mu.Lock()
+	m.nextLtid[idx]++
+	ltid := m.nextLtid[idx]
+	m.mu.Unlock()
+
+	t := parent.T.Proc.NewThread(parent.T)
+	t.Clock.Advance(model.CostThreadSpawn)
+	m.registerThread(t, ltid)
+	env := parent.ChildEnv(t, ltid)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil && r != libc.ErrKilled {
+				panic(r)
+			}
+			if !t.Exited() {
+				t.ExitThread(0)
+			}
+		}()
+		fn(env)
+	}()
+	return libc.NewThreadHandle(&wg)
+}
+
+// report collects the run's outcome.
+func (m *MVEE) report(startCalls uint64) *Report {
+	rep := &Report{
+		Mode:     m.Cfg.Mode,
+		Replicas: m.Cfg.Replicas,
+		Policy:   m.Cfg.Policy,
+		Syscalls: m.Kernel.UserSyscalls() - startCalls,
+	}
+	m.mu.Lock()
+	var maxT model.Duration
+	for _, t := range m.threads {
+		if now := t.Clock.Now(); now > maxT {
+			maxT = now
+		}
+	}
+	base := m.baseTime
+	m.mu.Unlock()
+	rep.Duration = maxT - base
+	if m.Monitor != nil {
+		rep.Verdict = m.Monitor.Verdict()
+		rep.Monitor = m.Monitor.Stats()
+	}
+	if m.Broker != nil {
+		rep.Broker = m.Broker.Stats()
+	}
+	for _, ip := range m.IPMons {
+		rep.IPMon = append(rep.IPMon, ip.Stats())
+	}
+	return rep
+}
+
+// MigrateRB re-randomises the replication buffer's virtual address in
+// every replica — the extension §4 sketches: "we could extend IK-B to
+// periodically move the RB to a different virtual address by modifying
+// the replicas' page table entries. This would further decrease the
+// chances of a successful guessing attack."
+//
+// The segment (and therefore all buffered entries, cursors and futex
+// keys, which are segment-relative) is untouched; only the per-replica
+// mapping address changes. Because the futex table keys shared memory by
+// (segment, offset), parked waiters survive the move.
+//
+// Call it at a quiescent point — between Run invocations, or from a
+// monitor-side maintenance hook — not while replica threads are inside
+// IP-MON (the real system would perform the swap during a global ptrace
+// stop).
+func (m *MVEE) MigrateRB() error {
+	if m.Cfg.Mode != ModeReMon || m.rbuf == nil {
+		return fmt.Errorf("core: MigrateRB requires an active ReMon instance")
+	}
+	seg := m.rbuf.Segment()
+	for i, p := range m.procs {
+		old := m.rbBases[i]
+		reg, err := p.Mem.MapShared(seg, mem.ProtRead|mem.ProtWrite, "rb")
+		if err != nil {
+			return fmt.Errorf("core: remapping RB in replica %d: %v", i, err)
+		}
+		if err := p.Mem.Unmap(old); err != nil {
+			return fmt.Errorf("core: unmapping old RB in replica %d: %v", i, err)
+		}
+		m.rbBases[i] = reg.Start
+		m.IPMons[i].MigrateRB(reg.Start)
+		m.Broker.UpdateRBBase(p, reg.Start)
+	}
+	return nil
+}
+
+// Procs exposes the replica processes (attack harnesses need them).
+func (m *MVEE) Procs() []*vkernel.Process {
+	return append([]*vkernel.Process(nil), m.procs...)
+}
+
+// RBBases exposes the per-replica RB mapping addresses (attack harnesses
+// probe for leaks of these).
+func (m *MVEE) RBBases() []mem.Addr {
+	return append([]mem.Addr(nil), m.rbBases...)
+}
+
+// RunProgram is the one-call convenience: build an MVEE with cfg and run
+// prog.
+func RunProgram(cfg Config, prog libc.Program) (*Report, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(prog), nil
+}
+
+// NativeThread creates an unmonitored process + thread + Env on an
+// existing kernel — used for benchmark clients that drive a monitored
+// server over the simulated network.
+func NativeThread(k *vkernel.Kernel, name string, seed uint64) *libc.Env {
+	p := k.NewProcess(name, seed, 9) // disjoint slot away from replicas
+	t := p.NewThread(nil)
+	return libc.NewEnv(t, 0, nil)
+}

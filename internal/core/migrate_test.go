@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"remon/internal/libc"
+	"remon/internal/policy"
+	"remon/internal/vkernel"
+)
+
+// TestMigrateRB exercises §4's periodic-move extension: the RB's virtual
+// address changes in every replica, the old mapping is gone, and the MVEE
+// keeps working afterwards.
+func TestMigrateRB(t *testing.T) {
+	m, err := New(Config{Mode: ModeReMon, Replicas: 2, Policy: policy.SocketRWLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(env *libc.Env) {
+		fd, _ := env.Open("/tmp/migrate", vkernel.OCreat|vkernel.ORdwr, 0o644)
+		for i := 0; i < 30; i++ {
+			env.Write(fd, []byte("record"))
+			env.TimeNow()
+		}
+		env.Close(fd)
+	}
+	if rep := m.Run(prog); rep.Verdict.Diverged {
+		t.Fatalf("pre-migration run diverged: %+v", rep.Verdict)
+	}
+
+	before := m.RBBases()
+	if err := m.MigrateRB(); err != nil {
+		t.Fatal(err)
+	}
+	after := m.RBBases()
+	for i := range before {
+		if before[i] == after[i] {
+			t.Fatalf("replica %d RB address unchanged by migration", i)
+		}
+		// The old mapping must be gone.
+		if r := m.Procs()[i].Mem.RegionAt(before[i]); r != nil && r.Name == "rb" {
+			t.Fatalf("replica %d old RB mapping still present", i)
+		}
+		// The new one must alias the same segment.
+		r := m.Procs()[i].Mem.RegionAt(after[i])
+		if r == nil || r.Shared() == nil {
+			t.Fatalf("replica %d new RB mapping missing or private", i)
+		}
+	}
+
+	// The MVEE still replicates correctly through the moved buffer.
+	rep := m.Run(prog)
+	if rep.Verdict.Diverged {
+		t.Fatalf("post-migration run diverged: %+v", rep.Verdict)
+	}
+	if rep.Broker.TokenViolations != 0 {
+		t.Fatalf("token violations after migration: %d", rep.Broker.TokenViolations)
+	}
+	var unmon uint64
+	for _, s := range rep.IPMon {
+		unmon += s.Unmonitored
+	}
+	if unmon == 0 {
+		t.Fatal("fast path unused after migration")
+	}
+}
+
+func TestMigrateRBRequiresReMon(t *testing.T) {
+	m, err := New(Config{Mode: ModeGHUMVEE, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MigrateRB(); err == nil {
+		t.Fatal("MigrateRB succeeded without IP-MON")
+	}
+}
+
+func TestMigrateRBRepeatedly(t *testing.T) {
+	m, err := New(Config{Mode: ModeReMon, Replicas: 3, Policy: policy.NonsocketRWLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for round := 0; round < 5; round++ {
+		for _, b := range m.RBBases() {
+			seen[uint64(b)] = true
+		}
+		if err := m.MigrateRB(); err != nil {
+			t.Fatalf("migration %d: %v", round, err)
+		}
+	}
+	// 3 replicas x 5 rounds of distinct addresses (initial set included).
+	if len(seen) < 15 {
+		t.Fatalf("only %d distinct RB addresses over migrations", len(seen))
+	}
+	rep := m.Run(func(env *libc.Env) {
+		for i := 0; i < 10; i++ {
+			env.TimeNow()
+		}
+	})
+	if rep.Verdict.Diverged {
+		t.Fatalf("run after 5 migrations diverged: %+v", rep.Verdict)
+	}
+}

@@ -1,0 +1,154 @@
+package fdmap
+
+import (
+	"testing"
+
+	"remon/internal/mem"
+	"remon/internal/policy"
+	"remon/internal/vkernel"
+)
+
+func TestSetLookupClear(t *testing.T) {
+	m := New(mem.NewSharedSegment(1, MapSize))
+	m.Set(3, TypeSocket, true)
+	typ, nb, open := m.Lookup(3)
+	if typ != TypeSocket || !nb || !open {
+		t.Fatalf("Lookup = %d %v %v", typ, nb, open)
+	}
+	m.Clear(3)
+	if _, _, open := m.Lookup(3); open {
+		t.Fatal("cleared fd still open")
+	}
+}
+
+func TestLookupOutOfRange(t *testing.T) {
+	m := New(mem.NewSharedSegment(1, MapSize))
+	if _, _, open := m.Lookup(-1); open {
+		t.Fatal("negative fd open")
+	}
+	if _, _, open := m.Lookup(MapSize + 5); open {
+		t.Fatal("huge fd open")
+	}
+	m.Set(-1, TypeRegular, false)        // no panic
+	m.Set(MapSize+5, TypeRegular, false) // no panic
+}
+
+func TestSharedSegmentVisibility(t *testing.T) {
+	// The byte written by the monitor must be visible through the shared
+	// segment — that is how replicas read the map.
+	seg := mem.NewSharedSegment(2, MapSize)
+	m := New(seg)
+	m.Set(7, TypePipe, false)
+	var b [1]byte
+	if err := seg.ReadAt(b[:], 7); err != nil {
+		t.Fatal(err)
+	}
+	if b[0]&0x07 != TypePipe || b[0]&0x80 == 0 {
+		t.Fatalf("segment byte = %#x", b[0])
+	}
+}
+
+func TestClass(t *testing.T) {
+	m := New(mem.NewSharedSegment(3, MapSize))
+	m.Set(1, TypeRegular, false)
+	m.Set(2, TypeSocket, false)
+	m.Set(3, TypePollFD, false)
+	m.Set(4, TypeSpecial, false)
+	cases := map[int]policy.FDClass{
+		1:  policy.FDNonSocket,
+		2:  policy.FDSock,
+		3:  policy.FDPollFD,
+		4:  policy.FDUnknown, // special files force monitoring
+		99: policy.FDUnknown, // closed
+	}
+	for fd, want := range cases {
+		if got := m.Class(fd); got != want {
+			t.Errorf("Class(%d) = %v, want %v", fd, got, want)
+		}
+	}
+}
+
+func TestMayBlock(t *testing.T) {
+	m := New(mem.NewSharedSegment(4, MapSize))
+	m.Set(1, TypeRegular, false)
+	m.Set(2, TypeSocket, false)
+	m.Set(3, TypeSocket, true) // non-blocking socket
+	m.Set(4, TypePipe, false)
+	if m.MayBlock(1) {
+		t.Fatal("regular file predicted blocking")
+	}
+	if !m.MayBlock(2) {
+		t.Fatal("blocking socket predicted non-blocking")
+	}
+	if m.MayBlock(3) {
+		t.Fatal("O_NONBLOCK socket predicted blocking (§3.6)")
+	}
+	if !m.MayBlock(4) {
+		t.Fatal("pipe predicted non-blocking")
+	}
+	if m.MayBlock(50) {
+		t.Fatal("closed fd predicted blocking")
+	}
+}
+
+func TestTypeFromKind(t *testing.T) {
+	cases := map[vkernel.FDKind]uint8{
+		vkernel.FDRegular:   TypeRegular,
+		vkernel.FDDir:       TypeDir,
+		vkernel.FDPipeRead:  TypePipe,
+		vkernel.FDPipeWrite: TypePipe,
+		vkernel.FDSocket:    TypeSocket,
+		vkernel.FDListener:  TypeSocket,
+		vkernel.FDEpoll:     TypePollFD,
+		vkernel.FDSpecial:   TypeSpecial,
+		vkernel.FDTimer:     TypeTimer,
+		vkernel.FDNone:      TypeNone,
+	}
+	for k, want := range cases {
+		if got := TypeFromKind(k, false); got != want {
+			t.Errorf("TypeFromKind(%v) = %d, want %d", k, got, want)
+		}
+	}
+	if TypeFromKind(vkernel.FDRegular, true) != TypeSpecial {
+		t.Fatal("special override lost")
+	}
+}
+
+func TestEpollShadowTranslation(t *testing.T) {
+	s := NewEpollShadow(2)
+	// Replica 0 (master) registers pointer 0xAAAA for fd 5; replica 1's
+	// diversified pointer is 0xBBBB.
+	s.Register(0, 5, 0xAAAA)
+	s.Register(1, 5, 0xBBBB)
+
+	// Master's epoll_wait returned cookie 0xAAAA; translate to replica 1.
+	fd, ok := s.FDForCookie(0, 0xAAAA)
+	if !ok || fd != 5 {
+		t.Fatalf("FDForCookie = %d, %v", fd, ok)
+	}
+	ck, ok := s.CookieForFD(1, fd)
+	if !ok || ck != 0xBBBB {
+		t.Fatalf("CookieForFD = %#x, %v", ck, ok)
+	}
+}
+
+func TestEpollShadowUnregister(t *testing.T) {
+	s := NewEpollShadow(2)
+	s.Register(0, 5, 0xAAAA)
+	s.Unregister(0, 5)
+	if _, ok := s.FDForCookie(0, 0xAAAA); ok {
+		t.Fatal("cookie survives unregister")
+	}
+}
+
+func TestEpollShadowBounds(t *testing.T) {
+	s := NewEpollShadow(1)
+	s.Register(5, 1, 1) // out-of-range replica: ignored
+	s.Unregister(-1, 1) // ignored
+	if _, ok := s.FDForCookie(5, 1); ok {
+		t.Fatal("out-of-range replica stored data")
+	}
+	if _, ok := s.CookieForFD(-2, 1); ok {
+		t.Fatal("negative replica lookup succeeded")
+	}
+}

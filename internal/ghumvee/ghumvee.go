@@ -1,0 +1,873 @@
+// Package ghumvee implements the cross-process (CP) monitor of ReMon: a
+// ptrace-style lockstep monitor in the GHUMVEE lineage (§2, §3). It
+// supervises N diversified replicas, suspends them at monitored system
+// call entries, deep-compares their arguments, lets only the master
+// perform externally visible calls, replicates results to the slaves,
+// defers asynchronous signals to equivalent states, rejects bidirectional
+// shared memory, and arbitrates IP-MON's replication buffer resets.
+//
+// GHUMVEE can run standalone (every call monitored — the "no IP-MON"
+// baseline of Figures 3–5) or as ReMon's CP half behind IK-B.
+package ghumvee
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remon/internal/fdmap"
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/rb"
+	"remon/internal/sysdesc"
+	"remon/internal/vkernel"
+)
+
+// LockstepTimeout is the rendezvous watchdog: if a lockstep group stays
+// incomplete this long (host wall-clock) the replica set is declared
+// desynchronised. It must comfortably exceed any legitimate blocking wait
+// in the benchmarks.
+var LockstepTimeout = 10 * time.Second
+
+// Replica is one supervised variant.
+type Replica struct {
+	Index int
+	Proc  *vkernel.Process
+}
+
+// Verdict describes how a run ended from the monitor's point of view.
+type Verdict struct {
+	Diverged bool
+	Reason   string
+	// Syscall is the call at which divergence was detected (if any).
+	Syscall string
+}
+
+// Stats counts monitor activity.
+type Stats struct {
+	MonitoredCalls  uint64 // lockstep rendezvous performed
+	MasterCalls     uint64 // calls executed by master only
+	AllReplicaCalls uint64 // calls executed by every replica
+	PtraceStops     uint64 // tracer stops charged
+	BytesCompared   uint64 // cross-process argument bytes compared
+	BytesReplicated uint64 // cross-process result bytes copied
+	SignalsDeferred uint64
+	ShmRejected     uint64
+	RBResets        uint64
+	Divergences     uint64
+}
+
+// Monitor is the CP monitor instance for one replica set.
+type Monitor struct {
+	Kernel *vkernel.Kernel
+
+	mu       sync.Mutex
+	replicas []*Replica
+	byProc   map[*vkernel.Process]*Replica
+	ltids    map[*vkernel.Thread]int
+	groups   map[int]*rendezvous
+	fileMap  *fdmap.FileMap
+	shadow   *fdmap.EpollShadow
+	rbuf     *rb.Buffer
+	allowShm bool // raised while GHUMVEE itself arbitrates RB setup (§3.5)
+	diverged bool
+	verdict  Verdict
+	pending  []int // deferred signals (§2.2, §3.8)
+	stats    Stats
+}
+
+// New creates a monitor supervising the given replica processes
+// (replicas[0] is the master).
+func New(k *vkernel.Kernel, procs []*vkernel.Process) *Monitor {
+	m := &Monitor{
+		Kernel:  k,
+		byProc:  map[*vkernel.Process]*Replica{},
+		ltids:   map[*vkernel.Thread]int{},
+		groups:  map[int]*rendezvous{},
+		fileMap: fdmap.New(mem.NewSharedSegment(-1, fdmap.MapSize)),
+		shadow:  fdmap.NewEpollShadow(len(procs)),
+	}
+	for i, p := range procs {
+		r := &Replica{Index: i, Proc: p}
+		p.ReplicaIndex = i
+		m.replicas = append(m.replicas, r)
+		m.byProc[p] = r
+		p.SetSignalGate(m.gateSignal)
+	}
+	k.AddExitHandler(m)
+	return m
+}
+
+// Replicas returns the supervised replica set.
+func (m *Monitor) Replicas() []*Replica {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Replica(nil), m.replicas...)
+}
+
+// FileMap exposes the monitor-maintained descriptor metadata (§3.6).
+func (m *Monitor) FileMap() *fdmap.FileMap { return m.fileMap }
+
+// EpollShadow exposes the fd<->cookie translation table (§3.9).
+func (m *Monitor) EpollShadow() *fdmap.EpollShadow { return m.shadow }
+
+// AttachRB wires the replication buffer so the monitor can arbitrate
+// resets and raise the signals-pending flag (§3.2, §3.8).
+func (m *Monitor) AttachRB(b *rb.Buffer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rbuf = b
+}
+
+// SetAllowShm temporarily permits shared-memory calls (GHUMVEE arbitrates
+// the RB and file-map setup itself, §3.5).
+func (m *Monitor) SetAllowShm(v bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.allowShm = v
+}
+
+// RegisterThread binds a replica thread to its logical thread id. Threads
+// with equal ltids across replicas form one lockstep group.
+func (m *Monitor) RegisterThread(t *vkernel.Thread, ltid int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ltids[t] = ltid
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Verdict returns the current verdict.
+func (m *Monitor) Verdict() Verdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.verdict
+}
+
+// Diverged reports whether divergence was detected.
+func (m *Monitor) Diverged() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.diverged
+}
+
+// rendezvous is one logical thread's lockstep meeting point.
+type rendezvous struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrivals map[int]*arrival
+	round    uint64
+}
+
+type arrival struct {
+	t      *vkernel.Thread
+	c      *vkernel.Call
+	exec   func(*vkernel.Call) vkernel.Result
+	done   bool
+	runOwn bool
+	result vkernel.Result
+}
+
+func (m *Monitor) group(ltid int) *rendezvous {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[ltid]
+	if !ok {
+		g = &rendezvous{arrivals: map[int]*arrival{}}
+		g.cond = sync.NewCond(&g.mu)
+		m.groups[ltid] = g
+	}
+	return g
+}
+
+// replicaOf resolves the replica a thread belongs to.
+func (m *Monitor) replicaOf(t *vkernel.Thread) *Replica {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byProc[t.Proc]
+}
+
+func (m *Monitor) ltidOf(t *vkernel.Thread) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l, ok := m.ltids[t]; ok {
+		return l
+	}
+	return 0
+}
+
+func (m *Monitor) replicaCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.replicas)
+}
+
+// MonitorCall is the lockstep path: every replica's thread for the same
+// logical call arrives here; the last arrival acts as the monitor.
+func (m *Monitor) MonitorCall(t *vkernel.Thread, c *vkernel.Call, exec func(*vkernel.Call) vkernel.Result) vkernel.Result {
+	if m.Diverged() {
+		return vkernel.Result{Errno: vkernel.EPERM}
+	}
+	rep := m.replicaOf(t)
+	if rep == nil {
+		// Not a supervised process (monitor used standalone on a foreign
+		// thread): execute directly.
+		return exec(c)
+	}
+
+	// Syscall-entry ptrace stop (§2: tracer stops cost two context
+	// switches each).
+	t.Clock.Advance(model.CostPtraceStop)
+	m.mu.Lock()
+	m.stats.PtraceStops++
+	m.mu.Unlock()
+
+	g := m.group(m.ltidOf(t))
+	n := m.replicaCount()
+
+	g.mu.Lock()
+	a := &arrival{t: t, c: c, exec: exec}
+	g.arrivals[rep.Index] = a
+	if len(g.arrivals) < n {
+		// Wait for the rest of the lockstep group. A replica that never
+		// shows up (it was hijacked into a different syscall sequence, or
+		// wedged) trips the rendezvous watchdog — real GHUMVEE uses the
+		// same timeout-based desynchronisation detection.
+		round := g.round
+		watchdog := time.AfterFunc(LockstepTimeout, func() {
+			g.mu.Lock()
+			stale := g.round == round && g.arrivals[rep.Index] == a && !a.done
+			g.mu.Unlock()
+			if stale {
+				m.declareDivergence(c, "lockstep rendezvous timeout (replica desynchronised)")
+			}
+		})
+		defer watchdog.Stop()
+		for !a.done && !m.Diverged() {
+			g.cond.Wait()
+		}
+		if !a.done {
+			g.mu.Unlock()
+			return vkernel.Result{Errno: vkernel.EPERM}
+		}
+		result := a.result
+		runOwn := a.runOwn
+		g.mu.Unlock()
+		if runOwn {
+			result = exec(c)
+		}
+		t.Clock.Advance(model.CostPtraceStop) // syscall-exit stop
+		return result
+	}
+	// Last arrival: act as the monitor for this round.
+	arrivals := make([]*arrival, 0, n)
+	for i := 0; i < n; i++ {
+		arr, ok := g.arrivals[i]
+		if !ok {
+			g.mu.Unlock()
+			m.declareDivergence(c, "lockstep group incomplete")
+			return vkernel.Result{Errno: vkernel.EPERM}
+		}
+		arrivals = append(arrivals, arr)
+	}
+	g.arrivals = map[int]*arrival{}
+	g.round++
+	g.mu.Unlock()
+
+	m.monitorRound(arrivals)
+
+	g.mu.Lock()
+	for _, arr := range arrivals {
+		arr.done = true
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+
+	// The monitor goroutine doubles as this replica's thread.
+	result := a.result
+	if a.runOwn {
+		result = exec(c)
+	}
+	t.Clock.Advance(model.CostPtraceStop)
+	return result
+}
+
+// monitorRound performs one lockstep round: clock sync, comparison,
+// execution, replication, signal delivery.
+func (m *Monitor) monitorRound(arrivals []*arrival) {
+	master := arrivals[0]
+	c := master.c
+	d := sysdesc.Lookup(c.Num)
+
+	// Lockstep: all replicas stop until the monitor has seen all of them
+	// — their clocks meet at the latest arrival, plus the monitor's
+	// serialized handling of each replica's stop (one monitor process
+	// services N tracees in turn).
+	maxT := model.Duration(0)
+	for _, a := range arrivals {
+		if now := a.t.Clock.Now(); now > maxT {
+			maxT = now
+		}
+	}
+	maxT += model.Duration(len(arrivals)) * model.CostMonitorDispatch
+	for _, a := range arrivals {
+		a.t.Clock.SyncTo(maxT)
+	}
+
+	m.mu.Lock()
+	m.stats.MonitoredCalls++
+	m.mu.Unlock()
+
+	// Argument comparison across replicas.
+	if err := m.compareArgs(arrivals, d); err != nil {
+		m.declareDivergence(c, err.Error())
+		for _, a := range arrivals {
+			a.result = vkernel.Result{Errno: vkernel.EPERM}
+		}
+		return
+	}
+
+	// Policy interventions the CP monitor owns regardless of level.
+	if d != nil && d.Special == sysdesc.SpecShm && !m.shmAllowed() {
+		// §2.1: reject shared memory that could form unmonitored
+		// bidirectional channels.
+		m.mu.Lock()
+		m.stats.ShmRejected++
+		m.mu.Unlock()
+		for _, a := range arrivals {
+			a.result = vkernel.Result{Errno: vkernel.EPERM}
+		}
+		return
+	}
+
+	if d != nil && d.Exec == sysdesc.AllReplicas {
+		m.mu.Lock()
+		m.stats.AllReplicaCalls++
+		m.mu.Unlock()
+		for _, a := range arrivals {
+			a.runOwn = true
+		}
+		m.deliverDeferredSignals()
+		return
+	}
+
+	// Master-call: execute in the master, replicate to slaves.
+	m.mu.Lock()
+	m.stats.MasterCalls++
+	m.mu.Unlock()
+
+	if d != nil && d.Special == sysdesc.SpecEpollCtl {
+		m.recordEpollCookies(arrivals)
+	}
+
+	res := master.exec(c)
+	for _, a := range arrivals {
+		a.result = res
+	}
+
+	// Slaves' clocks ride the master's completion (lockstep: nobody
+	// proceeds before the monitor resumes them).
+	done := master.t.Clock.Now()
+	for _, a := range arrivals[1:] {
+		a.t.Clock.SyncTo(done)
+	}
+
+	if res.Ok() {
+		m.replicateResults(arrivals, d, res)
+		m.trackFDs(master, d, res)
+	}
+	m.deliverDeferredSignals()
+}
+
+func (m *Monitor) shmAllowed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allowShm
+}
+
+// compareArgs deep-compares the replicas' call arguments (the monitor's
+// equivalence check; §1 "checking their arguments for equivalence").
+func (m *Monitor) compareArgs(arrivals []*arrival, d *sysdesc.Desc) error {
+	master := arrivals[0]
+	for _, a := range arrivals[1:] {
+		if a.c.Num != master.c.Num {
+			return fmt.Errorf("replica %d invoked %s, master invoked %s",
+				m.replicaOf(a.t).Index, vkernel.SyscallName(a.c.Num), vkernel.SyscallName(master.c.Num))
+		}
+	}
+	if d == nil {
+		// Conservative: compare raw registers.
+		for _, a := range arrivals[1:] {
+			for i := 0; i < 6; i++ {
+				if a.c.Args[i] != master.c.Args[i] {
+					return fmt.Errorf("%s: raw arg%d mismatch", vkernel.SyscallName(master.c.Num), i)
+				}
+			}
+		}
+		return nil
+	}
+	for i := 0; i < d.NArgs; i++ {
+		spec := d.Args[i]
+		switch spec.Type {
+		case sysdesc.ArgInt, sysdesc.ArgFD:
+			for _, a := range arrivals[1:] {
+				a.t.Clock.Advance(model.CostMonitorCompare)
+				if a.c.Args[i] != master.c.Args[i] {
+					return fmt.Errorf("%s: arg%d %d != master %d",
+						d.Name, i, a.c.Args[i], master.c.Args[i])
+				}
+			}
+		case sysdesc.ArgPtrOpaque, sysdesc.ArgOutBuf:
+			// Diversified addresses: only NULL/non-NULL equivalence.
+			for _, a := range arrivals[1:] {
+				if (a.c.Args[i] == 0) != (master.c.Args[i] == 0) {
+					return fmt.Errorf("%s: arg%d NULL-ness differs", d.Name, i)
+				}
+			}
+		case sysdesc.ArgPath:
+			ms, err := readCString(master.t.Proc.Mem, mem.Addr(master.c.Args[i]))
+			if err != nil {
+				return fmt.Errorf("%s: master path arg%d unreadable", d.Name, i)
+			}
+			for _, a := range arrivals[1:] {
+				ss, err := readCString(a.t.Proc.Mem, mem.Addr(a.c.Args[i]))
+				if err != nil {
+					return fmt.Errorf("%s: replica path arg%d unreadable", d.Name, i)
+				}
+				m.chargeCompare(a.t, len(ms))
+				if ss != ms {
+					return fmt.Errorf("%s: path %q != master %q", d.Name, ss, ms)
+				}
+			}
+		case sysdesc.ArgInBuf, sysdesc.ArgInOutBuf:
+			size := d.InBufSize(i, master.c)
+			if size == 0 || master.c.Args[i] == 0 {
+				continue
+			}
+			// §3.9: epoll_event carries a replica-specific pointer cookie
+			// in its data field; only the events mask is comparable.
+			if d.Special == sysdesc.SpecEpollCtl && size > 8 {
+				size = 8
+			}
+			mbuf, err := master.t.Proc.Mem.ReadBytes(mem.Addr(master.c.Args[i]), size)
+			if err != nil {
+				return fmt.Errorf("%s: master buffer arg%d unreadable", d.Name, i)
+			}
+			for _, a := range arrivals[1:] {
+				sbuf, err := a.t.Proc.Mem.ReadBytes(mem.Addr(a.c.Args[i]), size)
+				if err != nil {
+					return fmt.Errorf("%s: replica buffer arg%d unreadable", d.Name, i)
+				}
+				m.chargeCompare(a.t, size)
+				for j := range mbuf {
+					if mbuf[j] != sbuf[j] {
+						return fmt.Errorf("%s: buffer arg%d differs at byte %d", d.Name, i, j)
+					}
+				}
+			}
+		case sysdesc.ArgIovec:
+			// Gather each replica's iovec contents and compare.
+			mdata, err := gatherIovec(master.t, master.c, i, spec.LenArg)
+			if err != nil {
+				return err
+			}
+			for _, a := range arrivals[1:] {
+				sdata, err := gatherIovec(a.t, a.c, i, spec.LenArg)
+				if err != nil {
+					return err
+				}
+				m.chargeCompare(a.t, len(mdata))
+				if len(mdata) != len(sdata) {
+					return fmt.Errorf("%s: iovec size differs", d.Name)
+				}
+				for j := range mdata {
+					if mdata[j] != sdata[j] {
+						return fmt.Errorf("%s: iovec content differs", d.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Monitor) chargeCompare(t *vkernel.Thread, n int) {
+	t.Clock.Advance(model.CrossCopyCost(n))
+	m.mu.Lock()
+	m.stats.BytesCompared += uint64(n)
+	m.mu.Unlock()
+}
+
+// replicateResults copies the master's output buffers into each slave's
+// memory (process_vm_writev style) and translates epoll cookies.
+func (m *Monitor) replicateResults(arrivals []*arrival, d *sysdesc.Desc, res vkernel.Result) {
+	if d == nil {
+		return
+	}
+	master := arrivals[0]
+	if d.Special == sysdesc.SpecEpollWait {
+		m.replicateEpollEvents(arrivals, res)
+		return
+	}
+	for i := 0; i < d.NArgs; i++ {
+		spec := d.Args[i]
+		if spec.Type != sysdesc.ArgOutBuf && spec.Type != sysdesc.ArgInOutBuf {
+			continue
+		}
+		if master.c.Args[i] == 0 {
+			continue
+		}
+		var payload []byte
+		if spec.Rule == sysdesc.SizeCString {
+			s, err := readCString(master.t.Proc.Mem, mem.Addr(master.c.Args[i]))
+			if err != nil {
+				continue
+			}
+			payload = append([]byte(s), 0)
+		} else {
+			size := d.OutBufSize(i, master.c, res.Val, res.Ok())
+			if size == 0 {
+				continue
+			}
+			buf, err := master.t.Proc.Mem.ReadBytes(mem.Addr(master.c.Args[i]), size)
+			if err != nil {
+				continue
+			}
+			payload = buf
+		}
+		for _, a := range arrivals[1:] {
+			if a.c.Args[i] == 0 {
+				continue
+			}
+			if err := a.t.Proc.Mem.Write(mem.Addr(a.c.Args[i]), payload); err == nil {
+				a.t.Clock.Advance(model.CrossCopyCost(len(payload)))
+				m.mu.Lock()
+				m.stats.BytesReplicated += uint64(len(payload))
+				m.mu.Unlock()
+			}
+		}
+	}
+}
+
+// trackFDs refreshes the file map after descriptor-changing calls (§3.6).
+func (m *Monitor) trackFDs(master *arrival, d *sysdesc.Desc, res vkernel.Result) {
+	if d == nil {
+		return
+	}
+	proc := master.t.Proc
+	switch {
+	case d.FDClosing:
+		m.fileMap.Clear(int(master.c.Args[0]))
+	case d.FDCreating:
+		fd := int(res.Val)
+		// dup2/dup3 return the target fd; pipe writes two fds into memory.
+		if d.Nr == vkernel.SysPipe || d.Nr == vkernel.SysPipe2 ||
+			d.Nr == vkernel.SysSocketpair {
+			// Read the fd pair from master memory.
+			addrIdx := 0
+			if d.Nr == vkernel.SysSocketpair {
+				addrIdx = 3
+			}
+			raw, err := proc.Mem.ReadBytes(mem.Addr(master.c.Args[addrIdx]), 8)
+			if err != nil {
+				return
+			}
+			fd1 := int(uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24)
+			fd2 := int(uint32(raw[4]) | uint32(raw[5])<<8 | uint32(raw[6])<<16 | uint32(raw[7])<<24)
+			m.recordFD(proc, fd1)
+			m.recordFD(proc, fd2)
+			return
+		}
+		m.recordFD(proc, fd)
+	case d.Nr == vkernel.SysFcntl && master.c.Args[1] == vkernel.FSetFL:
+		typ, _, open := m.fileMap.Lookup(int(master.c.Args[0]))
+		if open {
+			m.fileMap.Set(int(master.c.Args[0]), typ, master.c.Args[2]&vkernel.ONonblock != 0)
+		}
+	case d.Nr == vkernel.SysIoctl && master.c.Args[1] == vkernel.FIONBIO:
+		typ, _, open := m.fileMap.Lookup(int(master.c.Args[0]))
+		if open {
+			m.fileMap.Set(int(master.c.Args[0]), typ, master.c.Args[2] != 0)
+		}
+	case d.Nr == vkernel.SysListen:
+		// The socket became a listener; type byte stays "socket".
+		m.recordFD(proc, int(master.c.Args[0]))
+	}
+}
+
+func (m *Monitor) recordFD(proc *vkernel.Process, fd int) {
+	f, errno := proc.FDs().Get(fd)
+	if errno != vkernel.OK {
+		return
+	}
+	special := f.Kind == vkernel.FDSpecial
+	m.fileMap.Set(fd, fdmap.TypeFromKind(f.Kind, special), f.Nonblock())
+}
+
+// recordEpollCookies reads each replica's epoll_event struct and registers
+// the fd<->cookie pair in the shadow map (§3.9).
+func (m *Monitor) recordEpollCookies(arrivals []*arrival) {
+	for _, a := range arrivals {
+		rep := m.replicaOf(a.t)
+		op := int(a.c.Args[1])
+		fd := int(a.c.Args[2])
+		switch op {
+		case vkernel.EpollCtlAdd, vkernel.EpollCtlMod:
+			raw, err := a.t.Proc.Mem.ReadBytes(mem.Addr(a.c.Args[3]), vkernel.EpollEventSize)
+			if err != nil {
+				continue
+			}
+			cookie := uint64(raw[8]) | uint64(raw[9])<<8 | uint64(raw[10])<<16 |
+				uint64(raw[11])<<24 | uint64(raw[12])<<32 | uint64(raw[13])<<40 |
+				uint64(raw[14])<<48 | uint64(raw[15])<<56
+			m.shadow.Register(rep.Index, fd, cookie)
+		case vkernel.EpollCtlDel:
+			m.shadow.Unregister(rep.Index, fd)
+		}
+	}
+}
+
+// replicateEpollEvents translates the master's returned events for each
+// slave: master cookie -> fd -> slave cookie (§3.9).
+func (m *Monitor) replicateEpollEvents(arrivals []*arrival, res vkernel.Result) {
+	master := arrivals[0]
+	n := int(res.Val)
+	if n <= 0 {
+		return
+	}
+	raw, err := master.t.Proc.Mem.ReadBytes(mem.Addr(master.c.Args[1]), n*vkernel.EpollEventSize)
+	if err != nil {
+		return
+	}
+	for _, a := range arrivals[1:] {
+		rep := m.replicaOf(a.t)
+		out := make([]byte, len(raw))
+		copy(out, raw)
+		for e := 0; e < n; e++ {
+			off := e*vkernel.EpollEventSize + 8
+			cookie := uint64(raw[off]) | uint64(raw[off+1])<<8 | uint64(raw[off+2])<<16 |
+				uint64(raw[off+3])<<24 | uint64(raw[off+4])<<32 | uint64(raw[off+5])<<40 |
+				uint64(raw[off+6])<<48 | uint64(raw[off+7])<<56
+			if fd, ok := m.shadow.FDForCookie(0, cookie); ok {
+				if sc, ok := m.shadow.CookieForFD(rep.Index, fd); ok {
+					out[off] = byte(sc)
+					out[off+1] = byte(sc >> 8)
+					out[off+2] = byte(sc >> 16)
+					out[off+3] = byte(sc >> 24)
+					out[off+4] = byte(sc >> 32)
+					out[off+5] = byte(sc >> 40)
+					out[off+6] = byte(sc >> 48)
+					out[off+7] = byte(sc >> 56)
+				}
+			}
+		}
+		if err := a.t.Proc.Mem.Write(mem.Addr(a.c.Args[1]), out); err == nil {
+			a.t.Clock.Advance(model.CrossCopyCost(len(out)))
+			m.mu.Lock()
+			m.stats.BytesReplicated += uint64(len(out))
+			m.mu.Unlock()
+		}
+	}
+}
+
+// gateSignal is the kernel's signal delivery gate: the monitor discards
+// the initial delivery and re-initiates it at the next equivalent state
+// (§2.2). It also raises the RB signals-pending flag so a master running
+// ahead through IP-MON re-enters monitored execution (§3.8).
+func (m *Monitor) gateSignal(p *vkernel.Process, sig int) bool {
+	m.mu.Lock()
+	rep := m.byProc[p]
+	if rep == nil {
+		m.mu.Unlock()
+		return false
+	}
+	if rep.Index != 0 {
+		// Outside-world signals target the master; a signal directed at a
+		// slave is simply absorbed and re-delivered consistently.
+		m.mu.Unlock()
+		return true
+	}
+	m.pending = append(m.pending, sig)
+	m.stats.SignalsDeferred++
+	rbuf := m.rbuf
+	m.mu.Unlock()
+	if rbuf != nil {
+		rbuf.SetSignalsPending(true)
+	}
+	return true
+}
+
+// deliverDeferredSignals re-initiates deferred signals at a rendezvous —
+// the point where all replicas rest in equivalent states.
+func (m *Monitor) deliverDeferredSignals() {
+	m.mu.Lock()
+	if len(m.pending) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	sigs := m.pending
+	m.pending = nil
+	replicas := append([]*Replica(nil), m.replicas...)
+	rbuf := m.rbuf
+	m.mu.Unlock()
+	if rbuf != nil {
+		rbuf.SetSignalsPending(false)
+	}
+	for _, sig := range sigs {
+		for _, r := range replicas {
+			r.Proc.QueueSignalDirect(sig)
+		}
+	}
+}
+
+// PendingSignals reports how many deferred signals await delivery.
+func (m *Monitor) PendingSignals() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// declareDivergence records the verdict and tears the replica set down —
+// "in case of divergence, execution is terminated to limit the effects of
+// an attack" (§1).
+func (m *Monitor) declareDivergence(c *vkernel.Call, reason string) {
+	m.mu.Lock()
+	if m.diverged {
+		m.mu.Unlock()
+		return
+	}
+	m.diverged = true
+	m.stats.Divergences++
+	name := ""
+	if c != nil {
+		name = vkernel.SyscallName(c.Num)
+	}
+	m.verdict = Verdict{Diverged: true, Reason: reason, Syscall: name}
+	replicas := append([]*Replica(nil), m.replicas...)
+	groups := make([]*rendezvous, 0, len(m.groups))
+	for _, g := range m.groups {
+		groups = append(groups, g)
+	}
+	m.mu.Unlock()
+
+	for _, g := range groups {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+	for _, r := range replicas {
+		for _, t := range r.Proc.Threads() {
+			t.Crash("mvee shutdown: " + reason)
+		}
+	}
+}
+
+// ThreadExited implements vkernel.ExitHandler: an abnormal replica exit —
+// including IP-MON's intentional crash on argument mismatch (§3.3) — is a
+// divergence signal.
+func (m *Monitor) ThreadExited(t *vkernel.Thread, code int, crashed bool) {
+	if !crashed {
+		m.wakeGroupsForExit()
+		return
+	}
+	m.mu.Lock()
+	rep := m.byProc[t.Proc]
+	already := m.diverged
+	m.mu.Unlock()
+	if rep == nil || already {
+		return
+	}
+	m.declareDivergence(t.LastSyscall(), fmt.Sprintf("replica %d crashed (ptrace-stop SIGSEGV)", rep.Index))
+}
+
+// wakeGroupsForExit unblocks rendezvous waiters when a replica thread
+// exits normally, so surviving threads don't deadlock; the incomplete
+// group is then treated as divergence by the next arrival if counts no
+// longer match. Normal exits go through the exit syscall's own
+// rendezvous, so in healthy runs nobody is waiting here.
+func (m *Monitor) wakeGroupsForExit() {
+	m.mu.Lock()
+	groups := make([]*rendezvous, 0, len(m.groups))
+	for _, g := range m.groups {
+		groups = append(groups, g)
+	}
+	m.mu.Unlock()
+	for _, g := range groups {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// ApproveRegistration implements ikb.RegistrationApprover (§3.5):
+// GHUMVEE may veto or shrink IP-MON's unmonitored-call set. The default
+// policy accepts any mask from a healthy replica set.
+func (m *Monitor) ApproveRegistration(p *vkernel.Process, mask *vkernel.SyscallMask) bool {
+	return !m.Diverged()
+}
+
+// ResetPartition implements rb.Arbiter (§3.2): wait until every slave has
+// drained the partition, then reset it.
+func (m *Monitor) ResetPartition(b *rb.Buffer, part int) {
+	for !b.Drained(part) && !m.Diverged() {
+		time.Sleep(20 * time.Microsecond)
+	}
+	b.DoReset(part)
+	m.mu.Lock()
+	m.stats.RBResets++
+	m.mu.Unlock()
+}
+
+// readCString reads a NUL-terminated string (max 4 KiB) from as.
+func readCString(as *mem.AddressSpace, a mem.Addr) (string, error) {
+	var out []byte
+	var one [1]byte
+	for len(out) < 4096 {
+		if err := as.Read(a+mem.Addr(len(out)), one[:]); err != nil {
+			return "", err
+		}
+		if one[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, one[0])
+	}
+	return string(out), nil
+}
+
+// gatherIovec concatenates the buffer contents described by an iovec
+// argument.
+func gatherIovec(t *vkernel.Thread, c *vkernel.Call, argIdx, cntIdx int) ([]byte, error) {
+	cnt := 1
+	if cntIdx >= 0 {
+		cnt = int(c.Args[cntIdx])
+	}
+	if cnt < 0 || cnt > 1024 {
+		return nil, fmt.Errorf("ghumvee: iovec count %d out of range", cnt)
+	}
+	raw, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Args[argIdx]), cnt*16)
+	if err != nil {
+		return nil, fmt.Errorf("ghumvee: iovec unreadable: %w", err)
+	}
+	var out []byte
+	for i := 0; i < cnt; i++ {
+		base := uint64(raw[i*16]) | uint64(raw[i*16+1])<<8 | uint64(raw[i*16+2])<<16 |
+			uint64(raw[i*16+3])<<24 | uint64(raw[i*16+4])<<32 | uint64(raw[i*16+5])<<40 |
+			uint64(raw[i*16+6])<<48 | uint64(raw[i*16+7])<<56
+		length := uint64(raw[i*16+8]) | uint64(raw[i*16+9])<<8 | uint64(raw[i*16+10])<<16 |
+			uint64(raw[i*16+11])<<24
+		if length > 1<<22 {
+			length = 1 << 22
+		}
+		buf, err := t.Proc.Mem.ReadBytes(mem.Addr(base), int(length))
+		if err != nil {
+			return nil, fmt.Errorf("ghumvee: iovec buffer unreadable: %w", err)
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+// Package ikb implements IK-B, ReMon's in-kernel broker (§3): a small
+// kernel extension that intercepts every system call of a supervised
+// replica and routes it either to the in-process monitor (IP-MON, for
+// registered unmonitored calls) or to the cross-process monitor (GHUMVEE,
+// via the ptrace path).
+//
+// Security mechanisms modelled faithfully (§3.1):
+//
+//   - One-time authorization tokens: a random 64-bit value minted per
+//     forwarded call, held kernel-side, passed to IP-MON "in a register"
+//     (a Context field that never touches replica memory). The call can
+//     only complete unmonitored if it re-enters the kernel with the token
+//     intact, from within IP-MON's entry point.
+//   - Revocation: if the first system call after a token grant does not
+//     originate from inside IP-MON, or the token does not match, IK-B
+//     revokes it and forces the ptrace path.
+//   - The RB pointer is likewise handed over per-call and never stored in
+//     user-accessible memory.
+//   - Registration (§3.5): IK-B forwards nothing until IP-MON registers
+//     its unmonitored-call mask via the new ipmon_register syscall, and
+//     GHUMVEE gets to veto or shrink the mask.
+package ikb
+
+import (
+	"sync"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/vkernel"
+)
+
+// MonitorBackend is the CP monitor the broker forwards monitored calls to.
+type MonitorBackend interface {
+	MonitorCall(t *vkernel.Thread, c *vkernel.Call, exec func(*vkernel.Call) vkernel.Result) vkernel.Result
+}
+
+// RegistrationApprover lets GHUMVEE veto or modify an IP-MON registration
+// (§3.5: "GHUMVEE can modify this set of system calls, or potentially
+// prevent the registration altogether").
+type RegistrationApprover interface {
+	ApproveRegistration(p *vkernel.Process, mask *vkernel.SyscallMask) bool
+}
+
+// EntryPoint is IP-MON's registered system call entry point. IK-B invokes
+// it with a Context carrying the one-time token and the RB pointer.
+type EntryPoint func(ctx *Context) vkernel.Result
+
+// Registration is one replica process's IP-MON registration.
+type Registration struct {
+	Mask   vkernel.SyscallMask
+	Entry  EntryPoint
+	RBBase mem.Addr // the replica's RB mapping (kernel-held, §3.1)
+}
+
+// Stats counts broker activity.
+type Stats struct {
+	Intercepted     uint64
+	RoutedIPMon     uint64
+	RoutedMonitor   uint64
+	TokensMinted    uint64
+	TokenViolations uint64
+	TokensRevoked   uint64
+	Registrations   uint64
+}
+
+// Broker is the IK-B instance; it implements vkernel.Interceptor.
+type Broker struct {
+	kernel  *vkernel.Kernel
+	monitor MonitorBackend
+
+	mu         sync.Mutex
+	approver   RegistrationApprover
+	regs       map[*vkernel.Process]*Registration
+	pendingReg map[*vkernel.Process]*Registration
+	tokens     map[*vkernel.Thread]uint64
+	stats      Stats
+}
+
+// New creates a broker backed by the given CP monitor.
+func New(k *vkernel.Kernel, monitor MonitorBackend) *Broker {
+	return &Broker{
+		kernel:     k,
+		monitor:    monitor,
+		regs:       map[*vkernel.Process]*Registration{},
+		pendingReg: map[*vkernel.Process]*Registration{},
+		tokens:     map[*vkernel.Thread]uint64{},
+	}
+}
+
+// SetApprover installs GHUMVEE's registration veto hook.
+func (b *Broker) SetApprover(a RegistrationApprover) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.approver = a
+}
+
+// Stats snapshots the counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// StageRegistration prepares a registration that the process will commit
+// by invoking the ipmon_register syscall. (In the real kernel the mask,
+// RB pointer and entry point travel as syscall arguments; the simulation
+// stages the Go-level values and lets the syscall carry sizes for the
+// monitors to compare.)
+func (b *Broker) StageRegistration(p *vkernel.Process, reg *Registration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pendingReg[p] = reg
+}
+
+// UpdateRBBase swaps the kernel-held RB pointer for p after an RB
+// migration (§4's periodic-move extension): future forwards carry the new
+// address.
+func (b *Broker) UpdateRBBase(p *vkernel.Process, base mem.Addr) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if reg := b.regs[p]; reg != nil {
+		reg.RBBase = base
+	}
+}
+
+// Registered reports whether p has an active IP-MON registration.
+func (b *Broker) Registered(p *vkernel.Process) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.regs[p] != nil
+}
+
+// Context is the per-forwarded-call capability IK-B hands to IP-MON: the
+// authorization token and RB pointer live here — kernel state, never
+// process memory.
+type Context struct {
+	Broker *Broker
+	Thread *vkernel.Thread
+	Call   *vkernel.Call
+	Token  uint64
+	RBBase mem.Addr
+
+	exec func(*vkernel.Call) vkernel.Result
+	used bool
+}
+
+// Intercept implements vkernel.Interceptor — step 1 of Figure 2.
+func (b *Broker) Intercept(t *vkernel.Thread, c *vkernel.Call, exec func(*vkernel.Call) vkernel.Result) vkernel.Result {
+	b.mu.Lock()
+	b.stats.Intercepted++
+
+	// An outstanding token whose follow-up call does not originate from
+	// inside IP-MON is revoked (§3.1).
+	if _, ok := b.tokens[t]; ok && !t.InIPMon() {
+		delete(b.tokens, t)
+		b.stats.TokensRevoked++
+		b.stats.TokenViolations++
+	}
+
+	if c.Num == vkernel.SysIPMonRegister {
+		reg := b.pendingReg[t.Proc]
+		delete(b.pendingReg, t.Proc)
+		approver := b.approver
+		monitor := b.monitor
+		b.mu.Unlock()
+		return b.handleRegistration(t, c, reg, approver, monitor, exec)
+	}
+
+	reg := b.regs[t.Proc]
+	if reg != nil && reg.Mask.Has(c.Num) {
+		// Step 2: forward to IP-MON with a fresh one-time token.
+		token := b.kernel.Rand()
+		b.tokens[t] = token
+		b.stats.RoutedIPMon++
+		b.stats.TokensMinted++
+		entry := reg.Entry
+		rbBase := reg.RBBase
+		b.mu.Unlock()
+		t.Clock.Advance(model.CostBrokerRoute)
+		return entry(&Context{Broker: b, Thread: t, Call: c, Token: token, RBBase: rbBase, exec: exec})
+	}
+
+	// Step 2': ptrace path to GHUMVEE.
+	b.stats.RoutedMonitor++
+	b.mu.Unlock()
+	t.Clock.Advance(model.CostBrokerRoute)
+	return b.monitor.MonitorCall(t, c, exec)
+}
+
+// handleRegistration reports the registration to GHUMVEE, applies the
+// veto, and activates routing (§3.5).
+func (b *Broker) handleRegistration(t *vkernel.Thread, c *vkernel.Call, reg *Registration,
+	approver RegistrationApprover, monitor MonitorBackend, exec func(*vkernel.Call) vkernel.Result) vkernel.Result {
+	if reg == nil {
+		return vkernel.Result{Errno: vkernel.EINVAL}
+	}
+	// The registration call itself is always reported to GHUMVEE and
+	// lockstepped like any monitored call.
+	res := monitor.MonitorCall(t, c, func(cc *vkernel.Call) vkernel.Result {
+		return vkernel.Result{}
+	})
+	if !res.Ok() {
+		return res
+	}
+	if approver != nil && !approver.ApproveRegistration(t.Proc, &reg.Mask) {
+		return vkernel.Result{Errno: vkernel.EPERM}
+	}
+	if reg.RBBase == 0 {
+		// "The RB pointer must be valid and must point to a writable
+		// region" (§3.5).
+		return vkernel.Result{Errno: vkernel.EFAULT}
+	}
+	if r := t.Proc.Mem.RegionAt(reg.RBBase); r == nil || r.Prot&mem.ProtWrite == 0 {
+		return vkernel.Result{Errno: vkernel.EFAULT}
+	}
+	b.mu.Lock()
+	b.regs[t.Proc] = reg
+	b.stats.Registrations++
+	b.mu.Unlock()
+	return vkernel.Result{}
+}
+
+// CompleteWithToken is step 3/4 of Figure 2: IP-MON restarts the call
+// with the token intact; the IK-B verifier checks it and, if valid,
+// completes the (possibly modified) call. An invalid token, a consumed
+// context, or a call from outside IP-MON's entry point revokes the token
+// and forces the ptrace path (step 4').
+func (ctx *Context) CompleteWithToken(token uint64, c *vkernel.Call) vkernel.Result {
+	b := ctx.Broker
+	t := ctx.Thread
+	t.Clock.Advance(model.CostTokenCheck)
+
+	b.mu.Lock()
+	valid := !ctx.used && b.tokens[t] == token && token == ctx.Token && t.InIPMon()
+	delete(b.tokens, t)
+	if !valid {
+		b.stats.TokenViolations++
+		b.stats.TokensRevoked++
+		b.stats.RoutedMonitor++
+		ctx.used = true
+		b.mu.Unlock()
+		return b.monitor.MonitorCall(t, ctx.Call, ctx.exec)
+	}
+	ctx.used = true
+	b.mu.Unlock()
+	return ctx.exec(c)
+}
+
+// AbortCall drops the token without executing the original call — the
+// slave side of MASTERCALL, where the replica consumes results from the
+// RB instead of entering the kernel (§3.3, "the slave replicas to abort
+// the original call").
+func (ctx *Context) AbortCall() {
+	b := ctx.Broker
+	b.mu.Lock()
+	delete(b.tokens, ctx.Thread)
+	ctx.used = true
+	b.mu.Unlock()
+}
+
+// ForwardToMonitor destroys the token and restarts the original call as a
+// monitored call (step 4': MAYBE_CHECKED said "monitor me", the RB was
+// full, or the signals-pending flag is up).
+func (ctx *Context) ForwardToMonitor() vkernel.Result {
+	b := ctx.Broker
+	t := ctx.Thread
+	b.mu.Lock()
+	delete(b.tokens, t)
+	b.stats.TokensRevoked++
+	b.stats.RoutedMonitor++
+	ctx.used = true
+	b.mu.Unlock()
+	return b.monitor.MonitorCall(t, ctx.Call, ctx.exec)
+}

@@ -1,0 +1,310 @@
+package ikb
+
+import (
+	"sync"
+	"testing"
+
+	"remon/internal/mem"
+	"remon/internal/vkernel"
+)
+
+// fakeMonitor records the calls forwarded to the CP path.
+type fakeMonitor struct {
+	mu    sync.Mutex
+	calls []int
+}
+
+func (f *fakeMonitor) MonitorCall(t *vkernel.Thread, c *vkernel.Call, exec func(*vkernel.Call) vkernel.Result) vkernel.Result {
+	f.mu.Lock()
+	f.calls = append(f.calls, c.Num)
+	f.mu.Unlock()
+	return exec(c)
+}
+
+func (f *fakeMonitor) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+type brokerEnv struct {
+	k  *vkernel.Kernel
+	p  *vkernel.Process
+	t  *vkernel.Thread
+	b  *Broker
+	fm *fakeMonitor
+	rb mem.Addr
+}
+
+func newBrokerEnv(t *testing.T) *brokerEnv {
+	t.Helper()
+	k := vkernel.New(nil)
+	p := k.NewProcess("replica", 1, 0)
+	th := p.NewThread(nil)
+	fm := &fakeMonitor{}
+	b := New(k, fm)
+	k.SetInterceptor(b)
+	r, err := p.Mem.Map(4096, mem.ProtRead|mem.ProtWrite, "rb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &brokerEnv{k: k, p: p, t: th, b: b, fm: fm, rb: r.Start}
+}
+
+// register stages and commits a registration whose entry point is fn.
+func (e *brokerEnv) register(t *testing.T, mask vkernel.SyscallMask, fn EntryPoint) {
+	t.Helper()
+	e.b.StageRegistration(e.p, &Registration{Mask: mask, Entry: fn, RBBase: e.rb})
+	r := e.t.Syscall(vkernel.SysIPMonRegister, 1, 2, 3)
+	if !r.Ok() {
+		t.Fatalf("ipmon_register: %v", r.Errno)
+	}
+}
+
+func TestUnregisteredRoutesToMonitor(t *testing.T) {
+	e := newBrokerEnv(t)
+	r := e.t.Syscall(vkernel.SysGetpid)
+	if !r.Ok() {
+		t.Fatalf("getpid: %v", r.Errno)
+	}
+	if e.fm.count() != 1 {
+		t.Fatalf("monitor saw %d calls, want 1", e.fm.count())
+	}
+	st := e.b.Stats()
+	if st.RoutedMonitor != 1 || st.RoutedIPMon != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRegistrationRequiredStaging(t *testing.T) {
+	e := newBrokerEnv(t)
+	// Registration syscall with nothing staged fails.
+	if r := e.t.Syscall(vkernel.SysIPMonRegister, 0, 0, 0); r.Errno != vkernel.EINVAL {
+		t.Fatalf("unstaged registration = %v, want EINVAL", r.Errno)
+	}
+}
+
+func TestRegistrationRBValidation(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	// NULL RB pointer.
+	e.b.StageRegistration(e.p, &Registration{Mask: mask, Entry: func(ctx *Context) vkernel.Result { return vkernel.Result{} }})
+	if r := e.t.Syscall(vkernel.SysIPMonRegister, 1, 0, 0); r.Errno != vkernel.EFAULT {
+		t.Fatalf("NULL RB registration = %v, want EFAULT", r.Errno)
+	}
+	// Read-only RB region.
+	ro, err := e.p.Mem.Map(4096, mem.ProtRead, "ro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.b.StageRegistration(e.p, &Registration{
+		Mask: mask, RBBase: ro.Start,
+		Entry: func(ctx *Context) vkernel.Result { return vkernel.Result{} },
+	})
+	if r := e.t.Syscall(vkernel.SysIPMonRegister, 1, 0, 0); r.Errno != vkernel.EFAULT {
+		t.Fatalf("read-only RB registration = %v, want EFAULT", r.Errno)
+	}
+}
+
+type denyApprover struct{}
+
+func (denyApprover) ApproveRegistration(p *vkernel.Process, mask *vkernel.SyscallMask) bool {
+	return false
+}
+
+func TestRegistrationVeto(t *testing.T) {
+	e := newBrokerEnv(t)
+	e.b.SetApprover(denyApprover{})
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	e.b.StageRegistration(e.p, &Registration{
+		Mask: mask, RBBase: e.rb,
+		Entry: func(ctx *Context) vkernel.Result { return vkernel.Result{} },
+	})
+	if r := e.t.Syscall(vkernel.SysIPMonRegister, 1, 0, 0); r.Errno != vkernel.EPERM {
+		t.Fatalf("vetoed registration = %v, want EPERM", r.Errno)
+	}
+	if e.b.Registered(e.p) {
+		t.Fatal("vetoed registration took effect")
+	}
+}
+
+func TestMaskedCallForwardedWithToken(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	var gotToken uint64
+	var gotRB mem.Addr
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		gotToken = ctx.Token
+		gotRB = ctx.RBBase
+		ctx.Thread.SetInIPMon(true)
+		defer ctx.Thread.SetInIPMon(false)
+		return ctx.CompleteWithToken(ctx.Token, ctx.Call)
+	})
+	r := e.t.Syscall(vkernel.SysGetpid)
+	if !r.Ok() || r.Val != uint64(e.p.PID) {
+		t.Fatalf("getpid via IP-MON = %d, %v", r.Val, r.Errno)
+	}
+	if gotToken == 0 {
+		t.Fatal("no token minted")
+	}
+	if gotRB != e.rb {
+		t.Fatalf("RB pointer = %#x, want %#x", uint64(gotRB), uint64(e.rb))
+	}
+	st := e.b.Stats()
+	if st.RoutedIPMon != 1 || st.TokenViolations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Unmasked call still goes to the monitor.
+	monBefore := e.fm.count()
+	e.t.Syscall(vkernel.SysGettid)
+	if e.fm.count() != monBefore+1 {
+		t.Fatal("unmasked call not routed to monitor")
+	}
+}
+
+func TestTokenSingleUse(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	var ctx0 *Context
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		ctx0 = ctx
+		ctx.Thread.SetInIPMon(true)
+		defer ctx.Thread.SetInIPMon(false)
+		return ctx.CompleteWithToken(ctx.Token, ctx.Call)
+	})
+	e.t.Syscall(vkernel.SysGetpid)
+	// Replaying the consumed context must be rejected and routed to the
+	// monitor.
+	before := e.b.Stats().TokenViolations
+	e.t.SetInIPMon(true)
+	ctx0.CompleteWithToken(ctx0.Token, ctx0.Call)
+	e.t.SetInIPMon(false)
+	if e.b.Stats().TokenViolations != before+1 {
+		t.Fatal("token replay not flagged")
+	}
+}
+
+func TestWrongTokenForcedToMonitor(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		ctx.Thread.SetInIPMon(true)
+		defer ctx.Thread.SetInIPMon(false)
+		return ctx.CompleteWithToken(ctx.Token^1, ctx.Call) // flipped bit
+	})
+	monBefore := e.fm.count()
+	r := e.t.Syscall(vkernel.SysGetpid)
+	if !r.Ok() {
+		t.Fatalf("call failed entirely: %v", r.Errno)
+	}
+	if e.fm.count() != monBefore+1 {
+		t.Fatal("wrong token did not force the ptrace path")
+	}
+	if e.b.Stats().TokenViolations == 0 {
+		t.Fatal("violation not recorded")
+	}
+}
+
+func TestCompleteOutsideIPMonRejected(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		// Deliberately do NOT set InIPMon: completion must be treated as
+		// coming from outside the entry point.
+		return ctx.CompleteWithToken(ctx.Token, ctx.Call)
+	})
+	e.t.Syscall(vkernel.SysGetpid)
+	if e.b.Stats().TokenViolations == 0 {
+		t.Fatal("completion from outside IP-MON accepted")
+	}
+}
+
+func TestOutstandingTokenRevokedOnForeignSyscall(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		// IP-MON "forgets" to complete or abort: token left outstanding.
+		return vkernel.Result{}
+	})
+	e.t.Syscall(vkernel.SysGetpid) // leaves a dangling token
+	before := e.b.Stats().TokensRevoked
+	e.t.Syscall(vkernel.SysGettid) // next call not from IP-MON
+	st := e.b.Stats()
+	if st.TokensRevoked != before+1 || st.TokenViolations == 0 {
+		t.Fatalf("dangling token not revoked: %+v", st)
+	}
+}
+
+func TestAbortCallDropsToken(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		ctx.Thread.SetInIPMon(true)
+		defer ctx.Thread.SetInIPMon(false)
+		ctx.AbortCall()
+		return vkernel.Result{Val: 12345}
+	})
+	r := e.t.Syscall(vkernel.SysGetpid)
+	if r.Val != 12345 {
+		t.Fatalf("aborted call result = %d", r.Val)
+	}
+	// No violation on the next call: the token was cleanly dropped.
+	e.t.Syscall(vkernel.SysGettid)
+	if e.b.Stats().TokenViolations != 0 {
+		t.Fatal("clean abort flagged as violation")
+	}
+}
+
+func TestForwardToMonitorRevokes(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		ctx.Thread.SetInIPMon(true)
+		defer ctx.Thread.SetInIPMon(false)
+		return ctx.ForwardToMonitor() // MAYBE_CHECKED said "monitor me"
+	})
+	monBefore := e.fm.count()
+	r := e.t.Syscall(vkernel.SysGetpid)
+	if !r.Ok() {
+		t.Fatalf("forwarded call failed: %v", r.Errno)
+	}
+	if e.fm.count() != monBefore+1 {
+		t.Fatal("ForwardToMonitor did not reach the monitor")
+	}
+	if e.b.Stats().TokensRevoked == 0 {
+		t.Fatal("token not destroyed on forward")
+	}
+	// And the follow-up is clean.
+	e.t.Syscall(vkernel.SysGettid)
+	if e.b.Stats().TokenViolations != 0 {
+		t.Fatal("forward flagged as violation")
+	}
+}
+
+func TestTokensUnpredictable(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	seen := map[uint64]bool{}
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		seen[ctx.Token] = true
+		ctx.Thread.SetInIPMon(true)
+		defer ctx.Thread.SetInIPMon(false)
+		return ctx.CompleteWithToken(ctx.Token, ctx.Call)
+	})
+	for i := 0; i < 100; i++ {
+		e.t.Syscall(vkernel.SysGetpid)
+	}
+	if len(seen) != 100 {
+		t.Fatalf("only %d distinct tokens over 100 calls", len(seen))
+	}
+}

@@ -1,0 +1,456 @@
+// Package ipmon implements IP-MON, ReMon's in-process monitor (§3): the
+// component loaded into every replica that replicates unmonitored system
+// calls through the shared replication buffer without cross-process
+// monitoring.
+//
+// Each supported syscall has a four-phase handler in the style of the
+// paper's C macros (Listing 1):
+//
+//	MAYBE_CHECKED — decide, against the active relaxation policy and the
+//	                file map, whether the call must be forwarded to
+//	                GHUMVEE after all;
+//	CALCSIZE      — compute the worst-case replication buffer space;
+//	PRECALL       — master: log call number, arguments and deep-copied
+//	                input buffers into the RB; slave: compare its own
+//	                arguments against the master's record (divergence =>
+//	                intentional crash);
+//	POSTCALL      — master: publish results; slave: wait (spin or futex)
+//	                and copy the results into its own buffers.
+//
+// Most handlers are generated from the sysdesc table; the interesting ones
+// (read, write, epoll_ctl, epoll_wait) are hand-written below in the shape
+// of Listing 1.
+package ipmon
+
+import (
+	"remon/internal/fdmap"
+	"remon/internal/mem"
+	"remon/internal/policy"
+	"remon/internal/sysdesc"
+	"remon/internal/vkernel"
+)
+
+// Handler is the four-phase description of one fast-path syscall.
+type Handler struct {
+	Nr   int
+	Desc *sysdesc.Desc
+
+	// MaybeChecked reports whether the call must be monitored by GHUMVEE
+	// under the active policy (true = forward). nil = never checked.
+	MaybeChecked func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) bool
+
+	// PreSide runs in every replica before execution/abort — used by
+	// epoll_ctl to register this replica's cookie in the shadow map.
+	PreSide func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call)
+
+	// GatherIn deep-copies the input buffers for the RB (master) or for
+	// comparison (slave).
+	GatherIn func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) []byte
+
+	// OutCap reserves RB space for results (CALCSIZE).
+	OutCap func(ip *IPMon, c *vkernel.Call) int
+
+	// GatherOut reads the master's output buffers after the call.
+	GatherOut func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.Result) []byte
+
+	// ApplyOut writes the replicated output into the slave's own buffers.
+	ApplyOut func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, out []byte, r vkernel.Result)
+
+	// RegMask selects the scalar arguments compared between master and
+	// slave (bit i = compare Args[i]).
+	RegMask uint8
+
+	// MasterOnly: only the master executes (MASTERCALL); slaves abort and
+	// consume replicated results.
+	MasterOnly bool
+}
+
+// frame encoding for multi-buffer payloads: u32 length + bytes, repeated
+// in argument order.
+func appendFrame(dst []byte, b []byte) []byte {
+	n := len(b)
+	dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	return append(dst, b...)
+}
+
+func nextFrame(src []byte) (frame, rest []byte, ok bool) {
+	if len(src) < 4 {
+		return nil, nil, false
+	}
+	n := int(uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16 | uint32(src[3])<<24)
+	if n < 0 || len(src) < 4+n {
+		return nil, nil, false
+	}
+	return src[4 : 4+n], src[4+n:], true
+}
+
+// genericMaybeChecked implements the policy decision of MAYBE_CHECKED:
+// unconditional grants pass, conditional grants consult the file map, and
+// the temporal policy may stochastically exempt what spatial monitoring
+// would catch (§3.4).
+func genericMaybeChecked(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) bool {
+	// §3.1: operations on special files (/proc/<pid>/maps and friends) are
+	// forcibly forwarded to GHUMVEE so their content can be filtered —
+	// even when the call itself is unconditionally exempt.
+	if d := sysdesc.Lookup(c.Num); d != nil && d.NArgs > 0 && d.Args[0].Type == sysdesc.ArgFD {
+		if typ, _, open := ip.FileMap.Lookup(int(c.Arg(0))); open && typ == fdmap.TypeSpecial {
+			return true
+		}
+	}
+	switch ip.Policy.Verdict(c.Num) {
+	case policy.Unmonitored:
+		return false
+	case policy.Conditional:
+		var class policy.FDClass = policy.FDUnknown
+		if d := sysdesc.Lookup(c.Num); d != nil && d.NArgs > 0 && d.Args[0].Type == sysdesc.ArgFD {
+			class = ip.FileMap.Class(int(c.Arg(0)))
+		} else if c.Num == vkernel.SysFutex {
+			class = policy.FDUnknown
+		}
+		if ip.Policy.CheckConditional(c.Num, class) {
+			return false
+		}
+	}
+	if ip.Temporal != nil {
+		ltid := 0
+		if ip.LtidOf != nil {
+			ltid = ip.LtidOf(t)
+		}
+		if ip.Temporal.Exempt(ltid, c.Num) {
+			ip.bumpTemporal()
+			return false
+		}
+	}
+	return true
+}
+
+// genericGatherIn walks the descriptor and deep-copies input buffers.
+func genericGatherIn(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) []byte {
+	d := sysdesc.Lookup(c.Num)
+	if d == nil {
+		return nil
+	}
+	var out []byte
+	for i := 0; i < d.NArgs; i++ {
+		switch d.Args[i].Type {
+		case sysdesc.ArgPath:
+			s, err := readCString(t.Proc.Mem, mem.Addr(c.Arg(i)))
+			if err != nil {
+				out = appendFrame(out, nil)
+				continue
+			}
+			out = appendFrame(out, append([]byte(s), 0))
+		case sysdesc.ArgInBuf, sysdesc.ArgInOutBuf:
+			size := d.InBufSize(i, c)
+			if size == 0 || c.Arg(i) == 0 {
+				out = appendFrame(out, nil)
+				continue
+			}
+			buf, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(i)), size)
+			if err != nil {
+				out = appendFrame(out, nil)
+				continue
+			}
+			out = appendFrame(out, buf)
+		case sysdesc.ArgIovec:
+			data, err := gatherIovec(t, c, i, d.Args[i].LenArg)
+			if err != nil {
+				out = appendFrame(out, nil)
+				continue
+			}
+			out = appendFrame(out, data)
+		}
+	}
+	return out
+}
+
+// genericOutCap computes the worst-case output reservation (CALCSIZE).
+func genericOutCap(ip *IPMon, c *vkernel.Call) int {
+	d := sysdesc.Lookup(c.Num)
+	if d == nil {
+		return 0
+	}
+	cap := 0
+	for i := 0; i < d.NArgs; i++ {
+		a := d.Args[i]
+		if a.Type != sysdesc.ArgOutBuf && a.Type != sysdesc.ArgInOutBuf {
+			continue
+		}
+		switch a.Rule {
+		case sysdesc.SizeRet, sysdesc.SizeLenArg:
+			n := 0
+			if a.LenArg >= 0 {
+				n = int(c.Arg(a.LenArg))
+			} else {
+				// Ret-sized with the count in the canonical length slot
+				// (arg2 for read-family).
+				n = int(c.Arg(2))
+			}
+			if a.Fixed > 0 {
+				n *= a.Fixed
+			}
+			if n < 0 {
+				n = 0
+			}
+			if n > 1<<22 {
+				n = 1 << 22
+			}
+			cap += n + 4
+		case sysdesc.SizeFixed:
+			cap += a.Fixed + 4
+		case sysdesc.SizeRetTimes:
+			// Worst case: maxevents (arg2) entries.
+			cap += int(c.Arg(2))*a.Fixed + 4
+		case sysdesc.SizeCString:
+			cap += 260
+		}
+	}
+	return cap
+}
+
+// genericGatherOut reads the master's output buffers after execution.
+func genericGatherOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.Result) []byte {
+	d := sysdesc.Lookup(c.Num)
+	if d == nil {
+		return nil
+	}
+	var out []byte
+	for i := 0; i < d.NArgs; i++ {
+		a := d.Args[i]
+		if a.Type != sysdesc.ArgOutBuf && a.Type != sysdesc.ArgInOutBuf {
+			continue
+		}
+		if c.Arg(i) == 0 {
+			out = appendFrame(out, nil)
+			continue
+		}
+		if a.Rule == sysdesc.SizeCString {
+			s, err := readCString(t.Proc.Mem, mem.Addr(c.Arg(i)))
+			if err != nil {
+				out = appendFrame(out, nil)
+				continue
+			}
+			out = appendFrame(out, append([]byte(s), 0))
+			continue
+		}
+		size := d.OutBufSize(i, c, r.Val, r.Ok())
+		if size == 0 {
+			out = appendFrame(out, nil)
+			continue
+		}
+		buf, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(i)), size)
+		if err != nil {
+			out = appendFrame(out, nil)
+			continue
+		}
+		out = appendFrame(out, buf)
+	}
+	return out
+}
+
+// genericApplyOut writes replicated output frames into the slave's own
+// buffer arguments.
+func genericApplyOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, out []byte, r vkernel.Result) {
+	d := sysdesc.Lookup(c.Num)
+	if d == nil {
+		return
+	}
+	rest := out
+	for i := 0; i < d.NArgs; i++ {
+		a := d.Args[i]
+		if a.Type != sysdesc.ArgOutBuf && a.Type != sysdesc.ArgInOutBuf {
+			continue
+		}
+		frame, r2, ok := nextFrame(rest)
+		if !ok {
+			return
+		}
+		rest = r2
+		if len(frame) == 0 || c.Arg(i) == 0 {
+			continue
+		}
+		_ = t.Proc.Mem.Write(mem.Addr(c.Arg(i)), frame)
+	}
+}
+
+// genericRegMask compares every scalar argument.
+func genericRegMask(d *sysdesc.Desc) uint8 {
+	var mask uint8
+	for i := 0; i < d.NArgs; i++ {
+		switch d.Args[i].Type {
+		case sysdesc.ArgInt, sysdesc.ArgFD:
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// buildHandlers constructs the fast-path handler table from the policy's
+// unmonitored set.
+func buildHandlers(pol *policy.Spatial) map[int]*Handler {
+	handlers := map[int]*Handler{}
+	mask := pol.UnmonitoredSet()
+	for _, d := range sysdesc.All() {
+		if !(&mask).Has(d.Nr) {
+			continue
+		}
+		h := &Handler{
+			Nr:           d.Nr,
+			Desc:         d,
+			MaybeChecked: genericMaybeChecked,
+			GatherIn:     genericGatherIn,
+			OutCap:       genericOutCap,
+			GatherOut:    genericGatherOut,
+			ApplyOut:     genericApplyOut,
+			RegMask:      genericRegMask(d),
+			MasterOnly:   d.Exec == sysdesc.MasterCall,
+		}
+		switch d.Special {
+		case sysdesc.SpecEpollCtl:
+			h.PreSide = epollCtlPreSide
+			h.GatherIn = epollCtlGatherIn
+		case sysdesc.SpecEpollWait:
+			h.GatherOut = epollWaitGatherOut
+			h.ApplyOut = epollWaitApplyOut
+		}
+		handlers[d.Nr] = h
+	}
+	return handlers
+}
+
+// epollCtlGatherIn logs only the comparable half of the epoll_event
+// struct: the events mask. The data cookie is a replica-specific pointer
+// (§3.9) and is handled by the shadow map, not by comparison.
+func epollCtlGatherIn(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) []byte {
+	if c.Arg(3) == 0 {
+		return appendFrame(nil, nil)
+	}
+	raw, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(3)), 8)
+	if err != nil {
+		return appendFrame(nil, nil)
+	}
+	return appendFrame(nil, raw)
+}
+
+// epollCtlPreSide implements §3.9's registration half: every replica
+// records its own epoll_event cookie for the fd.
+func epollCtlPreSide(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) {
+	op := int(c.Arg(1))
+	fd := int(c.Arg(2))
+	switch op {
+	case vkernel.EpollCtlAdd, vkernel.EpollCtlMod:
+		raw, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(3)), vkernel.EpollEventSize)
+		if err != nil {
+			return
+		}
+		cookie := leU64(raw[8:])
+		ip.Shadow.Register(ip.Replica, fd, cookie)
+	case vkernel.EpollCtlDel:
+		ip.Shadow.Unregister(ip.Replica, fd)
+	}
+}
+
+// epollWaitGatherOut implements the master half of §3.9: "IP-MON uses
+// this mapping to store FDs, rather than pointer values" — the RB payload
+// carries fd numbers, not the master's pointers. The master translates its
+// own cookies synchronously, so a master running ahead (closing and
+// unregistering descriptors) can never invalidate an entry a slave has yet
+// to consume.
+func epollWaitGatherOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.Result) []byte {
+	out := genericGatherOut(nil, t, c, r)
+	frame, _, ok := nextFrame(out)
+	if !ok || len(frame) == 0 {
+		return out
+	}
+	n := int(r.Val)
+	for e := 0; e < n && (e+1)*vkernel.EpollEventSize <= len(frame); e++ {
+		off := e*vkernel.EpollEventSize + 8
+		cookie := leU64(frame[off:])
+		if fd, ok := ip.Shadow.FDForCookie(ip.Replica, cookie); ok {
+			putLeU64(frame[off:], uint64(fd))
+		}
+	}
+	return out
+}
+
+// epollWaitApplyOut implements the slave half of §3.9: map the fds in the
+// RB payload back onto this replica's own registered pointer values.
+func epollWaitApplyOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, out []byte, r vkernel.Result) {
+	frame, _, ok := nextFrame(out)
+	if !ok || len(frame) == 0 || c.Arg(1) == 0 {
+		return
+	}
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	n := int(r.Val)
+	for e := 0; e < n && (e+1)*vkernel.EpollEventSize <= len(buf); e++ {
+		off := e*vkernel.EpollEventSize + 8
+		fd := int(leU64(buf[off:]))
+		if own, ok := ip.Shadow.CookieForFD(ip.Replica, fd); ok {
+			putLeU64(buf[off:], own)
+		}
+	}
+	_ = t.Proc.Mem.Write(mem.Addr(c.Arg(1)), buf)
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+func readCString(as *mem.AddressSpace, a mem.Addr) (string, error) {
+	var out []byte
+	var one [1]byte
+	for len(out) < 4096 {
+		if err := as.Read(a+mem.Addr(len(out)), one[:]); err != nil {
+			return "", err
+		}
+		if one[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, one[0])
+	}
+	return string(out), nil
+}
+
+func gatherIovec(t *vkernel.Thread, c *vkernel.Call, argIdx, cntIdx int) ([]byte, error) {
+	cnt := 1
+	if cntIdx >= 0 {
+		cnt = int(c.Arg(cntIdx))
+	}
+	if cnt < 0 || cnt > 1024 {
+		cnt = 1
+	}
+	raw, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(argIdx)), cnt*16)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for i := 0; i < cnt; i++ {
+		base := leU64(raw[i*16:])
+		length := leU64(raw[i*16+8:])
+		if length > 1<<22 {
+			length = 1 << 22
+		}
+		buf, err := t.Proc.Mem.ReadBytes(mem.Addr(base), int(length))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
+// blockingExpected predicts blocking from the file map (§3.6/§3.7).
+func blockingExpected(ip *IPMon, d *sysdesc.Desc, c *vkernel.Call) bool {
+	if d == nil || d.BlockFD < 0 {
+		return false
+	}
+	return ip.FileMap.MayBlock(int(c.Arg(d.BlockFD)))
+}

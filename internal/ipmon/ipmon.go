@@ -1,0 +1,333 @@
+package ipmon
+
+import (
+	"sync"
+
+	"remon/internal/fdmap"
+	"remon/internal/ikb"
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/policy"
+	"remon/internal/rb"
+	"remon/internal/vkernel"
+)
+
+// Stats counts IP-MON activity in one replica.
+type Stats struct {
+	Dispatched      uint64 // calls entering the IP-MON entry point
+	Unmonitored     uint64 // completed without GHUMVEE
+	ForwardedPolicy uint64 // MAYBE_CHECKED said monitor (step 4')
+	ForwardedSignal uint64 // signals-pending flag forced monitoring (§3.8)
+	ForwardedTooBig uint64 // CALCSIZE exceeded the RB (§3.3)
+	TemporalExempt  uint64 // calls passed by the temporal policy
+	Divergences     uint64 // argument mismatches detected (slave side)
+	// LastDivergence records the most recent mismatch description.
+	LastDivergence string
+}
+
+// IPMon is one replica's in-process monitor instance.
+//
+// Security-relevant representation choice: RBBase — the replica's mapped
+// address of the replication buffer — lives only in this struct and in
+// IK-B's per-call Context, mirroring the paper's register-only discipline
+// (§3.1). It is never written into the replica's simulated address space;
+// the leak test in the attack suite scans replica memory to prove it.
+type IPMon struct {
+	Replica  int
+	Proc     *vkernel.Process
+	Buf      *rb.Buffer
+	RBBase   mem.Addr
+	FileMap  *fdmap.FileMap
+	Shadow   *fdmap.EpollShadow
+	Policy   *policy.Spatial
+	Temporal *policy.Temporal
+
+	// LtidOf resolves a thread's logical thread id — its RB partition.
+	LtidOf func(t *vkernel.Thread) int
+
+	// BlockingOverride forces the slave wait strategy for the ablation
+	// benches: nil = predict from the file map (§3.7), true = always use
+	// the futex condvar, false = always spin.
+	BlockingOverride *bool
+
+	mu       sync.Mutex
+	writers  map[int]*rb.Writer
+	readers  map[int]*rb.Reader
+	handlers map[int]*Handler
+	stats    Stats
+}
+
+// Config bundles IP-MON construction parameters.
+type Config struct {
+	Replica  int
+	Proc     *vkernel.Process
+	Buf      *rb.Buffer
+	RBBase   mem.Addr
+	FileMap  *fdmap.FileMap
+	Shadow   *fdmap.EpollShadow
+	Policy   *policy.Spatial
+	Temporal *policy.Temporal
+	LtidOf   func(t *vkernel.Thread) int
+	// BlockingOverride: see IPMon.BlockingOverride.
+	BlockingOverride *bool
+}
+
+// New creates a replica's IP-MON instance.
+func New(cfg Config) *IPMon {
+	ip := &IPMon{
+		Replica:          cfg.Replica,
+		Proc:             cfg.Proc,
+		Buf:              cfg.Buf,
+		RBBase:           cfg.RBBase,
+		FileMap:          cfg.FileMap,
+		Shadow:           cfg.Shadow,
+		Policy:           cfg.Policy,
+		Temporal:         cfg.Temporal,
+		LtidOf:           cfg.LtidOf,
+		BlockingOverride: cfg.BlockingOverride,
+		writers:          map[int]*rb.Writer{},
+		readers:          map[int]*rb.Reader{},
+	}
+	// Handlers are built for the full fast path; routing (the IK-B mask)
+	// and MAYBE_CHECKED decide what actually runs unmonitored.
+	ip.handlers = buildHandlers(policy.NewSpatial(policy.SocketRWLevel))
+	return ip
+}
+
+// Stats snapshots the counters.
+func (ip *IPMon) Stats() Stats {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	return ip.stats
+}
+
+// SupportedCalls reports how many syscalls have fast-path handlers.
+func (ip *IPMon) SupportedCalls() int {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	return len(ip.handlers)
+}
+
+// UnmonitoredMask is the registration mask for IK-B (§3.5). With a
+// temporal policy active, IK-B must forward every fast-path call to
+// IP-MON — calls the spatial level would monitor may still be exempted
+// stochastically after an approval streak (§3.4) — so the mask covers the
+// whole handler table; MAYBE_CHECKED enforces the spatial level per call.
+func (ip *IPMon) UnmonitoredMask() vkernel.SyscallMask {
+	if ip.Temporal != nil {
+		return policy.NewSpatial(policy.SocketRWLevel).UnmonitoredSet()
+	}
+	return ip.Policy.UnmonitoredSet()
+}
+
+// MigrateRB installs a new RB mapping address after an IK-B-driven
+// re-randomisation (§4's periodic-move extension). Existing writers and
+// readers keep working: their cursors are segment-relative; only the
+// futex addressing base changes.
+func (ip *IPMon) MigrateRB(base mem.Addr) {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	ip.RBBase = base
+	for _, w := range ip.writers {
+		w.Rebase(base)
+	}
+	for _, r := range ip.readers {
+		r.Rebase(base)
+	}
+}
+
+func (ip *IPMon) bumpTemporal() {
+	ip.mu.Lock()
+	ip.stats.TemporalExempt++
+	ip.mu.Unlock()
+}
+
+func (ip *IPMon) writer(ltid int) *rb.Writer {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	w, ok := ip.writers[ltid]
+	if !ok {
+		w = ip.Buf.NewWriter(ltid%ip.Buf.Partitions(), ip.RBBase)
+		ip.writers[ltid] = w
+	}
+	return w
+}
+
+func (ip *IPMon) reader(ltid int) *rb.Reader {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	r, ok := ip.readers[ltid]
+	if !ok {
+		r = ip.Buf.NewReader(ltid%ip.Buf.Partitions(), ip.Replica, ip.RBBase)
+		ip.readers[ltid] = r
+	}
+	return r
+}
+
+// Entry is the system call entry point IK-B forwards unmonitored calls to
+// (Figure 2, step 2). It runs on the replica thread itself — in-process,
+// no context switch.
+func (ip *IPMon) Entry(ctx *ikb.Context) vkernel.Result {
+	t := ctx.Thread
+	c := ctx.Call
+	t.SetInIPMon(true)
+	defer t.SetInIPMon(false)
+
+	ip.mu.Lock()
+	ip.stats.Dispatched++
+	h := ip.handlers[c.Num]
+	ip.mu.Unlock()
+
+	if h == nil {
+		// Registered mask and handler table disagree — be conservative.
+		return ctx.ForwardToMonitor()
+	}
+
+	// §3.8: GHUMVEE raised the signals-pending flag; restart as a
+	// monitored call so the monitor can deliver at a rendezvous.
+	if ip.Buf.SignalsPending() {
+		ip.mu.Lock()
+		ip.stats.ForwardedSignal++
+		ip.mu.Unlock()
+		return ctx.ForwardToMonitor()
+	}
+
+	// MAYBE_CHECKED: policy verification (Listing 1).
+	if h.MaybeChecked != nil && h.MaybeChecked(ip, t, c) {
+		ip.mu.Lock()
+		ip.stats.ForwardedPolicy++
+		ip.mu.Unlock()
+		if ip.Temporal != nil {
+			ltid := 0
+			if ip.LtidOf != nil {
+				ltid = ip.LtidOf(t)
+			}
+			ip.Temporal.Approve(ltid, c.Num)
+		}
+		return ctx.ForwardToMonitor()
+	}
+
+	if h.PreSide != nil {
+		h.PreSide(ip, t, c)
+	}
+
+	ltid := 0
+	if ip.LtidOf != nil {
+		ltid = ip.LtidOf(t)
+	}
+	// Threads beyond the partitioned RB's capacity fall back to the
+	// lockstep path rather than sharing a partition (each replica thread
+	// must own its RB position, §3.2).
+	if ltid >= ip.Buf.Partitions() {
+		ip.mu.Lock()
+		ip.stats.ForwardedTooBig++
+		ip.mu.Unlock()
+		return ctx.ForwardToMonitor()
+	}
+
+	if ip.Replica == 0 {
+		return ip.masterPath(ctx, h, ltid)
+	}
+	return ip.slavePath(ctx, h, ltid)
+}
+
+// masterPath: PRECALL logs args into the RB, the call is restarted with
+// the token intact, POSTCALL replicates the results (§3.3).
+func (ip *IPMon) masterPath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Result {
+	t := ctx.Thread
+	c := ctx.Call
+
+	inPayload := h.GatherIn(ip, t, c)
+	outCap := h.OutCap(ip, c)
+
+	var flags uint32
+	if h.MasterOnly {
+		flags |= rb.FlagMasterCall
+	}
+	blocking := blockingExpected(ip, h.Desc, c)
+	if ip.BlockingOverride != nil {
+		blocking = *ip.BlockingOverride
+	}
+	if blocking {
+		flags |= rb.FlagBlocking
+	}
+
+	res, err := ip.writer(ltid).Reserve(t, c, flags, inPayload, outCap)
+	if err != nil {
+		// CALCSIZE overflow: forward to GHUMVEE (§3.3).
+		ip.mu.Lock()
+		ip.stats.ForwardedTooBig++
+		ip.mu.Unlock()
+		return ctx.ForwardToMonitor()
+	}
+
+	// Step 3: restart the call with the authorization token intact.
+	r := ctx.CompleteWithToken(ctx.Token, c)
+
+	outPayload := h.GatherOut(ip, t, c, r)
+	var errno vkernel.Errno
+	if !r.Ok() {
+		errno = r.Errno
+	}
+	res.Complete(t, r.Val, errno, outPayload)
+
+	ip.mu.Lock()
+	ip.stats.Unmonitored++
+	ip.mu.Unlock()
+	return r
+}
+
+// slavePath: compare own arguments against the master's record, then
+// either consume replicated results (MASTERCALL) or execute the local
+// call (process-local calls like futex/nanosleep).
+func (ip *IPMon) slavePath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Result {
+	t := ctx.Thread
+	c := ctx.Call
+
+	ev, err := ip.reader(ltid).Next(t)
+	if err != nil {
+		ip.divergenceCrash(t, err.Error())
+		return vkernel.Result{Errno: vkernel.EPERM}
+	}
+
+	slavePayload := h.GatherIn(ip, t, c)
+	if err := ev.CompareCall(t, c, h.RegMask, slavePayload); err != nil {
+		// "IP-MON triggers an intentional crash, thereby signalling
+		// GHUMVEE through the ptrace mechanism" (§3.3).
+		ip.divergenceCrash(t, err.Error())
+		return vkernel.Result{Errno: vkernel.EPERM}
+	}
+
+	if h.MasterOnly {
+		// Abort the original call; results come from the RB.
+		ctx.AbortCall()
+		ret, errno, out := ev.WaitResults(t)
+		r := vkernel.Result{Val: ret, Errno: errno}
+		if r.Ok() && h.ApplyOut != nil {
+			h.ApplyOut(ip, t, c, out, r)
+		}
+		ev.Consume()
+		ip.mu.Lock()
+		ip.stats.Unmonitored++
+		ip.mu.Unlock()
+		return r
+	}
+
+	// Process-local call: execute our own copy with our own token.
+	r := ctx.CompleteWithToken(ctx.Token, c)
+	ev.WaitResults(t) // drain the master's results for ordering
+	ev.Consume()
+	ip.mu.Lock()
+	ip.stats.Unmonitored++
+	ip.mu.Unlock()
+	return r
+}
+
+func (ip *IPMon) divergenceCrash(t *vkernel.Thread, reason string) {
+	ip.mu.Lock()
+	ip.stats.Divergences++
+	ip.stats.LastDivergence = reason
+	ip.mu.Unlock()
+	t.Clock.Advance(model.CostSignalDeliver)
+	t.Crash("ipmon divergence: " + reason)
+}

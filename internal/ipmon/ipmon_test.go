@@ -1,0 +1,258 @@
+package ipmon
+
+import (
+	"testing"
+
+	"remon/internal/fdmap"
+	"remon/internal/mem"
+	"remon/internal/policy"
+	"remon/internal/sysdesc"
+	"remon/internal/vkernel"
+)
+
+// handlerEnv gives the handler-level tests a process with an arena.
+type handlerEnv struct {
+	k   *vkernel.Kernel
+	p   *vkernel.Process
+	t   *vkernel.Thread
+	a   mem.Addr
+	off uint64
+}
+
+func newHandlerEnv(t *testing.T) *handlerEnv {
+	t.Helper()
+	k := vkernel.New(nil)
+	p := k.NewProcess("h", 3, 0)
+	th := p.NewThread(nil)
+	r, err := p.Mem.Map(1<<18, mem.ProtRead|mem.ProtWrite, "arena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &handlerEnv{k: k, p: p, t: th, a: r.Start}
+}
+
+func (e *handlerEnv) put(b []byte) mem.Addr {
+	a := e.a + mem.Addr(e.off)
+	e.off += uint64((len(b) + 15) &^ 15)
+	if err := e.p.Mem.Write(a, b); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (e *handlerEnv) alloc(n int) mem.Addr {
+	a := e.a + mem.Addr(e.off)
+	e.off += uint64((n + 15) &^ 15)
+	return a
+}
+
+func TestGatherInWriteBuffer(t *testing.T) {
+	e := newHandlerEnv(t)
+	data := e.put([]byte("payload-bytes"))
+	c := &vkernel.Call{Num: vkernel.SysWrite, Args: [6]uint64{1, uint64(data), 13}}
+	out := genericGatherIn(nil, e.t, c)
+	frame, _, ok := nextFrame(out)
+	if !ok || string(frame) != "payload-bytes" {
+		t.Fatalf("gathered %q", frame)
+	}
+}
+
+func TestGatherInPath(t *testing.T) {
+	e := newHandlerEnv(t)
+	path := e.put([]byte("/etc/target\x00"))
+	c := &vkernel.Call{Num: vkernel.SysAccess, Args: [6]uint64{uint64(path), 0}}
+	out := genericGatherIn(nil, e.t, c)
+	frame, _, ok := nextFrame(out)
+	if !ok || string(frame) != "/etc/target\x00" {
+		t.Fatalf("gathered path %q", frame)
+	}
+}
+
+func TestGatherOutApplyOutRoundTrip(t *testing.T) {
+	e := newHandlerEnv(t)
+	// Master's out buffer.
+	src := e.put([]byte("read-result-abc"))
+	c := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{3, uint64(src), 15}}
+	r := vkernel.Result{Val: 15}
+	out := genericGatherOut(nil, e.t, c, r)
+
+	// Slave's differently-located buffer.
+	dst := e.alloc(32)
+	c2 := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{3, uint64(dst), 15}}
+	genericApplyOut(nil, e.t, c2, out, r)
+	got, err := e.p.Mem.ReadBytes(dst, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "read-result-abc" {
+		t.Fatalf("applied %q", got)
+	}
+}
+
+func TestOutCapReservations(t *testing.T) {
+	read := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{3, 0x1000, 512}}
+	if capn := genericOutCap(nil, read); capn < 512 {
+		t.Fatalf("read out cap = %d, want >= 512", capn)
+	}
+	stat := &vkernel.Call{Num: vkernel.SysStat, Args: [6]uint64{0x1000, 0x2000}}
+	if capn := genericOutCap(nil, stat); capn < vkernel.StatBufSize {
+		t.Fatalf("stat out cap = %d", capn)
+	}
+	epw := &vkernel.Call{Num: vkernel.SysEpollWait, Args: [6]uint64{4, 0x1000, 8, 0}}
+	if capn := genericOutCap(nil, epw); capn < 8*vkernel.EpollEventSize {
+		t.Fatalf("epoll_wait out cap = %d", capn)
+	}
+}
+
+func TestEpollCtlGatherInExcludesCookie(t *testing.T) {
+	e := newHandlerEnv(t)
+	ev := make([]byte, vkernel.EpollEventSize)
+	ev[0] = 1                 // events mask
+	ev[8], ev[9] = 0xDE, 0xAD // replica-specific cookie bytes
+	addr := e.put(ev)
+	c := &vkernel.Call{Num: vkernel.SysEpollCtl, Args: [6]uint64{4, vkernel.EpollCtlAdd, 5, uint64(addr)}}
+	out := epollCtlGatherIn(nil, e.t, c)
+	frame, _, ok := nextFrame(out)
+	if !ok || len(frame) != 8 {
+		t.Fatalf("epoll_ctl gather = %d bytes, want 8 (mask only)", len(frame))
+	}
+	if frame[0] != 1 {
+		t.Fatal("events mask lost")
+	}
+}
+
+func TestEpollWaitFDTranslation(t *testing.T) {
+	e := newHandlerEnv(t)
+	shadow := fdmap.NewEpollShadow(2)
+	shadow.Register(0, 7, 0xAAAA)
+	shadow.Register(1, 7, 0xBBBB)
+
+	// Master's raw events carry its cookie; GatherOut converts to fd.
+	ev := make([]byte, vkernel.EpollEventSize)
+	ev[0] = 1
+	putLeU64(ev[8:], 0xAAAA)
+	src := e.put(ev)
+	c := &vkernel.Call{Num: vkernel.SysEpollWait, Args: [6]uint64{4, uint64(src), 4, 0}}
+	r := vkernel.Result{Val: 1}
+	master := &IPMon{Shadow: shadow, Replica: 0}
+	out := epollWaitGatherOut(master, e.t, c, r)
+	frame, _, _ := nextFrame(out)
+	if got := leU64(frame[8:]); got != 7 {
+		t.Fatalf("RB payload cookie field = %#x, want fd 7", got)
+	}
+
+	// Slave applies: fd back to its own cookie.
+	dst := e.alloc(vkernel.EpollEventSize)
+	c2 := &vkernel.Call{Num: vkernel.SysEpollWait, Args: [6]uint64{4, uint64(dst), 4, 0}}
+	slave := &IPMon{Shadow: shadow, Replica: 1}
+	epollWaitApplyOut(slave, e.t, c2, out, r)
+	got, _ := e.p.Mem.ReadBytes(dst, vkernel.EpollEventSize)
+	if ck := leU64(got[8:]); ck != 0xBBBB {
+		t.Fatalf("slave cookie = %#x, want 0xBBBB", ck)
+	}
+}
+
+func TestMaybeCheckedPolicyDecisions(t *testing.T) {
+	e := newHandlerEnv(t)
+	fm := fdmap.New(mem.NewSharedSegment(11, fdmap.MapSize))
+	fm.Set(3, fdmap.TypeRegular, false)
+	fm.Set(4, fdmap.TypeSocket, false)
+	fm.Set(5, fdmap.TypeSpecial, false)
+
+	ip := &IPMon{FileMap: fm, Policy: policy.NewSpatial(policy.NonsocketRWLevel)}
+
+	read := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{3, 0, 8}}
+	if genericMaybeChecked(ip, e.t, read) {
+		t.Fatal("file read forwarded at NONSOCKET_RW")
+	}
+	readSock := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{4, 0, 8}}
+	if !genericMaybeChecked(ip, e.t, readSock) {
+		t.Fatal("socket read NOT forwarded at NONSOCKET_RW")
+	}
+	readSpecial := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{5, 0, 8}}
+	if !genericMaybeChecked(ip, e.t, readSpecial) {
+		t.Fatal("special-file read NOT forwarded (maps filtering, §3.1)")
+	}
+	gtod := &vkernel.Call{Num: vkernel.SysGettimeofday, Args: [6]uint64{0}}
+	if genericMaybeChecked(ip, e.t, gtod) {
+		t.Fatal("gettimeofday forwarded despite BASE grant")
+	}
+	// A socket write at NONSOCKET_RW must be forwarded.
+	writeSock := &vkernel.Call{Num: vkernel.SysWrite, Args: [6]uint64{4, 0, 8}}
+	if !genericMaybeChecked(ip, e.t, writeSock) {
+		t.Fatal("socket write NOT forwarded at NONSOCKET_RW")
+	}
+}
+
+func TestBlockingPrediction(t *testing.T) {
+	fm := fdmap.New(mem.NewSharedSegment(12, fdmap.MapSize))
+	fm.Set(3, fdmap.TypeRegular, false)
+	fm.Set(4, fdmap.TypeSocket, false)
+	fm.Set(5, fdmap.TypeSocket, true) // O_NONBLOCK socket
+	ip := &IPMon{FileMap: fm}
+
+	d := sysdesc.Lookup(vkernel.SysRead)
+	if blockingExpected(ip, d, &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{3}}) {
+		t.Fatal("regular file read predicted blocking")
+	}
+	if !blockingExpected(ip, d, &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{4}}) {
+		t.Fatal("socket read predicted non-blocking")
+	}
+	if blockingExpected(ip, d, &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{5}}) {
+		t.Fatal("O_NONBLOCK socket read predicted blocking (§3.6)")
+	}
+	lseek := sysdesc.Lookup(vkernel.SysLseek)
+	if blockingExpected(ip, lseek, &vkernel.Call{Num: vkernel.SysLseek, Args: [6]uint64{4}}) {
+		t.Fatal("lseek predicted blocking")
+	}
+}
+
+func TestHandlerTableCoverage(t *testing.T) {
+	handlers := buildHandlers(policy.NewSpatial(policy.SocketRWLevel))
+	// The paper's fast path covers 67 calls; ours must be comparable.
+	if len(handlers) < 50 {
+		t.Fatalf("only %d fast-path handlers", len(handlers))
+	}
+	for nr, h := range handlers {
+		if h.Desc == nil {
+			t.Errorf("%s: handler without descriptor", vkernel.SyscallName(nr))
+		}
+		if h.GatherIn == nil || h.OutCap == nil || h.GatherOut == nil || h.ApplyOut == nil {
+			t.Errorf("%s: incomplete handler", vkernel.SyscallName(nr))
+		}
+	}
+	// Sensitive calls must have no handler.
+	for _, nr := range []int{vkernel.SysOpen, vkernel.SysMmap, vkernel.SysClone, vkernel.SysKill} {
+		if _, ok := handlers[nr]; ok {
+			t.Errorf("%s has a fast-path handler — it must always be monitored", vkernel.SyscallName(nr))
+		}
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	var out []byte
+	out = appendFrame(out, []byte("one"))
+	out = appendFrame(out, nil)
+	out = appendFrame(out, []byte("three"))
+	f1, rest, ok := nextFrame(out)
+	if !ok || string(f1) != "one" {
+		t.Fatalf("frame 1 = %q, %v", f1, ok)
+	}
+	f2, rest, ok := nextFrame(rest)
+	if !ok || len(f2) != 0 {
+		t.Fatalf("frame 2 = %q", f2)
+	}
+	f3, rest, ok := nextFrame(rest)
+	if !ok || string(f3) != "three" {
+		t.Fatalf("frame 3 = %q", f3)
+	}
+	if _, _, ok := nextFrame(rest); ok {
+		t.Fatal("phantom frame")
+	}
+	if _, _, ok := nextFrame([]byte{1, 0, 0}); ok {
+		t.Fatal("truncated header accepted")
+	}
+	if _, _, ok := nextFrame([]byte{10, 0, 0, 0, 1}); ok {
+		t.Fatal("truncated body accepted")
+	}
+}

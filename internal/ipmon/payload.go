@@ -1,0 +1,56 @@
+package ipmon
+
+import (
+	"remon/internal/fdmap"
+	"remon/internal/vkernel"
+)
+
+// Exported payload helpers. Other MVEE designs built on the same kernel —
+// the VARAN-style in-process baseline used for Table 2 — reuse IP-MON's
+// argument gathering and result replication without its policy or token
+// machinery.
+
+// PayloadIn deep-copies a call's input buffers (PRECALL log format).
+func PayloadIn(t *vkernel.Thread, c *vkernel.Call) []byte {
+	if c.Num == vkernel.SysEpollCtl {
+		return epollCtlGatherIn(nil, t, c)
+	}
+	return genericGatherIn(nil, t, c)
+}
+
+// PayloadOutCap computes the worst-case result reservation (CALCSIZE).
+func PayloadOutCap(c *vkernel.Call) int {
+	return genericOutCap(nil, c)
+}
+
+// PayloadOut reads a completed call's output buffers (POSTCALL format).
+// For epoll_wait, the master's cookies are converted to fd numbers in the
+// payload (§3.9) using the master's shadow entries for the given replica.
+func PayloadOut(t *vkernel.Thread, c *vkernel.Call, r vkernel.Result, shadow *fdmap.EpollShadow, replica int) []byte {
+	if (c.Num == vkernel.SysEpollWait || c.Num == vkernel.SysEpollPwait) && shadow != nil {
+		tmp := &IPMon{Shadow: shadow, Replica: replica}
+		return epollWaitGatherOut(tmp, t, c, r)
+	}
+	return genericGatherOut(nil, t, c, r)
+}
+
+// ApplyPayloadOut writes replicated output into the slave's own buffers.
+// When shadow is non-nil, epoll_wait events are cookie-translated for the
+// given replica (§3.9).
+func ApplyPayloadOut(t *vkernel.Thread, c *vkernel.Call, out []byte, r vkernel.Result, shadow *fdmap.EpollShadow, replica int) {
+	if c.Num == vkernel.SysEpollWait || c.Num == vkernel.SysEpollPwait {
+		if shadow != nil {
+			tmp := &IPMon{Shadow: shadow, Replica: replica}
+			epollWaitApplyOut(tmp, t, c, out, r)
+			return
+		}
+	}
+	genericApplyOut(nil, t, c, out, r)
+}
+
+// RegisterEpollCookie records a replica's epoll_ctl cookie in the shadow
+// map (the registration half of §3.9).
+func RegisterEpollCookie(shadow *fdmap.EpollShadow, replica int, t *vkernel.Thread, c *vkernel.Call) {
+	tmp := &IPMon{Shadow: shadow, Replica: replica}
+	epollCtlPreSide(tmp, t, c)
+}

@@ -1,0 +1,444 @@
+// Package mem implements per-process virtual address spaces for the
+// simulated kernel: mapped regions with permissions, byte-level load/store,
+// cross-address-space copies (the process_vm_readv equivalent GHUMVEE uses
+// for argument comparison and result replication), and the layout
+// diversification — ASLR plus Disjoint Code Layouts (DCL) — that the paper
+// deploys across replicas (§4, "Diversified Replicas").
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the virtual page granularity. Region sizes and map addresses
+// are always page aligned.
+const PageSize = 4096
+
+// Addr is a virtual address in a simulated address space.
+type Addr uint64
+
+// Prot is a region protection bitmask.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+)
+
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Errors reported by address-space operations.
+var (
+	ErrFault     = errors.New("mem: segmentation fault")
+	ErrPerm      = errors.New("mem: protection violation")
+	ErrOverlap   = errors.New("mem: mapping overlaps existing region")
+	ErrNoRegion  = errors.New("mem: no region at address")
+	ErrBadLength = errors.New("mem: bad length")
+	ErrExhausted = errors.New("mem: address space exhausted")
+)
+
+// Region is one mapped range of an address space.
+type Region struct {
+	Start Addr
+	Size  uint64
+	Prot  Prot
+	Name  string // e.g. "[stack]", "[heap]", "libipmon", "rb"
+	data  []byte
+	// Shared backing: when non-nil, data aliases a segment shared with
+	// other address spaces (System V shm). The simulation uses this for
+	// the replication buffer and the file map.
+	shared *SharedSegment
+}
+
+// End reports the first address past the region.
+func (r *Region) End() Addr { return r.Start + Addr(r.Size) }
+
+// Shared reports the shared segment backing this region, or nil for
+// private memory. The kernel's futex key resolution uses it: waits on
+// shared mappings must match across processes.
+func (r *Region) Shared() *SharedSegment { return r.shared }
+
+// SharedSegment is memory shared between address spaces (System V shm). All
+// mappings of the same segment alias the same backing bytes.
+type SharedSegment struct {
+	ID   int
+	Size uint64
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewSharedSegment allocates a page-aligned shared segment.
+func NewSharedSegment(id int, size uint64) *SharedSegment {
+	size = roundUp(size)
+	return &SharedSegment{ID: id, Size: size, data: make([]byte, size)}
+}
+
+// ReadAt copies from the segment into p.
+func (s *SharedSegment) ReadAt(p []byte, off uint64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if off+uint64(len(p)) > s.Size {
+		return ErrFault
+	}
+	copy(p, s.data[off:])
+	return nil
+}
+
+// WriteAt copies p into the segment.
+func (s *SharedSegment) WriteAt(p []byte, off uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off+uint64(len(p)) > s.Size {
+		return ErrFault
+	}
+	copy(s.data[off:], p)
+	return nil
+}
+
+// AddressSpace is one process's virtual memory: a sorted set of
+// non-overlapping regions.
+type AddressSpace struct {
+	mu      sync.RWMutex
+	regions []*Region // sorted by Start
+	// mmapBase is the cursor for kernel-chosen mapping addresses,
+	// randomised per space by ASLR.
+	mmapBase Addr
+	brk      Addr // current heap break
+	heap     *Region
+	layout   Layout
+}
+
+// Layout captures the diversified base addresses chosen for one replica.
+type Layout struct {
+	Seed      uint64
+	CodeBase  Addr
+	HeapBase  Addr
+	StackBase Addr
+	MmapBase  Addr
+	// DCL guarantees that no code region of this replica overlaps any code
+	// region of the replicas it is disjoint from.
+	DisjointIndex int // replica index within the DCL partition
+}
+
+const (
+	userSpaceTop   = Addr(0x7FFF_FFFF_F000)
+	defaultMmapLow = Addr(0x7F00_0000_0000)
+	codeSpan       = Addr(0x0000_4000_0000) // span reserved per DCL slot
+)
+
+// NewAddressSpace creates an address space with a diversified layout drawn
+// from seed. disjointIndex selects the DCL code partition (replica i's code
+// lives in a slot no other replica's code overlaps).
+func NewAddressSpace(seed uint64, disjointIndex int) *AddressSpace {
+	r := splitmix(seed)
+	layout := Layout{
+		Seed:          seed,
+		DisjointIndex: disjointIndex,
+		// 28 bits of mmap entropy, page aligned.
+		MmapBase: defaultMmapLow + Addr(r()%(1<<28))*PageSize,
+		// Code: disjoint slot base + up to 1 GiB of ASLR slide inside it.
+		CodeBase:  Addr(0x0000_5555_0000) + Addr(disjointIndex+1)*codeSpan + Addr(r()%(1<<16))*PageSize,
+		HeapBase:  Addr(0x0000_1000_0000) + Addr(r()%(1<<20))*PageSize,
+		StackBase: userSpaceTop - Addr(r()%(1<<20))*PageSize,
+	}
+	as := &AddressSpace{mmapBase: layout.MmapBase, layout: layout}
+	as.brk = layout.HeapBase
+	return as
+}
+
+func splitmix(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+}
+
+// Layout reports the diversified layout of this space.
+func (as *AddressSpace) Layout() Layout { return as.layout }
+
+func roundUp(n uint64) uint64 {
+	return (n + PageSize - 1) &^ (PageSize - 1)
+}
+
+// findIdx returns the index of the region containing a, or -1.
+func (as *AddressSpace) findIdx(a Addr) int {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].End() > a
+	})
+	if i < len(as.regions) && as.regions[i].Start <= a {
+		return i
+	}
+	return -1
+}
+
+// overlaps reports whether [start, start+size) intersects any region.
+func (as *AddressSpace) overlaps(start Addr, size uint64) bool {
+	end := start + Addr(size)
+	for _, r := range as.regions {
+		if r.Start < end && start < r.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func (as *AddressSpace) insert(r *Region) {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].Start >= r.Start
+	})
+	as.regions = append(as.regions, nil)
+	copy(as.regions[i+1:], as.regions[i:])
+	as.regions[i] = r
+}
+
+// MapFixed maps size bytes at exactly start with the given protection.
+func (as *AddressSpace) MapFixed(start Addr, size uint64, prot Prot, name string) (*Region, error) {
+	if size == 0 {
+		return nil, ErrBadLength
+	}
+	size = roundUp(size)
+	if start%PageSize != 0 {
+		return nil, fmt.Errorf("mem: unaligned fixed map at %#x", uint64(start))
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if as.overlaps(start, size) {
+		return nil, ErrOverlap
+	}
+	r := &Region{Start: start, Size: size, Prot: prot, Name: name, data: make([]byte, size)}
+	as.insert(r)
+	return r, nil
+}
+
+// Map maps size bytes at a kernel-chosen (ASLR-randomised) address.
+func (as *AddressSpace) Map(size uint64, prot Prot, name string) (*Region, error) {
+	if size == 0 {
+		return nil, ErrBadLength
+	}
+	size = roundUp(size)
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	start := as.mmapBase
+	for tries := 0; tries < 1<<16; tries++ {
+		if start+Addr(size) >= userSpaceTop {
+			start = defaultMmapLow
+		}
+		if !as.overlaps(start, size) {
+			r := &Region{Start: start, Size: size, Prot: prot, Name: name, data: make([]byte, size)}
+			as.insert(r)
+			as.mmapBase = start + Addr(size) + PageSize
+			return r, nil
+		}
+		start += Addr(size) + PageSize
+	}
+	return nil, ErrExhausted
+}
+
+// MapShared maps a shared segment at a kernel-chosen address (shmat).
+func (as *AddressSpace) MapShared(seg *SharedSegment, prot Prot, name string) (*Region, error) {
+	r, err := as.Map(seg.Size, prot, name)
+	if err != nil {
+		return nil, err
+	}
+	r.shared = seg
+	r.data = nil
+	return r, nil
+}
+
+// MapSharedAt maps a shared segment at a caller-chosen address. The
+// simulation uses this to give each replica a *different* RB address
+// (24 bits of entropy per replica, §4 "Manipulating the RB").
+func (as *AddressSpace) MapSharedAt(start Addr, seg *SharedSegment, prot Prot, name string) (*Region, error) {
+	r, err := as.MapFixed(start, seg.Size, prot, name)
+	if err != nil {
+		return nil, err
+	}
+	r.shared = seg
+	r.data = nil
+	return r, nil
+}
+
+// Unmap removes the region starting exactly at start.
+func (as *AddressSpace) Unmap(start Addr) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for i, r := range as.regions {
+		if r.Start == start {
+			as.regions = append(as.regions[:i], as.regions[i+1:]...)
+			if r == as.heap {
+				as.heap = nil
+			}
+			return nil
+		}
+	}
+	return ErrNoRegion
+}
+
+// Protect changes the protection of the region starting at start
+// (mprotect on a whole region).
+func (as *AddressSpace) Protect(start Addr, prot Prot) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for _, r := range as.regions {
+		if r.Start == start {
+			r.Prot = prot
+			return nil
+		}
+	}
+	return ErrNoRegion
+}
+
+// Brk grows (or queries, with n==0) the heap and returns the new break.
+func (as *AddressSpace) Brk(n uint64) (Addr, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if n == 0 {
+		return as.brk, nil
+	}
+	n = roundUp(n)
+	if as.heap == nil {
+		r := &Region{
+			Start: as.layout.HeapBase,
+			Size:  n,
+			Prot:  ProtRead | ProtWrite,
+			Name:  "[heap]",
+			data:  make([]byte, n),
+		}
+		if as.overlaps(r.Start, r.Size) {
+			return 0, ErrOverlap
+		}
+		as.insert(r)
+		as.heap = r
+		as.brk = r.End()
+		return as.brk, nil
+	}
+	// Grow in place.
+	newSize := as.heap.Size + n
+	if as.overlaps(as.heap.End(), n) {
+		return 0, ErrOverlap
+	}
+	grown := make([]byte, newSize)
+	copy(grown, as.heap.data)
+	as.heap.data = grown
+	as.heap.Size = newSize
+	as.brk = as.heap.End()
+	return as.brk, nil
+}
+
+// RegionAt reports the region containing a, or nil.
+func (as *AddressSpace) RegionAt(a Addr) *Region {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	if i := as.findIdx(a); i >= 0 {
+		return as.regions[i]
+	}
+	return nil
+}
+
+// Regions returns a snapshot of all regions sorted by start address.
+func (as *AddressSpace) Regions() []*Region {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	out := make([]*Region, len(as.regions))
+	copy(out, as.regions)
+	return out
+}
+
+// access performs a bounds- and permission-checked read or write. fn is
+// called once per region chunk with the backing slice (or shared segment).
+func (as *AddressSpace) access(a Addr, n int, need Prot, fn func(r *Region, off uint64, chunk int) error) error {
+	if n < 0 {
+		return ErrBadLength
+	}
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	for n > 0 {
+		i := as.findIdx(a)
+		if i < 0 {
+			return fmt.Errorf("%w at %#x", ErrFault, uint64(a))
+		}
+		r := as.regions[i]
+		if r.Prot&need != need {
+			return fmt.Errorf("%w at %#x (%s, need %s)", ErrPerm, uint64(a), r.Prot, need)
+		}
+		off := uint64(a - r.Start)
+		chunk := int(r.Size - off)
+		if chunk > n {
+			chunk = n
+		}
+		if err := fn(r, off, chunk); err != nil {
+			return err
+		}
+		a += Addr(chunk)
+		n -= chunk
+	}
+	return nil
+}
+
+// Read copies len(p) bytes from address a into p.
+func (as *AddressSpace) Read(a Addr, p []byte) error {
+	got := 0
+	return as.access(a, len(p), ProtRead, func(r *Region, off uint64, chunk int) error {
+		dst := p[got : got+chunk]
+		got += chunk
+		if r.shared != nil {
+			return r.shared.ReadAt(dst, off)
+		}
+		copy(dst, r.data[off:])
+		return nil
+	})
+}
+
+// Write copies p to address a.
+func (as *AddressSpace) Write(a Addr, p []byte) error {
+	done := 0
+	return as.access(a, len(p), ProtWrite, func(r *Region, off uint64, chunk int) error {
+		src := p[done : done+chunk]
+		done += chunk
+		if r.shared != nil {
+			return r.shared.WriteAt(src, off)
+		}
+		copy(r.data[off:], src)
+		return nil
+	})
+}
+
+// ReadBytes is a convenience wrapper allocating the destination.
+func (as *AddressSpace) ReadBytes(a Addr, n int) ([]byte, error) {
+	p := make([]byte, n)
+	if err := as.Read(a, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CrossCopy copies n bytes from (srcAS, src) to (dstAS, dst), the
+// process_vm_readv/writev equivalent used by GHUMVEE for replication.
+func CrossCopy(dstAS *AddressSpace, dst Addr, srcAS *AddressSpace, src Addr, n int) error {
+	buf := make([]byte, n)
+	if err := srcAS.Read(src, buf); err != nil {
+		return err
+	}
+	return dstAS.Write(dst, buf)
+}

@@ -1,0 +1,380 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapReadWrite(t *testing.T) {
+	as := NewAddressSpace(1, 0)
+	r, err := as.Map(100, ProtRead|ProtWrite, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size != PageSize {
+		t.Fatalf("size = %d, want rounded to %d", r.Size, PageSize)
+	}
+	msg := []byte("hello world")
+	if err := as.Write(r.Start+8, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadBytes(r.Start+8, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q, want %q", got, msg)
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	as := NewAddressSpace(2, 0)
+	if err := as.Write(0xdead000, []byte{1}); !errors.Is(err, ErrFault) {
+		t.Fatalf("write to unmapped = %v, want ErrFault", err)
+	}
+	if _, err := as.ReadBytes(0xdead000, 1); !errors.Is(err, ErrFault) {
+		t.Fatalf("read from unmapped = %v, want ErrFault", err)
+	}
+}
+
+func TestProtectionViolation(t *testing.T) {
+	as := NewAddressSpace(3, 0)
+	r, err := as.Map(PageSize, ProtRead, "ro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(r.Start, []byte{1}); !errors.Is(err, ErrPerm) {
+		t.Fatalf("write to read-only = %v, want ErrPerm", err)
+	}
+	if err := as.Protect(r.Start, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(r.Start, []byte{1}); err != nil {
+		t.Fatalf("write after mprotect = %v", err)
+	}
+}
+
+func TestMapFixedOverlap(t *testing.T) {
+	as := NewAddressSpace(4, 0)
+	if _, err := as.MapFixed(0x10000, PageSize, ProtRead|ProtWrite, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MapFixed(0x10000, PageSize, ProtRead, "b"); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("overlapping MapFixed = %v, want ErrOverlap", err)
+	}
+	if _, err := as.MapFixed(0x10000+PageSize, PageSize, ProtRead, "c"); err != nil {
+		t.Fatalf("adjacent MapFixed = %v", err)
+	}
+}
+
+func TestMapFixedUnaligned(t *testing.T) {
+	as := NewAddressSpace(4, 0)
+	if _, err := as.MapFixed(0x10001, PageSize, ProtRead, "x"); err == nil {
+		t.Fatal("unaligned MapFixed succeeded")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	as := NewAddressSpace(5, 0)
+	r, err := as.Map(PageSize, ProtRead|ProtWrite, "gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(r.Start); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(r.Start, []byte{1}); !errors.Is(err, ErrFault) {
+		t.Fatalf("write after unmap = %v, want ErrFault", err)
+	}
+	if err := as.Unmap(r.Start); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("double unmap = %v, want ErrNoRegion", err)
+	}
+}
+
+func TestBrkGrowth(t *testing.T) {
+	as := NewAddressSpace(6, 0)
+	b0, err := as.Brk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := as.Brk(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b0+PageSize {
+		t.Fatalf("brk after grow = %#x, want %#x", uint64(b1), uint64(b0+PageSize))
+	}
+	// Heap memory is usable and preserved across growth.
+	if err := as.Write(b0, []byte("persist")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Brk(PageSize); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadBytes(b0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persist" {
+		t.Fatalf("heap content after growth = %q", got)
+	}
+}
+
+func TestCrossRegionAccess(t *testing.T) {
+	// A read spanning two adjacent regions succeeds; a read into a hole
+	// faults.
+	as := NewAddressSpace(7, 0)
+	a, err := as.MapFixed(0x20000, PageSize, ProtRead|ProtWrite, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MapFixed(0x20000+PageSize, PageSize, ProtRead|ProtWrite, "b"); err != nil {
+		t.Fatal(err)
+	}
+	span := make([]byte, 100)
+	for i := range span {
+		span[i] = byte(i)
+	}
+	if err := as.Write(a.End()-50, span); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadBytes(a.End()-50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, span) {
+		t.Fatal("cross-region round trip mismatch")
+	}
+	if err := as.Read(a.End()+PageSize-10, make([]byte, 20)); !errors.Is(err, ErrFault) {
+		t.Fatalf("read across hole = %v, want ErrFault", err)
+	}
+}
+
+func TestSharedSegmentAliasing(t *testing.T) {
+	seg := NewSharedSegment(1, PageSize)
+	a := NewAddressSpace(8, 0)
+	b := NewAddressSpace(9, 1)
+	ra, err := a.MapShared(seg, ProtRead|ProtWrite, "shm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.MapShared(seg, ProtRead|ProtWrite, "shm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Start == rb.Start {
+		t.Log("note: shared mapping landed at the same address in both spaces (allowed but unlikely)")
+	}
+	if err := a.Write(ra.Start+16, []byte("via-a")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadBytes(rb.Start+16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "via-a" {
+		t.Fatalf("shared read = %q, want via-a", got)
+	}
+}
+
+func TestMapSharedAtDistinctAddresses(t *testing.T) {
+	seg := NewSharedSegment(2, 16*PageSize)
+	a := NewAddressSpace(10, 0)
+	b := NewAddressSpace(11, 1)
+	ra, err := a.MapSharedAt(0x7000_0000, seg, ProtRead|ProtWrite, "rb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbr, err := b.MapSharedAt(0x7200_0000, seg, ProtRead|ProtWrite, "rb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Start == rbr.Start {
+		t.Fatal("expected distinct fixed addresses")
+	}
+	if err := a.Write(ra.Start, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadBytes(rbr.Start, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatal("shared-at mapping does not alias")
+	}
+}
+
+func TestCrossCopy(t *testing.T) {
+	src := NewAddressSpace(12, 0)
+	dst := NewAddressSpace(13, 1)
+	rs, err := src.Map(PageSize, ProtRead|ProtWrite, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := dst.Map(PageSize, ProtRead|ProtWrite, "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Write(rs.Start, []byte("replicated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := CrossCopy(dst, rd.Start, src, rs.Start, 10); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.ReadBytes(rd.Start, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "replicated" {
+		t.Fatalf("CrossCopy got %q", got)
+	}
+}
+
+func TestASLRLayoutsDiffer(t *testing.T) {
+	a := NewAddressSpace(100, 0)
+	b := NewAddressSpace(200, 0)
+	la, lb := a.Layout(), b.Layout()
+	same := 0
+	if la.MmapBase == lb.MmapBase {
+		same++
+	}
+	if la.HeapBase == lb.HeapBase {
+		same++
+	}
+	if la.StackBase == lb.StackBase {
+		same++
+	}
+	if la.CodeBase == lb.CodeBase {
+		same++
+	}
+	if same > 1 {
+		t.Fatalf("different seeds produced %d/4 identical bases", same)
+	}
+}
+
+func TestASLRDeterministic(t *testing.T) {
+	a := NewAddressSpace(77, 2)
+	b := NewAddressSpace(77, 2)
+	if a.Layout() != b.Layout() {
+		t.Fatal("same seed must give same layout")
+	}
+}
+
+func TestDisjointCodeLayouts(t *testing.T) {
+	a := NewAddressSpace(1, 0)
+	b := NewAddressSpace(2, 1)
+	if _, err := a.MapFixed(a.Layout().CodeBase, 4*PageSize, ProtRead|ProtExec, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MapFixed(b.Layout().CodeBase, 4*PageSize, ProtRead|ProtExec, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := DisjointCodeLayouts(a, b); err != nil {
+		t.Fatalf("DCL slots 0,1 should be disjoint: %v", err)
+	}
+	// Force a violation: map code in b at a's code base.
+	c := NewAddressSpace(3, 0)
+	d := NewAddressSpace(4, 0) // same disjoint slot
+	ra, err := c.MapFixed(0x6000_0000, PageSize, ProtRead|ProtExec, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.MapFixed(ra.Start, PageSize, ProtRead|ProtExec, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := DisjointCodeLayouts(c, d); err == nil {
+		t.Fatal("expected DCL violation")
+	}
+}
+
+func TestDCLSlotsNeverOverlapProperty(t *testing.T) {
+	// Property: for any pair of seeds and distinct disjoint indices, the
+	// code bases land in non-overlapping slots (given the fixed span).
+	f := func(s1, s2 uint64, i1, i2 uint8) bool {
+		idx1, idx2 := int(i1%8), int(i2%8)
+		if idx1 == idx2 {
+			return true
+		}
+		a := NewAddressSpace(s1, idx1)
+		b := NewAddressSpace(s2, idx2)
+		ca, cb := a.Layout().CodeBase, b.Layout().CodeBase
+		// Each slot is codeSpan wide and slides at most 2^16 pages.
+		lo1, hi1 := ca, ca+Addr(1<<20)
+		lo2, hi2 := cb, cb+Addr(1<<20)
+		return hi1 <= lo2 || hi2 <= lo1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapsTextHidesRB(t *testing.T) {
+	as := NewAddressSpace(14, 0)
+	if _, err := as.MapFixed(0x30000, PageSize, ProtRead|ProtWrite, "rb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MapFixed(0x50000, PageSize, ProtRead|ProtExec, "text"); err != nil {
+		t.Fatal(err)
+	}
+	full := as.MapsText()
+	if !strings.Contains(full, "rb") || !strings.Contains(full, "text") {
+		t.Fatalf("unfiltered maps missing regions:\n%s", full)
+	}
+	filtered := as.MapsText("rb")
+	if strings.Contains(filtered, "rb") {
+		t.Fatalf("filtered maps still shows rb:\n%s", filtered)
+	}
+	if !strings.Contains(filtered, "text") {
+		t.Fatalf("filtered maps lost text region:\n%s", filtered)
+	}
+}
+
+func TestReadWriteRoundTripProperty(t *testing.T) {
+	as := NewAddressSpace(15, 0)
+	r, err := as.Map(64*PageSize, ProtRead|ProtWrite, "prop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, data []byte) bool {
+		a := r.Start + Addr(off)
+		if uint64(off)+uint64(len(data)) > r.Size {
+			return true
+		}
+		if err := as.Write(a, data); err != nil {
+			return false
+		}
+		got, err := as.ReadBytes(a, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtString(t *testing.T) {
+	if got := (ProtRead | ProtWrite).String(); got != "rw-" {
+		t.Fatalf("Prot string = %q, want rw-", got)
+	}
+	if got := (ProtRead | ProtExec).String(); got != "r-x" {
+		t.Fatalf("Prot string = %q, want r-x", got)
+	}
+	if got := Prot(0).String(); got != "---" {
+		t.Fatalf("Prot string = %q, want ---", got)
+	}
+}
+
+func TestSharedSegmentBounds(t *testing.T) {
+	seg := NewSharedSegment(3, PageSize)
+	if err := seg.WriteAt(make([]byte, 10), seg.Size-5); !errors.Is(err, ErrFault) {
+		t.Fatalf("out-of-bounds WriteAt = %v, want ErrFault", err)
+	}
+	if err := seg.ReadAt(make([]byte, 10), seg.Size-5); !errors.Is(err, ErrFault) {
+		t.Fatalf("out-of-bounds ReadAt = %v, want ErrFault", err)
+	}
+}

@@ -1,0 +1,65 @@
+package mem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MapsText renders the address space in /proc/<pid>/maps format. hide lists
+// region names to omit — GHUMVEE filters the replication buffer and file
+// map out of maps reads so their addresses cannot be discovered through
+// /proc (§3.1, "ReMon further prevents discovery of the RB through the
+// /proc/maps interface").
+func (as *AddressSpace) MapsText(hide ...string) string {
+	hidden := make(map[string]bool, len(hide))
+	for _, h := range hide {
+		hidden[h] = true
+	}
+	var b strings.Builder
+	for _, r := range as.Regions() {
+		if hidden[r.Name] {
+			continue
+		}
+		fmt.Fprintf(&b, "%012x-%012x %sp %08x 00:00 0", uint64(r.Start), uint64(r.End()), r.Prot, 0)
+		if r.Name != "" {
+			fmt.Fprintf(&b, "  %s", r.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DisjointCodeLayouts verifies the DCL property over a set of address
+// spaces: no executable region of one space overlaps an executable region
+// of any other. It returns an error naming the first violation. The paper
+// relies on DCL to guarantee that no code gadget address is valid in more
+// than one replica (§4, citing Volckaert et al. [40]).
+func DisjointCodeLayouts(spaces ...*AddressSpace) error {
+	type span struct {
+		start, end Addr
+		owner      int
+		name       string
+	}
+	var code []span
+	for i, as := range spaces {
+		for _, r := range as.Regions() {
+			if r.Prot&ProtExec != 0 {
+				code = append(code, span{r.Start, r.End(), i, r.Name})
+			}
+		}
+	}
+	for i := 0; i < len(code); i++ {
+		for j := i + 1; j < len(code); j++ {
+			a, b := code[i], code[j]
+			if a.owner == b.owner {
+				continue
+			}
+			if a.start < b.end && b.start < a.end {
+				return fmt.Errorf("mem: DCL violation: replica %d %q [%#x,%#x) overlaps replica %d %q [%#x,%#x)",
+					a.owner, a.name, uint64(a.start), uint64(a.end),
+					b.owner, b.name, uint64(b.start), uint64(b.end))
+			}
+		}
+	}
+	return nil
+}

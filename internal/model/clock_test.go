@@ -1,0 +1,120 @@
+package model
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v, want 0", c.Now())
+	}
+	if got := c.Advance(100); got != 100 {
+		t.Fatalf("Advance(100) = %v, want 100", got)
+	}
+	if got := c.Advance(50); got != 150 {
+		t.Fatalf("second Advance = %v, want 150", got)
+	}
+}
+
+func TestClockAdvanceNegativeClamped(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	if got := c.Advance(-40); got != 100 {
+		t.Fatalf("Advance(-40) = %v, want 100 (clamped)", got)
+	}
+}
+
+func TestClockSyncTo(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	if got := c.SyncTo(50); got != 100 {
+		t.Fatalf("SyncTo(50) on clock at 100 = %v, want 100", got)
+	}
+	if got := c.SyncTo(300); got != 300 {
+		t.Fatalf("SyncTo(300) = %v, want 300", got)
+	}
+	if c.Now() != 300 {
+		t.Fatalf("Now after SyncTo = %v, want 300", c.Now())
+	}
+}
+
+func TestClockSyncToMonotoneProperty(t *testing.T) {
+	// SyncTo never moves the clock backwards; Advance and SyncTo compose
+	// to a monotone sequence.
+	f := func(steps []int16) bool {
+		var c Clock
+		prev := Duration(0)
+		for i, s := range steps {
+			var now Duration
+			if i%2 == 0 {
+				now = c.Advance(Duration(s))
+			} else {
+				now = c.SyncTo(Duration(s))
+			}
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockConcurrentSyncTo(t *testing.T) {
+	// Concurrent SyncTo calls must leave the clock at the maximum target.
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 1; i <= 64; i++ {
+		wg.Add(1)
+		go func(target Duration) {
+			defer wg.Done()
+			c.SyncTo(target)
+		}(Duration(i * 10))
+	}
+	wg.Wait()
+	if c.Now() != 640 {
+		t.Fatalf("clock after concurrent SyncTo = %v, want 640", c.Now())
+	}
+}
+
+func TestMaxClock(t *testing.T) {
+	var a, b, d Clock
+	a.Advance(5)
+	b.Advance(500)
+	d.Advance(50)
+	if got := MaxClock(&a, &b, &d); got != 500 {
+		t.Fatalf("MaxClock = %v, want 500", got)
+	}
+	if got := MaxClock(); got != 0 {
+		t.Fatalf("MaxClock() = %v, want 0", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{5, "5ns"},
+		{1500, "1.50us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationSeconds(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+}

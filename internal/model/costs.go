@@ -1,0 +1,127 @@
+package model
+
+// Cost model constants.
+//
+// These constants calibrate the virtual-time simulation. They are not meant
+// to match any particular machine cycle-for-cycle; they are chosen so that
+// the *mechanisms* the paper identifies as dominant have the right relative
+// magnitudes:
+//
+//   - A ptrace stop costs two context switches plus TLB/cache disturbance,
+//     i.e. microseconds — three orders of magnitude above a register-only
+//     syscall's kernel entry.
+//   - The IP-MON fast path costs a token check plus a replication-buffer
+//     copy, i.e. tens to hundreds of nanoseconds.
+//   - Cross-process memory copies (process_vm_readv style) carry a fixed
+//     kernel cost plus a per-byte cost.
+//
+// With these, a workload issuing 60k syscalls/second (dedup, water_spatial,
+// network-loopback in §5.1) suffers multi-x slowdowns under pure lockstep
+// monitoring and near-native execution under IP-MON, reproducing Figures
+// 3–5's shape.
+const (
+	// CostSyscallTrap is the base kernel entry/exit cost of any system
+	// call, charged even for natively executed (unmonitored, untraced)
+	// calls.
+	CostSyscallTrap Duration = 120
+
+	// CostSyscallWork is the average in-kernel service cost of a cheap
+	// syscall beyond the trap itself (fd lookup, copying a timeval, ...).
+	CostSyscallWork Duration = 180
+
+	// CostContextSwitch is one scheduler context switch including the
+	// page-table switch and the TLB/cache fallout that follows it.
+	CostContextSwitch Duration = 1500
+
+	// CostPtraceStop is one ptrace trap delivered to a tracer: the tracee
+	// stops, the tracer is scheduled, and later schedules the tracee back
+	// — two context switches plus signalling overhead. GHUMVEE takes two
+	// stops (syscall entry + exit) per monitored call per replica.
+	CostPtraceStop Duration = 2*CostContextSwitch + 500
+
+	// CostPtracePeek is one PTRACE_PEEKDATA-style word read. GHUMVEE uses
+	// process_vm_readv instead (CostCrossCopy*), but the constant is kept
+	// for the legacy copying path ablation.
+	CostPtracePeek Duration = 800
+
+	// CostCrossCopyBase and CostCrossCopyPerByte model process_vm_readv /
+	// process_vm_writev: one syscall into the kernel plus a linear copy.
+	CostCrossCopyBase    Duration = 600
+	CostCrossCopyPerByte Duration = 1 // per 2 bytes; see CrossCopyCost
+
+	// CostMonitorCompare is GHUMVEE's per-argument comparison logic for
+	// one register argument.
+	CostMonitorCompare Duration = 25
+
+	// CostTokenCheck is IK-B's verifier check on syscall re-entry: compare
+	// the in-register authorization token with the kernel-held value.
+	CostTokenCheck Duration = 30
+
+	// CostBrokerRoute is IK-B's interception + routing decision
+	// (registration lookup, policy table lookup, program-counter rewrite).
+	CostBrokerRoute Duration = 60
+
+	// CostRBWriteBase / CostRBPerByte model IP-MON writing an entry header
+	// or payload into the replication buffer (same-process memory,
+	// cache-warm).
+	CostRBWriteBase Duration = 40
+	CostRBPerByte   Duration = 1 // per 4 bytes; see RBCopyCost
+
+	// CostRBReadBase models a slave locating and validating an RB entry.
+	CostRBReadBase Duration = 35
+
+	// CostFutexWait / CostFutexWake are the kernel-assisted blocking path
+	// of IP-MON's per-invocation condition variables.
+	CostFutexWait Duration = 900
+	CostFutexWake Duration = 700
+
+	// CostSpinIter is one iteration of the spin-read loop slaves use when
+	// the master's call is not expected to block.
+	CostSpinIter Duration = 12
+
+	// CostSignalDeliver is the kernel-side cost of delivering a signal and
+	// invoking the handler.
+	CostSignalDeliver Duration = 1200
+
+	// CostRRRecord / CostRRReplay are the record/replay agent's per-sync-
+	// operation costs (one shared-memory append / one ordered wait).
+	CostRRRecord Duration = 45
+	CostRRReplay Duration = 70
+
+	// CostThreadSpawn is clone()-style thread creation beyond the trap.
+	CostThreadSpawn Duration = 25 * Microsecond
+
+	// CostPageFault approximates a minor fault on first touch of a mapped
+	// region; charged by mmap-heavy paths.
+	CostPageFault Duration = 2500
+
+	// CostMonitorDispatch is the CP monitor's serialized per-replica
+	// handling time for one lockstep round: the monitor is a single
+	// process that services each replica's stop in turn (§2: "frequent
+	// interactions between cross-process MVEE monitors and program
+	// replicas require a high number of costly context switches").
+	CostMonitorDispatch Duration = 1200
+
+	// CostRBSharePerReplica models cache-coherence pressure on the shared
+	// replication buffer: every additional consumer of a freshly written
+	// entry costs the writer a cache-line transfer.
+	CostRBSharePerReplica Duration = 250
+)
+
+// CrossCopyCost reports the virtual cost of one cross-address-space copy of
+// n bytes (process_vm_readv / process_vm_writev equivalent).
+func CrossCopyCost(n int) Duration {
+	if n < 0 {
+		n = 0
+	}
+	return CostCrossCopyBase + Duration(n/2)*CostCrossCopyPerByte
+}
+
+// RBCopyCost reports the virtual cost of copying n bytes into or out of the
+// replication buffer (same address space, typically cache-warm).
+func RBCopyCost(n int) Duration {
+	if n < 0 {
+		n = 0
+	}
+	return CostRBWriteBase + Duration(n/4)*CostRBPerByte
+}

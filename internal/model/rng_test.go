@@ -1,0 +1,124 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGFloat64Distribution(t *testing.T) {
+	// Crude uniformity check: mean of many draws should be near 0.5.
+	r := NewRNG(123)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean of %d draws = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestRNGJitter(t *testing.T) {
+	r := NewRNG(5)
+	base := Duration(1000)
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(base, 0.25)
+		if v < 750 || v > 1250 {
+			t.Fatalf("Jitter out of bounds: %v", v)
+		}
+	}
+	if got := r.Jitter(base, 0); got != base {
+		t.Fatalf("Jitter with f=0 = %v, want %v", got, base)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	r := NewRNG(11)
+	child := r.Fork()
+	// Parent and child must not mirror each other.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked RNG mirrors parent (%d/100 equal)", same)
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	if CrossCopyCost(0) != CostCrossCopyBase {
+		t.Fatalf("CrossCopyCost(0) = %v, want base", CrossCopyCost(0))
+	}
+	if CrossCopyCost(-5) != CostCrossCopyBase {
+		t.Fatalf("CrossCopyCost(-5) should clamp to base")
+	}
+	if CrossCopyCost(1000) <= CrossCopyCost(10) {
+		t.Fatal("CrossCopyCost not increasing in n")
+	}
+	if RBCopyCost(4096) <= RBCopyCost(16) {
+		t.Fatal("RBCopyCost not increasing in n")
+	}
+	// Fast path must be far cheaper than the traced path for typical sizes.
+	if RBCopyCost(512) >= CostPtraceStop {
+		t.Fatalf("RB copy of 512B (%v) should cost less than a ptrace stop (%v)",
+			RBCopyCost(512), CostPtraceStop)
+	}
+}

@@ -1,0 +1,254 @@
+package policy
+
+import (
+	"testing"
+
+	"remon/internal/model"
+	"remon/internal/vkernel"
+)
+
+func TestLevelNoneMonitorsEverything(t *testing.T) {
+	s := NewSpatial(LevelNone)
+	for _, nr := range []int{vkernel.SysGetpid, vkernel.SysRead, vkernel.SysWrite} {
+		if s.Verdict(nr) != Monitored {
+			t.Errorf("%s not monitored at LevelNone", vkernel.SyscallName(nr))
+		}
+	}
+}
+
+func TestBaseLevel(t *testing.T) {
+	s := NewSpatial(BaseLevel)
+	if s.Verdict(vkernel.SysGettimeofday) != Unmonitored {
+		t.Fatal("gettimeofday must be unmonitored at BASE_LEVEL")
+	}
+	if s.Verdict(vkernel.SysGetpid) != Unmonitored {
+		t.Fatal("getpid must be unmonitored at BASE_LEVEL")
+	}
+	// Reads are NOT exempt at BASE.
+	if s.Verdict(vkernel.SysRead) != Monitored {
+		t.Fatal("read must stay monitored at BASE_LEVEL")
+	}
+	if s.Verdict(vkernel.SysStat) != Monitored {
+		t.Fatal("stat must stay monitored at BASE_LEVEL")
+	}
+}
+
+func TestLevelsAreCumulative(t *testing.T) {
+	s := NewSpatial(SocketRWLevel)
+	// BASE grants still hold at the top level.
+	if s.Verdict(vkernel.SysGettimeofday) != Unmonitored {
+		t.Fatal("BASE grants lost at SOCKET_RW")
+	}
+	if s.Verdict(vkernel.SysStat) != Unmonitored {
+		t.Fatal("NONSOCKET_RO grants lost at SOCKET_RW")
+	}
+	if s.Verdict(vkernel.SysFsync) != Unmonitored {
+		t.Fatal("NONSOCKET_RW grants lost at SOCKET_RW")
+	}
+}
+
+func TestConditionalPromotion(t *testing.T) {
+	// read: conditional at NONSOCKET_RO, unconditional at SOCKET_RO.
+	if NewSpatial(NonsocketROLevel).Verdict(vkernel.SysRead) != Conditional {
+		t.Fatal("read should be conditional at NONSOCKET_RO")
+	}
+	if NewSpatial(NonsocketRWLevel).Verdict(vkernel.SysRead) != Conditional {
+		t.Fatal("read should still be conditional at NONSOCKET_RW")
+	}
+	if NewSpatial(SocketROLevel).Verdict(vkernel.SysRead) != Unmonitored {
+		t.Fatal("read should be unconditional at SOCKET_RO")
+	}
+	// write: conditional at NONSOCKET_RW, unconditional at SOCKET_RW.
+	if NewSpatial(SocketROLevel).Verdict(vkernel.SysWrite) != Conditional {
+		t.Fatal("write should be conditional at SOCKET_RO")
+	}
+	if NewSpatial(SocketRWLevel).Verdict(vkernel.SysWrite) != Unmonitored {
+		t.Fatal("write should be unconditional at SOCKET_RW")
+	}
+}
+
+func TestWriteNotExemptBelowNonsocketRW(t *testing.T) {
+	if NewSpatial(NonsocketROLevel).Verdict(vkernel.SysWrite) != Monitored {
+		t.Fatal("write must be monitored at NONSOCKET_RO")
+	}
+}
+
+func TestCheckConditional(t *testing.T) {
+	ro := NewSpatial(NonsocketROLevel)
+	if !ro.CheckConditional(vkernel.SysRead, FDNonSocket) {
+		t.Fatal("read on non-socket should pass at NONSOCKET_RO")
+	}
+	if ro.CheckConditional(vkernel.SysRead, FDSock) {
+		t.Fatal("read on socket must fail at NONSOCKET_RO")
+	}
+	if ro.CheckConditional(vkernel.SysWrite, FDNonSocket) {
+		t.Fatal("write must fail at NONSOCKET_RO")
+	}
+	rw := NewSpatial(NonsocketRWLevel)
+	if !rw.CheckConditional(vkernel.SysWrite, FDNonSocket) {
+		t.Fatal("write on non-socket should pass at NONSOCKET_RW")
+	}
+	if rw.CheckConditional(vkernel.SysWrite, FDSock) {
+		t.Fatal("write on socket must fail at NONSOCKET_RW")
+	}
+	if !rw.CheckConditional(vkernel.SysFutex, FDUnknown) {
+		t.Fatal("futex should pass the conditional check at NONSOCKET_RO+")
+	}
+}
+
+func TestSensitiveCallsNeverExempt(t *testing.T) {
+	// FD allocation, memory management, thread/process control and signal
+	// handling are always monitored (§3.4).
+	s := NewSpatial(SocketRWLevel)
+	for _, nr := range []int{
+		vkernel.SysOpen, vkernel.SysClose, vkernel.SysSocket,
+		vkernel.SysAccept, vkernel.SysConnect, vkernel.SysMmap,
+		vkernel.SysMprotect, vkernel.SysMunmap, vkernel.SysClone,
+		vkernel.SysKill, vkernel.SysRtSigaction, vkernel.SysExit,
+		vkernel.SysDup, vkernel.SysPipe, vkernel.SysBind, vkernel.SysListen,
+		vkernel.SysEpollCreate1, vkernel.SysShmget, vkernel.SysShmat,
+	} {
+		if s.Verdict(nr) != Monitored {
+			t.Errorf("%s exempt at SOCKET_RW — must always be monitored",
+				vkernel.SyscallName(nr))
+		}
+	}
+}
+
+func TestUnmonitoredSetGrows(t *testing.T) {
+	prev := 0
+	for _, l := range Levels()[1:] {
+		m := NewSpatial(l).UnmonitoredSet()
+		n := (&m).Count()
+		if n <= prev {
+			t.Fatalf("unmonitored set did not grow at %v: %d <= %d", l, n, prev)
+		}
+		prev = n
+	}
+	// The paper's IP-MON fast path covers 67 calls; our top-level set
+	// should be in that ballpark.
+	topMask := NewSpatial(SocketRWLevel).UnmonitoredSet()
+	top := (&topMask).Count()
+	if top < 50 || top > 80 {
+		t.Fatalf("SOCKET_RW unmonitored set = %d calls, want ~67", top)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if NonsocketRWLevel.String() != "NONSOCKET_RW_LEVEL" {
+		t.Fatal("level name")
+	}
+	if Level(99).String() != "Level(99)" {
+		t.Fatal("unknown level name")
+	}
+	if Unmonitored.String() != "unmonitored" || Conditional.String() != "conditional" {
+		t.Fatal("verdict names")
+	}
+}
+
+func TestTemporalRequiresStreak(t *testing.T) {
+	tp := NewTemporal(5, 1.0, 0, 1)
+	if tp.Exempt(0, vkernel.SysRead) {
+		t.Fatal("exempt with no approvals")
+	}
+	for i := 0; i < 4; i++ {
+		tp.Approve(0, vkernel.SysRead)
+	}
+	if tp.Exempt(0, vkernel.SysRead) {
+		t.Fatal("exempt below MinApprovals")
+	}
+	tp.Approve(0, vkernel.SysRead)
+	if !tp.Exempt(0, vkernel.SysRead) {
+		t.Fatal("not exempt with full streak and p=1")
+	}
+}
+
+func TestTemporalDenyResets(t *testing.T) {
+	tp := NewTemporal(2, 1.0, 0, 1)
+	tp.Approve(0, vkernel.SysRead)
+	tp.Approve(0, vkernel.SysRead)
+	if !tp.Exempt(0, vkernel.SysRead) {
+		t.Fatal("should be exempt")
+	}
+	tp.Deny(0, vkernel.SysRead)
+	if tp.Exempt(0, vkernel.SysRead) {
+		t.Fatal("exempt after Deny")
+	}
+}
+
+func TestTemporalWindowExpiry(t *testing.T) {
+	tp := NewTemporal(1, 1.0, 10, 1)
+	tp.Approve(0, vkernel.SysRead)
+	if !tp.Exempt(0, vkernel.SysRead) {
+		t.Fatal("should be exempt inside window")
+	}
+	tp2 := NewTemporal(1, 1.0, 10, 1)
+	tp2.Approve(0, vkernel.SysRead)
+	for i := 0; i < 10; i++ {
+		tp2.Exempt(0, vkernel.SysRead)
+	}
+	if tp2.Exempt(0, vkernel.SysRead) {
+		t.Fatal("exempt after window expiry")
+	}
+}
+
+func TestTemporalStochastic(t *testing.T) {
+	tp := NewTemporal(1, 0.5, 0, 42)
+	tp.Approve(0, vkernel.SysRead)
+	yes, total := 0, 2000
+	for i := 0; i < total; i++ {
+		if tp.Exempt(0, vkernel.SysRead) {
+			yes++
+		}
+	}
+	frac := float64(yes) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("exemption rate %.2f, want ~0.5 — must not be deterministic", frac)
+	}
+}
+
+func TestTemporalPerSyscallIsolation(t *testing.T) {
+	tp := NewTemporal(1, 1.0, 0, 1)
+	tp.Approve(0, vkernel.SysRead)
+	if tp.Exempt(0, vkernel.SysWrite) {
+		t.Fatal("approval streak leaked across syscall numbers")
+	}
+}
+
+func TestTemporalReplicaConsistency(t *testing.T) {
+	// Two replicas with the same seed and the same per-thread call stream
+	// must make identical decision sequences — IP-MON instances would
+	// desynchronise otherwise.
+	a := NewTemporal(3, 0.5, 50, 99)
+	b := NewTemporal(3, 0.5, 50, 99)
+	rnd := model.NewRNG(7)
+	for i := 0; i < 2000; i++ {
+		ltid := rnd.Intn(4)
+		nr := []int{vkernel.SysRead, vkernel.SysWrite}[rnd.Intn(2)]
+		switch rnd.Intn(3) {
+		case 0:
+			a.Approve(ltid, nr)
+			b.Approve(ltid, nr)
+		case 1:
+			if a.Exempt(ltid, nr) != b.Exempt(ltid, nr) {
+				t.Fatalf("decision diverged at step %d", i)
+			}
+		case 2:
+			a.Deny(ltid, nr)
+			b.Deny(ltid, nr)
+		}
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("Table1 rows = %d, want 5", len(rows))
+	}
+	if rows[0].Level != BaseLevel || len(rows[0].Unconditional) != 21 {
+		t.Fatalf("BASE row = %v (%d uncond)", rows[0].Level, len(rows[0].Unconditional))
+	}
+	if len(rows[1].Conditional) == 0 {
+		t.Fatal("NONSOCKET_RO row missing conditional calls")
+	}
+}

@@ -1,0 +1,539 @@
+// Package rb implements IP-MON's replication buffer (§3.2): a linear
+// buffer in shared memory through which the master replica publishes
+// system call arguments, results and metadata, and from which slave
+// replicas consume them.
+//
+// Faithful properties:
+//
+//   - The buffer lives in a System V shared memory segment mapped at a
+//     different randomised address in each replica; only the segment-
+//     relative encoding lives here, the mapping addresses stay inside the
+//     monitors (the basis of the RB-hiding security argument, §3.1/§4).
+//   - It is linear, not circular: on overflow the master signals an
+//     arbiter (GHUMVEE) which waits for all replicas to synchronise and
+//     resets the buffer, avoiding read-write sharing on head/tail indices
+//     (§3.2). Each replica thread reads and writes only its own position.
+//   - Every syscall invocation gets its own entry with its own condition
+//     variable (a futex word inside the entry), so slaves progressing at
+//     different paces never contend on a shared condvar, and condvars are
+//     never reused or reset (§3.7).
+//   - The master skips the FUTEX_WAKE when no slave is waiting (§3.7).
+//
+// The buffer is partitioned per logical thread so that multi-threaded
+// replicas replicate independently, mirroring "each replica thread only
+// reads and writes its own RB position".
+package rb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/vkernel"
+)
+
+// Entry flags.
+const (
+	// FlagBlocking marks a call the master expects to block; slaves use
+	// the futex path instead of spinning (§3.7).
+	FlagBlocking = 1 << 0
+	// FlagMasterCall marks a call only the master executed.
+	FlagMasterCall = 1 << 1
+	// FlagForwarded marks a call the master ended up forwarding to
+	// GHUMVEE (§3.3 metadata).
+	FlagForwarded = 1 << 2
+)
+
+// Layout constants.
+const (
+	// globalHeaderSize holds buffer-wide state: the signals-pending flag
+	// GHUMVEE raises (§3.8) at offset 0.
+	globalHeaderSize = 64
+	// partHeaderSize per partition: writeOff(4) writtenSeq(4)
+	// generation(4) resetReq(4) consumed[12]x4.
+	partHeaderSize = 64
+	// entryHeaderSize: see field offsets below.
+	entryHeaderSize = 112
+
+	offSize     = 0
+	offNr       = 4
+	offSeq      = 8
+	offFlags    = 16
+	offStatus   = 20 // futex word: 0 = results pending, 1 = ready
+	offRetVal   = 24
+	offRetErrno = 32
+	offNArgs    = 36
+	offArgsPub  = 40 // virtual time args were published
+	offResPub   = 48 // virtual time results were published
+	offArgs     = 56 // 6 * 8 bytes
+	offInLen    = 104
+	offOutLen   = 108
+	offPayload  = entryHeaderSize
+
+	maxReplicas = 12
+	// statusSpinLimit bounds the spin-read loop before falling back to the
+	// futex (§3.7's two waiting strategies).
+	statusSpinLimit = 200
+)
+
+// Errors.
+var (
+	// ErrTooBig: the entry cannot fit even an empty buffer; the caller
+	// must forward the call to GHUMVEE (§3.3, CALCSIZE overflow rule).
+	ErrTooBig = errors.New("rb: entry exceeds buffer capacity")
+	// ErrDiverged: a slave's arguments do not match the master's record.
+	ErrDiverged = errors.New("rb: argument mismatch between master and slave")
+	// ErrCorrupt: structural invariants violated (attack or bug).
+	ErrCorrupt = errors.New("rb: corrupt entry")
+)
+
+// Arbiter resets a full partition once all replicas have drained it. In
+// ReMon this is GHUMVEE (§3.2: "Involving GHUMVEE as an arbiter avoids
+// costly read-write sharing on RB variables").
+type Arbiter interface {
+	ResetPartition(b *Buffer, part int)
+}
+
+// Buffer is the shared replication buffer.
+type Buffer struct {
+	seg       *mem.SharedSegment
+	nReplicas int
+	nParts    int
+	partSize  uint64
+	arbiter   Arbiter
+	// alwaysWake disables §3.7's wake suppression (ablation knob): the
+	// master issues FUTEX_WAKE even when no slave waits.
+	alwaysWake bool
+}
+
+// SetAlwaysWake toggles the wake-suppression ablation.
+func (b *Buffer) SetAlwaysWake(v bool) { b.alwaysWake = v }
+
+// New creates a buffer over seg for nReplicas replicas and nParts logical
+// threads. The arbiter handles overflow resets.
+func New(seg *mem.SharedSegment, nReplicas, nParts int, arbiter Arbiter) (*Buffer, error) {
+	if nReplicas < 1 || nReplicas > maxReplicas {
+		return nil, fmt.Errorf("rb: replica count %d out of range", nReplicas)
+	}
+	if nParts < 1 {
+		return nil, fmt.Errorf("rb: need at least one partition")
+	}
+	avail := seg.Size - globalHeaderSize
+	partSize := avail / uint64(nParts)
+	if partSize <= partHeaderSize+entryHeaderSize {
+		return nil, fmt.Errorf("rb: segment too small (%d bytes for %d partitions)", seg.Size, nParts)
+	}
+	return &Buffer{seg: seg, nReplicas: nReplicas, nParts: nParts, partSize: partSize, arbiter: arbiter}, nil
+}
+
+// Segment exposes the backing shared segment (the monitors map it).
+func (b *Buffer) Segment() *mem.SharedSegment { return b.seg }
+
+// Partitions reports the partition count.
+func (b *Buffer) Partitions() int { return b.nParts }
+
+// partBase returns the segment offset of partition p's header.
+func (b *Buffer) partBase(p int) uint64 {
+	return globalHeaderSize + uint64(p)*b.partSize
+}
+
+// dataCap is the payload capacity of one partition.
+func (b *Buffer) dataCap() uint64 { return b.partSize - partHeaderSize }
+
+func (b *Buffer) readU32(off uint64) uint32 {
+	var raw [4]byte
+	if err := b.seg.ReadAt(raw[:], off); err != nil {
+		panic("rb: segment read out of range: " + err.Error())
+	}
+	return binary.LittleEndian.Uint32(raw[:])
+}
+
+func (b *Buffer) writeU32(off uint64, v uint32) {
+	var raw [4]byte
+	binary.LittleEndian.PutUint32(raw[:], v)
+	if err := b.seg.WriteAt(raw[:], off); err != nil {
+		panic("rb: segment write out of range: " + err.Error())
+	}
+}
+
+func (b *Buffer) readU64(off uint64) uint64 {
+	var raw [8]byte
+	if err := b.seg.ReadAt(raw[:], off); err != nil {
+		panic("rb: segment read out of range: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(raw[:])
+}
+
+func (b *Buffer) writeU64(off uint64, v uint64) {
+	var raw [8]byte
+	binary.LittleEndian.PutUint64(raw[:], v)
+	if err := b.seg.WriteAt(raw[:], off); err != nil {
+		panic("rb: segment write out of range: " + err.Error())
+	}
+}
+
+// SetSignalsPending raises/clears the flag GHUMVEE stores at the start of
+// the RB when it needs the master to re-enter monitored execution (§3.8).
+func (b *Buffer) SetSignalsPending(v bool) {
+	var x uint32
+	if v {
+		x = 1
+	}
+	b.writeU32(0, x)
+}
+
+// SignalsPending reads the flag.
+func (b *Buffer) SignalsPending() bool { return b.readU32(0) != 0 }
+
+// partition header field offsets.
+const (
+	phWriteOff   = 0
+	phWrittenSeq = 4
+	phGeneration = 8
+	phResetReq   = 12
+	phConsumed   = 16 // nReplicas x u32
+)
+
+// ConsumedBy reports how many entries replica r has consumed in partition
+// p this generation.
+func (b *Buffer) ConsumedBy(p, r int) uint32 {
+	return b.readU32(b.partBase(p) + phConsumed + uint64(r)*4)
+}
+
+// WrittenSeq reports how many entries the master has published in p this
+// generation.
+func (b *Buffer) WrittenSeq(p int) uint32 {
+	return b.readU32(b.partBase(p) + phWrittenSeq)
+}
+
+// Generation reports partition p's reset generation.
+func (b *Buffer) Generation(p int) uint32 {
+	return b.readU32(b.partBase(p) + phGeneration)
+}
+
+// ResetRequested reports whether the master is waiting on an arbiter
+// reset of partition p.
+func (b *Buffer) ResetRequested(p int) bool {
+	return b.readU32(b.partBase(p)+phResetReq) != 0
+}
+
+// DoReset performs the arbiter's reset of partition p. Callers (GHUMVEE)
+// must have established that all slaves drained the partition.
+func (b *Buffer) DoReset(p int) {
+	base := b.partBase(p)
+	b.writeU32(base+phWriteOff, 0)
+	b.writeU32(base+phWrittenSeq, 0)
+	b.writeU32(base+phGeneration, b.Generation(p)+1)
+	b.writeU32(base+phResetReq, 0)
+	for r := 0; r < b.nReplicas; r++ {
+		b.writeU32(base+phConsumed+uint64(r)*4, 0)
+	}
+}
+
+// align16 rounds n up to a 16-byte boundary.
+func align16(n uint64) uint64 { return (n + 15) &^ 15 }
+
+// Writer is the master-side per-logical-thread cursor.
+type Writer struct {
+	b    *Buffer
+	part int
+	// base is the RB's mapped address in the master replica; futex
+	// syscalls address the buffer through it. It never leaves the
+	// monitor.
+	base mem.Addr
+	gen  uint32
+	seq  uint32
+	off  uint64 // write offset within the partition data area
+}
+
+// NewWriter creates the master-side cursor for partition part.
+func (b *Buffer) NewWriter(part int, base mem.Addr) *Writer {
+	return &Writer{b: b, part: part, base: base}
+}
+
+// Rebase changes the writer's mapping address after an RB migration
+// (§4's periodic-move extension). Segment-relative state is unaffected.
+func (w *Writer) Rebase(base mem.Addr) { w.base = base }
+
+// Reservation is an in-progress entry the master is filling.
+type Reservation struct {
+	w        *Writer
+	entryOff uint64 // segment offset of the entry
+	outCap   int
+	seq      uint32
+}
+
+// Reserve allocates an entry for the given call. inPayload is the deep
+// copy of the input buffers (PRECALL's argument log); outCap reserves
+// space for the results (CALCSIZE). A nil error means the entry is
+// allocated and the arguments are published. ErrTooBig means the call
+// must be forwarded to GHUMVEE instead.
+//
+// t is the master thread (for virtual-time charging and futex wakes).
+func (w *Writer) Reserve(t *vkernel.Thread, c *vkernel.Call, flags uint32, inPayload []byte, outCap int) (*Reservation, error) {
+	need := align16(entryHeaderSize + align16(uint64(len(inPayload))) + uint64(outCap))
+	if need > w.b.dataCap() {
+		return nil, ErrTooBig
+	}
+	// Overflow: request an arbiter reset and wait for it (§3.2). The
+	// master "waits for the slaves to consume the data already in the RB,
+	// after which it resets the RB" (§3.3) — the arbiter does both.
+	if w.off+need > w.b.dataCap() {
+		base := w.b.partBase(w.part)
+		w.b.writeU32(base+phResetReq, 1)
+		w.b.arbiter.ResetPartition(w.b, w.part)
+		w.gen = w.b.Generation(w.part)
+		w.seq = 0
+		w.off = 0
+		// Waiters blocked on writtenSeq must recheck the generation.
+		w.wakeFutex(t, base+phWrittenSeq)
+	}
+
+	entryOff := w.b.partBase(w.part) + partHeaderSize + w.off
+	b := w.b
+	b.writeU32(entryOff+offSize, uint32(need))
+	b.writeU32(entryOff+offNr, uint32(c.Num))
+	b.writeU64(entryOff+offSeq, uint64(w.seq))
+	b.writeU32(entryOff+offFlags, flags)
+	b.writeU32(entryOff+offStatus, 0)
+	b.writeU32(entryOff+offNArgs, 6)
+	b.writeU64(entryOff+offArgsPub, uint64(t.Clock.Now()))
+	for i := 0; i < 6; i++ {
+		b.writeU64(entryOff+offArgs+uint64(i)*8, c.Args[i])
+	}
+	b.writeU32(entryOff+offInLen, uint32(len(inPayload)))
+	b.writeU32(entryOff+offOutLen, 0)
+	if len(inPayload) > 0 {
+		if err := b.seg.WriteAt(inPayload, entryOff+offPayload); err != nil {
+			panic("rb: payload write: " + err.Error())
+		}
+	}
+	t.Clock.Advance(model.RBCopyCost(entryHeaderSize + len(inPayload)))
+
+	// Cache-coherence pressure: each additional replica consuming this
+	// entry costs the writer a line transfer (the memory-subsystem term
+	// the paper's evaluation attributes multi-replica slowdowns to).
+	t.Clock.Advance(model.Duration(w.b.nReplicas-1) * model.CostRBSharePerReplica)
+
+	res := &Reservation{w: w, entryOff: entryOff, outCap: outCap, seq: w.seq}
+	w.off += need
+	w.seq++
+
+	// Publish the entry: bump writtenSeq and wake slaves waiting for it.
+	base := w.b.partBase(w.part)
+	b.writeU32(base+phWrittenSeq, w.seq)
+	w.wakeFutex(t, base+phWrittenSeq)
+	return res, nil
+}
+
+// wakeFutex wakes waiters on the futex word at segment offset segOff, but
+// only if someone is waiting (§3.7 wake suppression).
+func (w *Writer) wakeFutex(t *vkernel.Thread, segOff uint64) {
+	addr := w.base + mem.Addr(segOff)
+	if !w.b.alwaysWake && t.Proc.Kernel.WaitingOn(t.Proc, addr) == 0 {
+		return
+	}
+	t.RawSyscall(vkernel.SysFutex, uint64(addr), vkernel.FutexWake, ^uint64(0)>>1)
+}
+
+// Complete publishes the call's results into the reservation: return
+// value, errno and the output payload (POSTCALL's REPLICATEBUFFER).
+func (r *Reservation) Complete(t *vkernel.Thread, ret uint64, errno vkernel.Errno, outPayload []byte) {
+	if len(outPayload) > r.outCap {
+		outPayload = outPayload[:r.outCap]
+	}
+	b := r.w.b
+	inLen := align16(uint64(b.readU32(r.entryOff + offInLen)))
+	if len(outPayload) > 0 {
+		if err := b.seg.WriteAt(outPayload, r.entryOff+offPayload+inLen); err != nil {
+			panic("rb: out payload write: " + err.Error())
+		}
+	}
+	b.writeU64(r.entryOff+offRetVal, ret)
+	b.writeU32(r.entryOff+offRetErrno, uint32(errno))
+	b.writeU32(r.entryOff+offOutLen, uint32(len(outPayload)))
+	b.writeU64(r.entryOff+offResPub, uint64(t.Clock.Now()))
+	t.Clock.Advance(model.RBCopyCost(len(outPayload) + 16))
+	// Release: status = 1, then wake any slave parked on this entry's
+	// condition variable.
+	b.writeU32(r.entryOff+offStatus, 1)
+	r.w.wakeFutex(t, r.entryOff+offStatus)
+}
+
+// Reader is a slave-side per-logical-thread cursor.
+type Reader struct {
+	b       *Buffer
+	part    int
+	replica int
+	base    mem.Addr // RB mapping address in this slave replica
+	gen     uint32
+	seq     uint32
+	off     uint64
+}
+
+// NewReader creates the slave-side cursor for partition part.
+func (b *Buffer) NewReader(part, replica int, base mem.Addr) *Reader {
+	return &Reader{b: b, part: part, replica: replica, base: base}
+}
+
+// Rebase changes the reader's mapping address after an RB migration.
+func (r *Reader) Rebase(base mem.Addr) { r.base = base }
+
+// EntryView is a consumed entry header.
+type EntryView struct {
+	r        *Reader
+	entryOff uint64
+	Nr       int
+	Flags    uint32
+	Args     [6]uint64
+	InLen    int
+}
+
+// Next blocks until the master publishes the next entry and returns its
+// view. The slave's clock syncs to the master's argument-publish time.
+func (r *Reader) Next(t *vkernel.Thread) (*EntryView, error) {
+	base := r.b.partBase(r.part)
+	for {
+		if t.Exited() {
+			// The MVEE is tearing down (divergence shutdown); unwind.
+			return nil, ErrCorrupt
+		}
+		if gen := r.b.Generation(r.part); gen != r.gen {
+			// Arbiter reset since our last read: restart the partition.
+			r.gen = gen
+			r.seq = 0
+			r.off = 0
+		}
+		ws := r.b.WrittenSeq(r.part)
+		if ws > r.seq {
+			break
+		}
+		// Park on the writtenSeq futex word (through this replica's own
+		// mapping address).
+		t.RawSyscall(vkernel.SysFutex, uint64(r.base+mem.Addr(base+phWrittenSeq)), vkernel.FutexWait, uint64(ws))
+	}
+	entryOff := base + partHeaderSize + r.off
+	size := r.b.readU32(entryOff + offSize)
+	if size < entryHeaderSize || uint64(size) > r.b.dataCap() {
+		return nil, ErrCorrupt
+	}
+	ev := &EntryView{
+		r:        r,
+		entryOff: entryOff,
+		Nr:       int(r.b.readU32(entryOff + offNr)),
+		Flags:    r.b.readU32(entryOff + offFlags),
+		InLen:    int(r.b.readU32(entryOff + offInLen)),
+	}
+	for i := 0; i < 6; i++ {
+		ev.Args[i] = r.b.readU64(entryOff + offArgs + uint64(i)*8)
+	}
+	if uint64(r.b.readU64(entryOff+offSeq)) != uint64(r.seq) {
+		return nil, ErrCorrupt
+	}
+	t.Clock.Advance(model.CostRBReadBase)
+	t.Clock.SyncTo(model.Duration(r.b.readU64(entryOff + offArgsPub)))
+	return ev, nil
+}
+
+// InPayload reads the master's deep-copied input buffers.
+func (ev *EntryView) InPayload() []byte {
+	out := make([]byte, ev.InLen)
+	if ev.InLen > 0 {
+		if err := ev.r.b.seg.ReadAt(out, ev.entryOff+offPayload); err != nil {
+			panic("rb: payload read: " + err.Error())
+		}
+	}
+	return out
+}
+
+// CompareCall checks the slave's own call against the master's record:
+// syscall number, register arguments (CHECKREG) and input payload
+// (CHECKPOINTER + deep compare). A mismatch is the divergence signal that
+// makes IP-MON crash the replica intentionally (§3.3).
+func (ev *EntryView) CompareCall(t *vkernel.Thread, c *vkernel.Call, regMask uint8, slavePayload []byte) error {
+	if ev.Nr != c.Num {
+		return fmt.Errorf("%w: syscall %s vs master %s", ErrDiverged,
+			vkernel.SyscallName(c.Num), vkernel.SyscallName(ev.Nr))
+	}
+	for i := 0; i < 6; i++ {
+		if regMask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if ev.Args[i] != c.Args[i] {
+			return fmt.Errorf("%w: arg%d %#x vs master %#x", ErrDiverged, i, c.Args[i], ev.Args[i])
+		}
+		t.Clock.Advance(model.CostMonitorCompare)
+	}
+	if slavePayload != nil {
+		masterIn := ev.InPayload()
+		if len(masterIn) != len(slavePayload) {
+			return fmt.Errorf("%w: payload length %d vs master %d", ErrDiverged, len(slavePayload), len(masterIn))
+		}
+		for i := range masterIn {
+			if masterIn[i] != slavePayload[i] {
+				return fmt.Errorf("%w: payload byte %d differs", ErrDiverged, i)
+			}
+		}
+		t.Clock.Advance(model.RBCopyCost(len(masterIn)))
+	}
+	return nil
+}
+
+// WaitResults blocks until the master completes the entry, then returns
+// the results. If the blocking flag is clear the slave spins (bounded)
+// before falling back to the futex; if set it parks immediately on the
+// entry's dedicated condition variable (§3.7).
+func (ev *EntryView) WaitResults(t *vkernel.Thread) (ret uint64, errno vkernel.Errno, out []byte) {
+	statusOff := ev.entryOff + offStatus
+	if ev.Flags&FlagBlocking == 0 {
+		for i := 0; i < statusSpinLimit; i++ {
+			if ev.r.b.readU32(statusOff) == 1 {
+				break
+			}
+			t.Clock.Advance(model.CostSpinIter)
+		}
+	}
+	for ev.r.b.readU32(statusOff) != 1 {
+		if t.Exited() {
+			return 0, vkernel.EPERM, nil
+		}
+		t.RawSyscall(vkernel.SysFutex, uint64(ev.r.base+mem.Addr(statusOff)), vkernel.FutexWait, 0)
+	}
+	ret = ev.r.b.readU64(ev.entryOff + offRetVal)
+	errno = vkernel.Errno(ev.r.b.readU32(ev.entryOff + offRetErrno))
+	outLen := int(ev.r.b.readU32(ev.entryOff + offOutLen))
+	if outLen > 0 {
+		out = make([]byte, outLen)
+		inLen := align16(uint64(ev.InLen))
+		if err := ev.r.b.seg.ReadAt(out, ev.entryOff+offPayload+inLen); err != nil {
+			panic("rb: out payload read: " + err.Error())
+		}
+	}
+	t.Clock.Advance(model.RBCopyCost(outLen + 16))
+	t.Clock.SyncTo(model.Duration(ev.r.b.readU64(ev.entryOff + offResPub)))
+	return ret, errno, out
+}
+
+// Consume advances past the entry and publishes this replica's progress
+// (its own consumed slot only — no read-write sharing).
+func (ev *EntryView) Consume() {
+	r := ev.r
+	size := uint64(r.b.readU32(ev.entryOff + offSize))
+	r.off += size
+	r.seq++
+	r.b.writeU32(r.b.partBase(r.part)+phConsumed+uint64(r.replica)*4, r.seq)
+}
+
+// Drained reports whether every slave has consumed all published entries
+// in partition p — the arbiter's reset precondition.
+func (b *Buffer) Drained(p int) bool {
+	ws := b.WrittenSeq(p)
+	for rIdx := 1; rIdx < b.nReplicas; rIdx++ {
+		if b.ConsumedBy(p, rIdx) < ws {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package rb
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"remon/internal/vkernel"
+)
+
+// TestEntryRoundTripProperty: for random calls, flags, payloads and
+// results, whatever the master publishes is exactly what the slave
+// consumes, in order.
+func TestEntryRoundTripProperty(t *testing.T) {
+	e := newRBEnv(t, 1<<22, 1, nil)
+	w := e.buf.NewWriter(0, e.mBase)
+	r := e.buf.NewReader(0, 1, e.sBase)
+
+	type sample struct {
+		Nr      uint16
+		Args    [6]uint64
+		Flags   uint32
+		In, Out []byte
+		Ret     uint64
+		Errno   uint8
+	}
+	check := func(s sample) bool {
+		if len(s.In) > 4096 {
+			s.In = s.In[:4096]
+		}
+		if len(s.Out) > 4096 {
+			s.Out = s.Out[:4096]
+		}
+		c := &vkernel.Call{Num: int(s.Nr % 400), Args: s.Args}
+		res, err := w.Reserve(e.master, c, s.Flags&3, s.In, len(s.Out))
+		if err != nil {
+			return false
+		}
+		res.Complete(e.master, s.Ret, vkernel.Errno(s.Errno), s.Out)
+
+		ev, err := r.Next(e.slave)
+		if err != nil {
+			return false
+		}
+		if ev.Nr != c.Num || ev.Args != s.Args {
+			return false
+		}
+		if !bytes.Equal(ev.InPayload(), s.In) {
+			return false
+		}
+		ret, errno, out := ev.WaitResults(e.slave)
+		ev.Consume()
+		if ret != s.Ret || errno != vkernel.Errno(s.Errno) {
+			return false
+		}
+		if len(s.Out) == 0 {
+			return len(out) == 0
+		}
+		return bytes.Equal(out, s.Out)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareCallSoundnessProperty: CompareCall accepts exactly the calls
+// whose masked registers and payload match the recorded ones.
+func TestCompareCallSoundnessProperty(t *testing.T) {
+	e := newRBEnv(t, 1<<22, 1, nil)
+	w := e.buf.NewWriter(0, e.mBase)
+	r := e.buf.NewReader(0, 1, e.sBase)
+
+	type sample struct {
+		Args    [6]uint64
+		Payload []byte
+		MutIdx  uint8
+		Mutate  bool
+	}
+	check := func(s sample) bool {
+		if len(s.Payload) > 512 {
+			s.Payload = s.Payload[:512]
+		}
+		c := &vkernel.Call{Num: vkernel.SysWrite, Args: s.Args}
+		res, err := w.Reserve(e.master, c, FlagMasterCall, s.Payload, 0)
+		if err != nil {
+			return false
+		}
+		res.Complete(e.master, 0, 0, nil)
+		ev, err := r.Next(e.slave)
+		if err != nil {
+			return false
+		}
+		defer func() {
+			ev.WaitResults(e.slave)
+			ev.Consume()
+		}()
+
+		slaveCall := &vkernel.Call{Num: vkernel.SysWrite, Args: s.Args}
+		slavePayload := append([]byte(nil), s.Payload...)
+		if s.Mutate {
+			// Introduce a divergence in either a register or the payload.
+			if len(slavePayload) > 0 && s.MutIdx%2 == 0 {
+				slavePayload[int(s.MutIdx)%len(slavePayload)] ^= 0xFF
+			} else {
+				slaveCall.Args[int(s.MutIdx)%6] ^= 0x1
+			}
+		}
+		err = ev.CompareCall(e.slave, slaveCall, 0x3F, slavePayload)
+		if s.Mutate {
+			return err != nil
+		}
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWrittenSeqMonotoneWithinGeneration: the partition's published
+// counter never decreases except at an arbiter reset, and consumed never
+// exceeds written.
+func TestWrittenSeqMonotoneWithinGeneration(t *testing.T) {
+	arb := &testArbiter{}
+	e := newRBEnv(t, 32*1024, 1, arb)
+	w := e.buf.NewWriter(0, e.mBase)
+	r := e.buf.NewReader(0, 1, e.sBase)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 150; i++ {
+			ev, err := r.Next(e.slave)
+			if err != nil {
+				t.Errorf("Next: %v", err)
+				return
+			}
+			if e.buf.ConsumedBy(0, 1) > e.buf.WrittenSeq(0)+1 {
+				t.Error("consumed ran past written")
+				return
+			}
+			ev.WaitResults(e.slave)
+			ev.Consume()
+		}
+	}()
+	prevGen := e.buf.Generation(0)
+	prevSeq := uint32(0)
+	for i := 0; i < 150; i++ {
+		c := &vkernel.Call{Num: vkernel.SysGetpid}
+		res, err := w.Reserve(e.master, c, 0, make([]byte, 64), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Complete(e.master, uint64(i), 0, make([]byte, 32))
+		gen := e.buf.Generation(0)
+		seq := e.buf.WrittenSeq(0)
+		if gen == prevGen && seq < prevSeq {
+			t.Fatalf("writtenSeq went backwards within generation: %d -> %d", prevSeq, seq)
+		}
+		prevGen, prevSeq = gen, seq
+	}
+	<-done
+	if arb.resets == 0 {
+		t.Fatal("expected resets with a 32KiB buffer")
+	}
+}

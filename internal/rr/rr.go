@@ -1,0 +1,142 @@
+// Package rr implements the record/replay agent ReMon embeds in each
+// replica to rein in the non-determinism of multi-threaded programs
+// (§2.3): the master records the order of user-space synchronisation
+// operations; the slaves replay that order, forcing all replicas through
+// the same interleaving and hence the same system call sequences.
+package rr
+
+import (
+	"sync"
+
+	"remon/internal/model"
+	"remon/internal/vkernel"
+)
+
+// Event is one recorded synchronisation operation.
+type Event struct {
+	LTID int    // logical thread performing the operation
+	Obj  uint64 // synchronisation object identity (lock address, etc.)
+	Kind uint8  // operation kind (lock, unlock, spawn, ...)
+}
+
+// Operation kinds.
+const (
+	OpLock uint8 = iota
+	OpUnlock
+	OpSpawn
+	OpCustom
+)
+
+// Log is the shared record of synchronisation order, written by the
+// master's agent and read by the slaves'.
+type Log struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []Event
+	closed bool
+}
+
+// NewLog creates an empty log.
+func NewLog() *Log {
+	l := &Log{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Close marks the log finished (master exit); blocked slaves drain.
+func (l *Log) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// record appends an event and wakes replaying slaves.
+func (l *Log) record(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// await blocks until event pos exists, then returns it. ok=false when the
+// log closed first.
+func (l *Log) await(pos int) (Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for pos >= len(l.events) && !l.closed {
+		l.cond.Wait()
+	}
+	if pos < len(l.events) {
+		return l.events[pos], true
+	}
+	return Event{}, false
+}
+
+// Agent is one replica's record/replay agent.
+type Agent struct {
+	log    *Log
+	master bool
+
+	mu     sync.Mutex
+	cursor int
+	gate   *sync.Cond
+}
+
+// NewAgent creates an agent. Exactly one agent per replica set records
+// (the master's); the rest replay.
+func NewAgent(log *Log, master bool) *Agent {
+	a := &Agent{log: log, master: master}
+	a.gate = sync.NewCond(&a.mu)
+	return a
+}
+
+// Master reports whether this agent records.
+func (a *Agent) Master() bool { return a.master }
+
+// Sync orders one synchronisation operation. The master records and
+// proceeds; a slave blocks until the replayed sequence reaches an event
+// matching (ltid, obj, kind), preserving the recorded total order.
+//
+// Virtual time: recording costs CostRRRecord; replaying costs
+// CostRRReplay per operation (§2.3's agent overhead).
+func (a *Agent) Sync(t *vkernel.Thread, ltid int, obj uint64, kind uint8) {
+	if a.master {
+		t.Clock.Advance(model.CostRRRecord)
+		a.log.record(Event{LTID: ltid, Obj: obj, Kind: kind})
+		return
+	}
+	t.Clock.Advance(model.CostRRReplay)
+	a.mu.Lock()
+	for {
+		pos := a.cursor
+		a.mu.Unlock()
+		e, ok := a.log.await(pos)
+		a.mu.Lock()
+		if !ok {
+			// Log closed: run free (master is gone; the monitor's
+			// divergence machinery owns correctness now).
+			a.mu.Unlock()
+			return
+		}
+		if pos != a.cursor {
+			// Another thread consumed this slot; re-evaluate.
+			continue
+		}
+		if e.LTID == ltid && e.Obj == obj && e.Kind == kind {
+			a.cursor++
+			a.gate.Broadcast()
+			a.mu.Unlock()
+			return
+		}
+		// Not our turn: wait for the cursor to move.
+		a.gate.Wait()
+	}
+}

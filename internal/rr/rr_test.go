@@ -1,0 +1,144 @@
+package rr
+
+import (
+	"sync"
+	"testing"
+
+	"remon/internal/vkernel"
+)
+
+func newThread() *vkernel.Thread {
+	k := vkernel.New(nil)
+	return k.NewProcess("rr-test", 1, 0).NewThread(nil)
+}
+
+func TestMasterRecords(t *testing.T) {
+	log := NewLog()
+	a := NewAgent(log, true)
+	th := newThread()
+	a.Sync(th, 0, 100, OpLock)
+	a.Sync(th, 1, 100, OpLock)
+	if log.Len() != 2 {
+		t.Fatalf("log length = %d", log.Len())
+	}
+}
+
+func TestSlaveReplaysInOrder(t *testing.T) {
+	log := NewLog()
+	master := NewAgent(log, true)
+	slave := NewAgent(log, false)
+	mt := newThread()
+
+	// Master records: thread 1 locks, then thread 0 locks.
+	master.Sync(mt, 1, 42, OpLock)
+	master.Sync(mt, 0, 42, OpLock)
+
+	// Slave threads arrive in the opposite order; replay must force the
+	// recorded order: ltid 1 first.
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, ltid := range []int{0, 1} {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			th := newThread()
+			slave.Sync(th, l, 42, OpLock)
+			mu.Lock()
+			order = append(order, l)
+			mu.Unlock()
+		}(ltid)
+	}
+	wg.Wait()
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("replay order = %v, want [1 0]", order)
+	}
+}
+
+func TestSlaveBlocksUntilRecorded(t *testing.T) {
+	log := NewLog()
+	master := NewAgent(log, true)
+	slave := NewAgent(log, false)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		slave.Sync(newThread(), 0, 7, OpLock)
+	}()
+	select {
+	case <-done:
+		t.Fatal("slave proceeded before master recorded")
+	default:
+	}
+	master.Sync(newThread(), 0, 7, OpLock)
+	<-done
+}
+
+func TestCloseReleasesSlaves(t *testing.T) {
+	log := NewLog()
+	slave := NewAgent(log, false)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		slave.Sync(newThread(), 3, 9, OpUnlock)
+	}()
+	log.Close()
+	<-done // must not hang
+}
+
+func TestLongSequenceReplay(t *testing.T) {
+	log := NewLog()
+	master := NewAgent(log, true)
+	slave := NewAgent(log, false)
+	mt := newThread()
+
+	const n = 500
+	want := make([]Event, n)
+	for i := 0; i < n; i++ {
+		want[i] = Event{LTID: i % 3, Obj: uint64(i % 5), Kind: OpLock}
+		master.Sync(mt, want[i].LTID, want[i].Obj, OpLock)
+	}
+
+	var mu sync.Mutex
+	var got []Event
+	var wg sync.WaitGroup
+	// Three slave threads, one per ltid, each replays its own events.
+	for ltid := 0; ltid < 3; ltid++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			th := newThread()
+			for i := 0; i < n; i++ {
+				if want[i].LTID != l {
+					continue
+				}
+				slave.Sync(th, l, want[i].Obj, OpLock)
+				mu.Lock()
+				got = append(got, Event{LTID: l, Obj: want[i].Obj, Kind: OpLock})
+				mu.Unlock()
+			}
+		}(ltid)
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("replayed %d events, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecordChargesLessThanReplay(t *testing.T) {
+	log := NewLog()
+	master := NewAgent(log, true)
+	slave := NewAgent(log, false)
+	mt := newThread()
+	st := newThread()
+	master.Sync(mt, 0, 1, OpLock)
+	slave.Sync(st, 0, 1, OpLock)
+	if mt.Clock.Now() >= st.Clock.Now() {
+		t.Fatalf("record cost %v should be below replay cost %v",
+			mt.Clock.Now(), st.Clock.Now())
+	}
+}

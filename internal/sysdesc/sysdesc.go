@@ -1,0 +1,367 @@
+// Package sysdesc describes system call signatures for the monitors: which
+// arguments are plain registers, which are file descriptors, which point
+// into process memory (and how big the pointed-to data is), and whether a
+// call must execute in the master replica only (externally visible I/O,
+// replicated to slaves) or in every replica (process-local state such as
+// memory mappings).
+//
+// GHUMVEE's lockstep comparator and IP-MON's PRECALL/POSTCALL handlers are
+// both driven by this table — it is the Go equivalent of the per-syscall
+// C-macro descriptions of Listing 1.
+package sysdesc
+
+import (
+	"remon/internal/vkernel"
+)
+
+// ArgType classifies one syscall argument.
+type ArgType uint8
+
+// Argument classes.
+const (
+	// ArgNone: trailing unused argument.
+	ArgNone ArgType = iota
+	// ArgInt: plain scalar compared by value (CHECKREG).
+	ArgInt
+	// ArgFD: descriptor number; compared by value (descriptor numbering is
+	// deterministic across replicas) and consulted for policy decisions.
+	ArgFD
+	// ArgPath: pointer to a NUL-terminated string; deep-compared
+	// (CHECKPOINTER + string compare).
+	ArgPath
+	// ArgInBuf: input buffer whose length is in another argument;
+	// deep-compared.
+	ArgInBuf
+	// ArgOutBuf: output buffer the kernel fills; replicated
+	// master->slaves (REPLICATEBUFFER).
+	ArgOutBuf
+	// ArgInOutBuf: buffer both read and written (poll's pollfd array);
+	// deep-compared on entry, replicated on exit.
+	ArgInOutBuf
+	// ArgPtrOpaque: pointer compared only for NULL/non-NULL equivalence
+	// (addresses are diversified across replicas).
+	ArgPtrOpaque
+	// ArgIovec: iovec array pointer (count in another argument); compared
+	// by gathering the iovec contents.
+	ArgIovec
+)
+
+// SizeRule says how big an ArgOutBuf's replicated payload is.
+type SizeRule uint8
+
+// Output size rules.
+const (
+	// SizeZero: nothing to replicate.
+	SizeZero SizeRule = iota
+	// SizeRet: the call's return value is the byte count (read, getdents).
+	SizeRet
+	// SizeFixed: Fixed bytes (stat buffers, pipe fd pairs).
+	SizeFixed
+	// SizeRetTimes: return value times Fixed bytes (epoll_wait events).
+	SizeRetTimes
+	// SizeLenArg: the length argument's value (worst case reservation);
+	// replication still uses min(len, ret) where ret applies.
+	SizeLenArg
+	// SizeCString: a NUL-terminated string of unknown length (accept's
+	// peer address out-parameter); replicated up to the NUL.
+	SizeCString
+)
+
+// Arg describes one argument slot.
+type Arg struct {
+	Type   ArgType
+	LenArg int      // index of the length argument for buffers (-1 none)
+	Rule   SizeRule // for ArgOutBuf / ArgInOutBuf
+	Fixed  int      // for SizeFixed / SizeRetTimes
+}
+
+// ExecMode says which replicas actually execute the call.
+type ExecMode uint8
+
+// Execution modes.
+const (
+	// MasterCall: only the master performs the call; results are
+	// replicated to slaves (I/O and anything touching shared or
+	// externally visible state; also process-identity queries that must
+	// return consistent values).
+	MasterCall ExecMode = iota
+	// AllReplicas: every replica executes its own call (process-local
+	// state: memory mappings, heap, signal masks, exits). Only success /
+	// failure is compared.
+	AllReplicas
+)
+
+// Special marks calls the monitors treat with dedicated logic.
+type Special uint8
+
+// Special handling kinds.
+const (
+	SpecNone Special = iota
+	// SpecEpollWait: returned events carry user-data cookies that must be
+	// translated per replica through the epoll shadow map (§3.9).
+	SpecEpollWait
+	// SpecEpollCtl: registers an fd<->cookie pair in the shadow map.
+	SpecEpollCtl
+	// SpecMapsRead: reads of /proc/<pid>/maps must be filtered (§3.1);
+	// flagged at the descriptor level for open-path inspection.
+	SpecMapsRead
+	// SpecShm: shared-memory request subject to GHUMVEE's bidirectional-
+	// channel rejection (§2.1).
+	SpecShm
+	// SpecExit: thread/process exit.
+	SpecExit
+)
+
+// Desc is one syscall's monitor-relevant description.
+type Desc struct {
+	Nr      int
+	Name    string
+	Args    [6]Arg
+	NArgs   int
+	Exec    ExecMode
+	Special Special
+	// BlockFD is the index of the fd argument whose state decides whether
+	// the call may block (MAYBE_BLOCKING(ARG1) in Listing 1); -1 if the
+	// call never blocks.
+	BlockFD int
+	// FDCreating marks calls that allocate new descriptors — GHUMVEE
+	// refreshes the file map after them (§3.6).
+	FDCreating bool
+	// FDClosing marks close.
+	FDClosing bool
+}
+
+func in(len int) Arg     { return Arg{Type: ArgInBuf, LenArg: len} }
+func outRet() Arg        { return Arg{Type: ArgOutBuf, LenArg: -1, Rule: SizeRet} }
+func outFixed(n int) Arg { return Arg{Type: ArgOutBuf, LenArg: -1, Rule: SizeFixed, Fixed: n} }
+func path() Arg          { return Arg{Type: ArgPath, LenArg: -1} }
+func fd() Arg            { return Arg{Type: ArgFD, LenArg: -1} }
+func ival() Arg          { return Arg{Type: ArgInt, LenArg: -1} }
+func iovec(cnt int) Arg  { return Arg{Type: ArgIovec, LenArg: cnt} }
+
+var table = map[int]*Desc{}
+
+func def(nr int, exec ExecMode, blockFD int, args ...Arg) *Desc {
+	d := &Desc{Nr: nr, Name: vkernel.SyscallName(nr), Exec: exec, BlockFD: blockFD}
+	copy(d.Args[:], args)
+	d.NArgs = len(args)
+	table[nr] = d
+	return d
+}
+
+func init() {
+	// --- File I/O (master-call: the filesystem is shared state). ---
+	def(vkernel.SysOpen, MasterCall, -1, path(), ival(), ival()).FDCreating = true
+	def(vkernel.SysOpenat, MasterCall, -1, ival(), path(), ival(), ival()).FDCreating = true
+	def(vkernel.SysClose, MasterCall, -1, fd()).FDClosing = true
+	def(vkernel.SysRead, MasterCall, 0, fd(), outRet(), ival())
+	def(vkernel.SysPread64, MasterCall, 0, fd(), outRet(), ival(), ival())
+	def(vkernel.SysWrite, MasterCall, 0, fd(), in(2), ival())
+	def(vkernel.SysPwrite64, MasterCall, 0, fd(), in(2), ival(), ival())
+	def(vkernel.SysReadv, MasterCall, 0, fd(), iovec(2), ival())
+	def(vkernel.SysPreadv, MasterCall, 0, fd(), iovec(2), ival(), ival())
+	def(vkernel.SysWritev, MasterCall, 0, fd(), iovec(2), ival())
+	def(vkernel.SysPwritev, MasterCall, 0, fd(), iovec(2), ival(), ival())
+	def(vkernel.SysLseek, MasterCall, -1, fd(), ival(), ival())
+	def(vkernel.SysStat, MasterCall, -1, path(), outFixed(vkernel.StatBufSize))
+	def(vkernel.SysLstat, MasterCall, -1, path(), outFixed(vkernel.StatBufSize))
+	def(vkernel.SysFstat, MasterCall, -1, fd(), outFixed(vkernel.StatBufSize))
+	def(vkernel.SysNewfstatat, MasterCall, -1, ival(), path(), outFixed(vkernel.StatBufSize), ival())
+	def(vkernel.SysAccess, MasterCall, -1, path(), ival())
+	def(vkernel.SysFaccessat, MasterCall, -1, ival(), path(), ival())
+	def(vkernel.SysGetdents, MasterCall, -1, fd(), outRet(), ival())
+	def(vkernel.SysGetdents64, MasterCall, -1, fd(), outRet(), ival())
+	def(vkernel.SysReadlink, MasterCall, -1, path(), outRet(), ival())
+	def(vkernel.SysReadlinkat, MasterCall, -1, ival(), path(), outRet(), ival())
+	def(vkernel.SysUnlink, MasterCall, -1, path())
+	def(vkernel.SysUnlinkat, MasterCall, -1, ival(), path(), ival())
+	def(vkernel.SysMkdir, MasterCall, -1, path(), ival())
+	def(vkernel.SysRmdir, MasterCall, -1, path())
+	def(vkernel.SysRename, MasterCall, -1, path(), path())
+	def(vkernel.SysTruncate, MasterCall, -1, path(), ival())
+	def(vkernel.SysFtruncate, MasterCall, -1, fd(), ival())
+	def(vkernel.SysFsync, MasterCall, -1, fd())
+	def(vkernel.SysFdatasync, MasterCall, -1, fd())
+	def(vkernel.SysSync, MasterCall, -1)
+	def(vkernel.SysSyncfs, MasterCall, -1, fd())
+	def(vkernel.SysFcntl, MasterCall, -1, fd(), ival(), ival()).FDCreating = true // F_DUPFD
+	def(vkernel.SysIoctl, MasterCall, -1, fd(), ival(), ival())
+	def(vkernel.SysDup, MasterCall, -1, fd()).FDCreating = true
+	def(vkernel.SysDup2, MasterCall, -1, fd(), ival()).FDCreating = true
+	def(vkernel.SysDup3, MasterCall, -1, fd(), ival(), ival()).FDCreating = true
+	def(vkernel.SysPipe, MasterCall, -1, outFixed(8)).FDCreating = true
+	def(vkernel.SysPipe2, MasterCall, -1, outFixed(8), ival()).FDCreating = true
+	def(vkernel.SysSendfile, MasterCall, 0, fd(), fd(), ival(), ival())
+	def(vkernel.SysGetxattr, MasterCall, -1, path(), path(), Arg{Type: ArgPtrOpaque, LenArg: -1}, ival())
+	def(vkernel.SysLgetxattr, MasterCall, -1, path(), path(), Arg{Type: ArgPtrOpaque, LenArg: -1}, ival())
+	def(vkernel.SysFgetxattr, MasterCall, -1, fd(), path(), Arg{Type: ArgPtrOpaque, LenArg: -1}, ival())
+	def(vkernel.SysFadvise64, MasterCall, -1, fd(), ival(), ival(), ival())
+
+	// --- Network (master-call: external effects). ---
+	def(vkernel.SysSocket, MasterCall, -1, ival(), ival(), ival()).FDCreating = true
+	def(vkernel.SysBind, MasterCall, -1, fd(), path(), ival())
+	def(vkernel.SysListen, MasterCall, -1, fd(), ival())
+	acc := def(vkernel.SysAccept, MasterCall, 0, fd(), Arg{Type: ArgOutBuf, LenArg: -1, Rule: SizeCString}, ival())
+	acc.FDCreating = true
+	acc4 := def(vkernel.SysAccept4, MasterCall, 0, fd(), Arg{Type: ArgOutBuf, LenArg: -1, Rule: SizeCString}, ival(), ival())
+	acc4.FDCreating = true
+	def(vkernel.SysConnect, MasterCall, -1, fd(), path(), ival())
+	def(vkernel.SysSendto, MasterCall, 0, fd(), in(2), ival(), ival(), ival(), ival())
+	def(vkernel.SysSendmsg, MasterCall, 0, fd(), iovec(-1), ival())
+	def(vkernel.SysSendmmsg, MasterCall, 0, fd(), iovec(-1), ival(), ival())
+	def(vkernel.SysRecvfrom, MasterCall, 0, fd(), outRet(), ival(), ival(), ival(), ival())
+	def(vkernel.SysRecvmsg, MasterCall, 0, fd(), iovec(-1), ival())
+	def(vkernel.SysRecvmmsg, MasterCall, 0, fd(), iovec(-1), ival(), ival())
+	def(vkernel.SysShutdown, MasterCall, -1, fd(), ival())
+	def(vkernel.SysGetsockname, MasterCall, -1, fd(), Arg{Type: ArgOutBuf, LenArg: -1, Rule: SizeCString}, ival())
+	def(vkernel.SysGetpeername, MasterCall, -1, fd(), Arg{Type: ArgOutBuf, LenArg: -1, Rule: SizeCString}, ival())
+	def(vkernel.SysSetsockopt, MasterCall, -1, fd(), ival(), ival(), Arg{Type: ArgPtrOpaque, LenArg: -1}, ival())
+	def(vkernel.SysGetsockopt, MasterCall, -1, fd(), ival(), ival(), Arg{Type: ArgPtrOpaque, LenArg: -1}, ival())
+	def(vkernel.SysSocketpair, MasterCall, -1, ival(), ival(), ival(), outFixed(8)).FDCreating = true
+
+	// --- Multiplexing. ---
+	def(vkernel.SysPoll, MasterCall, -1, Arg{Type: ArgInOutBuf, LenArg: 1, Rule: SizeLenArg, Fixed: 8}, ival(), ival())
+	def(vkernel.SysSelect, MasterCall, -1, Arg{Type: ArgInOutBuf, LenArg: 1, Rule: SizeLenArg, Fixed: 8}, ival(), ival())
+	def(vkernel.SysPselect6, MasterCall, -1, Arg{Type: ArgInOutBuf, LenArg: 1, Rule: SizeLenArg, Fixed: 8}, ival(), ival())
+	def(vkernel.SysEpollCreate, MasterCall, -1, ival()).FDCreating = true
+	def(vkernel.SysEpollCreate1, MasterCall, -1, ival()).FDCreating = true
+	epctl := def(vkernel.SysEpollCtl, MasterCall, -1, fd(), ival(), fd(), Arg{Type: ArgInBuf, LenArg: -1, Rule: SizeFixed, Fixed: vkernel.EpollEventSize})
+	epctl.Special = SpecEpollCtl
+	epw := def(vkernel.SysEpollWait, MasterCall, 0, fd(), Arg{Type: ArgOutBuf, LenArg: -1, Rule: SizeRetTimes, Fixed: vkernel.EpollEventSize}, ival(), ival())
+	epw.Special = SpecEpollWait
+	epwp := def(vkernel.SysEpollPwait, MasterCall, 0, fd(), Arg{Type: ArgOutBuf, LenArg: -1, Rule: SizeRetTimes, Fixed: vkernel.EpollEventSize}, ival(), ival())
+	epwp.Special = SpecEpollWait
+
+	// --- Process-local: memory (per-replica, addresses diversified). ---
+	def(vkernel.SysMmap, AllReplicas, -1, Arg{Type: ArgPtrOpaque, LenArg: -1}, ival(), ival(), ival(), ival(), ival())
+	def(vkernel.SysMunmap, AllReplicas, -1, Arg{Type: ArgPtrOpaque, LenArg: -1}, ival())
+	def(vkernel.SysMprotect, AllReplicas, -1, Arg{Type: ArgPtrOpaque, LenArg: -1}, ival(), ival())
+	def(vkernel.SysMremap, AllReplicas, -1, Arg{Type: ArgPtrOpaque, LenArg: -1}, ival(), ival(), ival())
+	def(vkernel.SysBrk, AllReplicas, -1, ival())
+	def(vkernel.SysMadvise, AllReplicas, -1, Arg{Type: ArgPtrOpaque, LenArg: -1}, ival(), ival())
+	shmget := def(vkernel.SysShmget, MasterCall, -1, ival(), ival(), ival())
+	shmget.Special = SpecShm
+	shmat := def(vkernel.SysShmat, AllReplicas, -1, ival(), Arg{Type: ArgPtrOpaque, LenArg: -1}, ival())
+	shmat.Special = SpecShm
+	def(vkernel.SysShmdt, AllReplicas, -1, Arg{Type: ArgPtrOpaque, LenArg: -1})
+	def(vkernel.SysShmctl, MasterCall, -1, ival(), ival(), Arg{Type: ArgPtrOpaque, LenArg: -1}).Special = SpecShm
+
+	// --- Identity / time / info (master-call for consistency, §2.1). ---
+	for _, nr := range []int{
+		vkernel.SysGetpid, vkernel.SysGettid, vkernel.SysGetppid,
+		vkernel.SysGetpgrp, vkernel.SysGetuid, vkernel.SysGeteuid,
+		vkernel.SysGetgid, vkernel.SysGetegid, vkernel.SysGetpriority,
+		vkernel.SysSchedYield, vkernel.SysAlarm,
+	} {
+		def(nr, MasterCall, -1, ival(), ival())
+	}
+	def(vkernel.SysGetcwd, MasterCall, -1, outRet(), ival())
+	def(vkernel.SysUname, MasterCall, -1, outFixed(38))
+	def(vkernel.SysGetrusage, MasterCall, -1, ival(), outFixed(64))
+	def(vkernel.SysGetitimer, MasterCall, -1, ival(), outFixed(64))
+	def(vkernel.SysTimes, MasterCall, -1, outFixed(64))
+	def(vkernel.SysSysinfo, MasterCall, -1, outFixed(64))
+	def(vkernel.SysCapget, MasterCall, -1, outFixed(64), ival())
+	def(vkernel.SysGettimeofday, MasterCall, -1, outFixed(8), ival())
+	def(vkernel.SysTime, MasterCall, -1, outFixed(8))
+	def(vkernel.SysClockGettime, MasterCall, -1, ival(), outFixed(8))
+	def(vkernel.SysNanosleep, AllReplicas, -1, in(-1), Arg{Type: ArgPtrOpaque, LenArg: -1})
+	def(vkernel.SysSetitimer, MasterCall, -1, ival(), Arg{Type: ArgPtrOpaque, LenArg: -1}, Arg{Type: ArgPtrOpaque, LenArg: -1})
+	def(vkernel.SysTimerfdCreate, MasterCall, -1, ival(), ival()).FDCreating = true
+	def(vkernel.SysTimerfdSettime, MasterCall, -1, fd(), ival(), ival(), ival())
+	def(vkernel.SysTimerfdGettime, MasterCall, -1, fd(), outFixed(8))
+
+	// --- Sync / signals / lifecycle (process-local). ---
+	def(vkernel.SysFutex, AllReplicas, -1, Arg{Type: ArgPtrOpaque, LenArg: -1}, ival(), ival(), ival())
+	def(vkernel.SysRtSigaction, AllReplicas, -1, ival(), Arg{Type: ArgPtrOpaque, LenArg: -1}, Arg{Type: ArgPtrOpaque, LenArg: -1})
+	def(vkernel.SysRtSigprocmask, AllReplicas, -1, ival(), ival())
+	def(vkernel.SysKill, MasterCall, -1, ival(), ival())
+	def(vkernel.SysTgkill, MasterCall, -1, ival(), ival(), ival())
+	def(vkernel.SysExit, AllReplicas, -1, ival()).Special = SpecExit
+	def(vkernel.SysExitGroup, AllReplicas, -1, ival()).Special = SpecExit
+	def(vkernel.SysClone, AllReplicas, -1, ival(), ival())
+	def(vkernel.SysIPMonRegister, MasterCall, -1, ival(), ival(), ival())
+	def(vkernel.SysProcessVMReadv, MasterCall, -1, ival(), ival(), ival())
+}
+
+// Nanosleep's in-buffer is the 8-byte duration; patch its spec (LenArg -1
+// with fixed size 8).
+func init() {
+	d := table[vkernel.SysNanosleep]
+	d.Args[0] = Arg{Type: ArgInBuf, LenArg: -1, Rule: SizeFixed, Fixed: 8}
+}
+
+// Lookup returns the descriptor for nr, or nil for undescribed calls
+// (monitors treat those conservatively: lockstep, compare registers only).
+func Lookup(nr int) *Desc { return table[nr] }
+
+// All returns every descriptor (policy validation, stats).
+func All() []*Desc {
+	out := make([]*Desc, 0, len(table))
+	for _, d := range table {
+		out = append(out, d)
+	}
+	return out
+}
+
+// InBufSize computes the byte length of an ArgInBuf/ArgIovec-free input
+// buffer argument i for the given call (from the length argument or fixed
+// rule). Returns 0 when unknown.
+func (d *Desc) InBufSize(i int, c *vkernel.Call) int {
+	a := d.Args[i]
+	if a.Rule == SizeFixed {
+		return a.Fixed
+	}
+	if a.LenArg >= 0 {
+		n := int(c.Arg(a.LenArg))
+		if a.Fixed > 0 {
+			n *= a.Fixed
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > 1<<22 {
+			n = 1 << 22
+		}
+		return n
+	}
+	return 0
+}
+
+// OutBufSize computes how many bytes of output buffer argument i must be
+// replicated, given the call and its result.
+func (d *Desc) OutBufSize(i int, c *vkernel.Call, ret uint64, retOK bool) int {
+	if !retOK {
+		return 0
+	}
+	a := d.Args[i]
+	switch a.Rule {
+	case SizeRet:
+		n := int(int64(ret))
+		if n < 0 {
+			return 0
+		}
+		if n > 1<<22 {
+			n = 1 << 22
+		}
+		return n
+	case SizeFixed:
+		return a.Fixed
+	case SizeRetTimes:
+		n := int(int64(ret)) * a.Fixed
+		if n < 0 {
+			return 0
+		}
+		return n
+	case SizeLenArg:
+		n := int(c.Arg(a.LenArg))
+		if a.Fixed > 0 {
+			n *= a.Fixed
+		}
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	return 0
+}

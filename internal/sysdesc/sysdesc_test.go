@@ -1,0 +1,168 @@
+package sysdesc
+
+import (
+	"testing"
+
+	"remon/internal/vkernel"
+)
+
+func TestLookupKnownCalls(t *testing.T) {
+	for _, nr := range []int{
+		vkernel.SysRead, vkernel.SysWrite, vkernel.SysOpen, vkernel.SysClose,
+		vkernel.SysEpollWait, vkernel.SysMmap, vkernel.SysFutex,
+		vkernel.SysGetpid, vkernel.SysAccept, vkernel.SysPoll,
+	} {
+		if Lookup(nr) == nil {
+			t.Errorf("no descriptor for %s", vkernel.SyscallName(nr))
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if Lookup(9999) != nil {
+		t.Fatal("descriptor for bogus syscall")
+	}
+}
+
+func TestReadDescriptor(t *testing.T) {
+	d := Lookup(vkernel.SysRead)
+	if d.Exec != MasterCall {
+		t.Fatal("read must be a master call")
+	}
+	if d.Args[0].Type != ArgFD {
+		t.Fatal("read arg0 must be FD")
+	}
+	if d.Args[1].Type != ArgOutBuf || d.Args[1].Rule != SizeRet {
+		t.Fatal("read arg1 must be a ret-sized out buffer")
+	}
+	if d.BlockFD != 0 {
+		t.Fatal("read blocks on arg0")
+	}
+}
+
+func TestWriteDescriptor(t *testing.T) {
+	d := Lookup(vkernel.SysWrite)
+	if d.Args[1].Type != ArgInBuf || d.Args[1].LenArg != 2 {
+		t.Fatal("write arg1 must be an in-buffer sized by arg2")
+	}
+}
+
+func TestMemoryCallsAllReplicas(t *testing.T) {
+	for _, nr := range []int{
+		vkernel.SysMmap, vkernel.SysMunmap, vkernel.SysMprotect,
+		vkernel.SysBrk, vkernel.SysFutex, vkernel.SysExit,
+	} {
+		if d := Lookup(nr); d.Exec != AllReplicas {
+			t.Errorf("%s should execute in all replicas", d.Name)
+		}
+	}
+}
+
+func TestIOCallsMasterOnly(t *testing.T) {
+	for _, nr := range []int{
+		vkernel.SysRead, vkernel.SysWrite, vkernel.SysAccept,
+		vkernel.SysConnect, vkernel.SysGetpid, vkernel.SysClockGettime,
+	} {
+		if d := Lookup(nr); d.Exec != MasterCall {
+			t.Errorf("%s should be master-call", d.Name)
+		}
+	}
+}
+
+func TestEpollSpecials(t *testing.T) {
+	if Lookup(vkernel.SysEpollWait).Special != SpecEpollWait {
+		t.Fatal("epoll_wait special missing")
+	}
+	if Lookup(vkernel.SysEpollCtl).Special != SpecEpollCtl {
+		t.Fatal("epoll_ctl special missing")
+	}
+	if Lookup(vkernel.SysShmget).Special != SpecShm {
+		t.Fatal("shmget special missing")
+	}
+}
+
+func TestFDCreatingFlags(t *testing.T) {
+	for _, nr := range []int{
+		vkernel.SysOpen, vkernel.SysSocket, vkernel.SysAccept,
+		vkernel.SysPipe, vkernel.SysEpollCreate1, vkernel.SysDup,
+	} {
+		if !Lookup(nr).FDCreating {
+			t.Errorf("%s should be FD-creating", vkernel.SyscallName(nr))
+		}
+	}
+	if !Lookup(vkernel.SysClose).FDClosing {
+		t.Fatal("close should be FD-closing")
+	}
+}
+
+func TestInBufSize(t *testing.T) {
+	d := Lookup(vkernel.SysWrite)
+	c := &vkernel.Call{Num: vkernel.SysWrite, Args: [6]uint64{3, 0x1000, 512}}
+	if n := d.InBufSize(1, c); n != 512 {
+		t.Fatalf("write InBufSize = %d, want 512", n)
+	}
+	// Huge length is clamped.
+	c.Args[2] = 1 << 40
+	if n := d.InBufSize(1, c); n != 1<<22 {
+		t.Fatalf("clamped InBufSize = %d", n)
+	}
+	// Nanosleep fixed-size in-buffer.
+	ns := Lookup(vkernel.SysNanosleep)
+	if n := ns.InBufSize(0, &vkernel.Call{}); n != 8 {
+		t.Fatalf("nanosleep InBufSize = %d, want 8", n)
+	}
+}
+
+func TestOutBufSize(t *testing.T) {
+	read := Lookup(vkernel.SysRead)
+	c := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{3, 0x1000, 512}}
+	if n := read.OutBufSize(1, c, 100, true); n != 100 {
+		t.Fatalf("read OutBufSize = %d, want 100 (ret)", n)
+	}
+	if n := read.OutBufSize(1, c, 100, false); n != 0 {
+		t.Fatal("failed call must replicate nothing")
+	}
+	stat := Lookup(vkernel.SysStat)
+	if n := stat.OutBufSize(1, &vkernel.Call{}, 0, true); n != vkernel.StatBufSize {
+		t.Fatalf("stat OutBufSize = %d", n)
+	}
+	epw := Lookup(vkernel.SysEpollWait)
+	if n := epw.OutBufSize(1, &vkernel.Call{}, 3, true); n != 3*vkernel.EpollEventSize {
+		t.Fatalf("epoll_wait OutBufSize = %d", n)
+	}
+	pollD := Lookup(vkernel.SysPoll)
+	pc := &vkernel.Call{Num: vkernel.SysPoll, Args: [6]uint64{0x1000, 5, 0}}
+	if n := pollD.OutBufSize(0, pc, 1, true); n != 40 {
+		t.Fatalf("poll OutBufSize = %d, want 40 (5 pollfds)", n)
+	}
+}
+
+func TestAllDescriptorsConsistent(t *testing.T) {
+	for _, d := range All() {
+		if d.Name == "" {
+			t.Errorf("descriptor %d has no name", d.Nr)
+		}
+		for i := 0; i < d.NArgs; i++ {
+			a := d.Args[i]
+			switch a.Type {
+			case ArgInBuf, ArgInOutBuf:
+				if a.LenArg < 0 && a.Rule != SizeFixed {
+					t.Errorf("%s arg%d: in-buffer with no size source", d.Name, i)
+				}
+			case ArgIovec:
+				// iovec length may be unknown (-1) for msg variants.
+			}
+			if a.LenArg >= 6 {
+				t.Errorf("%s arg%d: length argument out of range", d.Name, i)
+			}
+		}
+	}
+}
+
+func TestDescriptorCountCoversFastPath(t *testing.T) {
+	// The paper's IP-MON supports 67 syscalls; our descriptor table must
+	// cover at least that many.
+	if n := len(All()); n < 90 {
+		t.Fatalf("descriptor table has only %d entries", n)
+	}
+}

@@ -1,0 +1,136 @@
+package varan
+
+import (
+	"testing"
+
+	"remon/internal/libc"
+	"remon/internal/vkernel"
+)
+
+func fileProg(t *testing.T) libc.Program {
+	return func(env *libc.Env) {
+		fd, errno := env.Open("/tmp/varan.txt", vkernel.OCreat|vkernel.ORdwr, 0o644)
+		if errno != 0 {
+			t.Errorf("open: %v", errno)
+			return
+		}
+		env.Write(fd, []byte("varan-data"))
+		env.Lseek(fd, 0, vkernel.SeekSet)
+		buf := make([]byte, 16)
+		n, errno := env.Read(fd, buf)
+		if errno != 0 || string(buf[:n]) != "varan-data" {
+			t.Errorf("read back %q, %v", buf[:n], errno)
+		}
+		env.Close(fd)
+	}
+}
+
+func TestVaranRun(t *testing.T) {
+	m, err := New(Config{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Run(fileProg(t))
+	if rep.Diverged {
+		t.Fatal("healthy run diverged")
+	}
+	if rep.Stats.Replicated == 0 {
+		t.Fatal("no calls replicated through the ring")
+	}
+	if rep.Duration <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestVaranThreeReplicas(t *testing.T) {
+	m, err := New(Config{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Run(fileProg(t))
+	if rep.Diverged {
+		t.Fatal("3-replica run diverged")
+	}
+}
+
+func TestVaranMultithreaded(t *testing.T) {
+	m, err := New(Config{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Run(func(env *libc.Env) {
+		mu := env.NewMutex()
+		n := 0
+		var hs []*libc.ThreadHandle
+		for i := 0; i < 2; i++ {
+			hs = append(hs, env.Spawn(func(we *libc.Env) {
+				for j := 0; j < 5; j++ {
+					mu.Lock(we)
+					n++
+					mu.Unlock(we)
+					we.Getpid()
+				}
+			}))
+		}
+		for _, h := range hs {
+			h.Join()
+		}
+	})
+	if rep.Diverged {
+		t.Fatal("multithreaded run diverged")
+	}
+}
+
+func TestVaranLooseConsistencyCatchesWrongSyscall(t *testing.T) {
+	m, err := New(Config{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Run(func(env *libc.Env) {
+		if env.T.Proc.ReplicaIndex == 0 {
+			env.Getpid()
+		} else {
+			env.TimeNow() // different syscall sequence
+		}
+	})
+	if !rep.Diverged {
+		t.Fatal("syscall-sequence divergence not flagged")
+	}
+}
+
+func TestVaranDivergentArgsNotCaught(t *testing.T) {
+	// The security-relevant contrast with ReMon (§6): VARAN's loose
+	// checking does NOT compare argument contents, so a malicious
+	// master-side write sails through.
+	m, err := New(Config{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Run(func(env *libc.Env) {
+		fd, _ := env.Open("/tmp/varan-evil", vkernel.OCreat|vkernel.ORdwr, 0o644)
+		payload := []byte("benign-payload")
+		if env.T.Proc.ReplicaIndex == 0 {
+			payload = []byte("evil!!-payload")
+		}
+		env.Write(fd, payload)
+		env.Close(fd)
+	})
+	if rep.Diverged {
+		t.Fatal("VARAN baseline unexpectedly caught an argument divergence; the Table 2 contrast depends on it not doing so")
+	}
+}
+
+func TestVaranCheaperThanNothingButCharges(t *testing.T) {
+	m, err := New(Config{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Run(func(env *libc.Env) {
+		for i := 0; i < 100; i++ {
+			env.Getpid()
+		}
+	})
+	if rep.Syscalls < 200 { // both replicas issue calls
+		t.Fatalf("syscall count = %d", rep.Syscalls)
+	}
+}

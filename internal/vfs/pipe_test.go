@@ -1,0 +1,162 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPipeBasicTransfer(t *testing.T) {
+	p := NewPipe(0)
+	n, err := p.Write([]byte("ping"), true)
+	if err != nil || n != 4 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	buf := make([]byte, 10)
+	n, err = p.Read(buf, true)
+	if err != nil || n != 4 || string(buf[:4]) != "ping" {
+		t.Fatalf("Read = %d %q %v", n, buf[:n], err)
+	}
+}
+
+func TestPipeNonBlockingEmpty(t *testing.T) {
+	p := NewPipe(0)
+	if _, err := p.Read(make([]byte, 1), false); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("non-blocking read on empty = %v", err)
+	}
+}
+
+func TestPipeNonBlockingFull(t *testing.T) {
+	p := NewPipe(8)
+	if _, err := p.Write(make([]byte, 8), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write([]byte{1}, false); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("non-blocking write on full = %v", err)
+	}
+	// Partial non-blocking write: buffer drained by 4, writing 8 writes 4.
+	buf := make([]byte, 4)
+	if _, err := p.Read(buf, true); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Write(make([]byte, 8), false)
+	if err != nil || n != 4 {
+		t.Fatalf("partial non-blocking write = %d, %v; want 4, nil", n, err)
+	}
+}
+
+func TestPipeEOF(t *testing.T) {
+	p := NewPipe(0)
+	p.Write([]byte("tail"), true)
+	p.CloseWrite()
+	buf := make([]byte, 10)
+	n, err := p.Read(buf, true)
+	if err != nil || n != 4 {
+		t.Fatalf("drain read = %d, %v", n, err)
+	}
+	n, err = p.Read(buf, true)
+	if err != nil || n != 0 {
+		t.Fatalf("EOF read = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestPipeEPIPE(t *testing.T) {
+	p := NewPipe(0)
+	p.CloseRead()
+	if _, err := p.Write([]byte("x"), true); !errors.Is(err, ErrPipeClosed) {
+		t.Fatalf("write after CloseRead = %v, want ErrPipeClosed", err)
+	}
+}
+
+func TestPipeBlockingHandoff(t *testing.T) {
+	p := NewPipe(16)
+	const total = 1 << 16
+	var got bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 7)
+		for {
+			n, err := p.Read(buf, true)
+			if err != nil {
+				t.Errorf("reader: %v", err)
+				return
+			}
+			if n == 0 {
+				return // EOF
+			}
+			got.Write(buf[:n])
+		}
+	}()
+	sent := make([]byte, total)
+	for i := range sent {
+		sent[i] = byte(i * 31)
+	}
+	for off := 0; off < total; off += 1000 {
+		end := off + 1000
+		if end > total {
+			end = total
+		}
+		if _, err := p.Write(sent[off:end], true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.CloseWrite()
+	wg.Wait()
+	if !bytes.Equal(got.Bytes(), sent) {
+		t.Fatalf("pipe corrupted data: got %d bytes, want %d", got.Len(), total)
+	}
+}
+
+func TestPipeReadableWritableNow(t *testing.T) {
+	p := NewPipe(4)
+	if p.ReadableNow() {
+		t.Fatal("empty pipe readable")
+	}
+	if !p.WritableNow() {
+		t.Fatal("empty pipe not writable")
+	}
+	p.Write([]byte("abcd"), true)
+	if !p.ReadableNow() {
+		t.Fatal("full pipe not readable")
+	}
+	if p.WritableNow() {
+		t.Fatal("full pipe writable")
+	}
+	p.CloseWrite()
+	p.Read(make([]byte, 4), true)
+	if !p.ReadableNow() {
+		t.Fatal("EOF should read as readable (immediate return)")
+	}
+}
+
+func TestPipeClosed(t *testing.T) {
+	p := NewPipe(0)
+	if p.Closed() {
+		t.Fatal("new pipe closed")
+	}
+	p.CloseRead()
+	if p.Closed() {
+		t.Fatal("half-closed pipe reported closed")
+	}
+	p.CloseWrite()
+	if !p.Closed() {
+		t.Fatal("fully closed pipe not reported closed")
+	}
+}
+
+func TestPipeCloseWakesBlockedReader(t *testing.T) {
+	p := NewPipe(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n, err := p.Read(make([]byte, 1), true)
+		if n != 0 || err != nil {
+			t.Errorf("blocked reader woke with %d, %v", n, err)
+		}
+	}()
+	p.CloseWrite()
+	<-done
+}

@@ -1,0 +1,476 @@
+// Package vfs implements the in-memory filesystem used by the simulated
+// kernel: a tree of directories, regular files, symlinks and generated
+// "special" files (the /proc entries GHUMVEE must filter), plus the pipe
+// buffer implementation shared by pipes and socketpairs.
+//
+// The MVEE itself never interprets file contents; the filesystem exists so
+// that replica programs can exercise the full read-only and read-write
+// spatial exemption levels of Table 1 (stat, access, getdents, readlink,
+// read, write, lseek, sync, ...) against real state.
+package vfs
+
+import (
+	"errors"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors mirror the kernel errnos the paper's syscalls return.
+var (
+	ErrNotExist    = errors.New("vfs: no such file or directory") // ENOENT
+	ErrExist       = errors.New("vfs: file exists")               // EEXIST
+	ErrNotDir      = errors.New("vfs: not a directory")           // ENOTDIR
+	ErrIsDir       = errors.New("vfs: is a directory")            // EISDIR
+	ErrNotEmpty    = errors.New("vfs: directory not empty")       // ENOTEMPTY
+	ErrPerm        = errors.New("vfs: permission denied")         // EACCES
+	ErrLoop        = errors.New("vfs: too many symlink levels")   // ELOOP
+	ErrInvalid     = errors.New("vfs: invalid argument")          // EINVAL
+	ErrNameTooLong = errors.New("vfs: name too long")             // ENAMETOOLONG
+)
+
+// NodeType discriminates inode kinds.
+type NodeType uint8
+
+// Inode kinds.
+const (
+	TypeRegular NodeType = iota
+	TypeDir
+	TypeSymlink
+	TypeSpecial // generated content (/proc files)
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case TypeRegular:
+		return "regular"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	case TypeSpecial:
+		return "special"
+	}
+	return "unknown"
+}
+
+// Generator produces the content of a special file at open time. The pid
+// argument is the opener's process id so /proc/self-style files can
+// specialise.
+type Generator func(pid int) []byte
+
+// Inode is one filesystem object. Regular file data is guarded by the
+// inode's own mutex so concurrent readers/writers from different replica
+// threads are safe.
+type Inode struct {
+	Ino    uint64
+	Type   NodeType
+	Mode   uint32
+	target string    // symlink target
+	gen    Generator // special file content
+
+	mu       sync.RWMutex
+	data     []byte
+	children map[string]*Inode // directories
+	nlink    int
+}
+
+// Size reports the current data size (0 for specials until generated).
+func (n *Inode) Size() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return int64(len(n.data))
+}
+
+// ReadAt copies file data at off into p and reports the byte count.
+func (n *Inode) ReadAt(p []byte, off int64) int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if off >= int64(len(n.data)) {
+		return 0
+	}
+	return copy(p, n.data[off:])
+}
+
+// WriteAt writes p at off, growing the file as needed, and reports the
+// byte count written.
+func (n *Inode) WriteAt(p []byte, off int64) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(n.data)) {
+		grown := make([]byte, end)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	return copy(n.data[off:], p)
+}
+
+// Append writes p at the end of the file and reports the new size.
+func (n *Inode) Append(p []byte) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.data = append(n.data, p...)
+	return int64(len(n.data))
+}
+
+// Truncate resizes the file.
+func (n *Inode) Truncate(size int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if size <= int64(len(n.data)) {
+		n.data = n.data[:size]
+		return
+	}
+	grown := make([]byte, size)
+	copy(grown, n.data)
+	n.data = grown
+}
+
+// Snapshot returns a copy of the file's bytes.
+func (n *Inode) Snapshot() []byte {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out
+}
+
+// Generate materialises a special file's content for pid.
+func (n *Inode) Generate(pid int) []byte {
+	if n.gen == nil {
+		return nil
+	}
+	return n.gen(pid)
+}
+
+// DirEntry is one directory listing entry (getdents).
+type DirEntry struct {
+	Name string
+	Ino  uint64
+	Type NodeType
+}
+
+// FS is the filesystem: a root directory plus an inode allocator.
+type FS struct {
+	mu      sync.Mutex
+	root    *Inode
+	nextIno uint64
+}
+
+// New creates an empty filesystem with a root directory and a minimal
+// standard hierarchy (/tmp, /etc, /proc, /dev).
+func New() *FS {
+	fs := &FS{nextIno: 2}
+	fs.root = &Inode{Ino: 1, Type: TypeDir, Mode: 0o755, children: map[string]*Inode{}, nlink: 2}
+	for _, d := range []string{"/tmp", "/etc", "/proc", "/dev", "/var", "/var/www"} {
+		if err := fs.Mkdir(d, 0o755); err != nil {
+			panic("vfs: standard hierarchy: " + err.Error())
+		}
+	}
+	return fs
+}
+
+func (fs *FS) allocIno() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.nextIno++
+	return fs.nextIno
+}
+
+func splitPath(p string) ([]string, error) {
+	if p == "" || p[0] != '/' {
+		return nil, ErrInvalid
+	}
+	if len(p) > 4096 {
+		return nil, ErrNameTooLong
+	}
+	clean := path.Clean(p)
+	if clean == "/" {
+		return nil, nil
+	}
+	return strings.Split(clean[1:], "/"), nil
+}
+
+// resolve walks the path, following symlinks in intermediate components and
+// (when followLast) in the final component.
+func (fs *FS) resolve(p string, followLast bool, depth int) (parent *Inode, name string, node *Inode, err error) {
+	if depth > 40 {
+		return nil, "", nil, ErrLoop
+	}
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	cur := fs.root
+	if len(parts) == 0 {
+		return nil, "", cur, nil
+	}
+	for i, part := range parts {
+		cur.mu.RLock()
+		if cur.Type != TypeDir {
+			cur.mu.RUnlock()
+			return nil, "", nil, ErrNotDir
+		}
+		child, ok := cur.children[part]
+		cur.mu.RUnlock()
+		last := i == len(parts)-1
+		if !ok {
+			if last {
+				return cur, part, nil, nil
+			}
+			return nil, "", nil, ErrNotExist
+		}
+		if child.Type == TypeSymlink && (!last || followLast) {
+			target := child.target
+			if !strings.HasPrefix(target, "/") {
+				target = path.Join("/"+strings.Join(parts[:i], "/"), target)
+			}
+			rest := strings.Join(parts[i+1:], "/")
+			if rest != "" {
+				target = path.Join(target, rest)
+			}
+			return fs.resolve(target, followLast, depth+1)
+		}
+		if last {
+			return cur, part, child, nil
+		}
+		cur = child
+	}
+	return nil, "", nil, ErrNotExist
+}
+
+// Lookup returns the inode at path p, following symlinks.
+func (fs *FS) Lookup(p string) (*Inode, error) {
+	_, _, node, err := fs.resolve(p, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, ErrNotExist
+	}
+	return node, nil
+}
+
+// Lstat returns the inode at p without following a final symlink.
+func (fs *FS) Lstat(p string) (*Inode, error) {
+	_, _, node, err := fs.resolve(p, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, ErrNotExist
+	}
+	return node, nil
+}
+
+// Create makes (or truncates, if it exists) a regular file and returns it.
+func (fs *FS) Create(p string, mode uint32) (*Inode, error) {
+	parent, name, node, err := fs.resolve(p, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	if node != nil {
+		if node.Type == TypeDir {
+			return nil, ErrIsDir
+		}
+		node.Truncate(0)
+		return node, nil
+	}
+	f := &Inode{Ino: fs.allocIno(), Type: TypeRegular, Mode: mode, nlink: 1}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	if _, raced := parent.children[name]; raced {
+		return nil, ErrExist
+	}
+	parent.children[name] = f
+	return f, nil
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(p string, mode uint32) error {
+	parent, name, node, err := fs.resolve(p, true, 0)
+	if err != nil {
+		return err
+	}
+	if node != nil {
+		return ErrExist
+	}
+	d := &Inode{Ino: fs.allocIno(), Type: TypeDir, Mode: mode, children: map[string]*Inode{}, nlink: 2}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	if _, raced := parent.children[name]; raced {
+		return ErrExist
+	}
+	parent.children[name] = d
+	return nil
+}
+
+// MkdirAll creates p and any missing parents.
+func (fs *FS) MkdirAll(p string, mode uint32) error {
+	parts, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	cur := "/"
+	for _, part := range parts {
+		cur = path.Join(cur, part)
+		if err := fs.Mkdir(cur, mode); err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Symlink creates a symlink at p pointing to target.
+func (fs *FS) Symlink(target, p string) error {
+	parent, name, node, err := fs.resolve(p, false, 0)
+	if err != nil {
+		return err
+	}
+	if node != nil {
+		return ErrExist
+	}
+	l := &Inode{Ino: fs.allocIno(), Type: TypeSymlink, Mode: 0o777, target: target, nlink: 1}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	parent.children[name] = l
+	return nil
+}
+
+// Readlink reports the target of the symlink at p.
+func (fs *FS) Readlink(p string) (string, error) {
+	node, err := fs.Lstat(p)
+	if err != nil {
+		return "", err
+	}
+	if node.Type != TypeSymlink {
+		return "", ErrInvalid
+	}
+	return node.target, nil
+}
+
+// AddSpecial registers a generated file (a /proc entry).
+func (fs *FS) AddSpecial(p string, gen Generator) error {
+	parent, name, node, err := fs.resolve(p, true, 0)
+	if err != nil {
+		return err
+	}
+	if node != nil {
+		return ErrExist
+	}
+	s := &Inode{Ino: fs.allocIno(), Type: TypeSpecial, Mode: 0o444, gen: gen, nlink: 1}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	parent.children[name] = s
+	return nil
+}
+
+// Unlink removes a non-directory entry.
+func (fs *FS) Unlink(p string) error {
+	parent, name, node, err := fs.resolve(p, false, 0)
+	if err != nil {
+		return err
+	}
+	if node == nil {
+		return ErrNotExist
+	}
+	if node.Type == TypeDir {
+		return ErrIsDir
+	}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	delete(parent.children, name)
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(p string) error {
+	parent, name, node, err := fs.resolve(p, false, 0)
+	if err != nil {
+		return err
+	}
+	if node == nil {
+		return ErrNotExist
+	}
+	if node.Type != TypeDir {
+		return ErrNotDir
+	}
+	node.mu.RLock()
+	empty := len(node.children) == 0
+	node.mu.RUnlock()
+	if !empty {
+		return ErrNotEmpty
+	}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	delete(parent.children, name)
+	return nil
+}
+
+// Rename moves oldp to newp (replacing a non-directory target).
+func (fs *FS) Rename(oldp, newp string) error {
+	oparent, oname, onode, err := fs.resolve(oldp, false, 0)
+	if err != nil {
+		return err
+	}
+	if onode == nil {
+		return ErrNotExist
+	}
+	nparent, nname, nnode, err := fs.resolve(newp, false, 0)
+	if err != nil {
+		return err
+	}
+	if nnode != nil && nnode.Type == TypeDir {
+		return ErrIsDir
+	}
+	oparent.mu.Lock()
+	delete(oparent.children, oname)
+	oparent.mu.Unlock()
+	nparent.mu.Lock()
+	nparent.children[nname] = onode
+	nparent.mu.Unlock()
+	return nil
+}
+
+// ReadDir lists a directory in name order (getdents).
+func (fs *FS) ReadDir(p string) ([]DirEntry, error) {
+	node, err := fs.Lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if node.Type != TypeDir {
+		return nil, ErrNotDir
+	}
+	node.mu.RLock()
+	defer node.mu.RUnlock()
+	out := make([]DirEntry, 0, len(node.children))
+	for name, child := range node.children {
+		out = append(out, DirEntry{Name: name, Ino: child.Ino, Type: child.Type})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// WriteFile creates p with the given content (test/bootstrap helper).
+func (fs *FS) WriteFile(p string, data []byte, mode uint32) error {
+	f, err := fs.Create(p, mode)
+	if err != nil {
+		return err
+	}
+	f.WriteAt(data, 0)
+	return nil
+}
+
+// ReadFile returns the content of the regular file at p.
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	node, err := fs.Lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if node.Type == TypeDir {
+		return nil, ErrIsDir
+	}
+	return node.Snapshot(), nil
+}

@@ -1,0 +1,299 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateReadWrite(t *testing.T) {
+	fs := New()
+	f, err := fs.Create("/tmp/a.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.WriteAt([]byte("hello"), 0); n != 5 {
+		t.Fatalf("WriteAt = %d, want 5", n)
+	}
+	buf := make([]byte, 10)
+	if n := f.ReadAt(buf, 0); n != 5 || string(buf[:5]) != "hello" {
+		t.Fatalf("ReadAt = %d %q", n, buf[:n])
+	}
+	if f.Size() != 5 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/tmp/x", []byte("long content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/tmp/x", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("re-Create did not truncate: size %d", f.Size())
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	fs := New()
+	if _, err := fs.Lookup("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Lookup missing = %v", err)
+	}
+	if _, err := fs.Lookup("relative/path"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("relative path = %v", err)
+	}
+	if err := fs.WriteFile("/tmp/f", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("/tmp/f/child"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("file-as-dir = %v", err)
+	}
+}
+
+func TestMkdirRmdir(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/tmp/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/tmp/d", 0o755); !errors.Is(err, ErrExist) {
+		t.Fatalf("double mkdir = %v", err)
+	}
+	if err := fs.WriteFile("/tmp/d/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/tmp/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty = %v", err)
+	}
+	if err := fs.Unlink("/tmp/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/tmp/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("/tmp/d"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("lookup after rmdir = %v", err)
+	}
+}
+
+func TestMkdirAll(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/a/b/c/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	node, err := fs.Lookup("/a/b/c/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Type != TypeDir {
+		t.Fatalf("node type = %v", node.Type)
+	}
+	// Idempotent.
+	if err := fs.MkdirAll("/a/b/c/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymlinkResolution(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/etc/target", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/etc/target", "/tmp/link"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/tmp/link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "data" {
+		t.Fatalf("through-symlink read = %q", got)
+	}
+	// Lstat does not follow.
+	n, err := fs.Lstat("/tmp/link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Type != TypeSymlink {
+		t.Fatalf("Lstat type = %v, want symlink", n.Type)
+	}
+	target, err := fs.Readlink("/tmp/link")
+	if err != nil || target != "/etc/target" {
+		t.Fatalf("Readlink = %q, %v", target, err)
+	}
+}
+
+func TestSymlinkRelative(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/etc/conf", []byte("c"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("conf", "/etc/alias"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/etc/alias")
+	if err != nil || string(got) != "c" {
+		t.Fatalf("relative symlink read = %q, %v", got, err)
+	}
+}
+
+func TestSymlinkLoop(t *testing.T) {
+	fs := New()
+	if err := fs.Symlink("/tmp/b", "/tmp/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/tmp/a", "/tmp/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("/tmp/a"); !errors.Is(err, ErrLoop) {
+		t.Fatalf("symlink loop = %v, want ErrLoop", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/tmp/old", []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/tmp/old", "/etc/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("/tmp/old"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("old path still exists")
+	}
+	got, err := fs.ReadFile("/etc/new")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("renamed content = %q, %v", got, err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := New()
+	for _, name := range []string{"/tmp/c", "/tmp/a", "/tmp/b"} {
+		if err := fs.WriteFile(name, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := fs.ReadDir("/tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 || ents[0].Name != "a" || ents[1].Name != "b" || ents[2].Name != "c" {
+		t.Fatalf("ReadDir = %+v", ents)
+	}
+}
+
+func TestSpecialFile(t *testing.T) {
+	fs := New()
+	err := fs.AddSpecial("/proc/maps-test", func(pid int) []byte {
+		return []byte("pid content")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.Lookup("/proc/maps-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Type != TypeSpecial {
+		t.Fatalf("type = %v", n.Type)
+	}
+	if string(n.Generate(42)) != "pid content" {
+		t.Fatal("Generate content mismatch")
+	}
+}
+
+func TestTruncateGrowShrink(t *testing.T) {
+	fs := New()
+	f, err := fs.Create("/tmp/t", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("abcdef"), 0)
+	f.Truncate(3)
+	if f.Size() != 3 {
+		t.Fatalf("after shrink size = %d", f.Size())
+	}
+	f.Truncate(10)
+	if f.Size() != 10 {
+		t.Fatalf("after grow size = %d", f.Size())
+	}
+	buf := make([]byte, 10)
+	f.ReadAt(buf, 0)
+	if string(buf[:3]) != "abc" || buf[5] != 0 {
+		t.Fatalf("content after truncate = %q", buf)
+	}
+}
+
+func TestWriteAtSparse(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("/tmp/s", 0o644)
+	f.WriteAt([]byte("end"), 100)
+	if f.Size() != 103 {
+		t.Fatalf("sparse size = %d", f.Size())
+	}
+	buf := make([]byte, 3)
+	f.ReadAt(buf, 100)
+	if string(buf) != "end" {
+		t.Fatalf("sparse read = %q", buf)
+	}
+}
+
+func TestAppendConcurrent(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("/tmp/log", 0o644)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				f.Append([]byte("0123456789"))
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Size() != 16*100*10 {
+		t.Fatalf("concurrent append size = %d, want %d", f.Size(), 16*100*10)
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("/tmp/prop", 0o644)
+	check := func(off uint16, data []byte) bool {
+		f.WriteAt(data, int64(off))
+		got := make([]byte, len(data))
+		f.ReadAt(got, int64(off))
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnlinkDirFails(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/tmp/dd", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("/tmp/dd"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("unlink dir = %v, want ErrIsDir", err)
+	}
+}
+
+func TestNodeTypeString(t *testing.T) {
+	for ty, want := range map[NodeType]string{
+		TypeRegular: "regular", TypeDir: "dir", TypeSymlink: "symlink",
+		TypeSpecial: "special", NodeType(99): "unknown",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package vkernel implements the simulated Linux-like kernel the whole
+// reproduction runs on: processes and threads with virtual-time clocks,
+// per-process address spaces, file descriptor tables, a syscall dispatch
+// table, futexes, epoll, signals, System V shared memory, and — crucially
+// for ReMon — a syscall interposition hook that the IK-B broker and the
+// ptrace-style tracer (GHUMVEE) attach to.
+//
+// Replica programs are Go functions executing against a *Thread handle;
+// every system call they make flows through the interposition chain
+// exactly as Figure 2 of the paper describes: IK-B intercepts the call and
+// forwards it either to the in-process monitor (IP-MON) or to the
+// cross-process monitor (GHUMVEE).
+package vkernel
+
+// Errno is a kernel error number. Zero means success.
+type Errno int
+
+// Errno values (Linux numbering for the ones the paper's syscalls use).
+const (
+	OK           Errno = 0
+	EPERM        Errno = 1
+	ENOENT       Errno = 2
+	ESRCH        Errno = 3
+	EINTR        Errno = 4
+	EIO          Errno = 5
+	EBADF        Errno = 9
+	EAGAIN       Errno = 11
+	ENOMEM       Errno = 12
+	EACCES       Errno = 13
+	EFAULT       Errno = 14
+	EEXIST       Errno = 17
+	ENOTDIR      Errno = 20
+	EISDIR       Errno = 21
+	EINVAL       Errno = 22
+	ENFILE       Errno = 23
+	EMFILE       Errno = 24
+	ENOTTY       Errno = 25
+	ENOSPC       Errno = 28
+	ESPIPE       Errno = 29
+	EPIPE        Errno = 32
+	ERANGE       Errno = 34
+	ENAMETOOLONG Errno = 36
+	ENOSYS       Errno = 38
+	ENOTEMPTY    Errno = 39
+	ELOOP        Errno = 40
+	ENODATA      Errno = 61
+	ENOTSOCK     Errno = 88
+	EOPNOTSUPP   Errno = 95
+	EADDRINUSE   Errno = 98
+	ECONNRESET   Errno = 104
+	ENOTCONN     Errno = 107
+	ETIMEDOUT    Errno = 110
+	ECONNREFUSED Errno = 111
+)
+
+var errnoNames = map[Errno]string{
+	OK: "OK", EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH",
+	EINTR: "EINTR", EIO: "EIO", EBADF: "EBADF", EAGAIN: "EAGAIN",
+	ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT", EEXIST: "EEXIST",
+	ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL", ENFILE: "ENFILE",
+	EMFILE: "EMFILE", ENOTTY: "ENOTTY", ENOSPC: "ENOSPC", ESPIPE: "ESPIPE",
+	EPIPE: "EPIPE", ERANGE: "ERANGE", ENAMETOOLONG: "ENAMETOOLONG",
+	ENOSYS: "ENOSYS", ENOTEMPTY: "ENOTEMPTY", ELOOP: "ELOOP",
+	ENODATA: "ENODATA", ENOTSOCK: "ENOTSOCK", EOPNOTSUPP: "EOPNOTSUPP",
+	EADDRINUSE: "EADDRINUSE", ECONNRESET: "ECONNRESET", ENOTCONN: "ENOTCONN",
+	ETIMEDOUT: "ETIMEDOUT", ECONNREFUSED: "ECONNREFUSED",
+}
+
+func (e Errno) String() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return "errno(" + itoa(int(e)) + ")"
+}
+
+// Error implements the error interface so Errno can flow through Go error
+// paths in the monitors.
+func (e Errno) Error() string { return e.String() }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,628 @@
+package vkernel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/vfs"
+	"remon/internal/vnet"
+)
+
+// Call is one in-flight system call.
+type Call struct {
+	Num  int
+	Args [6]uint64
+}
+
+// Arg returns argument i (zero for out-of-range, like reading a garbage
+// register).
+func (c *Call) Arg(i int) uint64 {
+	if i < 0 || i >= len(c.Args) {
+		return 0
+	}
+	return c.Args[i]
+}
+
+func (c *Call) String() string {
+	return fmt.Sprintf("%s(%#x, %#x, %#x)", SyscallName(c.Num), c.Args[0], c.Args[1], c.Args[2])
+}
+
+// Result is a completed system call's outcome.
+type Result struct {
+	Val   uint64
+	Errno Errno
+}
+
+// Ret encodes the result the way user space sees it: the value on success,
+// -errno on failure.
+func (r Result) Ret() int64 {
+	if r.Errno != 0 {
+		return -int64(r.Errno)
+	}
+	return int64(r.Val)
+}
+
+// Ok reports success.
+func (r Result) Ok() bool { return r.Errno == 0 }
+
+// Interceptor is the syscall interposition hook. ReMon installs IK-B here;
+// baselines install their own monitors or nothing. exec performs the raw
+// kernel service for the (possibly modified) call. The interceptor runs on
+// the calling thread's goroutine but may rendezvous with other threads —
+// that is how lockstep monitoring is modelled.
+type Interceptor interface {
+	Intercept(t *Thread, c *Call, exec func(*Call) Result) Result
+}
+
+// ExitHandler observes thread exits (GHUMVEE uses this to detect replica
+// crashes, which an IP-MON argument mismatch triggers intentionally, §3.3).
+type ExitHandler interface {
+	ThreadExited(t *Thread, code int, crashed bool)
+}
+
+// Hub is the readiness notification fan-out used by poll/select/epoll and
+// blocking reads: any state change broadcasts, sleepers re-check their
+// conditions. Simple and correct; the thundering herd is irrelevant at
+// simulation scale.
+type Hub struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	gen  uint64
+}
+
+// NewHub creates a hub.
+func NewHub() *Hub {
+	h := &Hub{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// Notify wakes all sleepers.
+func (h *Hub) Notify() {
+	h.mu.Lock()
+	h.gen++
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Gen reports the current generation counter.
+func (h *Hub) Gen() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gen
+}
+
+// WaitChange blocks until the generation moves past gen.
+func (h *Hub) WaitChange(gen uint64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.gen == gen {
+		h.cond.Wait()
+	}
+	return h.gen
+}
+
+// Kernel is the simulated operating system kernel.
+type Kernel struct {
+	FS  *vfs.FS
+	Net *vnet.Network
+	Hub *Hub
+
+	mu        sync.Mutex
+	procs     map[int]*Process
+	nextPID   int
+	nextShm   int
+	shmSegs   map[int]*mem.SharedSegment
+	intercept Interceptor
+	exitHs    []ExitHandler
+	futex     *futexTable
+	rng       *model.RNG
+
+	userSyscalls atomic.Uint64
+	traceFn      func(t *Thread, c *Call)
+}
+
+// SetTrace installs a callback observing every user-entry syscall (trace
+// recording for debugging and the remon CLI's -trace flag). Pass nil to
+// disable.
+func (k *Kernel) SetTrace(fn func(t *Thread, c *Call)) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.traceFn = fn
+}
+
+// UserSyscalls reports the number of user-entry syscalls issued (the
+// paper's "system call invocations"; monitor-internal RawSyscalls are not
+// counted).
+func (k *Kernel) UserSyscalls() uint64 { return k.userSyscalls.Load() }
+
+// New creates a kernel with a fresh filesystem and the given network.
+func New(net *vnet.Network) *Kernel {
+	k := &Kernel{
+		FS:      vfs.New(),
+		Net:     net,
+		Hub:     NewHub(),
+		procs:   map[int]*Process{},
+		nextPID: 1000,
+		shmSegs: map[int]*mem.SharedSegment{},
+		futex:   newFutexTable(),
+		rng:     model.NewRNG(0xC0FFEE),
+	}
+	if net != nil {
+		net.SetNotifier(k.Hub)
+	}
+	return k
+}
+
+// SetInterceptor installs the syscall interposition hook (IK-B).
+func (k *Kernel) SetInterceptor(i Interceptor) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.intercept = i
+}
+
+// AddExitHandler registers an exit observer.
+func (k *Kernel) AddExitHandler(h ExitHandler) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.exitHs = append(k.exitHs, h)
+}
+
+// Rand returns a random 64-bit value from the kernel entropy pool (token
+// minting).
+func (k *Kernel) Rand() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.rng.Uint64()
+}
+
+// Process is one simulated process.
+type Process struct {
+	PID    int
+	Name   string
+	Kernel *Kernel
+	Mem    *mem.AddressSpace
+
+	mu       sync.Mutex
+	fds      *FDTable
+	threads  map[int]*Thread
+	nextTID  int
+	cwd      string
+	exited   bool
+	exitCode int
+	crashed  bool
+
+	sig signalState
+
+	// ReplicaIndex is the replica number when this process is an MVEE
+	// replica (master == 0); -1 otherwise. The broker and monitors use it.
+	ReplicaIndex int
+}
+
+// NewProcess creates a process with a diversified address space.
+func (k *Kernel) NewProcess(name string, layoutSeed uint64, disjointIdx int) *Process {
+	k.mu.Lock()
+	k.nextPID++
+	pid := k.nextPID
+	k.mu.Unlock()
+	p := &Process{
+		PID:          pid,
+		Name:         name,
+		Kernel:       k,
+		Mem:          mem.NewAddressSpace(layoutSeed, disjointIdx),
+		fds:          newFDTable(),
+		threads:      map[int]*Thread{},
+		cwd:          "/",
+		ReplicaIndex: -1,
+	}
+	p.sig.init()
+	// Map a code region at the diversified base so DCL is observable.
+	layout := p.Mem.Layout()
+	if _, err := p.Mem.MapFixed(layout.CodeBase, 16*mem.PageSize, mem.ProtRead|mem.ProtExec, "text"); err != nil {
+		panic("vkernel: mapping text segment: " + err.Error())
+	}
+	k.mu.Lock()
+	k.procs[pid] = p
+	k.mu.Unlock()
+	return p
+}
+
+// Proc looks up a process by pid.
+func (k *Kernel) Proc(pid int) *Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.procs[pid]
+}
+
+// Exited reports whether the process has terminated, and how.
+func (p *Process) Exited() (bool, int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exited, p.exitCode, p.crashed
+}
+
+// FDs exposes the process's descriptor table (monitors inspect it).
+func (p *Process) FDs() *FDTable { return p.fds }
+
+// Thread is one simulated thread: the unit of execution and virtual-time
+// accounting. Replica program code runs with a *Thread in hand and issues
+// syscalls through it.
+type Thread struct {
+	TID   int
+	Proc  *Process
+	Clock model.Clock
+
+	mu       sync.Mutex
+	exited   bool
+	exitCode int
+	crashed  bool
+
+	// inIPMon marks that the thread is currently executing inside the
+	// IP-MON system call entry point; IK-B's verifier consults it (calls
+	// re-entering the kernel with a token must originate from IP-MON).
+	inIPMon bool
+
+	// lastSyscall records the most recent call for tracer introspection
+	// (GHUMVEE's signal logic checks whether a replica sits in an IP-MON
+	// dispatched call, §3.8).
+	lastSyscall *Call
+}
+
+// NewThread spawns a thread whose clock starts at the parent's time.
+func (p *Process) NewThread(parent *Thread) *Thread {
+	p.mu.Lock()
+	p.nextTID++
+	tid := p.PID*100 + p.nextTID
+	t := &Thread{TID: tid, Proc: p}
+	p.threads[tid] = t
+	p.mu.Unlock()
+	if parent != nil {
+		t.Clock.SyncTo(parent.Clock.Now())
+	}
+	return t
+}
+
+// MainThread returns the lowest-tid live thread, creating one if none.
+func (p *Process) MainThread() *Thread {
+	p.mu.Lock()
+	var lowest *Thread
+	for _, t := range p.threads {
+		if lowest == nil || t.TID < lowest.TID {
+			lowest = t
+		}
+	}
+	p.mu.Unlock()
+	if lowest == nil {
+		return p.NewThread(nil)
+	}
+	return lowest
+}
+
+// Threads snapshots the live threads.
+func (p *Process) Threads() []*Thread {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Thread, 0, len(p.threads))
+	for _, t := range p.threads {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SetInIPMon flags IP-MON entry-point execution (set by the IP-MON
+// dispatcher, cleared on return).
+func (t *Thread) SetInIPMon(v bool) {
+	t.mu.Lock()
+	t.inIPMon = v
+	t.mu.Unlock()
+}
+
+// InIPMon reports whether the thread executes inside IP-MON.
+func (t *Thread) InIPMon() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inIPMon
+}
+
+// LastSyscall reports the most recent syscall issued by the thread.
+func (t *Thread) LastSyscall() *Call {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastSyscall
+}
+
+// Exited reports whether the thread has terminated.
+func (t *Thread) Exited() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exited
+}
+
+// Crashed reports whether the thread terminated abnormally.
+func (t *Thread) Crashed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.crashed
+}
+
+// Syscall is the user-space syscall instruction: it charges the trap cost,
+// runs the interposition chain, delivers pending signals at the boundary,
+// and returns the user-visible result.
+func (t *Thread) Syscall(nr int, args ...uint64) Result {
+	var c Call
+	c.Num = nr
+	copy(c.Args[:], args)
+	return t.SyscallC(&c)
+}
+
+// SyscallC issues a prepared Call.
+func (t *Thread) SyscallC(c *Call) Result {
+	if t.Exited() {
+		return Result{Errno: ESRCH}
+	}
+	t.mu.Lock()
+	t.lastSyscall = c
+	t.mu.Unlock()
+	t.Proc.Kernel.userSyscalls.Add(1)
+	t.Clock.Advance(model.CostSyscallTrap)
+
+	k := t.Proc.Kernel
+	k.mu.Lock()
+	ic := k.intercept
+	trace := k.traceFn
+	k.mu.Unlock()
+	if trace != nil {
+		trace(t, c)
+	}
+
+	var r Result
+	if ic != nil {
+		r = ic.Intercept(t, c, func(cc *Call) Result { return k.rawSyscall(t, cc) })
+	} else {
+		r = k.rawSyscall(t, c)
+	}
+
+	// Signal delivery at the syscall boundary (§2.2: deferral until a
+	// synchronisation point; the raw kernel delivers immediately at the
+	// boundary, the MVEE tracer defers further).
+	t.Proc.deliverPendingSignals(t)
+	return r
+}
+
+// RawSyscall bypasses the interposition chain. The monitors use it to
+// execute calls they have already vetted (e.g. GHUMVEE executing the
+// master call after the lockstep rendezvous, or IP-MON restarting a call
+// with the authorization token intact).
+func (t *Thread) RawSyscall(nr int, args ...uint64) Result {
+	var c Call
+	c.Num = nr
+	copy(c.Args[:], args)
+	return t.Proc.Kernel.rawSyscall(t, &c)
+}
+
+// RawSyscallC issues a prepared Call without interposition.
+func (t *Thread) RawSyscallC(c *Call) Result {
+	return t.Proc.Kernel.rawSyscall(t, c)
+}
+
+// rawSyscall dispatches to the service routines.
+func (k *Kernel) rawSyscall(t *Thread, c *Call) Result {
+	t.Clock.Advance(model.CostSyscallWork)
+	switch c.Num {
+	// File and descriptor calls.
+	case SysOpen, SysOpenat:
+		return k.sysOpen(t, c)
+	case SysClose:
+		return k.sysClose(t, c)
+	case SysRead, SysPread64:
+		return k.sysRead(t, c)
+	case SysReadv, SysPreadv:
+		return k.sysReadv(t, c)
+	case SysWrite, SysPwrite64:
+		return k.sysWrite(t, c)
+	case SysWritev, SysPwritev:
+		return k.sysWritev(t, c)
+	case SysLseek:
+		return k.sysLseek(t, c)
+	case SysStat, SysLstat, SysNewfstatat:
+		return k.sysStat(t, c)
+	case SysFstat:
+		return k.sysFstat(t, c)
+	case SysAccess, SysFaccessat:
+		return k.sysAccess(t, c)
+	case SysGetdents, SysGetdents64:
+		return k.sysGetdents(t, c)
+	case SysReadlink, SysReadlinkat:
+		return k.sysReadlink(t, c)
+	case SysUnlink, SysUnlinkat:
+		return k.sysUnlink(t, c)
+	case SysMkdir:
+		return k.sysMkdir(t, c)
+	case SysRmdir:
+		return k.sysRmdir(t, c)
+	case SysRename:
+		return k.sysRename(t, c)
+	case SysTruncate, SysFtruncate:
+		return k.sysTruncate(t, c)
+	case SysFsync, SysFdatasync, SysSync, SysSyncfs:
+		return k.sysSync(t, c)
+	case SysFcntl:
+		return k.sysFcntl(t, c)
+	case SysIoctl:
+		return k.sysIoctl(t, c)
+	case SysDup, SysDup2, SysDup3:
+		return k.sysDup(t, c)
+	case SysPipe, SysPipe2:
+		return k.sysPipe(t, c)
+	case SysSendfile:
+		return k.sysSendfile(t, c)
+	case SysGetxattr, SysLgetxattr, SysFgetxattr:
+		return Result{Errno: ENODATA}
+	case SysFadvise64, SysMadvise:
+		return Result{}
+
+	// Network calls.
+	case SysSocket:
+		return k.sysSocket(t, c)
+	case SysBind:
+		return k.sysBind(t, c)
+	case SysListen:
+		return k.sysListen(t, c)
+	case SysAccept, SysAccept4:
+		return k.sysAccept(t, c)
+	case SysConnect:
+		return k.sysConnect(t, c)
+	case SysSendto, SysSendmsg, SysSendmmsg:
+		return k.sysSend(t, c)
+	case SysRecvfrom, SysRecvmsg, SysRecvmmsg:
+		return k.sysRecv(t, c)
+	case SysShutdown:
+		return k.sysShutdown(t, c)
+	case SysGetsockname, SysGetpeername:
+		return k.sysSockname(t, c)
+	case SysSetsockopt, SysGetsockopt:
+		return k.sysSockopt(t, c)
+	case SysSocketpair:
+		return k.sysSocketpair(t, c)
+
+	// Multiplexing.
+	case SysPoll, SysSelect, SysPselect6:
+		return k.sysPoll(t, c)
+	case SysEpollCreate, SysEpollCreate1:
+		return k.sysEpollCreate(t, c)
+	case SysEpollCtl:
+		return k.sysEpollCtl(t, c)
+	case SysEpollWait, SysEpollPwait:
+		return k.sysEpollWait(t, c)
+
+	// Memory.
+	case SysMmap:
+		return k.sysMmap(t, c)
+	case SysMunmap:
+		return k.sysMunmap(t, c)
+	case SysMprotect:
+		return k.sysMprotect(t, c)
+	case SysMremap:
+		return Result{Errno: EOPNOTSUPP}
+	case SysBrk:
+		return k.sysBrk(t, c)
+	case SysShmget:
+		return k.sysShmget(t, c)
+	case SysShmat:
+		return k.sysShmat(t, c)
+	case SysShmdt:
+		return k.sysShmdt(t, c)
+	case SysShmctl:
+		return Result{}
+
+	// Process, identity, time.
+	case SysGetpid:
+		return Result{Val: uint64(t.Proc.PID)}
+	case SysGettid:
+		return Result{Val: uint64(t.TID)}
+	case SysGetppid:
+		return Result{Val: 1}
+	case SysGetpgrp:
+		return Result{Val: uint64(t.Proc.PID)}
+	case SysGetuid, SysGeteuid:
+		return Result{Val: 1000}
+	case SysGetgid, SysGetegid:
+		return Result{Val: 1000}
+	case SysGetcwd:
+		return k.sysGetcwd(t, c)
+	case SysGetpriority:
+		return Result{Val: 20}
+	case SysGetrusage, SysTimes, SysSysinfo, SysCapget, SysGetitimer:
+		return k.sysZeroStruct(t, c)
+	case SysUname:
+		return k.sysUname(t, c)
+	case SysSchedYield:
+		t.Clock.Advance(model.CostContextSwitch / 2)
+		return Result{}
+	case SysNanosleep:
+		return k.sysNanosleep(t, c)
+	case SysAlarm, SysSetitimer:
+		return Result{}
+	case SysGettimeofday, SysClockGettime, SysTime:
+		return k.sysClockGettime(t, c)
+	case SysTimerfdCreate, SysTimerfdSettime, SysTimerfdGettime:
+		return k.sysTimerfd(t, c)
+
+	// Threads, signals, exit.
+	case SysClone:
+		return Result{Errno: EOPNOTSUPP} // threads spawn via SpawnThread
+	case SysFutex:
+		return k.sysFutex(t, c)
+	case SysRtSigaction:
+		return k.sysRtSigaction(t, c)
+	case SysRtSigprocmask:
+		return k.sysRtSigprocmask(t, c)
+	case SysKill, SysTgkill:
+		return k.sysKill(t, c)
+	case SysExit, SysExitGroup:
+		return k.sysExit(t, c)
+
+	case SysProcessVMReadv:
+		return Result{Errno: EPERM} // only the tracer may cross-copy
+
+	case SysIPMonRegister:
+		// Reaching the raw handler means no broker consumed the call.
+		return Result{Errno: ENOSYS}
+	}
+	return Result{Errno: ENOSYS}
+}
+
+// ExitThread terminates the calling thread (normal exit).
+func (t *Thread) ExitThread(code int) { t.exit(code, false) }
+
+// Crash terminates the thread abnormally — the "intentional crash" IP-MON
+// uses to signal divergence to GHUMVEE through ptrace (§3.3), and the
+// fate of replicas that take a real fault.
+func (t *Thread) Crash(reason string) {
+	_ = reason
+	t.exit(139, true) // 128+SIGSEGV
+}
+
+func (t *Thread) exit(code int, crashed bool) {
+	t.mu.Lock()
+	if t.exited {
+		t.mu.Unlock()
+		return
+	}
+	t.exited = true
+	t.exitCode = code
+	t.crashed = crashed
+	t.mu.Unlock()
+
+	p := t.Proc
+	p.mu.Lock()
+	delete(p.threads, t.TID)
+	last := len(p.threads) == 0
+	if last && !p.exited {
+		p.exited = true
+		p.exitCode = code
+		p.crashed = p.crashed || crashed
+	}
+	if crashed {
+		p.crashed = true
+	}
+	p.mu.Unlock()
+
+	k := p.Kernel
+	k.mu.Lock()
+	handlers := append([]ExitHandler(nil), k.exitHs...)
+	k.mu.Unlock()
+	for _, h := range handlers {
+		h.ThreadExited(t, code, crashed)
+	}
+	k.Hub.Notify()
+	k.futex.wakeAll()
+}
+
+func (k *Kernel) sysExit(t *Thread, c *Call) Result {
+	t.ExitThread(int(c.Arg(0)))
+	return Result{}
+}

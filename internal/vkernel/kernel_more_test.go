@@ -1,0 +1,301 @@
+package vkernel
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"remon/internal/mem"
+)
+
+func TestReadlinkSyscall(t *testing.T) {
+	e := newTestEnv(t)
+	e.k.FS.WriteFile("/etc/target", []byte("x"), 0o644)
+	if err := e.k.FS.Symlink("/etc/target", "/tmp/link"); err != nil {
+		t.Fatal(err)
+	}
+	buf := e.alloc(64)
+	r := e.t.Syscall(SysReadlink, uint64(e.str("/tmp/link")), uint64(buf), 64)
+	if !r.Ok() || string(e.read(buf, int(r.Val))) != "/etc/target" {
+		t.Fatalf("readlink = %q, %v", e.read(buf, int(r.Val)), r.Errno)
+	}
+	// Truncation to the caller's buffer size.
+	r = e.t.Syscall(SysReadlink, uint64(e.str("/tmp/link")), uint64(buf), 4)
+	if !r.Ok() || r.Val != 4 {
+		t.Fatalf("truncated readlink = %d, %v", r.Val, r.Errno)
+	}
+}
+
+func TestRenameUnlinkMkdirRmdir(t *testing.T) {
+	e := newTestEnv(t)
+	if r := e.t.Syscall(SysMkdir, uint64(e.str("/tmp/d")), 0o755); !r.Ok() {
+		t.Fatalf("mkdir: %v", r.Errno)
+	}
+	e.k.FS.WriteFile("/tmp/d/f", []byte("v"), 0o644)
+	if r := e.t.Syscall(SysRename, uint64(e.str("/tmp/d/f")), uint64(e.str("/tmp/d/g"))); !r.Ok() {
+		t.Fatalf("rename: %v", r.Errno)
+	}
+	if r := e.t.Syscall(SysUnlink, uint64(e.str("/tmp/d/g"))); !r.Ok() {
+		t.Fatalf("unlink: %v", r.Errno)
+	}
+	if r := e.t.Syscall(SysRmdir, uint64(e.str("/tmp/d"))); !r.Ok() {
+		t.Fatalf("rmdir: %v", r.Errno)
+	}
+	if r := e.t.Syscall(SysRmdir, uint64(e.str("/tmp/d"))); r.Errno != ENOENT {
+		t.Fatalf("double rmdir = %v", r.Errno)
+	}
+}
+
+func TestTruncateSyscalls(t *testing.T) {
+	e := newTestEnv(t)
+	fd := e.t.Syscall(SysOpen, uint64(e.str("/tmp/tr")), OCreat|ORdwr, 0o644).Val
+	e.t.Syscall(SysWrite, fd, uint64(e.bytes(make([]byte, 100))), 100)
+	if r := e.t.Syscall(SysFtruncate, fd, 10); !r.Ok() {
+		t.Fatalf("ftruncate: %v", r.Errno)
+	}
+	st, _ := e.k.FS.Lookup("/tmp/tr")
+	if st.Size() != 10 {
+		t.Fatalf("size after ftruncate = %d", st.Size())
+	}
+	if r := e.t.Syscall(SysTruncate, uint64(e.str("/tmp/tr")), 50); !r.Ok() {
+		t.Fatalf("truncate: %v", r.Errno)
+	}
+	if st.Size() != 50 {
+		t.Fatalf("size after truncate = %d", st.Size())
+	}
+}
+
+func TestSendfileToSocket(t *testing.T) {
+	e := newTestEnv(t)
+	e.k.FS.WriteFile("/var/www/f", []byte("static-file-content"), 0o644)
+	srv := e.t.Syscall(SysSocket, 2, 1, 0).Val
+	e.t.Syscall(SysBind, srv, uint64(e.str("sf:1")), 8)
+	e.t.Syscall(SysListen, srv, 4)
+	client := e.p.NewThread(e.t)
+	cfd := client.Syscall(SysSocket, 2, 1, 0).Val
+	client.Syscall(SysConnect, cfd, uint64(e.str("sf:1")), 8)
+	conn := e.t.Syscall(SysAccept, srv, 0, 0).Val
+
+	in := e.t.Syscall(SysOpen, uint64(e.str("/var/www/f")), ORdonly, 0).Val
+	r := e.t.Syscall(SysSendfile, conn, in, 0, 19)
+	if !r.Ok() || r.Val != 19 {
+		t.Fatalf("sendfile = %d, %v", r.Val, r.Errno)
+	}
+	buf := e.alloc(32)
+	rr := client.Syscall(SysRead, cfd, uint64(buf), 32)
+	if !rr.Ok() || rr.Val != 19 {
+		t.Fatalf("client read = %d, %v", rr.Val, rr.Errno)
+	}
+}
+
+func TestDup2ReplacesAndSendmsgForms(t *testing.T) {
+	e := newTestEnv(t)
+	a := e.t.Syscall(SysOpen, uint64(e.str("/tmp/a")), OCreat|ORdwr, 0o644).Val
+	b := e.t.Syscall(SysOpen, uint64(e.str("/tmp/b")), OCreat|ORdwr, 0o644).Val
+	// dup2(a, b): b now refers to a's file.
+	if r := e.t.Syscall(SysDup2, a, b); !r.Ok() {
+		t.Fatalf("dup2: %v", r.Errno)
+	}
+	e.t.Syscall(SysWrite, b, uint64(e.bytes([]byte("via-b"))), 5)
+	got, _ := e.k.FS.ReadFile("/tmp/a")
+	if string(got) != "via-b" {
+		t.Fatalf("/tmp/a = %q after write through dup2'd fd", got)
+	}
+	if other, _ := e.k.FS.ReadFile("/tmp/b"); len(other) != 0 {
+		t.Fatalf("/tmp/b = %q, want untouched", other)
+	}
+}
+
+func TestRecvmsgIovecForm(t *testing.T) {
+	e := newTestEnv(t)
+	srv := e.t.Syscall(SysSocket, 2, 1, 0).Val
+	e.t.Syscall(SysBind, srv, uint64(e.str("mv:1")), 8)
+	e.t.Syscall(SysListen, srv, 4)
+	client := e.p.NewThread(e.t)
+	cfd := client.Syscall(SysSocket, 2, 1, 0).Val
+	client.Syscall(SysConnect, cfd, uint64(e.str("mv:1")), 8)
+	conn := e.t.Syscall(SysAccept, srv, 0, 0).Val
+
+	// sendmsg with a single-iovec message.
+	payload := e.bytes([]byte("iovec-msg"))
+	iov := make([]byte, 16)
+	binary.LittleEndian.PutUint64(iov[0:], uint64(payload))
+	binary.LittleEndian.PutUint64(iov[8:], 9)
+	r := client.Syscall(SysSendmsg, cfd, uint64(e.bytes(iov)), 1)
+	if !r.Ok() || r.Val != 9 {
+		t.Fatalf("sendmsg = %d, %v", r.Val, r.Errno)
+	}
+	// recvmsg mirror.
+	out := e.alloc(16)
+	riov := make([]byte, 16)
+	binary.LittleEndian.PutUint64(riov[0:], uint64(out))
+	binary.LittleEndian.PutUint64(riov[8:], 16)
+	r = e.t.Syscall(SysRecvmsg, conn, uint64(e.bytes(riov)), 1)
+	if !r.Ok() || string(e.read(out, int(r.Val))) != "iovec-msg" {
+		t.Fatalf("recvmsg = %q, %v", e.read(out, int(r.Val)), r.Errno)
+	}
+}
+
+func TestPollTimerfd(t *testing.T) {
+	e := newTestEnv(t)
+	tfd := e.t.Syscall(SysTimerfdCreate, 0, 0).Val
+	pfd := make([]byte, pollFDSize)
+	binary.LittleEndian.PutUint32(pfd[0:], uint32(tfd))
+	binary.LittleEndian.PutUint16(pfd[4:], PollIn)
+	addr := e.bytes(pfd)
+	if r := e.t.Syscall(SysPoll, uint64(addr), 1, 0); r.Val != 0 {
+		t.Fatal("unarmed timerfd polled ready")
+	}
+	e.t.Syscall(SysTimerfdSettime, tfd, 0, 1, 0)
+	if r := e.t.Syscall(SysPoll, uint64(addr), 1, 0); r.Val != 1 {
+		t.Fatal("armed timerfd not ready")
+	}
+	// Reading consumes the expiration.
+	buf := e.alloc(8)
+	if r := e.t.Syscall(SysRead, tfd, uint64(buf), 8); !r.Ok() || r.Val != 8 {
+		t.Fatalf("timerfd read = %d, %v", r.Val, r.Errno)
+	}
+	if r := e.t.Syscall(SysRead, tfd, uint64(buf), 8); r.Errno != EAGAIN {
+		t.Fatalf("second timerfd read = %v, want EAGAIN", r.Errno)
+	}
+}
+
+func TestGetdentsPagination(t *testing.T) {
+	e := newTestEnv(t)
+	for i := 0; i < 10; i++ {
+		e.k.FS.WriteFile("/var/www/f"+string(rune('a'+i)), nil, 0o644)
+	}
+	fd := e.t.Syscall(SysOpen, uint64(e.str("/var/www")), ORdonly, 0).Val
+	buf := e.alloc(DirentSize * 3)
+	total := 0
+	for {
+		r := e.t.Syscall(SysGetdents64, fd, uint64(buf), DirentSize*3)
+		if !r.Ok() {
+			t.Fatalf("getdents: %v", r.Errno)
+		}
+		if r.Val == 0 {
+			break
+		}
+		total += int(r.Val) / DirentSize
+	}
+	if total != 10 {
+		t.Fatalf("paginated getdents saw %d entries, want 10", total)
+	}
+}
+
+func TestEpollCtlErrors(t *testing.T) {
+	e := newTestEnv(t)
+	epfd := e.t.Syscall(SysEpollCreate1, 0).Val
+	ev := e.bytes(make([]byte, EpollEventSize))
+	// ADD on a bad fd.
+	if r := e.t.Syscall(SysEpollCtl, epfd, EpollCtlAdd, 999, uint64(ev)); r.Errno != EBADF {
+		t.Fatalf("epoll_ctl bad fd = %v", r.Errno)
+	}
+	fds := e.alloc(8)
+	e.t.Syscall(SysPipe, uint64(fds))
+	rfd := uint64(binary.LittleEndian.Uint32(e.read(fds, 8)[0:]))
+	// MOD before ADD.
+	if r := e.t.Syscall(SysEpollCtl, epfd, EpollCtlMod, rfd, uint64(ev)); r.Errno != ENOENT {
+		t.Fatalf("epoll_ctl MOD-before-ADD = %v", r.Errno)
+	}
+	// Double ADD.
+	e.t.Syscall(SysEpollCtl, epfd, EpollCtlAdd, rfd, uint64(ev))
+	if r := e.t.Syscall(SysEpollCtl, epfd, EpollCtlAdd, rfd, uint64(ev)); r.Errno != EEXIST {
+		t.Fatalf("double epoll_ctl ADD = %v", r.Errno)
+	}
+	// epoll_wait on a non-epoll fd.
+	if r := e.t.Syscall(SysEpollWait, rfd, uint64(e.alloc(16)), 1, 0); r.Errno != EINVAL {
+		t.Fatalf("epoll_wait on pipe = %v", r.Errno)
+	}
+}
+
+func TestLseekWhenceProperty(t *testing.T) {
+	e := newTestEnv(t)
+	fd := e.t.Syscall(SysOpen, uint64(e.str("/tmp/seek")), OCreat|ORdwr, 0o644).Val
+	e.t.Syscall(SysWrite, fd, uint64(e.bytes(make([]byte, 1000))), 1000)
+	f := func(off uint16, whence uint8) bool {
+		w := int(whence % 3)
+		r := e.t.Syscall(SysLseek, fd, uint64(off%500), uint64(w))
+		if !r.Ok() {
+			return false
+		}
+		cur := e.t.Syscall(SysLseek, fd, 0, SeekCur)
+		return cur.Ok() && cur.Val == r.Val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetcwdERANGE(t *testing.T) {
+	e := newTestEnv(t)
+	buf := e.alloc(64)
+	if r := e.t.Syscall(SysGetcwd, uint64(buf), 1); r.Errno != ERANGE {
+		t.Fatalf("tiny getcwd = %v, want ERANGE", r.Errno)
+	}
+}
+
+func TestXattrStubsAndAdviseNoops(t *testing.T) {
+	e := newTestEnv(t)
+	if r := e.t.Syscall(SysGetxattr, uint64(e.str("/tmp")), 0, 0, 0); r.Errno != ENODATA {
+		t.Fatalf("getxattr = %v, want ENODATA", r.Errno)
+	}
+	if r := e.t.Syscall(SysFadvise64, 0, 0, 0, 0); !r.Ok() {
+		t.Fatalf("fadvise = %v", r.Errno)
+	}
+	if r := e.t.Syscall(SysMadvise, 0, 0, 0); !r.Ok() {
+		t.Fatalf("madvise = %v", r.Errno)
+	}
+}
+
+func TestUnknownSyscallENOSYS(t *testing.T) {
+	e := newTestEnv(t)
+	if r := e.t.Syscall(555); r.Errno != ENOSYS {
+		t.Fatalf("unknown syscall = %v, want ENOSYS", r.Errno)
+	}
+}
+
+func TestProcessVMReadvDenied(t *testing.T) {
+	e := newTestEnv(t)
+	if r := e.t.Syscall(SysProcessVMReadv, 1, 2, 3); r.Errno != EPERM {
+		t.Fatalf("process_vm_readv from user = %v, want EPERM", r.Errno)
+	}
+}
+
+func TestShmLifecycle(t *testing.T) {
+	e := newTestEnv(t)
+	id := e.t.Syscall(SysShmget, 0, 8192, 0)
+	if !id.Ok() {
+		t.Fatalf("shmget: %v", id.Errno)
+	}
+	at := e.t.Syscall(SysShmat, id.Val, 0, 0)
+	if !at.Ok() {
+		t.Fatalf("shmat: %v", at.Errno)
+	}
+	if err := e.p.Mem.Write(mem.Addr(at.Val), []byte("shm")); err != nil {
+		t.Fatal(err)
+	}
+	if r := e.t.Syscall(SysShmdt, at.Val); !r.Ok() {
+		t.Fatalf("shmdt: %v", r.Errno)
+	}
+	if err := e.p.Mem.Write(mem.Addr(at.Val), []byte("x")); err == nil {
+		t.Fatal("write after shmdt succeeded")
+	}
+	// Invalid id.
+	if r := e.t.Syscall(SysShmat, 9999, 0, 0); r.Errno != EINVAL {
+		t.Fatalf("shmat bad id = %v", r.Errno)
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	e := newTestEnv(t)
+	var seen []int
+	e.k.SetTrace(func(th *Thread, c *Call) { seen = append(seen, c.Num) })
+	e.t.Syscall(SysGetpid)
+	e.t.RawSyscall(SysGettid) // raw calls are not traced
+	e.k.SetTrace(nil)
+	e.t.Syscall(SysGettid)
+	if len(seen) != 1 || seen[0] != SysGetpid {
+		t.Fatalf("trace saw %v", seen)
+	}
+}

@@ -1,0 +1,835 @@
+package vkernel
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/vnet"
+)
+
+// testEnv bundles a kernel, a process and its main thread with a scratch
+// memory arena for building syscall arguments.
+type testEnv struct {
+	k *Kernel
+	p *Process
+	t *Thread
+
+	arena    mem.Addr
+	arenaOff uint64
+}
+
+func newTestEnv(t *testing.T) *testEnv {
+	t.Helper()
+	k := New(vnet.New(vnet.Loopback))
+	p := k.NewProcess("test", 42, 0)
+	th := p.NewThread(nil)
+	r, err := p.Mem.Map(1<<20, mem.ProtRead|mem.ProtWrite, "arena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{k: k, p: p, t: th, arena: r.Start}
+}
+
+// alloc reserves n bytes in the arena.
+func (e *testEnv) alloc(n int) mem.Addr {
+	a := e.arena + mem.Addr(e.arenaOff)
+	e.arenaOff += uint64((n + 15) &^ 15)
+	return a
+}
+
+// str places a NUL-terminated string into the arena.
+func (e *testEnv) str(s string) mem.Addr {
+	a := e.alloc(len(s) + 1)
+	if err := e.p.Mem.Write(a, append([]byte(s), 0)); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// bytes places raw bytes into the arena.
+func (e *testEnv) bytes(b []byte) mem.Addr {
+	a := e.alloc(len(b))
+	if err := e.p.Mem.Write(a, b); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (e *testEnv) read(a mem.Addr, n int) []byte {
+	b, err := e.p.Mem.ReadBytes(a, n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestOpenWriteReadClose(t *testing.T) {
+	e := newTestEnv(t)
+	path := e.str("/tmp/file.txt")
+	r := e.t.Syscall(SysOpen, uint64(path), OCreat|ORdwr, 0o644)
+	if !r.Ok() {
+		t.Fatalf("open: %v", r.Errno)
+	}
+	fd := r.Val
+
+	data := e.bytes([]byte("kernel test data"))
+	r = e.t.Syscall(SysWrite, fd, uint64(data), 16)
+	if !r.Ok() || r.Val != 16 {
+		t.Fatalf("write = %d, %v", r.Val, r.Errno)
+	}
+
+	// Seek back and read.
+	if r = e.t.Syscall(SysLseek, fd, 0, SeekSet); !r.Ok() {
+		t.Fatalf("lseek: %v", r.Errno)
+	}
+	buf := e.alloc(32)
+	r = e.t.Syscall(SysRead, fd, uint64(buf), 32)
+	if !r.Ok() || r.Val != 16 {
+		t.Fatalf("read = %d, %v", r.Val, r.Errno)
+	}
+	if string(e.read(buf, 16)) != "kernel test data" {
+		t.Fatalf("read content = %q", e.read(buf, 16))
+	}
+	if r = e.t.Syscall(SysClose, fd); !r.Ok() {
+		t.Fatalf("close: %v", r.Errno)
+	}
+	if r = e.t.Syscall(SysRead, fd, uint64(buf), 1); r.Errno != EBADF {
+		t.Fatalf("read after close = %v, want EBADF", r.Errno)
+	}
+}
+
+func TestOpenENOENT(t *testing.T) {
+	e := newTestEnv(t)
+	r := e.t.Syscall(SysOpen, uint64(e.str("/missing")), ORdonly, 0)
+	if r.Errno != ENOENT {
+		t.Fatalf("open missing = %v", r.Errno)
+	}
+}
+
+func TestPreadPwrite(t *testing.T) {
+	e := newTestEnv(t)
+	fd := e.t.Syscall(SysOpen, uint64(e.str("/tmp/pp")), OCreat|ORdwr, 0o644).Val
+	e.t.Syscall(SysWrite, fd, uint64(e.bytes([]byte("0123456789"))), 10)
+	buf := e.alloc(4)
+	r := e.t.Syscall(SysPread64, fd, uint64(buf), 4, 3)
+	if !r.Ok() || r.Val != 4 || string(e.read(buf, 4)) != "3456" {
+		t.Fatalf("pread = %d %q %v", r.Val, e.read(buf, 4), r.Errno)
+	}
+	// pread does not move the file position: a normal read continues at 10
+	// (EOF, 0 bytes).
+	r = e.t.Syscall(SysRead, fd, uint64(buf), 4)
+	if !r.Ok() || r.Val != 0 {
+		t.Fatalf("read at EOF after pread = %d, %v", r.Val, r.Errno)
+	}
+	r = e.t.Syscall(SysPwrite64, fd, uint64(e.bytes([]byte("XX"))), 2, 0)
+	if !r.Ok() || r.Val != 2 {
+		t.Fatalf("pwrite = %d, %v", r.Val, r.Errno)
+	}
+	e.t.Syscall(SysPread64, fd, uint64(buf), 2, 0)
+	if string(e.read(buf, 2)) != "XX" {
+		t.Fatal("pwrite did not land at offset 0")
+	}
+}
+
+func TestReadvWritev(t *testing.T) {
+	e := newTestEnv(t)
+	fd := e.t.Syscall(SysOpen, uint64(e.str("/tmp/v")), OCreat|ORdwr, 0o644).Val
+	b1 := e.bytes([]byte("head-"))
+	b2 := e.bytes([]byte("tail"))
+	iov := make([]byte, 32)
+	binary.LittleEndian.PutUint64(iov[0:], uint64(b1))
+	binary.LittleEndian.PutUint64(iov[8:], 5)
+	binary.LittleEndian.PutUint64(iov[16:], uint64(b2))
+	binary.LittleEndian.PutUint64(iov[24:], 4)
+	iovAddr := e.bytes(iov)
+	r := e.t.Syscall(SysWritev, fd, uint64(iovAddr), 2)
+	if !r.Ok() || r.Val != 9 {
+		t.Fatalf("writev = %d, %v", r.Val, r.Errno)
+	}
+	e.t.Syscall(SysLseek, fd, 0, SeekSet)
+	out1 := e.alloc(5)
+	out2 := e.alloc(4)
+	riov := make([]byte, 32)
+	binary.LittleEndian.PutUint64(riov[0:], uint64(out1))
+	binary.LittleEndian.PutUint64(riov[8:], 5)
+	binary.LittleEndian.PutUint64(riov[16:], uint64(out2))
+	binary.LittleEndian.PutUint64(riov[24:], 4)
+	r = e.t.Syscall(SysReadv, fd, uint64(e.bytes(riov)), 2)
+	if !r.Ok() || r.Val != 9 {
+		t.Fatalf("readv = %d, %v", r.Val, r.Errno)
+	}
+	if string(e.read(out1, 5))+string(e.read(out2, 4)) != "head-tail" {
+		t.Fatal("readv content mismatch")
+	}
+}
+
+func TestStatFamily(t *testing.T) {
+	e := newTestEnv(t)
+	e.k.FS.WriteFile("/etc/conf", []byte("abc"), 0o600)
+	statBuf := e.alloc(StatBufSize)
+	r := e.t.Syscall(SysStat, uint64(e.str("/etc/conf")), uint64(statBuf))
+	if !r.Ok() {
+		t.Fatalf("stat: %v", r.Errno)
+	}
+	raw := e.read(statBuf, StatBufSize)
+	if size := binary.LittleEndian.Uint64(raw[8:]); size != 3 {
+		t.Fatalf("stat size = %d, want 3", size)
+	}
+	// fstat agrees.
+	fd := e.t.Syscall(SysOpen, uint64(e.str("/etc/conf")), ORdonly, 0).Val
+	r = e.t.Syscall(SysFstat, fd, uint64(statBuf))
+	if !r.Ok() {
+		t.Fatalf("fstat: %v", r.Errno)
+	}
+	raw2 := e.read(statBuf, StatBufSize)
+	if binary.LittleEndian.Uint64(raw2[0:]) != binary.LittleEndian.Uint64(raw[0:]) {
+		t.Fatal("fstat/stat ino mismatch")
+	}
+}
+
+func TestGetdents(t *testing.T) {
+	e := newTestEnv(t)
+	e.k.FS.WriteFile("/etc/one", nil, 0o644)
+	e.k.FS.WriteFile("/etc/two", nil, 0o644)
+	fd := e.t.Syscall(SysOpen, uint64(e.str("/etc")), ORdonly|ODirectory, 0).Val
+	buf := e.alloc(DirentSize * 8)
+	r := e.t.Syscall(SysGetdents64, fd, uint64(buf), DirentSize*8)
+	if !r.Ok() || r.Val != 2*DirentSize {
+		t.Fatalf("getdents = %d, %v", r.Val, r.Errno)
+	}
+	raw := e.read(buf, int(r.Val))
+	name0 := cString(raw[9:DirentSize])
+	if name0 != "one" {
+		t.Fatalf("first dirent = %q", name0)
+	}
+	// Subsequent call continues and then reports 0.
+	r = e.t.Syscall(SysGetdents64, fd, uint64(buf), DirentSize*8)
+	if !r.Ok() || r.Val != 0 {
+		t.Fatalf("getdents after exhaustion = %d, %v", r.Val, r.Errno)
+	}
+}
+
+func cString(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+func TestPipeTransfer(t *testing.T) {
+	e := newTestEnv(t)
+	fds := e.alloc(8)
+	if r := e.t.Syscall(SysPipe, uint64(fds)); !r.Ok() {
+		t.Fatalf("pipe: %v", r.Errno)
+	}
+	raw := e.read(fds, 8)
+	rfd := uint64(binary.LittleEndian.Uint32(raw[0:]))
+	wfd := uint64(binary.LittleEndian.Uint32(raw[4:]))
+	e.t.Syscall(SysWrite, wfd, uint64(e.bytes([]byte("pipe!"))), 5)
+	buf := e.alloc(8)
+	r := e.t.Syscall(SysRead, rfd, uint64(buf), 8)
+	if !r.Ok() || r.Val != 5 || string(e.read(buf, 5)) != "pipe!" {
+		t.Fatalf("pipe read = %d %q %v", r.Val, e.read(buf, 5), r.Errno)
+	}
+}
+
+func TestPipeNonblock(t *testing.T) {
+	e := newTestEnv(t)
+	fds := e.alloc(8)
+	e.t.Syscall(SysPipe2, uint64(fds), ONonblock)
+	raw := e.read(fds, 8)
+	rfd := uint64(binary.LittleEndian.Uint32(raw[0:]))
+	r := e.t.Syscall(SysRead, rfd, uint64(e.alloc(4)), 4)
+	if r.Errno != EAGAIN {
+		t.Fatalf("nonblocking empty pipe read = %v, want EAGAIN", r.Errno)
+	}
+}
+
+func TestSocketLifecycle(t *testing.T) {
+	e := newTestEnv(t)
+	srv := e.t.Syscall(SysSocket, 2, 1, 0).Val
+	if r := e.t.Syscall(SysBind, srv, uint64(e.str("host:80")), 8); !r.Ok() {
+		t.Fatalf("bind: %v", r.Errno)
+	}
+	if r := e.t.Syscall(SysListen, srv, 16); !r.Ok() {
+		t.Fatalf("listen: %v", r.Errno)
+	}
+
+	// Client thread connects and sends.
+	client := e.p.NewThread(e.t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cfd := client.Syscall(SysSocket, 2, 1, 0).Val
+		addrStr := append([]byte("host:80"), 0)
+		a, _ := e.p.Mem.Map(4096, mem.ProtRead|mem.ProtWrite, "client-arena")
+		e.p.Mem.Write(a.Start, addrStr)
+		if r := client.Syscall(SysConnect, cfd, uint64(a.Start), 8); !r.Ok() {
+			t.Errorf("connect: %v", r.Errno)
+			return
+		}
+		msg := []byte("hello-server")
+		e.p.Mem.Write(a.Start+64, msg)
+		if r := client.Syscall(SysWrite, cfd, uint64(a.Start+64), uint64(len(msg))); !r.Ok() {
+			t.Errorf("client write: %v", r.Errno)
+		}
+	}()
+
+	conn := e.t.Syscall(SysAccept, srv, 0, 0)
+	if !conn.Ok() {
+		t.Fatalf("accept: %v", conn.Errno)
+	}
+	buf := e.alloc(32)
+	r := e.t.Syscall(SysRead, conn.Val, uint64(buf), 32)
+	if !r.Ok() || string(e.read(buf, int(r.Val))) != "hello-server" {
+		t.Fatalf("server read = %q, %v", e.read(buf, int(r.Val)), r.Errno)
+	}
+	wg.Wait()
+	// Latency accounting: the server's clock must be at least one one-way
+	// latency past zero.
+	if e.t.Clock.Now() < vnet.Loopback.Latency {
+		t.Fatalf("server clock %v ignores link latency", e.t.Clock.Now())
+	}
+}
+
+func TestConnectRefusedErrno(t *testing.T) {
+	e := newTestEnv(t)
+	fd := e.t.Syscall(SysSocket, 2, 1, 0).Val
+	r := e.t.Syscall(SysConnect, fd, uint64(e.str("void:1")), 8)
+	if r.Errno != ECONNREFUSED {
+		t.Fatalf("connect = %v, want ECONNREFUSED", r.Errno)
+	}
+}
+
+func TestEpollRoundTrip(t *testing.T) {
+	e := newTestEnv(t)
+	// Pipe as the monitored fd.
+	fds := e.alloc(8)
+	e.t.Syscall(SysPipe, uint64(fds))
+	raw := e.read(fds, 8)
+	rfd := binary.LittleEndian.Uint32(raw[0:])
+	wfd := binary.LittleEndian.Uint32(raw[4:])
+
+	epfd := e.t.Syscall(SysEpollCreate1, 0).Val
+	ev := make([]byte, EpollEventSize)
+	binary.LittleEndian.PutUint32(ev[0:], EpollIn)
+	binary.LittleEndian.PutUint64(ev[8:], 0xDEADBEEF) // user cookie
+	if r := e.t.Syscall(SysEpollCtl, epfd, EpollCtlAdd, uint64(rfd), uint64(e.bytes(ev))); !r.Ok() {
+		t.Fatalf("epoll_ctl: %v", r.Errno)
+	}
+
+	// Nothing ready: timeout 0 returns 0.
+	out := e.alloc(EpollEventSize * 4)
+	r := e.t.Syscall(SysEpollWait, epfd, uint64(out), 4, 0)
+	if !r.Ok() || r.Val != 0 {
+		t.Fatalf("epoll_wait empty = %d, %v", r.Val, r.Errno)
+	}
+
+	e.t.Syscall(SysWrite, uint64(wfd), uint64(e.bytes([]byte("x"))), 1)
+	r = e.t.Syscall(SysEpollWait, epfd, uint64(out), 4, 0)
+	if !r.Ok() || r.Val != 1 {
+		t.Fatalf("epoll_wait ready = %d, %v", r.Val, r.Errno)
+	}
+	got := e.read(out, EpollEventSize)
+	if binary.LittleEndian.Uint32(got[0:])&EpollIn == 0 {
+		t.Fatal("EPOLLIN not set")
+	}
+	if binary.LittleEndian.Uint64(got[8:]) != 0xDEADBEEF {
+		t.Fatal("user data cookie lost")
+	}
+
+	// Delete then re-add-mod semantics.
+	if r := e.t.Syscall(SysEpollCtl, epfd, EpollCtlDel, uint64(rfd), 0); !r.Ok() {
+		t.Fatalf("epoll_ctl del: %v", r.Errno)
+	}
+	r = e.t.Syscall(SysEpollWait, epfd, uint64(out), 4, 0)
+	if r.Val != 0 {
+		t.Fatal("deleted fd still reported")
+	}
+}
+
+func TestEpollBlockingWake(t *testing.T) {
+	e := newTestEnv(t)
+	fds := e.alloc(8)
+	e.t.Syscall(SysPipe, uint64(fds))
+	raw := e.read(fds, 8)
+	rfd := binary.LittleEndian.Uint32(raw[0:])
+	wfd := binary.LittleEndian.Uint32(raw[4:])
+	epfd := e.t.Syscall(SysEpollCreate1, 0).Val
+	ev := make([]byte, EpollEventSize)
+	binary.LittleEndian.PutUint32(ev[0:], EpollIn)
+	e.t.Syscall(SysEpollCtl, epfd, EpollCtlAdd, uint64(rfd), uint64(e.bytes(ev)))
+
+	writer := e.p.NewThread(e.t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a, _ := e.p.Mem.Map(4096, mem.ProtRead|mem.ProtWrite, "w-arena")
+		e.p.Mem.Write(a.Start, []byte("z"))
+		writer.Syscall(SysWrite, uint64(wfd), uint64(a.Start), 1)
+	}()
+	out := e.alloc(EpollEventSize)
+	r := e.t.Syscall(SysEpollWait, epfd, uint64(out), 1, ^uint64(0)) // -1: block
+	if !r.Ok() || r.Val != 1 {
+		t.Fatalf("blocking epoll_wait = %d, %v", r.Val, r.Errno)
+	}
+	<-done
+}
+
+func TestPollOnSocketListener(t *testing.T) {
+	e := newTestEnv(t)
+	srv := e.t.Syscall(SysSocket, 2, 1, 0).Val
+	e.t.Syscall(SysBind, srv, uint64(e.str("p:1")), 8)
+	e.t.Syscall(SysListen, srv, 4)
+
+	pfd := make([]byte, pollFDSize)
+	binary.LittleEndian.PutUint32(pfd[0:], uint32(srv))
+	binary.LittleEndian.PutUint16(pfd[4:], PollIn)
+	addr := e.bytes(pfd)
+	r := e.t.Syscall(SysPoll, uint64(addr), 1, 0)
+	if !r.Ok() || r.Val != 0 {
+		t.Fatalf("poll idle listener = %d, %v", r.Val, r.Errno)
+	}
+
+	client := e.p.NewThread(e.t)
+	cfd := client.Syscall(SysSocket, 2, 1, 0).Val
+	client.Syscall(SysConnect, cfd, uint64(e.str("p:1")), 8)
+
+	r = e.t.Syscall(SysPoll, uint64(addr), 1, ^uint64(0))
+	if !r.Ok() || r.Val != 1 {
+		t.Fatalf("poll pending listener = %d, %v", r.Val, r.Errno)
+	}
+	revents := binary.LittleEndian.Uint16(e.read(addr, pollFDSize)[6:])
+	if revents&PollIn == 0 {
+		t.Fatal("POLLIN not reported for pending accept")
+	}
+}
+
+func TestFutexWaitWake(t *testing.T) {
+	e := newTestEnv(t)
+	word := e.alloc(4)
+	e.p.Mem.Write(word, []byte{0, 0, 0, 0})
+
+	waiter := e.p.NewThread(e.t)
+	done := make(chan Result, 1)
+	go func() {
+		done <- waiter.Syscall(SysFutex, uint64(word), FutexWait, 0)
+	}()
+	// Wait until the waiter is queued.
+	for e.k.WaitingOn(e.p, word) == 0 {
+	}
+	e.t.Clock.Advance(5000)
+	r := e.t.Syscall(SysFutex, uint64(word), FutexWake, 1)
+	if !r.Ok() || r.Val != 1 {
+		t.Fatalf("wake = %d, %v", r.Val, r.Errno)
+	}
+	wr := <-done
+	if !wr.Ok() {
+		t.Fatalf("wait = %v", wr.Errno)
+	}
+	// Waiter's clock synced to waker's publish time.
+	if waiter.Clock.Now() < 5000 {
+		t.Fatalf("waiter clock %v did not sync to waker", waiter.Clock.Now())
+	}
+}
+
+func TestFutexValMismatch(t *testing.T) {
+	e := newTestEnv(t)
+	word := e.alloc(4)
+	e.p.Mem.Write(word, []byte{7, 0, 0, 0})
+	r := e.t.Syscall(SysFutex, uint64(word), FutexWait, 0)
+	if r.Errno != EAGAIN {
+		t.Fatalf("futex wait with stale val = %v, want EAGAIN", r.Errno)
+	}
+}
+
+func TestFutexSharedSegmentAliases(t *testing.T) {
+	// Two processes futex on the same shared segment through different
+	// virtual addresses; the wake must cross.
+	k := New(nil)
+	p1 := k.NewProcess("a", 1, 0)
+	p2 := k.NewProcess("b", 2, 1)
+	t1 := p1.NewThread(nil)
+	t2 := p2.NewThread(nil)
+
+	shmID := t1.Syscall(SysShmget, 0, 4096, 0).Val
+	a1 := t1.Syscall(SysShmat, shmID, 0, 0).Val
+	a2 := t2.Syscall(SysShmat, shmID, 0, 0).Val
+	if a1 == a2 {
+		t.Log("note: same shmat address in both spaces")
+	}
+
+	done := make(chan Result, 1)
+	go func() {
+		done <- t2.Syscall(SysFutex, a2+16, FutexWait, 0)
+	}()
+	for k.WaitingOn(p2, mem.Addr(a2+16)) == 0 {
+	}
+	r := t1.Syscall(SysFutex, a1+16, FutexWake, 8)
+	if !r.Ok() || r.Val != 1 {
+		t.Fatalf("cross-process wake = %d, %v", r.Val, r.Errno)
+	}
+	if wr := <-done; !wr.Ok() {
+		t.Fatalf("cross-process wait = %v", wr.Errno)
+	}
+}
+
+func TestSignalHandlerDelivery(t *testing.T) {
+	e := newTestEnv(t)
+	var got []int
+	e.p.RegisterSignalHandler(SIGUSR1, func(th *Thread, sig int) {
+		got = append(got, sig)
+	})
+	e.t.Syscall(SysRtSigaction, SIGUSR1, 1, 0)
+	e.p.Kill(SIGUSR1)
+	// Delivery happens at the next syscall boundary.
+	e.t.Syscall(SysGetpid)
+	if len(got) != 1 || got[0] != SIGUSR1 {
+		t.Fatalf("handler deliveries = %v", got)
+	}
+	if e.p.SignalsDelivered() != 1 {
+		t.Fatalf("SignalsDelivered = %d", e.p.SignalsDelivered())
+	}
+}
+
+func TestSignalDefaultTerm(t *testing.T) {
+	e := newTestEnv(t)
+	e.p.Kill(SIGTERM)
+	e.t.Syscall(SysGetpid)
+	if !e.t.Exited() {
+		t.Fatal("SIGTERM default did not terminate thread")
+	}
+	exited, code, crashed := e.p.Exited()
+	if !exited || crashed || code != 128+SIGTERM {
+		t.Fatalf("process exit state = %v %d %v", exited, code, crashed)
+	}
+}
+
+func TestSignalBlocked(t *testing.T) {
+	e := newTestEnv(t)
+	fired := 0
+	e.p.RegisterSignalHandler(SIGUSR2, func(th *Thread, sig int) { fired++ })
+	e.t.Syscall(SysRtSigprocmask, 0, SIGUSR2) // block
+	e.p.Kill(SIGUSR2)
+	e.t.Syscall(SysGetpid)
+	if fired != 0 {
+		t.Fatal("blocked signal delivered")
+	}
+	e.t.Syscall(SysRtSigprocmask, 1, SIGUSR2) // unblock
+	e.t.Syscall(SysGetpid)
+	if fired != 1 {
+		t.Fatalf("unblocked signal deliveries = %d", fired)
+	}
+}
+
+func TestSignalGateConsumes(t *testing.T) {
+	e := newTestEnv(t)
+	gated := 0
+	e.p.SetSignalGate(func(p *Process, sig int) bool {
+		gated++
+		return true // monitor owns it
+	})
+	fired := 0
+	e.p.RegisterSignalHandler(SIGUSR1, func(th *Thread, sig int) { fired++ })
+	e.p.Kill(SIGUSR1)
+	e.t.Syscall(SysGetpid)
+	if gated != 1 || fired != 0 {
+		t.Fatalf("gate = %d deliveries = %d; want 1, 0", gated, fired)
+	}
+	// Monitor re-initiates delivery.
+	e.p.QueueSignalDirect(SIGUSR1)
+	e.t.Syscall(SysGetpid)
+	if fired != 1 {
+		t.Fatalf("re-initiated delivery = %d", fired)
+	}
+}
+
+func TestMmapMunmap(t *testing.T) {
+	e := newTestEnv(t)
+	r := e.t.Syscall(SysMmap, 0, 8192, 0x3, MapAnonymous|MapPrivate, 0, 0)
+	if !r.Ok() {
+		t.Fatalf("mmap: %v", r.Errno)
+	}
+	addr := r.Val
+	if err := e.p.Mem.Write(mem.Addr(addr), []byte("mapped")); err != nil {
+		t.Fatal(err)
+	}
+	if r := e.t.Syscall(SysMunmap, addr, 8192); !r.Ok() {
+		t.Fatalf("munmap: %v", r.Errno)
+	}
+	if err := e.p.Mem.Write(mem.Addr(addr), []byte("x")); err == nil {
+		t.Fatal("write after munmap succeeded")
+	}
+}
+
+func TestBrk(t *testing.T) {
+	e := newTestEnv(t)
+	r0 := e.t.Syscall(SysBrk, 0)
+	r1 := e.t.Syscall(SysBrk, 4096)
+	if !r1.Ok() || r1.Val != r0.Val+4096 {
+		t.Fatalf("brk grow = %#x -> %#x", r0.Val, r1.Val)
+	}
+}
+
+func TestDupVariants(t *testing.T) {
+	e := newTestEnv(t)
+	fd := e.t.Syscall(SysOpen, uint64(e.str("/tmp/d")), OCreat|ORdwr, 0o644).Val
+	d := e.t.Syscall(SysDup, fd)
+	if !d.Ok() || d.Val == fd {
+		t.Fatalf("dup = %d, %v", d.Val, d.Errno)
+	}
+	// Both fds share file position.
+	e.t.Syscall(SysWrite, fd, uint64(e.bytes([]byte("ab"))), 2)
+	pos := e.t.Syscall(SysLseek, d.Val, 0, SeekCur)
+	if pos.Val != 2 {
+		t.Fatalf("dup'd fd position = %d, want shared 2", pos.Val)
+	}
+	d2 := e.t.Syscall(SysDup2, fd, 99)
+	if !d2.Ok() || d2.Val != 99 {
+		t.Fatalf("dup2 = %d, %v", d2.Val, d2.Errno)
+	}
+}
+
+func TestFcntlNonblock(t *testing.T) {
+	e := newTestEnv(t)
+	fds := e.alloc(8)
+	e.t.Syscall(SysPipe, uint64(fds))
+	rfd := uint64(binary.LittleEndian.Uint32(e.read(fds, 8)[0:]))
+	if fl := e.t.Syscall(SysFcntl, rfd, FGetFL, 0); fl.Val&ONonblock != 0 {
+		t.Fatal("pipe starts nonblocking")
+	}
+	e.t.Syscall(SysFcntl, rfd, FSetFL, ONonblock)
+	if fl := e.t.Syscall(SysFcntl, rfd, FGetFL, 0); fl.Val&ONonblock == 0 {
+		t.Fatal("F_SETFL O_NONBLOCK did not stick")
+	}
+	if r := e.t.Syscall(SysRead, rfd, uint64(e.alloc(1)), 1); r.Errno != EAGAIN {
+		t.Fatalf("read after F_SETFL = %v, want EAGAIN", r.Errno)
+	}
+}
+
+func TestSendfile(t *testing.T) {
+	e := newTestEnv(t)
+	e.k.FS.WriteFile("/var/www/page", []byte("<html>body</html>"), 0o644)
+	in := e.t.Syscall(SysOpen, uint64(e.str("/var/www/page")), ORdonly, 0).Val
+	out := e.t.Syscall(SysOpen, uint64(e.str("/tmp/copy")), OCreat|ORdwr, 0o644).Val
+	r := e.t.Syscall(SysSendfile, out, in, 0, 17)
+	if !r.Ok() || r.Val != 17 {
+		t.Fatalf("sendfile = %d, %v", r.Val, r.Errno)
+	}
+	got, _ := e.k.FS.ReadFile("/tmp/copy")
+	if string(got) != "<html>body</html>" {
+		t.Fatalf("sendfile copy = %q", got)
+	}
+}
+
+func TestClockGettimeReflectsVirtualTime(t *testing.T) {
+	e := newTestEnv(t)
+	ts := e.alloc(8)
+	e.t.Clock.Advance(12345678)
+	r := e.t.Syscall(SysClockGettime, 0, uint64(ts))
+	if !r.Ok() {
+		t.Fatalf("clock_gettime: %v", r.Errno)
+	}
+	got := binary.LittleEndian.Uint64(e.read(ts, 8))
+	if got < 12345678 {
+		t.Fatalf("clock_gettime = %d, want >= 12345678", got)
+	}
+}
+
+func TestNanosleepAdvancesClock(t *testing.T) {
+	e := newTestEnv(t)
+	req := e.alloc(8)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(3*model.Millisecond))
+	e.p.Mem.Write(req, buf[:])
+	before := e.t.Clock.Now()
+	e.t.Syscall(SysNanosleep, uint64(req), 0)
+	if e.t.Clock.Now()-before < 3*model.Millisecond {
+		t.Fatal("nanosleep did not advance virtual time")
+	}
+}
+
+func TestIdentityCalls(t *testing.T) {
+	e := newTestEnv(t)
+	if r := e.t.Syscall(SysGetpid); r.Val != uint64(e.p.PID) {
+		t.Fatalf("getpid = %d, want %d", r.Val, e.p.PID)
+	}
+	if r := e.t.Syscall(SysGettid); r.Val != uint64(e.t.TID) {
+		t.Fatalf("gettid = %d", r.Val)
+	}
+	if r := e.t.Syscall(SysGetuid); r.Val != 1000 {
+		t.Fatalf("getuid = %d", r.Val)
+	}
+	cwd := e.alloc(64)
+	r := e.t.Syscall(SysGetcwd, uint64(cwd), 64)
+	if !r.Ok() || string(e.read(cwd, 2)[:1]) != "/" {
+		t.Fatalf("getcwd = %q, %v", e.read(cwd, int(r.Val)), r.Errno)
+	}
+	un := e.alloc(64)
+	e.t.Syscall(SysUname, uint64(un))
+	if string(e.read(un, 5)) != "Linux" {
+		t.Fatal("uname content")
+	}
+}
+
+type countingInterceptor struct {
+	mu    sync.Mutex
+	calls []int
+}
+
+func (ci *countingInterceptor) Intercept(t *Thread, c *Call, exec func(*Call) Result) Result {
+	ci.mu.Lock()
+	ci.calls = append(ci.calls, c.Num)
+	ci.mu.Unlock()
+	return exec(c)
+}
+
+func TestInterceptorSeesAllSyscalls(t *testing.T) {
+	e := newTestEnv(t)
+	ci := &countingInterceptor{}
+	e.k.SetInterceptor(ci)
+	e.t.Syscall(SysGetpid)
+	e.t.Syscall(SysGettid)
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if len(ci.calls) != 2 || ci.calls[0] != SysGetpid || ci.calls[1] != SysGettid {
+		t.Fatalf("interceptor saw %v", ci.calls)
+	}
+}
+
+func TestRawSyscallBypassesInterceptor(t *testing.T) {
+	e := newTestEnv(t)
+	ci := &countingInterceptor{}
+	e.k.SetInterceptor(ci)
+	e.t.RawSyscall(SysGetpid)
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if len(ci.calls) != 0 {
+		t.Fatalf("RawSyscall hit interceptor: %v", ci.calls)
+	}
+}
+
+func TestExitHandlers(t *testing.T) {
+	e := newTestEnv(t)
+	var exits []bool
+	e.k.AddExitHandler(exitFunc(func(th *Thread, code int, crashed bool) {
+		exits = append(exits, crashed)
+	}))
+	th2 := e.p.NewThread(e.t)
+	th2.Crash("divergence")
+	e.t.ExitThread(0)
+	if len(exits) != 2 || !exits[0] || exits[1] {
+		t.Fatalf("exit notifications = %v", exits)
+	}
+	exited, _, crashed := e.p.Exited()
+	if !exited || !crashed {
+		t.Fatalf("process state after crash = %v, %v", exited, crashed)
+	}
+}
+
+type exitFunc func(*Thread, int, bool)
+
+func (f exitFunc) ThreadExited(t *Thread, code int, crashed bool) { f(t, code, crashed) }
+
+func TestSyscallAfterExit(t *testing.T) {
+	e := newTestEnv(t)
+	e.t.ExitThread(0)
+	if r := e.t.Syscall(SysGetpid); r.Errno != ESRCH {
+		t.Fatalf("syscall after exit = %v, want ESRCH", r.Errno)
+	}
+}
+
+func TestSyscallMask(t *testing.T) {
+	var m SyscallMask
+	m.Set(SysRead)
+	m.Set(SysWrite)
+	m.Set(SysIPMonRegister)
+	if !m.Has(SysRead) || !m.Has(SysIPMonRegister) || m.Has(SysOpen) {
+		t.Fatal("mask membership wrong")
+	}
+	if m.Count() != 3 {
+		t.Fatalf("mask count = %d", m.Count())
+	}
+	m.Clear(SysRead)
+	if m.Has(SysRead) || m.Count() != 2 {
+		t.Fatal("mask clear failed")
+	}
+	m.Set(-1)
+	m.Set(MaxSyscall + 10) // no panic, no effect
+	if m.Count() != 2 {
+		t.Fatal("out-of-range set changed mask")
+	}
+}
+
+func TestErrnoStrings(t *testing.T) {
+	if ENOENT.String() != "ENOENT" || Errno(9999).String() != "errno(9999)" {
+		t.Fatal("errno string rendering")
+	}
+	if ENOENT.Error() == "" {
+		t.Fatal("errno as error")
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	if SyscallName(SysRead) != "read" || SyscallName(9999) != "sys_9999" {
+		t.Fatal("syscall name rendering")
+	}
+}
+
+func TestFDKindStrings(t *testing.T) {
+	if FDSocket.String() != "socket" || !FDListener.IsSocket() || FDRegular.IsSocket() {
+		t.Fatal("FDKind behaviour")
+	}
+}
+
+func TestResultRet(t *testing.T) {
+	if (Result{Val: 7}).Ret() != 7 {
+		t.Fatal("Ret success")
+	}
+	if (Result{Errno: EAGAIN}).Ret() != -int64(EAGAIN) {
+		t.Fatal("Ret errno encoding")
+	}
+}
+
+func TestSocketpair(t *testing.T) {
+	e := newTestEnv(t)
+	out := e.alloc(8)
+	r := e.t.Syscall(SysSocketpair, 1, 1, 0, uint64(out))
+	if !r.Ok() {
+		t.Fatalf("socketpair: %v", r.Errno)
+	}
+	raw := e.read(out, 8)
+	fd1 := binary.LittleEndian.Uint32(raw[0:])
+	fd2 := binary.LittleEndian.Uint32(raw[4:])
+	if fd1 == fd2 {
+		t.Fatal("socketpair returned identical fds")
+	}
+}
+
+func TestShutdownAndSockname(t *testing.T) {
+	e := newTestEnv(t)
+	srv := e.t.Syscall(SysSocket, 2, 1, 0).Val
+	e.t.Syscall(SysBind, srv, uint64(e.str("sn:9")), 8)
+	e.t.Syscall(SysListen, srv, 4)
+	c2 := e.p.NewThread(e.t)
+	cfd := c2.Syscall(SysSocket, 2, 1, 0).Val
+	c2.Syscall(SysConnect, cfd, uint64(e.str("sn:9")), 8)
+	conn := e.t.Syscall(SysAccept, srv, 0, 0).Val
+
+	name := e.alloc(64)
+	if r := e.t.Syscall(SysGetsockname, conn, uint64(name), 64); !r.Ok() {
+		t.Fatalf("getsockname: %v", r.Errno)
+	}
+	if cString(e.read(name, 64)) != "sn:9" {
+		t.Fatalf("getsockname = %q", cString(e.read(name, 64)))
+	}
+	if r := e.t.Syscall(SysShutdown, conn, 2); !r.Ok() {
+		t.Fatalf("shutdown: %v", r.Errno)
+	}
+}

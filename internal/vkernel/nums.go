@@ -1,0 +1,225 @@
+package vkernel
+
+// System call numbers. The values follow the Linux x86-64 ABI so traces
+// and policy tables read naturally against the paper; SysIPMonRegister is
+// the new registration call IK-B adds (§3.5).
+const (
+	SysRead           = 0
+	SysWrite          = 1
+	SysOpen           = 2
+	SysClose          = 3
+	SysStat           = 4
+	SysFstat          = 5
+	SysLstat          = 6
+	SysPoll           = 7
+	SysLseek          = 8
+	SysMmap           = 9
+	SysMprotect       = 10
+	SysMunmap         = 11
+	SysBrk            = 12
+	SysRtSigaction    = 13
+	SysRtSigprocmask  = 14
+	SysIoctl          = 16
+	SysPread64        = 17
+	SysPwrite64       = 18
+	SysReadv          = 19
+	SysWritev         = 20
+	SysAccess         = 21
+	SysPipe           = 22
+	SysSelect         = 23
+	SysSchedYield     = 24
+	SysMremap         = 25
+	SysMadvise        = 28
+	SysShmget         = 29
+	SysShmat          = 30
+	SysShmctl         = 31
+	SysDup            = 32
+	SysDup2           = 33
+	SysNanosleep      = 35
+	SysGetitimer      = 36
+	SysAlarm          = 37
+	SysSetitimer      = 38
+	SysGetpid         = 39
+	SysSendfile       = 40
+	SysSocket         = 41
+	SysConnect        = 42
+	SysAccept         = 43
+	SysSendto         = 44
+	SysRecvfrom       = 45
+	SysSendmsg        = 46
+	SysRecvmsg        = 47
+	SysShutdown       = 48
+	SysBind           = 49
+	SysListen         = 50
+	SysGetsockname    = 51
+	SysGetpeername    = 52
+	SysSocketpair     = 53
+	SysSetsockopt     = 54
+	SysGetsockopt     = 55
+	SysClone          = 56
+	SysExit           = 60
+	SysKill           = 62
+	SysUname          = 63
+	SysShmdt          = 67
+	SysFcntl          = 72
+	SysFsync          = 74
+	SysFdatasync      = 75
+	SysTruncate       = 76
+	SysFtruncate      = 77
+	SysGetdents       = 78
+	SysGetcwd         = 79
+	SysRename         = 82
+	SysMkdir          = 83
+	SysRmdir          = 84
+	SysUnlink         = 87
+	SysReadlink       = 89
+	SysGettimeofday   = 96
+	SysGetrusage      = 98
+	SysSysinfo        = 99
+	SysTimes          = 100
+	SysGetuid         = 102
+	SysGetgid         = 104
+	SysGeteuid        = 107
+	SysGetegid        = 108
+	SysGetppid        = 110
+	SysGetpgrp        = 111
+	SysCapget         = 125
+	SysGetpriority    = 140
+	SysFutex          = 202
+	SysGetdents64     = 217
+	SysClockGettime   = 228
+	SysExitGroup      = 231
+	SysEpollWait      = 232
+	SysEpollCtl       = 233
+	SysTgkill         = 234
+	SysOpenat         = 257
+	SysNewfstatat     = 262
+	SysUnlinkat       = 263
+	SysReadlinkat     = 267
+	SysFaccessat      = 269
+	SysPselect6       = 270
+	SysEpollPwait     = 281
+	SysAccept4        = 288
+	SysEpollCreate1   = 291
+	SysDup3           = 292
+	SysPipe2          = 293
+	SysPreadv         = 295
+	SysPwritev        = 296
+	SysRecvmmsg       = 299
+	SysFadvise64      = 221
+	SysSendmmsg       = 307
+	SysGetxattr       = 191
+	SysLgetxattr      = 192
+	SysFgetxattr      = 193
+	SysTimerfdCreate  = 283
+	SysTimerfdSettime = 286
+	SysTimerfdGettime = 287
+	SysEpollCreate    = 213
+	SysTime           = 201
+	SysGettid         = 186
+	SysSync           = 162
+	SysSyncfs         = 306
+	SysProcessVMReadv = 310
+
+	// SysIPMonRegister is the kernel extension the paper adds: IP-MON
+	// registers its unmonitored-call mask, replication buffer pointer and
+	// entry point with IK-B (§3.5).
+	SysIPMonRegister = 600
+
+	// MaxSyscall bounds the syscall mask bitsets.
+	MaxSyscall = 640
+)
+
+var sysNames = map[int]string{
+	SysRead: "read", SysWrite: "write", SysOpen: "open", SysClose: "close",
+	SysStat: "stat", SysFstat: "fstat", SysLstat: "lstat", SysPoll: "poll",
+	SysLseek: "lseek", SysMmap: "mmap", SysMprotect: "mprotect",
+	SysMunmap: "munmap", SysBrk: "brk", SysRtSigaction: "rt_sigaction",
+	SysRtSigprocmask: "rt_sigprocmask", SysIoctl: "ioctl",
+	SysPread64: "pread64", SysPwrite64: "pwrite64", SysReadv: "readv",
+	SysWritev: "writev", SysAccess: "access", SysPipe: "pipe",
+	SysSelect: "select", SysSchedYield: "sched_yield", SysMremap: "mremap",
+	SysMadvise: "madvise", SysShmget: "shmget", SysShmat: "shmat",
+	SysShmctl: "shmctl", SysDup: "dup", SysDup2: "dup2",
+	SysNanosleep: "nanosleep", SysGetitimer: "getitimer", SysAlarm: "alarm",
+	SysSetitimer: "setitimer", SysGetpid: "getpid", SysSendfile: "sendfile",
+	SysSocket: "socket", SysConnect: "connect", SysAccept: "accept",
+	SysSendto: "sendto", SysRecvfrom: "recvfrom", SysSendmsg: "sendmsg",
+	SysRecvmsg: "recvmsg", SysShutdown: "shutdown", SysBind: "bind",
+	SysListen: "listen", SysGetsockname: "getsockname",
+	SysGetpeername: "getpeername", SysSocketpair: "socketpair",
+	SysSetsockopt: "setsockopt", SysGetsockopt: "getsockopt",
+	SysClone: "clone", SysExit: "exit", SysKill: "kill", SysUname: "uname",
+	SysShmdt: "shmdt", SysFcntl: "fcntl", SysFsync: "fsync",
+	SysFdatasync: "fdatasync", SysTruncate: "truncate",
+	SysFtruncate: "ftruncate", SysGetdents: "getdents", SysGetcwd: "getcwd",
+	SysRename: "rename", SysMkdir: "mkdir", SysRmdir: "rmdir",
+	SysUnlink: "unlink", SysReadlink: "readlink",
+	SysGettimeofday: "gettimeofday", SysGetrusage: "getrusage",
+	SysSysinfo: "sysinfo", SysTimes: "times", SysGetuid: "getuid",
+	SysGetgid: "getgid", SysGeteuid: "geteuid", SysGetegid: "getegid",
+	SysGetppid: "getppid", SysGetpgrp: "getpgrp", SysCapget: "capget",
+	SysGetpriority: "getpriority", SysFutex: "futex",
+	SysGetdents64: "getdents64", SysClockGettime: "clock_gettime",
+	SysExitGroup: "exit_group", SysEpollWait: "epoll_wait",
+	SysEpollCtl: "epoll_ctl", SysTgkill: "tgkill", SysOpenat: "openat",
+	SysNewfstatat: "newfstatat", SysUnlinkat: "unlinkat",
+	SysReadlinkat: "readlinkat", SysFaccessat: "faccessat",
+	SysPselect6: "pselect6", SysEpollPwait: "epoll_pwait",
+	SysAccept4: "accept4", SysEpollCreate1: "epoll_create1",
+	SysDup3: "dup3", SysPipe2: "pipe2", SysPreadv: "preadv",
+	SysPwritev: "pwritev", SysRecvmmsg: "recvmmsg",
+	SysFadvise64: "fadvise64", SysSendmmsg: "sendmmsg",
+	SysGetxattr: "getxattr", SysLgetxattr: "lgetxattr",
+	SysFgetxattr: "fgetxattr", SysTimerfdCreate: "timerfd_create",
+	SysTimerfdSettime: "timerfd_settime", SysTimerfdGettime: "timerfd_gettime",
+	SysEpollCreate: "epoll_create", SysTime: "time", SysGettid: "gettid",
+	SysSync: "sync", SysSyncfs: "syncfs",
+	SysProcessVMReadv: "process_vm_readv",
+	SysIPMonRegister:  "ipmon_register",
+}
+
+// SyscallName reports the symbolic name of nr.
+func SyscallName(nr int) string {
+	if s, ok := sysNames[nr]; ok {
+		return s
+	}
+	return "sys_" + itoa(nr)
+}
+
+// SyscallMask is a bitset over syscall numbers, used for IP-MON's
+// registered unmonitored-call set (§3.5).
+type SyscallMask [MaxSyscall/64 + 1]uint64
+
+// Set marks nr in the mask.
+func (m *SyscallMask) Set(nr int) {
+	if nr >= 0 && nr < MaxSyscall {
+		m[nr/64] |= 1 << (uint(nr) % 64)
+	}
+}
+
+// Clear unmarks nr.
+func (m *SyscallMask) Clear(nr int) {
+	if nr >= 0 && nr < MaxSyscall {
+		m[nr/64] &^= 1 << (uint(nr) % 64)
+	}
+}
+
+// Has reports whether nr is in the mask.
+func (m *SyscallMask) Has(nr int) bool {
+	if nr < 0 || nr >= MaxSyscall {
+		return false
+	}
+	return m[nr/64]&(1<<(uint(nr)%64)) != 0
+}
+
+// Count reports the number of calls in the mask.
+func (m *SyscallMask) Count() int {
+	n := 0
+	for _, w := range m {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,189 @@
+package vkernel
+
+import (
+	"sync"
+
+	"remon/internal/model"
+)
+
+// Signal numbers (subset).
+const (
+	SIGHUP  = 1
+	SIGINT  = 2
+	SIGKILL = 9
+	SIGSEGV = 11
+	SIGPIPE = 13
+	SIGALRM = 14
+	SIGTERM = 15
+	SIGCHLD = 17
+	SIGUSR1 = 10
+	SIGUSR2 = 12
+)
+
+// SignalHandler is a registered user-space handler. It runs on the
+// receiving thread's goroutine at a syscall boundary — the simulation's
+// equivalent of "delivered when the replica reaches a synchronisation
+// point" (§2.2, §3.8).
+type SignalHandler func(t *Thread, sig int)
+
+// SignalGate intercepts asynchronous signal delivery before the kernel
+// queues the signal to the process. GHUMVEE installs one per traced
+// process: it discards the initial delivery and re-initiates it once all
+// replicas rest at equivalent states (§2.2). Returning true consumes the
+// signal (the monitor now owns its delivery).
+type SignalGate func(p *Process, sig int) bool
+
+type signalState struct {
+	mu       sync.Mutex
+	handlers map[int]SignalHandler
+	pending  []int
+	blocked  map[int]bool
+	gate     SignalGate
+	count    int // total signals delivered to handlers
+}
+
+func (s *signalState) init() {
+	s.handlers = map[int]SignalHandler{}
+	s.blocked = map[int]bool{}
+}
+
+// RegisterSignalHandler installs a Go-closure handler for sig. The libc
+// layer pairs this with a rt_sigaction syscall so the monitors see the
+// registration; handler invocation itself is a user-space matter.
+func (p *Process) RegisterSignalHandler(sig int, h SignalHandler) {
+	p.sig.mu.Lock()
+	defer p.sig.mu.Unlock()
+	if h == nil {
+		delete(p.sig.handlers, sig)
+		return
+	}
+	p.sig.handlers[sig] = h
+}
+
+// SetSignalGate installs the tracer's delivery gate.
+func (p *Process) SetSignalGate(g SignalGate) {
+	p.sig.mu.Lock()
+	defer p.sig.mu.Unlock()
+	p.sig.gate = g
+}
+
+// SignalsDelivered reports how many signals reached user handlers.
+func (p *Process) SignalsDelivered() int {
+	p.sig.mu.Lock()
+	defer p.sig.mu.Unlock()
+	return p.sig.count
+}
+
+// Kill queues sig to the process. With a gate installed (traced process),
+// the gate decides; GHUMVEE uses QueueSignalDirect later to re-initiate
+// delivery.
+func (p *Process) Kill(sig int) {
+	p.sig.mu.Lock()
+	gate := p.sig.gate
+	p.sig.mu.Unlock()
+	if gate != nil && gate(p, sig) {
+		return // monitor owns delivery now
+	}
+	p.QueueSignalDirect(sig)
+}
+
+// QueueSignalDirect bypasses the gate and queues sig for delivery at the
+// next syscall boundary of any thread.
+func (p *Process) QueueSignalDirect(sig int) {
+	p.sig.mu.Lock()
+	if sig == SIGKILL {
+		p.sig.mu.Unlock()
+		for _, t := range p.Threads() {
+			t.exit(128+SIGKILL, true)
+		}
+		return
+	}
+	p.sig.pending = append(p.sig.pending, sig)
+	p.sig.mu.Unlock()
+	p.Kernel.Hub.Notify()
+}
+
+// deliverPendingSignals runs queued handlers on t at a syscall boundary.
+func (p *Process) deliverPendingSignals(t *Thread) {
+	for {
+		p.sig.mu.Lock()
+		if len(p.sig.pending) == 0 {
+			p.sig.mu.Unlock()
+			return
+		}
+		sig := p.sig.pending[0]
+		if p.sig.blocked[sig] {
+			p.sig.mu.Unlock()
+			return // leave queued until unblocked
+		}
+		p.sig.pending = p.sig.pending[1:]
+		h := p.sig.handlers[sig]
+		if h != nil {
+			p.sig.count++
+		}
+		p.sig.mu.Unlock()
+
+		t.Clock.Advance(model.CostSignalDeliver)
+		switch {
+		case h != nil:
+			h(t, sig)
+		case sig == SIGTERM || sig == SIGINT || sig == SIGHUP || sig == SIGPIPE:
+			t.exit(128+sig, false)
+			return
+		case sig == SIGSEGV:
+			t.exit(128+sig, true)
+			return
+		}
+	}
+}
+
+func (k *Kernel) sysKill(t *Thread, c *Call) Result {
+	var target *Process
+	if c.Num == SysTgkill {
+		target = k.Proc(int(c.Arg(0)))
+	} else {
+		target = k.Proc(int(c.Arg(0)))
+	}
+	if target == nil {
+		return Result{Errno: ESRCH}
+	}
+	target.Kill(int(c.Arg(1)))
+	return Result{}
+}
+
+func (k *Kernel) sysRtSigaction(t *Thread, c *Call) Result {
+	// Handler closures are registered via RegisterSignalHandler; the
+	// syscall records the registration so monitors can lockstep-check it.
+	sig := int(c.Arg(0))
+	if sig <= 0 || sig >= 64 {
+		return Result{Errno: EINVAL}
+	}
+	if sig == SIGKILL {
+		return Result{Errno: EINVAL}
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysRtSigprocmask(t *Thread, c *Call) Result {
+	// how: 0=BLOCK, 1=UNBLOCK, 2=SETMASK over a single signal number in
+	// arg1 (simplified mask ABI).
+	sig := int(c.Arg(1))
+	if sig <= 0 || sig >= 64 {
+		return Result{Errno: EINVAL}
+	}
+	p := t.Proc
+	p.sig.mu.Lock()
+	switch c.Arg(0) {
+	case 0:
+		p.sig.blocked[sig] = true
+	case 1:
+		delete(p.sig.blocked, sig)
+	case 2:
+		p.sig.blocked = map[int]bool{sig: true}
+	default:
+		p.sig.mu.Unlock()
+		return Result{Errno: EINVAL}
+	}
+	p.sig.mu.Unlock()
+	return Result{}
+}

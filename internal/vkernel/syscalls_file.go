@@ -1,0 +1,764 @@
+package vkernel
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/vfs"
+)
+
+// Open flags (Linux values).
+const (
+	ORdonly    = 0x0
+	OWronly    = 0x1
+	ORdwr      = 0x2
+	OCreat     = 0x40
+	OTrunc     = 0x200
+	OAppend    = 0x400
+	ONonblock  = 0x800
+	ODirectory = 0x10000
+)
+
+// fcntl commands.
+const (
+	FDupFD = 0
+	FGetFL = 3
+	FSetFL = 4
+)
+
+// ioctl requests.
+const (
+	FIONBIO  = 0x5421
+	FIONREAD = 0x541B
+)
+
+// StatBufSize is the size of the simulated stat structure: ino(8) size(8)
+// mode(4) type(4) nlink(8).
+const StatBufSize = 32
+
+// DirentSize is the fixed getdents record size: ino(8) type(1) name(55).
+const DirentSize = 64
+
+// memCopyCost charges ~8 bytes/ns for kernel<->user copies.
+func memCopyCost(n int) model.Duration { return model.Duration(n / 8) }
+
+// readCString reads a NUL-terminated string at addr (max 4096 bytes).
+func readCString(as *mem.AddressSpace, addr mem.Addr) (string, Errno) {
+	var out []byte
+	buf := make([]byte, 64)
+	for len(out) < 4096 {
+		if err := as.Read(addr+mem.Addr(len(out)), buf); err != nil {
+			// Retry byte-wise near region edges.
+			for i := 0; i < len(buf); i++ {
+				one := buf[:1]
+				if err := as.Read(addr+mem.Addr(len(out)), one); err != nil {
+					return "", EFAULT
+				}
+				if one[0] == 0 {
+					return string(out), OK
+				}
+				out = append(out, one[0])
+			}
+			continue
+		}
+		for _, b := range buf {
+			if b == 0 {
+				return string(out), OK
+			}
+			out = append(out, b)
+		}
+	}
+	return "", ENAMETOOLONG
+}
+
+func (k *Kernel) resolvePath(p *Process, path string) string {
+	if path == "" {
+		return path
+	}
+	if path[0] == '/' {
+		return path
+	}
+	p.mu.Lock()
+	cwd := p.cwd
+	p.mu.Unlock()
+	if cwd == "/" {
+		return "/" + path
+	}
+	return cwd + "/" + path
+}
+
+func vfsErrno(err error) Errno {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, vfs.ErrNotExist):
+		return ENOENT
+	case errors.Is(err, vfs.ErrExist):
+		return EEXIST
+	case errors.Is(err, vfs.ErrNotDir):
+		return ENOTDIR
+	case errors.Is(err, vfs.ErrIsDir):
+		return EISDIR
+	case errors.Is(err, vfs.ErrNotEmpty):
+		return ENOTEMPTY
+	case errors.Is(err, vfs.ErrPerm):
+		return EACCES
+	case errors.Is(err, vfs.ErrLoop):
+		return ELOOP
+	case errors.Is(err, vfs.ErrNameTooLong):
+		return ENAMETOOLONG
+	case errors.Is(err, vfs.ErrWouldBlock):
+		return EAGAIN
+	case errors.Is(err, vfs.ErrPipeClosed):
+		return EPIPE
+	default:
+		return EINVAL
+	}
+}
+
+// pathArg extracts the path argument, handling the *at variants whose
+// first argument is a dirfd (ignored: all simulated paths are absolute or
+// cwd-relative).
+func (k *Kernel) pathArg(t *Thread, c *Call) (string, Errno) {
+	idx := 0
+	switch c.Num {
+	case SysOpenat, SysNewfstatat, SysUnlinkat, SysReadlinkat, SysFaccessat:
+		idx = 1
+	}
+	s, errno := readCString(t.Proc.Mem, mem.Addr(c.Arg(idx)))
+	if errno != OK {
+		return "", errno
+	}
+	return k.resolvePath(t.Proc, s), OK
+}
+
+func (k *Kernel) sysOpen(t *Thread, c *Call) Result {
+	path, errno := k.pathArg(t, c)
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	flagIdx := 1
+	if c.Num == SysOpenat {
+		flagIdx = 2
+	}
+	flags := int(c.Arg(flagIdx))
+
+	var node *vfs.Inode
+	var err error
+	if flags&OCreat != 0 {
+		node, err = k.FS.Create(path, uint32(c.Arg(flagIdx+1)))
+	} else {
+		node, err = k.FS.Lookup(path)
+	}
+	if err != nil {
+		return Result{Errno: vfsErrno(err)}
+	}
+	if flags&OTrunc != 0 && node.Type == vfs.TypeRegular {
+		node.Truncate(0)
+	}
+	of := &OpenFile{Path: path, inode: node, nonblock: flags&ONonblock != 0}
+	switch node.Type {
+	case vfs.TypeDir:
+		of.Kind = FDDir
+	case vfs.TypeSpecial:
+		of.Kind = FDSpecial
+		of.special = node.Generate(t.Proc.PID)
+	default:
+		of.Kind = FDRegular
+	}
+	if flags&OAppend != 0 {
+		of.pos = node.Size()
+	}
+	fd, e := t.Proc.fds.Alloc(of)
+	if e != OK {
+		return Result{Errno: e}
+	}
+	return Result{Val: uint64(fd)}
+}
+
+func (k *Kernel) sysClose(t *Thread, c *Call) Result {
+	e := t.Proc.fds.Close(int(c.Arg(0)))
+	k.Hub.Notify()
+	return Result{Errno: e}
+}
+
+// fileReadAt serves reads on regular/special files at an explicit offset.
+// Callers hold f.mu.
+func (f *OpenFile) fileReadAt(buf []byte, off int64) int {
+	if f.Kind == FDSpecial {
+		if off >= int64(len(f.special)) {
+			return 0
+		}
+		return copy(buf, f.special[off:])
+	}
+	return f.inode.ReadAt(buf, off)
+}
+
+func (k *Kernel) sysRead(t *Thread, c *Call) Result {
+	fd := int(c.Arg(0))
+	addr := mem.Addr(c.Arg(1))
+	count := int(c.Arg(2))
+	if count < 0 {
+		return Result{Errno: EINVAL}
+	}
+	f, e := t.Proc.fds.Get(fd)
+	if e != OK {
+		return Result{Errno: e}
+	}
+	buf := make([]byte, count)
+	var n int
+	switch f.Kind {
+	case FDRegular, FDSpecial:
+		f.mu.Lock()
+		off := f.pos
+		if c.Num == SysPread64 {
+			off = int64(c.Arg(3))
+		}
+		n = f.fileReadAt(buf, off)
+		if c.Num != SysPread64 {
+			f.pos += int64(n)
+		}
+		f.mu.Unlock()
+	case FDPipeRead:
+		var err error
+		n, err = f.pipe.Read(buf, !f.Nonblock())
+		if err != nil {
+			return Result{Errno: vfsErrno(err)}
+		}
+		t.Clock.SyncTo(f.pipeStamp.get())
+	case FDSocket:
+		if f.conn == nil {
+			return Result{Errno: ENOTCONN}
+		}
+		var arrive model.Duration
+		var err error
+		n, arrive, err = f.conn.Recv(buf, !f.Nonblock())
+		if err != nil {
+			return Result{Errno: netErrno(err)}
+		}
+		t.Clock.SyncTo(arrive)
+	case FDTimer:
+		f.mu.Lock()
+		armed := f.timerArm
+		f.timerArm = false
+		f.mu.Unlock()
+		if !armed {
+			return Result{Errno: EAGAIN}
+		}
+		binary.LittleEndian.PutUint64(buf, 1)
+		n = 8
+	case FDDir:
+		return Result{Errno: EISDIR}
+	default:
+		return Result{Errno: EBADF}
+	}
+	if n > 0 {
+		if err := t.Proc.Mem.Write(addr, buf[:n]); err != nil {
+			return Result{Errno: EFAULT}
+		}
+	}
+	t.Clock.Advance(memCopyCost(n))
+	return Result{Val: uint64(n)}
+}
+
+func (k *Kernel) sysWrite(t *Thread, c *Call) Result {
+	fd := int(c.Arg(0))
+	addr := mem.Addr(c.Arg(1))
+	count := int(c.Arg(2))
+	if count < 0 {
+		return Result{Errno: EINVAL}
+	}
+	f, e := t.Proc.fds.Get(fd)
+	if e != OK {
+		return Result{Errno: e}
+	}
+	buf, err := t.Proc.Mem.ReadBytes(addr, count)
+	if err != nil {
+		return Result{Errno: EFAULT}
+	}
+	t.Clock.Advance(memCopyCost(count))
+	switch f.Kind {
+	case FDRegular:
+		f.mu.Lock()
+		off := f.pos
+		if c.Num == SysPwrite64 {
+			off = int64(c.Arg(3))
+		}
+		n := f.inode.WriteAt(buf, off)
+		if c.Num != SysPwrite64 {
+			f.pos += int64(n)
+		}
+		f.mu.Unlock()
+		return Result{Val: uint64(n)}
+	case FDPipeWrite:
+		n, werr := f.pipe.Write(buf, !f.Nonblock())
+		if werr != nil {
+			return Result{Errno: vfsErrno(werr)}
+		}
+		f.pipeStamp.stamp(t.Clock.Now())
+		k.Hub.Notify()
+		return Result{Val: uint64(n)}
+	case FDSocket:
+		if f.conn == nil {
+			return Result{Errno: ENOTCONN}
+		}
+		left, serr := f.conn.Send(buf, t.Clock.Now())
+		if serr != nil {
+			return Result{Errno: netErrno(serr)}
+		}
+		t.Clock.SyncTo(left)
+		return Result{Val: uint64(count)}
+	case FDSpecial:
+		return Result{Errno: EACCES}
+	default:
+		return Result{Errno: EBADF}
+	}
+}
+
+// iovec layout: addr(8) len(8), 16 bytes per entry.
+func (k *Kernel) readIovec(t *Thread, addr mem.Addr, cnt int) ([][2]uint64, Errno) {
+	if cnt < 0 || cnt > 1024 {
+		return nil, EINVAL
+	}
+	raw, err := t.Proc.Mem.ReadBytes(addr, cnt*16)
+	if err != nil {
+		return nil, EFAULT
+	}
+	out := make([][2]uint64, cnt)
+	for i := 0; i < cnt; i++ {
+		out[i][0] = binary.LittleEndian.Uint64(raw[i*16:])
+		out[i][1] = binary.LittleEndian.Uint64(raw[i*16+8:])
+	}
+	return out, OK
+}
+
+func (k *Kernel) sysReadv(t *Thread, c *Call) Result {
+	iov, e := k.readIovec(t, mem.Addr(c.Arg(1)), int(c.Arg(2)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	var total uint64
+	for _, v := range iov {
+		r := k.sysRead(t, &Call{Num: SysRead, Args: [6]uint64{c.Arg(0), v[0], v[1]}})
+		if !r.Ok() {
+			if total > 0 {
+				break
+			}
+			return r
+		}
+		total += r.Val
+		if r.Val < v[1] {
+			break
+		}
+	}
+	return Result{Val: total}
+}
+
+func (k *Kernel) sysWritev(t *Thread, c *Call) Result {
+	iov, e := k.readIovec(t, mem.Addr(c.Arg(1)), int(c.Arg(2)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	var total uint64
+	for _, v := range iov {
+		r := k.sysWrite(t, &Call{Num: SysWrite, Args: [6]uint64{c.Arg(0), v[0], v[1]}})
+		if !r.Ok() {
+			if total > 0 {
+				break
+			}
+			return r
+		}
+		total += r.Val
+	}
+	return Result{Val: total}
+}
+
+// lseek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+func (k *Kernel) sysLseek(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if f.Kind != FDRegular && f.Kind != FDSpecial && f.Kind != FDDir {
+		return Result{Errno: ESPIPE}
+	}
+	off := int64(c.Arg(1))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch int(c.Arg(2)) {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.pos
+	case SeekEnd:
+		if f.Kind == FDSpecial {
+			base = int64(len(f.special))
+		} else {
+			base = f.inode.Size()
+		}
+	default:
+		return Result{Errno: EINVAL}
+	}
+	np := base + off
+	if np < 0 {
+		return Result{Errno: EINVAL}
+	}
+	f.pos = np
+	return Result{Val: uint64(np)}
+}
+
+func encodeStat(node *vfs.Inode, size int64) []byte {
+	buf := make([]byte, StatBufSize)
+	binary.LittleEndian.PutUint64(buf[0:], node.Ino)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(size))
+	binary.LittleEndian.PutUint32(buf[16:], node.Mode)
+	binary.LittleEndian.PutUint32(buf[20:], uint32(node.Type))
+	binary.LittleEndian.PutUint64(buf[24:], 1)
+	return buf
+}
+
+func (k *Kernel) sysStat(t *Thread, c *Call) Result {
+	path, errno := k.pathArg(t, c)
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	var node *vfs.Inode
+	var err error
+	if c.Num == SysLstat {
+		node, err = k.FS.Lstat(path)
+	} else {
+		node, err = k.FS.Lookup(path)
+	}
+	if err != nil {
+		return Result{Errno: vfsErrno(err)}
+	}
+	bufIdx := 1
+	if c.Num == SysNewfstatat {
+		bufIdx = 2
+	}
+	if err := t.Proc.Mem.Write(mem.Addr(c.Arg(bufIdx)), encodeStat(node, node.Size())); err != nil {
+		return Result{Errno: EFAULT}
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysFstat(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	var buf []byte
+	if f.inode != nil {
+		size := f.inode.Size()
+		if f.Kind == FDSpecial {
+			f.mu.Lock()
+			size = int64(len(f.special))
+			f.mu.Unlock()
+		}
+		buf = encodeStat(f.inode, size)
+	} else {
+		buf = make([]byte, StatBufSize)
+		binary.LittleEndian.PutUint32(buf[20:], uint32(vfs.TypeRegular))
+	}
+	if err := t.Proc.Mem.Write(mem.Addr(c.Arg(1)), buf); err != nil {
+		return Result{Errno: EFAULT}
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysAccess(t *Thread, c *Call) Result {
+	path, errno := k.pathArg(t, c)
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	if _, err := k.FS.Lookup(path); err != nil {
+		return Result{Errno: vfsErrno(err)}
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysGetdents(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if f.Kind != FDDir {
+		return Result{Errno: ENOTDIR}
+	}
+	ents, err := k.FS.ReadDir(f.Path)
+	if err != nil {
+		return Result{Errno: vfsErrno(err)}
+	}
+	capacity := int(c.Arg(2))
+	addr := mem.Addr(c.Arg(1))
+	f.mu.Lock()
+	start := int(f.pos)
+	f.mu.Unlock()
+	written := 0
+	i := start
+	for ; i < len(ents) && written+DirentSize <= capacity; i++ {
+		rec := make([]byte, DirentSize)
+		binary.LittleEndian.PutUint64(rec[0:], ents[i].Ino)
+		rec[8] = byte(ents[i].Type)
+		name := ents[i].Name
+		if len(name) > DirentSize-10 {
+			name = name[:DirentSize-10]
+		}
+		copy(rec[9:], name)
+		if err := t.Proc.Mem.Write(addr+mem.Addr(written), rec); err != nil {
+			return Result{Errno: EFAULT}
+		}
+		written += DirentSize
+	}
+	f.mu.Lock()
+	f.pos = int64(i)
+	f.mu.Unlock()
+	t.Clock.Advance(memCopyCost(written))
+	return Result{Val: uint64(written)}
+}
+
+func (k *Kernel) sysReadlink(t *Thread, c *Call) Result {
+	path, errno := k.pathArg(t, c)
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	bufIdx := 1
+	if c.Num == SysReadlinkat {
+		bufIdx = 2
+	}
+	target, err := k.FS.Readlink(path)
+	if err != nil {
+		return Result{Errno: vfsErrno(err)}
+	}
+	n := len(target)
+	if max := int(c.Arg(bufIdx + 1)); n > max {
+		n = max
+	}
+	if err := t.Proc.Mem.Write(mem.Addr(c.Arg(bufIdx)), []byte(target[:n])); err != nil {
+		return Result{Errno: EFAULT}
+	}
+	return Result{Val: uint64(n)}
+}
+
+func (k *Kernel) sysUnlink(t *Thread, c *Call) Result {
+	path, errno := k.pathArg(t, c)
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	return Result{Errno: vfsErrno(k.FS.Unlink(path))}
+}
+
+func (k *Kernel) sysMkdir(t *Thread, c *Call) Result {
+	path, errno := k.pathArg(t, c)
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	return Result{Errno: vfsErrno(k.FS.Mkdir(path, uint32(c.Arg(1))))}
+}
+
+func (k *Kernel) sysRmdir(t *Thread, c *Call) Result {
+	path, errno := k.pathArg(t, c)
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	return Result{Errno: vfsErrno(k.FS.Rmdir(path))}
+}
+
+func (k *Kernel) sysRename(t *Thread, c *Call) Result {
+	oldp, errno := readCString(t.Proc.Mem, mem.Addr(c.Arg(0)))
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	newp, errno := readCString(t.Proc.Mem, mem.Addr(c.Arg(1)))
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	return Result{Errno: vfsErrno(k.FS.Rename(
+		k.resolvePath(t.Proc, oldp), k.resolvePath(t.Proc, newp)))}
+}
+
+func (k *Kernel) sysTruncate(t *Thread, c *Call) Result {
+	var node *vfs.Inode
+	if c.Num == SysFtruncate {
+		f, e := t.Proc.fds.Get(int(c.Arg(0)))
+		if e != OK {
+			return Result{Errno: e}
+		}
+		if f.inode == nil || f.Kind != FDRegular {
+			return Result{Errno: EINVAL}
+		}
+		node = f.inode
+	} else {
+		path, errno := k.pathArg(t, c)
+		if errno != OK {
+			return Result{Errno: errno}
+		}
+		var err error
+		node, err = k.FS.Lookup(path)
+		if err != nil {
+			return Result{Errno: vfsErrno(err)}
+		}
+	}
+	node.Truncate(int64(c.Arg(1)))
+	return Result{}
+}
+
+func (k *Kernel) sysSync(t *Thread, c *Call) Result {
+	// Durability is a no-op in-memory; charge a realistic flush cost.
+	t.Clock.Advance(5 * model.Microsecond)
+	return Result{}
+}
+
+func (k *Kernel) sysFcntl(t *Thread, c *Call) Result {
+	fd := int(c.Arg(0))
+	f, e := t.Proc.fds.Get(fd)
+	if e != OK {
+		return Result{Errno: e}
+	}
+	switch int(c.Arg(1)) {
+	case FGetFL:
+		var flags uint64
+		if f.Nonblock() {
+			flags |= ONonblock
+		}
+		return Result{Val: flags}
+	case FSetFL:
+		f.SetNonblock(c.Arg(2)&ONonblock != 0)
+		return Result{}
+	case FDupFD:
+		nfd, e := t.Proc.fds.Alloc(f)
+		if e != OK {
+			return Result{Errno: e}
+		}
+		return Result{Val: uint64(nfd)}
+	}
+	return Result{Errno: EINVAL}
+}
+
+func (k *Kernel) sysIoctl(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	switch c.Arg(1) {
+	case FIONBIO:
+		f.SetNonblock(c.Arg(2) != 0)
+		return Result{}
+	case FIONREAD:
+		var n int
+		switch f.Kind {
+		case FDPipeRead:
+			n = f.pipe.Len()
+		case FDRegular:
+			f.mu.Lock()
+			n = int(f.inode.Size() - f.pos)
+			f.mu.Unlock()
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(n))
+		if err := t.Proc.Mem.Write(mem.Addr(c.Arg(2)), buf[:]); err != nil {
+			return Result{Errno: EFAULT}
+		}
+		return Result{}
+	}
+	return Result{Errno: ENOTTY}
+}
+
+func (k *Kernel) sysDup(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if c.Num == SysDup {
+		fd, e := t.Proc.fds.Alloc(f)
+		if e != OK {
+			return Result{Errno: e}
+		}
+		return Result{Val: uint64(fd)}
+	}
+	newfd := int(c.Arg(1))
+	if e := t.Proc.fds.AllocAt(newfd, f); e != OK {
+		return Result{Errno: e}
+	}
+	return Result{Val: uint64(newfd)}
+}
+
+func (k *Kernel) sysPipe(t *Thread, c *Call) Result {
+	p := vfs.NewPipe(0)
+	stamp := &pipeStamp{}
+	rf := &OpenFile{Kind: FDPipeRead, pipe: p, pipeStamp: stamp, Path: "pipe:[r]"}
+	wf := &OpenFile{Kind: FDPipeWrite, pipe: p, pipeStamp: stamp, Path: "pipe:[w]"}
+	if c.Num == SysPipe2 && c.Arg(1)&ONonblock != 0 {
+		rf.nonblock, wf.nonblock = true, true
+	}
+	rfd, e := t.Proc.fds.Alloc(rf)
+	if e != OK {
+		return Result{Errno: e}
+	}
+	wfd, e := t.Proc.fds.Alloc(wf)
+	if e != OK {
+		t.Proc.fds.Close(rfd)
+		return Result{Errno: e}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(rfd))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(wfd))
+	if err := t.Proc.Mem.Write(mem.Addr(c.Arg(0)), buf[:]); err != nil {
+		return Result{Errno: EFAULT}
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysSendfile(t *Thread, c *Call) Result {
+	outF, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	inF, e := t.Proc.fds.Get(int(c.Arg(1)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if inF.Kind != FDRegular {
+		return Result{Errno: EINVAL}
+	}
+	count := int(c.Arg(3))
+	inF.mu.Lock()
+	off := inF.pos
+	buf := make([]byte, count)
+	n := inF.inode.ReadAt(buf, off)
+	inF.pos += int64(n)
+	inF.mu.Unlock()
+	buf = buf[:n]
+	t.Clock.Advance(memCopyCost(n))
+	switch outF.Kind {
+	case FDSocket:
+		left, err := outF.conn.Send(buf, t.Clock.Now())
+		if err != nil {
+			return Result{Errno: netErrno(err)}
+		}
+		t.Clock.SyncTo(left)
+	case FDPipeWrite:
+		if _, err := outF.pipe.Write(buf, !outF.Nonblock()); err != nil {
+			return Result{Errno: vfsErrno(err)}
+		}
+		outF.pipeStamp.stamp(t.Clock.Now())
+		k.Hub.Notify()
+	case FDRegular:
+		outF.mu.Lock()
+		outF.inode.WriteAt(buf, outF.pos)
+		outF.pos += int64(n)
+		outF.mu.Unlock()
+	default:
+		return Result{Errno: EINVAL}
+	}
+	return Result{Val: uint64(n)}
+}

@@ -1,0 +1,134 @@
+package vkernel
+
+import (
+	"errors"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+)
+
+// mmap prot/flags subset.
+const (
+	MapAnonymous = 0x20
+	MapShared    = 0x01
+	MapPrivate   = 0x02
+)
+
+func protFromBits(p uint64) mem.Prot {
+	var out mem.Prot
+	if p&0x1 != 0 {
+		out |= mem.ProtRead
+	}
+	if p&0x2 != 0 {
+		out |= mem.ProtWrite
+	}
+	if p&0x4 != 0 {
+		out |= mem.ProtExec
+	}
+	return out
+}
+
+func (k *Kernel) sysMmap(t *Thread, c *Call) Result {
+	length := c.Arg(1)
+	if length == 0 {
+		return Result{Errno: EINVAL}
+	}
+	prot := protFromBits(c.Arg(2))
+	flags := c.Arg(3)
+	if flags&MapAnonymous == 0 {
+		// File-backed mappings are not needed by the workloads; programs
+		// read files through read().
+		return Result{Errno: EOPNOTSUPP}
+	}
+	var r *mem.Region
+	var err error
+	if addr := mem.Addr(c.Arg(0)); addr != 0 {
+		r, err = t.Proc.Mem.MapFixed(addr, length, prot, "anon")
+	} else {
+		r, err = t.Proc.Mem.Map(length, prot, "anon")
+	}
+	if err != nil {
+		if errors.Is(err, mem.ErrOverlap) {
+			return Result{Errno: EEXIST}
+		}
+		return Result{Errno: ENOMEM}
+	}
+	t.Clock.Advance(model.CostPageFault)
+	return Result{Val: uint64(r.Start)}
+}
+
+func (k *Kernel) sysMunmap(t *Thread, c *Call) Result {
+	if err := t.Proc.Mem.Unmap(mem.Addr(c.Arg(0))); err != nil {
+		return Result{Errno: EINVAL}
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysMprotect(t *Thread, c *Call) Result {
+	if err := t.Proc.Mem.Protect(mem.Addr(c.Arg(0)), protFromBits(c.Arg(2))); err != nil {
+		return Result{Errno: EINVAL}
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysBrk(t *Thread, c *Call) Result {
+	nb, err := t.Proc.Mem.Brk(c.Arg(0))
+	if err != nil {
+		return Result{Errno: ENOMEM}
+	}
+	return Result{Val: uint64(nb)}
+}
+
+// System V shared memory. GHUMVEE arbitrates these calls: requests that
+// would create a bi-directional channel between replicas and the outside
+// world are rejected by the monitor layer (§2.1); the raw kernel permits
+// them so the monitor's rejection is observable in tests.
+
+func (k *Kernel) sysShmget(t *Thread, c *Call) Result {
+	size := c.Arg(1)
+	if size == 0 {
+		return Result{Errno: EINVAL}
+	}
+	k.mu.Lock()
+	k.nextShm++
+	id := k.nextShm
+	k.shmSegs[id] = mem.NewSharedSegment(id, size)
+	k.mu.Unlock()
+	return Result{Val: uint64(id)}
+}
+
+// ShmSegment exposes a shared segment to the monitors (GHUMVEE maps the
+// RB into its own bookkeeping through this).
+func (k *Kernel) ShmSegment(id int) *mem.SharedSegment {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.shmSegs[id]
+}
+
+func (k *Kernel) sysShmat(t *Thread, c *Call) Result {
+	k.mu.Lock()
+	seg := k.shmSegs[int(c.Arg(0))]
+	k.mu.Unlock()
+	if seg == nil {
+		return Result{Errno: EINVAL}
+	}
+	var r *mem.Region
+	var err error
+	if addr := mem.Addr(c.Arg(1)); addr != 0 {
+		r, err = t.Proc.Mem.MapSharedAt(addr, seg, mem.ProtRead|mem.ProtWrite, "shm")
+	} else {
+		r, err = t.Proc.Mem.MapShared(seg, mem.ProtRead|mem.ProtWrite, "shm")
+	}
+	if err != nil {
+		return Result{Errno: ENOMEM}
+	}
+	t.Clock.Advance(model.CostPageFault)
+	return Result{Val: uint64(r.Start)}
+}
+
+func (k *Kernel) sysShmdt(t *Thread, c *Call) Result {
+	if err := t.Proc.Mem.Unmap(mem.Addr(c.Arg(0))); err != nil {
+		return Result{Errno: EINVAL}
+	}
+	return Result{}
+}

@@ -1,0 +1,285 @@
+package vkernel
+
+import (
+	"errors"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/vfs"
+	"remon/internal/vnet"
+)
+
+func netErrno(err error) Errno {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, vnet.ErrWouldBlock):
+		return EAGAIN
+	case errors.Is(err, vnet.ErrConnRefused):
+		return ECONNREFUSED
+	case errors.Is(err, vnet.ErrAddrInUse):
+		return EADDRINUSE
+	case errors.Is(err, vnet.ErrClosed):
+		return ECONNRESET
+	case errors.Is(err, vnet.ErrListenerClosed):
+		return EINVAL
+	case errors.Is(err, vnet.ErrNotListening):
+		return EINVAL
+	default:
+		return EIO
+	}
+}
+
+// Socket state carried in OpenFile.Path until bind/connect: sockets start
+// unbound. The simulated address family is a flat string namespace
+// ("host:port") read from process memory.
+
+func (k *Kernel) sysSocket(t *Thread, c *Call) Result {
+	if k.Net == nil {
+		return Result{Errno: EOPNOTSUPP}
+	}
+	of := &OpenFile{Kind: FDSocket, Path: "socket:unbound"}
+	fd, e := t.Proc.fds.Alloc(of)
+	if e != OK {
+		return Result{Errno: e}
+	}
+	return Result{Val: uint64(fd)}
+}
+
+func (k *Kernel) sysBind(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if f.Kind != FDSocket {
+		return Result{Errno: ENOTSOCK}
+	}
+	addr, errno := readCString(t.Proc.Mem, mem.Addr(c.Arg(1)))
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	f.mu.Lock()
+	f.Path = "bound:" + addr
+	f.mu.Unlock()
+	return Result{}
+}
+
+func (k *Kernel) sysListen(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if f.Kind != FDSocket {
+		return Result{Errno: ENOTSOCK}
+	}
+	f.mu.Lock()
+	path := f.Path
+	f.mu.Unlock()
+	if len(path) < 7 || path[:6] != "bound:" {
+		return Result{Errno: EINVAL}
+	}
+	addr := path[6:]
+	l, err := k.Net.Listen(addr, int(c.Arg(1)))
+	if err != nil {
+		return Result{Errno: netErrno(err)}
+	}
+	f.mu.Lock()
+	f.Kind = FDListener
+	f.listener = l
+	f.Path = "listen:" + addr
+	f.mu.Unlock()
+	k.Hub.Notify()
+	return Result{}
+}
+
+func (k *Kernel) sysAccept(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if f.Kind != FDListener {
+		return Result{Errno: EINVAL}
+	}
+	conn, arrive, err := f.listener.Accept(!f.Nonblock())
+	if err != nil {
+		return Result{Errno: netErrno(err)}
+	}
+	t.Clock.SyncTo(arrive)
+	nf := &OpenFile{Kind: FDSocket, conn: conn, Path: "socket:" + conn.RemoteAddr()}
+	if c.Num == SysAccept4 && c.Arg(3)&ONonblock != 0 {
+		nf.nonblock = true
+	}
+	fd, e := t.Proc.fds.Alloc(nf)
+	if e != OK {
+		conn.Close()
+		return Result{Errno: e}
+	}
+	// Optionally report the peer address.
+	if addrOut := mem.Addr(c.Arg(1)); addrOut != 0 {
+		peer := append([]byte(conn.RemoteAddr()), 0)
+		if err := t.Proc.Mem.Write(addrOut, peer); err != nil {
+			return Result{Errno: EFAULT}
+		}
+	}
+	return Result{Val: uint64(fd)}
+}
+
+func (k *Kernel) sysConnect(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if f.Kind != FDSocket {
+		return Result{Errno: ENOTSOCK}
+	}
+	addr, errno := readCString(t.Proc.Mem, mem.Addr(c.Arg(1)))
+	if errno != OK {
+		return Result{Errno: errno}
+	}
+	conn, established, err := k.Net.Connect(addr, t.Clock.Now())
+	t.Clock.SyncTo(established)
+	if err != nil {
+		return Result{Errno: netErrno(err)}
+	}
+	f.mu.Lock()
+	f.conn = conn
+	f.Path = "socket:" + addr
+	f.mu.Unlock()
+	return Result{}
+}
+
+func (k *Kernel) sysSend(t *Thread, c *Call) Result {
+	// sendto/sendmsg on connected sockets degrade to write; the iovec form
+	// (sendmsg) takes a single {base,len} pair in this ABI.
+	args := c.Args
+	if c.Num == SysSendmsg || c.Num == SysSendmmsg {
+		iov, e := k.readIovec(t, mem.Addr(c.Arg(1)), 1)
+		if e != OK {
+			return Result{Errno: e}
+		}
+		args[1], args[2] = iov[0][0], iov[0][1]
+	}
+	return k.sysWrite(t, &Call{Num: SysWrite, Args: args})
+}
+
+func (k *Kernel) sysRecv(t *Thread, c *Call) Result {
+	args := c.Args
+	if c.Num == SysRecvmsg || c.Num == SysRecvmmsg {
+		iov, e := k.readIovec(t, mem.Addr(c.Arg(1)), 1)
+		if e != OK {
+			return Result{Errno: e}
+		}
+		args[1], args[2] = iov[0][0], iov[0][1]
+	}
+	return k.sysRead(t, &Call{Num: SysRead, Args: args})
+}
+
+func (k *Kernel) sysShutdown(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if f.Kind != FDSocket {
+		return Result{Errno: ENOTSOCK}
+	}
+	if f.conn == nil {
+		return Result{Errno: ENOTCONN}
+	}
+	f.conn.Close()
+	k.Hub.Notify()
+	return Result{}
+}
+
+func (k *Kernel) sysSockname(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	var name string
+	switch f.Kind {
+	case FDSocket:
+		if f.conn == nil {
+			return Result{Errno: ENOTCONN}
+		}
+		if c.Num == SysGetsockname {
+			name = f.conn.LocalAddr()
+		} else {
+			name = f.conn.RemoteAddr()
+		}
+	case FDListener:
+		name = f.listener.Addr()
+	default:
+		return Result{Errno: ENOTSOCK}
+	}
+	if err := t.Proc.Mem.Write(mem.Addr(c.Arg(1)), append([]byte(name), 0)); err != nil {
+		return Result{Errno: EFAULT}
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysSockopt(t *Thread, c *Call) Result {
+	f, e := t.Proc.fds.Get(int(c.Arg(0)))
+	if e != OK {
+		return Result{Errno: e}
+	}
+	if !f.Kind.IsSocket() {
+		return Result{Errno: ENOTSOCK}
+	}
+	// Options are accepted and ignored (SO_REUSEADDR etc.).
+	return Result{}
+}
+
+func (k *Kernel) sysSocketpair(t *Thread, c *Call) Result {
+	// Implemented as a bidirectional pipe pair sharing timestamps.
+	p1 := vfs.NewPipe(0)
+	p2 := vfs.NewPipe(0)
+	s1, s2 := &pipeStamp{}, &pipeStamp{}
+	// Socketpairs are modelled as two unidirectional pipes; each end is a
+	// read fd of one pipe and write fd of the other. For MVEE purposes a
+	// bidirectional shared-memory channel is what matters: GHUMVEE rejects
+	// shared mappings, not socketpairs (kernel-mediated, monitorable).
+	a := &OpenFile{Kind: FDPipeRead, pipe: p1, pipeStamp: s1, Path: "socketpair:a"}
+	b := &OpenFile{Kind: FDPipeWrite, pipe: p2, pipeStamp: s2, Path: "socketpair:b"}
+	fd1, e := t.Proc.fds.Alloc(a)
+	if e != OK {
+		return Result{Errno: e}
+	}
+	fd2, e := t.Proc.fds.Alloc(b)
+	if e != OK {
+		t.Proc.fds.Close(fd1)
+		return Result{Errno: e}
+	}
+	var buf [8]byte
+	putU32(buf[0:], uint32(fd1))
+	putU32(buf[4:], uint32(fd2))
+	if err := t.Proc.Mem.Write(mem.Addr(c.Arg(3)), buf[:]); err != nil {
+		return Result{Errno: EFAULT}
+	}
+	return Result{}
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// arrivalHint peeks the earliest pending arrival time on a readable fd so
+// that poll/epoll can advance the waiter's virtual clock to the event.
+func (f *OpenFile) arrivalHint() (model.Duration, bool) {
+	switch f.Kind {
+	case FDSocket:
+		if f.conn == nil {
+			return 0, false
+		}
+		return f.conn.PeekArrival()
+	case FDListener:
+		return f.listener.PeekArrival()
+	case FDPipeRead:
+		if f.pipe.ReadableNow() {
+			return f.pipeStamp.get(), true
+		}
+	}
+	return 0, false
+}

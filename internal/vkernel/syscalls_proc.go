@@ -1,0 +1,78 @@
+package vkernel
+
+import (
+	"encoding/binary"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+)
+
+func (k *Kernel) sysGetcwd(t *Thread, c *Call) Result {
+	t.Proc.mu.Lock()
+	cwd := t.Proc.cwd
+	t.Proc.mu.Unlock()
+	buf := append([]byte(cwd), 0)
+	if uint64(len(buf)) > c.Arg(1) {
+		return Result{Errno: ERANGE}
+	}
+	if err := t.Proc.Mem.Write(mem.Addr(c.Arg(0)), buf); err != nil {
+		return Result{Errno: EFAULT}
+	}
+	return Result{Val: uint64(len(buf))}
+}
+
+// sysZeroStruct services the query calls whose results the simulation does
+// not model in detail (getrusage, times, sysinfo, capget, getitimer): it
+// zero-fills the caller's buffer, which is deterministic across replicas.
+func (k *Kernel) sysZeroStruct(t *Thread, c *Call) Result {
+	addr := mem.Addr(c.Arg(0))
+	if c.Num == SysGetrusage || c.Num == SysGetitimer {
+		addr = mem.Addr(c.Arg(1))
+	}
+	if addr == 0 {
+		return Result{}
+	}
+	if err := t.Proc.Mem.Write(addr, make([]byte, 64)); err != nil {
+		return Result{Errno: EFAULT}
+	}
+	return Result{}
+}
+
+const unameString = "Linux remon-sim 3.13.11-remon x86_64\x00"
+
+func (k *Kernel) sysUname(t *Thread, c *Call) Result {
+	if err := t.Proc.Mem.Write(mem.Addr(c.Arg(0)), []byte(unameString)); err != nil {
+		return Result{Errno: EFAULT}
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysNanosleep(t *Thread, c *Call) Result {
+	// req is an 8-byte virtual-nanosecond count.
+	raw, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(0)), 8)
+	if err != nil {
+		return Result{Errno: EFAULT}
+	}
+	t.Clock.Advance(model.Duration(binary.LittleEndian.Uint64(raw)))
+	return Result{}
+}
+
+func (k *Kernel) sysClockGettime(t *Thread, c *Call) Result {
+	// Returns the thread's own virtual clock. Consistency across replicas
+	// is the monitor's job: gettimeofday is in BASE_LEVEL, so IP-MON
+	// replicates the master's value to the slaves (Table 1).
+	now := uint64(t.Clock.Now())
+	addrIdx := 1
+	if c.Num == SysTime || c.Num == SysGettimeofday {
+		addrIdx = 0
+	}
+	addr := mem.Addr(c.Arg(addrIdx))
+	if addr != 0 {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], now)
+		if err := t.Proc.Mem.Write(addr, buf[:]); err != nil {
+			return Result{Errno: EFAULT}
+		}
+	}
+	return Result{Val: now}
+}

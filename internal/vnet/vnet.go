@@ -1,0 +1,421 @@
+// Package vnet simulates the network substrate for the server experiments
+// (§5.2): stream sockets, listeners and links with configurable one-way
+// latency and per-byte serialisation cost. The three scenarios the paper
+// evaluates — a raw local gigabit link (~0.1 ms), a realistic low-latency
+// network (2 ms) and the best-case comparison setup (5 ms, netem) — are
+// link profiles here.
+//
+// Virtual-time integration: every transmitted segment carries the virtual
+// time at which it becomes visible at the receiver. The kernel layer syncs
+// the receiving thread's clock to that arrival time, so link latency hides
+// server-side monitoring overhead exactly as it does in the paper.
+package vnet
+
+import (
+	"errors"
+	"sync"
+
+	"remon/internal/model"
+)
+
+// Errors mirroring socket errnos.
+var (
+	ErrAddrInUse      = errors.New("vnet: address already in use") // EADDRINUSE
+	ErrConnRefused    = errors.New("vnet: connection refused")     // ECONNREFUSED
+	ErrNotListening   = errors.New("vnet: not listening")          // EINVAL
+	ErrClosed         = errors.New("vnet: connection closed")      // ECONNRESET
+	ErrWouldBlock     = errors.New("vnet: would block")            // EAGAIN
+	ErrListenerClosed = errors.New("vnet: listener closed")
+)
+
+// Link describes one network link profile.
+type Link struct {
+	// Latency is the one-way propagation delay.
+	Latency model.Duration
+	// PerByte is the serialisation cost per byte (inverse bandwidth).
+	// A gigabit link moves ~1 byte per 8 ns.
+	PerByte model.Duration
+}
+
+// Standard link profiles used by the evaluation.
+var (
+	// GigabitLocal is the paper's "unlikely, worst-case" scenario: a local
+	// gigabit link with ~0.1 ms latency.
+	GigabitLocal = Link{Latency: 100 * model.Microsecond, PerByte: 8}
+	// LowLatency2ms is the "realistic worst-case" scenario (netem +2 ms).
+	LowLatency2ms = Link{Latency: 2 * model.Millisecond, PerByte: 8}
+	// Simulated5ms is the best-case comparison scenario (netem 5 ms).
+	Simulated5ms = Link{Latency: 5 * model.Millisecond, PerByte: 8}
+	// Loopback is the in-machine loopback device (network-loopback bench).
+	Loopback = Link{Latency: 5 * model.Microsecond, PerByte: 1}
+)
+
+// TransferTime reports when data sent at now becomes visible remotely.
+func (l Link) TransferTime(now model.Duration, n int) model.Duration {
+	return now + l.Latency + model.Duration(n)*l.PerByte
+}
+
+// Notifier receives a callback whenever any socket changes readiness state.
+// The kernel's poll/epoll machinery registers itself here.
+type Notifier interface{ Notify() }
+
+// segment is one in-flight chunk of stream data.
+type segment struct {
+	data   []byte
+	arrive model.Duration
+}
+
+// rxQueue is the receive side of one stream direction.
+type rxQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	segs   []segment
+	closed bool // peer sent FIN
+	reset  bool // local side closed
+}
+
+func newRxQueue() *rxQueue {
+	q := &rxQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *rxQueue) push(data []byte, arrive model.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.reset {
+		return // receiver gone; drop
+	}
+	q.segs = append(q.segs, segment{data: data, arrive: arrive})
+	q.cond.Broadcast()
+}
+
+func (q *rxQueue) closePeer() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+func (q *rxQueue) closeLocal() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reset = true
+	q.segs = nil
+	q.cond.Broadcast()
+}
+
+// peekArrival reports the arrival time of the earliest queued segment.
+func (q *rxQueue) peekArrival() (model.Duration, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.segs) == 0 {
+		return 0, false
+	}
+	return q.segs[0].arrive, true
+}
+
+// readableNow reports pending data or pending EOF.
+func (q *rxQueue) readableNow() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.segs) > 0 || q.closed || q.reset
+}
+
+// read pops up to len(b) bytes. It returns the byte count, the virtual
+// arrival time of the *last* byte delivered (0 when none), and an error.
+// EOF is (0, t, nil) with closed=true.
+func (q *rxQueue) read(b []byte, block bool) (int, model.Duration, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.segs) == 0 {
+		if q.reset {
+			return 0, 0, ErrClosed
+		}
+		if q.closed {
+			return 0, 0, nil // EOF
+		}
+		if !block {
+			return 0, 0, ErrWouldBlock
+		}
+		q.cond.Wait()
+	}
+	var n int
+	var arrive model.Duration
+	for n < len(b) && len(q.segs) > 0 {
+		s := &q.segs[0]
+		c := copy(b[n:], s.data)
+		n += c
+		if s.arrive > arrive {
+			arrive = s.arrive
+		}
+		if c == len(s.data) {
+			q.segs = q.segs[1:]
+		} else {
+			s.data = s.data[c:]
+			break
+		}
+	}
+	return n, arrive, nil
+}
+
+// Conn is one endpoint of an established stream connection.
+type Conn struct {
+	net        *Network
+	link       Link
+	localAddr  string
+	remoteAddr string
+	rx         *rxQueue
+	peer       *Conn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// LocalAddr and RemoteAddr report the endpoint addresses.
+func (c *Conn) LocalAddr() string  { return c.localAddr }
+func (c *Conn) RemoteAddr() string { return c.remoteAddr }
+
+// Send transmits data at virtual time now. It reports the time the final
+// byte leaves the local NIC (the sender is charged serialisation but not
+// propagation). Data arrives remotely at link.TransferTime(now, len(data)).
+func (c *Conn) Send(data []byte, now model.Duration) (model.Duration, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return now, ErrClosed
+	}
+	peer := c.peer
+	c.mu.Unlock()
+	if peer == nil {
+		return now, ErrClosed
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	peer.rx.push(buf, c.link.TransferTime(now, len(data)))
+	c.net.notify()
+	return now + model.Duration(len(data))*c.link.PerByte, nil
+}
+
+// Recv reads into b. The returned Duration is the virtual arrival time of
+// the data (the caller syncs its clock to it). EOF is (0, _, nil).
+func (c *Conn) Recv(b []byte, block bool) (int, model.Duration, error) {
+	return c.rx.read(b, block)
+}
+
+// ReadableNow reports whether Recv would return without blocking.
+func (c *Conn) ReadableNow() bool { return c.rx.readableNow() }
+
+// PeekArrival reports the virtual arrival time of the earliest pending
+// data, if any. Poll/epoll implementations use it to advance the waiting
+// thread's clock to the event that wakes it.
+func (c *Conn) PeekArrival() (model.Duration, bool) { return c.rx.peekArrival() }
+
+// WritableNow reports whether Send would succeed (always, unless closed —
+// the simulation does not model TCP backpressure).
+func (c *Conn) WritableNow() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed
+}
+
+// Close shuts the connection down; the peer drains then sees EOF.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	peer := c.peer
+	c.mu.Unlock()
+	c.rx.closeLocal()
+	if peer != nil {
+		peer.rx.closePeer()
+	}
+	c.net.notify()
+}
+
+// pendingConn is a connection waiting in a listener's accept queue.
+type pendingConn struct {
+	conn   *Conn
+	arrive model.Duration
+}
+
+// Listener accepts incoming stream connections for one address.
+type Listener struct {
+	net     *Network
+	addr    string
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []pendingConn
+	closed  bool
+	backlog int
+}
+
+// Addr reports the listening address.
+func (l *Listener) Addr() string { return l.addr }
+
+// PendingNow reports whether Accept would return without blocking.
+func (l *Listener) PendingNow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue) > 0 || l.closed
+}
+
+// PeekArrival reports the establishment time of the earliest queued
+// connection, if any.
+func (l *Listener) PeekArrival() (model.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.queue) == 0 {
+		return 0, false
+	}
+	return l.queue[0].arrive, true
+}
+
+// Accept dequeues an established connection. The returned Duration is the
+// virtual time the connection became established at the server side.
+func (l *Listener) Accept(block bool) (*Conn, model.Duration, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) == 0 {
+		if l.closed {
+			return nil, 0, ErrListenerClosed
+		}
+		if !block {
+			return nil, 0, ErrWouldBlock
+		}
+		l.cond.Wait()
+	}
+	p := l.queue[0]
+	l.queue = l.queue[1:]
+	return p.conn, p.arrive, nil
+}
+
+// Close stops the listener; queued, unaccepted connections are reset.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	queued := l.queue
+	l.queue = nil
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	for _, p := range queued {
+		p.conn.Close()
+	}
+	l.net.unbind(l.addr, l)
+	l.net.notify()
+}
+
+// Network is the simulated network fabric.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	link      Link
+	notifier  Notifier
+	nextPort  int
+}
+
+// New creates a network whose connections use the given link profile.
+func New(link Link) *Network {
+	return &Network{listeners: map[string]*Listener{}, link: link, nextPort: 40000}
+}
+
+// SetNotifier registers the readiness callback (the kernel's poll hub).
+func (n *Network) SetNotifier(no Notifier) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.notifier = no
+}
+
+// Link reports the fabric's link profile.
+func (n *Network) Link() Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.link
+}
+
+func (n *Network) notify() {
+	n.mu.Lock()
+	no := n.notifier
+	n.mu.Unlock()
+	if no != nil {
+		no.Notify()
+	}
+}
+
+// HasListener reports whether addr is currently bound. Benchmark drivers
+// use it to start client load only once the server is up — the paper's
+// clients run against an already-listening server.
+func (n *Network) HasListener(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.listeners[addr] != nil
+}
+
+// Listen binds a listener to addr ("host:port").
+func (n *Network) Listen(addr string, backlog int) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[addr]; exists {
+		return nil, ErrAddrInUse
+	}
+	l := &Listener{net: n, addr: addr, backlog: backlog}
+	l.cond = sync.NewCond(&l.mu)
+	n.listeners[addr] = l
+	return l, nil
+}
+
+func (n *Network) unbind(addr string, l *Listener) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.listeners[addr] == l {
+		delete(n.listeners, addr)
+	}
+}
+
+// Connect establishes a connection to addr at virtual time now. The client
+// endpoint is usable at the returned time (one RTT later); the server-side
+// endpoint is queued for Accept with a one-way-latency arrival stamp.
+func (n *Network) Connect(addr string, now model.Duration) (*Conn, model.Duration, error) {
+	n.mu.Lock()
+	l := n.listeners[addr]
+	link := n.link
+	n.nextPort++
+	localAddr := "ephemeral:" + itoa(n.nextPort)
+	n.mu.Unlock()
+	if l == nil {
+		return nil, now + 2*link.Latency, ErrConnRefused
+	}
+
+	client := &Conn{net: n, link: link, localAddr: localAddr, remoteAddr: addr, rx: newRxQueue()}
+	server := &Conn{net: n, link: link, localAddr: addr, remoteAddr: localAddr, rx: newRxQueue()}
+	client.peer = server
+	server.peer = client
+
+	l.mu.Lock()
+	if l.closed || (l.backlog > 0 && len(l.queue) >= l.backlog) {
+		l.mu.Unlock()
+		return nil, now + 2*link.Latency, ErrConnRefused
+	}
+	l.queue = append(l.queue, pendingConn{conn: server, arrive: now + link.Latency})
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	n.notify()
+	return client, now + 2*link.Latency, nil
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

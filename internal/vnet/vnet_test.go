@@ -1,0 +1,292 @@
+package vnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"remon/internal/model"
+)
+
+func TestConnectAcceptTransfer(t *testing.T) {
+	n := New(GigabitLocal)
+	l, err := n.Listen("srv:80", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, established, err := n.Connect("srv:80", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if established != 2*GigabitLocal.Latency {
+		t.Fatalf("client established at %v, want one RTT %v", established, 2*GigabitLocal.Latency)
+	}
+	server, arrive, err := l.Accept(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrive != GigabitLocal.Latency {
+		t.Fatalf("server saw SYN at %v, want %v", arrive, GigabitLocal.Latency)
+	}
+
+	if _, err := client.Send([]byte("GET /"), established); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	cnt, at, err := server.Recv(buf, true)
+	if err != nil || cnt != 5 {
+		t.Fatalf("server Recv = %d, %v", cnt, err)
+	}
+	if string(buf[:cnt]) != "GET /" {
+		t.Fatalf("payload %q", buf[:cnt])
+	}
+	wantArrive := GigabitLocal.TransferTime(established, 5)
+	if at != wantArrive {
+		t.Fatalf("data arrival %v, want %v", at, wantArrive)
+	}
+}
+
+func TestConnectRefused(t *testing.T) {
+	n := New(GigabitLocal)
+	if _, _, err := n.Connect("nobody:1", 0); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("connect to unbound = %v", err)
+	}
+}
+
+func TestListenAddrInUse(t *testing.T) {
+	n := New(GigabitLocal)
+	if _, err := n.Listen("a:1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a:1", 0); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("double listen = %v", err)
+	}
+}
+
+func TestListenerCloseUnbinds(t *testing.T) {
+	n := New(GigabitLocal)
+	l, err := n.Listen("a:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := n.Listen("a:1", 0); err != nil {
+		t.Fatalf("re-listen after close = %v", err)
+	}
+	if _, _, err := l.Accept(true); !errors.Is(err, ErrListenerClosed) {
+		t.Fatalf("accept on closed listener = %v", err)
+	}
+}
+
+func TestBacklogLimit(t *testing.T) {
+	n := New(GigabitLocal)
+	if _, err := n.Listen("b:1", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := n.Connect("b:1", 0); err != nil {
+			t.Fatalf("connect %d: %v", i, err)
+		}
+	}
+	if _, _, err := n.Connect("b:1", 0); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("over-backlog connect = %v", err)
+	}
+}
+
+func TestEOFAfterClose(t *testing.T) {
+	n := New(Loopback)
+	l, _ := n.Listen("s:1", 0)
+	c, est, _ := n.Connect("s:1", 0)
+	s, _, err := l.Accept(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Send([]byte("bye"), est)
+	c.Close()
+	buf := make([]byte, 8)
+	cnt, _, err := s.Recv(buf, true)
+	if err != nil || cnt != 3 {
+		t.Fatalf("drain = %d, %v", cnt, err)
+	}
+	cnt, _, err = s.Recv(buf, true)
+	if cnt != 0 || err != nil {
+		t.Fatalf("EOF = %d, %v; want 0, nil", cnt, err)
+	}
+	// Sending on a closed conn fails.
+	if _, err := c.Send([]byte("x"), est); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v", err)
+	}
+}
+
+func TestNonBlockingRecv(t *testing.T) {
+	n := New(Loopback)
+	l, _ := n.Listen("s:2", 0)
+	c, est, _ := n.Connect("s:2", 0)
+	s, _, _ := l.Accept(true)
+	if _, _, err := s.Recv(make([]byte, 1), false); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("empty non-blocking recv = %v", err)
+	}
+	if s.ReadableNow() {
+		t.Fatal("ReadableNow on empty conn")
+	}
+	c.Send([]byte("z"), est)
+	if !s.ReadableNow() {
+		t.Fatal("ReadableNow false after send")
+	}
+	cnt, _, err := s.Recv(make([]byte, 1), false)
+	if err != nil || cnt != 1 {
+		t.Fatalf("non-blocking recv with data = %d, %v", cnt, err)
+	}
+}
+
+func TestLatencyProfilesOrdering(t *testing.T) {
+	if !(Loopback.Latency < GigabitLocal.Latency &&
+		GigabitLocal.Latency < LowLatency2ms.Latency &&
+		LowLatency2ms.Latency < Simulated5ms.Latency) {
+		t.Fatal("link profiles out of order")
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	l := LowLatency2ms
+	if l.TransferTime(0, 100) >= l.TransferTime(0, 10000) {
+		t.Fatal("TransferTime not increasing in size")
+	}
+	if l.TransferTime(0, 0) != l.Latency {
+		t.Fatal("zero-byte transfer should cost exactly latency")
+	}
+}
+
+func TestPartialSegmentRead(t *testing.T) {
+	n := New(Loopback)
+	l, _ := n.Listen("s:3", 0)
+	c, est, _ := n.Connect("s:3", 0)
+	s, _, _ := l.Accept(true)
+	c.Send([]byte("abcdef"), est)
+	buf := make([]byte, 2)
+	var got []byte
+	for len(got) < 6 {
+		cnt, _, err := s.Recv(buf, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:cnt]...)
+	}
+	if string(got) != "abcdef" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+func TestMultipleSegmentsCoalesce(t *testing.T) {
+	n := New(Loopback)
+	l, _ := n.Listen("s:4", 0)
+	c, est, _ := n.Connect("s:4", 0)
+	s, _, _ := l.Accept(true)
+	c.Send([]byte("aa"), est)
+	c.Send([]byte("bb"), est+100)
+	buf := make([]byte, 8)
+	cnt, at, err := s.Recv(buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 4 || string(buf[:4]) != "aabb" {
+		t.Fatalf("coalesced read = %d %q", cnt, buf[:cnt])
+	}
+	// Arrival time is that of the last byte delivered.
+	want := Loopback.TransferTime(est+100, 2)
+	if at != want {
+		t.Fatalf("arrival = %v, want %v", at, want)
+	}
+}
+
+type countNotifier struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *countNotifier) Notify() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *countNotifier) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func TestNotifierFires(t *testing.T) {
+	n := New(Loopback)
+	cn := &countNotifier{}
+	n.SetNotifier(cn)
+	l, _ := n.Listen("s:5", 0)
+	c, est, _ := n.Connect("s:5", 0)
+	if cn.count() == 0 {
+		t.Fatal("no notification on connect")
+	}
+	before := cn.count()
+	s, _, _ := l.Accept(true)
+	c.Send([]byte("x"), est)
+	if cn.count() <= before {
+		t.Fatal("no notification on send")
+	}
+	before = cn.count()
+	s.Close()
+	if cn.count() <= before {
+		t.Fatal("no notification on close")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	n := New(GigabitLocal)
+	l, _ := n.Listen("srv:80", 128)
+	const clients = 32
+	var wg sync.WaitGroup
+	// Server echo loop.
+	go func() {
+		for {
+			s, at, err := l.Accept(true)
+			if err != nil {
+				return
+			}
+			go func(s *Conn, at model.Duration) {
+				buf := make([]byte, 16)
+				for {
+					cnt, recvAt, err := s.Recv(buf, true)
+					if err != nil || cnt == 0 {
+						s.Close()
+						return
+					}
+					if _, err := s.Send(buf[:cnt], recvAt); err != nil {
+						return
+					}
+				}
+			}(s, at)
+		}
+	}()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, est, err := n.Connect("srv:80", model.Duration(i)*model.Microsecond)
+			if err != nil {
+				t.Errorf("client %d connect: %v", i, err)
+				return
+			}
+			defer c.Close()
+			msg := []byte{byte(i), byte(i + 1)}
+			if _, err := c.Send(msg, est); err != nil {
+				t.Errorf("client %d send: %v", i, err)
+				return
+			}
+			buf := make([]byte, 4)
+			cnt, _, err := c.Recv(buf, true)
+			if err != nil || cnt != 2 || buf[0] != byte(i) {
+				t.Errorf("client %d echo = %d %v %v", i, cnt, buf[:cnt], err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	l.Close()
+}

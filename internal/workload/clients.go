@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remon/internal/libc"
+	"remon/internal/model"
+	"remon/internal/vkernel"
+)
+
+// ClientConfig drives a server-benchmark load generator (the ab / wrk /
+// http_load stand-in of §5.2).
+type ClientConfig struct {
+	// Addr is the server address.
+	Addr string
+	// Connections is the number of concurrent client connections.
+	Connections int
+	// RequestsPerConn is how many request/response round trips each
+	// connection performs before closing.
+	RequestsPerConn int
+	// RequestSize / ResponseSize are the payload sizes in bytes.
+	RequestSize  int
+	ResponseSize int
+	// ThinkTime is per-request client-side work.
+	ThinkTime model.Duration
+}
+
+// TotalRequests reports the workload size.
+func (c ClientConfig) TotalRequests() int {
+	return c.Connections * c.RequestsPerConn
+}
+
+// ClientResult is the client-side measurement.
+type ClientResult struct {
+	Completed int
+	Errors    int
+	// Duration is the virtual time from first connect to last response,
+	// maximised over connections — the client-side makespan that
+	// normalized runtime overhead is computed from.
+	Duration model.Duration
+}
+
+// barrier is a reusable host-time rendezvous for the client rounds.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n parties arrive; broken parties call drop.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count >= b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && b.count > 0 {
+		b.cond.Wait()
+	}
+}
+
+// drop removes a party (a connection that errored out) so the rest don't
+// deadlock.
+func (b *barrier) drop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n--
+	if b.count >= b.n && b.n > 0 {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+}
+
+// RunClients drives the load against a (monitored or native) server
+// sharing the same kernel. Each connection runs on its own native
+// process/thread so client overhead is identical across server modes.
+//
+// Two host-time (never virtual-time) synchronisations keep the
+// measurement deterministic:
+//
+//   - The load starts only once the server is listening: the benchmark
+//     measures steady-state service, not server bootstrap.
+//   - Connections run in round-synchronised closed loops (fixed
+//     concurrency, like `ab -c N`): all connections issue request m
+//     before any issues m+1. Without the barrier, host scheduling decides
+//     how requests batch at the server, and that noise swamps the
+//     monitoring overhead being measured.
+func RunClients(k *vkernel.Kernel, cfg ClientConfig, seed uint64) ClientResult {
+	if k.Net != nil {
+		for i := 0; i < 200000 && !k.Net.HasListener(cfg.Addr); i++ {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	var mu sync.Mutex
+	res := ClientResult{}
+	var wg sync.WaitGroup
+	bar := newBarrier(cfg.Connections)
+	for conn := 0; conn < cfg.Connections; conn++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := k.NewProcess(fmt.Sprintf("client-%d", id), seed+uint64(id)*13, 10)
+			t := p.NewThread(nil)
+			env := libc.NewEnv(t, 0, nil)
+			completed, errors := runConnection(env, cfg, bar)
+			d := t.Clock.Now()
+			t.ExitThread(0)
+			mu.Lock()
+			res.Completed += completed
+			res.Errors += errors
+			if d > res.Duration {
+				res.Duration = d
+			}
+			mu.Unlock()
+		}(conn)
+	}
+	wg.Wait()
+	return res
+}
+
+// runConnection performs one connection's request loop, retrying the
+// initial connect until the server is listening.
+func runConnection(env *libc.Env, cfg ClientConfig, bar *barrier) (completed, errors int) {
+	broke := false
+	defer func() {
+		if broke {
+			bar.drop()
+		}
+	}()
+	fd := -1
+	for attempt := 0; attempt < 20000; attempt++ {
+		sfd, errno := env.Socket()
+		if errno != 0 {
+			return 0, 1
+		}
+		if errno := env.Connect(sfd, cfg.Addr); errno == 0 {
+			fd = sfd
+			break
+		}
+		env.Close(sfd)
+		// The server has not bound yet (it is still bootstrapping under
+		// the MVEE): yield real time, not virtual time, and retry.
+		time.Sleep(100 * time.Microsecond)
+	}
+	if fd < 0 {
+		broke = true
+		return 0, cfg.RequestsPerConn
+	}
+	defer env.Close(fd)
+
+	req := make([]byte, cfg.RequestSize)
+	for i := range req {
+		req[i] = byte('A' + i%26)
+	}
+	resp := make([]byte, 4096)
+	for i := 0; i < cfg.RequestsPerConn; i++ {
+		bar.wait()
+		if cfg.ThinkTime > 0 {
+			env.Compute(cfg.ThinkTime)
+		}
+		if _, errno := env.Send(fd, req); errno != 0 {
+			errors++
+			broke = true
+			break
+		}
+		got := 0
+		for got < cfg.ResponseSize {
+			n, errno := env.Recv(fd, resp)
+			if errno != 0 || n == 0 {
+				break
+			}
+			got += n
+		}
+		if got < cfg.ResponseSize {
+			errors++
+			broke = true
+			break
+		}
+		completed++
+	}
+	return completed, errors
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"remon/internal/libc"
+	"remon/internal/model"
+	"remon/internal/vkernel"
+)
+
+// syntheticPortSeq allocates unique loopback addresses so concurrently
+// running profiles never collide.
+var syntheticPortSeq atomic.Uint64
+
+// SyntheticProgram builds the replica program for a profile: each worker
+// thread interleaves pure compute with the profile's syscall mix. The mix
+// sequence is drawn from a deterministic PRNG seeded by (profile, thread),
+// so every replica issues the identical syscall sequence — the property
+// lockstep monitoring requires and the record/replay agent guarantees for
+// real programs.
+func SyntheticProgram(p Profile) libc.Program {
+	port := syntheticPortSeq.Add(1)
+	sinkAddr := fmt.Sprintf("loop-%s-%d:9", p.Name, port)
+	return func(env *libc.Env) {
+		// --- Per-replica setup (identical across replicas). ---
+		dataPath := "/tmp/" + p.Name + ".data"
+		fd, errno := env.Open(dataPath, vkernel.OCreat|vkernel.ORdwr, 0o644)
+		if errno != 0 {
+			return
+		}
+		seed := make([]byte, 4096)
+		for i := range seed {
+			seed[i] = byte(i * 131)
+		}
+		env.Write(fd, seed)
+
+		// Scratch region for the sensitive-class op (mprotect).
+		r := env.T.Syscall(vkernel.SysMmap, 0, 4096, 0x3, vkernel.MapAnonymous|vkernel.MapPrivate, 0, 0)
+		protAddr := r.Val
+
+		// Socket setup: an in-program echo sink pre-fills the receive
+		// window so socket-RO ops never block.
+		sockFD := -1
+		var sinkDone *libc.ThreadHandle
+		if p.NeedsSockets() {
+			roCalls := 0
+			for ltid := 0; ltid < p.Threads; ltid++ {
+				roCalls += expectedClassCount(p, ltid, ClassSocketRO)
+			}
+			lfd, _ := env.Socket()
+			env.Bind(lfd, sinkAddr)
+			env.Listen(lfd, 4)
+			total := roCalls
+			sinkDone = env.Spawn(func(se *libc.Env) {
+				conn, errno := se.Accept(lfd)
+				if errno != 0 {
+					return
+				}
+				// Pre-pump the bytes the workers will consume, then
+				// drain whatever the socket-RW ops send.
+				chunk := make([]byte, 64)
+				for sent := 0; sent < total; sent++ {
+					se.Send(conn, chunk)
+				}
+				buf := make([]byte, 256)
+				for {
+					n, errno := se.Recv(conn, buf)
+					if errno != 0 || n == 0 {
+						return
+					}
+				}
+			})
+			sockFD, _ = env.Socket()
+			env.Connect(sockFD, sinkAddr)
+		}
+
+		// --- Worker threads. ---
+		worker := func(ltid int) libc.Program {
+			return func(we *libc.Env) {
+				runWorker(we, p, ltid, fd, sockFD, protAddr)
+			}
+		}
+		var handles []*libc.ThreadHandle
+		for w := 1; w < p.Threads; w++ {
+			handles = append(handles, env.Spawn(worker(w)))
+		}
+		runWorker(env, p, 0, fd, sockFD, protAddr)
+		for _, h := range handles {
+			h.Join()
+		}
+		if sockFD >= 0 {
+			env.Shutdown(sockFD)
+			env.Close(sockFD)
+		}
+		if sinkDone != nil {
+			sinkDone.Join()
+		}
+		env.Close(fd)
+	}
+}
+
+// classAt deterministically picks the syscall class for (thread, i).
+func classAt(p Profile, ltid, i int) Class {
+	rng := model.NewRNG(uint64(len(p.Name))*0x9E37 + uint64(ltid)*1000003 + uint64(i))
+	x := rng.Float64()
+	acc := 0.0
+	for c := Class(0); c < NumClasses; c++ {
+		acc += p.Fractions[c]
+		if x < acc {
+			return c
+		}
+	}
+	return ClassBase
+}
+
+// expectedClassCount counts how many iterations of a thread hit a class
+// (deterministic, so setup can pre-provision).
+func expectedClassCount(p Profile, ltid int, cls Class) int {
+	n := 0
+	for i := 0; i < p.Iterations; i++ {
+		if classAt(p, ltid, i) == cls {
+			n++
+		}
+	}
+	return n
+}
+
+// runWorker is one thread's iteration loop.
+func runWorker(we *libc.Env, p Profile, ltid, fd, sockFD int, protAddr uint64) {
+	buf := make([]byte, 64)
+	payload := []byte("synthetic-payload-0123456789abcdef-0123456789abcdef-payload....")
+	for i := 0; i < p.Iterations; i++ {
+		we.Compute(p.ComputePerCall)
+		switch classAt(p, ltid, i) {
+		case ClassBase:
+			we.TimeNow()
+		case ClassFileRO:
+			we.Pread(fd, buf, int64((i*64)%4096))
+		case ClassFileRW:
+			we.Write(fd, payload)
+		case ClassSocketRO:
+			if sockFD >= 0 {
+				we.Recv(sockFD, buf)
+			} else {
+				we.TimeNow()
+			}
+		case ClassSocketRW:
+			if sockFD >= 0 {
+				we.Send(sockFD, payload)
+			} else {
+				we.TimeNow()
+			}
+		case ClassSensitive:
+			we.T.Syscall(vkernel.SysMprotect, protAddr, 4096, 0x3)
+		}
+	}
+}
