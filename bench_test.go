@@ -12,10 +12,8 @@ import (
 
 	"remon/internal/bench"
 	"remon/internal/core"
-	"remon/internal/libc"
 	"remon/internal/model"
 	"remon/internal/policy"
-	"remon/internal/vkernel"
 	"remon/internal/vnet"
 	"remon/internal/workload"
 )
@@ -160,24 +158,9 @@ func BenchmarkTable2MVEEComparison(b *testing.B) {
 	})
 }
 
-// syscallDenseProg is the micro-workload the ablations run: a file-write
-// loop dense enough that RB mechanics dominate.
-func syscallDenseProg(iters int) libc.Program {
-	return func(env *libc.Env) {
-		fd, errno := env.Open("/tmp/ablate", vkernel.OCreat|vkernel.ORdwr, 0o644)
-		if errno != 0 {
-			return
-		}
-		for i := 0; i < iters; i++ {
-			env.Write(fd, []byte("0123456789abcdef0123456789abcdef"))
-			env.Compute(500 * model.Nanosecond)
-		}
-		env.Close(fd)
-	}
-}
-
-// runAblate measures the virtual duration of the dense workload under a
-// config.
+// runAblate measures the virtual duration of the dense workload
+// (bench.SyscallDenseProgram, shared with the BENCH_rb.json tracker)
+// under a config.
 func runAblate(b *testing.B, cfg core.Config) model.Duration {
 	b.Helper()
 	cfg.Mode = core.ModeReMon
@@ -188,7 +171,7 @@ func runAblate(b *testing.B, cfg core.Config) model.Duration {
 		cfg.Policy = policy.SocketRWLevel
 	}
 	cfg.Seed = 11
-	rep, err := core.RunProgram(cfg, syscallDenseProg(800))
+	rep, err := core.RunProgram(cfg, bench.SyscallDenseProgram(800))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -283,11 +266,7 @@ func BenchmarkAblationCondvarPerInvocation(b *testing.B) {
 // native, IP-MON fast path, GHUMVEE lockstep — the cost hierarchy the
 // whole design rests on.
 func BenchmarkMicroSyscallPaths(b *testing.B) {
-	prog := func(env *libc.Env) {
-		for i := 0; i < 500; i++ {
-			env.Getpid()
-		}
-	}
+	prog := bench.MicroProgram()
 	run := func(b *testing.B, cfg core.Config) model.Duration {
 		rep, err := core.RunProgram(cfg, prog)
 		if err != nil {
@@ -300,20 +279,20 @@ func BenchmarkMicroSyscallPaths(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			d = run(b, core.Config{Mode: core.ModeNative, Seed: 3})
 		}
-		b.ReportMetric(d.Seconds()*1e9/500, "virtual-ns/call")
+		b.ReportMetric(d.Seconds()*1e9/bench.MicroCallCount, "virtual-ns/call")
 	})
 	b.Run("ipmon", func(b *testing.B) {
 		var d model.Duration
 		for i := 0; i < b.N; i++ {
 			d = run(b, core.Config{Mode: core.ModeReMon, Replicas: 2, Policy: policy.BaseLevel, Seed: 3})
 		}
-		b.ReportMetric(d.Seconds()*1e9/500, "virtual-ns/call")
+		b.ReportMetric(d.Seconds()*1e9/bench.MicroCallCount, "virtual-ns/call")
 	})
 	b.Run("ghumvee", func(b *testing.B) {
 		var d model.Duration
 		for i := 0; i < b.N; i++ {
 			d = run(b, core.Config{Mode: core.ModeGHUMVEE, Replicas: 2, Seed: 3})
 		}
-		b.ReportMetric(d.Seconds()*1e9/500, "virtual-ns/call")
+		b.ReportMetric(d.Seconds()*1e9/bench.MicroCallCount, "virtual-ns/call")
 	})
 }

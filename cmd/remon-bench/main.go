@@ -27,6 +27,7 @@ func main() {
 	requests := flag.Int("requests", 0, "requests per connection (0 = default)")
 	maxReplicas := flag.Int("max-replicas", 0, "Figure 5 replica sweep upper bound (0 = 7)")
 	quick := flag.Bool("quick", false, "small sizes for a fast smoke run")
+	rbJSON := flag.String("rb-json", "", "write RB fast-path perf results (ns/op, allocs/op, virtual metrics) to this file, e.g. BENCH_rb.json")
 	flag.Parse()
 
 	o := bench.Options{
@@ -46,6 +47,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+
+	if *rbJSON != "" {
+		run("RB fast-path perf -> "+*rbJSON, func() error {
+			results, err := bench.RunRBPerf()
+			if err != nil {
+				return err
+			}
+			payload, err := bench.MarshalRBPerf(results)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				fmt.Printf("%-42s %12.0f ns/op %8d allocs/op %12.1f %s\n",
+					r.Name, r.NsPerOp, r.AllocsPerOp, r.VirtualMetric, r.VirtualMetricName)
+			}
+			return os.WriteFile(*rbJSON, append(payload, '\n'), 0o644)
+		})
+		if *experiment == "" {
+			return
+		}
 	}
 
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }

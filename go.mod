@@ -1,0 +1,3 @@
+module remon
+
+go 1.22

@@ -9,8 +9,10 @@ package attack
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"remon/internal/core"
+	"remon/internal/ghumvee"
 	"remon/internal/ikb"
 	"remon/internal/libc"
 	"remon/internal/mem"
@@ -123,6 +125,14 @@ func DivergentSyscallSequence() Outcome {
 // directly with a forged 64-bit value. Expected: IK-B revokes and forces
 // the ptrace path, recording the violation.
 func TokenForgery() Outcome {
+	// The forged completion deliberately desynchronises the lockstep
+	// group: the run only ends when the rendezvous watchdog fires. The
+	// scenario has no legitimate blocking at all, so shrink the watchdog
+	// for its duration instead of idling 10 wall-clock seconds.
+	oldTimeout := ghumvee.LockstepTimeout
+	ghumvee.LockstepTimeout = 250 * time.Millisecond
+	defer func() { ghumvee.LockstepTimeout = oldTimeout }()
+
 	m, err := core.New(remonCfg())
 	if err != nil {
 		return Outcome{Name: "token forgery", Detail: err.Error()}

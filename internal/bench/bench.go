@@ -272,6 +272,7 @@ func runServerMeasured(sb serverBench, link vnet.Link, mode core.Mode, replicas 
 	go func() { done <- mvee.Run(apps.Server(scfg)) }()
 	res := workload.RunClients(k, ccfg, o.Seed)
 	rep := <-done
+	mvee.Close()
 	if rep.Verdict.Diverged {
 		detail := rep.Verdict.Reason
 		for _, s := range rep.IPMon {
@@ -318,6 +319,7 @@ func RunServerVaran(sb serverBench, link vnet.Link, replicas int, o Options) (mo
 	go func() { done <- m.Run(apps.Server(scfg)) }()
 	res := workload.RunClients(k, ccfg, o.Seed)
 	rep := <-done
+	m.Close()
 	if rep.Diverged {
 		return 0, fmt.Errorf("bench: varan server %s diverged", sb.Name)
 	}

@@ -1,0 +1,151 @@
+// RB fast-path perf tracking: the same micro experiments the top-level
+// ablation benches run (DESIGN.md §5), packaged behind testing.Benchmark
+// so that cmd/remon-bench can emit a machine-readable BENCH_rb.json and
+// future PRs can diff ns/op, allocs/op and the virtual metrics against
+// this one.
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"remon/internal/core"
+	"remon/internal/libc"
+	"remon/internal/model"
+	"remon/internal/policy"
+	"remon/internal/vkernel"
+)
+
+// RBPerfResult is one experiment's figure of merit.
+type RBPerfResult struct {
+	// Name is the experiment id, e.g. "micro-syscall-paths/ipmon".
+	Name string `json:"name"`
+	// NsPerOp is host wall-clock per operation (the optimisation target).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp come from the Go benchmark framework.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// VirtualMetric is the simulation-side figure (virtual-ns/call or
+	// virtual-us depending on the experiment); it must stay bit-identical
+	// across perf PRs — only NsPerOp and the alloc counters may move.
+	VirtualMetric     float64 `json:"virtual_metric"`
+	VirtualMetricName string  `json:"virtual_metric_name"`
+	N                 int     `json:"n"`
+}
+
+// MicroCallCount is the number of getpid calls in the micro-path
+// experiment (the per-call virtual metric divides by it).
+const MicroCallCount = 500
+
+// MicroProgram is the syscall-dense loop BenchmarkMicroSyscallPaths and
+// the BENCH_rb.json tracker share — one definition so the CI-tracked
+// numbers always measure the same workload as the named benchmarks.
+func MicroProgram() libc.Program {
+	return func(env *libc.Env) {
+		for i := 0; i < MicroCallCount; i++ {
+			env.Getpid()
+		}
+	}
+}
+
+// SyscallDenseProgram is the file-write loop the ablation benches run: a
+// workload dense enough that RB mechanics dominate.
+func SyscallDenseProgram(iters int) libc.Program {
+	return func(env *libc.Env) {
+		fd, errno := env.Open("/tmp/ablate", vkernel.OCreat|vkernel.ORdwr, 0o644)
+		if errno != 0 {
+			return
+		}
+		for i := 0; i < iters; i++ {
+			env.Write(fd, []byte("0123456789abcdef0123456789abcdef"))
+			env.Compute(500 * model.Nanosecond)
+		}
+		env.Close(fd)
+	}
+}
+
+// rbPerfCase describes one tracked experiment.
+type rbPerfCase struct {
+	name       string
+	metricName string
+	cfg        core.Config
+	prog       libc.Program
+	// metric converts the run's virtual duration to the reported figure.
+	metric func(d model.Duration) float64
+}
+
+func rbPerfCases() []rbPerfCase {
+	perCall := func(d model.Duration) float64 { return d.Seconds() * 1e9 / MicroCallCount }
+	us := func(d model.Duration) float64 { return d.Seconds() * 1e6 }
+	micro := MicroProgram()
+	ablate := SyscallDenseProgram(800)
+	return []rbPerfCase{
+		{"micro-syscall-paths/native", "virtual-ns/call",
+			core.Config{Mode: core.ModeNative, Seed: 3}, micro, perCall},
+		{"micro-syscall-paths/ipmon", "virtual-ns/call",
+			core.Config{Mode: core.ModeReMon, Replicas: 2, Policy: policy.BaseLevel, Seed: 3}, micro, perCall},
+		{"micro-syscall-paths/ghumvee", "virtual-ns/call",
+			core.Config{Mode: core.ModeGHUMVEE, Replicas: 2, Seed: 3}, micro, perCall},
+		{"ablation-wake-suppression/suppressed", "virtual-us",
+			core.Config{Mode: core.ModeReMon, Replicas: 2, Policy: policy.SocketRWLevel, Seed: 11}, ablate, us},
+		{"ablation-wake-suppression/always-wake", "virtual-us",
+			core.Config{Mode: core.ModeReMon, Replicas: 2, Policy: policy.SocketRWLevel, Seed: 11,
+				AblateAlwaysWake: true}, ablate, us},
+	}
+}
+
+// RunRBPerf executes every tracked experiment under testing.Benchmark and
+// returns the results (host ns/op + allocation counters + the virtual
+// metric of the final run).
+func RunRBPerf() ([]RBPerfResult, error) {
+	var out []RBPerfResult
+	for _, c := range rbPerfCases() {
+		var lastD model.Duration
+		var runErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := core.RunProgram(c.cfg, c.prog)
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				if rep.Verdict.Diverged {
+					runErr = errDiverged(c.name, rep.Verdict.Reason)
+					b.FailNow()
+				}
+				lastD = rep.Duration
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		out = append(out, RBPerfResult{
+			Name:              c.name,
+			NsPerOp:           float64(br.NsPerOp()),
+			AllocsPerOp:       br.AllocsPerOp(),
+			BytesPerOp:        br.AllocedBytesPerOp(),
+			VirtualMetric:     c.metric(lastD),
+			VirtualMetricName: c.metricName,
+			N:                 br.N,
+		})
+	}
+	return out, nil
+}
+
+type divergedError struct{ name, reason string }
+
+func (e divergedError) Error() string {
+	return "bench: " + e.name + " diverged: " + e.reason
+}
+
+func errDiverged(name, reason string) error { return divergedError{name, reason} }
+
+// MarshalRBPerf renders results as indented JSON (the BENCH_rb.json
+// payload).
+func MarshalRBPerf(results []RBPerfResult) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Schema  string         `json:"schema"`
+		Results []RBPerfResult `json:"results"`
+	}{Schema: "remon-rb-perf/v1", Results: results}, "", "  ")
+}

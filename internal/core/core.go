@@ -463,6 +463,19 @@ func (m *MVEE) MigrateRB() error {
 	return nil
 }
 
+// Close releases pooled resources — today the replication buffer's
+// backing segment, which returns to the mem arena for the next MVEE.
+// Call it only after the final Run has returned (no replica thread may
+// touch the RB afterwards); the MVEE must not be used again. Close is
+// optional: an unclosed MVEE is simply collected by the GC without
+// recycling its segment.
+func (m *MVEE) Close() {
+	if m.rbuf != nil {
+		m.Kernel.ReleaseShm(m.rbuf.Segment().ID)
+		m.rbuf = nil
+	}
+}
+
 // Procs exposes the replica processes (attack harnesses need them).
 func (m *MVEE) Procs() []*vkernel.Process {
 	return append([]*vkernel.Process(nil), m.procs...)
@@ -474,14 +487,16 @@ func (m *MVEE) RBBases() []mem.Addr {
 	return append([]mem.Addr(nil), m.rbBases...)
 }
 
-// RunProgram is the one-call convenience: build an MVEE with cfg and run
-// prog.
+// RunProgram is the one-call convenience: build an MVEE with cfg, run
+// prog and release the MVEE's pooled resources.
 func RunProgram(cfg Config, prog libc.Program) (*Report, error) {
 	m, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(prog), nil
+	rep := m.Run(prog)
+	m.Close()
+	return rep, nil
 }
 
 // NativeThread creates an unmonitored process + thread + Env on an

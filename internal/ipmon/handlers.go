@@ -44,14 +44,18 @@ type Handler struct {
 	PreSide func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call)
 
 	// GatherIn deep-copies the input buffers for the RB (master) or for
-	// comparison (slave).
-	GatherIn func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) []byte
+	// comparison (slave), appending frames to dst (which may be a reused
+	// scratch buffer). It returns nil — not dst — when the call has no
+	// gatherable input arguments, so callers can skip the payload
+	// comparison entirely.
+	GatherIn func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, dst []byte) []byte
 
 	// OutCap reserves RB space for results (CALCSIZE).
 	OutCap func(ip *IPMon, c *vkernel.Call) int
 
-	// GatherOut reads the master's output buffers after the call.
-	GatherOut func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.Result) []byte
+	// GatherOut reads the master's output buffers after the call,
+	// appending frames to dst.
+	GatherOut func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.Result, dst []byte) []byte
 
 	// ApplyOut writes the replicated output into the slave's own buffers.
 	ApplyOut func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, out []byte, r vkernel.Result)
@@ -71,6 +75,44 @@ func appendFrame(dst []byte, b []byte) []byte {
 	n := len(b)
 	dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
 	return append(dst, b...)
+}
+
+// growFrame appends an empty frame claiming n payload bytes and returns
+// dst plus the offset of the payload area. The caller fills
+// dst[payOff:payOff+n] in place (typically via AddressSpace.Read straight
+// into the scratch buffer — no intermediate allocation) or calls
+// patchFrame to shrink/void the frame.
+func growFrame(dst []byte, n int) (out []byte, payOff int) {
+	dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	payOff = len(dst)
+	if n > 0 {
+		dst = extend(dst, n)
+	}
+	return dst, payOff
+}
+
+// extend grows dst by n bytes (contents unspecified), amortising
+// reallocations so reused scratch buffers stop allocating once warm.
+func extend(dst []byte, n int) []byte {
+	cur := len(dst)
+	if need := cur + n; need > cap(dst) {
+		grown := make([]byte, cur, need+need/2)
+		copy(grown, dst)
+		dst = grown
+	}
+	return dst[:cur+n]
+}
+
+// patchFrame rewrites the length prefix of the frame whose payload starts
+// at payOff to n and truncates dst accordingly (n must not exceed the
+// grown size). Used when a read faults (frame becomes empty) or produces
+// fewer bytes than reserved.
+func patchFrame(dst []byte, payOff, n int) []byte {
+	dst[payOff-4] = byte(n)
+	dst[payOff-3] = byte(n >> 8)
+	dst[payOff-2] = byte(n >> 16)
+	dst[payOff-1] = byte(n >> 24)
+	return dst[:payOff+n]
 }
 
 func nextFrame(src []byte) (frame, rest []byte, ok bool) {
@@ -124,44 +166,90 @@ func genericMaybeChecked(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) bool {
 	return true
 }
 
-// genericGatherIn walks the descriptor and deep-copies input buffers.
-func genericGatherIn(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) []byte {
+// genericGatherIn walks the descriptor and deep-copies input buffers into
+// dst (append semantics: buffers are read straight into the scratch
+// buffer's tail, no per-call allocation once it has warmed up). It
+// returns nil when the call has no gatherable input arguments, preserving
+// the "no payload to compare" signal.
+func genericGatherIn(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, dst []byte) []byte {
 	d := sysdesc.Lookup(c.Num)
 	if d == nil {
 		return nil
 	}
-	var out []byte
+	out := dst
+	gathered := false
 	for i := 0; i < d.NArgs; i++ {
 		switch d.Args[i].Type {
 		case sysdesc.ArgPath:
-			s, err := readCString(t.Proc.Mem, mem.Addr(c.Arg(i)))
-			if err != nil {
-				out = appendFrame(out, nil)
-				continue
-			}
-			out = appendFrame(out, append([]byte(s), 0))
+			gathered = true
+			out = appendCString(out, t.Proc.Mem, mem.Addr(c.Arg(i)))
 		case sysdesc.ArgInBuf, sysdesc.ArgInOutBuf:
+			gathered = true
 			size := d.InBufSize(i, c)
 			if size == 0 || c.Arg(i) == 0 {
 				out = appendFrame(out, nil)
 				continue
 			}
-			buf, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(i)), size)
-			if err != nil {
-				out = appendFrame(out, nil)
-				continue
+			var payOff int
+			out, payOff = growFrame(out, size)
+			if err := t.Proc.Mem.Read(mem.Addr(c.Arg(i)), out[payOff:]); err != nil {
+				out = patchFrame(out, payOff, 0)
 			}
-			out = appendFrame(out, buf)
 		case sysdesc.ArgIovec:
-			data, err := gatherIovec(t, c, i, d.Args[i].LenArg)
-			if err != nil {
-				out = appendFrame(out, nil)
-				continue
-			}
-			out = appendFrame(out, data)
+			gathered = true
+			out = appendIovec(out, t, c, i, d.Args[i].LenArg)
 		}
 	}
+	if !gathered {
+		return nil
+	}
 	return out
+}
+
+// appendCString appends a frame holding the NUL-terminated string at a
+// (including the terminator), or an empty frame on fault.
+func appendCString(dst []byte, as *mem.AddressSpace, a mem.Addr) []byte {
+	s, err := readCString(as, a)
+	if err != nil {
+		return appendFrame(dst, nil)
+	}
+	n := len(s) + 1
+	dst, payOff := growFrame(dst, n)
+	copy(dst[payOff:], s)
+	dst[payOff+n-1] = 0
+	return dst
+}
+
+// appendIovec appends one frame holding the concatenated iovec buffers,
+// reading each straight into the scratch tail; on any fault the frame
+// becomes empty (matching the seed's all-or-nothing behaviour).
+func appendIovec(dst []byte, t *vkernel.Thread, c *vkernel.Call, argIdx, cntIdx int) []byte {
+	cnt := 1
+	if cntIdx >= 0 {
+		cnt = int(c.Arg(cntIdx))
+	}
+	if cnt < 0 || cnt > 1024 {
+		cnt = 1
+	}
+	var raw [16]byte
+	dst, payOff := growFrame(dst, 0)
+	for i := 0; i < cnt; i++ {
+		if err := t.Proc.Mem.Read(mem.Addr(c.Arg(argIdx))+mem.Addr(i*16), raw[:]); err != nil {
+			return patchFrame(dst, payOff, 0)
+		}
+		base := leU64(raw[:])
+		length64 := leU64(raw[8:])
+		if length64 > 1<<22 {
+			length64 = 1 << 22
+		}
+		length := int(length64)
+		cur := len(dst)
+		dst = extend(dst, length)
+		if err := t.Proc.Mem.Read(mem.Addr(base), dst[cur:]); err != nil {
+			return patchFrame(dst, payOff, 0)
+		}
+	}
+	return patchFrame(dst, payOff, len(dst)-payOff)
 }
 
 // genericOutCap computes the worst-case output reservation (CALCSIZE).
@@ -208,13 +296,14 @@ func genericOutCap(ip *IPMon, c *vkernel.Call) int {
 	return cap
 }
 
-// genericGatherOut reads the master's output buffers after execution.
-func genericGatherOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.Result) []byte {
+// genericGatherOut reads the master's output buffers after execution,
+// appending frames to dst (reused scratch — no per-call allocation).
+func genericGatherOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.Result, dst []byte) []byte {
 	d := sysdesc.Lookup(c.Num)
 	if d == nil {
-		return nil
+		return dst
 	}
-	var out []byte
+	out := dst
 	for i := 0; i < d.NArgs; i++ {
 		a := d.Args[i]
 		if a.Type != sysdesc.ArgOutBuf && a.Type != sysdesc.ArgInOutBuf {
@@ -225,12 +314,7 @@ func genericGatherOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.R
 			continue
 		}
 		if a.Rule == sysdesc.SizeCString {
-			s, err := readCString(t.Proc.Mem, mem.Addr(c.Arg(i)))
-			if err != nil {
-				out = appendFrame(out, nil)
-				continue
-			}
-			out = appendFrame(out, append([]byte(s), 0))
+			out = appendCString(out, t.Proc.Mem, mem.Addr(c.Arg(i)))
 			continue
 		}
 		size := d.OutBufSize(i, c, r.Val, r.Ok())
@@ -238,12 +322,11 @@ func genericGatherOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.R
 			out = appendFrame(out, nil)
 			continue
 		}
-		buf, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(i)), size)
-		if err != nil {
-			out = appendFrame(out, nil)
-			continue
+		var payOff int
+		out, payOff = growFrame(out, size)
+		if err := t.Proc.Mem.Read(mem.Addr(c.Arg(i)), out[payOff:]); err != nil {
+			out = patchFrame(out, payOff, 0)
 		}
-		out = appendFrame(out, buf)
 	}
 	return out
 }
@@ -321,15 +404,15 @@ func buildHandlers(pol *policy.Spatial) map[int]*Handler {
 // epollCtlGatherIn logs only the comparable half of the epoll_event
 // struct: the events mask. The data cookie is a replica-specific pointer
 // (§3.9) and is handled by the shadow map, not by comparison.
-func epollCtlGatherIn(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) []byte {
+func epollCtlGatherIn(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, dst []byte) []byte {
 	if c.Arg(3) == 0 {
-		return appendFrame(nil, nil)
+		return appendFrame(dst, nil)
 	}
-	raw, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(3)), 8)
-	if err != nil {
-		return appendFrame(nil, nil)
+	out, payOff := growFrame(dst, 8)
+	if err := t.Proc.Mem.Read(mem.Addr(c.Arg(3)), out[payOff:]); err != nil {
+		return patchFrame(out, payOff, 0)
 	}
-	return appendFrame(nil, raw)
+	return out
 }
 
 // epollCtlPreSide implements §3.9's registration half: every replica
@@ -356,9 +439,9 @@ func epollCtlPreSide(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) {
 // own cookies synchronously, so a master running ahead (closing and
 // unregistering descriptors) can never invalidate an entry a slave has yet
 // to consume.
-func epollWaitGatherOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.Result) []byte {
-	out := genericGatherOut(nil, t, c, r)
-	frame, _, ok := nextFrame(out)
+func epollWaitGatherOut(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, r vkernel.Result, dst []byte) []byte {
+	out := genericGatherOut(nil, t, c, r, dst)
+	frame, _, ok := nextFrame(out[len(dst):])
 	if !ok || len(frame) == 0 {
 		return out
 	}
@@ -417,34 +500,6 @@ func readCString(as *mem.AddressSpace, a mem.Addr) (string, error) {
 		out = append(out, one[0])
 	}
 	return string(out), nil
-}
-
-func gatherIovec(t *vkernel.Thread, c *vkernel.Call, argIdx, cntIdx int) ([]byte, error) {
-	cnt := 1
-	if cntIdx >= 0 {
-		cnt = int(c.Arg(cntIdx))
-	}
-	if cnt < 0 || cnt > 1024 {
-		cnt = 1
-	}
-	raw, err := t.Proc.Mem.ReadBytes(mem.Addr(c.Arg(argIdx)), cnt*16)
-	if err != nil {
-		return nil, err
-	}
-	var out []byte
-	for i := 0; i < cnt; i++ {
-		base := leU64(raw[i*16:])
-		length := leU64(raw[i*16+8:])
-		if length > 1<<22 {
-			length = 1 << 22
-		}
-		buf, err := t.Proc.Mem.ReadBytes(mem.Addr(base), int(length))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, buf...)
-	}
-	return out, nil
 }
 
 // blockingExpected predicts blocking from the file map (§3.6/§3.7).

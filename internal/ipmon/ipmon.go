@@ -2,6 +2,7 @@ package ipmon
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"remon/internal/fdmap"
 	"remon/internal/ikb"
@@ -23,6 +24,31 @@ type Stats struct {
 	Divergences     uint64 // argument mismatches detected (slave side)
 	// LastDivergence records the most recent mismatch description.
 	LastDivergence string
+}
+
+// counters is the lock-free backing for Stats: the fast path bumps these
+// without touching the instance mutex (the seed took it 3–4 times per
+// unmonitored call).
+type counters struct {
+	dispatched      atomic.Uint64
+	unmonitored     atomic.Uint64
+	forwardedPolicy atomic.Uint64
+	forwardedSignal atomic.Uint64
+	forwardedTooBig atomic.Uint64
+	temporalExempt  atomic.Uint64
+	divergences     atomic.Uint64
+}
+
+// ltState is the per-logical-thread monitor state. Exactly one replica
+// thread owns an ltid (threads beyond the partition count fall back to
+// the lockstep path), so everything here is accessed without locks.
+type ltState struct {
+	w *rb.Writer
+	r *rb.Reader
+	// scratch is the reusable gather buffer for input and output
+	// payloads: GatherIn/GatherOut append into it instead of allocating
+	// per call.
+	scratch []byte
 }
 
 // IPMon is one replica's in-process monitor instance.
@@ -50,11 +76,13 @@ type IPMon struct {
 	// the futex condvar, false = always spin.
 	BlockingOverride *bool
 
-	mu       sync.Mutex
-	writers  map[int]*rb.Writer
-	readers  map[int]*rb.Reader
+	// handlers is immutable after construction: lock-free lookup.
 	handlers map[int]*Handler
-	stats    Stats
+
+	mu             sync.Mutex
+	states         map[int]*ltState
+	lastDivergence string
+	stats          counters
 }
 
 // Config bundles IP-MON construction parameters.
@@ -85,8 +113,7 @@ func New(cfg Config) *IPMon {
 		Temporal:         cfg.Temporal,
 		LtidOf:           cfg.LtidOf,
 		BlockingOverride: cfg.BlockingOverride,
-		writers:          map[int]*rb.Writer{},
-		readers:          map[int]*rb.Reader{},
+		states:           map[int]*ltState{},
 	}
 	// Handlers are built for the full fast path; routing (the IK-B mask)
 	// and MAYBE_CHECKED decide what actually runs unmonitored.
@@ -97,14 +124,22 @@ func New(cfg Config) *IPMon {
 // Stats snapshots the counters.
 func (ip *IPMon) Stats() Stats {
 	ip.mu.Lock()
-	defer ip.mu.Unlock()
-	return ip.stats
+	last := ip.lastDivergence
+	ip.mu.Unlock()
+	return Stats{
+		Dispatched:      ip.stats.dispatched.Load(),
+		Unmonitored:     ip.stats.unmonitored.Load(),
+		ForwardedPolicy: ip.stats.forwardedPolicy.Load(),
+		ForwardedSignal: ip.stats.forwardedSignal.Load(),
+		ForwardedTooBig: ip.stats.forwardedTooBig.Load(),
+		TemporalExempt:  ip.stats.temporalExempt.Load(),
+		Divergences:     ip.stats.divergences.Load(),
+		LastDivergence:  last,
+	}
 }
 
 // SupportedCalls reports how many syscalls have fast-path handlers.
 func (ip *IPMon) SupportedCalls() int {
-	ip.mu.Lock()
-	defer ip.mu.Unlock()
 	return len(ip.handlers)
 }
 
@@ -128,40 +163,36 @@ func (ip *IPMon) MigrateRB(base mem.Addr) {
 	ip.mu.Lock()
 	defer ip.mu.Unlock()
 	ip.RBBase = base
-	for _, w := range ip.writers {
-		w.Rebase(base)
-	}
-	for _, r := range ip.readers {
-		r.Rebase(base)
+	for _, st := range ip.states {
+		if st.w != nil {
+			st.w.Rebase(base)
+		}
+		if st.r != nil {
+			st.r.Rebase(base)
+		}
 	}
 }
 
 func (ip *IPMon) bumpTemporal() {
-	ip.mu.Lock()
-	ip.stats.TemporalExempt++
-	ip.mu.Unlock()
+	ip.stats.temporalExempt.Add(1)
 }
 
-func (ip *IPMon) writer(ltid int) *rb.Writer {
+// state returns the per-ltid monitor state, creating cursors on first
+// use. The map lookup is the only locked operation on the fast path.
+func (ip *IPMon) state(ltid int) *ltState {
 	ip.mu.Lock()
 	defer ip.mu.Unlock()
-	w, ok := ip.writers[ltid]
+	st, ok := ip.states[ltid]
 	if !ok {
-		w = ip.Buf.NewWriter(ltid%ip.Buf.Partitions(), ip.RBBase)
-		ip.writers[ltid] = w
+		st = &ltState{}
+		if ip.Replica == 0 {
+			st.w = ip.Buf.NewWriter(ltid%ip.Buf.Partitions(), ip.RBBase)
+		} else {
+			st.r = ip.Buf.NewReader(ltid%ip.Buf.Partitions(), ip.Replica, ip.RBBase)
+		}
+		ip.states[ltid] = st
 	}
-	return w
-}
-
-func (ip *IPMon) reader(ltid int) *rb.Reader {
-	ip.mu.Lock()
-	defer ip.mu.Unlock()
-	r, ok := ip.readers[ltid]
-	if !ok {
-		r = ip.Buf.NewReader(ltid%ip.Buf.Partitions(), ip.Replica, ip.RBBase)
-		ip.readers[ltid] = r
-	}
-	return r
+	return st
 }
 
 // Entry is the system call entry point IK-B forwards unmonitored calls to
@@ -173,10 +204,8 @@ func (ip *IPMon) Entry(ctx *ikb.Context) vkernel.Result {
 	t.SetInIPMon(true)
 	defer t.SetInIPMon(false)
 
-	ip.mu.Lock()
-	ip.stats.Dispatched++
+	ip.stats.dispatched.Add(1)
 	h := ip.handlers[c.Num]
-	ip.mu.Unlock()
 
 	if h == nil {
 		// Registered mask and handler table disagree — be conservative.
@@ -186,17 +215,13 @@ func (ip *IPMon) Entry(ctx *ikb.Context) vkernel.Result {
 	// §3.8: GHUMVEE raised the signals-pending flag; restart as a
 	// monitored call so the monitor can deliver at a rendezvous.
 	if ip.Buf.SignalsPending() {
-		ip.mu.Lock()
-		ip.stats.ForwardedSignal++
-		ip.mu.Unlock()
+		ip.stats.forwardedSignal.Add(1)
 		return ctx.ForwardToMonitor()
 	}
 
 	// MAYBE_CHECKED: policy verification (Listing 1).
 	if h.MaybeChecked != nil && h.MaybeChecked(ip, t, c) {
-		ip.mu.Lock()
-		ip.stats.ForwardedPolicy++
-		ip.mu.Unlock()
+		ip.stats.forwardedPolicy.Add(1)
 		if ip.Temporal != nil {
 			ltid := 0
 			if ip.LtidOf != nil {
@@ -219,9 +244,7 @@ func (ip *IPMon) Entry(ctx *ikb.Context) vkernel.Result {
 	// lockstep path rather than sharing a partition (each replica thread
 	// must own its RB position, §3.2).
 	if ltid >= ip.Buf.Partitions() {
-		ip.mu.Lock()
-		ip.stats.ForwardedTooBig++
-		ip.mu.Unlock()
+		ip.stats.forwardedTooBig.Add(1)
 		return ctx.ForwardToMonitor()
 	}
 
@@ -232,12 +255,18 @@ func (ip *IPMon) Entry(ctx *ikb.Context) vkernel.Result {
 }
 
 // masterPath: PRECALL logs args into the RB, the call is restarted with
-// the token intact, POSTCALL replicates the results (§3.3).
+// the token intact, POSTCALL replicates the results (§3.3). Input and
+// output payloads are gathered into the logical thread's reusable scratch
+// buffer, so a steady-state call allocates nothing.
 func (ip *IPMon) masterPath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Result {
 	t := ctx.Thread
 	c := ctx.Call
+	st := ip.state(ltid)
 
-	inPayload := h.GatherIn(ip, t, c)
+	inPayload := h.GatherIn(ip, t, c, st.scratch[:0])
+	if inPayload != nil {
+		st.scratch = inPayload
+	}
 	outCap := h.OutCap(ip, c)
 
 	var flags uint32
@@ -252,45 +281,49 @@ func (ip *IPMon) masterPath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Resu
 		flags |= rb.FlagBlocking
 	}
 
-	res, err := ip.writer(ltid).Reserve(t, c, flags, inPayload, outCap)
+	res, err := st.w.Reserve(t, c, flags, inPayload, outCap)
 	if err != nil {
 		// CALCSIZE overflow: forward to GHUMVEE (§3.3).
-		ip.mu.Lock()
-		ip.stats.ForwardedTooBig++
-		ip.mu.Unlock()
+		ip.stats.forwardedTooBig.Add(1)
 		return ctx.ForwardToMonitor()
 	}
 
 	// Step 3: restart the call with the authorization token intact.
 	r := ctx.CompleteWithToken(ctx.Token, c)
 
-	outPayload := h.GatherOut(ip, t, c, r)
+	// The input payload has been copied into the RB; the scratch buffer
+	// is free for the output gather.
+	st.scratch = h.GatherOut(ip, t, c, r, st.scratch[:0])
 	var errno vkernel.Errno
 	if !r.Ok() {
 		errno = r.Errno
 	}
-	res.Complete(t, r.Val, errno, outPayload)
+	res.Complete(t, r.Val, errno, st.scratch)
 
-	ip.mu.Lock()
-	ip.stats.Unmonitored++
-	ip.mu.Unlock()
+	ip.stats.unmonitored.Add(1)
 	return r
 }
 
 // slavePath: compare own arguments against the master's record, then
 // either consume replicated results (MASTERCALL) or execute the local
-// call (process-local calls like futex/nanosleep).
+// call (process-local calls like futex/nanosleep). The comparison runs
+// against the master's RB entry in place — the only copy is the slave's
+// own gather into its reusable scratch buffer.
 func (ip *IPMon) slavePath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Result {
 	t := ctx.Thread
 	c := ctx.Call
+	st := ip.state(ltid)
 
-	ev, err := ip.reader(ltid).Next(t)
+	ev, err := st.r.Next(t)
 	if err != nil {
 		ip.divergenceCrash(t, err.Error())
 		return vkernel.Result{Errno: vkernel.EPERM}
 	}
 
-	slavePayload := h.GatherIn(ip, t, c)
+	slavePayload := h.GatherIn(ip, t, c, st.scratch[:0])
+	if slavePayload != nil {
+		st.scratch = slavePayload
+	}
 	if err := ev.CompareCall(t, c, h.RegMask, slavePayload); err != nil {
 		// "IP-MON triggers an intentional crash, thereby signalling
 		// GHUMVEE through the ptrace mechanism" (§3.3).
@@ -307,9 +340,7 @@ func (ip *IPMon) slavePath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Resul
 			h.ApplyOut(ip, t, c, out, r)
 		}
 		ev.Consume()
-		ip.mu.Lock()
-		ip.stats.Unmonitored++
-		ip.mu.Unlock()
+		ip.stats.unmonitored.Add(1)
 		return r
 	}
 
@@ -317,16 +348,14 @@ func (ip *IPMon) slavePath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Resul
 	r := ctx.CompleteWithToken(ctx.Token, c)
 	ev.WaitResults(t) // drain the master's results for ordering
 	ev.Consume()
-	ip.mu.Lock()
-	ip.stats.Unmonitored++
-	ip.mu.Unlock()
+	ip.stats.unmonitored.Add(1)
 	return r
 }
 
 func (ip *IPMon) divergenceCrash(t *vkernel.Thread, reason string) {
+	ip.stats.divergences.Add(1)
 	ip.mu.Lock()
-	ip.stats.Divergences++
-	ip.stats.LastDivergence = reason
+	ip.lastDivergence = reason
 	ip.mu.Unlock()
 	t.Clock.Advance(model.CostSignalDeliver)
 	t.Crash("ipmon divergence: " + reason)

@@ -50,7 +50,7 @@ func TestGatherInWriteBuffer(t *testing.T) {
 	e := newHandlerEnv(t)
 	data := e.put([]byte("payload-bytes"))
 	c := &vkernel.Call{Num: vkernel.SysWrite, Args: [6]uint64{1, uint64(data), 13}}
-	out := genericGatherIn(nil, e.t, c)
+	out := genericGatherIn(nil, e.t, c, nil)
 	frame, _, ok := nextFrame(out)
 	if !ok || string(frame) != "payload-bytes" {
 		t.Fatalf("gathered %q", frame)
@@ -61,7 +61,7 @@ func TestGatherInPath(t *testing.T) {
 	e := newHandlerEnv(t)
 	path := e.put([]byte("/etc/target\x00"))
 	c := &vkernel.Call{Num: vkernel.SysAccess, Args: [6]uint64{uint64(path), 0}}
-	out := genericGatherIn(nil, e.t, c)
+	out := genericGatherIn(nil, e.t, c, nil)
 	frame, _, ok := nextFrame(out)
 	if !ok || string(frame) != "/etc/target\x00" {
 		t.Fatalf("gathered path %q", frame)
@@ -74,7 +74,7 @@ func TestGatherOutApplyOutRoundTrip(t *testing.T) {
 	src := e.put([]byte("read-result-abc"))
 	c := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{3, uint64(src), 15}}
 	r := vkernel.Result{Val: 15}
-	out := genericGatherOut(nil, e.t, c, r)
+	out := genericGatherOut(nil, e.t, c, r, nil)
 
 	// Slave's differently-located buffer.
 	dst := e.alloc(32)
@@ -111,7 +111,7 @@ func TestEpollCtlGatherInExcludesCookie(t *testing.T) {
 	ev[8], ev[9] = 0xDE, 0xAD // replica-specific cookie bytes
 	addr := e.put(ev)
 	c := &vkernel.Call{Num: vkernel.SysEpollCtl, Args: [6]uint64{4, vkernel.EpollCtlAdd, 5, uint64(addr)}}
-	out := epollCtlGatherIn(nil, e.t, c)
+	out := epollCtlGatherIn(nil, e.t, c, nil)
 	frame, _, ok := nextFrame(out)
 	if !ok || len(frame) != 8 {
 		t.Fatalf("epoll_ctl gather = %d bytes, want 8 (mask only)", len(frame))
@@ -135,7 +135,7 @@ func TestEpollWaitFDTranslation(t *testing.T) {
 	c := &vkernel.Call{Num: vkernel.SysEpollWait, Args: [6]uint64{4, uint64(src), 4, 0}}
 	r := vkernel.Result{Val: 1}
 	master := &IPMon{Shadow: shadow, Replica: 0}
-	out := epollWaitGatherOut(master, e.t, c, r)
+	out := epollWaitGatherOut(master, e.t, c, r, nil)
 	frame, _, _ := nextFrame(out)
 	if got := leU64(frame[8:]); got != 7 {
 		t.Fatalf("RB payload cookie field = %#x, want fd 7", got)

@@ -10,12 +10,13 @@ import (
 // argument gathering and result replication without its policy or token
 // machinery.
 
-// PayloadIn deep-copies a call's input buffers (PRECALL log format).
-func PayloadIn(t *vkernel.Thread, c *vkernel.Call) []byte {
+// PayloadIn deep-copies a call's input buffers (PRECALL log format),
+// appending to dst (which may be nil, or a reused scratch buffer).
+func PayloadIn(t *vkernel.Thread, c *vkernel.Call, dst []byte) []byte {
 	if c.Num == vkernel.SysEpollCtl {
-		return epollCtlGatherIn(nil, t, c)
+		return epollCtlGatherIn(nil, t, c, dst)
 	}
-	return genericGatherIn(nil, t, c)
+	return genericGatherIn(nil, t, c, dst)
 }
 
 // PayloadOutCap computes the worst-case result reservation (CALCSIZE).
@@ -23,15 +24,16 @@ func PayloadOutCap(c *vkernel.Call) int {
 	return genericOutCap(nil, c)
 }
 
-// PayloadOut reads a completed call's output buffers (POSTCALL format).
+// PayloadOut reads a completed call's output buffers (POSTCALL format),
+// appending to dst (which may be nil, or a reused scratch buffer).
 // For epoll_wait, the master's cookies are converted to fd numbers in the
 // payload (§3.9) using the master's shadow entries for the given replica.
-func PayloadOut(t *vkernel.Thread, c *vkernel.Call, r vkernel.Result, shadow *fdmap.EpollShadow, replica int) []byte {
+func PayloadOut(t *vkernel.Thread, c *vkernel.Call, r vkernel.Result, shadow *fdmap.EpollShadow, replica int, dst []byte) []byte {
 	if (c.Num == vkernel.SysEpollWait || c.Num == vkernel.SysEpollPwait) && shadow != nil {
 		tmp := &IPMon{Shadow: shadow, Replica: replica}
-		return epollWaitGatherOut(tmp, t, c, r)
+		return epollWaitGatherOut(tmp, t, c, r, dst)
 	}
-	return genericGatherOut(nil, t, c, r)
+	return genericGatherOut(nil, t, c, r, dst)
 }
 
 // ApplyPayloadOut writes replicated output into the slave's own buffers.

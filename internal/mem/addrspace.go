@@ -75,43 +75,6 @@ func (r *Region) End() Addr { return r.Start + Addr(r.Size) }
 // shared mappings must match across processes.
 func (r *Region) Shared() *SharedSegment { return r.shared }
 
-// SharedSegment is memory shared between address spaces (System V shm). All
-// mappings of the same segment alias the same backing bytes.
-type SharedSegment struct {
-	ID   int
-	Size uint64
-	mu   sync.RWMutex
-	data []byte
-}
-
-// NewSharedSegment allocates a page-aligned shared segment.
-func NewSharedSegment(id int, size uint64) *SharedSegment {
-	size = roundUp(size)
-	return &SharedSegment{ID: id, Size: size, data: make([]byte, size)}
-}
-
-// ReadAt copies from the segment into p.
-func (s *SharedSegment) ReadAt(p []byte, off uint64) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if off+uint64(len(p)) > s.Size {
-		return ErrFault
-	}
-	copy(p, s.data[off:])
-	return nil
-}
-
-// WriteAt copies p into the segment.
-func (s *SharedSegment) WriteAt(p []byte, off uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if off+uint64(len(p)) > s.Size {
-		return ErrFault
-	}
-	copy(s.data[off:], p)
-	return nil
-}
-
 // AddressSpace is one process's virtual memory: a sorted set of
 // non-overlapping regions.
 type AddressSpace struct {
@@ -233,6 +196,13 @@ func (as *AddressSpace) MapFixed(start Addr, size uint64, prot Prot, name string
 
 // Map maps size bytes at a kernel-chosen (ASLR-randomised) address.
 func (as *AddressSpace) Map(size uint64, prot Prot, name string) (*Region, error) {
+	return as.mapAnon(size, prot, name, nil)
+}
+
+// mapAnon places a region at a kernel-chosen address. A non-nil seg makes
+// it a shared mapping aliasing seg (no private backing is allocated —
+// attaching a 16 MiB RB must not cost a 16 MiB memclr).
+func (as *AddressSpace) mapAnon(size uint64, prot Prot, name string, seg *SharedSegment) (*Region, error) {
 	if size == 0 {
 		return nil, ErrBadLength
 	}
@@ -245,7 +215,10 @@ func (as *AddressSpace) Map(size uint64, prot Prot, name string) (*Region, error
 			start = defaultMmapLow
 		}
 		if !as.overlaps(start, size) {
-			r := &Region{Start: start, Size: size, Prot: prot, Name: name, data: make([]byte, size)}
+			r := &Region{Start: start, Size: size, Prot: prot, Name: name, shared: seg}
+			if seg == nil {
+				r.data = make([]byte, size)
+			}
 			as.insert(r)
 			as.mmapBase = start + Addr(size) + PageSize
 			return r, nil
@@ -257,25 +230,26 @@ func (as *AddressSpace) Map(size uint64, prot Prot, name string) (*Region, error
 
 // MapShared maps a shared segment at a kernel-chosen address (shmat).
 func (as *AddressSpace) MapShared(seg *SharedSegment, prot Prot, name string) (*Region, error) {
-	r, err := as.Map(seg.Size, prot, name)
-	if err != nil {
-		return nil, err
-	}
-	r.shared = seg
-	r.data = nil
-	return r, nil
+	return as.mapAnon(seg.Size, prot, name, seg)
 }
 
 // MapSharedAt maps a shared segment at a caller-chosen address. The
 // simulation uses this to give each replica a *different* RB address
 // (24 bits of entropy per replica, §4 "Manipulating the RB").
 func (as *AddressSpace) MapSharedAt(start Addr, seg *SharedSegment, prot Prot, name string) (*Region, error) {
-	r, err := as.MapFixed(start, seg.Size, prot, name)
-	if err != nil {
-		return nil, err
+	if seg.Size == 0 {
+		return nil, ErrBadLength
 	}
-	r.shared = seg
-	r.data = nil
+	if start%PageSize != 0 {
+		return nil, fmt.Errorf("mem: unaligned fixed map at %#x", uint64(start))
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if as.overlaps(start, seg.Size) {
+		return nil, ErrOverlap
+	}
+	r := &Region{Start: start, Size: seg.Size, Prot: prot, Name: name, shared: seg}
+	as.insert(r)
 	return r, nil
 }
 

@@ -1,0 +1,209 @@
+// Shared memory segments (System V shm) with a zero-copy, low-contention
+// access discipline. The replication buffer's whole performance argument
+// (§3.2/§3.7: no read-write sharing, no redundant copies) depends on this
+// layer: single-word header traffic goes through lock-free atomic loads
+// and stores, bulk payload traffic goes through aliased views, and the
+// RWMutex survives only as the fallback for unaligned or legacy byte-copy
+// access.
+//
+// Access rules (DESIGN.md §3):
+//
+//   - LoadU32/StoreU32/LoadU64/StoreU64 are atomic and lock-free. Offsets
+//     must be naturally aligned; violations panic (they are program bugs,
+//     like out-of-range slice indexing).
+//   - Slice returns a view aliasing the backing array. Writers may fill a
+//     view only before publishing it through an atomic release-store of a
+//     header word; readers may touch a view only after observing that
+//     store (acquire-load). That pairing is what makes the mixed
+//     plain/atomic traffic race-free.
+//   - ReadAt/WriteAt remain for arbitrary-alignment traffic. Aligned
+//     word-sized calls are routed through the atomics so that e.g. the
+//     kernel's futex-word read never races with a monitor's store.
+//
+// The word values use the host's native byte order; the simulator, like
+// the paper's system, targets x86-64 (little-endian).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// dirtyChunkShift selects the dirty-tracking granularity (64 KiB): fine
+// enough that a mostly-idle 16 MiB RB scrubs in a few chunks, coarse
+// enough that the per-chunk flags stay tiny.
+const (
+	dirtyChunkShift = 16
+	dirtyChunkSize  = uint64(1) << dirtyChunkShift
+)
+
+// SharedSegment is memory shared between address spaces (System V shm). All
+// mappings of the same segment alias the same backing bytes.
+type SharedSegment struct {
+	ID   int
+	Size uint64
+	mu   sync.RWMutex
+	// words is the backing allocation; allocating []uint64 guarantees the
+	// 8-byte alignment the atomic word API needs. data aliases it.
+	words []uint64
+	data  []byte
+	// dirty flags one word per 64 KiB chunk that has (possibly) been
+	// written since the last scrub. The segment arena zeroes only
+	// dirty chunks on recycle, so reusing a 16 MiB RB that touched 100 KiB
+	// costs two chunk clears, not a 16 MiB memclr.
+	dirty []atomic.Uint32
+	// pooled marks a segment currently sitting in the arena free list
+	// (double-release detector).
+	pooled bool
+}
+
+// NewSharedSegment allocates a page-aligned shared segment.
+func NewSharedSegment(id int, size uint64) *SharedSegment {
+	size = roundUp(size)
+	s := &SharedSegment{ID: id, Size: size}
+	s.words = make([]uint64, size/8)
+	if size > 0 {
+		s.data = unsafe.Slice((*byte)(unsafe.Pointer(&s.words[0])), size)
+	}
+	s.dirty = make([]atomic.Uint32, (size+dirtyChunkSize-1)/dirtyChunkSize)
+	return s
+}
+
+// markDirty records that [off, off+n) may have been written.
+func (s *SharedSegment) markDirty(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	last := (off + n - 1) >> dirtyChunkShift
+	for c := off >> dirtyChunkShift; c <= last; c++ {
+		if s.dirty[c].Load() == 0 {
+			s.dirty[c].Store(1)
+		}
+	}
+}
+
+// scrub zeroes every dirty chunk and clears the flags, returning the
+// number of bytes cleared. Callers must have exclusive access (the arena
+// runs it on release, after all users of the segment are done).
+func (s *SharedSegment) scrub() uint64 {
+	var n uint64
+	for i := range s.dirty {
+		if s.dirty[i].Load() == 0 {
+			continue
+		}
+		lo := uint64(i) << dirtyChunkShift
+		hi := lo + dirtyChunkSize
+		if hi > s.Size {
+			hi = s.Size
+		}
+		clear(s.data[lo:hi])
+		s.dirty[i].Store(0)
+		n += hi - lo
+	}
+	return n
+}
+
+func (s *SharedSegment) checkWord(off, width uint64) {
+	if off+width > s.Size || off+width < off {
+		panic(fmt.Sprintf("mem: u%d access at %#x out of range (segment %d, size %#x)",
+			width*8, off, s.ID, s.Size))
+	}
+	if off&(width-1) != 0 {
+		panic(fmt.Sprintf("mem: misaligned u%d access at %#x (segment %d)", width*8, off, s.ID))
+	}
+}
+
+// LoadU32 atomically loads the 32-bit word at off. off must be in range
+// and 4-byte aligned; violations panic.
+func (s *SharedSegment) LoadU32(off uint64) uint32 {
+	s.checkWord(off, 4)
+	return atomic.LoadUint32((*uint32)(unsafe.Pointer(&s.data[off])))
+}
+
+// StoreU32 atomically stores v at off (4-byte aligned, in range). The
+// store has release semantics: it publishes every prior plain write (e.g.
+// a staged entry header) to any reader that acquire-loads the same word.
+func (s *SharedSegment) StoreU32(off uint64, v uint32) {
+	s.checkWord(off, 4)
+	s.markDirty(off, 4)
+	atomic.StoreUint32((*uint32)(unsafe.Pointer(&s.data[off])), v)
+}
+
+// LoadU64 atomically loads the 64-bit word at off (8-byte aligned).
+func (s *SharedSegment) LoadU64(off uint64) uint64 {
+	s.checkWord(off, 8)
+	return atomic.LoadUint64((*uint64)(unsafe.Pointer(&s.data[off])))
+}
+
+// StoreU64 atomically stores v at off (8-byte aligned, in range).
+func (s *SharedSegment) StoreU64(off uint64, v uint64) {
+	s.checkWord(off, 8)
+	s.markDirty(off, 8)
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(&s.data[off])), v)
+}
+
+// Slice returns a view aliasing [off, off+n) of the segment. No locking
+// is performed: callers must follow the publication discipline documented
+// at the top of this file (fill before an atomic release-store, read after
+// the matching acquire-load). The view is conservatively marked dirty.
+func (s *SharedSegment) Slice(off uint64, n uint64) ([]byte, error) {
+	if off+n > s.Size || off+n < off {
+		return nil, ErrFault
+	}
+	s.markDirty(off, n)
+	return s.data[off : off+n : off+n], nil
+}
+
+// ReadAt copies from the segment into p. Aligned 4- and 8-byte reads are
+// served by the atomic word path (no lock) so that futex-word polling
+// never races with monitor stores; everything else takes the read lock.
+//
+// The multi-word path serializes only against other ReadAt/WriteAt
+// callers: a bulk copy whose range overlaps a word under concurrent
+// lock-free Store traffic (a partition's writtenSeq, an entry's status)
+// is a data race. The RB's protocol never does this — bulk traffic
+// touches entry bodies only after the publishing release-store — and
+// new callers must follow the same discipline.
+func (s *SharedSegment) ReadAt(p []byte, off uint64) error {
+	n := uint64(len(p))
+	if off+n > s.Size || off+n < off {
+		return ErrFault
+	}
+	switch {
+	case n == 4 && off&3 == 0:
+		binary.NativeEndian.PutUint32(p, s.LoadU32(off))
+		return nil
+	case n == 8 && off&7 == 0:
+		binary.NativeEndian.PutUint64(p, s.LoadU64(off))
+		return nil
+	}
+	s.mu.RLock()
+	copy(p, s.data[off:])
+	s.mu.RUnlock()
+	return nil
+}
+
+// WriteAt copies p into the segment. Aligned word-sized writes go through
+// the atomic path; everything else takes the write lock.
+func (s *SharedSegment) WriteAt(p []byte, off uint64) error {
+	n := uint64(len(p))
+	if off+n > s.Size || off+n < off {
+		return ErrFault
+	}
+	switch {
+	case n == 4 && off&3 == 0:
+		s.StoreU32(off, binary.NativeEndian.Uint32(p))
+		return nil
+	case n == 8 && off&7 == 0:
+		s.StoreU64(off, binary.NativeEndian.Uint64(p))
+		return nil
+	}
+	s.markDirty(off, n)
+	s.mu.Lock()
+	copy(s.data[off:], p)
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,213 @@
+package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestWordAPIRoundTrip(t *testing.T) {
+	seg := NewSharedSegment(1, PageSize)
+	seg.StoreU32(4, 0xDEADBEEF)
+	if got := seg.LoadU32(4); got != 0xDEADBEEF {
+		t.Fatalf("LoadU32 = %#x", got)
+	}
+	seg.StoreU64(8, 0x0123456789ABCDEF)
+	if got := seg.LoadU64(8); got != 0x0123456789ABCDEF {
+		t.Fatalf("LoadU64 = %#x", got)
+	}
+	// Word stores and byte reads see the same memory image.
+	var raw [8]byte
+	if err := seg.ReadAt(raw[:], 8); err != nil {
+		t.Fatal(err)
+	}
+	if binary.NativeEndian.Uint64(raw[:]) != 0x0123456789ABCDEF {
+		t.Fatalf("byte image = %x", raw)
+	}
+	// And the word-sized ReadAt/WriteAt fast path agrees with the slow
+	// byte path (odd offset forces the locked copy).
+	if err := seg.WriteAt(raw[:], 17); err != nil {
+		t.Fatal(err)
+	}
+	var back [8]byte
+	if err := seg.ReadAt(back[:], 17); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw[:], back[:]) {
+		t.Fatalf("unaligned round trip: %x vs %x", raw, back)
+	}
+}
+
+func TestWordAPIBoundsAndAlignment(t *testing.T) {
+	seg := NewSharedSegment(2, PageSize)
+	mustPanic(t, "LoadU32 out of range", func() { seg.LoadU32(seg.Size) })
+	mustPanic(t, "LoadU32 straddling end", func() { seg.LoadU32(seg.Size - 2) })
+	mustPanic(t, "StoreU32 misaligned", func() { seg.StoreU32(2, 1) })
+	mustPanic(t, "LoadU64 misaligned", func() { seg.LoadU64(4) })
+	mustPanic(t, "StoreU64 out of range", func() { seg.StoreU64(seg.Size, 1) })
+	mustPanic(t, "LoadU32 overflowing offset", func() { seg.LoadU32(^uint64(0) - 1) })
+}
+
+func TestSliceBounds(t *testing.T) {
+	seg := NewSharedSegment(3, PageSize)
+	if _, err := seg.Slice(seg.Size-8, 16); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+	if _, err := seg.Slice(^uint64(0), 16); err == nil {
+		t.Fatal("overflowing slice accepted")
+	}
+	s, err := seg.Slice(16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(s, "hello")
+	var got [5]byte
+	if err := seg.ReadAt(got[:], 16); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:]) != "hello" {
+		t.Fatalf("aliased write not visible: %q", got)
+	}
+	// Views have a clamped capacity: appending must not scribble past the
+	// requested window.
+	if cap(s) != 32 {
+		t.Fatalf("view cap = %d, want 32", cap(s))
+	}
+}
+
+// TestWordPublishRace exercises the intended publication discipline under
+// the race detector: one writer fills an aliased view with plain stores
+// and publishes with an atomic release-store; readers poll the word and
+// then read the view. Run with -race.
+func TestWordPublishRace(t *testing.T) {
+	seg := NewSharedSegment(4, PageSize)
+	const (
+		seqOff  = 0  // published-sequence word
+		dataOff = 64 // payload staged per round
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for want := uint32(1); want <= rounds; want++ {
+				for seg.LoadU32(seqOff) < want {
+				}
+				view, err := seg.Slice(dataOff, 8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := binary.NativeEndian.Uint64(view); got < uint64(want) {
+					t.Errorf("round %d: stale payload %d", want, got)
+					return
+				}
+			}
+		}()
+	}
+	for i := uint32(1); i <= rounds; i++ {
+		view, err := seg.Slice(dataOff, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.NativeEndian.PutUint64(view, uint64(i))
+		seg.StoreU32(seqOff, i) // release
+	}
+	wg.Wait()
+}
+
+// TestWordReadAtRace checks that word-sized ReadAt (the kernel's
+// futex-word read path) is race-free against concurrent atomic stores.
+func TestWordReadAtRace(t *testing.T) {
+	seg := NewSharedSegment(5, PageSize)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			seg.StoreU32(128, uint32(i))
+		}
+	}()
+	var word [4]byte
+	for i := 0; i < 5000; i++ {
+		if err := seg.ReadAt(word[:], 128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func TestArenaReuseScrubbed(t *testing.T) {
+	const size = 4 * PageSize
+	a := AcquireSegment(100, size)
+	// Dirty the segment through every write path.
+	a.StoreU32(0, 0xFFFFFFFF)
+	a.StoreU64(PageSize, ^uint64(0))
+	if err := a.WriteAt([]byte{1, 2, 3}, 2*PageSize+1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Slice(3*PageSize, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(v, "dirty-dirty-dirt")
+	before := ArenaSnapshot()
+	a.Release()
+
+	b := AcquireSegment(101, size)
+	after := ArenaSnapshot()
+	if after.Hits != before.Hits+1 {
+		// Another size-class user may interleave in -count runs; require
+		// at least that OUR release was recorded.
+		t.Fatalf("arena hit not recorded: before=%+v after=%+v", before, after)
+	}
+	if b.ID != 101 {
+		t.Fatalf("recycled segment ID = %d", b.ID)
+	}
+	// A recycled segment must present as zeroed everywhere it was dirty.
+	buf := make([]byte, size)
+	if err := b.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, by := range buf {
+		if by != 0 {
+			t.Fatalf("recycled segment dirty at offset %d: %#x", i, by)
+		}
+	}
+	b.Release()
+}
+
+func TestArenaDoubleReleasePanics(t *testing.T) {
+	s := AcquireSegment(200, PageSize)
+	s.Release()
+	mustPanic(t, "double release", func() { s.Release() })
+	// Drain it back out so later tests in this process don't see the
+	// pooled-but-panicked segment in an odd state.
+	_ = AcquireSegment(201, PageSize)
+}
+
+func TestScrubCountsOnlyDirtyChunks(t *testing.T) {
+	const size = 64 * dirtyChunkSize // 4 MiB
+	s := AcquireSegment(300, size)
+	s.StoreU32(0, 1)                   // chunk 0
+	s.StoreU64(10*dirtyChunkSize+8, 1) // chunk 10
+	snap0 := ArenaSnapshot()
+	s.Release()
+	snap1 := ArenaSnapshot()
+	scrubbed := snap1.ScrubbedBytes - snap0.ScrubbedBytes
+	if scrubbed != 2*dirtyChunkSize {
+		t.Fatalf("scrubbed %d bytes, want %d (2 chunks)", scrubbed, 2*dirtyChunkSize)
+	}
+	_ = AcquireSegment(301, size) // drain
+}

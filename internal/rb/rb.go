@@ -22,9 +22,18 @@
 // The buffer is partitioned per logical thread so that multi-threaded
 // replicas replicate independently, mirroring "each replica thread only
 // reads and writes its own RB position".
+//
+// Data-path discipline (DESIGN.md §2–§3): the master stages each 112-byte
+// entry header in a per-Writer scratch buffer and publishes header and
+// payload with plain copies through aliased segment views, made visible by
+// a single atomic release-store of the partition's writtenSeq (and, for
+// results, of the entry's status word). Slaves poll those words with
+// atomic acquire-loads and then read headers and payloads through aliased
+// views without copying. No segment lock is taken anywhere on this path.
 package rb
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -78,6 +87,8 @@ const (
 	statusSpinLimit = 200
 )
 
+var le = binary.LittleEndian
+
 // Errors.
 var (
 	// ErrTooBig: the entry cannot fit even an empty buffer; the caller
@@ -112,7 +123,9 @@ type Buffer struct {
 func (b *Buffer) SetAlwaysWake(v bool) { b.alwaysWake = v }
 
 // New creates a buffer over seg for nReplicas replicas and nParts logical
-// threads. The arbiter handles overflow resets.
+// threads. The arbiter handles overflow resets. Partition size is rounded
+// down to a 16-byte multiple so that every header word and entry field is
+// naturally aligned for the atomic word API.
 func New(seg *mem.SharedSegment, nReplicas, nParts int, arbiter Arbiter) (*Buffer, error) {
 	if nReplicas < 1 || nReplicas > maxReplicas {
 		return nil, fmt.Errorf("rb: replica count %d out of range", nReplicas)
@@ -121,7 +134,7 @@ func New(seg *mem.SharedSegment, nReplicas, nParts int, arbiter Arbiter) (*Buffe
 		return nil, fmt.Errorf("rb: need at least one partition")
 	}
 	avail := seg.Size - globalHeaderSize
-	partSize := avail / uint64(nParts)
+	partSize := (avail / uint64(nParts)) &^ 15
 	if partSize <= partHeaderSize+entryHeaderSize {
 		return nil, fmt.Errorf("rb: segment too small (%d bytes for %d partitions)", seg.Size, nParts)
 	}
@@ -142,36 +155,14 @@ func (b *Buffer) partBase(p int) uint64 {
 // dataCap is the payload capacity of one partition.
 func (b *Buffer) dataCap() uint64 { return b.partSize - partHeaderSize }
 
-func (b *Buffer) readU32(off uint64) uint32 {
-	var raw [4]byte
-	if err := b.seg.ReadAt(raw[:], off); err != nil {
-		panic("rb: segment read out of range: " + err.Error())
+// slice returns an aliased view of [off, off+n); offsets are internal, so
+// a violation is a bug, not an input error.
+func (b *Buffer) slice(off, n uint64) []byte {
+	s, err := b.seg.Slice(off, n)
+	if err != nil {
+		panic("rb: segment view out of range: " + err.Error())
 	}
-	return binary.LittleEndian.Uint32(raw[:])
-}
-
-func (b *Buffer) writeU32(off uint64, v uint32) {
-	var raw [4]byte
-	binary.LittleEndian.PutUint32(raw[:], v)
-	if err := b.seg.WriteAt(raw[:], off); err != nil {
-		panic("rb: segment write out of range: " + err.Error())
-	}
-}
-
-func (b *Buffer) readU64(off uint64) uint64 {
-	var raw [8]byte
-	if err := b.seg.ReadAt(raw[:], off); err != nil {
-		panic("rb: segment read out of range: " + err.Error())
-	}
-	return binary.LittleEndian.Uint64(raw[:])
-}
-
-func (b *Buffer) writeU64(off uint64, v uint64) {
-	var raw [8]byte
-	binary.LittleEndian.PutUint64(raw[:], v)
-	if err := b.seg.WriteAt(raw[:], off); err != nil {
-		panic("rb: segment write out of range: " + err.Error())
-	}
+	return s
 }
 
 // SetSignalsPending raises/clears the flag GHUMVEE stores at the start of
@@ -181,11 +172,11 @@ func (b *Buffer) SetSignalsPending(v bool) {
 	if v {
 		x = 1
 	}
-	b.writeU32(0, x)
+	b.seg.StoreU32(0, x)
 }
 
 // SignalsPending reads the flag.
-func (b *Buffer) SignalsPending() bool { return b.readU32(0) != 0 }
+func (b *Buffer) SignalsPending() bool { return b.seg.LoadU32(0) != 0 }
 
 // partition header field offsets.
 const (
@@ -199,36 +190,36 @@ const (
 // ConsumedBy reports how many entries replica r has consumed in partition
 // p this generation.
 func (b *Buffer) ConsumedBy(p, r int) uint32 {
-	return b.readU32(b.partBase(p) + phConsumed + uint64(r)*4)
+	return b.seg.LoadU32(b.partBase(p) + phConsumed + uint64(r)*4)
 }
 
 // WrittenSeq reports how many entries the master has published in p this
 // generation.
 func (b *Buffer) WrittenSeq(p int) uint32 {
-	return b.readU32(b.partBase(p) + phWrittenSeq)
+	return b.seg.LoadU32(b.partBase(p) + phWrittenSeq)
 }
 
 // Generation reports partition p's reset generation.
 func (b *Buffer) Generation(p int) uint32 {
-	return b.readU32(b.partBase(p) + phGeneration)
+	return b.seg.LoadU32(b.partBase(p) + phGeneration)
 }
 
 // ResetRequested reports whether the master is waiting on an arbiter
 // reset of partition p.
 func (b *Buffer) ResetRequested(p int) bool {
-	return b.readU32(b.partBase(p)+phResetReq) != 0
+	return b.seg.LoadU32(b.partBase(p)+phResetReq) != 0
 }
 
 // DoReset performs the arbiter's reset of partition p. Callers (GHUMVEE)
 // must have established that all slaves drained the partition.
 func (b *Buffer) DoReset(p int) {
 	base := b.partBase(p)
-	b.writeU32(base+phWriteOff, 0)
-	b.writeU32(base+phWrittenSeq, 0)
-	b.writeU32(base+phGeneration, b.Generation(p)+1)
-	b.writeU32(base+phResetReq, 0)
+	b.seg.StoreU32(base+phWriteOff, 0)
+	b.seg.StoreU32(base+phWrittenSeq, 0)
+	b.seg.StoreU32(base+phGeneration, b.Generation(p)+1)
+	b.seg.StoreU32(base+phResetReq, 0)
 	for r := 0; r < b.nReplicas; r++ {
-		b.writeU32(base+phConsumed+uint64(r)*4, 0)
+		b.seg.StoreU32(base+phConsumed+uint64(r)*4, 0)
 	}
 }
 
@@ -246,6 +237,10 @@ type Writer struct {
 	gen  uint32
 	seq  uint32
 	off  uint64 // write offset within the partition data area
+	// hdr is the staging buffer for entry headers: fields are assembled
+	// here and land in the segment with one copy, replacing the seed's
+	// ~15 individually locked word writes per entry.
+	hdr [entryHeaderSize]byte
 }
 
 // NewWriter creates the master-side cursor for partition part.
@@ -257,10 +252,12 @@ func (b *Buffer) NewWriter(part int, base mem.Addr) *Writer {
 // (§4's periodic-move extension). Segment-relative state is unaffected.
 func (w *Writer) Rebase(base mem.Addr) { w.base = base }
 
-// Reservation is an in-progress entry the master is filling.
+// Reservation is an in-progress entry the master is filling. It is a
+// value type: reserving an entry allocates nothing.
 type Reservation struct {
 	w        *Writer
 	entryOff uint64 // segment offset of the entry
+	inAlign  uint64 // aligned input payload length (out payload offset)
 	outCap   int
 	seq      uint32
 }
@@ -272,43 +269,49 @@ type Reservation struct {
 // must be forwarded to GHUMVEE instead.
 //
 // t is the master thread (for virtual-time charging and futex wakes).
-func (w *Writer) Reserve(t *vkernel.Thread, c *vkernel.Call, flags uint32, inPayload []byte, outCap int) (*Reservation, error) {
-	need := align16(entryHeaderSize + align16(uint64(len(inPayload))) + uint64(outCap))
+func (w *Writer) Reserve(t *vkernel.Thread, c *vkernel.Call, flags uint32, inPayload []byte, outCap int) (Reservation, error) {
+	inLen := uint64(len(inPayload))
+	need := align16(entryHeaderSize + align16(inLen) + uint64(outCap))
 	if need > w.b.dataCap() {
-		return nil, ErrTooBig
+		return Reservation{}, ErrTooBig
 	}
+	b := w.b
 	// Overflow: request an arbiter reset and wait for it (§3.2). The
 	// master "waits for the slaves to consume the data already in the RB,
 	// after which it resets the RB" (§3.3) — the arbiter does both.
-	if w.off+need > w.b.dataCap() {
-		base := w.b.partBase(w.part)
-		w.b.writeU32(base+phResetReq, 1)
-		w.b.arbiter.ResetPartition(w.b, w.part)
-		w.gen = w.b.Generation(w.part)
+	if w.off+need > b.dataCap() {
+		base := b.partBase(w.part)
+		b.seg.StoreU32(base+phResetReq, 1)
+		b.arbiter.ResetPartition(b, w.part)
+		w.gen = b.Generation(w.part)
 		w.seq = 0
 		w.off = 0
 		// Waiters blocked on writtenSeq must recheck the generation.
 		w.wakeFutex(t, base+phWrittenSeq)
 	}
 
-	entryOff := w.b.partBase(w.part) + partHeaderSize + w.off
-	b := w.b
-	b.writeU32(entryOff+offSize, uint32(need))
-	b.writeU32(entryOff+offNr, uint32(c.Num))
-	b.writeU64(entryOff+offSeq, uint64(w.seq))
-	b.writeU32(entryOff+offFlags, flags)
-	b.writeU32(entryOff+offStatus, 0)
-	b.writeU32(entryOff+offNArgs, 6)
-	b.writeU64(entryOff+offArgsPub, uint64(t.Clock.Now()))
+	entryOff := b.partBase(w.part) + partHeaderSize + w.off
+	// Stage the header in the scratch buffer. Result fields (retval,
+	// errno, resPub, outLen) are zeroed here and filled by Complete;
+	// status starts at 0 ("results pending").
+	hdr := &w.hdr
+	clear(hdr[:])
+	le.PutUint32(hdr[offSize:], uint32(need))
+	le.PutUint32(hdr[offNr:], uint32(c.Num))
+	le.PutUint64(hdr[offSeq:], uint64(w.seq))
+	le.PutUint32(hdr[offFlags:], flags)
+	le.PutUint32(hdr[offNArgs:], 6)
+	le.PutUint64(hdr[offArgsPub:], uint64(t.Clock.Now()))
 	for i := 0; i < 6; i++ {
-		b.writeU64(entryOff+offArgs+uint64(i)*8, c.Args[i])
+		le.PutUint64(hdr[offArgs+i*8:], c.Args[i])
 	}
-	b.writeU32(entryOff+offInLen, uint32(len(inPayload)))
-	b.writeU32(entryOff+offOutLen, 0)
-	if len(inPayload) > 0 {
-		if err := b.seg.WriteAt(inPayload, entryOff+offPayload); err != nil {
-			panic("rb: payload write: " + err.Error())
-		}
+	le.PutUint32(hdr[offInLen:], uint32(inLen))
+	// One plain copy into the aliased view for header + input payload;
+	// the release-store of writtenSeq below publishes both.
+	dst := b.slice(entryOff, entryHeaderSize+align16(inLen))
+	copy(dst, hdr[:])
+	if inLen > 0 {
+		copy(dst[offPayload:], inPayload)
 	}
 	t.Clock.Advance(model.RBCopyCost(entryHeaderSize + len(inPayload)))
 
@@ -317,13 +320,14 @@ func (w *Writer) Reserve(t *vkernel.Thread, c *vkernel.Call, flags uint32, inPay
 	// the paper's evaluation attributes multi-replica slowdowns to).
 	t.Clock.Advance(model.Duration(w.b.nReplicas-1) * model.CostRBSharePerReplica)
 
-	res := &Reservation{w: w, entryOff: entryOff, outCap: outCap, seq: w.seq}
+	res := Reservation{w: w, entryOff: entryOff, inAlign: align16(inLen), outCap: outCap, seq: w.seq}
 	w.off += need
 	w.seq++
 
-	// Publish the entry: bump writtenSeq and wake slaves waiting for it.
-	base := w.b.partBase(w.part)
-	b.writeU32(base+phWrittenSeq, w.seq)
+	// Publish the entry: release-store writtenSeq and wake slaves
+	// waiting for it.
+	base := b.partBase(w.part)
+	b.seg.StoreU32(base+phWrittenSeq, w.seq)
 	w.wakeFutex(t, base+phWrittenSeq)
 	return res, nil
 }
@@ -339,26 +343,25 @@ func (w *Writer) wakeFutex(t *vkernel.Thread, segOff uint64) {
 }
 
 // Complete publishes the call's results into the reservation: return
-// value, errno and the output payload (POSTCALL's REPLICATEBUFFER).
+// value, errno and the output payload (POSTCALL's REPLICATEBUFFER). The
+// entry's status word is the release-store; slaves read the result fields
+// only after observing it.
 func (r *Reservation) Complete(t *vkernel.Thread, ret uint64, errno vkernel.Errno, outPayload []byte) {
 	if len(outPayload) > r.outCap {
 		outPayload = outPayload[:r.outCap]
 	}
 	b := r.w.b
-	inLen := align16(uint64(b.readU32(r.entryOff + offInLen)))
 	if len(outPayload) > 0 {
-		if err := b.seg.WriteAt(outPayload, r.entryOff+offPayload+inLen); err != nil {
-			panic("rb: out payload write: " + err.Error())
-		}
+		copy(b.slice(r.entryOff+offPayload+r.inAlign, uint64(len(outPayload))), outPayload)
 	}
-	b.writeU64(r.entryOff+offRetVal, ret)
-	b.writeU32(r.entryOff+offRetErrno, uint32(errno))
-	b.writeU32(r.entryOff+offOutLen, uint32(len(outPayload)))
-	b.writeU64(r.entryOff+offResPub, uint64(t.Clock.Now()))
+	b.seg.StoreU64(r.entryOff+offRetVal, ret)
+	b.seg.StoreU32(r.entryOff+offRetErrno, uint32(errno))
+	b.seg.StoreU32(r.entryOff+offOutLen, uint32(len(outPayload)))
+	b.seg.StoreU64(r.entryOff+offResPub, uint64(t.Clock.Now()))
 	t.Clock.Advance(model.RBCopyCost(len(outPayload) + 16))
 	// Release: status = 1, then wake any slave parked on this entry's
 	// condition variable.
-	b.writeU32(r.entryOff+offStatus, 1)
+	b.seg.StoreU32(r.entryOff+offStatus, 1)
 	r.w.wakeFutex(t, r.entryOff+offStatus)
 }
 
@@ -371,6 +374,10 @@ type Reader struct {
 	gen     uint32
 	seq     uint32
 	off     uint64
+	// view is the reusable entry view Next hands out (one entry is in
+	// flight per cursor at a time, so consuming a new entry may recycle
+	// the previous view).
+	view EntryView
 }
 
 // NewReader creates the slave-side cursor for partition part.
@@ -381,10 +388,13 @@ func (b *Buffer) NewReader(part, replica int, base mem.Addr) *Reader {
 // Rebase changes the reader's mapping address after an RB migration.
 func (r *Reader) Rebase(base mem.Addr) { r.base = base }
 
-// EntryView is a consumed entry header.
+// EntryView is a consumed entry header. Views returned by Next are valid
+// until the next Next call on the same Reader or the partition's arbiter
+// reset, whichever comes first.
 type EntryView struct {
 	r        *Reader
 	entryOff uint64
+	size     uint32 // validated total entry size, cached for Consume
 	Nr       int
 	Flags    uint32
 	Args     [6]uint64
@@ -393,6 +403,8 @@ type EntryView struct {
 
 // Next blocks until the master publishes the next entry and returns its
 // view. The slave's clock syncs to the master's argument-publish time.
+//
+// The returned view is owned by the Reader and recycled on the next call.
 func (r *Reader) Next(t *vkernel.Thread) (*EntryView, error) {
 	base := r.b.partBase(r.part)
 	for {
@@ -415,43 +427,53 @@ func (r *Reader) Next(t *vkernel.Thread) (*EntryView, error) {
 		t.RawSyscall(vkernel.SysFutex, uint64(r.base+mem.Addr(base+phWrittenSeq)), vkernel.FutexWait, uint64(ws))
 	}
 	entryOff := base + partHeaderSize + r.off
-	size := r.b.readU32(entryOff + offSize)
+	// The acquire-load of writtenSeq above makes the master's staged
+	// header visible; parse it straight out of the aliased view. Only
+	// argument-side fields are touched — the result fields (retval,
+	// errno, resPub, outLen, status) may be written concurrently by the
+	// master's Complete and are read in WaitResults after its
+	// release-store.
+	hdr := r.b.slice(entryOff, entryHeaderSize)
+	size := le.Uint32(hdr[offSize:])
 	if size < entryHeaderSize || uint64(size) > r.b.dataCap() {
 		return nil, ErrCorrupt
 	}
-	ev := &EntryView{
+	ev := &r.view
+	*ev = EntryView{
 		r:        r,
 		entryOff: entryOff,
-		Nr:       int(r.b.readU32(entryOff + offNr)),
-		Flags:    r.b.readU32(entryOff + offFlags),
-		InLen:    int(r.b.readU32(entryOff + offInLen)),
+		size:     size,
+		Nr:       int(le.Uint32(hdr[offNr:])),
+		Flags:    le.Uint32(hdr[offFlags:]),
+		InLen:    int(le.Uint32(hdr[offInLen:])),
 	}
 	for i := 0; i < 6; i++ {
-		ev.Args[i] = r.b.readU64(entryOff + offArgs + uint64(i)*8)
+		ev.Args[i] = le.Uint64(hdr[offArgs+i*8:])
 	}
-	if uint64(r.b.readU64(entryOff+offSeq)) != uint64(r.seq) {
+	if le.Uint64(hdr[offSeq:]) != uint64(r.seq) {
 		return nil, ErrCorrupt
 	}
 	t.Clock.Advance(model.CostRBReadBase)
-	t.Clock.SyncTo(model.Duration(r.b.readU64(entryOff + offArgsPub)))
+	t.Clock.SyncTo(model.Duration(le.Uint64(hdr[offArgsPub:])))
 	return ev, nil
 }
 
-// InPayload reads the master's deep-copied input buffers.
+// InPayload returns the master's deep-copied input buffers as a view
+// aliasing the shared segment — no copy. The view is read-only and valid
+// until the entry's partition is reset; callers that retain it past
+// Consume must copy.
 func (ev *EntryView) InPayload() []byte {
-	out := make([]byte, ev.InLen)
-	if ev.InLen > 0 {
-		if err := ev.r.b.seg.ReadAt(out, ev.entryOff+offPayload); err != nil {
-			panic("rb: payload read: " + err.Error())
-		}
+	if ev.InLen == 0 {
+		return nil
 	}
-	return out
+	return ev.r.b.slice(ev.entryOff+offPayload, uint64(ev.InLen))
 }
 
 // CompareCall checks the slave's own call against the master's record:
 // syscall number, register arguments (CHECKREG) and input payload
 // (CHECKPOINTER + deep compare). A mismatch is the divergence signal that
-// makes IP-MON crash the replica intentionally (§3.3).
+// makes IP-MON crash the replica intentionally (§3.3). The payload
+// comparison runs against the aliased master view — no copy is made.
 func (ev *EntryView) CompareCall(t *vkernel.Thread, c *vkernel.Call, regMask uint8, slavePayload []byte) error {
 	if ev.Nr != c.Num {
 		return fmt.Errorf("%w: syscall %s vs master %s", ErrDiverged,
@@ -471,10 +493,12 @@ func (ev *EntryView) CompareCall(t *vkernel.Thread, c *vkernel.Call, regMask uin
 		if len(masterIn) != len(slavePayload) {
 			return fmt.Errorf("%w: payload length %d vs master %d", ErrDiverged, len(slavePayload), len(masterIn))
 		}
-		for i := range masterIn {
-			if masterIn[i] != slavePayload[i] {
-				return fmt.Errorf("%w: payload byte %d differs", ErrDiverged, i)
+		if !bytes.Equal(masterIn, slavePayload) {
+			i := 0
+			for i < len(masterIn) && masterIn[i] == slavePayload[i] {
+				i++
 			}
+			return fmt.Errorf("%w: payload byte %d differs", ErrDiverged, i)
 		}
 		t.Clock.Advance(model.RBCopyCost(len(masterIn)))
 	}
@@ -485,34 +509,37 @@ func (ev *EntryView) CompareCall(t *vkernel.Thread, c *vkernel.Call, regMask uin
 // the results. If the blocking flag is clear the slave spins (bounded)
 // before falling back to the futex; if set it parks immediately on the
 // entry's dedicated condition variable (§3.7).
+//
+// out is a view aliasing the shared segment (no copy); it is read-only
+// and valid until the entry's partition is reset. Callers that retain it
+// past Consume must copy.
 func (ev *EntryView) WaitResults(t *vkernel.Thread) (ret uint64, errno vkernel.Errno, out []byte) {
+	b := ev.r.b
 	statusOff := ev.entryOff + offStatus
 	if ev.Flags&FlagBlocking == 0 {
 		for i := 0; i < statusSpinLimit; i++ {
-			if ev.r.b.readU32(statusOff) == 1 {
+			if b.seg.LoadU32(statusOff) == 1 {
 				break
 			}
 			t.Clock.Advance(model.CostSpinIter)
 		}
 	}
-	for ev.r.b.readU32(statusOff) != 1 {
+	for b.seg.LoadU32(statusOff) != 1 {
 		if t.Exited() {
 			return 0, vkernel.EPERM, nil
 		}
 		t.RawSyscall(vkernel.SysFutex, uint64(ev.r.base+mem.Addr(statusOff)), vkernel.FutexWait, 0)
 	}
-	ret = ev.r.b.readU64(ev.entryOff + offRetVal)
-	errno = vkernel.Errno(ev.r.b.readU32(ev.entryOff + offRetErrno))
-	outLen := int(ev.r.b.readU32(ev.entryOff + offOutLen))
+	// The acquire-load of status above orders these reads after the
+	// master's result stores.
+	ret = b.seg.LoadU64(ev.entryOff + offRetVal)
+	errno = vkernel.Errno(b.seg.LoadU32(ev.entryOff + offRetErrno))
+	outLen := int(b.seg.LoadU32(ev.entryOff + offOutLen))
 	if outLen > 0 {
-		out = make([]byte, outLen)
-		inLen := align16(uint64(ev.InLen))
-		if err := ev.r.b.seg.ReadAt(out, ev.entryOff+offPayload+inLen); err != nil {
-			panic("rb: out payload read: " + err.Error())
-		}
+		out = b.slice(ev.entryOff+offPayload+align16(uint64(ev.InLen)), uint64(outLen))
 	}
 	t.Clock.Advance(model.RBCopyCost(outLen + 16))
-	t.Clock.SyncTo(model.Duration(ev.r.b.readU64(ev.entryOff + offResPub)))
+	t.Clock.SyncTo(model.Duration(b.seg.LoadU64(ev.entryOff + offResPub)))
 	return ret, errno, out
 }
 
@@ -520,10 +547,9 @@ func (ev *EntryView) WaitResults(t *vkernel.Thread) (ret uint64, errno vkernel.E
 // (its own consumed slot only — no read-write sharing).
 func (ev *EntryView) Consume() {
 	r := ev.r
-	size := uint64(r.b.readU32(ev.entryOff + offSize))
-	r.off += size
+	r.off += uint64(ev.size)
 	r.seq++
-	r.b.writeU32(r.b.partBase(r.part)+phConsumed+uint64(r.replica)*4, r.seq)
+	r.b.seg.StoreU32(r.b.partBase(r.part)+phConsumed+uint64(r.replica)*4, r.seq)
 }
 
 // Drained reports whether every slave has consumed all published entries

@@ -1,0 +1,127 @@
+package rb
+
+import (
+	"testing"
+
+	"remon/internal/mem"
+	"remon/internal/vkernel"
+)
+
+// benchArbiter resets immediately: the bench loop consumes every entry
+// before the next Reserve, so the partition is always drained.
+type benchArbiter struct{}
+
+func (benchArbiter) ResetPartition(b *Buffer, part int) { b.DoReset(part) }
+
+func newBenchEnv(b *testing.B) *rbEnv {
+	b.Helper()
+	k := vkernel.New(nil)
+	mp := k.NewProcess("master", 1, 0)
+	sp := k.NewProcess("slave", 2, 1)
+	mt := mp.NewThread(nil)
+	st := sp.NewThread(nil)
+	shmID := mt.RawSyscall(vkernel.SysShmget, 0, 1<<20, 0)
+	if !shmID.Ok() {
+		b.Fatalf("shmget: %v", shmID.Errno)
+	}
+	seg := k.ShmSegment(int(shmID.Val))
+	mr := mt.RawSyscall(vkernel.SysShmat, shmID.Val, 0, 0)
+	sr := st.RawSyscall(vkernel.SysShmat, shmID.Val, 0, 0)
+	if !mr.Ok() || !sr.Ok() {
+		b.Fatalf("shmat: %v / %v", mr.Errno, sr.Errno)
+	}
+	buf, err := New(seg, 2, 1, benchArbiter{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &rbEnv{k: k, master: mt, slave: st, buf: buf,
+		mBase: mem.Addr(mr.Val), sBase: mem.Addr(sr.Val)}
+}
+
+// BenchmarkPublishConsume measures the full RB round trip — Reserve,
+// Complete, Next, WaitResults, Consume — for one entry with a 32-byte
+// input and a 32-byte output payload. The allocs/op figure is the
+// regression guard for the zero-copy fast path: steady state must not
+// allocate (DESIGN.md §2).
+func BenchmarkPublishConsume(b *testing.B) {
+	e := newBenchEnv(b)
+	w := e.buf.NewWriter(0, e.mBase)
+	r := e.buf.NewReader(0, 1, e.sBase)
+	c := &vkernel.Call{Num: vkernel.SysWrite, Args: [6]uint64{3, 0x1000, 32}}
+	in := []byte("0123456789abcdef0123456789abcdef")
+	out := []byte("fedcba9876543210fedcba9876543210")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.Reserve(e.master, c, 0, in, len(out))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Complete(e.master, 32, 0, out)
+		ev, err := r.Next(e.slave)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ev.CompareCall(e.slave, c, 0b001, in); err != nil {
+			b.Fatal(err)
+		}
+		ret, _, _ := ev.WaitResults(e.slave)
+		if ret != 32 {
+			b.Fatal("bad result")
+		}
+		ev.Consume()
+	}
+}
+
+// BenchmarkPublishOnly isolates the master-side path.
+func BenchmarkPublishOnly(b *testing.B) {
+	e := newBenchEnv(b)
+	w := e.buf.NewWriter(0, e.mBase)
+	r := e.buf.NewReader(0, 1, e.sBase)
+	c := &vkernel.Call{Num: vkernel.SysGetpid}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.Reserve(e.master, c, 0, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Complete(e.master, 1, 0, nil)
+		ev, err := r.Next(e.slave)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev.WaitResults(e.slave)
+		ev.Consume()
+	}
+}
+
+// TestPublishConsumeSteadyStateAllocs pins the zero-allocation property
+// down as a plain test so it fails loudly, not just in bench output.
+func TestPublishConsumeSteadyStateAllocs(t *testing.T) {
+	e := newRBEnv(t, 1<<20, 1, benchArbiter{})
+	w := e.buf.NewWriter(0, e.mBase)
+	r := e.buf.NewReader(0, 1, e.sBase)
+	c := &vkernel.Call{Num: vkernel.SysWrite, Args: [6]uint64{3, 0x1000, 32}}
+	in := []byte("0123456789abcdef0123456789abcdef")
+	roundTrip := func() {
+		res, err := w.Reserve(e.master, c, 0, in, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Complete(e.master, 32, 0, in)
+		ev, err := r.Next(e.slave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.CompareCall(e.slave, c, 0b001, in); err != nil {
+			t.Fatal(err)
+		}
+		ev.WaitResults(e.slave)
+		ev.Consume()
+	}
+	roundTrip() // warm up cursors
+	if avg := testing.AllocsPerRun(200, roundTrip); avg > 0.5 {
+		t.Fatalf("RB round trip allocates %.1f objects/op, want 0", avg)
+	}
+}

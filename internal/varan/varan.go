@@ -84,10 +84,18 @@ type MVEE struct {
 	ltids    map[*vkernel.Thread]int
 	nextLtid []int
 	threads  []*vkernel.Thread
-	writers  map[int]*rb.Writer
+	writers  map[int]*masterCursor
 	readers  map[[2]int]*rb.Reader // (replica, ltid)
 	diverged bool
 	stats    Stats
+}
+
+// masterCursor is the master's per-logical-thread publish state: the RB
+// writer plus a reusable gather scratch buffer (one goroutine owns each
+// ltid, so no locking).
+type masterCursor struct {
+	w       *rb.Writer
+	scratch []byte
 }
 
 // New constructs the baseline MVEE.
@@ -113,7 +121,7 @@ func New(cfg Config) (*MVEE, error) {
 		Kernel:   k,
 		ltids:    map[*vkernel.Thread]int{},
 		nextLtid: make([]int, cfg.Replicas),
-		writers:  map[int]*rb.Writer{},
+		writers:  map[int]*masterCursor{},
 		readers:  map[[2]int]*rb.Reader{},
 		shadow:   fdmap.NewEpollShadow(cfg.Replicas),
 	}
@@ -161,12 +169,12 @@ func (m *MVEE) ltidOf(t *vkernel.Thread) int {
 	return m.ltids[t]
 }
 
-func (m *MVEE) writer(ltid int, base mem.Addr) *rb.Writer {
+func (m *MVEE) writer(ltid int, base mem.Addr) *masterCursor {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	w, ok := m.writers[ltid]
 	if !ok {
-		w = m.buf.NewWriter(ltid%m.buf.Partitions(), base)
+		w = &masterCursor{w: m.buf.NewWriter(ltid%m.buf.Partitions(), base)}
 		m.writers[ltid] = w
 	}
 	return w
@@ -210,10 +218,16 @@ func (m *MVEE) Intercept(t *vkernel.Thread, c *vkernel.Call, exec func(*vkernel.
 		ipmon.RegisterEpollCookie(m.shadow, idx, t, c)
 	}
 	if idx == 0 {
-		// Master: log, execute, publish — and run ahead.
-		in := ipmon.PayloadIn(t, c)
+		// Master: log, execute, publish — and run ahead. Payloads gather
+		// into the cursor's reusable scratch (Reserve deep-copies the
+		// input into the ring before the scratch is reused for output).
+		cur := m.writer(ltid, m.bases[0])
+		in := ipmon.PayloadIn(t, c, cur.scratch[:0])
+		if in != nil {
+			cur.scratch = in
+		}
 		outCap := ipmon.PayloadOutCap(c)
-		res, err := m.writer(ltid, m.bases[0]).Reserve(t, c, rb.FlagMasterCall, in, outCap)
+		res, err := cur.w.Reserve(t, c, rb.FlagMasterCall, in, outCap)
 		if err != nil {
 			// Oversized: execute unreplicated (the reliability-oriented
 			// design tolerates small discrepancies).
@@ -224,7 +238,11 @@ func (m *MVEE) Intercept(t *vkernel.Thread, c *vkernel.Call, exec func(*vkernel.
 		if !r.Ok() {
 			errno = r.Errno
 		}
-		res.Complete(t, r.Val, errno, ipmon.PayloadOut(t, c, r, m.shadow, 0))
+		out := ipmon.PayloadOut(t, c, r, m.shadow, 0, cur.scratch[:0])
+		if out != nil {
+			cur.scratch = out
+		}
+		res.Complete(t, r.Val, errno, out)
 		m.mu.Lock()
 		m.stats.Replicated++
 		m.mu.Unlock()
@@ -279,6 +297,15 @@ func (m *MVEE) Run(prog libc.Program) *Report {
 	rep.Stats = m.stats
 	m.mu.Unlock()
 	return rep
+}
+
+// Close returns the ring's backing segment to the mem arena. Call only
+// after the final Run returned; the MVEE must not be used again.
+func (m *MVEE) Close() {
+	if m.buf != nil {
+		m.Kernel.ReleaseShm(m.buf.Segment().ID)
+		m.buf = nil
+	}
 }
 
 func (m *MVEE) register(t *vkernel.Thread, ltid int) {

@@ -92,9 +92,29 @@ func (k *Kernel) sysShmget(t *Thread, c *Call) Result {
 	k.mu.Lock()
 	k.nextShm++
 	id := k.nextShm
-	k.shmSegs[id] = mem.NewSharedSegment(id, size)
+	k.mu.Unlock()
+	// Backing comes from the segment arena: monitors that tear down an
+	// MVEE release the segment (ReleaseShm) and the next shmget of the
+	// same size reuses it instead of zeroing fresh memory.
+	seg := mem.AcquireSegment(id, size)
+	k.mu.Lock()
+	k.shmSegs[id] = seg
 	k.mu.Unlock()
 	return Result{Val: uint64(id)}
+}
+
+// ReleaseShm removes a segment from the kernel's table and returns its
+// backing to the segment arena. Callers must guarantee the segment is
+// quiescent: no thread of any process that mapped it will touch it again
+// (monitors call this from MVEE teardown, after every replica exited).
+func (k *Kernel) ReleaseShm(id int) {
+	k.mu.Lock()
+	seg := k.shmSegs[id]
+	delete(k.shmSegs, id)
+	k.mu.Unlock()
+	if seg != nil {
+		seg.Release()
+	}
 }
 
 // ShmSegment exposes a shared segment to the monitors (GHUMVEE maps the
