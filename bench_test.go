@@ -8,6 +8,7 @@
 package remon
 
 import (
+	"fmt"
 	"testing"
 
 	"remon/internal/bench"
@@ -295,4 +296,25 @@ func BenchmarkMicroSyscallPaths(b *testing.B) {
 		}
 		b.ReportMetric(d.Seconds()*1e9/bench.MicroCallCount, "virtual-ns/call")
 	})
+}
+
+// BenchmarkFleetServing measures the serving-at-scale scenario: the same
+// concurrent workload against 1/2/4 MVEE shards behind the virtual load
+// balancer, reporting aggregate virtual-time throughput per shard count
+// (the full sweep plus recovery latency lives behind
+// remon-bench -fleet-json).
+func BenchmarkFleetServing(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var reqPerVSec float64
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunFleetThroughput(bench.Quick(), []int{shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqPerVSec = rows[0].ReqPerVSec
+			}
+			b.ReportMetric(reqPerVSec, "virtual-req/s")
+		})
+	}
 }

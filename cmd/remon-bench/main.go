@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	remon-bench [-experiment table1|fig3|fig4|fig5|table2|all]
+//	remon-bench [-experiment table1|fig3|fig4|fig5|table2|fleet|all]
 //	            [-iterations N] [-connections N] [-requests N] [-quick]
+//	            [-rb-json BENCH_rb.json] [-fleet-json BENCH_fleet.json]
 //
 // Absolute numbers are virtual-time measurements on the simulated
 // substrate; the claim being reproduced is the *shape* (see
@@ -21,13 +22,15 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig3, fig4, fig5, table2 or all")
+	experiment := flag.String("experiment", "all", "table1, fig3, fig4, fig5, table2, fleet or all")
 	iterations := flag.Int("iterations", 0, "synthetic profile iterations per thread (0 = default)")
 	connections := flag.Int("connections", 0, "server benchmark client connections (0 = default)")
 	requests := flag.Int("requests", 0, "requests per connection (0 = default)")
 	maxReplicas := flag.Int("max-replicas", 0, "Figure 5 replica sweep upper bound (0 = 7)")
 	quick := flag.Bool("quick", false, "small sizes for a fast smoke run")
 	rbJSON := flag.String("rb-json", "", "write RB fast-path perf results (ns/op, allocs/op, virtual metrics) to this file, e.g. BENCH_rb.json")
+	fleetJSON := flag.String("fleet-json", "", "write fleet serving results (shards, aggregate req/s in virtual time, p99 recovery latency) to this file, e.g. BENCH_fleet.json")
+	fleetRecoveries := flag.Int("fleet-recoveries", 5, "injected-divergence recovery samples for the fleet scenario")
 	flag.Parse()
 
 	o := bench.Options{
@@ -65,9 +68,25 @@ func main() {
 			}
 			return os.WriteFile(*rbJSON, append(payload, '\n'), 0o644)
 		})
-		if *experiment == "" {
-			return
-		}
+	}
+	fleetDone := false
+	if *fleetJSON != "" {
+		fleetDone = true
+		run("Fleet serving (1/2/4/8 shards + recovery) -> "+*fleetJSON, func() error {
+			results, err := bench.RunFleetServing(o, bench.DefaultFleetShardCounts, *fleetRecoveries)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFleet(results))
+			payload, err := bench.MarshalFleet(results)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*fleetJSON, append(payload, '\n'), 0o644)
+		})
+	}
+	if (*rbJSON != "" || *fleetJSON != "") && *experiment == "" {
+		return
 	}
 
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }
@@ -105,6 +124,16 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.FormatFig5(rows))
+			return nil
+		})
+	}
+	if want("fleet") && !fleetDone {
+		run("Fleet: sharded serving, 1-8 shards behind the virtual balancer", func() error {
+			results, err := bench.RunFleetServing(o, bench.DefaultFleetShardCounts, *fleetRecoveries)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFleet(results))
 			return nil
 		})
 	}

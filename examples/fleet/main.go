@@ -1,0 +1,94 @@
+// Fleet: the serving-at-scale demo. Four MVEE shards serve concurrent
+// client streams behind the virtual load balancer; mid-run, one shard's
+// master replica is compromised and tampers with an unmonitored response.
+// The slave's IP-MON comparison catches the divergence, the supervisor
+// quarantines the shard, cuts its in-flight connections, recycles its
+// replica set and RB segment, and respawns it — while the other three
+// shards' streams finish untouched.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"remon/internal/fleet"
+	"remon/internal/model"
+)
+
+func main() {
+	f, err := fleet.New(fleet.Config{
+		Shards:          4,
+		Replicas:        2,
+		RequestSize:     64,
+		ResponseSize:    256,
+		LockstepTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	fmt.Println("== fleet up: 4 ReMon shards behind", f.FrontAddr(), "==")
+
+	loadDone := make(chan []fleet.ConnOutcome, 1)
+	go func() {
+		loadDone <- f.DriveClients(fleet.DriveConfig{
+			Conns: 24, RequestsPerConn: 40, ThinkTime: 5 * model.Microsecond,
+		})
+	}()
+
+	time.Sleep(2 * time.Millisecond)
+	fmt.Println("-- compromising shard 0's master replica (tampered unmonitored response)")
+	if err := f.InjectDivergence(0); err != nil {
+		log.Fatal(err)
+	}
+	if !f.WaitRecoveriesDriving(1, 30*time.Second, fleet.DriveConfig{}) {
+		log.Fatal("shard never recovered")
+	}
+	out := <-loadDone
+
+	perShard := map[int][2]int{} // shard -> {completed, errors}
+	unrouted := 0
+	for _, o := range out {
+		shard, _, ok := f.RouteOf(o.LocalAddr)
+		if !ok {
+			unrouted++
+			continue
+		}
+		agg := perShard[shard]
+		agg[0] += o.Completed
+		agg[1] += o.Errors
+		perShard[shard] = agg
+	}
+	fmt.Println("\n-- per-shard client outcome --")
+	for i := 0; i < 4; i++ {
+		agg := perShard[i]
+		note := ""
+		if i == 0 {
+			note = "   <- compromised, quarantined + respawned"
+		}
+		fmt.Printf("shard %d: %4d completed, %2d errors%s\n", i, agg[0], agg[1], note)
+	}
+	if unrouted > 0 {
+		fmt.Printf("(%d connections refused during the quarantine window)\n", unrouted)
+	}
+
+	fmt.Println("\n-- shard 0 lifecycle --")
+	for _, tr := range f.Transitions() {
+		if tr.Shard != 0 {
+			continue
+		}
+		fmt.Printf("gen %d: %-11v -> %-11v  %s\n", tr.Gen, tr.From, tr.To, tr.Reason)
+	}
+
+	st := f.Stats()
+	fmt.Printf("\nverdict: %q\n", st.Shards[0].LastVerdict.Reason)
+	fmt.Printf("conns routed=%d refused=%d failovers=%d recoveries=%d\n",
+		st.ConnsRouted, st.ConnsRefused, st.Failovers, st.Recoveries)
+	if lats := f.RecoveryLatencies(); len(lats) > 0 {
+		fmt.Printf("recovery latency: %v (host time)\n", lats[0].Round(10*time.Microsecond))
+	}
+}

@@ -12,10 +12,11 @@ import (
 	"time"
 
 	"remon/internal/core"
-	"remon/internal/ghumvee"
+	"remon/internal/fleet"
 	"remon/internal/ikb"
 	"remon/internal/libc"
 	"remon/internal/mem"
+	"remon/internal/model"
 	"remon/internal/policy"
 	"remon/internal/varan"
 	"remon/internal/vkernel"
@@ -127,13 +128,13 @@ func DivergentSyscallSequence() Outcome {
 func TokenForgery() Outcome {
 	// The forged completion deliberately desynchronises the lockstep
 	// group: the run only ends when the rendezvous watchdog fires. The
-	// scenario has no legitimate blocking at all, so shrink the watchdog
-	// for its duration instead of idling 10 wall-clock seconds.
-	oldTimeout := ghumvee.LockstepTimeout
-	ghumvee.LockstepTimeout = 250 * time.Millisecond
-	defer func() { ghumvee.LockstepTimeout = oldTimeout }()
+	// scenario has no legitimate blocking at all, so run this instance
+	// with a short per-monitor watchdog instead of idling 10 wall-clock
+	// seconds (and instead of racing other live MVEEs on a global).
+	cfg := remonCfg()
+	cfg.LockstepTimeout = 250 * time.Millisecond
 
-	m, err := core.New(remonCfg())
+	m, err := core.New(cfg)
 	if err != nil {
 		return Outcome{Name: "token forgery", Detail: err.Error()}
 	}
@@ -432,6 +433,58 @@ func MasterRunAheadWindow(rbSize uint64) Outcome {
 	}
 }
 
+// FleetShardCompromise runs the fleet-scale containment scenario: four
+// MVEE shards serve concurrent client streams behind the virtual
+// balancer while one shard's master replica is compromised (it tampers
+// with an unmonitored response). Expected: the slave's IP-MON comparison
+// catches the divergence, the supervisor quarantines and respawns only
+// that shard, and every stream routed to the other three shards
+// completes with zero errors — per-instance isolation at fleet scale.
+func FleetShardCompromise() Outcome {
+	const name = "fleet shard compromise"
+	f, err := fleet.New(fleet.Config{
+		Shards: 4, Replicas: 2,
+		RequestSize: 32, ResponseSize: 128,
+		LockstepTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return Outcome{Name: name, Detail: err.Error()}
+	}
+	defer f.Close()
+
+	loadDone := make(chan []fleet.ConnOutcome, 1)
+	go func() {
+		loadDone <- f.DriveClients(fleet.DriveConfig{
+			Conns: 24, RequestsPerConn: 40, ThinkTime: 5 * model.Microsecond,
+		})
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := f.InjectDivergence(0); err != nil {
+		return Outcome{Name: name, Detail: err.Error()}
+	}
+	// Drive small bursts while waiting so the armed injection is
+	// guaranteed to meet traffic even if the background load finishes
+	// early.
+	recovered := f.WaitRecoveriesDriving(1, 30*time.Second, fleet.DriveConfig{})
+	out := <-loadDone
+
+	healthyErrors, healthyShards := 0, map[int]bool{}
+	for _, o := range out {
+		if shard, _, ok := f.RouteOf(o.LocalAddr); ok && shard != 0 {
+			healthyErrors += o.Errors
+			healthyShards[shard] = true
+		}
+	}
+	verdict := f.Stats().Shards[0].LastVerdict
+	detected := recovered && verdict.Diverged && healthyErrors == 0 && len(healthyShards) >= 3
+	return Outcome{
+		Name:     name,
+		Detected: detected,
+		Detail: fmt.Sprintf("verdict=%q recovered=%v healthy-shard errors=%d (across %d shards)",
+			verdict.Reason, recovered, healthyErrors, len(healthyShards)),
+	}
+}
+
 // RunAll executes the full suite.
 func RunAll() []Outcome {
 	return []Outcome{
@@ -446,5 +499,6 @@ func RunAll() []Outcome {
 		DCLIntegrity(),
 		MasterRunAheadWindow(1 << 20),
 		VaranMissesDivergentWrite(),
+		FleetShardCompromise(),
 	}
 }

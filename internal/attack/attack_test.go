@@ -78,6 +78,13 @@ func TestMasterRunAheadWindow(t *testing.T) {
 	}
 }
 
+func TestFleetShardCompromise(t *testing.T) {
+	o := FleetShardCompromise()
+	if !o.Detected {
+		t.Fatalf("fleet containment failed: %s", o.Detail)
+	}
+}
+
 func TestVaranMissesDivergentWrite(t *testing.T) {
 	o := VaranMissesDivergentWrite()
 	if !o.Detected {

@@ -1,0 +1,213 @@
+// The FleetServing scenario: the serving-at-scale experiment the paper
+// stops short of (§5.2 ends at one MVEE, one client stream). It measures
+// two figures of merit:
+//
+//   - aggregate virtual-time throughput (requests per virtual second) of
+//     the same workload served by 1/2/4/8 MVEE shards behind the virtual
+//     balancer — the horizontal-scaling curve; and
+//   - recovery latency: host time from a shard's divergence verdict
+//     (quarantine) to its respawned replica set rejoining the pool.
+//
+// Both are emitted as BENCH_fleet.json by cmd/remon-bench -fleet-json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"remon/internal/fleet"
+	"remon/internal/model"
+	"remon/internal/workload"
+)
+
+// FleetRow is one shard-count measurement.
+type FleetRow struct {
+	Shards    int     `json:"shards"`
+	Conns     int     `json:"conns"`
+	Requests  int     `json:"requests"`
+	Completed int     `json:"completed"`
+	Errors    int     `json:"errors"`
+	VirtualMS float64 `json:"virtual_makespan_ms"`
+	// ReqPerVSec is Completed divided by the virtual makespan — the
+	// aggregate fleet throughput in virtual time.
+	ReqPerVSec float64 `json:"aggregate_req_per_vsec"`
+}
+
+// FleetRecovery summarises divergence-recovery latencies (host time).
+type FleetRecovery struct {
+	Samples int     `json:"samples"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// FleetResults is the scenario's full output.
+type FleetResults struct {
+	GeneratedBy string        `json:"generated_by"`
+	Rows        []FleetRow    `json:"rows"`
+	Recovery    FleetRecovery `json:"recovery"`
+}
+
+// DefaultFleetShardCounts is the scaling sweep.
+var DefaultFleetShardCounts = []int{1, 2, 4, 8}
+
+// fleetWorkload sizes the client load from the harness options. The
+// worker pool is deliberately larger than any single shard's comfortable
+// concurrency so the 1-shard row queues in virtual time and the scaling
+// curve has something to show.
+func fleetWorkload(o Options, addr string) workload.FleetClientConfig {
+	return workload.FleetClientConfig{
+		Addr:            addr,
+		Workers:         4 * o.ServerConnections,
+		ConnsPerWorker:  2,
+		RequestsPerConn: o.RequestsPerConn,
+		RequestSize:     64,
+		ResponseSize:    256,
+		ThinkTime:       2 * model.Microsecond,
+	}
+}
+
+// fleetCfg is the shared shard configuration for the scenario.
+func fleetCfg(shards int, o Options) fleet.Config {
+	return fleet.Config{
+		Shards:            shards,
+		Replicas:          2,
+		RequestSize:       64,
+		ResponseSize:      256,
+		ComputePerRequest: 20 * model.Microsecond,
+		Seed:              o.Seed,
+		LockstepTimeout:   5 * time.Second,
+	}
+}
+
+// RunFleetThroughput measures the scaling sweep.
+func RunFleetThroughput(o Options, shardCounts []int) ([]FleetRow, error) {
+	o = o.Defaults()
+	if len(shardCounts) == 0 {
+		shardCounts = DefaultFleetShardCounts
+	}
+	var rows []FleetRow
+	for _, n := range shardCounts {
+		f, err := fleet.New(fleetCfg(n, o))
+		if err != nil {
+			return nil, err
+		}
+		ccfg := fleetWorkload(o, f.FrontAddr())
+		res := workload.RunFleetClients(f.FrontKernel(), ccfg, o.Seed)
+		f.Close()
+		if res.Errors > 0 {
+			return nil, fmt.Errorf("bench: fleet %d shards: %d client errors", n, res.Errors)
+		}
+		row := FleetRow{
+			Shards:    n,
+			Conns:     ccfg.TotalConns(),
+			Requests:  ccfg.TotalConns() * ccfg.RequestsPerConn,
+			Completed: res.Completed,
+			Errors:    res.Errors,
+			VirtualMS: float64(res.Duration) / float64(model.Millisecond),
+		}
+		if res.Duration > 0 {
+			row.ReqPerVSec = float64(res.Completed) / res.Duration.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunFleetRecovery measures divergence-recovery latency: a 4-shard fleet
+// under light continuous load takes `samples` sequential injected
+// divergences, each quarantining and respawning one shard.
+func RunFleetRecovery(o Options, samples int) (FleetRecovery, error) {
+	o = o.Defaults()
+	if samples <= 0 {
+		samples = 5
+	}
+	f, err := fleet.New(fleetCfg(4, o))
+	if err != nil {
+		return FleetRecovery{}, err
+	}
+	defer f.Close()
+
+	for i := 0; i < samples; i++ {
+		target := i % 4
+		if err := f.InjectDivergence(target); err != nil {
+			return FleetRecovery{}, err
+		}
+		// Traffic triggers the injected tamper and keeps the other
+		// shards busy through the incident; the driving wait guarantees
+		// the injection meets a request.
+		if !f.WaitRecoveriesDriving(i+1, 30*time.Second, fleet.DriveConfig{
+			Conns: 16, RequestsPerConn: 10, ThinkTime: 2 * model.Microsecond,
+		}) {
+			return FleetRecovery{}, fmt.Errorf("bench: recovery %d never completed", i+1)
+		}
+	}
+	lats := f.RecoveryLatencies()
+	return summariseRecovery(lats), nil
+}
+
+func summariseRecovery(lats []time.Duration) FleetRecovery {
+	r := FleetRecovery{Samples: len(lats)}
+	if len(lats) == 0 {
+		return r
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	r.P50Ms = ms(quantile(sorted, 0.50))
+	r.P99Ms = ms(quantile(sorted, 0.99))
+	r.MaxMs = ms(sorted[len(sorted)-1])
+	return r
+}
+
+// quantile picks the nearest-rank quantile from a sorted sample.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// RunFleetServing runs the full scenario: the scaling sweep plus the
+// recovery measurement.
+func RunFleetServing(o Options, shardCounts []int, recoverySamples int) (*FleetResults, error) {
+	rows, err := RunFleetThroughput(o, shardCounts)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := RunFleetRecovery(o, recoverySamples)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetResults{
+		GeneratedBy: "remon-bench -fleet-json",
+		Rows:        rows,
+		Recovery:    rec,
+	}, nil
+}
+
+// MarshalFleet renders the results for BENCH_fleet.json.
+func MarshalFleet(r *FleetResults) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatFleet renders the scenario as a human-readable table.
+func FormatFleet(r *FleetResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %10s %10s %14s %18s\n",
+		"shards", "conns", "requests", "completed", "makespan(ms)", "req/vsec")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %8d %10d %10d %14.2f %18.0f\n",
+			row.Shards, row.Conns, row.Requests, row.Completed, row.VirtualMS, row.ReqPerVSec)
+	}
+	fmt.Fprintf(&b, "recovery: %d samples, p50 %.1f ms, p99 %.1f ms, max %.1f ms\n",
+		r.Recovery.Samples, r.Recovery.P50Ms, r.Recovery.P99Ms, r.Recovery.MaxMs)
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestFleetThroughputScales: aggregate virtual-time throughput grows
+// from 1 shard to 4 shards — the scenario's headline claim.
+func TestFleetThroughputScales(t *testing.T) {
+	o := Quick()
+	rows, err := RunFleetThroughput(o, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Errors != 0 || r.Completed != r.Requests {
+			t.Fatalf("row %+v incomplete", r)
+		}
+		if r.ReqPerVSec <= 0 {
+			t.Fatalf("row %+v has no throughput", r)
+		}
+	}
+	if rows[1].ReqPerVSec <= rows[0].ReqPerVSec {
+		t.Fatalf("4 shards (%.0f req/vs) not faster than 1 shard (%.0f req/vs)",
+			rows[1].ReqPerVSec, rows[0].ReqPerVSec)
+	}
+}
+
+// TestFleetRecoveryMeasured: injected divergences produce finite,
+// positive recovery latencies.
+func TestFleetRecoveryMeasured(t *testing.T) {
+	o := Quick()
+	rec, err := RunFleetRecovery(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Samples < 2 {
+		t.Fatalf("recovery samples = %d, want >= 2", rec.Samples)
+	}
+	if rec.P50Ms <= 0 || rec.P99Ms < rec.P50Ms || rec.MaxMs < rec.P99Ms {
+		t.Fatalf("recovery quantiles inconsistent: %+v", rec)
+	}
+}
+
+func TestMarshalFleetShape(t *testing.T) {
+	r := &FleetResults{
+		GeneratedBy: "test",
+		Rows: []FleetRow{{
+			Shards: 2, Conns: 8, Requests: 80, Completed: 80,
+			VirtualMS: 1.5, ReqPerVSec: 53333,
+		}},
+		Recovery: FleetRecovery{Samples: 3, P50Ms: 1, P99Ms: 2, MaxMs: 2},
+	}
+	raw, err := MarshalFleet(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FleetResults
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows[0].ReqPerVSec != 53333 || back.Recovery.Samples != 3 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if len(FormatFleet(r)) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRecoveryQuantiles(t *testing.T) {
+	lats := []time.Duration{5 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond}
+	rec := summariseRecovery(lats)
+	if rec.Samples != 3 || rec.P50Ms != 3 || rec.MaxMs != 5 {
+		t.Fatalf("summary = %+v", rec)
+	}
+}

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"remon/internal/ghumvee"
 	"remon/internal/ikb"
@@ -81,6 +82,16 @@ type Config struct {
 	Kernel *vkernel.Kernel
 	// Network is used when a fresh kernel is created.
 	Network *vnet.Network
+
+	// LockstepTimeout overrides the GHUMVEE rendezvous watchdog for this
+	// instance (0 keeps ghumvee.DefaultLockstepTimeout). Per-instance
+	// state: concurrent MVEEs — a fleet — can run different watchdogs.
+	LockstepTimeout time.Duration
+	// OnVerdict, when set, is invoked exactly once if the monitor
+	// declares divergence — the fleet supervisor's quarantine trigger.
+	// It runs on the declaring goroutine after replica teardown has been
+	// initiated; it must return promptly and must not re-enter the MVEE.
+	OnVerdict func(ghumvee.Verdict)
 
 	// Ablation knobs (DESIGN.md §5).
 	// AblateAlwaysWake disables §3.7's wake suppression.
@@ -166,6 +177,10 @@ func New(cfg Config) (*MVEE, error) {
 	}
 
 	m.Monitor = ghumvee.New(k, m.procs)
+	m.Monitor.SetLockstepTimeout(cfg.LockstepTimeout)
+	if cfg.OnVerdict != nil {
+		m.Monitor.SetVerdictHandler(cfg.OnVerdict)
+	}
 	m.Broker = ikb.New(k, m.Monitor)
 	m.Broker.SetApprover(m.Monitor)
 	k.SetInterceptor(m.Broker)
@@ -461,6 +476,26 @@ func (m *MVEE) MigrateRB() error {
 		m.Broker.UpdateRBBase(p, reg.Start)
 	}
 	return nil
+}
+
+// Shutdown tears a running MVEE down administratively: the fleet layer's
+// shard retirement path (drain complete, rolling restart, fleet
+// shutdown). The monitor is stopped first so the teardown's own replica
+// crashes are not mistaken for divergence; then every replica thread is
+// killed, which unwinds a Run in progress (its replica goroutines observe
+// the dead threads at their next syscall and bail). Wait for Run to
+// return, then Close. Idempotent; a no-op on divergence-terminated sets
+// (their threads are already dead).
+func (m *MVEE) Shutdown(reason string) {
+	if m.Monitor != nil {
+		m.Monitor.Stop(reason)
+		return // Stop crashes all replica threads itself
+	}
+	for _, p := range m.procs {
+		for _, t := range p.Threads() {
+			t.Crash("mvee shutdown: " + reason)
+		}
+	}
 }
 
 // Close releases pooled resources — today the replication buffer's

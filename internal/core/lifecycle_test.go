@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"remon/internal/ghumvee"
+	"remon/internal/libc"
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/policy"
+	"remon/internal/vkernel"
+)
+
+// lifecycleRBSize is deliberately an odd size class so this test owns its
+// arena free list — other tests' 16 MiB segments never collide with it.
+const lifecycleRBSize = 3 << 20
+
+// TestTeardownRebuildCyclesRecycleSegments builds, runs, closes and
+// rebuilds an MVEE 50 times and asserts the mem arena recycles the RB
+// segment: after the first construction pays the one allocation, every
+// later cycle is served from the pool (no net segment growth). The fleet
+// layer's respawn loop depends on exactly this property.
+func TestTeardownRebuildCyclesRecycleSegments(t *testing.T) {
+	prog := func(env *libc.Env) {
+		fd, _ := env.Open("/tmp/cycle", vkernel.OCreat|vkernel.ORdwr, 0o644)
+		for i := 0; i < 5; i++ {
+			env.Write(fd, []byte("cycle-data"))
+			env.TimeNow()
+		}
+		env.Close(fd)
+	}
+	before := mem.ArenaSnapshot()
+	const cycles = 50
+	for i := 0; i < cycles; i++ {
+		m, err := New(Config{
+			Mode: ModeReMon, Replicas: 2, Policy: policy.NonsocketRWLevel,
+			RBSize: lifecycleRBSize, Partitions: 4, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		rep := m.Run(prog)
+		if rep.Verdict.Diverged {
+			t.Fatalf("cycle %d diverged: %s", i, rep.Verdict.Reason)
+		}
+		m.Close()
+	}
+	after := mem.ArenaSnapshot()
+	misses := after.Misses - before.Misses
+	hits := after.Hits - before.Hits
+	releases := after.Releases - before.Releases
+	if misses > 1 {
+		t.Fatalf("arena allocated %d fresh segments over %d cycles (net segment growth); hits=%d", misses, cycles, hits)
+	}
+	if hits < cycles-1 {
+		t.Fatalf("arena served only %d/%d cycles from the pool", hits, cycles-1)
+	}
+	if releases < cycles {
+		t.Fatalf("only %d/%d closes recycled their segment", releases, cycles)
+	}
+}
+
+// TestShutdownUnwindsRunningMVEE: an administrative Shutdown makes an
+// in-flight Run return without a divergence verdict — the fleet's
+// graceful shard-retirement path.
+func TestShutdownUnwindsRunningMVEE(t *testing.T) {
+	m, err := New(Config{
+		Mode: ModeReMon, Replicas: 2, Policy: policy.SocketRWLevel,
+		RBSize: lifecycleRBSize, Partitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	var once sync.Once
+	done := make(chan *Report, 1)
+	go func() {
+		done <- m.Run(func(env *libc.Env) {
+			for {
+				once.Do(func() { close(started) })
+				env.Getpid()
+				env.Compute(10 * model.Microsecond)
+			}
+		})
+	}()
+	<-started
+	time.Sleep(2 * time.Millisecond) // let both replicas spin a little
+	m.Shutdown("test retirement")
+	select {
+	case rep := <-done:
+		if rep.Verdict.Diverged {
+			t.Fatalf("administrative shutdown produced a divergence verdict: %+v", rep.Verdict)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after Shutdown")
+	}
+	m.Close()
+}
+
+// TestShutdownIdempotentAfterDivergence: shutting down a set that already
+// diverged (and is therefore dead) is a safe no-op and keeps the original
+// verdict.
+func TestShutdownIdempotentAfterDivergence(t *testing.T) {
+	m, err := New(Config{
+		Mode: ModeReMon, Replicas: 2, Policy: policy.SocketRWLevel,
+		RBSize: lifecycleRBSize, Partitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	notified := make(chan struct{}, 1)
+	m.Monitor.SetVerdictHandler(func(v ghumvee.Verdict) {
+		notified <- struct{}{}
+	})
+	rep := m.Run(func(env *libc.Env) {
+		payload := []byte("benign-response-payload-xx")
+		if env.T.Proc.ReplicaIndex == 0 {
+			payload = []byte("tampered-response-payload!")
+		}
+		fd, _ := env.Open("/tmp/div", vkernel.OCreat|vkernel.ORdwr, 0o644)
+		env.Write(fd, payload)
+		env.Close(fd)
+	})
+	if !rep.Verdict.Diverged {
+		t.Fatalf("expected divergence, got %+v", rep.Verdict)
+	}
+	select {
+	case <-notified:
+	default:
+		t.Fatal("verdict handler did not fire")
+	}
+	m.Shutdown("already dead")
+	if !m.Monitor.Verdict().Diverged {
+		t.Fatal("shutdown erased the divergence verdict")
+	}
+	m.Close()
+}

@@ -1,0 +1,207 @@
+// The balancer control plane: the accept loop and the shard-pick
+// policies. The data plane is vnet's splice forwarder — the balancer
+// never copies request bytes itself beyond the splice pumps, and it
+// carries virtual arrival stamps through untouched.
+package fleet
+
+import (
+	"remon/internal/model"
+	"remon/internal/vnet"
+)
+
+// backendTarget is a shard pick with its network captured under the
+// shard lock — s.net is rewritten on respawn, so the balancer must never
+// read it unlocked.
+type backendTarget struct {
+	s   *shard
+	net *vnet.Network
+	gen int
+}
+
+// acceptLoop takes front-end connections and splices each onto a healthy
+// shard's backend. The (possibly blocking) backend connect runs on a
+// per-connection goroutine so one shard's full accept queue never
+// head-of-line blocks connections bound for the other shards.
+func (f *Fleet) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, at, err := f.lis.Accept(true)
+		if err != nil {
+			return // listener closed: fleet shutting down
+		}
+		tgt, ok := f.pickShard(conn.RemoteAddr())
+		if !ok {
+			f.refuse(conn)
+			continue
+		}
+		f.recordRoute(conn.RemoteAddr(), tgt)
+		// Deliberately not in f.wg: Close cuts in-flight splices only
+		// after wg.Wait, so a tracked splice goroutine would deadlock it.
+		// The goroutine cannot leak: either track registers the splice
+		// (any later sweep aborts it) or track aborts it on the spot.
+		go f.splice(conn, at, tgt)
+	}
+}
+
+// splice opens the backend leg and wires the forwarder for one accepted
+// connection. Address rewriting happens by construction: the shard sees
+// a connection from the balancer's ephemeral endpoint, the client sees
+// the balancer's front address. The backend connect reuses the
+// front-side establishment time so virtual time is continuous across the
+// hop.
+func (f *Fleet) splice(conn *vnet.Conn, at model.Duration, tgt backendTarget) {
+	back, _, err := tgt.net.Connect(tgt.s.addr, at)
+	if err != nil {
+		tgt.s.pendingDone()
+		f.refuse(conn)
+		return
+	}
+	sp := vnet.NewSplice(conn, back)
+	if !tgt.s.track(sp, tgt.gen) {
+		return // shard was quarantined (or respawned) since the pick; splice cut
+	}
+	<-sp.Done()
+	tgt.s.untrack(sp)
+}
+
+// pendingDone retires a pick's pending slot when its splice is abandoned
+// before registration (track retires it itself, atomically with the
+// register).
+func (s *shard) pendingDone() {
+	s.mu.Lock()
+	s.pending--
+	s.mu.Unlock()
+}
+
+func (f *Fleet) refuse(conn *vnet.Conn) {
+	conn.Close()
+	f.mu.Lock()
+	f.refused++
+	f.mu.Unlock()
+}
+
+// pickShard chooses a Serving shard for a new client connection,
+// capturing its network and generation under the shard lock, and claims
+// a pending slot on it so drains see the pick before its splice is
+// registered. The claim re-validates state and generation in its own
+// critical section — a drain or quarantine may take the shard between
+// the scan and the claim, and a pick it cannot see would be cut; a lost
+// claim retries the scan so the connection lands on another healthy
+// shard instead of being refused.
+func (f *Fleet) pickShard(clientAddr string) (backendTarget, bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		serving := make([]backendTarget, 0, len(f.shards))
+		for _, s := range f.shards {
+			s.mu.Lock()
+			if s.state == Serving && s.mvee != nil {
+				serving = append(serving, backendTarget{s: s, net: s.net, gen: s.gen})
+			}
+			s.mu.Unlock()
+		}
+		if len(serving) == 0 {
+			return backendTarget{}, false
+		}
+		var tgt backendTarget
+		if f.cfg.Routing == RouteAffinity {
+			tgt = rendezvousPickTarget(serving, clientAddr)
+		} else {
+			tgt = serving[int(f.rrNext.Add(1)-1)%len(serving)]
+		}
+		tgt.s.mu.Lock()
+		if tgt.s.state == Serving && tgt.s.gen == tgt.gen && tgt.s.mvee != nil {
+			tgt.s.pending++
+			tgt.s.mu.Unlock()
+			return tgt, true
+		}
+		tgt.s.mu.Unlock()
+	}
+	return backendTarget{}, false
+}
+
+// rendezvousPickTarget applies rendezvousPick over captured targets.
+func rendezvousPickTarget(serving []backendTarget, clientAddr string) backendTarget {
+	shards := make([]*shard, len(serving))
+	for i, t := range serving {
+		shards[i] = t.s
+	}
+	best := rendezvousPick(shards, clientAddr)
+	for _, t := range serving {
+		if t.s == best {
+			return t
+		}
+	}
+	return serving[0]
+}
+
+// rendezvousPick implements highest-random-weight hashing: each (client,
+// shard) pair scores via FNV-1a; the highest score wins. Removing one
+// shard from the pool only remaps that shard's clients — the consistent
+// affinity the quarantine path wants.
+func rendezvousPick(serving []*shard, clientAddr string) *shard {
+	var best *shard
+	var bestScore uint64
+	for _, s := range serving {
+		score := fnv1a(clientAddr, uint64(s.idx))
+		if best == nil || score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// fnv1a hashes addr plus a shard salt.
+func fnv1a(addr string, salt uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (salt >> (8 * i)) & 0xFF
+		h *= prime
+	}
+	return h
+}
+
+// track registers an in-flight splice with the shard; if the shard was
+// quarantined or respawned into a new generation in the pick-to-track
+// window, the splice is cut immediately and track reports false. A
+// Draining shard still admits it: the pick happened while Serving, and
+// drain semantics let already-routed connections finish within the
+// grace.
+func (s *shard) track(sp *vnet.Splice, gen int) bool {
+	s.mu.Lock()
+	s.pending-- // the pick's slot converts into (or dies with) the splice
+	if (s.state != Serving && s.state != Draining) || s.gen != gen {
+		s.mu.Unlock()
+		sp.Abort()
+		return false
+	}
+	s.splices[sp] = struct{}{}
+	s.connsRouted++
+	s.mu.Unlock()
+	return true
+}
+
+// untrack drops a finished splice (a no-op if quarantine already swept
+// it).
+func (s *shard) untrack(sp *vnet.Splice) {
+	s.mu.Lock()
+	delete(s.splices, sp)
+	s.mu.Unlock()
+}
+
+// recordRoute remembers clientAddr -> shard for test and attack
+// harnesses that partition client outcomes by shard. Bounded: beyond
+// 1<<20 routes recording stops (the balancer itself never reads this).
+func (f *Fleet) recordRoute(clientAddr string, tgt backendTarget) {
+	f.mu.Lock()
+	if len(f.routes) < 1<<20 {
+		f.routes[clientAddr] = routeEntry{shard: tgt.s.idx, gen: tgt.gen}
+	}
+	f.mu.Unlock()
+}

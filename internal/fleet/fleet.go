@@ -1,0 +1,737 @@
+// Package fleet is the serving-at-scale layer: N independent MVEE shards
+// — each a full core.MVEE replica set in ModeReMon on its own simulated
+// kernel and network — behind a virtual front-end load balancer. It is
+// the horizontal counterpart to the paper's single-MVEE server
+// experiments (§5.2): the per-instance-isolation-at-scale posture, where
+// a diverging (possibly attacked) shard is quarantined and replaced while
+// the rest of the fleet keeps serving.
+//
+// Shard lifecycle (DESIGN.md §6):
+//
+//	Serving ──(divergence verdict)──> Quarantined ──> Respawning ──> Serving
+//	Serving ──(DrainShard)──────────> Draining ─────> Respawning ──> Serving
+//
+// A supervisor loop subscribes to each shard monitor's verdict
+// notification. On divergence it quarantines the shard (the balancer
+// routes around it), cuts the shard's in-flight connections, waits for
+// the replica set to unwind, recycles the shard's RB segment through the
+// mem arena (MVEE.Close), and respawns a fresh replica set on a fresh
+// kernel — self-healing without interrupting the other shards' streams.
+//
+// Virtual time stays exact on the data plane: the balancer splices
+// connections, so a request is charged both hops' link costs and the
+// shard's monitored service time. Control-plane reactions (verdict
+// handling, respawn, drain grace) are host-time, as they would be for a
+// real orchestrator.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remon/internal/core"
+	"remon/internal/ghumvee"
+	"remon/internal/model"
+	"remon/internal/policy"
+	"remon/internal/vkernel"
+	"remon/internal/vnet"
+)
+
+// State is a shard's health state.
+type State int32
+
+// Shard lifecycle states.
+const (
+	// Serving: healthy, receiving new connections.
+	Serving State = iota
+	// Draining: administratively retiring; no new connections, in-flight
+	// ones allowed to finish within the drain grace.
+	Draining
+	// Quarantined: divergence verdict received; isolated from traffic,
+	// in-flight connections cut, replica set being torn down.
+	Quarantined
+	// Respawning: old replica set recycled; a fresh one is being built.
+	Respawning
+)
+
+func (s State) String() string {
+	switch s {
+	case Serving:
+		return "serving"
+	case Draining:
+		return "draining"
+	case Quarantined:
+		return "quarantined"
+	case Respawning:
+		return "respawning"
+	}
+	return "?"
+}
+
+// Routing selects the balancer's shard-pick policy.
+type Routing int
+
+// Routing policies.
+const (
+	// RouteRoundRobin spreads new connections evenly over Serving shards.
+	RouteRoundRobin Routing = iota
+	// RouteAffinity maps a client address to a shard by rendezvous
+	// (highest-random-weight) hashing: the same client consistently
+	// reaches the same shard, and a shard's removal only moves that
+	// shard's clients.
+	RouteAffinity
+)
+
+// Config parameterises a fleet.
+type Config struct {
+	// Shards is the number of MVEE shards (default 4).
+	Shards int
+	// Replicas per shard MVEE (default 2).
+	Replicas int
+	// Policy is the spatial relaxation level; nil selects SOCKET_RW, the
+	// server-benchmark level. A pointer so that the meaningful zero
+	// level (policy.LevelNone — IP-MON disabled, everything lockstepped)
+	// stays selectable.
+	Policy *policy.Level
+	// Routing is the balancer policy (default round-robin).
+	Routing Routing
+
+	// FrontAddr is the balancer's address on the front network
+	// (default "fleet-lb:80").
+	FrontAddr string
+	// FrontLink / BackLink are the client-to-balancer and
+	// balancer-to-shard link profiles (defaults: GigabitLocal front,
+	// Loopback back — the balancer sits next to the shards).
+	FrontLink vnet.Link
+	BackLink  vnet.Link
+
+	// RequestSize / ResponseSize / ComputePerRequest shape the shard
+	// server protocol (defaults 64 / 256 / 2µs).
+	RequestSize       int
+	ResponseSize      int
+	ComputePerRequest model.Duration
+
+	// RBSize / Partitions / Seed / LockstepTimeout pass through to each
+	// shard's core.Config. RBSize defaults to 4 MiB — fleet churn
+	// recycles these through the mem arena, so the class stays hot.
+	RBSize          uint64
+	Partitions      int
+	Seed            uint64
+	LockstepTimeout time.Duration
+
+	// DrainGrace bounds how long DrainShard waits for in-flight
+	// connections before cutting them (default 2s host time).
+	DrainGrace time.Duration
+	// BackendConnectWait bounds the balancer's wait for a shard's accept
+	// queue (default 250ms host time) so a wedged backend fails fast.
+	BackendConnectWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Policy == nil {
+		lv := policy.SocketRWLevel
+		c.Policy = &lv
+	}
+	if c.FrontAddr == "" {
+		c.FrontAddr = "fleet-lb:80"
+	}
+	if c.FrontLink == (vnet.Link{}) {
+		c.FrontLink = vnet.GigabitLocal
+	}
+	if c.BackLink == (vnet.Link{}) {
+		c.BackLink = vnet.Loopback
+	}
+	if c.RequestSize <= 0 {
+		c.RequestSize = 64
+	}
+	if c.ResponseSize <= 0 {
+		c.ResponseSize = 256
+	}
+	if c.ComputePerRequest <= 0 {
+		c.ComputePerRequest = 2 * model.Microsecond
+	}
+	if c.RBSize == 0 {
+		c.RBSize = 4 << 20
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xF1EE7
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 2 * time.Second
+	}
+	if c.BackendConnectWait <= 0 {
+		c.BackendConnectWait = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Transition is one recorded shard state change.
+type Transition struct {
+	Shard  int
+	Gen    int // respawn generation the transition applies to
+	From   State
+	To     State
+	At     time.Time // host wall-clock
+	Reason string
+}
+
+// ShardInfo is one shard's stats snapshot.
+type ShardInfo struct {
+	Index       int
+	State       State
+	Gen         int
+	Addr        string
+	ConnsRouted uint64
+	InFlight    int
+	LastVerdict ghumvee.Verdict
+}
+
+// Stats is a fleet-wide snapshot.
+type Stats struct {
+	Shards       []ShardInfo
+	ConnsRouted  uint64
+	ConnsRefused uint64
+	// Failovers counts in-flight connections cut by quarantine or
+	// drain-expiry.
+	Failovers uint64
+	// Recoveries counts completed Quarantined->Serving cycles.
+	Recoveries int
+}
+
+// shard is one MVEE shard and its supervisor-owned runtime state.
+type shard struct {
+	idx  int
+	addr string
+
+	mu          sync.Mutex
+	state       State
+	gen         int
+	net         *vnet.Network
+	kernel      *vkernel.Kernel
+	mvee        *core.MVEE
+	runDone     chan *core.Report
+	splices     map[*vnet.Splice]struct{}
+	// pending counts connections picked for this shard whose splice is
+	// not yet registered or abandoned (track/pendingDone retire the
+	// slot) — the drain-emptiness check must see them or it can cut a
+	// stream mid-establishment.
+	pending     int
+	connsRouted uint64
+	lastVerdict ghumvee.Verdict
+
+	// inject arms the next-request divergence (the compromised-master
+	// simulation); consumed by the shard server program's replica 0.
+	inject atomic.Bool
+}
+
+// verdictEvent carries a shard monitor's divergence notification to the
+// supervisor.
+type verdictEvent struct {
+	shard int
+	gen   int
+	v     ghumvee.Verdict
+}
+
+// Fleet is a running shard fleet.
+type Fleet struct {
+	cfg      Config
+	frontNet *vnet.Network
+	frontK   *vkernel.Kernel
+	lis      *vnet.Listener
+	shards   []*shard
+
+	rrNext   atomic.Uint64
+	verdicts chan verdictEvent
+	stopCh   chan struct{}
+	stopping atomic.Bool
+	wg       sync.WaitGroup
+
+	mu           sync.Mutex
+	transitions  []Transition
+	routes       map[string]routeEntry
+	refused      uint64
+	failovers    uint64
+	recoveries   int
+	recoveryLats []time.Duration
+}
+
+type routeEntry struct {
+	shard int
+	gen   int
+}
+
+// New builds the fleet: N shards (each booted and listening) behind a
+// bound front-end balancer, with the supervisor running. Callers must
+// Close the fleet.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:      cfg,
+		frontNet: vnet.New(cfg.FrontLink),
+		verdicts: make(chan verdictEvent, cfg.Shards*4),
+		stopCh:   make(chan struct{}),
+		routes:   map[string]routeEntry{},
+	}
+	f.frontK = vkernel.New(f.frontNet)
+	lis, err := f.frontNet.Listen(cfg.FrontAddr, 1024)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: binding balancer %s: %w", cfg.FrontAddr, err)
+	}
+	f.lis = lis
+
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			idx:     i,
+			addr:    fmt.Sprintf("shard-%d:9000", i),
+			state:   Respawning,
+			splices: map[*vnet.Splice]struct{}{},
+		}
+		f.shards = append(f.shards, s)
+		if err := f.buildShard(s); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.setState(s, Serving, "boot")
+	}
+
+	f.wg.Add(2)
+	go f.acceptLoop()
+	go f.supervise()
+	return f, nil
+}
+
+// FrontKernel exposes the front-side kernel so native client load
+// (workload.RunFleetClients) can share the balancer's network.
+func (f *Fleet) FrontKernel() *vkernel.Kernel { return f.frontK }
+
+// FrontNetwork exposes the front network for vnet-level clients.
+func (f *Fleet) FrontNetwork() *vnet.Network { return f.frontNet }
+
+// FrontAddr reports the balancer address.
+func (f *Fleet) FrontAddr() string { return f.cfg.FrontAddr }
+
+// buildShard constructs a fresh replica set for s: new network and
+// kernel, new MVEE (its RB segment comes from the mem arena when a
+// recycled one fits), the shard server program started, listener up.
+func (f *Fleet) buildShard(s *shard) error {
+	if f.stopping.Load() {
+		return fmt.Errorf("fleet: closing")
+	}
+	net := vnet.New(f.cfg.BackLink)
+	net.SetConnectWait(f.cfg.BackendConnectWait)
+	k := vkernel.New(net)
+	idx, gen := s.idx, s.gen
+	mvee, err := core.New(core.Config{
+		Mode:     core.ModeReMon,
+		Replicas: f.cfg.Replicas,
+		Policy:   *f.cfg.Policy,
+		RBSize:   f.cfg.RBSize,
+		// Spread partitions so concurrent connections rarely share one.
+		Partitions:      f.cfg.Partitions,
+		Seed:            f.cfg.Seed + uint64(idx)*0x10001 + uint64(gen)*0x9E3779B9,
+		Kernel:          k,
+		LockstepTimeout: f.cfg.LockstepTimeout,
+		OnVerdict: func(v ghumvee.Verdict) {
+			f.notifyVerdict(idx, gen, v)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: building shard %d gen %d: %w", idx, gen, err)
+	}
+	s.inject.Store(false)
+	runDone := make(chan *core.Report, 1)
+	prog := serverProgram(serverParams{
+		Addr:         s.addr,
+		RequestSize:  f.cfg.RequestSize,
+		ResponseSize: f.cfg.ResponseSize,
+		Compute:      f.cfg.ComputePerRequest,
+		Inject:       &s.inject,
+	})
+	go func() { runDone <- mvee.Run(prog) }()
+
+	// The shard joins the pool only once its server is listening.
+	deadline := time.Now().Add(10 * time.Second)
+	for !net.HasListener(s.addr) {
+		if time.Now().After(deadline) {
+			mvee.Shutdown("boot timeout")
+			<-runDone
+			mvee.Close()
+			return fmt.Errorf("fleet: shard %d gen %d never started listening", idx, gen)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+
+	// Install under the shard lock with a stopping re-check: Close may
+	// have swept this shard (seeing no MVEE) while we were booting — a
+	// replica set installed after that sweep would leak forever. The
+	// check and the install share one critical section, so either Close's
+	// sweep finds the installed MVEE and retires it, or we observe
+	// stopping here and retire it ourselves.
+	s.mu.Lock()
+	if f.stopping.Load() {
+		s.mu.Unlock()
+		mvee.Shutdown("fleet closing")
+		<-runDone
+		mvee.Close()
+		return fmt.Errorf("fleet: closing")
+	}
+	s.net = net
+	s.kernel = k
+	s.mvee = mvee
+	s.runDone = runDone
+	s.mu.Unlock()
+	return nil
+}
+
+// notifyVerdict enqueues a divergence verdict for the supervisor. Called
+// on the declaring replica's goroutine; never blocks it.
+func (f *Fleet) notifyVerdict(idx, gen int, v ghumvee.Verdict) {
+	select {
+	case f.verdicts <- verdictEvent{shard: idx, gen: gen, v: v}:
+	default:
+		// Queue full: the supervisor is already saturated with verdicts;
+		// the gen check makes dropping duplicates safe.
+	}
+}
+
+// supervise is the self-healing loop: quarantine, teardown, respawn.
+func (f *Fleet) supervise() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		case ev := <-f.verdicts:
+			f.handleDivergence(ev)
+		}
+	}
+}
+
+// handleDivergence runs the Quarantined -> Respawning -> Serving cycle
+// for one shard verdict.
+func (f *Fleet) handleDivergence(ev verdictEvent) {
+	s := f.shards[ev.shard]
+
+	// Claim the shard: a Serving — or Draining: a rolling restart must
+	// not erase an attack signal — shard of the matching generation
+	// transitions; anything else is a stale or duplicate event. Claiming
+	// a Draining shard is safe: DrainShard's wait loop observes the
+	// state change (or the taken MVEE) and bows out.
+	s.mu.Lock()
+	if s.gen != ev.gen || (s.state != Serving && s.state != Draining) || s.mvee == nil {
+		s.mu.Unlock()
+		return
+	}
+	from := s.state
+	s.state = Quarantined
+	s.lastVerdict = ev.v
+	mvee, runDone := s.mvee, s.runDone
+	s.mvee = nil
+	splices := s.takeSplicesLocked()
+	s.mu.Unlock()
+	quarantinedAt := time.Now()
+	f.record(s, ev.gen, from, Quarantined, "divergence: "+ev.v.Reason)
+
+	// Drain: the shard's replicas are dead or dying, so in-flight
+	// connections cannot complete — cut them so their clients fail fast
+	// instead of hanging.
+	f.cutSplices(splices)
+
+	// Teardown: wait for Run to unwind (the verdict already crashed the
+	// replicas), then recycle the RB segment through the mem arena.
+	<-runDone
+	mvee.Close()
+	f.setState(s, Respawning, "replica set recycled")
+
+	// Respawn a fresh replica set (new diversification seed, recycled RB
+	// backing) and rejoin the pool.
+	s.mu.Lock()
+	s.gen++
+	s.mu.Unlock()
+	if err := f.buildShard(s); err != nil {
+		// Fleet closing (or resource failure): leave the shard out of the
+		// pool; Close will not find an MVEE to retire.
+		f.setState(s, Quarantined, "respawn failed: "+err.Error())
+		return
+	}
+	f.setState(s, Serving, "respawned")
+	f.mu.Lock()
+	f.recoveries++
+	f.recoveryLats = append(f.recoveryLats, time.Since(quarantinedAt))
+	f.mu.Unlock()
+}
+
+// DrainShard gracefully retires and recycles a Serving shard: new
+// connections route elsewhere immediately, in-flight ones get DrainGrace
+// to finish, then the replica set is torn down and respawned — a rolling
+// restart.
+func (f *Fleet) DrainShard(idx int) error {
+	if idx < 0 || idx >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", idx)
+	}
+	if f.stopping.Load() {
+		return fmt.Errorf("fleet: closing")
+	}
+	s := f.shards[idx]
+	s.mu.Lock()
+	if s.state != Serving || s.mvee == nil {
+		st := s.state
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: shard %d is %v, not serving", idx, st)
+	}
+	s.state = Draining
+	gen := s.gen
+	s.mu.Unlock()
+	f.record(s, gen, Serving, Draining, "drain requested")
+
+	// Wait for in-flight connections to finish, then claim the MVEE in
+	// the same critical section as the emptiness check — otherwise a
+	// connection picked while Serving could register between the final
+	// poll and the claim and be cut despite finishing in time.
+	deadline := time.Now().Add(f.cfg.DrainGrace)
+	var mvee *core.MVEE
+	var runDone chan *core.Report
+	var splices map[*vnet.Splice]struct{}
+	for {
+		s.mu.Lock()
+		if s.state != Draining || s.mvee == nil {
+			// A concurrent verdict or Close claimed the shard first.
+			s.mu.Unlock()
+			return nil
+		}
+		if (len(s.splices) == 0 && s.pending == 0) || time.Now().After(deadline) {
+			s.state = Respawning
+			mvee, runDone = s.mvee, s.runDone
+			s.mvee = nil
+			splices = s.takeSplicesLocked()
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+	}
+	reason := "drained"
+	if n := len(splices); n > 0 {
+		reason = fmt.Sprintf("drain grace expired, %d connections cut", n)
+	}
+	f.record(s, gen, Draining, Respawning, reason)
+	f.cutSplices(splices)
+
+	mvee.Shutdown(reason)
+	<-runDone
+	mvee.Close()
+
+	s.mu.Lock()
+	s.gen++
+	s.mu.Unlock()
+	if err := f.buildShard(s); err != nil {
+		f.setState(s, Quarantined, "respawn failed: "+err.Error())
+		return err
+	}
+	f.setState(s, Serving, "rotated")
+
+	// A verdict that fired while the fresh set was still booting hit the
+	// supervisor with the shard in Respawning, where the claim check
+	// drops it — and the monitor only fires once. Re-notify now that the
+	// shard is Serving; the generation claim makes a duplicate harmless.
+	// (The supervisor's own respawn path has no such window: it is
+	// single-threaded, so a boot-time verdict waits in the channel until
+	// the shard is Serving.)
+	s.mu.Lock()
+	fresh, freshGen := s.mvee, s.gen
+	s.mu.Unlock()
+	if fresh != nil && fresh.Monitor != nil && fresh.Monitor.Diverged() {
+		f.notifyVerdict(s.idx, freshGen, fresh.Monitor.Verdict())
+	}
+	return nil
+}
+
+// InjectDivergence arms the compromised-master simulation on a shard:
+// its master replica tampers with the next response payload, which the
+// slave's IP-MON comparison catches as divergence (§3.3). Test, attack
+// and bench harnesses use it to exercise the quarantine path.
+func (f *Fleet) InjectDivergence(idx int) error {
+	if idx < 0 || idx >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", idx)
+	}
+	f.shards[idx].inject.Store(true)
+	return nil
+}
+
+// takeSplicesLocked detaches and returns the shard's in-flight splice
+// set; s.mu must be held.
+func (s *shard) takeSplicesLocked() map[*vnet.Splice]struct{} {
+	splices := s.splices
+	s.splices = map[*vnet.Splice]struct{}{}
+	return splices
+}
+
+// cutSplices aborts a detached splice set and accounts the failovers.
+func (f *Fleet) cutSplices(splices map[*vnet.Splice]struct{}) {
+	for sp := range splices {
+		sp.Abort()
+	}
+	if len(splices) > 0 {
+		f.mu.Lock()
+		f.failovers += uint64(len(splices))
+		f.mu.Unlock()
+	}
+}
+
+// setState transitions s and records it.
+func (f *Fleet) setState(s *shard, to State, reason string) {
+	s.mu.Lock()
+	from := s.state
+	s.state = to
+	gen := s.gen
+	s.mu.Unlock()
+	f.record(s, gen, from, to, reason)
+}
+
+func (f *Fleet) record(s *shard, gen int, from, to State, reason string) {
+	f.mu.Lock()
+	f.transitions = append(f.transitions, Transition{
+		Shard: s.idx, Gen: gen, From: from, To: to, At: time.Now(), Reason: reason,
+	})
+	f.mu.Unlock()
+}
+
+// Transitions returns a copy of the state-change log.
+func (f *Fleet) Transitions() []Transition {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Transition(nil), f.transitions...)
+}
+
+// RecoveryLatencies reports host-time Quarantined->Serving durations for
+// completed divergence recoveries.
+func (f *Fleet) RecoveryLatencies() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.recoveryLats...)
+}
+
+// ShardState reports a shard's current state and generation.
+func (f *Fleet) ShardState(idx int) (State, int) {
+	s := f.shards[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state, s.gen
+}
+
+// RouteOf reports which shard (and generation) a client address was
+// balanced to. Client addresses are the ephemeral endpoints vnet assigns
+// at connect time (Conn.LocalAddr on the client side).
+func (f *Fleet) RouteOf(clientAddr string) (shard, gen int, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.routes[clientAddr]
+	return r.shard, r.gen, ok
+}
+
+// Stats snapshots the fleet.
+func (f *Fleet) Stats() Stats {
+	st := Stats{}
+	var routed uint64
+	for _, s := range f.shards {
+		s.mu.Lock()
+		st.Shards = append(st.Shards, ShardInfo{
+			Index:       s.idx,
+			State:       s.state,
+			Gen:         s.gen,
+			Addr:        s.addr,
+			ConnsRouted: s.connsRouted,
+			InFlight:    len(s.splices),
+			LastVerdict: s.lastVerdict,
+		})
+		routed += s.connsRouted
+		s.mu.Unlock()
+	}
+	f.mu.Lock()
+	st.ConnsRouted = routed
+	st.ConnsRefused = f.refused
+	st.Failovers = f.failovers
+	st.Recoveries = f.recoveries
+	f.mu.Unlock()
+	return st
+}
+
+// WaitRecoveries blocks (host time, bounded) until at least n divergence
+// recoveries completed. Reports whether the target was reached.
+func (f *Fleet) WaitRecoveries(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		f.mu.Lock()
+		done := f.recoveries >= n
+		f.mu.Unlock()
+		if done {
+			return true
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return false
+}
+
+// WaitRecoveriesDriving waits like WaitRecoveries but interleaves small
+// client bursts, guaranteeing an armed InjectDivergence meets traffic —
+// without its own load a caller can race: the background workload may
+// finish before any request reaches the compromised shard, and the
+// injection then never fires. Burst zero-values fall back to a minimal
+// drive.
+func (f *Fleet) WaitRecoveriesDriving(n int, timeout time.Duration, burst DriveConfig) bool {
+	if burst.Conns <= 0 {
+		burst.Conns = 8
+	}
+	if burst.RequestsPerConn <= 0 {
+		burst.RequestsPerConn = 2
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.WaitRecoveries(n, 10*time.Millisecond) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		f.DriveClients(burst)
+	}
+}
+
+// Close stops the balancer and supervisor, then retires every shard
+// (graceful Shutdown, Run unwind, RB segment recycled). Idempotent.
+func (f *Fleet) Close() {
+	if !f.stopping.CompareAndSwap(false, true) {
+		return
+	}
+	f.lis.Close()
+	close(f.stopCh)
+	f.wg.Wait()
+
+	for _, s := range f.shards {
+		s.mu.Lock()
+		mvee, runDone := s.mvee, s.runDone
+		s.mvee = nil
+		splices := s.takeSplicesLocked()
+		s.state = Quarantined
+		s.mu.Unlock()
+		for sp := range splices {
+			sp.Abort()
+		}
+		if mvee != nil {
+			mvee.Shutdown("fleet close")
+			<-runDone
+			mvee.Close()
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+)
+
+// quickCfg keeps test fleets small and fast.
+func quickCfg(shards int) Config {
+	return Config{
+		Shards:          shards,
+		Replicas:        2,
+		RequestSize:     32,
+		ResponseSize:    128,
+		LockstepTimeout: 5 * time.Second,
+	}
+}
+
+func TestFleetServesAcrossShards(t *testing.T) {
+	f, err := New(quickCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	out := f.DriveClients(DriveConfig{
+		Conns: 16, RequestsPerConn: 8, ThinkTime: 2 * model.Microsecond,
+	})
+	completed, errors := 0, 0
+	for _, o := range out {
+		completed += o.Completed
+		errors += o.Errors
+	}
+	if errors != 0 {
+		t.Fatalf("%d client errors on a healthy fleet", errors)
+	}
+	if completed != 16*8 {
+		t.Fatalf("completed = %d, want %d", completed, 16*8)
+	}
+
+	// Round-robin spreads connections over every shard.
+	st := f.Stats()
+	if st.ConnsRouted != 16 {
+		t.Fatalf("routed = %d, want 16", st.ConnsRouted)
+	}
+	for _, si := range st.Shards {
+		if si.ConnsRouted == 0 {
+			t.Fatalf("shard %d received no connections under round-robin: %+v", si.Index, st.Shards)
+		}
+		if si.State != Serving {
+			t.Fatalf("shard %d is %v after healthy run", si.Index, si.State)
+		}
+	}
+
+	// Every connection's route is recorded and resolvable.
+	for _, o := range out {
+		if _, _, ok := f.RouteOf(o.LocalAddr); !ok {
+			t.Fatalf("no route recorded for %s", o.LocalAddr)
+		}
+	}
+}
+
+// TestFleetQuarantineRecovery is the acceptance scenario: four shards
+// serve a concurrent workload; a divergence injected into one shard
+// yields Quarantined -> Respawning -> Serving while the other three
+// shards' request streams complete with zero errors.
+func TestFleetQuarantineRecovery(t *testing.T) {
+	arenaBefore := mem.ArenaSnapshot()
+	f, err := New(quickCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Concurrent workload with enough per-connection round trips that
+	// shard 0's in-flight streams are mid-request when the verdict lands.
+	loadDone := make(chan []ConnOutcome, 1)
+	go func() {
+		loadDone <- f.DriveClients(DriveConfig{
+			Conns: 24, RequestsPerConn: 40, ThinkTime: 5 * model.Microsecond,
+		})
+	}()
+
+	// Let the load ramp, then compromise shard 0's master replica.
+	time.Sleep(2 * time.Millisecond)
+	if err := f.InjectDivergence(0); err != nil {
+		t.Fatal(err)
+	}
+	if !f.WaitRecoveriesDriving(1, 30*time.Second, DriveConfig{}) {
+		t.Fatalf("no recovery completed; transitions: %+v", f.Transitions())
+	}
+	out := <-loadDone
+
+	// Partition client outcomes by the shard the balancer chose.
+	okShards, badShardErrors := map[int]int{}, 0
+	for _, o := range out {
+		shard, _, routed := f.RouteOf(o.LocalAddr)
+		switch {
+		case routed && shard != 0:
+			okShards[shard] += o.Errors
+		case routed && shard == 0:
+			badShardErrors += o.Errors
+		default:
+			// Unrouted: refused in the quarantine window; tolerated.
+		}
+	}
+	for shard, errs := range okShards {
+		if errs != 0 {
+			t.Fatalf("healthy shard %d's streams saw %d errors", shard, errs)
+		}
+	}
+	if len(okShards) < 3 {
+		t.Fatalf("only %d healthy shards received traffic", len(okShards))
+	}
+
+	// The lifecycle ran Serving -> Quarantined -> Respawning -> Serving
+	// on shard 0.
+	var seq []State
+	for _, tr := range f.Transitions() {
+		if tr.Shard == 0 && tr.Gen == 0 && tr.From == Serving && tr.To == Quarantined {
+			seq = append(seq, Quarantined)
+		}
+		if tr.Shard == 0 && tr.To == Respawning {
+			seq = append(seq, Respawning)
+		}
+		if tr.Shard == 0 && tr.To == Serving && tr.Reason == "respawned" {
+			seq = append(seq, Serving)
+		}
+	}
+	if len(seq) < 3 || seq[0] != Quarantined || seq[1] != Respawning || seq[2] != Serving {
+		t.Fatalf("shard 0 lifecycle = %v; transitions: %+v", seq, f.Transitions())
+	}
+	st, gen := f.ShardState(0)
+	if st != Serving || gen != 1 {
+		t.Fatalf("shard 0 after recovery: state=%v gen=%d", st, gen)
+	}
+	if v := f.Stats().Shards[0].LastVerdict; !v.Diverged {
+		t.Fatalf("no divergence verdict recorded: %+v", v)
+	}
+	if lats := f.RecoveryLatencies(); len(lats) < 1 || lats[0] <= 0 {
+		t.Fatalf("recovery latencies = %v", lats)
+	}
+
+	// The respawned shard serves again: a fresh drive completes clean.
+	out = f.DriveClients(DriveConfig{Conns: 8, RequestsPerConn: 4})
+	for _, o := range out {
+		if o.Errors != 0 {
+			t.Fatalf("post-recovery drive saw errors: %+v", o)
+		}
+	}
+
+	// The respawn pulled its RB segment from the mem arena (the dead
+	// shard's segment was recycled just before).
+	arenaAfter := mem.ArenaSnapshot()
+	if arenaAfter.Hits == arenaBefore.Hits {
+		t.Fatalf("respawn did not recycle a pooled segment: before=%+v after=%+v", arenaBefore, arenaAfter)
+	}
+}
+
+func TestFleetDrainShardRotates(t *testing.T) {
+	f, err := New(quickCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	loadDone := make(chan []ConnOutcome, 1)
+	go func() {
+		loadDone <- f.DriveClients(DriveConfig{
+			Conns: 8, RequestsPerConn: 10, ThinkTime: 2 * model.Microsecond,
+		})
+	}()
+	time.Sleep(1 * time.Millisecond)
+	if err := f.DrainShard(0); err != nil {
+		t.Fatal(err)
+	}
+	out := <-loadDone
+	// A graceful drain lets in-flight streams finish: zero errors.
+	for _, o := range out {
+		if o.Errors != 0 {
+			t.Fatalf("drain cut a stream: %+v", o)
+		}
+	}
+	st, gen := f.ShardState(0)
+	if st != Serving || gen != 1 {
+		t.Fatalf("shard 0 after drain: state=%v gen=%d", st, gen)
+	}
+	sawDraining := false
+	for _, tr := range f.Transitions() {
+		if tr.Shard == 0 && tr.To == Draining {
+			sawDraining = true
+		}
+	}
+	if !sawDraining {
+		t.Fatal("drain never entered Draining state")
+	}
+}
+
+func TestFleetDrainRejectsBadShard(t *testing.T) {
+	f, err := New(quickCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.DrainShard(5); err == nil {
+		t.Fatal("drain of nonexistent shard succeeded")
+	}
+}
+
+// TestRendezvousAffinityConsistent checks the affinity math directly:
+// stable mapping, and removing one shard only remaps that shard's
+// clients.
+func TestRendezvousAffinityConsistent(t *testing.T) {
+	mk := func(idxs ...int) []*shard {
+		var out []*shard
+		for _, i := range idxs {
+			out = append(out, &shard{idx: i})
+		}
+		return out
+	}
+	all := mk(0, 1, 2, 3)
+	addrs := make([]string, 200)
+	assign := map[string]int{}
+	for i := range addrs {
+		addrs[i] = "ephemeral:" + itoa(40000+i)
+		s := rendezvousPick(all, addrs[i])
+		if s2 := rendezvousPick(all, addrs[i]); s2.idx != s.idx {
+			t.Fatal("affinity pick not deterministic")
+		}
+		assign[addrs[i]] = s.idx
+	}
+	// Spread: every shard gets a reasonable share.
+	counts := map[int]int{}
+	for _, v := range assign {
+		counts[v]++
+	}
+	for i := 0; i < 4; i++ {
+		if counts[i] == 0 {
+			t.Fatalf("shard %d got no clients: %v", i, counts)
+		}
+	}
+	// Remove shard 2: only shard 2's clients move.
+	without := mk(0, 1, 3)
+	for addr, prev := range assign {
+		now := rendezvousPick(without, addr).idx
+		if prev != 2 && now != prev {
+			t.Fatalf("client %s moved %d -> %d though its shard stayed", addr, prev, now)
+		}
+		if prev == 2 && now == 2 {
+			t.Fatal("client still mapped to removed shard")
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestFleetCloseIdempotent(t *testing.T) {
+	f, err := New(quickCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close()
+	// All shards retired.
+	for i := range f.shards {
+		if st, _ := f.ShardState(i); st == Serving {
+			t.Fatalf("shard %d still serving after Close", i)
+		}
+	}
+}

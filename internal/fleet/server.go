@@ -1,0 +1,119 @@
+// The shard server program: the epoll event-loop shape of §5.2's
+// nginx/memcached family (pointer-valued epoll cookies and all, so every
+// request exercises the §3.9 shadow mapping), adapted for fleet duty —
+// it serves until its replica set is torn down rather than exiting after
+// a fixed connection count, and it carries the compromised-master
+// simulation hook the quarantine path is tested with.
+package fleet
+
+import (
+	"sync/atomic"
+
+	"remon/internal/libc"
+	"remon/internal/model"
+	"remon/internal/vkernel"
+)
+
+// serverParams shapes one shard's server replica program.
+type serverParams struct {
+	Addr         string
+	RequestSize  int
+	ResponseSize int
+	Compute      model.Duration
+	// Inject, when armed, makes the master replica tamper with exactly
+	// one response payload. At SOCKET_RW level the send is unmonitored,
+	// so the slave's in-process IP-MON comparison — not GHUMVEE — must
+	// catch it (§3.3), which is exactly the detection path a compromised
+	// master would face.
+	Inject *atomic.Bool
+}
+
+// connState tracks one in-flight connection of the shard server.
+type connState struct {
+	fd     int
+	served int
+}
+
+// serverProgram builds the replica program. The same closure runs once
+// per replica; all per-replica state lives inside the body.
+func serverProgram(p serverParams) libc.Program {
+	return func(env *libc.Env) {
+		lfd, errno := env.Socket()
+		if errno != 0 {
+			return
+		}
+		if errno := env.Bind(lfd, p.Addr); errno != 0 {
+			return
+		}
+		if errno := env.Listen(lfd, 256); errno != 0 {
+			return
+		}
+		epfd, errno := env.EpollCreate()
+		if errno != 0 {
+			return
+		}
+		// Cookies are heap addresses — diversified per replica (§3.9).
+		listenerCookie := uint64(env.Alloc(16))
+		conns := map[uint64]*connState{}
+		env.EpollCtl(epfd, vkernel.EpollCtlAdd, lfd, libc.EpollEvent{
+			Events: vkernel.EpollIn, Data: listenerCookie,
+		})
+
+		resp := make([]byte, p.ResponseSize)
+		for i := range resp {
+			resp[i] = byte('a' + i%26)
+		}
+		tampered := make([]byte, p.ResponseSize)
+		copy(tampered, resp)
+		copy(tampered, "PWNED-EXFIL!")
+
+		reqBuf := make([]byte, p.RequestSize+64)
+		events := make([]libc.EpollEvent, 32)
+
+		// Serve until torn down: a dead thread's epoll_wait returns and
+		// the next syscall unwinds the program (libc.ErrKilled).
+		for {
+			n, errno := env.EpollWait(epfd, events, -1)
+			if errno != 0 {
+				return
+			}
+			for i := 0; i < n; i++ {
+				ev := events[i]
+				if ev.Data == listenerCookie {
+					cfd, errno := env.Accept(lfd)
+					if errno != 0 {
+						continue
+					}
+					cookie := uint64(env.Alloc(16))
+					conns[cookie] = &connState{fd: cfd}
+					env.EpollCtl(epfd, vkernel.EpollCtlAdd, cfd, libc.EpollEvent{
+						Events: vkernel.EpollIn, Data: cookie,
+					})
+					continue
+				}
+				st := conns[ev.Data]
+				if st == nil {
+					continue
+				}
+				got, errno := env.Recv(st.fd, reqBuf)
+				if errno != 0 || got == 0 {
+					env.EpollCtl(epfd, vkernel.EpollCtlDel, st.fd, libc.EpollEvent{})
+					env.Close(st.fd)
+					delete(conns, ev.Data)
+					continue
+				}
+				env.Compute(p.Compute)
+				payload := resp
+				// Only the master consumes the injection: the slave keeps
+				// the benign payload, so the replicas' unmonitored sends
+				// genuinely diverge.
+				if p.Inject != nil && env.T.Proc.ReplicaIndex == 0 &&
+					p.Inject.CompareAndSwap(true, false) {
+					payload = tampered
+				}
+				env.Send(st.fd, payload)
+				st.served++
+			}
+		}
+	}
+}

@@ -23,11 +23,13 @@ import (
 	"remon/internal/vkernel"
 )
 
-// LockstepTimeout is the rendezvous watchdog: if a lockstep group stays
-// incomplete this long (host wall-clock) the replica set is declared
-// desynchronised. It must comfortably exceed any legitimate blocking wait
-// in the benchmarks.
-var LockstepTimeout = 10 * time.Second
+// DefaultLockstepTimeout is the rendezvous watchdog default: if a
+// lockstep group stays incomplete this long (host wall-clock) the replica
+// set is declared desynchronised. It must comfortably exceed any
+// legitimate blocking wait in the benchmarks. The timeout is per-monitor
+// state (SetLockstepTimeout) — concurrent MVEEs, as a fleet creates, can
+// run different watchdogs without racing on a package global.
+const DefaultLockstepTimeout = 10 * time.Second
 
 // Replica is one supervised variant.
 type Replica struct {
@@ -61,31 +63,35 @@ type Stats struct {
 type Monitor struct {
 	Kernel *vkernel.Kernel
 
-	mu       sync.Mutex
-	replicas []*Replica
-	byProc   map[*vkernel.Process]*Replica
-	ltids    map[*vkernel.Thread]int
-	groups   map[int]*rendezvous
-	fileMap  *fdmap.FileMap
-	shadow   *fdmap.EpollShadow
-	rbuf     *rb.Buffer
-	allowShm bool // raised while GHUMVEE itself arbitrates RB setup (§3.5)
-	diverged bool
-	verdict  Verdict
-	pending  []int // deferred signals (§2.2, §3.8)
-	stats    Stats
+	mu        sync.Mutex
+	replicas  []*Replica
+	byProc    map[*vkernel.Process]*Replica
+	ltids     map[*vkernel.Thread]int
+	groups    map[int]*rendezvous
+	fileMap   *fdmap.FileMap
+	shadow    *fdmap.EpollShadow
+	rbuf      *rb.Buffer
+	allowShm  bool // raised while GHUMVEE itself arbitrates RB setup (§3.5)
+	diverged  bool
+	stopped   bool // administrative teardown (Stop): not a divergence
+	verdict   Verdict
+	onVerdict func(Verdict)
+	lockstep  time.Duration // rendezvous watchdog
+	pending   []int         // deferred signals (§2.2, §3.8)
+	stats     Stats
 }
 
 // New creates a monitor supervising the given replica processes
 // (replicas[0] is the master).
 func New(k *vkernel.Kernel, procs []*vkernel.Process) *Monitor {
 	m := &Monitor{
-		Kernel:  k,
-		byProc:  map[*vkernel.Process]*Replica{},
-		ltids:   map[*vkernel.Thread]int{},
-		groups:  map[int]*rendezvous{},
-		fileMap: fdmap.New(mem.NewSharedSegment(-1, fdmap.MapSize)),
-		shadow:  fdmap.NewEpollShadow(len(procs)),
+		Kernel:   k,
+		byProc:   map[*vkernel.Process]*Replica{},
+		ltids:    map[*vkernel.Thread]int{},
+		groups:   map[int]*rendezvous{},
+		fileMap:  fdmap.New(mem.NewSharedSegment(-1, fdmap.MapSize)),
+		shadow:   fdmap.NewEpollShadow(len(procs)),
+		lockstep: DefaultLockstepTimeout,
 	}
 	for i, p := range procs {
 		r := &Replica{Index: i, Proc: p}
@@ -156,6 +162,85 @@ func (m *Monitor) Diverged() bool {
 	return m.diverged
 }
 
+// SetLockstepTimeout adjusts this monitor's rendezvous watchdog (0 is
+// ignored; the default stays).
+func (m *Monitor) SetLockstepTimeout(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lockstep = d
+}
+
+// LockstepTimeout reports the monitor's rendezvous watchdog.
+func (m *Monitor) LockstepTimeout() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lockstep
+}
+
+// SetVerdictHandler registers a callback fired exactly once, when (and
+// if) the monitor declares divergence. Fleet supervisors hang their
+// quarantine path off it. The callback runs on the declaring goroutine
+// after the replica set has been torn down; it must not call back into
+// the monitor's lockstep machinery.
+func (m *Monitor) SetVerdictHandler(fn func(Verdict)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onVerdict = fn
+}
+
+// halted reports whether lockstep processing should bail out — either a
+// divergence verdict or an administrative Stop.
+func (m *Monitor) halted() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.diverged || m.stopped
+}
+
+// Stop tears the replica set down administratively — the fleet layer's
+// shard retirement path (drain complete, rolling restart, fleet
+// shutdown). The reason lands in the thread crash records so a retired
+// shard's post-mortem shows why. Unlike declareDivergence it records no
+// verdict: replica crashes triggered by the teardown are expected, not
+// an attack signal. Idempotent; safe concurrently with running replicas.
+func (m *Monitor) Stop(reason string) {
+	if reason == "" {
+		reason = "administrative teardown"
+	}
+	m.mu.Lock()
+	if m.stopped || m.diverged {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	replicas := append([]*Replica(nil), m.replicas...)
+	groups := make([]*rendezvous, 0, len(m.groups))
+	for _, g := range m.groups {
+		groups = append(groups, g)
+	}
+	m.mu.Unlock()
+
+	for _, g := range groups {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+	for _, r := range replicas {
+		for _, t := range r.Proc.Threads() {
+			t.Crash("mvee stop: " + reason)
+		}
+	}
+}
+
+// Stopped reports whether Stop was called.
+func (m *Monitor) Stopped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stopped
+}
+
 // rendezvous is one logical thread's lockstep meeting point.
 type rendezvous struct {
 	mu       sync.Mutex
@@ -210,7 +295,7 @@ func (m *Monitor) replicaCount() int {
 // MonitorCall is the lockstep path: every replica's thread for the same
 // logical call arrives here; the last arrival acts as the monitor.
 func (m *Monitor) MonitorCall(t *vkernel.Thread, c *vkernel.Call, exec func(*vkernel.Call) vkernel.Result) vkernel.Result {
-	if m.Diverged() {
+	if m.halted() {
 		return vkernel.Result{Errno: vkernel.EPERM}
 	}
 	rep := m.replicaOf(t)
@@ -239,7 +324,7 @@ func (m *Monitor) MonitorCall(t *vkernel.Thread, c *vkernel.Call, exec func(*vke
 		// wedged) trips the rendezvous watchdog — real GHUMVEE uses the
 		// same timeout-based desynchronisation detection.
 		round := g.round
-		watchdog := time.AfterFunc(LockstepTimeout, func() {
+		watchdog := time.AfterFunc(m.LockstepTimeout(), func() {
 			g.mu.Lock()
 			stale := g.round == round && g.arrivals[rep.Index] == a && !a.done
 			g.mu.Unlock()
@@ -248,7 +333,7 @@ func (m *Monitor) MonitorCall(t *vkernel.Thread, c *vkernel.Call, exec func(*vke
 			}
 		})
 		defer watchdog.Stop()
-		for !a.done && !m.Diverged() {
+		for !a.done && !m.halted() {
 			g.cond.Wait()
 		}
 		if !a.done {
@@ -737,7 +822,9 @@ func (m *Monitor) PendingSignals() int {
 // an attack" (§1).
 func (m *Monitor) declareDivergence(c *vkernel.Call, reason string) {
 	m.mu.Lock()
-	if m.diverged {
+	if m.diverged || m.stopped {
+		// Already handled — or an administrative Stop is tearing the set
+		// down, in which case crashes are expected and not an attack.
 		m.mu.Unlock()
 		return
 	}
@@ -748,6 +835,8 @@ func (m *Monitor) declareDivergence(c *vkernel.Call, reason string) {
 		name = vkernel.SyscallName(c.Num)
 	}
 	m.verdict = Verdict{Diverged: true, Reason: reason, Syscall: name}
+	verdict := m.verdict
+	notify := m.onVerdict
 	replicas := append([]*Replica(nil), m.replicas...)
 	groups := make([]*rendezvous, 0, len(m.groups))
 	for _, g := range m.groups {
@@ -764,6 +853,9 @@ func (m *Monitor) declareDivergence(c *vkernel.Call, reason string) {
 		for _, t := range r.Proc.Threads() {
 			t.Crash("mvee shutdown: " + reason)
 		}
+	}
+	if notify != nil {
+		notify(verdict)
 	}
 }
 
@@ -808,13 +900,13 @@ func (m *Monitor) wakeGroupsForExit() {
 // GHUMVEE may veto or shrink IP-MON's unmonitored-call set. The default
 // policy accepts any mask from a healthy replica set.
 func (m *Monitor) ApproveRegistration(p *vkernel.Process, mask *vkernel.SyscallMask) bool {
-	return !m.Diverged()
+	return !m.halted()
 }
 
 // ResetPartition implements rb.Arbiter (§3.2): wait until every slave has
 // drained the partition, then reset it.
 func (m *Monitor) ResetPartition(b *rb.Buffer, part int) {
-	for !b.Drained(part) && !m.Diverged() {
+	for !b.Drained(part) && !m.halted() {
 		time.Sleep(20 * time.Microsecond)
 	}
 	b.DoReset(part)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sync"
 	"testing"
+	"time"
 
 	"remon/internal/fdmap"
 	"remon/internal/mem"
@@ -410,6 +411,97 @@ func TestThreeReplicaLockstep(t *testing.T) {
 	// All replicas observe the master's pid (consistency, §2.1).
 	if res[0].Val != res[1].Val || res[1].Val != res[2].Val {
 		t.Fatalf("inconsistent getpid results: %+v", res)
+	}
+}
+
+func TestPerMonitorLockstepTimeout(t *testing.T) {
+	// Two monitors on different kernels hold different watchdogs — the
+	// state the old package global made racy under concurrent MVEEs.
+	e1 := newMonEnv(t, 2)
+	e2 := newMonEnv(t, 2)
+	e1.m.SetLockstepTimeout(50 * time.Millisecond)
+	if got := e1.m.LockstepTimeout(); got != 50*time.Millisecond {
+		t.Fatalf("timeout = %v", got)
+	}
+	if got := e2.m.LockstepTimeout(); got != DefaultLockstepTimeout {
+		t.Fatalf("second monitor inherited foreign timeout: %v", got)
+	}
+	e1.m.SetLockstepTimeout(0) // ignored
+	if got := e1.m.LockstepTimeout(); got != 50*time.Millisecond {
+		t.Fatalf("zero overwrote timeout: %v", got)
+	}
+
+	// The short watchdog fires when only one replica shows up.
+	done := make(chan vkernel.Result, 1)
+	go func() {
+		done <- e1.m.MonitorCall(e1.threads[0], &vkernel.Call{Num: vkernel.SysGetpid},
+			func(c *vkernel.Call) vkernel.Result { return e1.threads[0].RawSyscallC(c) })
+	}()
+	select {
+	case r := <-done:
+		if r.Ok() {
+			t.Fatal("half-arrived lockstep call completed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("short per-monitor watchdog never fired")
+	}
+	if !e1.m.Diverged() {
+		t.Fatal("watchdog timeout did not declare divergence")
+	}
+	if e2.m.Diverged() {
+		t.Fatal("divergence leaked across monitors")
+	}
+}
+
+func TestVerdictHandlerFiresOnce(t *testing.T) {
+	e := newMonEnv(t, 2)
+	var mu sync.Mutex
+	var got []Verdict
+	e.m.SetVerdictHandler(func(v Verdict) {
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+	})
+	calls := []*vkernel.Call{
+		{Num: vkernel.SysLseek, Args: [6]uint64{3, 1, 0}},
+		{Num: vkernel.SysLseek, Args: [6]uint64{3, 2, 0}},
+	}
+	e.lockstep(t, calls)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || !got[0].Diverged || got[0].Syscall != "lseek" {
+		t.Fatalf("verdict handler calls = %+v", got)
+	}
+}
+
+func TestStopTearsDownWithoutVerdict(t *testing.T) {
+	e := newMonEnv(t, 2)
+	e.m.Stop("test retirement")
+	e.m.Stop("") // idempotent
+	if !e.m.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	if e.m.Diverged() {
+		t.Fatal("administrative stop recorded a divergence")
+	}
+	if v := e.m.Verdict(); v.Diverged {
+		t.Fatalf("verdict after stop = %+v", v)
+	}
+	for _, th := range e.threads {
+		if !th.Exited() {
+			t.Fatal("replica thread survived Stop")
+		}
+	}
+	// Crash reports arriving after Stop (the teardown's own crashes) must
+	// not flip the verdict.
+	if e.m.Diverged() {
+		t.Fatal("post-stop crash became a divergence verdict")
+	}
+	// Further monitored calls bail out cleanly.
+	r := e.m.MonitorCall(e.threads[0], &vkernel.Call{Num: vkernel.SysGetpid},
+		func(c *vkernel.Call) vkernel.Result { return vkernel.Result{} })
+	if r.Ok() {
+		t.Fatal("monitored call completed on a stopped monitor")
 	}
 }
 

@@ -1,0 +1,89 @@
+// The splice forwarder: the virtual load balancer's data plane. A splice
+// pumps bytes between two established connections — typically a front-end
+// connection accepted from a client and a back-end connection opened to a
+// server shard — rewriting addresses implicitly (each side only ever sees
+// the balancer-owned endpoint) while carrying virtual arrival stamps
+// through unchanged, so end-to-end virtual time stays exact: the client is
+// charged both hops' link costs and nothing else.
+package vnet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Splice is one bidirectional forwarding session between two connections.
+type Splice struct {
+	a, b *Conn
+
+	done    chan struct{}
+	closing sync.Once
+
+	fwdBytes atomic.Uint64 // a -> b
+	revBytes atomic.Uint64 // b -> a
+}
+
+// NewSplice starts forwarding between a and b in both directions. The
+// splice owns both connections from here on: when either side reaches EOF
+// or errors, both are closed and Done fires once drained.
+func NewSplice(a, b *Conn) *Splice {
+	s := &Splice{a: a, b: b, done: make(chan struct{})}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.pump(a, b, &s.fwdBytes)
+	}()
+	go func() {
+		defer wg.Done()
+		s.pump(b, a, &s.revBytes)
+	}()
+	go func() {
+		wg.Wait()
+		close(s.done)
+	}()
+	return s
+}
+
+// pump copies src's stream into dst until EOF or reset, preserving each
+// chunk's virtual arrival time as the forwarded send time. A clean EOF
+// propagates as a one-way FIN (CloseWrite) so the reverse direction can
+// still deliver an in-flight response; a reset tears both sides down.
+func (s *Splice) pump(src, dst *Conn, counter *atomic.Uint64) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, arrive, err := src.Recv(buf, true)
+		if err != nil {
+			s.Abort()
+			return
+		}
+		if n == 0 {
+			dst.CloseWrite()
+			return
+		}
+		counter.Add(uint64(n))
+		if _, err := dst.Send(buf[:n], arrive); err != nil {
+			s.Abort()
+			return
+		}
+	}
+}
+
+// Abort force-closes both sides; in-flight data already queued at either
+// receiver still drains. Safe to call from any goroutine, any number of
+// times — the supervisor uses it to cut a quarantined shard's
+// connections.
+func (s *Splice) Abort() {
+	s.closing.Do(func() {
+		s.a.Close()
+		s.b.Close()
+	})
+}
+
+// Done is closed once both pump directions have terminated.
+func (s *Splice) Done() <-chan struct{} { return s.done }
+
+// Transferred reports total forwarded bytes (front->back, back->front).
+func (s *Splice) Transferred() (fwd, rev uint64) {
+	return s.fwdBytes.Load(), s.revBytes.Load()
+}

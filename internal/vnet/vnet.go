@@ -14,6 +14,7 @@ package vnet
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"remon/internal/model"
 )
@@ -168,8 +169,9 @@ type Conn struct {
 	rx         *rxQueue
 	peer       *Conn
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	closed  bool
+	wclosed bool // write half shut (CloseWrite); reads still allowed
 }
 
 // LocalAddr and RemoteAddr report the endpoint addresses.
@@ -181,7 +183,7 @@ func (c *Conn) RemoteAddr() string { return c.remoteAddr }
 // propagation). Data arrives remotely at link.TransferTime(now, len(data)).
 func (c *Conn) Send(data []byte, now model.Duration) (model.Duration, error) {
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.wclosed {
 		c.mu.Unlock()
 		return now, ErrClosed
 	}
@@ -216,7 +218,26 @@ func (c *Conn) PeekArrival() (model.Duration, bool) { return c.rx.peekArrival() 
 func (c *Conn) WritableNow() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return !c.closed
+	return !c.closed && !c.wclosed
+}
+
+// CloseWrite shuts only the write half (shutdown(SHUT_WR)): the peer
+// drains queued data then sees EOF, while this endpoint keeps reading.
+// The splice forwarder uses it to propagate a one-way FIN without
+// killing the not-yet-sent response.
+func (c *Conn) CloseWrite() {
+	c.mu.Lock()
+	if c.closed || c.wclosed {
+		c.mu.Unlock()
+		return
+	}
+	c.wclosed = true
+	peer := c.peer
+	c.mu.Unlock()
+	if peer != nil {
+		peer.rx.closePeer()
+	}
+	c.net.notify()
 }
 
 // Close shuts the connection down; the peer drains then sees EOF.
@@ -290,6 +311,9 @@ func (l *Listener) Accept(block bool) (*Conn, model.Duration, error) {
 	}
 	p := l.queue[0]
 	l.queue = l.queue[1:]
+	// Popping opened backlog room: wake connectors parked in the SYN
+	// queue (Connect's wait-for-room loop shares this cond).
+	l.cond.Broadcast()
 	return p.conn, p.arrive, nil
 }
 
@@ -308,18 +332,38 @@ func (l *Listener) Close() {
 	l.net.notify()
 }
 
+// DefaultConnectWait bounds how long (host wall-clock) a connection
+// attempt camps on a full accept queue before giving up — the stand-in
+// for the client's SYN retransmission window.
+const DefaultConnectWait = 5 * time.Second
+
 // Network is the simulated network fabric.
 type Network struct {
-	mu        sync.Mutex
-	listeners map[string]*Listener
-	link      Link
-	notifier  Notifier
-	nextPort  int
+	mu          sync.Mutex
+	listeners   map[string]*Listener
+	link        Link
+	notifier    Notifier
+	nextPort    int
+	connectWait time.Duration
 }
 
 // New creates a network whose connections use the given link profile.
 func New(link Link) *Network {
-	return &Network{listeners: map[string]*Listener{}, link: link, nextPort: 40000}
+	return &Network{
+		listeners:   map[string]*Listener{},
+		link:        link,
+		nextPort:    40000,
+		connectWait: DefaultConnectWait,
+	}
+}
+
+// SetConnectWait adjusts how long Connect waits for accept-queue room
+// before refusing (0 restores the old refuse-immediately behaviour).
+// Fleet balancers shrink it so a wedged backend fails fast.
+func (n *Network) SetConnectWait(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.connectWait = d
 }
 
 // SetNotifier registers the readiness callback (the kernel's poll hub).
@@ -378,10 +422,20 @@ func (n *Network) unbind(addr string, l *Listener) {
 // Connect establishes a connection to addr at virtual time now. The client
 // endpoint is usable at the returned time (one RTT later); the server-side
 // endpoint is queued for Accept with a one-way-latency arrival stamp.
+//
+// Backlog handling follows listen(2) semantics rather than refusing
+// outright: while the accept queue is full and the listener is live, the
+// SYN is effectively retransmitted — the connector waits (host wall-clock,
+// bounded by the network's connect-wait) until an Accept opens room. Only
+// a missing or closed listener, or a timed-out wait, refuses. The virtual
+// establishment stamps are unaffected by the host-side wait: admission to
+// the queue is a host-scheduling matter, the connection's virtual times
+// derive from the caller's clock exactly as before.
 func (n *Network) Connect(addr string, now model.Duration) (*Conn, model.Duration, error) {
 	n.mu.Lock()
 	l := n.listeners[addr]
 	link := n.link
+	wait := n.connectWait
 	n.nextPort++
 	localAddr := "ephemeral:" + itoa(n.nextPort)
 	n.mu.Unlock()
@@ -395,7 +449,7 @@ func (n *Network) Connect(addr string, now model.Duration) (*Conn, model.Duratio
 	server.peer = client
 
 	l.mu.Lock()
-	if l.closed || (l.backlog > 0 && len(l.queue) >= l.backlog) {
+	if !l.waitRoom(wait) {
 		l.mu.Unlock()
 		return nil, now + 2*link.Latency, ErrConnRefused
 	}
@@ -404,6 +458,41 @@ func (n *Network) Connect(addr string, now model.Duration) (*Conn, model.Duratio
 	l.mu.Unlock()
 	n.notify()
 	return client, now + 2*link.Latency, nil
+}
+
+// waitRoom blocks (with l.mu held) until the accept queue has room, the
+// listener closes, or the wait budget runs out. It reports whether the
+// caller may enqueue.
+func (l *Listener) waitRoom(wait time.Duration) bool {
+	if l.closed {
+		return false
+	}
+	if l.backlog <= 0 || len(l.queue) < l.backlog {
+		return true
+	}
+	if wait <= 0 {
+		return false
+	}
+	timedOut := false
+	timer := time.AfterFunc(wait, func() {
+		l.mu.Lock()
+		timedOut = true
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer timer.Stop()
+	for {
+		if l.closed {
+			return false
+		}
+		if len(l.queue) < l.backlog {
+			return true
+		}
+		if timedOut {
+			return false
+		}
+		l.cond.Wait()
+	}
 }
 
 func itoa(v int) string {

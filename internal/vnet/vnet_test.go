@@ -80,6 +80,7 @@ func TestListenerCloseUnbinds(t *testing.T) {
 
 func TestBacklogLimit(t *testing.T) {
 	n := New(GigabitLocal)
+	n.SetConnectWait(0) // refuse immediately instead of camping on the SYN queue
 	if _, err := n.Listen("b:1", 2); err != nil {
 		t.Fatal(err)
 	}
@@ -90,6 +91,292 @@ func TestBacklogLimit(t *testing.T) {
 	}
 	if _, _, err := n.Connect("b:1", 0); !errors.Is(err, ErrConnRefused) {
 		t.Fatalf("over-backlog connect = %v", err)
+	}
+}
+
+// TestBacklogWaitsForRoom: a connect against a full accept queue parks
+// until Accept opens room (listen(2) SYN-queue semantics) instead of
+// refusing while the listener is live.
+func TestBacklogWaitsForRoom(t *testing.T) {
+	n := New(Loopback)
+	l, err := n.Listen("b:2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Connect("b:2", 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := n.Connect("b:2", 0) // queue full: must wait, not refuse
+		done <- err
+	}()
+	if _, _, err := l.Accept(true); err != nil { // opens room
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiting connect = %v, want success after Accept", err)
+	}
+	if _, _, err := l.Accept(true); err != nil {
+		t.Fatalf("second accept = %v", err)
+	}
+}
+
+// TestBacklogStorm hammers one small-backlog listener from 100 goroutines:
+// every connect that reports success must be accepted exactly once (no
+// lost established connections, no double-accepts), and its payload must
+// arrive intact.
+func TestBacklogStorm(t *testing.T) {
+	n := New(Loopback)
+	const storm = 100
+	l, err := n.Listen("storm:80", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	accepted := make(chan *Conn, storm)
+	go func() {
+		for {
+			c, _, err := l.Accept(true)
+			if err != nil {
+				close(accepted)
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var okCount, refused int32
+	var mu sync.Mutex
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, est, err := n.Connect("storm:80", 0)
+			if err != nil {
+				mu.Lock()
+				refused++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			okCount++
+			mu.Unlock()
+			if _, err := c.Send([]byte{byte(id)}, est); err != nil {
+				t.Errorf("conn %d: send after established connect: %v", id, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if refused != 0 {
+		t.Fatalf("%d/%d storm connects refused with a live accepting listener", refused, storm)
+	}
+
+	// Drain exactly okCount server conns, each delivering one distinct id.
+	seen := map[byte]bool{}
+	for i := int32(0); i < okCount; i++ {
+		c := <-accepted
+		buf := make([]byte, 4)
+		cnt, _, err := c.Recv(buf, true)
+		if err != nil || cnt != 1 {
+			t.Fatalf("server recv = %d, %v", cnt, err)
+		}
+		if seen[buf[0]] {
+			t.Fatalf("connection id %d accepted twice", buf[0])
+		}
+		seen[buf[0]] = true
+	}
+	l.Close()
+	if extra, ok := <-accepted; ok && extra != nil {
+		t.Fatalf("double-accept: listener produced more conns than establishments")
+	}
+	if len(seen) != storm {
+		t.Fatalf("%d/%d established connections reached the server", len(seen), storm)
+	}
+}
+
+// TestBacklogStormCloseUnblocksWaiters: closing the listener mid-storm
+// refuses parked connectors instead of hanging them.
+func TestBacklogStormCloseUnblocksWaiters(t *testing.T) {
+	n := New(Loopback)
+	l, err := n.Listen("storm:81", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Connect("storm:81", 0); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	results := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, _, err := n.Connect("storm:81", 0)
+			results <- err
+		}()
+	}
+	l.Close()
+	for i := 0; i < 8; i++ {
+		if err := <-results; !errors.Is(err, ErrConnRefused) {
+			t.Fatalf("parked connect after close = %v, want refused", err)
+		}
+	}
+}
+
+// TestSpliceForwardsBothWays: the balancer splice relays request and
+// response bytes between two connections, preserving virtual arrival
+// stamps (the client pays both hops' link costs and nothing more).
+func TestSpliceForwardsBothWays(t *testing.T) {
+	front := New(LowLatency2ms)
+	back := New(Loopback)
+	fl, err := front.Listen("lb:80", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := back.Listen("shard:9000", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, est, err := front.Connect("lb:80", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fconn, at, err := fl.Accept(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bconn, _, err := back.Connect("shard:9000", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, _, err := bl.Accept(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSplice(fconn, bconn)
+
+	if _, err := client.Send([]byte("ping"), est); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	cnt, reqAt, err := server.Recv(buf, true)
+	if err != nil || cnt != 4 || string(buf[:4]) != "ping" {
+		t.Fatalf("server got %q (%d, %v)", buf[:cnt], cnt, err)
+	}
+	// Two hops: front link latency + serialisation, then back link again.
+	wantMin := LowLatency2ms.TransferTime(est, 4)
+	if reqAt < wantMin {
+		t.Fatalf("request arrived at %v, earlier than one front hop %v", reqAt, wantMin)
+	}
+	if _, err := server.Send([]byte("pong"), reqAt); err != nil {
+		t.Fatal(err)
+	}
+	cnt, respAt, err := client.Recv(buf, true)
+	if err != nil || cnt != 4 || string(buf[:4]) != "pong" {
+		t.Fatalf("client got %q (%d, %v)", buf[:cnt], cnt, err)
+	}
+	if respAt <= reqAt {
+		t.Fatalf("response arrival %v not after request arrival %v", respAt, reqAt)
+	}
+
+	// Client close propagates as a one-way FIN: the server drains then
+	// sees EOF, and the splice stays up until the server side finishes
+	// too (a half-closing client must not lose an in-flight response).
+	client.Close()
+	if cnt, _, _ := server.Recv(buf, true); cnt != 0 {
+		t.Fatal("server did not see EOF after client close")
+	}
+	server.Close()
+	<-s.Done()
+	fwd, rev := s.Transferred()
+	if fwd != 4 || rev != 4 {
+		t.Fatalf("splice transferred (%d, %d), want (4, 4)", fwd, rev)
+	}
+}
+
+// TestSpliceHalfCloseDeliversResponse: a client that half-closes right
+// after its last request still receives the response — the forward EOF
+// must propagate as a one-way FIN, not abort the reverse direction.
+func TestSpliceHalfCloseDeliversResponse(t *testing.T) {
+	n := New(Loopback)
+	fl, err := n.Listen("lb:90", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := n.Listen("shard:90", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, est, err := n.Connect("lb:90", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fconn, at, _ := fl.Accept(true)
+	bconn, _, err := n.Connect("shard:90", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, _, _ := bl.Accept(true)
+	s := NewSplice(fconn, bconn)
+
+	// Fire-and-half-close: request out, write side shut immediately.
+	if _, err := client.Send([]byte("req!"), est); err != nil {
+		t.Fatal(err)
+	}
+	client.CloseWrite()
+
+	buf := make([]byte, 16)
+	cnt, reqAt, err := server.Recv(buf, true)
+	if err != nil || cnt != 4 {
+		t.Fatalf("server recv = %d, %v", cnt, err)
+	}
+	if cnt, _, _ := server.Recv(buf, true); cnt != 0 {
+		t.Fatal("server did not see the forwarded FIN")
+	}
+	// The response must still cross the splice.
+	if _, err := server.Send([]byte("resp"), reqAt); err != nil {
+		t.Fatalf("server response after client half-close: %v", err)
+	}
+	cnt, _, err = client.Recv(buf, true)
+	if err != nil || cnt != 4 || string(buf[:4]) != "resp" {
+		t.Fatalf("client got %q (%d, %v), want response after half-close", buf[:cnt], cnt, err)
+	}
+	server.Close()
+	client.Close()
+	<-s.Done()
+}
+
+// TestSpliceAbortCutsBothSides: Abort resets both endpoints — the
+// quarantine path for in-flight connections of a dead shard.
+func TestSpliceAbortCutsBothSides(t *testing.T) {
+	n := New(Loopback)
+	l, err := n.Listen("s:1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := n.Connect("s:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _, _ := l.Accept(true)
+	b, _, err := n.Connect("s:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _, _ := l.Accept(true)
+
+	s := NewSplice(sa, sb)
+	s.Abort()
+	<-s.Done()
+	// Both outer endpoints must observe the cut (EOF or reset) instead of
+	// blocking forever — this is what un-wedges clients of a quarantined
+	// shard.
+	buf := make([]byte, 4)
+	if n, _, err := a.Recv(buf, true); n != 0 && err == nil {
+		t.Fatalf("endpoint a still receiving after abort: n=%d err=%v", n, err)
+	}
+	if n, _, err := b.Recv(buf, true); n != 0 && err == nil {
+		t.Fatalf("endpoint b still receiving after abort: n=%d err=%v", n, err)
 	}
 }
 

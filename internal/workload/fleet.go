@@ -1,0 +1,150 @@
+// The fleet client profile: the load generator for the serving-at-scale
+// scenario. Unlike RunClients' round-synchronised closed loops (which
+// pin per-request batching for single-server overhead measurement), the
+// fleet profile is an open worker pool — W concurrent native client
+// processes, each cycling through a stream of short connections — so
+// thousands of connections spread across the balancer's shards the way
+// production traffic would.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remon/internal/libc"
+	"remon/internal/model"
+	"remon/internal/vkernel"
+)
+
+// FleetClientConfig drives load against a fleet's front-end balancer.
+type FleetClientConfig struct {
+	// Addr is the balancer's front address.
+	Addr string
+	// Workers is the number of concurrent client processes (the
+	// concurrency the shards see).
+	Workers int
+	// ConnsPerWorker is how many sequential connections each worker
+	// opens; total connections = Workers * ConnsPerWorker.
+	ConnsPerWorker int
+	// RequestsPerConn is the round trips per connection.
+	RequestsPerConn int
+	// RequestSize / ResponseSize define the protocol.
+	RequestSize  int
+	ResponseSize int
+	// ThinkTime is per-request client-side work.
+	ThinkTime model.Duration
+}
+
+// TotalConns reports the workload's connection count.
+func (c FleetClientConfig) TotalConns() int { return c.Workers * c.ConnsPerWorker }
+
+// FleetClientResult is the aggregate client-side measurement.
+type FleetClientResult struct {
+	Completed int
+	Errors    int
+	ConnsOK   int
+	ConnsErr  int
+	// Duration is the virtual makespan: the maximum final client clock —
+	// aggregate fleet throughput is Completed / Duration.
+	Duration model.Duration
+}
+
+// RunFleetClients runs the fleet workload on kernel k (the fleet's front
+// kernel). It waits for the balancer to be listening, then lets every
+// worker free-run — no cross-worker barrier: fleet throughput wants
+// steady concurrent pressure, not synchronised rounds.
+func RunFleetClients(k *vkernel.Kernel, cfg FleetClientConfig, seed uint64) FleetClientResult {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.ConnsPerWorker <= 0 {
+		cfg.ConnsPerWorker = 1
+	}
+	if k.Net != nil {
+		for i := 0; i < 200000 && !k.Net.HasListener(cfg.Addr); i++ {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	var mu sync.Mutex
+	res := FleetClientResult{}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := k.NewProcess(fmt.Sprintf("fleet-client-%d", id), seed+uint64(id)*31, 10)
+			t := p.NewThread(nil)
+			env := libc.NewEnv(t, 0, nil)
+			completed, errors, connsOK, connsErr := runFleetWorker(env, cfg)
+			d := t.Clock.Now()
+			t.ExitThread(0)
+			mu.Lock()
+			res.Completed += completed
+			res.Errors += errors
+			res.ConnsOK += connsOK
+			res.ConnsErr += connsErr
+			if d > res.Duration {
+				res.Duration = d
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return res
+}
+
+// runFleetWorker cycles one worker through its connection stream.
+func runFleetWorker(env *libc.Env, cfg FleetClientConfig) (completed, errors, connsOK, connsErr int) {
+	req := make([]byte, cfg.RequestSize)
+	for i := range req {
+		req[i] = byte('A' + i%26)
+	}
+	resp := make([]byte, 4096)
+	for c := 0; c < cfg.ConnsPerWorker; c++ {
+		fd, errno := env.Socket()
+		if errno != 0 {
+			connsErr++
+			errors += cfg.RequestsPerConn
+			continue
+		}
+		if errno := env.Connect(fd, cfg.Addr); errno != 0 {
+			env.Close(fd)
+			connsErr++
+			errors += cfg.RequestsPerConn
+			continue
+		}
+		broken := false
+		for r := 0; r < cfg.RequestsPerConn; r++ {
+			if cfg.ThinkTime > 0 {
+				env.Compute(cfg.ThinkTime)
+			}
+			if _, errno := env.Send(fd, req); errno != 0 {
+				errors++
+				broken = true
+				break
+			}
+			got := 0
+			for got < cfg.ResponseSize {
+				n, errno := env.Recv(fd, resp)
+				if errno != 0 || n == 0 {
+					break
+				}
+				got += n
+			}
+			if got < cfg.ResponseSize {
+				errors++
+				broken = true
+				break
+			}
+			completed++
+		}
+		env.Close(fd)
+		if broken {
+			connsErr++
+		} else {
+			connsOK++
+		}
+	}
+	return completed, errors, connsOK, connsErr
+}
