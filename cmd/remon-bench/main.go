@@ -6,6 +6,7 @@
 //	remon-bench [-experiment table1|fig3|fig4|fig5|table2|fleet|all]
 //	            [-iterations N] [-connections N] [-requests N] [-quick]
 //	            [-rb-json BENCH_rb.json] [-fleet-json BENCH_fleet.json]
+//	            [-ghumvee-json BENCH_ghumvee.json]
 //
 // Absolute numbers are virtual-time measurements on the simulated
 // substrate; the claim being reproduced is the *shape* (see
@@ -29,6 +30,7 @@ func main() {
 	maxReplicas := flag.Int("max-replicas", 0, "Figure 5 replica sweep upper bound (0 = 7)")
 	quick := flag.Bool("quick", false, "small sizes for a fast smoke run")
 	rbJSON := flag.String("rb-json", "", "write RB fast-path perf results (ns/op, allocs/op, virtual metrics) to this file, e.g. BENCH_rb.json")
+	ghumveeJSON := flag.String("ghumvee-json", "", "write GHUMVEE monitored-path perf results (ns/call, wakeups/call, epochs flushed) to this file, e.g. BENCH_ghumvee.json")
 	fleetJSON := flag.String("fleet-json", "", "write fleet serving results (shards, aggregate req/s in virtual time, p99 recovery latency) to this file, e.g. BENCH_fleet.json")
 	fleetRecoveries := flag.Int("fleet-recoveries", 5, "injected-divergence recovery samples for the fleet scenario")
 	flag.Parse()
@@ -69,6 +71,23 @@ func main() {
 			return os.WriteFile(*rbJSON, append(payload, '\n'), 0o644)
 		})
 	}
+	if *ghumveeJSON != "" {
+		run("GHUMVEE monitored-path perf -> "+*ghumveeJSON, func() error {
+			results, err := bench.RunGhumveePerf()
+			if err != nil {
+				return err
+			}
+			payload, err := bench.MarshalGhumveePerf(results)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				fmt.Printf("%-32s %10.0f ns/mcall %8.3f wakeups/call %6d epochs flushed %12.1f virtual-ns/call\n",
+					r.Name, r.MonitoredNsPerCall, r.WakeupsPerCall, r.EpochsFlushed, r.VirtualNsPerCall)
+			}
+			return os.WriteFile(*ghumveeJSON, append(payload, '\n'), 0o644)
+		})
+	}
 	fleetDone := false
 	if *fleetJSON != "" {
 		fleetDone = true
@@ -85,7 +104,7 @@ func main() {
 			return os.WriteFile(*fleetJSON, append(payload, '\n'), 0o644)
 		})
 	}
-	if (*rbJSON != "" || *fleetJSON != "") && *experiment == "" {
+	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "") && *experiment == "" {
 		return
 	}
 

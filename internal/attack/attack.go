@@ -9,6 +9,8 @@ package attack
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"remon/internal/core"
@@ -191,10 +193,13 @@ func StaleTokenReplay() Outcome {
 // SharedMemoryChannel: replicas request a System V segment to build the
 // unmonitored bidirectional channel §2.1 forbids. Expected: EPERM.
 func SharedMemoryChannel() Outcome {
+	var errsMu sync.Mutex
 	var errs []vkernel.Errno
 	rep, err := core.RunProgram(remonCfg(), func(env *libc.Env) {
 		r := env.T.Syscall(vkernel.SysShmget, 42, 1<<16, 0)
+		errsMu.Lock()
 		errs = append(errs, r.Errno)
+		errsMu.Unlock()
 	})
 	if err != nil {
 		return Outcome{Name: "shared-memory channel", Detail: err.Error()}
@@ -220,8 +225,10 @@ func RBDisclosureViaProcMaps() Outcome {
 		return Outcome{Name: "RB disclosure via /proc/maps", Detail: err.Error()}
 	}
 	bases := m.RBBases()
-	leaked := false
-	var capturedLen int
+	// Both replica goroutines report their findings; atomics keep the
+	// harness itself race-free.
+	var leaked atomic.Bool
+	var capturedLen atomic.Int64
 	rep := m.Run(func(env *libc.Env) {
 		path := fmt.Sprintf("/proc/%d/maps", env.Getpid())
 		fd, errno := env.Open(path, vkernel.ORdonly, 0)
@@ -239,19 +246,19 @@ func RBDisclosureViaProcMaps() Outcome {
 		}
 		env.Close(fd)
 		content := sb.String()
-		capturedLen = len(content)
+		capturedLen.Store(int64(len(content)))
 		idx := env.T.Proc.ReplicaIndex
 		if idx >= 0 && idx < len(bases) {
 			addr := fmt.Sprintf("%012x", uint64(bases[idx]))
 			if strings.Contains(content, addr) {
-				leaked = true
+				leaked.Store(true)
 			}
 		}
 	})
 	return Outcome{
 		Name:     "RB disclosure via /proc/maps",
-		Detected: !leaked && !rep.Verdict.Diverged && capturedLen > 0,
-		Detail:   fmt.Sprintf("maps bytes read=%d, RB address leaked=%v", capturedLen, leaked),
+		Detected: !leaked.Load() && !rep.Verdict.Diverged && capturedLen.Load() > 0,
+		Detail:   fmt.Sprintf("maps bytes read=%d, RB address leaked=%v", capturedLen.Load(), leaked.Load()),
 	}
 }
 

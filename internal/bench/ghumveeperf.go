@@ -1,0 +1,156 @@
+// GHUMVEE monitored-path perf tracking: the lockstep rendezvous micro
+// experiments behind BenchmarkGhumveeLockstep, packaged behind
+// testing.Benchmark so cmd/remon-bench can emit a machine-readable
+// BENCH_ghumvee.json and future PRs can diff monitored-path host ns/call,
+// wakeups/call and epoch-flush counts against this one. The virtual
+// metric must stay bit-identical across engine changes and epoch
+// settings; only the host-side figures may move.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"remon/internal/core"
+	"remon/internal/ghumvee"
+	"remon/internal/libc"
+)
+
+// GhumveePerfResult is one lockstep experiment's figures of merit.
+type GhumveePerfResult struct {
+	// Name is the experiment id, e.g. "ghumvee-lockstep/r4-t4".
+	Name string `json:"name"`
+	// NsPerOp is host wall-clock per run of the profile.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// MonitoredNsPerCall is host wall-clock per monitored lockstep round
+	// (the optimisation target).
+	MonitoredNsPerCall float64 `json:"monitored_ns_per_call"`
+	// WakeupsPerCall counts targeted waiter wakes per monitored round
+	// (waiters served within the spin window cost none).
+	WakeupsPerCall float64 `json:"wakeups_per_call"`
+	// EpochsFlushed / EpochBatched track the deferred-verification
+	// machinery (zero when the epoch window is 1).
+	EpochsFlushed uint64 `json:"epochs_flushed"`
+	EpochBatched  uint64 `json:"epoch_batched"`
+	// VirtualNsPerCall is the simulation-side figure; it must stay
+	// bit-identical across perf PRs and across epoch settings.
+	VirtualNsPerCall float64 `json:"virtual_ns_per_call"`
+	Replicas         int     `json:"replicas"`
+	Threads          int     `json:"threads"`
+	EpochSize        int     `json:"epoch_size"`
+	N                int     `json:"n"`
+}
+
+// ghumveeLockstepProgram is the monitored micro-syscall profile: every
+// thread issues GhumveeCallsPerThread getpids, all lockstepped
+// (ModeGHUMVEE monitors everything).
+const GhumveeCallsPerThread = 60
+
+func ghumveeLockstepProgram(threads int) libc.Program {
+	return func(env *libc.Env) {
+		work := func(env *libc.Env) {
+			for i := 0; i < GhumveeCallsPerThread; i++ {
+				env.Getpid()
+			}
+		}
+		var hs []*libc.ThreadHandle
+		for j := 1; j < threads; j++ {
+			hs = append(hs, env.Spawn(work))
+		}
+		work(env)
+		for _, h := range hs {
+			h.Join()
+		}
+	}
+}
+
+type ghumveePerfCase struct {
+	replicas, threads, epoch int
+}
+
+func ghumveePerfCases() []ghumveePerfCase {
+	return []ghumveePerfCase{
+		{2, 4, 1},
+		{4, 4, 1},
+		{4, 4, ghumvee.DefaultEpochSize},
+		{8, 4, 1},
+	}
+}
+
+// RunGhumveePerf executes the tracked lockstep experiments under
+// testing.Benchmark and returns the results.
+func RunGhumveePerf() ([]GhumveePerfResult, error) {
+	var out []GhumveePerfResult
+	for _, c := range ghumveePerfCases() {
+		prog := ghumveeLockstepProgram(c.threads)
+		m, err := core.New(core.Config{
+			Mode: core.ModeGHUMVEE, Replicas: c.replicas, Seed: 5, EpochSize: c.epoch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Warm-up outside the timed region (replica bootstrap, ring and
+		// group creation); the measured loop is the monitored path.
+		if rep := m.Run(prog); rep.Verdict.Diverged {
+			return nil, errDiverged("ghumvee warm-up", rep.Verdict.Reason)
+		}
+		pre := m.Monitor.Stats()
+		var lastVirtual float64
+		var totalOps uint64
+		var runErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep := m.Run(prog)
+				if rep.Verdict.Diverged {
+					runErr = errDiverged("ghumvee lockstep", rep.Verdict.Reason)
+					b.FailNow()
+				}
+				totalOps++
+				lastVirtual = rep.Duration.Seconds() * 1e9 / float64(c.threads*GhumveeCallsPerThread)
+			}
+		})
+		post := m.Monitor.Stats()
+		m.Close()
+		if runErr != nil {
+			return nil, runErr
+		}
+		// Stats deltas cover every run testing.Benchmark made (probe
+		// rounds included), so derive the per-run call count from the
+		// total op counter and pair it with the framework's ns/op.
+		mcalls := post.MonitoredCalls - pre.MonitoredCalls
+		if mcalls == 0 || totalOps == 0 {
+			return nil, fmt.Errorf("bench: ghumvee perf measured no monitored calls")
+		}
+		callsPerOp := float64(mcalls) / float64(totalOps)
+		wakes := post.Wakeups - pre.Wakeups
+		out = append(out, GhumveePerfResult{
+			Name:               fmt.Sprintf("ghumvee-lockstep/r%d-t%d-e%d", c.replicas, c.threads, c.epoch),
+			NsPerOp:            float64(br.NsPerOp()),
+			AllocsPerOp:        br.AllocsPerOp(),
+			BytesPerOp:         br.AllocedBytesPerOp(),
+			MonitoredNsPerCall: float64(br.NsPerOp()) / callsPerOp,
+			WakeupsPerCall:     float64(wakes) / float64(mcalls),
+			EpochsFlushed:      post.EpochFlushes - pre.EpochFlushes,
+			EpochBatched:       post.EpochBatched - pre.EpochBatched,
+			VirtualNsPerCall:   lastVirtual,
+			Replicas:           c.replicas,
+			Threads:            c.threads,
+			EpochSize:          c.epoch,
+			N:                  br.N,
+		})
+	}
+	return out, nil
+}
+
+// MarshalGhumveePerf renders results as indented JSON (the
+// BENCH_ghumvee.json payload).
+func MarshalGhumveePerf(results []GhumveePerfResult) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Schema  string              `json:"schema"`
+		Results []GhumveePerfResult `json:"results"`
+	}{Schema: "remon-ghumvee-perf/v1", Results: results}, "", "  ")
+}

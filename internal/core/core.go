@@ -87,6 +87,12 @@ type Config struct {
 	// instance (0 keeps ghumvee.DefaultLockstepTimeout). Per-instance
 	// state: concurrent MVEEs — a fleet — can run different watchdogs.
 	LockstepTimeout time.Duration
+	// EpochSize sets GHUMVEE's divergence-checking window: batchable
+	// monitored calls accumulate and verify together at epoch boundaries
+	// (ghumvee.DefaultEpochSize is the recommended batching value; 0 or 1
+	// keeps immediate per-call verification). Virtual-time metrics are
+	// identical either way — only host-side monitor work is batched.
+	EpochSize int
 	// OnVerdict, when set, is invoked exactly once if the monitor
 	// declares divergence — the fleet supervisor's quarantine trigger.
 	// It runs on the declaring goroutine after replica teardown has been
@@ -178,6 +184,7 @@ func New(cfg Config) (*MVEE, error) {
 
 	m.Monitor = ghumvee.New(k, m.procs)
 	m.Monitor.SetLockstepTimeout(cfg.LockstepTimeout)
+	m.Monitor.SetEpochSize(cfg.EpochSize)
 	if cfg.OnVerdict != nil {
 		m.Monitor.SetVerdictHandler(cfg.OnVerdict)
 	}

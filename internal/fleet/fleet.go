@@ -120,6 +120,9 @@ type Config struct {
 	Partitions      int
 	Seed            uint64
 	LockstepTimeout time.Duration
+	// EpochSize is each shard monitor's divergence-checking window
+	// (core.Config.EpochSize); 0 keeps immediate verification.
+	EpochSize int
 
 	// DrainGrace bounds how long DrainShard waits for in-flight
 	// connections before cutting them (default 2s host time).
@@ -342,6 +345,7 @@ func (f *Fleet) buildShard(s *shard) error {
 		Seed:            f.cfg.Seed + uint64(idx)*0x10001 + uint64(gen)*0x9E3779B9,
 		Kernel:          k,
 		LockstepTimeout: f.cfg.LockstepTimeout,
+		EpochSize:       f.cfg.EpochSize,
 		OnVerdict: func(v ghumvee.Verdict) {
 			f.notifyVerdict(idx, gen, v)
 		},

@@ -1,0 +1,54 @@
+//go:build !race
+
+package ghumvee
+
+import (
+	"testing"
+
+	"remon/internal/vkernel"
+)
+
+// TestMonitorCallSteadyStateAllocs pins the fix for the per-call watchdog
+// timer allocation (and the per-round arrival/map churn that rode along):
+// once a lockstep group is warm, a monitored round must allocate nothing
+// — the pooled group timer is re-armed, arrival slots are reused, and
+// stats are atomic counters. Guarded out under -race (the detector's
+// instrumentation allocates).
+func TestMonitorCallSteadyStateAllocs(t *testing.T) {
+	e := newMonEnv(t, 2)
+	const n = 2
+	start := make([]chan struct{}, n)
+	done := make([]chan struct{}, n)
+	for i := 0; i < n; i++ {
+		start[i] = make(chan struct{})
+		done[i] = make(chan struct{})
+		th := e.threads[i]
+		c := &vkernel.Call{Num: vkernel.SysGetpid}
+		exec := func(cc *vkernel.Call) vkernel.Result { return th.RawSyscallC(cc) }
+		go func(i int) {
+			for range start[i] {
+				if r := e.m.MonitorCall(th, c, exec); !r.Ok() {
+					panic("monitored getpid failed")
+				}
+				done[i] <- struct{}{}
+			}
+		}(i)
+	}
+	round := func() {
+		for i := 0; i < n; i++ {
+			start[i] <- struct{}{}
+		}
+		for i := 0; i < n; i++ {
+			<-done[i]
+		}
+	}
+	for i := 0; i < 50; i++ { // warm-up: group ring, sync.Map entries
+		round()
+	}
+	if avg := testing.AllocsPerRun(200, round); avg != 0 {
+		t.Fatalf("steady-state monitored round allocates %.2f objects/round, want 0", avg)
+	}
+	for i := 0; i < n; i++ {
+		close(start[i])
+	}
+}

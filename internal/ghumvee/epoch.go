@@ -1,0 +1,283 @@
+package ghumvee
+
+// Epoch-batched divergence checking (DESIGN.md §7): consecutive
+// *batchable* monitored calls — non-blocking, non-sensitive, read-only by
+// the internal/policy level classification — have their argument
+// verification deferred. The round still captures every comparable
+// argument (and applies the immediate path's exact virtual-time charges
+// and BytesCompared accounting, keeping the virtual metrics bit-identical
+// to immediate verification), but the cross-replica equality pass runs
+// once per epoch window instead of once per call.
+//
+// Boundaries that force a flush, in all cases before anything depends on
+// the window's verdict:
+//
+//   - the window reaching the configured epoch size;
+//   - a non-batchable (blocking / sensitive / undescribed) call arriving
+//     in the group;
+//   - deferred signal delivery;
+//   - a replica crash or the rendezvous watchdog firing (so the deferred
+//     divergence, not its downstream crash, is reported as root cause);
+//   - any external verdict read (Diverged / Verdict / Stats).
+//
+// Verification order inside a window is arrival order, and inside an
+// entry it mirrors compareArgs exactly, so the first divergence reported
+// — reason string and syscall — matches what the immediate engine would
+// have produced.
+
+import (
+	"bytes"
+	"fmt"
+
+	"remon/internal/mem"
+	"remon/internal/model"
+	"remon/internal/policy"
+	"remon/internal/sysdesc"
+	"remon/internal/vkernel"
+)
+
+// batchableCall reports whether a monitored call's verification may be
+// deferred to an epoch boundary. The policy layer supplies the spatial
+// classification (read-only call sets of BASE_LEVEL and
+// NONSOCKET_RO_LEVEL); the descriptor supplies the safety guards: no
+// special handling, no descriptor lifecycle effects, never blocking.
+func batchableCall(d *sysdesc.Desc) bool {
+	return d != nil && d.Special == sysdesc.SpecNone &&
+		!d.FDCreating && !d.FDClosing && d.BlockFD < 0 &&
+		policy.Batchable(d.Nr)
+}
+
+// capturedBuf is one deep-compared argument's bytes, captured at round
+// time (replica memory may be reused the moment the round completes).
+type capturedBuf struct {
+	arg  int
+	data []byte
+}
+
+// capturedArgs is one replica's captured view of a call.
+type capturedArgs struct {
+	regs [6]uint64
+	deep []capturedBuf
+}
+
+func (c *capturedArgs) deepAt(arg int) []byte {
+	for i := range c.deep {
+		if c.deep[i].arg == arg {
+			return c.deep[i].data
+		}
+	}
+	return nil
+}
+
+// epochEntry is one deferred round in a group's window.
+type epochEntry struct {
+	c    *vkernel.Call // master's call (verdict attribution)
+	d    *sysdesc.Desc
+	caps []capturedArgs // per replica, master first
+}
+
+// epochCapture captures the round's comparable arguments into the group
+// window, charging virtual time exactly as compareArgs would. It returns
+// false when the round must fail (capture error → divergence, or a full
+// window flushed and found a divergence — including possibly this
+// entry's, in which case the call has not executed, matching the
+// immediate path).
+func (m *Monitor) epochCapture(g *ring, arrivals []*arrival, d *sysdesc.Desc) bool {
+	// Carve this entry's captures out of the ring's arena (recycled at
+	// every flush; only the group's serialized round monitor and flushers
+	// touch it, under winMu).
+	g.winMu.Lock()
+	base := len(g.capArena)
+	need := base + len(arrivals)
+	if cap(g.capArena) < need {
+		grown := make([]capturedArgs, len(g.capArena), 2*need)
+		copy(grown, g.capArena)
+		g.capArena = grown
+	}
+	g.capArena = g.capArena[:need]
+	caps := g.capArena[base:need:need]
+	for i := range caps {
+		caps[i].deep = caps[i].deep[:0] // keep capacity across flushes
+	}
+	err := m.captureArgs(arrivals, d, caps)
+	if err != nil {
+		g.capArena = g.capArena[:base]
+		g.winMu.Unlock()
+		// Unreadable argument memory is a divergence today; earlier
+		// window entries are verified first for root-cause order.
+		m.flushGroup(g)
+		m.declareDivergence(arrivals[0].c, err.Error())
+		return false
+	}
+	m.at.epochBatched.Add(1)
+	g.window = append(g.window, epochEntry{c: arrivals[0].c, d: d, caps: caps})
+	full := len(g.window) >= int(m.epochSize.Load())
+	g.winMu.Unlock()
+	if full {
+		m.flushGroup(g)
+		if m.halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// captureArgs reads every comparable argument of every replica into caps
+// (len(arrivals) entries, deep slices pre-reset), applying the same clock
+// charges and BytesCompared accounting as compareArgs. It must stay
+// charge-for-charge identical to compareArgs on healthy rounds — that is
+// the bit-identical-virtual-metrics invariant.
+func (m *Monitor) captureArgs(arrivals []*arrival, d *sysdesc.Desc, caps []capturedArgs) error {
+	for idx, a := range arrivals {
+		caps[idx].regs = a.c.Args
+	}
+	master := arrivals[0]
+	for i := 0; i < d.NArgs; i++ {
+		spec := d.Args[i]
+		switch spec.Type {
+		case sysdesc.ArgInt, sysdesc.ArgFD:
+			for _, a := range arrivals[1:] {
+				a.t.Clock.Advance(model.CostMonitorCompare)
+			}
+		case sysdesc.ArgPtrOpaque, sysdesc.ArgOutBuf:
+			// Register capture suffices (NULL-ness only).
+		case sysdesc.ArgPath:
+			ms, err := readCString(master.t.Proc.Mem, mem.Addr(master.c.Args[i]))
+			if err != nil {
+				return fmt.Errorf("%s: master path arg%d unreadable", d.Name, i)
+			}
+			caps[0].deep = append(caps[0].deep, capturedBuf{arg: i, data: []byte(ms)})
+			for k, a := range arrivals[1:] {
+				ss, err := readCString(a.t.Proc.Mem, mem.Addr(a.c.Args[i]))
+				if err != nil {
+					return fmt.Errorf("%s: replica path arg%d unreadable", d.Name, i)
+				}
+				m.chargeCompare(a.t, len(ms))
+				caps[k+1].deep = append(caps[k+1].deep, capturedBuf{arg: i, data: []byte(ss)})
+			}
+		case sysdesc.ArgInBuf, sysdesc.ArgInOutBuf:
+			size := d.InBufSize(i, master.c)
+			if size == 0 || master.c.Args[i] == 0 {
+				continue
+			}
+			mbuf, err := master.t.Proc.Mem.ReadBytes(mem.Addr(master.c.Args[i]), size)
+			if err != nil {
+				return fmt.Errorf("%s: master buffer arg%d unreadable", d.Name, i)
+			}
+			caps[0].deep = append(caps[0].deep, capturedBuf{arg: i, data: mbuf})
+			for k, a := range arrivals[1:] {
+				sbuf, err := a.t.Proc.Mem.ReadBytes(mem.Addr(a.c.Args[i]), size)
+				if err != nil {
+					return fmt.Errorf("%s: replica buffer arg%d unreadable", d.Name, i)
+				}
+				m.chargeCompare(a.t, size)
+				caps[k+1].deep = append(caps[k+1].deep, capturedBuf{arg: i, data: sbuf})
+			}
+		case sysdesc.ArgIovec:
+			mdata, err := gatherIovec(master.t, master.c, i, spec.LenArg)
+			if err != nil {
+				return err
+			}
+			caps[0].deep = append(caps[0].deep, capturedBuf{arg: i, data: mdata})
+			for k, a := range arrivals[1:] {
+				sdata, err := gatherIovec(a.t, a.c, i, spec.LenArg)
+				if err != nil {
+					return err
+				}
+				m.chargeCompare(a.t, len(mdata))
+				caps[k+1].deep = append(caps[k+1].deep, capturedBuf{arg: i, data: sdata})
+			}
+		}
+	}
+	return nil
+}
+
+// verifyEntry runs the deferred equality pass over one captured round,
+// producing compareArgs' exact error strings.
+func verifyEntry(e *epochEntry) error {
+	d := e.d
+	master := &e.caps[0]
+	for i := 0; i < d.NArgs; i++ {
+		switch d.Args[i].Type {
+		case sysdesc.ArgInt, sysdesc.ArgFD:
+			for k := 1; k < len(e.caps); k++ {
+				if e.caps[k].regs[i] != master.regs[i] {
+					return fmt.Errorf("%s: arg%d %d != master %d",
+						d.Name, i, e.caps[k].regs[i], master.regs[i])
+				}
+			}
+		case sysdesc.ArgPtrOpaque, sysdesc.ArgOutBuf:
+			for k := 1; k < len(e.caps); k++ {
+				if (e.caps[k].regs[i] == 0) != (master.regs[i] == 0) {
+					return fmt.Errorf("%s: arg%d NULL-ness differs", d.Name, i)
+				}
+			}
+		case sysdesc.ArgPath:
+			ms := master.deepAt(i)
+			for k := 1; k < len(e.caps); k++ {
+				if ss := e.caps[k].deepAt(i); !bytes.Equal(ss, ms) {
+					return fmt.Errorf("%s: path %q != master %q", d.Name, ss, ms)
+				}
+			}
+		case sysdesc.ArgInBuf, sysdesc.ArgInOutBuf:
+			mbuf := master.deepAt(i)
+			if mbuf == nil {
+				continue // size 0 / NULL pointer: skipped at capture
+			}
+			for k := 1; k < len(e.caps); k++ {
+				sbuf := e.caps[k].deepAt(i)
+				for j := range mbuf {
+					if j >= len(sbuf) || mbuf[j] != sbuf[j] {
+						return fmt.Errorf("%s: buffer arg%d differs at byte %d", d.Name, i, j)
+					}
+				}
+			}
+		case sysdesc.ArgIovec:
+			mdata := master.deepAt(i)
+			for k := 1; k < len(e.caps); k++ {
+				sdata := e.caps[k].deepAt(i)
+				if len(mdata) != len(sdata) {
+					return fmt.Errorf("%s: iovec size differs", d.Name)
+				}
+				if !bytes.Equal(mdata, sdata) {
+					return fmt.Errorf("%s: iovec content differs", d.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// flushGroup verifies and clears one group's epoch window. The first
+// divergence (in arrival order) wins, exactly as it would have under
+// immediate verification.
+func (m *Monitor) flushGroup(g *ring) {
+	g.winMu.Lock()
+	if len(g.window) == 0 {
+		g.winMu.Unlock()
+		return
+	}
+	m.at.epochFlushes.Add(1)
+	var firstErr error
+	var firstCall *vkernel.Call
+	for i := range g.window {
+		if err := verifyEntry(&g.window[i]); err != nil {
+			firstErr, firstCall = err, g.window[i].c
+			break
+		}
+	}
+	g.window = g.window[:0]
+	g.capArena = g.capArena[:0]
+	g.winMu.Unlock()
+	if firstErr != nil {
+		m.declareDivergence(firstCall, firstErr.Error())
+	}
+}
+
+// flushEpochs forces an epoch boundary on every group.
+func (m *Monitor) flushEpochs() {
+	m.groups.Range(func(_, v any) bool {
+		m.flushGroup(v.(*ring))
+		return true
+	})
+}

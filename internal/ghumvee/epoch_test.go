@@ -1,0 +1,265 @@
+package ghumvee
+
+import (
+	"sync"
+	"testing"
+
+	"remon/internal/vkernel"
+)
+
+// TestEpochBatchedDivergenceAtBoundary: with batching enabled, a
+// divergent batchable call executes (verification is deferred) but the
+// next boundary — here, the external verdict read — reports exactly the
+// divergence the immediate engine would have.
+func TestEpochBatchedDivergenceAtBoundary(t *testing.T) {
+	e := newMonEnv(t, 2)
+	e.m.SetEpochSize(4)
+	calls := []*vkernel.Call{
+		{Num: vkernel.SysLseek, Args: [6]uint64{3, 100, 0}},
+		{Num: vkernel.SysLseek, Args: [6]uint64{3, 999, 0}}, // divergent offset
+	}
+	res := e.lockstep(t, calls)
+	// Deferred verification: the round completed (EBADF from the raw
+	// kernel — fd 3 is not open — not the monitor's EPERM rejection).
+	for _, r := range res {
+		if r.Errno == vkernel.EPERM {
+			t.Fatalf("batched call rejected pre-boundary: %+v", res)
+		}
+	}
+	if !e.m.Diverged() { // boundary: flushes the window
+		t.Fatal("deferred divergence not detected at boundary")
+	}
+	v := e.m.Verdict()
+	if v.Syscall != "lseek" || v.Reason != "lseek: arg1 999 != master 100" {
+		t.Fatalf("verdict = %+v, want the immediate engine's exact reason", v)
+	}
+}
+
+// TestEpochFlushOnSensitiveCall: a sensitive call forces the boundary
+// before its own verification, so the earlier deferred divergence wins
+// and the sensitive call never executes.
+func TestEpochFlushOnSensitiveCall(t *testing.T) {
+	e := newMonEnv(t, 2)
+	e.m.SetEpochSize(8)
+	e.k.FS.WriteFile("/tmp/flush", nil, 0o644)
+	e.lockstep(t, []*vkernel.Call{
+		{Num: vkernel.SysLseek, Args: [6]uint64{3, 1, 0}},
+		{Num: vkernel.SysLseek, Args: [6]uint64{3, 2, 0}}, // deferred divergence
+	})
+	// write is sensitive (SOCKET/NONSOCKET_RW class): boundary first.
+	wres := e.lockstep(t, []*vkernel.Call{
+		{Num: vkernel.SysWrite, Args: [6]uint64{1, uint64(e.put(0, []byte("x"))), 1}},
+		{Num: vkernel.SysWrite, Args: [6]uint64{1, uint64(e.put(1, []byte("x"))), 1}},
+	})
+	for _, r := range wres {
+		if r.Errno != vkernel.EPERM {
+			t.Fatalf("sensitive call after deferred divergence = %+v, want EPERM", wres)
+		}
+	}
+	if v := e.m.Verdict(); v.Syscall != "lseek" {
+		t.Fatalf("verdict attributes %q, want the earlier lseek", v.Syscall)
+	}
+}
+
+// TestEpochWindowFullFlush: the call that fills the window is verified
+// before it executes, like the immediate path.
+func TestEpochWindowFullFlush(t *testing.T) {
+	e := newMonEnv(t, 2)
+	e.m.SetEpochSize(2)
+	e.lockstep(t, []*vkernel.Call{{Num: vkernel.SysGetpid}, {Num: vkernel.SysGetpid}})
+	res := e.lockstep(t, []*vkernel.Call{
+		{Num: vkernel.SysLseek, Args: [6]uint64{3, 7, 0}},
+		{Num: vkernel.SysLseek, Args: [6]uint64{3, 8, 0}},
+	})
+	for _, r := range res {
+		if r.Errno != vkernel.EPERM {
+			t.Fatalf("window-filling divergent call executed: %+v", res)
+		}
+	}
+	if st := e.m.Stats(); st.EpochFlushes == 0 || st.EpochBatched != 2 {
+		t.Fatalf("epoch stats = %+v", st)
+	}
+}
+
+// TestEpochStatsHealthy: batching counts calls and flushes without
+// changing verdicts on healthy runs.
+func TestEpochStatsHealthy(t *testing.T) {
+	e := newMonEnv(t, 2)
+	e.m.SetEpochSize(3)
+	for i := 0; i < 7; i++ {
+		res := e.lockstep(t, []*vkernel.Call{{Num: vkernel.SysGetpid}, {Num: vkernel.SysGetpid}})
+		if !res[0].Ok() || res[0].Val != res[1].Val {
+			t.Fatalf("call %d: %+v", i, res)
+		}
+	}
+	st := e.m.Stats() // forces the final partial-window flush
+	if e.m.Diverged() {
+		t.Fatalf("healthy batched run diverged: %+v", e.m.Verdict())
+	}
+	if st.EpochBatched != 7 {
+		t.Fatalf("EpochBatched = %d, want 7", st.EpochBatched)
+	}
+	if st.EpochFlushes < 2 {
+		t.Fatalf("EpochFlushes = %d, want >= 2 (two full windows)", st.EpochFlushes)
+	}
+}
+
+// goldenRun drives one deterministic mixed workload (per-group files,
+// batchable reads and metadata calls, sensitive writes, an all-replicas
+// call) on a fresh monitor and returns per-thread result traces, final
+// clocks and stats.
+func goldenRun(t *testing.T, replicas, groups, callsPerThread, epoch int) ([][]int64, []int64, Stats, Verdict) {
+	t.Helper()
+	e := newMonEnv(t, replicas)
+	e.m.SetEpochSize(epoch)
+
+	// One extra registered thread set per group beyond ltid 0.
+	type lane struct {
+		threads []*vkernel.Thread
+		bufs    []uint64 // per-replica scratch, pre-allocated (alloc is not goroutine-safe)
+	}
+	lanes := make([]*lane, groups)
+	paths := make([][]uint64, groups)
+	for g := 0; g < groups; g++ {
+		ln := &lane{}
+		paths[g] = make([]uint64, replicas)
+		for r := 0; r < replicas; r++ {
+			var th *vkernel.Thread
+			if g == 0 {
+				th = e.threads[r]
+			} else {
+				th = e.threads[r].Proc.NewThread(nil)
+				e.m.RegisterThread(th, g)
+			}
+			ln.threads = append(ln.threads, th)
+			ln.bufs = append(ln.bufs, uint64(e.alloc(r, 256)))
+		}
+		lanes[g] = ln
+	}
+	// Deterministic setup phase: create one file per group and record the
+	// path bytes in every replica, sequentially so fd numbers and results
+	// do not depend on host scheduling.
+	fds := make([]uint64, groups)
+	for g := 0; g < groups; g++ {
+		name := "/tmp/golden-" + string(rune('a'+g%26)) + string(rune('0'+g/26))
+		e.k.FS.WriteFile(name, []byte("golden-seed-content"), 0o644)
+		for r := 0; r < replicas; r++ {
+			paths[g][r] = uint64(e.put(r, append([]byte(name), 0)))
+		}
+		calls := make([]*vkernel.Call, replicas)
+		results := make([]vkernel.Result, replicas)
+		var wg sync.WaitGroup
+		for r := 0; r < replicas; r++ {
+			calls[r] = &vkernel.Call{Num: vkernel.SysOpen, Args: [6]uint64{paths[g][r], vkernel.ORdwr, 0}}
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				th := lanes[g].threads[r]
+				results[r] = e.m.MonitorCall(th, calls[r], func(c *vkernel.Call) vkernel.Result {
+					return th.RawSyscallC(c)
+				})
+			}(r)
+		}
+		wg.Wait()
+		if !results[0].Ok() {
+			t.Fatalf("group %d open failed: %+v", g, results[0])
+		}
+		fds[g] = results[0].Val
+	}
+
+	// Concurrent mixed phase: every group's threads run the same call
+	// script against group-private state.
+	traces := make([][]int64, groups*replicas)
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		for r := 0; r < replicas; r++ {
+			wg.Add(1)
+			go func(g, r int) {
+				defer wg.Done()
+				th := lanes[g].threads[r]
+				buf := lanes[g].bufs[r]
+				exec := func(c *vkernel.Call) vkernel.Result { return th.RawSyscallC(c) }
+				var trace []int64
+				do := func(c *vkernel.Call) {
+					trace = append(trace, e.m.MonitorCall(th, c, exec).Ret())
+				}
+				for i := 0; i < callsPerThread; i++ {
+					do(&vkernel.Call{Num: vkernel.SysGetpid})
+					do(&vkernel.Call{Num: vkernel.SysLseek, Args: [6]uint64{fds[g], uint64(i % 8), 0}})
+					do(&vkernel.Call{Num: vkernel.SysAccess, Args: [6]uint64{paths[g][r], 0}})
+					do(&vkernel.Call{Num: vkernel.SysFstat, Args: [6]uint64{fds[g], buf}})
+					if i%3 == 0 { // sensitive: epoch boundary + replication
+						do(&vkernel.Call{Num: vkernel.SysPread64, Args: [6]uint64{fds[g], buf, 8, 0}})
+					}
+					if i%5 == 0 { // all-replicas call (runOwn path)
+						do(&vkernel.Call{Num: vkernel.SysRtSigprocmask, Args: [6]uint64{0, 0}})
+					}
+				}
+				traces[g*replicas+r] = trace
+			}(g, r)
+		}
+	}
+	wg.Wait()
+
+	clocks := make([]int64, 0, groups*replicas)
+	for g := 0; g < groups; g++ {
+		for r := 0; r < replicas; r++ {
+			clocks = append(clocks, int64(lanes[g].threads[r].Clock.Now()))
+		}
+	}
+	return traces, clocks, e.m.Stats(), e.m.Verdict()
+}
+
+// TestEpochGoldenEquivalence is the bit-identical invariant: the same
+// healthy workload run under immediate verification (the reference
+// engine semantics) and under epoch batching must produce identical
+// per-thread result traces, identical final virtual clocks, identical
+// comparison/replication byte counts, and identical (non-)verdicts.
+func TestEpochGoldenEquivalence(t *testing.T) {
+	replicas, groups, calls := 3, 4, 12
+	if testing.Short() {
+		replicas, groups, calls = 2, 2, 6
+	}
+	refTraces, refClocks, refStats, refVerdict := goldenRun(t, replicas, groups, calls, 1)
+	batTraces, batClocks, batStats, batVerdict := goldenRun(t, replicas, groups, calls, DefaultEpochSize)
+
+	if refVerdict.Diverged || batVerdict.Diverged {
+		t.Fatalf("healthy runs diverged: ref=%+v bat=%+v", refVerdict, batVerdict)
+	}
+	for i := range refTraces {
+		if len(refTraces[i]) != len(batTraces[i]) {
+			t.Fatalf("thread %d trace length differs: %d vs %d", i, len(refTraces[i]), len(batTraces[i]))
+		}
+		for j := range refTraces[i] {
+			if refTraces[i][j] != batTraces[i][j] {
+				t.Fatalf("thread %d call %d: ref=%d batched=%d", i, j, refTraces[i][j], batTraces[i][j])
+			}
+		}
+	}
+	for i := range refClocks {
+		if refClocks[i] != batClocks[i] {
+			t.Fatalf("thread %d final clock: ref=%d batched=%d (virtual time must be bit-identical)",
+				i, refClocks[i], batClocks[i])
+		}
+	}
+	type cmp struct {
+		name     string
+		ref, bat uint64
+	}
+	for _, c := range []cmp{
+		{"MonitoredCalls", refStats.MonitoredCalls, batStats.MonitoredCalls},
+		{"MasterCalls", refStats.MasterCalls, batStats.MasterCalls},
+		{"AllReplicaCalls", refStats.AllReplicaCalls, batStats.AllReplicaCalls},
+		{"PtraceStops", refStats.PtraceStops, batStats.PtraceStops},
+		{"BytesCompared", refStats.BytesCompared, batStats.BytesCompared},
+		{"BytesReplicated", refStats.BytesReplicated, batStats.BytesReplicated},
+		{"Divergences", refStats.Divergences, batStats.Divergences},
+	} {
+		if c.ref != c.bat {
+			t.Fatalf("%s differs: ref=%d batched=%d", c.name, c.ref, c.bat)
+		}
+	}
+	if batStats.EpochBatched == 0 {
+		t.Fatal("batched run never deferred a verification")
+	}
+}

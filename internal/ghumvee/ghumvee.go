@@ -8,11 +8,19 @@
 //
 // GHUMVEE can run standalone (every call monitored — the "no IP-MON"
 // baseline of Figures 3–5) or as ReMon's CP half behind IK-B.
+//
+// The rendezvous engine (DESIGN.md §7) is a lock-free arrival ring per
+// logical-thread group: replicas publish arrivals through the internal/mem
+// atomic word API, the last arrival closes the round and acts as the
+// monitor, waiters spin briefly and then park on per-slot channels that
+// are woken individually (no broadcast herd), and each group re-arms one
+// pooled watchdog timer instead of allocating a fresh one per call.
 package ghumvee
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remon/internal/fdmap"
@@ -30,6 +38,13 @@ import (
 // state (SetLockstepTimeout) — concurrent MVEEs, as a fleet creates, can
 // run different watchdogs without racing on a package global.
 const DefaultLockstepTimeout = 10 * time.Second
+
+// DefaultEpochSize is the epoch window benchmarks and servers opt into
+// with SetEpochSize / core.Config.EpochSize. The monitor itself defaults
+// to immediate verification (window of 1) so that divergent batchable
+// calls are rejected before execution, exactly as the pre-epoch engine
+// did.
+const DefaultEpochSize = 8
 
 // Replica is one supervised variant.
 type Replica struct {
@@ -57,42 +72,80 @@ type Stats struct {
 	ShmRejected     uint64
 	RBResets        uint64
 	Divergences     uint64
+	// Wakeups counts targeted waiter wakes issued by round monitors (the
+	// engine suppresses wakes for waiters still spinning).
+	Wakeups uint64
+	// EpochBatched counts monitored calls whose argument verification was
+	// deferred to an epoch boundary; EpochFlushes counts boundary passes
+	// over non-empty windows.
+	EpochBatched uint64
+	EpochFlushes uint64
+}
+
+// atomicStats is the hot-path counter block; Stats() snapshots it.
+type atomicStats struct {
+	monitoredCalls  atomic.Uint64
+	masterCalls     atomic.Uint64
+	allReplicaCalls atomic.Uint64
+	ptraceStops     atomic.Uint64
+	bytesCompared   atomic.Uint64
+	bytesReplicated atomic.Uint64
+	signalsDeferred atomic.Uint64
+	shmRejected     atomic.Uint64
+	rbResets        atomic.Uint64
+	divergences     atomic.Uint64
+	wakeups         atomic.Uint64
+	epochBatched    atomic.Uint64
+	epochFlushes    atomic.Uint64
 }
 
 // Monitor is the CP monitor instance for one replica set.
 type Monitor struct {
 	Kernel *vkernel.Kernel
 
-	mu        sync.Mutex
-	replicas  []*Replica
-	byProc    map[*vkernel.Process]*Replica
-	ltids     map[*vkernel.Thread]int
-	groups    map[int]*rendezvous
-	fileMap   *fdmap.FileMap
-	shadow    *fdmap.EpollShadow
+	// Immutable after New: the replica set and the process index. Hot
+	// paths read them without locks.
+	replicas []*Replica
+	byProc   map[*vkernel.Process]*Replica
+
+	ltids  sync.Map // *vkernel.Thread -> *ring (the thread's lockstep group)
+	groups sync.Map // ltid int -> *ring
+
+	fileMap *fdmap.FileMap
+	shadow  *fdmap.EpollShadow
+
+	// Hot-path state: halted flags, watchdog duration, epoch window size
+	// and the abort channel waiters select on.
+	diverged  atomic.Bool
+	stopped   atomic.Bool
+	lockstep  atomic.Int64 // rendezvous watchdog, ns
+	epochSize atomic.Int32 // verification window (1 = immediate)
+	abort     chan struct{}
+	abortOnce sync.Once
+
+	at       atomicStats
+	pendingN atomic.Int32 // len(pending) mirror for the fast path
+
+	mu        sync.Mutex // cold state below
 	rbuf      *rb.Buffer
 	allowShm  bool // raised while GHUMVEE itself arbitrates RB setup (§3.5)
-	diverged  bool
-	stopped   bool // administrative teardown (Stop): not a divergence
 	verdict   Verdict
 	onVerdict func(Verdict)
-	lockstep  time.Duration // rendezvous watchdog
-	pending   []int         // deferred signals (§2.2, §3.8)
-	stats     Stats
+	pending   []int // deferred signals (§2.2, §3.8)
 }
 
 // New creates a monitor supervising the given replica processes
 // (replicas[0] is the master).
 func New(k *vkernel.Kernel, procs []*vkernel.Process) *Monitor {
 	m := &Monitor{
-		Kernel:   k,
-		byProc:   map[*vkernel.Process]*Replica{},
-		ltids:    map[*vkernel.Thread]int{},
-		groups:   map[int]*rendezvous{},
-		fileMap:  fdmap.New(mem.NewSharedSegment(-1, fdmap.MapSize)),
-		shadow:   fdmap.NewEpollShadow(len(procs)),
-		lockstep: DefaultLockstepTimeout,
+		Kernel:  k,
+		byProc:  map[*vkernel.Process]*Replica{},
+		fileMap: fdmap.New(mem.NewSharedSegment(-1, fdmap.MapSize)),
+		shadow:  fdmap.NewEpollShadow(len(procs)),
+		abort:   make(chan struct{}),
 	}
+	m.lockstep.Store(int64(DefaultLockstepTimeout))
+	m.epochSize.Store(1)
 	for i, p := range procs {
 		r := &Replica{Index: i, Proc: p}
 		p.ReplicaIndex = i
@@ -106,8 +159,6 @@ func New(k *vkernel.Kernel, procs []*vkernel.Process) *Monitor {
 
 // Replicas returns the supervised replica set.
 func (m *Monitor) Replicas() []*Replica {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return append([]*Replica(nil), m.replicas...)
 }
 
@@ -134,32 +185,47 @@ func (m *Monitor) SetAllowShm(v bool) {
 }
 
 // RegisterThread binds a replica thread to its logical thread id. Threads
-// with equal ltids across replicas form one lockstep group.
+// with equal ltids across replicas form one lockstep group; the ring is
+// resolved here once so the lockstep fast path needs a single map load.
 func (m *Monitor) RegisterThread(t *vkernel.Thread, ltid int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.ltids[t] = ltid
+	m.ltids.Store(t, m.group(ltid))
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Pending epoch windows are
+// verified first so that deferred divergences are reflected.
 func (m *Monitor) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	m.flushEpochs()
+	return Stats{
+		MonitoredCalls:  m.at.monitoredCalls.Load(),
+		MasterCalls:     m.at.masterCalls.Load(),
+		AllReplicaCalls: m.at.allReplicaCalls.Load(),
+		PtraceStops:     m.at.ptraceStops.Load(),
+		BytesCompared:   m.at.bytesCompared.Load(),
+		BytesReplicated: m.at.bytesReplicated.Load(),
+		SignalsDeferred: m.at.signalsDeferred.Load(),
+		ShmRejected:     m.at.shmRejected.Load(),
+		RBResets:        m.at.rbResets.Load(),
+		Divergences:     m.at.divergences.Load(),
+		Wakeups:         m.at.wakeups.Load(),
+		EpochBatched:    m.at.epochBatched.Load(),
+		EpochFlushes:    m.at.epochFlushes.Load(),
+	}
 }
 
-// Verdict returns the current verdict.
+// Verdict returns the current verdict, forcing an epoch boundary first so
+// a divergence sitting in an unverified window is not missed.
 func (m *Monitor) Verdict() Verdict {
+	m.flushEpochs()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.verdict
 }
 
-// Diverged reports whether divergence was detected.
+// Diverged reports whether divergence was detected (epoch windows are
+// verified first).
 func (m *Monitor) Diverged() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.diverged
+	m.flushEpochs()
+	return m.diverged.Load()
 }
 
 // SetLockstepTimeout adjusts this monitor's rendezvous watchdog (0 is
@@ -168,17 +234,28 @@ func (m *Monitor) SetLockstepTimeout(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.lockstep = d
+	m.lockstep.Store(int64(d))
 }
 
 // LockstepTimeout reports the monitor's rendezvous watchdog.
 func (m *Monitor) LockstepTimeout() time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.lockstep
+	return time.Duration(m.lockstep.Load())
 }
+
+// SetEpochSize sets the divergence-checking window: consecutive batchable
+// monitored calls (read-only, non-blocking, non-sensitive — see
+// DESIGN.md §7) accumulate and are verified together at epoch boundaries.
+// n <= 1 selects immediate verification (the default). Blocking and
+// sensitive calls always verify immediately and force a boundary.
+func (m *Monitor) SetEpochSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.epochSize.Store(int32(n))
+}
+
+// EpochSize reports the current verification window.
+func (m *Monitor) EpochSize() int { return int(m.epochSize.Load()) }
 
 // SetVerdictHandler registers a callback fired exactly once, when (and
 // if) the monitor declares divergence. Fleet supervisors hang their
@@ -194,9 +271,12 @@ func (m *Monitor) SetVerdictHandler(fn func(Verdict)) {
 // halted reports whether lockstep processing should bail out — either a
 // divergence verdict or an administrative Stop.
 func (m *Monitor) halted() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.diverged || m.stopped
+	return m.diverged.Load() || m.stopped.Load()
+}
+
+// signalAbort wakes every parked rendezvous waiter, exactly once.
+func (m *Monitor) signalAbort() {
+	m.abortOnce.Do(func() { close(m.abort) })
 }
 
 // Stop tears the replica set down administratively — the fleet layer's
@@ -210,24 +290,15 @@ func (m *Monitor) Stop(reason string) {
 		reason = "administrative teardown"
 	}
 	m.mu.Lock()
-	if m.stopped || m.diverged {
+	if m.stopped.Load() || m.diverged.Load() {
 		m.mu.Unlock()
 		return
 	}
-	m.stopped = true
-	replicas := append([]*Replica(nil), m.replicas...)
-	groups := make([]*rendezvous, 0, len(m.groups))
-	for _, g := range m.groups {
-		groups = append(groups, g)
-	}
+	m.stopped.Store(true)
 	m.mu.Unlock()
 
-	for _, g := range groups {
-		g.mu.Lock()
-		g.cond.Broadcast()
-		g.mu.Unlock()
-	}
-	for _, r := range replicas {
+	m.signalAbort()
+	for _, r := range m.replicas {
 		for _, t := range r.Proc.Threads() {
 			t.Crash("mvee stop: " + reason)
 		}
@@ -235,61 +306,33 @@ func (m *Monitor) Stop(reason string) {
 }
 
 // Stopped reports whether Stop was called.
-func (m *Monitor) Stopped() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stopped
-}
+func (m *Monitor) Stopped() bool { return m.stopped.Load() }
 
-// rendezvous is one logical thread's lockstep meeting point.
-type rendezvous struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	arrivals map[int]*arrival
-	round    uint64
-}
-
-type arrival struct {
-	t      *vkernel.Thread
-	c      *vkernel.Call
-	exec   func(*vkernel.Call) vkernel.Result
-	done   bool
-	runOwn bool
-	result vkernel.Result
-}
-
-func (m *Monitor) group(ltid int) *rendezvous {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[ltid]
-	if !ok {
-		g = &rendezvous{arrivals: map[int]*arrival{}}
-		g.cond = sync.NewCond(&g.mu)
-		m.groups[ltid] = g
+// group returns (creating on first use) the arrival ring for ltid.
+func (m *Monitor) group(ltid int) *ring {
+	if v, ok := m.groups.Load(ltid); ok {
+		return v.(*ring)
+	}
+	g := newRing(m, len(m.replicas))
+	if v, loaded := m.groups.LoadOrStore(ltid, g); loaded {
+		g.timer.Stop()
+		return v.(*ring)
 	}
 	return g
 }
 
 // replicaOf resolves the replica a thread belongs to.
 func (m *Monitor) replicaOf(t *vkernel.Thread) *Replica {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.byProc[t.Proc]
 }
 
-func (m *Monitor) ltidOf(t *vkernel.Thread) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if l, ok := m.ltids[t]; ok {
-		return l
+// ringOf resolves a thread's arrival ring (unregistered threads join
+// group 0, matching the old engine's default ltid).
+func (m *Monitor) ringOf(t *vkernel.Thread) *ring {
+	if v, ok := m.ltids.Load(t); ok {
+		return v.(*ring)
 	}
-	return 0
-}
-
-func (m *Monitor) replicaCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.replicas)
+	return m.group(0)
 }
 
 // MonitorCall is the lockstep path: every replica's thread for the same
@@ -298,7 +341,7 @@ func (m *Monitor) MonitorCall(t *vkernel.Thread, c *vkernel.Call, exec func(*vke
 	if m.halted() {
 		return vkernel.Result{Errno: vkernel.EPERM}
 	}
-	rep := m.replicaOf(t)
+	rep := m.byProc[t.Proc]
 	if rep == nil {
 		// Not a supervised process (monitor used standalone on a foreign
 		// thread): execute directly.
@@ -308,70 +351,44 @@ func (m *Monitor) MonitorCall(t *vkernel.Thread, c *vkernel.Call, exec func(*vke
 	// Syscall-entry ptrace stop (§2: tracer stops cost two context
 	// switches each).
 	t.Clock.Advance(model.CostPtraceStop)
-	m.mu.Lock()
-	m.stats.PtraceStops++
-	m.mu.Unlock()
+	m.at.ptraceStops.Add(1)
 
-	g := m.group(m.ltidOf(t))
-	n := m.replicaCount()
-
-	g.mu.Lock()
-	a := &arrival{t: t, c: c, exec: exec}
-	g.arrivals[rep.Index] = a
-	if len(g.arrivals) < n {
+	g := m.ringOf(t)
+	slot := &g.slots[rep.Index]
+	a := &slot.arr
+	a.t, a.c, a.exec = t, c, exec
+	a.runOwn = false
+	a.result = vkernel.Result{}
+	slot.seq++
+	r := slot.seq
+	// The AddU32 read-modify-write publishes the slot's plain writes to
+	// whichever arrival ends up as this round's monitor.
+	if int(g.seg.AddU32(ringCntOff, 1)) < g.n {
 		// Wait for the rest of the lockstep group. A replica that never
 		// shows up (it was hijacked into a different syscall sequence, or
-		// wedged) trips the rendezvous watchdog — real GHUMVEE uses the
+		// wedged) trips the rendezvous watchdog, armed by the first
+		// waiter that outlives its spin budget — real GHUMVEE uses the
 		// same timeout-based desynchronisation detection.
-		round := g.round
-		watchdog := time.AfterFunc(m.LockstepTimeout(), func() {
-			g.mu.Lock()
-			stale := g.round == round && g.arrivals[rep.Index] == a && !a.done
-			g.mu.Unlock()
-			if stale {
-				m.declareDivergence(c, "lockstep rendezvous timeout (replica desynchronised)")
-			}
-		})
-		defer watchdog.Stop()
-		for !a.done && !m.halted() {
-			g.cond.Wait()
-		}
-		if !a.done {
-			g.mu.Unlock()
+		if !g.awaitDone(m, slot, rep.Index, r) {
 			return vkernel.Result{Errno: vkernel.EPERM}
 		}
 		result := a.result
-		runOwn := a.runOwn
-		g.mu.Unlock()
-		if runOwn {
+		if a.runOwn {
 			result = exec(c)
 		}
 		t.Clock.Advance(model.CostPtraceStop) // syscall-exit stop
 		return result
 	}
-	// Last arrival: act as the monitor for this round.
-	arrivals := make([]*arrival, 0, n)
-	for i := 0; i < n; i++ {
-		arr, ok := g.arrivals[i]
-		if !ok {
-			g.mu.Unlock()
-			m.declareDivergence(c, "lockstep group incomplete")
-			return vkernel.Result{Errno: vkernel.EPERM}
-		}
-		arrivals = append(arrivals, arr)
-	}
-	g.arrivals = map[int]*arrival{}
-	g.round++
-	g.mu.Unlock()
 
-	m.monitorRound(arrivals)
-
-	g.mu.Lock()
-	for _, arr := range arrivals {
-		arr.done = true
+	// Last arrival: the round is closed (everyone showed up — the
+	// watchdog stands down even if the master call blocks); act as the
+	// monitor for this round.
+	g.closed.Store(r)
+	for i := range g.slots {
+		g.collect[i] = &g.slots[i].arr
 	}
-	g.cond.Broadcast()
-	g.mu.Unlock()
+	m.monitorRound(g, g.collect)
+	g.completeRound(m, r, rep.Index)
 
 	// The monitor goroutine doubles as this replica's thread.
 	result := a.result
@@ -382,9 +399,9 @@ func (m *Monitor) MonitorCall(t *vkernel.Thread, c *vkernel.Call, exec func(*vke
 	return result
 }
 
-// monitorRound performs one lockstep round: clock sync, comparison,
-// execution, replication, signal delivery.
-func (m *Monitor) monitorRound(arrivals []*arrival) {
+// monitorRound performs one lockstep round: clock sync, comparison (or
+// epoch capture), execution, replication, signal delivery.
+func (m *Monitor) monitorRound(g *ring, arrivals []*arrival) {
 	master := arrivals[0]
 	c := master.c
 	d := sysdesc.Lookup(c.Num)
@@ -404,36 +421,55 @@ func (m *Monitor) monitorRound(arrivals []*arrival) {
 		a.t.Clock.SyncTo(maxT)
 	}
 
-	m.mu.Lock()
-	m.stats.MonitoredCalls++
-	m.mu.Unlock()
+	m.at.monitoredCalls.Add(1)
 
-	// Argument comparison across replicas.
-	if err := m.compareArgs(arrivals, d); err != nil {
-		m.declareDivergence(c, err.Error())
-		for _, a := range arrivals {
-			a.result = vkernel.Result{Errno: vkernel.EPERM}
+	// Syscall-number equivalence is always checked immediately: capturing
+	// a slave's arguments under the master's descriptor would read the
+	// wrong memory.
+	for _, a := range arrivals[1:] {
+		if a.c.Num != master.c.Num {
+			m.flushGroup(g)
+			m.declareDivergence(c, fmt.Sprintf("replica %d invoked %s, master invoked %s",
+				m.replicaOf(a.t).Index, vkernel.SyscallName(a.c.Num), vkernel.SyscallName(master.c.Num)))
+			failRound(arrivals)
+			return
 		}
-		return
+	}
+
+	if m.epochSize.Load() > 1 && batchableCall(d) {
+		// Epoch path: capture (with the immediate path's exact virtual
+		// charges) now, verify at the boundary.
+		if !m.epochCapture(g, arrivals, d) {
+			failRound(arrivals)
+			return
+		}
+	} else {
+		// Boundary: a blocking or sensitive call verifies only after the
+		// pending window has been cleared, preserving first-divergence
+		// ordering.
+		m.flushGroup(g)
+		if m.halted() {
+			failRound(arrivals)
+			return
+		}
+		if err := m.compareArgs(arrivals, d); err != nil {
+			m.declareDivergence(c, err.Error())
+			failRound(arrivals)
+			return
+		}
 	}
 
 	// Policy interventions the CP monitor owns regardless of level.
 	if d != nil && d.Special == sysdesc.SpecShm && !m.shmAllowed() {
 		// §2.1: reject shared memory that could form unmonitored
 		// bidirectional channels.
-		m.mu.Lock()
-		m.stats.ShmRejected++
-		m.mu.Unlock()
-		for _, a := range arrivals {
-			a.result = vkernel.Result{Errno: vkernel.EPERM}
-		}
+		m.at.shmRejected.Add(1)
+		failRound(arrivals)
 		return
 	}
 
 	if d != nil && d.Exec == sysdesc.AllReplicas {
-		m.mu.Lock()
-		m.stats.AllReplicaCalls++
-		m.mu.Unlock()
+		m.at.allReplicaCalls.Add(1)
 		for _, a := range arrivals {
 			a.runOwn = true
 		}
@@ -442,9 +478,7 @@ func (m *Monitor) monitorRound(arrivals []*arrival) {
 	}
 
 	// Master-call: execute in the master, replicate to slaves.
-	m.mu.Lock()
-	m.stats.MasterCalls++
-	m.mu.Unlock()
+	m.at.masterCalls.Add(1)
 
 	if d != nil && d.Special == sysdesc.SpecEpollCtl {
 		m.recordEpollCookies(arrivals)
@@ -469,6 +503,13 @@ func (m *Monitor) monitorRound(arrivals []*arrival) {
 	m.deliverDeferredSignals()
 }
 
+// failRound marks every arrival rejected (EPERM).
+func failRound(arrivals []*arrival) {
+	for _, a := range arrivals {
+		a.result = vkernel.Result{Errno: vkernel.EPERM}
+	}
+}
+
 func (m *Monitor) shmAllowed() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -479,12 +520,6 @@ func (m *Monitor) shmAllowed() bool {
 // equivalence check; §1 "checking their arguments for equivalence").
 func (m *Monitor) compareArgs(arrivals []*arrival, d *sysdesc.Desc) error {
 	master := arrivals[0]
-	for _, a := range arrivals[1:] {
-		if a.c.Num != master.c.Num {
-			return fmt.Errorf("replica %d invoked %s, master invoked %s",
-				m.replicaOf(a.t).Index, vkernel.SyscallName(a.c.Num), vkernel.SyscallName(master.c.Num))
-		}
-	}
 	if d == nil {
 		// Conservative: compare raw registers.
 		for _, a := range arrivals[1:] {
@@ -583,9 +618,7 @@ func (m *Monitor) compareArgs(arrivals []*arrival, d *sysdesc.Desc) error {
 
 func (m *Monitor) chargeCompare(t *vkernel.Thread, n int) {
 	t.Clock.Advance(model.CrossCopyCost(n))
-	m.mu.Lock()
-	m.stats.BytesCompared += uint64(n)
-	m.mu.Unlock()
+	m.at.bytesCompared.Add(uint64(n))
 }
 
 // replicateResults copies the master's output buffers into each slave's
@@ -631,9 +664,7 @@ func (m *Monitor) replicateResults(arrivals []*arrival, d *sysdesc.Desc, res vke
 			}
 			if err := a.t.Proc.Mem.Write(mem.Addr(a.c.Args[i]), payload); err == nil {
 				a.t.Clock.Advance(model.CrossCopyCost(len(payload)))
-				m.mu.Lock()
-				m.stats.BytesReplicated += uint64(len(payload))
-				m.mu.Unlock()
+				m.at.bytesReplicated.Add(uint64(len(payload)))
 			}
 		}
 	}
@@ -753,9 +784,7 @@ func (m *Monitor) replicateEpollEvents(arrivals []*arrival, res vkernel.Result) 
 		}
 		if err := a.t.Proc.Mem.Write(mem.Addr(a.c.Args[1]), out); err == nil {
 			a.t.Clock.Advance(model.CrossCopyCost(len(out)))
-			m.mu.Lock()
-			m.stats.BytesReplicated += uint64(len(out))
-			m.mu.Unlock()
+			m.at.bytesReplicated.Add(uint64(len(out)))
 		}
 	}
 }
@@ -765,22 +794,21 @@ func (m *Monitor) replicateEpollEvents(arrivals []*arrival, res vkernel.Result) 
 // (§2.2). It also raises the RB signals-pending flag so a master running
 // ahead through IP-MON re-enters monitored execution (§3.8).
 func (m *Monitor) gateSignal(p *vkernel.Process, sig int) bool {
-	m.mu.Lock()
 	rep := m.byProc[p]
 	if rep == nil {
-		m.mu.Unlock()
 		return false
 	}
 	if rep.Index != 0 {
 		// Outside-world signals target the master; a signal directed at a
 		// slave is simply absorbed and re-delivered consistently.
-		m.mu.Unlock()
 		return true
 	}
+	m.mu.Lock()
 	m.pending = append(m.pending, sig)
-	m.stats.SignalsDeferred++
+	m.pendingN.Store(int32(len(m.pending)))
 	rbuf := m.rbuf
 	m.mu.Unlock()
+	m.at.signalsDeferred.Add(1)
 	if rbuf != nil {
 		rbuf.SetSignalsPending(true)
 	}
@@ -788,8 +816,14 @@ func (m *Monitor) gateSignal(p *vkernel.Process, sig int) bool {
 }
 
 // deliverDeferredSignals re-initiates deferred signals at a rendezvous —
-// the point where all replicas rest in equivalent states.
+// the point where all replicas rest in equivalent states. Delivery is an
+// epoch boundary for every group: all pending windows are verified first
+// so signals only land on states the monitor has vouched for.
 func (m *Monitor) deliverDeferredSignals() {
+	if m.pendingN.Load() == 0 {
+		return
+	}
+	m.flushEpochs()
 	m.mu.Lock()
 	if len(m.pending) == 0 {
 		m.mu.Unlock()
@@ -797,14 +831,14 @@ func (m *Monitor) deliverDeferredSignals() {
 	}
 	sigs := m.pending
 	m.pending = nil
-	replicas := append([]*Replica(nil), m.replicas...)
+	m.pendingN.Store(0)
 	rbuf := m.rbuf
 	m.mu.Unlock()
 	if rbuf != nil {
 		rbuf.SetSignalsPending(false)
 	}
 	for _, sig := range sigs {
-		for _, r := range replicas {
+		for _, r := range m.replicas {
 			r.Proc.QueueSignalDirect(sig)
 		}
 	}
@@ -822,14 +856,14 @@ func (m *Monitor) PendingSignals() int {
 // an attack" (§1).
 func (m *Monitor) declareDivergence(c *vkernel.Call, reason string) {
 	m.mu.Lock()
-	if m.diverged || m.stopped {
+	if m.diverged.Load() || m.stopped.Load() {
 		// Already handled — or an administrative Stop is tearing the set
 		// down, in which case crashes are expected and not an attack.
 		m.mu.Unlock()
 		return
 	}
-	m.diverged = true
-	m.stats.Divergences++
+	m.diverged.Store(true)
+	m.at.divergences.Add(1)
 	name := ""
 	if c != nil {
 		name = vkernel.SyscallName(c.Num)
@@ -837,19 +871,10 @@ func (m *Monitor) declareDivergence(c *vkernel.Call, reason string) {
 	m.verdict = Verdict{Diverged: true, Reason: reason, Syscall: name}
 	verdict := m.verdict
 	notify := m.onVerdict
-	replicas := append([]*Replica(nil), m.replicas...)
-	groups := make([]*rendezvous, 0, len(m.groups))
-	for _, g := range m.groups {
-		groups = append(groups, g)
-	}
 	m.mu.Unlock()
 
-	for _, g := range groups {
-		g.mu.Lock()
-		g.cond.Broadcast()
-		g.mu.Unlock()
-	}
-	for _, r := range replicas {
+	m.signalAbort()
+	for _, r := range m.replicas {
 		for _, t := range r.Proc.Threads() {
 			t.Crash("mvee shutdown: " + reason)
 		}
@@ -861,39 +886,19 @@ func (m *Monitor) declareDivergence(c *vkernel.Call, reason string) {
 
 // ThreadExited implements vkernel.ExitHandler: an abnormal replica exit —
 // including IP-MON's intentional crash on argument mismatch (§3.3) — is a
-// divergence signal.
+// divergence signal. Pending epoch windows are verified first so that a
+// deferred argument divergence, not the crash it may have provoked, is
+// reported as the root cause.
 func (m *Monitor) ThreadExited(t *vkernel.Thread, code int, crashed bool) {
 	if !crashed {
-		m.wakeGroupsForExit()
 		return
 	}
-	m.mu.Lock()
 	rep := m.byProc[t.Proc]
-	already := m.diverged
-	m.mu.Unlock()
-	if rep == nil || already {
+	if rep == nil || m.diverged.Load() {
 		return
 	}
+	m.flushEpochs()
 	m.declareDivergence(t.LastSyscall(), fmt.Sprintf("replica %d crashed (ptrace-stop SIGSEGV)", rep.Index))
-}
-
-// wakeGroupsForExit unblocks rendezvous waiters when a replica thread
-// exits normally, so surviving threads don't deadlock; the incomplete
-// group is then treated as divergence by the next arrival if counts no
-// longer match. Normal exits go through the exit syscall's own
-// rendezvous, so in healthy runs nobody is waiting here.
-func (m *Monitor) wakeGroupsForExit() {
-	m.mu.Lock()
-	groups := make([]*rendezvous, 0, len(m.groups))
-	for _, g := range m.groups {
-		groups = append(groups, g)
-	}
-	m.mu.Unlock()
-	for _, g := range groups {
-		g.mu.Lock()
-		g.cond.Broadcast()
-		g.mu.Unlock()
-	}
 }
 
 // ApproveRegistration implements ikb.RegistrationApprover (§3.5):
@@ -904,15 +909,12 @@ func (m *Monitor) ApproveRegistration(p *vkernel.Process, mask *vkernel.SyscallM
 }
 
 // ResetPartition implements rb.Arbiter (§3.2): wait until every slave has
-// drained the partition, then reset it.
+// drained the partition, then reset it. The wait is driven by the RB's
+// drain notification instead of a sleep poll.
 func (m *Monitor) ResetPartition(b *rb.Buffer, part int) {
-	for !b.Drained(part) && !m.halted() {
-		time.Sleep(20 * time.Microsecond)
-	}
+	b.WaitDrained(part, m.halted)
 	b.DoReset(part)
-	m.mu.Lock()
-	m.stats.RBResets++
-	m.mu.Unlock()
+	m.at.rbResets.Add(1)
 }
 
 // readCString reads a NUL-terminated string (max 4 KiB) from as.

@@ -1,0 +1,151 @@
+package ghumvee
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"remon/internal/vkernel"
+)
+
+// TestRendezvousStress is the satellite's -race stress: 8 replicas x 16
+// logical threads x mixed blocking-class/non-blocking calls, run under
+// both verification engines (immediate reference and epoch-batched), with
+// a golden comparison of verdicts, per-thread call ordering and the
+// monitor's byte accounting. goldenRun (epoch_test.go) drives the
+// workload; this test scales it up to the contended shape.
+func TestRendezvousStress(t *testing.T) {
+	replicas, groups, calls := 8, 16, 10
+	if testing.Short() {
+		replicas, groups, calls = 4, 8, 6
+	}
+	refTraces, refClocks, refStats, refVerdict := goldenRun(t, replicas, groups, calls, 1)
+	batTraces, batClocks, batStats, batVerdict := goldenRun(t, replicas, groups, calls, DefaultEpochSize)
+
+	if refVerdict.Diverged {
+		t.Fatalf("reference engine diverged: %+v", refVerdict)
+	}
+	if batVerdict != refVerdict {
+		t.Fatalf("verdicts differ: ref=%+v batched=%+v", refVerdict, batVerdict)
+	}
+	// Per-thread call ordering and results must match the reference run
+	// exactly.
+	for i := range refTraces {
+		if len(refTraces[i]) == 0 {
+			t.Fatalf("thread %d issued no calls", i)
+		}
+		for j := range refTraces[i] {
+			if refTraces[i][j] != batTraces[i][j] {
+				t.Fatalf("thread %d call %d: ref=%d batched=%d", i, j, refTraces[i][j], batTraces[i][j])
+			}
+		}
+	}
+	for i := range refClocks {
+		if refClocks[i] != batClocks[i] {
+			t.Fatalf("thread %d clock: ref=%d batched=%d", i, refClocks[i], batClocks[i])
+		}
+	}
+	if refStats.BytesCompared != batStats.BytesCompared ||
+		refStats.BytesReplicated != batStats.BytesReplicated ||
+		refStats.MonitoredCalls != batStats.MonitoredCalls {
+		t.Fatalf("stats differ: ref=%+v batched=%+v", refStats, batStats)
+	}
+}
+
+// TestTargetedWakeOnSlowArrival forces the park path: the first arrival
+// outspins its budget while the second shows up late, so the round's
+// monitor must issue a targeted wake (counted in Stats.Wakeups).
+func TestTargetedWakeOnSlowArrival(t *testing.T) {
+	e := newMonEnv(t, 2)
+	done := make(chan vkernel.Result, 1)
+	go func() {
+		th := e.threads[0]
+		done <- e.m.MonitorCall(th, &vkernel.Call{Num: vkernel.SysGetpid},
+			func(c *vkernel.Call) vkernel.Result { return th.RawSyscallC(c) })
+	}()
+	time.Sleep(20 * time.Millisecond) // let the early arrival park
+	th := e.threads[1]
+	r2 := e.m.MonitorCall(th, &vkernel.Call{Num: vkernel.SysGetpid},
+		func(c *vkernel.Call) vkernel.Result { return th.RawSyscallC(c) })
+	r1 := <-done
+	if !r1.Ok() || !r2.Ok() || r1.Val != r2.Val {
+		t.Fatalf("results: %+v %+v", r1, r2)
+	}
+	if st := e.m.Stats(); st.Wakeups != 1 {
+		t.Fatalf("Wakeups = %d, want 1 targeted wake", st.Wakeups)
+	}
+}
+
+// TestStressDivergenceUnderLoad injects a single divergent batchable call
+// after healthy traffic and checks both engines converge on a divergence
+// verdict naming that call, with identical reason strings.
+func TestStressDivergenceUnderLoad(t *testing.T) {
+	var verdicts []Verdict
+	for _, epoch := range []int{1, DefaultEpochSize} {
+		e := newMonEnv(t, 4)
+		e.m.SetEpochSize(epoch)
+		healthy := make([]*vkernel.Call, 4)
+		for r := range healthy {
+			healthy[r] = &vkernel.Call{Num: vkernel.SysGetpid}
+		}
+		for i := 0; i < 5; i++ {
+			if res := e.lockstep(t, healthy); !res[0].Ok() {
+				t.Fatalf("epoch=%d healthy round %d failed: %+v", epoch, i, res[0])
+			}
+		}
+		divergent := make([]*vkernel.Call, 4)
+		for r := range divergent {
+			divergent[r] = &vkernel.Call{Num: vkernel.SysLseek, Args: [6]uint64{3, uint64(10 + r%2), 0}}
+		}
+		e.lockstep(t, divergent)
+		if !e.m.Diverged() {
+			t.Fatalf("epoch=%d: divergence missed", epoch)
+		}
+		verdicts = append(verdicts, e.m.Verdict())
+	}
+	if verdicts[0] != verdicts[1] {
+		t.Fatalf("verdicts differ across engines: %+v vs %+v", verdicts[0], verdicts[1])
+	}
+	if verdicts[0].Syscall != "lseek" {
+		t.Fatalf("verdict = %+v", verdicts[0])
+	}
+}
+
+// TestWatchdogSparesBlockingMasterCall: once every replica has arrived,
+// the round is closed and the watchdog must stand down even when the
+// master call blocks far beyond the lockstep timeout (an idle accept or
+// epoll_wait) — only an unclosed round (a replica that never showed up)
+// is desynchronisation.
+func TestWatchdogSparesBlockingMasterCall(t *testing.T) {
+	e := newMonEnv(t, 2)
+	e.m.SetLockstepTimeout(30 * time.Millisecond)
+	release := make(chan struct{})
+	results := make([]vkernel.Result, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			th := e.threads[i]
+			results[i] = e.m.MonitorCall(th, &vkernel.Call{Num: vkernel.SysGetpid},
+				func(c *vkernel.Call) vkernel.Result {
+					if th.Proc.ReplicaIndex == 0 {
+						<-release // master call blocks well past the watchdog
+					}
+					return th.RawSyscallC(c)
+				})
+		}(i)
+	}
+	time.Sleep(150 * time.Millisecond) // 5x the timeout
+	if e.m.Diverged() {
+		t.Fatalf("watchdog fired on a closed round with a blocking master call: %+v", e.m.Verdict())
+	}
+	close(release)
+	wg.Wait()
+	if e.m.Diverged() {
+		t.Fatalf("diverged after completion: %+v", e.m.Verdict())
+	}
+	if !results[0].Ok() || results[0].Val != results[1].Val {
+		t.Fatalf("results: %+v", results)
+	}
+}

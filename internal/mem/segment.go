@@ -132,6 +132,18 @@ func (s *SharedSegment) StoreU32(off uint64, v uint32) {
 	atomic.StoreUint32((*uint32)(unsafe.Pointer(&s.data[off])), v)
 }
 
+// AddU32 atomically adds delta to the 32-bit word at off (4-byte aligned,
+// in range) and returns the new value. Like StoreU32 it is a release
+// operation with respect to prior plain writes; being a read-modify-write
+// it additionally observes every write published before the previous
+// operation on the same word — the property the GHUMVEE arrival ring's
+// "last arrival closes the round" counter relies on.
+func (s *SharedSegment) AddU32(off uint64, delta uint32) uint32 {
+	s.checkWord(off, 4)
+	s.markDirty(off, 4)
+	return atomic.AddUint32((*uint32)(unsafe.Pointer(&s.data[off])), delta)
+}
+
 // LoadU64 atomically loads the 64-bit word at off (8-byte aligned).
 func (s *SharedSegment) LoadU64(off uint64) uint64 {
 	s.checkWord(off, 8)

@@ -211,3 +211,57 @@ func TestScrubCountsOnlyDirtyChunks(t *testing.T) {
 	}
 	_ = AcquireSegment(301, size) // drain
 }
+
+func TestWordAdd(t *testing.T) {
+	seg := NewSharedSegment(3, PageSize)
+	if got := seg.AddU32(12, 5); got != 5 {
+		t.Fatalf("AddU32 = %d, want 5", got)
+	}
+	if got := seg.AddU32(12, 3); got != 8 {
+		t.Fatalf("AddU32 = %d, want 8", got)
+	}
+	if got := seg.LoadU32(12); got != 8 {
+		t.Fatalf("LoadU32 after adds = %d", got)
+	}
+	mustPanic(t, "AddU32 misaligned", func() { seg.AddU32(2, 1) })
+	mustPanic(t, "AddU32 out of range", func() { seg.AddU32(seg.Size, 1) })
+}
+
+// TestWordAddPublishes exercises the arrival-ring pattern: each publisher
+// fills a private slot with plain writes, release-stores its per-slot
+// sequence word and then joins a shared AddU32 counter; the goroutine that
+// observes the counter reach N must see every slot's plain writes.
+func TestWordAddPublishes(t *testing.T) {
+	const n = 8
+	const rounds = 200
+	seg := NewSharedSegment(4, PageSize)
+	slots := make([]uint64, n)
+	var wg sync.WaitGroup
+	for r := 1; r <= rounds; r++ {
+		got := make(chan uint64, 1)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(idx, round int) {
+				defer wg.Done()
+				slots[idx] = uint64(round*100 + idx) // plain write
+				seg.StoreU32(uint64(64+idx*4), uint32(round))
+				if seg.AddU32(0, 1) == n { // last arrival closes the round
+					var sum uint64
+					for j := 0; j < n; j++ {
+						sum += slots[j]
+					}
+					seg.StoreU32(0, 0)
+					got <- sum
+				}
+			}(i, r)
+		}
+		wg.Wait()
+		var want uint64
+		for j := 0; j < n; j++ {
+			want += uint64(r*100 + j)
+		}
+		if sum := <-got; sum != want {
+			t.Fatalf("round %d: closing arrival saw %d, want %d", r, sum, want)
+		}
+	}
+}

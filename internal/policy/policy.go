@@ -152,6 +152,26 @@ var conditional = map[Level][]int{
 	},
 }
 
+// batchable is the call set whose GHUMVEE-side verification may be
+// deferred to an epoch boundary: the read-only, side-effect-light calls
+// Table 1 grants unconditionally at BASE_LEVEL and NONSOCKET_RO_LEVEL.
+// Everything above those levels (writes, socket traffic) — and every
+// call outside Table 1 — is treated as sensitive and verified
+// immediately.
+var batchable = func() vkernel.SyscallMask {
+	var m vkernel.SyscallMask
+	for _, l := range []Level{BaseLevel, NonsocketROLevel} {
+		for _, nr := range unconditional[l] {
+			m.Set(nr)
+		}
+	}
+	return m
+}()
+
+// Batchable reports whether nr belongs to the epoch-batchable class (the
+// CP monitor still applies its own descriptor-level guards on top).
+func Batchable(nr int) bool { return batchable.Has(nr) }
+
 // Spatial is a spatial exemption policy at a fixed level.
 type Spatial struct {
 	Level Level

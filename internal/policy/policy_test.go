@@ -252,3 +252,26 @@ func TestTable1Rows(t *testing.T) {
 		t.Fatal("NONSOCKET_RO row missing conditional calls")
 	}
 }
+
+func TestBatchableClassification(t *testing.T) {
+	// Read-only BASE_LEVEL / NONSOCKET_RO_LEVEL calls are batchable.
+	for _, nr := range []int{
+		vkernel.SysGetpid, vkernel.SysGettimeofday, vkernel.SysClockGettime,
+		vkernel.SysLseek, vkernel.SysStat, vkernel.SysFstat, vkernel.SysAccess,
+	} {
+		if !Batchable(nr) {
+			t.Errorf("%s not batchable", vkernel.SyscallName(nr))
+		}
+	}
+	// Writes, socket traffic, reads (conditional, possibly blocking) and
+	// descriptor-lifecycle calls are sensitive.
+	for _, nr := range []int{
+		vkernel.SysWrite, vkernel.SysRead, vkernel.SysOpen, vkernel.SysClose,
+		vkernel.SysSendto, vkernel.SysRecvfrom, vkernel.SysAccept,
+		vkernel.SysExitGroup, vkernel.SysShmget, vkernel.SysEpollWait,
+	} {
+		if Batchable(nr) {
+			t.Errorf("%s wrongly batchable", vkernel.SyscallName(nr))
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"remon/internal/mem"
 	"remon/internal/model"
@@ -117,6 +118,11 @@ type Buffer struct {
 	// alwaysWake disables §3.7's wake suppression (ablation knob): the
 	// master issues FUTEX_WAKE even when no slave waits.
 	alwaysWake bool
+	// drained carries one-shot per-partition notifications from slaves to
+	// the arbiter: during a reset window (ResetRequested set) the slave
+	// that consumes the last outstanding entry pings the channel, so the
+	// arbiter wakes immediately instead of sleep-polling.
+	drained []chan struct{}
 }
 
 // SetAlwaysWake toggles the wake-suppression ablation.
@@ -138,7 +144,11 @@ func New(seg *mem.SharedSegment, nReplicas, nParts int, arbiter Arbiter) (*Buffe
 	if partSize <= partHeaderSize+entryHeaderSize {
 		return nil, fmt.Errorf("rb: segment too small (%d bytes for %d partitions)", seg.Size, nParts)
 	}
-	return &Buffer{seg: seg, nReplicas: nReplicas, nParts: nParts, partSize: partSize, arbiter: arbiter}, nil
+	drained := make([]chan struct{}, nParts)
+	for i := range drained {
+		drained[i] = make(chan struct{}, 1)
+	}
+	return &Buffer{seg: seg, nReplicas: nReplicas, nParts: nParts, partSize: partSize, arbiter: arbiter, drained: drained}, nil
 }
 
 // Segment exposes the backing shared segment (the monitors map it).
@@ -544,12 +554,42 @@ func (ev *EntryView) WaitResults(t *vkernel.Thread) (ret uint64, errno vkernel.E
 }
 
 // Consume advances past the entry and publishes this replica's progress
-// (its own consumed slot only — no read-write sharing).
+// (its own consumed slot only — no read-write sharing). During a reset
+// window the consumer that drains the partition pings the arbiter; the
+// ResetRequested check keeps the common path notification-free.
 func (ev *EntryView) Consume() {
 	r := ev.r
 	r.off += uint64(ev.size)
 	r.seq++
-	r.b.seg.StoreU32(r.b.partBase(r.part)+phConsumed+uint64(r.replica)*4, r.seq)
+	b := r.b
+	b.seg.StoreU32(b.partBase(r.part)+phConsumed+uint64(r.replica)*4, r.seq)
+	if b.ResetRequested(r.part) && b.Drained(r.part) {
+		select {
+		case b.drained[r.part] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// WaitDrained blocks until every slave has drained partition p or abort
+// reports true. Drain notifications from consumers provide the prompt
+// wake; one pooled timer (re-armed, never reallocated) bounds how stale
+// the abort check can get. The notification is a wake-up hint, not a
+// guarantee — Drained is re-checked around every wake.
+func (b *Buffer) WaitDrained(p int, abort func() bool) {
+	if b.Drained(p) || abort() {
+		return
+	}
+	const recheck = 100 * time.Microsecond
+	t := time.NewTimer(recheck)
+	defer t.Stop()
+	for !b.Drained(p) && !abort() {
+		select {
+		case <-b.drained[p]:
+		case <-t.C:
+			t.Reset(recheck)
+		}
+	}
 }
 
 // Drained reports whether every slave has consumed all published entries

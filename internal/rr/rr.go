@@ -3,6 +3,12 @@
 // (§2.3): the master records the order of user-space synchronisation
 // operations; the slaves replay that order, forcing all replicas through
 // the same interleaving and hence the same system call sequences.
+//
+// The log is indexed by sequence position and wakes are targeted: a
+// recorded event wakes only the replayers blocked on that exact position,
+// and consuming an event wakes only the thread that owns the next one.
+// The broadcast-everyone-and-rescan protocol this replaces cost O(waiters)
+// wakeups per operation under the log mutex.
 package rr
 
 import (
@@ -31,24 +37,55 @@ const (
 // master's agent and read by the slaves'.
 type Log struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
 	events []Event
 	closed bool
+	// waiters[pos] holds the wake channels of replayers blocked until
+	// event pos exists. record wakes exactly the channels registered at
+	// the appended position — a targeted wake instead of a broadcast.
+	// Channels carry one token per use and recycle through chanPool.
+	waiters  map[int][]chan struct{}
+	chanPool []chan struct{}
+	// subs are the replaying agents; record hands each newly appended
+	// event to them (outside the log lock) so a thread parked on its
+	// operation key is found even when its event is recorded after the
+	// replay cursor already reached that position.
+	subs []*Agent
 }
 
 // NewLog creates an empty log.
 func NewLog() *Log {
-	l := &Log{}
-	l.cond = sync.NewCond(&l.mu)
-	return l
+	return &Log{waiters: map[int][]chan struct{}{}}
+}
+
+// getChan pops a pooled wake channel (l.mu held).
+func (l *Log) getChan() chan struct{} {
+	if n := len(l.chanPool); n > 0 {
+		ch := l.chanPool[n-1]
+		l.chanPool = l.chanPool[:n-1]
+		return ch
+	}
+	return make(chan struct{}, 1)
 }
 
 // Close marks the log finished (master exit); blocked slaves drain.
+// Both wait populations are woken: position waiters (they observe closed
+// in await) and key-parked replayers in every subscribed agent (they
+// re-check the cursor, and run free once the remaining events are
+// consumed or the cursor passes the end).
 func (l *Log) Close() {
 	l.mu.Lock()
 	l.closed = true
-	l.cond.Broadcast()
+	for pos, ws := range l.waiters {
+		for _, ch := range ws {
+			ch <- struct{}{}
+		}
+		delete(l.waiters, pos)
+	}
+	subs := l.subs
 	l.mu.Unlock()
+	for _, a := range subs {
+		a.wakeAllParked()
+	}
 }
 
 // Len reports the number of recorded events.
@@ -58,26 +95,63 @@ func (l *Log) Len() int {
 	return len(l.events)
 }
 
-// record appends an event and wakes replaying slaves.
+// record appends an event and wakes only the replayers awaiting its
+// position, then offers the event to each replaying agent (whose turn
+// owner may be parked on its key).
 func (l *Log) record(e Event) {
 	l.mu.Lock()
+	pos := len(l.events)
 	l.events = append(l.events, e)
-	l.cond.Broadcast()
+	ws := l.waiters[pos]
+	delete(l.waiters, pos)
+	subs := l.subs
+	for _, ch := range ws {
+		ch <- struct{}{} // cap 1: never blocks (one token per registration)
+	}
 	l.mu.Unlock()
+	for _, a := range subs {
+		a.notifyRecorded(pos, e)
+	}
+}
+
+// subscribe registers a replaying agent for record notifications.
+func (l *Log) subscribe(a *Agent) {
+	l.mu.Lock()
+	l.subs = append(l.subs, a)
+	l.mu.Unlock()
+}
+
+// get returns event pos if it exists (O(1) index), plus the closed flag.
+func (l *Log) get(pos int) (e Event, exists, closed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if pos < len(l.events) {
+		return l.events[pos], true, l.closed
+	}
+	return Event{}, false, l.closed
 }
 
 // await blocks until event pos exists, then returns it. ok=false when the
 // log closed first.
 func (l *Log) await(pos int) (Event, bool) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	for pos >= len(l.events) && !l.closed {
-		l.cond.Wait()
+	for {
+		if pos < len(l.events) {
+			e := l.events[pos]
+			l.mu.Unlock()
+			return e, true
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return Event{}, false
+		}
+		ch := l.getChan()
+		l.waiters[pos] = append(l.waiters[pos], ch)
+		l.mu.Unlock()
+		<-ch
+		l.mu.Lock()
+		l.chanPool = append(l.chanPool, ch)
 	}
-	if pos < len(l.events) {
-		return l.events[pos], true
-	}
-	return Event{}, false
 }
 
 // Agent is one replica's record/replay agent.
@@ -87,19 +161,81 @@ type Agent struct {
 
 	mu     sync.Mutex
 	cursor int
-	gate   *sync.Cond
+	// keyWait holds, per (ltid, obj, kind), the wake channels of threads
+	// waiting for their operation's turn. Consuming an event wakes only
+	// the owner of the next event — the replaced gate broadcast woke
+	// every parked thread to re-check a cursor only one of them could
+	// advance. Channels recycle through chanPool (one token per use).
+	keyWait  map[Event][]chan struct{}
+	chanPool []chan struct{}
+	parked   int // threads currently waiting in keyWait
 }
 
 // NewAgent creates an agent. Exactly one agent per replica set records
 // (the master's); the rest replay.
 func NewAgent(log *Log, master bool) *Agent {
-	a := &Agent{log: log, master: master}
-	a.gate = sync.NewCond(&a.mu)
+	a := &Agent{log: log, master: master, keyWait: map[Event][]chan struct{}{}}
+	if !master {
+		log.subscribe(a)
+	}
 	return a
+}
+
+// wakeAllParked releases every key-parked thread so it can re-examine
+// the (now closed) log.
+func (a *Agent) wakeAllParked() {
+	a.mu.Lock()
+	a.wakeAllParkedLocked()
+	a.mu.Unlock()
+}
+
+func (a *Agent) wakeAllParkedLocked() {
+	for k, ws := range a.keyWait {
+		for _, ch := range ws {
+			ch <- struct{}{}
+			a.parked--
+		}
+		a.keyWait[k] = ws[:0]
+	}
+}
+
+// notifyRecorded runs on the recording thread after event e landed at
+// pos: if this agent's cursor is already there and e's owner is parked,
+// hand it the turn. Lock order is always Agent.mu before Log.mu, and
+// record calls this after releasing Log.mu, so no cycle exists.
+func (a *Agent) notifyRecorded(pos int, e Event) {
+	a.mu.Lock()
+	if a.parked > 0 && a.cursor == pos {
+		a.wakeKeyLocked(e)
+	}
+	a.mu.Unlock()
 }
 
 // Master reports whether this agent records.
 func (a *Agent) Master() bool { return a.master }
+
+// getChan pops a pooled wake channel (a.mu held).
+func (a *Agent) getChan() chan struct{} {
+	if n := len(a.chanPool); n > 0 {
+		ch := a.chanPool[n-1]
+		a.chanPool = a.chanPool[:n-1]
+		return ch
+	}
+	return make(chan struct{}, 1)
+}
+
+// wakeKeyLocked wakes one thread parked on e's key, if any (a.mu held).
+func (a *Agent) wakeKeyLocked(e Event) {
+	if ws, ok := a.keyWait[e]; ok && len(ws) > 0 {
+		ws[0] <- struct{}{} // cap 1: never blocks (one token per park)
+		a.parked--
+		if len(ws) == 1 {
+			a.keyWait[e] = ws[:0] // keep the backing array for reuse
+		} else {
+			a.keyWait[e] = append(ws[:0], ws[1:]...)
+		}
+	}
+}
 
 // Sync orders one synchronisation operation. The master records and
 // proceeds; a slave blocks until the replayed sequence reaches an event
@@ -114,29 +250,53 @@ func (a *Agent) Sync(t *vkernel.Thread, ltid int, obj uint64, kind uint8) {
 		return
 	}
 	t.Clock.Advance(model.CostRRReplay)
+	key := Event{LTID: ltid, Obj: obj, Kind: kind}
 	a.mu.Lock()
 	for {
 		pos := a.cursor
-		a.mu.Unlock()
-		e, ok := a.log.await(pos)
-		a.mu.Lock()
-		if !ok {
-			// Log closed: run free (master is gone; the monitor's
-			// divergence machinery owns correctness now).
+		e, exists, closed := a.log.get(pos)
+		if !exists {
+			if closed {
+				// Log closed: run free (master is gone; the monitor's
+				// divergence machinery owns correctness now).
+				a.mu.Unlock()
+				return
+			}
+			// Event not recorded yet: wait on the log's position index,
+			// outside the agent lock.
 			a.mu.Unlock()
-			return
-		}
-		if pos != a.cursor {
-			// Another thread consumed this slot; re-evaluate.
+			if _, ok := a.log.await(pos); !ok {
+				return
+			}
+			a.mu.Lock()
 			continue
 		}
-		if e.LTID == ltid && e.Obj == obj && e.Kind == kind {
+		if e == key {
 			a.cursor++
-			a.gate.Broadcast()
+			// Hand the turn to the owner of the next event, if it is
+			// already parked. When the log is closed and drained past the
+			// cursor, no further event will ever match a parked key —
+			// release everyone to run free (Close's drain guarantee).
+			if a.parked > 0 {
+				if next, ok, closed := a.log.get(a.cursor); ok {
+					a.wakeKeyLocked(next)
+				} else if closed {
+					a.wakeAllParkedLocked()
+				}
+			}
 			a.mu.Unlock()
 			return
 		}
-		// Not our turn: wait for the cursor to move.
-		a.gate.Wait()
+		// Not our turn. Make sure the current event's owner is woken
+		// (it may have parked before this event reached the cursor),
+		// then park on our own key.
+		a.wakeKeyLocked(e)
+		ch := a.getChan()
+		a.keyWait[key] = append(a.keyWait[key], ch)
+		a.parked++
+		a.mu.Unlock()
+		<-ch
+		a.mu.Lock()
+		a.chanPool = append(a.chanPool, ch)
 	}
 }

@@ -1,0 +1,96 @@
+package rr
+
+import (
+	"sync"
+	"testing"
+
+	"remon/internal/vkernel"
+	"remon/internal/vnet"
+)
+
+// benchThreads builds one thread per logical replayer.
+func benchThreads(n int) []*vkernel.Thread {
+	k := vkernel.New(vnet.New(vnet.Loopback))
+	p := k.NewProcess("rr-bench", 1, 0)
+	out := make([]*vkernel.Thread, n)
+	for i := range out {
+		out[i] = p.NewThread(nil)
+	}
+	return out
+}
+
+// BenchmarkReplaySync measures the replay path under thread contention:
+// a pre-recorded interleaving of nThreads logical threads is replayed by
+// nThreads goroutines sharing one slave agent. The old engine broadcast
+// every parked replayer awake on each record and each cursor advance;
+// the indexed log and keyed wakes make both O(1) targeted operations.
+func BenchmarkReplaySync(b *testing.B) {
+	for _, nThreads := range []int{2, 8, 16} {
+		b.Run(map[int]string{2: "t2", 8: "t8", 16: "t16"}[nThreads], func(b *testing.B) {
+			const opsPerThread = 64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				log := NewLog()
+				rec := NewAgent(log, true)
+				threads := benchThreads(nThreads + 1)
+				// Round-robin interleaving: the worst case for broadcast
+				// wakes (every consume unblocks a different thread).
+				for op := 0; op < opsPerThread; op++ {
+					for lt := 0; lt < nThreads; lt++ {
+						rec.Sync(threads[nThreads], lt, uint64(lt)*7+1, OpLock)
+					}
+				}
+				log.Close()
+				slave := NewAgent(log, false)
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for lt := 0; lt < nThreads; lt++ {
+					wg.Add(1)
+					go func(lt int) {
+						defer wg.Done()
+						for op := 0; op < opsPerThread; op++ {
+							slave.Sync(threads[lt], lt, uint64(lt)*7+1, OpLock)
+						}
+					}(lt)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(b.N*opsPerThread*nThreads), "replayed-ops")
+		})
+	}
+}
+
+// BenchmarkRecordAwaitLag measures the live record/replay pipeline: the
+// recorder streams events while replayers chase the log, exercising the
+// position-indexed await wake path.
+func BenchmarkRecordAwaitLag(b *testing.B) {
+	const nThreads = 8
+	const opsPerThread = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		log := NewLog()
+		rec := NewAgent(log, true)
+		slave := NewAgent(log, false)
+		threads := benchThreads(nThreads + 1)
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for lt := 0; lt < nThreads; lt++ {
+			wg.Add(1)
+			go func(lt int) {
+				defer wg.Done()
+				for op := 0; op < opsPerThread; op++ {
+					slave.Sync(threads[lt], lt, uint64(lt)+1, OpUnlock)
+				}
+			}(lt)
+		}
+		for op := 0; op < opsPerThread; op++ {
+			for lt := 0; lt < nThreads; lt++ {
+				rec.Sync(threads[nThreads], lt, uint64(lt)+1, OpUnlock)
+			}
+		}
+		log.Close()
+		wg.Wait()
+	}
+}

@@ -1,8 +1,10 @@
 package rr
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"remon/internal/vkernel"
 )
@@ -140,5 +142,75 @@ func TestRecordChargesLessThanReplay(t *testing.T) {
 	if mt.Clock.Now() >= st.Clock.Now() {
 		t.Fatalf("record cost %v should be below replay cost %v",
 			mt.Clock.Now(), st.Clock.Now())
+	}
+}
+
+// TestLaggingRecorderWakesParkedKeys drives the case the indexed-wake
+// protocol must not drop: a replayer parks on its operation key while the
+// recorder has not yet written the matching event, and the cursor is
+// already at the position that event will occupy. The record-side agent
+// notification must hand it the turn.
+func TestLaggingRecorderWakesParkedKeys(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		log := NewLog()
+		rec := NewAgent(log, true)
+		slave := NewAgent(log, false)
+		th := make([]*vkernel.Thread, 4)
+		for i := range th {
+			th[i] = newThread()
+		}
+
+		// The replay total order itself is enforced (and separately tested
+		// by TestSlaveReplaysInOrder); what must not happen here is a
+		// deadlock from a lost wake, so completion of all three replayers
+		// is the assertion.
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		for lt := 1; lt <= 3; lt++ {
+			wg.Add(1)
+			go func(lt int) {
+				defer wg.Done()
+				slave.Sync(th[lt], lt, uint64(lt), OpLock)
+			}(lt)
+		}
+		// Give replayers a chance to park before anything is recorded.
+		runtime.Gosched()
+		for lt := 3; lt >= 1; lt-- { // reverse spawn order
+			rec.Sync(th[0], lt, uint64(lt), OpLock)
+		}
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: parked replayer never woken (lost wake)", round)
+		}
+		log.Close()
+	}
+}
+
+// TestCloseReleasesKeyParkedSlaves: a replayer parked on its operation
+// key (not a log position) must also drain when the log closes after the
+// cursor has passed the end of the recorded sequence.
+func TestCloseReleasesKeyParkedSlaves(t *testing.T) {
+	log := NewLog()
+	rec := NewAgent(log, true)
+	slave := NewAgent(log, false)
+	thA, thB := newThread(), newThread()
+
+	rec.Sync(newThread(), 1, 1, OpLock) // single event A
+	done := make(chan struct{})
+	go func() {
+		slave.Sync(thB, 2, 2, OpLock) // key B: parks (event A is not its turn)
+		close(done)
+	}()
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	slave.Sync(thA, 1, 1, OpLock) // consume A; cursor passes the end
+	log.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key-parked replayer not released by Close")
 	}
 }

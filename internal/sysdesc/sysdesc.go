@@ -139,9 +139,15 @@ func fd() Arg            { return Arg{Type: ArgFD, LenArg: -1} }
 func ival() Arg          { return Arg{Type: ArgInt, LenArg: -1} }
 func iovec(cnt int) Arg  { return Arg{Type: ArgIovec, LenArg: cnt} }
 
-var table = map[int]*Desc{}
+// table is a dense array indexed by syscall number — the monitors hit
+// Lookup on every monitored call, so the former map lookup is now a
+// bounds-checked array load. Undescribed numbers stay nil.
+var table [vkernel.MaxSyscall]*Desc
 
 func def(nr int, exec ExecMode, blockFD int, args ...Arg) *Desc {
+	if nr < 0 || nr >= vkernel.MaxSyscall {
+		panic("sysdesc: syscall number out of table range")
+	}
 	d := &Desc{Nr: nr, Name: vkernel.SyscallName(nr), Exec: exec, BlockFD: blockFD}
 	copy(d.Args[:], args)
 	d.NArgs = len(args)
@@ -293,13 +299,21 @@ func init() {
 
 // Lookup returns the descriptor for nr, or nil for undescribed calls
 // (monitors treat those conservatively: lockstep, compare registers only).
-func Lookup(nr int) *Desc { return table[nr] }
+func Lookup(nr int) *Desc {
+	if uint(nr) < uint(len(table)) {
+		return table[nr]
+	}
+	return nil
+}
 
-// All returns every descriptor (policy validation, stats).
+// All returns every descriptor in syscall-number order (policy
+// validation, stats).
 func All() []*Desc {
-	out := make([]*Desc, 0, len(table))
+	out := make([]*Desc, 0, 128)
 	for _, d := range table {
-		out = append(out, d)
+		if d != nil {
+			out = append(out, d)
+		}
 	}
 	return out
 }

@@ -269,6 +269,11 @@ type Thread struct {
 	// (GHUMVEE's signal logic checks whether a replica sits in an IP-MON
 	// dispatched call, §3.8).
 	lastSyscall *Call
+
+	// rawExec is the cached raw-dispatch closure handed to interceptors —
+	// allocating a fresh closure per syscall costs one heap object on
+	// every monitored call.
+	rawExec func(*Call) Result
 }
 
 // NewThread spawns a thread whose clock starts at the parent's time.
@@ -277,6 +282,7 @@ func (p *Process) NewThread(parent *Thread) *Thread {
 	p.nextTID++
 	tid := p.PID*100 + p.nextTID
 	t := &Thread{TID: tid, Proc: p}
+	t.rawExec = func(c *Call) Result { return p.Kernel.rawSyscall(t, c) }
 	p.threads[tid] = t
 	p.mu.Unlock()
 	if parent != nil {
@@ -380,7 +386,7 @@ func (t *Thread) SyscallC(c *Call) Result {
 
 	var r Result
 	if ic != nil {
-		r = ic.Intercept(t, c, func(cc *Call) Result { return k.rawSyscall(t, cc) })
+		r = ic.Intercept(t, c, t.rawExec)
 	} else {
 		r = k.rawSyscall(t, c)
 	}
@@ -408,169 +414,145 @@ func (t *Thread) RawSyscallC(c *Call) Result {
 	return t.Proc.Kernel.rawSyscall(t, c)
 }
 
-// rawSyscall dispatches to the service routines.
-func (k *Kernel) rawSyscall(t *Thread, c *Call) Result {
-	t.Clock.Advance(model.CostSyscallWork)
-	switch c.Num {
+// syscallHandler is one service routine in the dispatch table.
+type syscallHandler func(*Kernel, *Thread, *Call) Result
+
+// sysHandlers is the kernel's dense jump table, indexed by syscall
+// number: one bounds-checked array load per dispatch instead of the
+// sparse switch / map lookup it replaces. Unset entries are ENOSYS.
+var sysHandlers [MaxSyscall]syscallHandler
+
+// handle registers fn for every listed syscall number.
+func handle(fn syscallHandler, nrs ...int) {
+	for _, nr := range nrs {
+		if nr < 0 || nr >= MaxSyscall {
+			panic("vkernel: syscall number out of table range")
+		}
+		if sysHandlers[nr] != nil {
+			panic("vkernel: duplicate handler for " + SyscallName(nr))
+		}
+		sysHandlers[nr] = fn
+	}
+}
+
+func init() {
 	// File and descriptor calls.
-	case SysOpen, SysOpenat:
-		return k.sysOpen(t, c)
-	case SysClose:
-		return k.sysClose(t, c)
-	case SysRead, SysPread64:
-		return k.sysRead(t, c)
-	case SysReadv, SysPreadv:
-		return k.sysReadv(t, c)
-	case SysWrite, SysPwrite64:
-		return k.sysWrite(t, c)
-	case SysWritev, SysPwritev:
-		return k.sysWritev(t, c)
-	case SysLseek:
-		return k.sysLseek(t, c)
-	case SysStat, SysLstat, SysNewfstatat:
-		return k.sysStat(t, c)
-	case SysFstat:
-		return k.sysFstat(t, c)
-	case SysAccess, SysFaccessat:
-		return k.sysAccess(t, c)
-	case SysGetdents, SysGetdents64:
-		return k.sysGetdents(t, c)
-	case SysReadlink, SysReadlinkat:
-		return k.sysReadlink(t, c)
-	case SysUnlink, SysUnlinkat:
-		return k.sysUnlink(t, c)
-	case SysMkdir:
-		return k.sysMkdir(t, c)
-	case SysRmdir:
-		return k.sysRmdir(t, c)
-	case SysRename:
-		return k.sysRename(t, c)
-	case SysTruncate, SysFtruncate:
-		return k.sysTruncate(t, c)
-	case SysFsync, SysFdatasync, SysSync, SysSyncfs:
-		return k.sysSync(t, c)
-	case SysFcntl:
-		return k.sysFcntl(t, c)
-	case SysIoctl:
-		return k.sysIoctl(t, c)
-	case SysDup, SysDup2, SysDup3:
-		return k.sysDup(t, c)
-	case SysPipe, SysPipe2:
-		return k.sysPipe(t, c)
-	case SysSendfile:
-		return k.sysSendfile(t, c)
-	case SysGetxattr, SysLgetxattr, SysFgetxattr:
-		return Result{Errno: ENODATA}
-	case SysFadvise64, SysMadvise:
-		return Result{}
+	handle((*Kernel).sysOpen, SysOpen, SysOpenat)
+	handle((*Kernel).sysClose, SysClose)
+	handle((*Kernel).sysRead, SysRead, SysPread64)
+	handle((*Kernel).sysReadv, SysReadv, SysPreadv)
+	handle((*Kernel).sysWrite, SysWrite, SysPwrite64)
+	handle((*Kernel).sysWritev, SysWritev, SysPwritev)
+	handle((*Kernel).sysLseek, SysLseek)
+	handle((*Kernel).sysStat, SysStat, SysLstat, SysNewfstatat)
+	handle((*Kernel).sysFstat, SysFstat)
+	handle((*Kernel).sysAccess, SysAccess, SysFaccessat)
+	handle((*Kernel).sysGetdents, SysGetdents, SysGetdents64)
+	handle((*Kernel).sysReadlink, SysReadlink, SysReadlinkat)
+	handle((*Kernel).sysUnlink, SysUnlink, SysUnlinkat)
+	handle((*Kernel).sysMkdir, SysMkdir)
+	handle((*Kernel).sysRmdir, SysRmdir)
+	handle((*Kernel).sysRename, SysRename)
+	handle((*Kernel).sysTruncate, SysTruncate, SysFtruncate)
+	handle((*Kernel).sysSync, SysFsync, SysFdatasync, SysSync, SysSyncfs)
+	handle((*Kernel).sysFcntl, SysFcntl)
+	handle((*Kernel).sysIoctl, SysIoctl)
+	handle((*Kernel).sysDup, SysDup, SysDup2, SysDup3)
+	handle((*Kernel).sysPipe, SysPipe, SysPipe2)
+	handle((*Kernel).sysSendfile, SysSendfile)
+	handle(retErrno(ENODATA), SysGetxattr, SysLgetxattr, SysFgetxattr)
+	handle(retOK, SysFadvise64, SysMadvise)
 
 	// Network calls.
-	case SysSocket:
-		return k.sysSocket(t, c)
-	case SysBind:
-		return k.sysBind(t, c)
-	case SysListen:
-		return k.sysListen(t, c)
-	case SysAccept, SysAccept4:
-		return k.sysAccept(t, c)
-	case SysConnect:
-		return k.sysConnect(t, c)
-	case SysSendto, SysSendmsg, SysSendmmsg:
-		return k.sysSend(t, c)
-	case SysRecvfrom, SysRecvmsg, SysRecvmmsg:
-		return k.sysRecv(t, c)
-	case SysShutdown:
-		return k.sysShutdown(t, c)
-	case SysGetsockname, SysGetpeername:
-		return k.sysSockname(t, c)
-	case SysSetsockopt, SysGetsockopt:
-		return k.sysSockopt(t, c)
-	case SysSocketpair:
-		return k.sysSocketpair(t, c)
+	handle((*Kernel).sysSocket, SysSocket)
+	handle((*Kernel).sysBind, SysBind)
+	handle((*Kernel).sysListen, SysListen)
+	handle((*Kernel).sysAccept, SysAccept, SysAccept4)
+	handle((*Kernel).sysConnect, SysConnect)
+	handle((*Kernel).sysSend, SysSendto, SysSendmsg, SysSendmmsg)
+	handle((*Kernel).sysRecv, SysRecvfrom, SysRecvmsg, SysRecvmmsg)
+	handle((*Kernel).sysShutdown, SysShutdown)
+	handle((*Kernel).sysSockname, SysGetsockname, SysGetpeername)
+	handle((*Kernel).sysSockopt, SysSetsockopt, SysGetsockopt)
+	handle((*Kernel).sysSocketpair, SysSocketpair)
 
 	// Multiplexing.
-	case SysPoll, SysSelect, SysPselect6:
-		return k.sysPoll(t, c)
-	case SysEpollCreate, SysEpollCreate1:
-		return k.sysEpollCreate(t, c)
-	case SysEpollCtl:
-		return k.sysEpollCtl(t, c)
-	case SysEpollWait, SysEpollPwait:
-		return k.sysEpollWait(t, c)
+	handle((*Kernel).sysPoll, SysPoll, SysSelect, SysPselect6)
+	handle((*Kernel).sysEpollCreate, SysEpollCreate, SysEpollCreate1)
+	handle((*Kernel).sysEpollCtl, SysEpollCtl)
+	handle((*Kernel).sysEpollWait, SysEpollWait, SysEpollPwait)
 
 	// Memory.
-	case SysMmap:
-		return k.sysMmap(t, c)
-	case SysMunmap:
-		return k.sysMunmap(t, c)
-	case SysMprotect:
-		return k.sysMprotect(t, c)
-	case SysMremap:
-		return Result{Errno: EOPNOTSUPP}
-	case SysBrk:
-		return k.sysBrk(t, c)
-	case SysShmget:
-		return k.sysShmget(t, c)
-	case SysShmat:
-		return k.sysShmat(t, c)
-	case SysShmdt:
-		return k.sysShmdt(t, c)
-	case SysShmctl:
-		return Result{}
+	handle((*Kernel).sysMmap, SysMmap)
+	handle((*Kernel).sysMunmap, SysMunmap)
+	handle((*Kernel).sysMprotect, SysMprotect)
+	handle(retErrno(EOPNOTSUPP), SysMremap)
+	handle((*Kernel).sysBrk, SysBrk)
+	handle((*Kernel).sysShmget, SysShmget)
+	handle((*Kernel).sysShmat, SysShmat)
+	handle((*Kernel).sysShmdt, SysShmdt)
+	handle(retOK, SysShmctl)
 
 	// Process, identity, time.
-	case SysGetpid:
+	handle(func(k *Kernel, t *Thread, c *Call) Result {
 		return Result{Val: uint64(t.Proc.PID)}
-	case SysGettid:
+	}, SysGetpid)
+	handle(func(k *Kernel, t *Thread, c *Call) Result {
 		return Result{Val: uint64(t.TID)}
-	case SysGetppid:
-		return Result{Val: 1}
-	case SysGetpgrp:
+	}, SysGettid)
+	handle(retVal(1), SysGetppid)
+	handle(func(k *Kernel, t *Thread, c *Call) Result {
 		return Result{Val: uint64(t.Proc.PID)}
-	case SysGetuid, SysGeteuid:
-		return Result{Val: 1000}
-	case SysGetgid, SysGetegid:
-		return Result{Val: 1000}
-	case SysGetcwd:
-		return k.sysGetcwd(t, c)
-	case SysGetpriority:
-		return Result{Val: 20}
-	case SysGetrusage, SysTimes, SysSysinfo, SysCapget, SysGetitimer:
-		return k.sysZeroStruct(t, c)
-	case SysUname:
-		return k.sysUname(t, c)
-	case SysSchedYield:
+	}, SysGetpgrp)
+	handle(retVal(1000), SysGetuid, SysGeteuid, SysGetgid, SysGetegid)
+	handle((*Kernel).sysGetcwd, SysGetcwd)
+	handle(retVal(20), SysGetpriority)
+	handle((*Kernel).sysZeroStruct, SysGetrusage, SysTimes, SysSysinfo, SysCapget, SysGetitimer)
+	handle((*Kernel).sysUname, SysUname)
+	handle(func(k *Kernel, t *Thread, c *Call) Result {
 		t.Clock.Advance(model.CostContextSwitch / 2)
 		return Result{}
-	case SysNanosleep:
-		return k.sysNanosleep(t, c)
-	case SysAlarm, SysSetitimer:
-		return Result{}
-	case SysGettimeofday, SysClockGettime, SysTime:
-		return k.sysClockGettime(t, c)
-	case SysTimerfdCreate, SysTimerfdSettime, SysTimerfdGettime:
-		return k.sysTimerfd(t, c)
+	}, SysSchedYield)
+	handle((*Kernel).sysNanosleep, SysNanosleep)
+	handle(retOK, SysAlarm, SysSetitimer)
+	handle((*Kernel).sysClockGettime, SysGettimeofday, SysClockGettime, SysTime)
+	handle((*Kernel).sysTimerfd, SysTimerfdCreate, SysTimerfdSettime, SysTimerfdGettime)
 
 	// Threads, signals, exit.
-	case SysClone:
-		return Result{Errno: EOPNOTSUPP} // threads spawn via SpawnThread
-	case SysFutex:
-		return k.sysFutex(t, c)
-	case SysRtSigaction:
-		return k.sysRtSigaction(t, c)
-	case SysRtSigprocmask:
-		return k.sysRtSigprocmask(t, c)
-	case SysKill, SysTgkill:
-		return k.sysKill(t, c)
-	case SysExit, SysExitGroup:
-		return k.sysExit(t, c)
+	handle(retErrno(EOPNOTSUPP), SysClone) // threads spawn via SpawnThread
+	handle((*Kernel).sysFutex, SysFutex)
+	handle((*Kernel).sysRtSigaction, SysRtSigaction)
+	handle((*Kernel).sysRtSigprocmask, SysRtSigprocmask)
+	handle((*Kernel).sysKill, SysKill, SysTgkill)
+	handle((*Kernel).sysExit, SysExit, SysExitGroup)
 
-	case SysProcessVMReadv:
-		return Result{Errno: EPERM} // only the tracer may cross-copy
+	handle(retErrno(EPERM), SysProcessVMReadv) // only the tracer may cross-copy
 
-	case SysIPMonRegister:
-		// Reaching the raw handler means no broker consumed the call.
-		return Result{Errno: ENOSYS}
+	// Reaching the raw handler means no broker consumed the call.
+	handle(retErrno(ENOSYS), SysIPMonRegister)
+}
+
+// retErrno builds a handler returning a fixed errno.
+func retErrno(e Errno) syscallHandler {
+	return func(*Kernel, *Thread, *Call) Result { return Result{Errno: e} }
+}
+
+// retVal builds a handler returning a fixed value.
+func retVal(v uint64) syscallHandler {
+	return func(*Kernel, *Thread, *Call) Result { return Result{Val: v} }
+}
+
+// retOK is the no-op success handler.
+func retOK(*Kernel, *Thread, *Call) Result { return Result{} }
+
+// rawSyscall dispatches through the jump table (bounds-checked; unknown
+// numbers fall back to ENOSYS).
+func (k *Kernel) rawSyscall(t *Thread, c *Call) Result {
+	t.Clock.Advance(model.CostSyscallWork)
+	if uint(c.Num) < uint(len(sysHandlers)) {
+		if h := sysHandlers[c.Num]; h != nil {
+			return h(k, t, c)
+		}
 	}
 	return Result{Errno: ENOSYS}
 }

@@ -179,10 +179,22 @@ var sysNames = map[int]string{
 	SysIPMonRegister:  "ipmon_register",
 }
 
+// sysNameTable is the dense lookup the hot paths use; sysNames above
+// stays as the readable source literal.
+var sysNameTable = func() [MaxSyscall]string {
+	var t [MaxSyscall]string
+	for nr, s := range sysNames {
+		t[nr] = s
+	}
+	return t
+}()
+
 // SyscallName reports the symbolic name of nr.
 func SyscallName(nr int) string {
-	if s, ok := sysNames[nr]; ok {
-		return s
+	if uint(nr) < uint(len(sysNameTable)) {
+		if s := sysNameTable[nr]; s != "" {
+			return s
+		}
 	}
 	return "sys_" + itoa(nr)
 }

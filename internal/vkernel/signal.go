@@ -2,6 +2,7 @@ package vkernel
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"remon/internal/model"
 )
@@ -40,6 +41,9 @@ type signalState struct {
 	blocked  map[int]bool
 	gate     SignalGate
 	count    int // total signals delivered to handlers
+	// pendingN mirrors len(pending) so the per-syscall boundary check is
+	// one atomic load instead of a mutex acquisition.
+	pendingN atomic.Int32
 }
 
 func (s *signalState) init() {
@@ -99,12 +103,16 @@ func (p *Process) QueueSignalDirect(sig int) {
 		return
 	}
 	p.sig.pending = append(p.sig.pending, sig)
+	p.sig.pendingN.Store(int32(len(p.sig.pending)))
 	p.sig.mu.Unlock()
 	p.Kernel.Hub.Notify()
 }
 
 // deliverPendingSignals runs queued handlers on t at a syscall boundary.
 func (p *Process) deliverPendingSignals(t *Thread) {
+	if p.sig.pendingN.Load() == 0 {
+		return
+	}
 	for {
 		p.sig.mu.Lock()
 		if len(p.sig.pending) == 0 {
@@ -117,6 +125,7 @@ func (p *Process) deliverPendingSignals(t *Thread) {
 			return // leave queued until unblocked
 		}
 		p.sig.pending = p.sig.pending[1:]
+		p.sig.pendingN.Store(int32(len(p.sig.pending)))
 		h := p.sig.handlers[sig]
 		if h != nil {
 			p.sig.count++
