@@ -6,7 +6,7 @@
 //	remon-bench [-experiment table1|fig3|fig4|fig5|table2|fleet|all]
 //	            [-iterations N] [-connections N] [-requests N] [-quick]
 //	            [-rb-json BENCH_rb.json] [-fleet-json BENCH_fleet.json]
-//	            [-ghumvee-json BENCH_ghumvee.json]
+//	            [-ghumvee-json BENCH_ghumvee.json] [-policy-json BENCH_policy.json]
 //
 // Absolute numbers are virtual-time measurements on the simulated
 // substrate; the claim being reproduced is the *shape* (see
@@ -30,6 +30,7 @@ func main() {
 	maxReplicas := flag.Int("max-replicas", 0, "Figure 5 replica sweep upper bound (0 = 7)")
 	quick := flag.Bool("quick", false, "small sizes for a fast smoke run")
 	rbJSON := flag.String("rb-json", "", "write RB fast-path perf results (ns/op, allocs/op, virtual metrics) to this file, e.g. BENCH_rb.json")
+	policyJSON := flag.String("policy-json", "", "write the relaxation-level sweep (monitored vs unmonitored ns/call at each of the 5 levels) to this file, e.g. BENCH_policy.json")
 	ghumveeJSON := flag.String("ghumvee-json", "", "write GHUMVEE monitored-path perf results (ns/call, wakeups/call, epochs flushed) to this file, e.g. BENCH_ghumvee.json")
 	fleetJSON := flag.String("fleet-json", "", "write fleet serving results (shards, aggregate req/s in virtual time, p99 recovery latency) to this file, e.g. BENCH_fleet.json")
 	fleetRecoveries := flag.Int("fleet-recoveries", 5, "injected-divergence recovery samples for the fleet scenario")
@@ -71,6 +72,20 @@ func main() {
 			return os.WriteFile(*rbJSON, append(payload, '\n'), 0o644)
 		})
 	}
+	if *policyJSON != "" {
+		run("Policy relaxation sweep -> "+*policyJSON, func() error {
+			results, err := bench.RunPolicyPerf()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatPolicyPerf(results))
+			payload, err := bench.MarshalPolicyPerf(results)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*policyJSON, append(payload, '\n'), 0o644)
+		})
+	}
 	if *ghumveeJSON != "" {
 		run("GHUMVEE monitored-path perf -> "+*ghumveeJSON, func() error {
 			results, err := bench.RunGhumveePerf()
@@ -104,7 +119,7 @@ func main() {
 			return os.WriteFile(*fleetJSON, append(payload, '\n'), 0o644)
 		})
 	}
-	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "") && *experiment == "" {
+	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "") && *experiment == "" {
 		return
 	}
 

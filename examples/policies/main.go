@@ -72,4 +72,43 @@ func main() {
 		Mode: core.ModeReMon, Replicas: 2, Policy: policy.NonsocketROLevel,
 		Temporal: &core.TemporalConfig{MinApprovals: 10, ExemptProb: 0.5, WindowCalls: 1000},
 	})
+
+	// Layered rules: a conservative BASE default with the workload file
+	// (the first descriptor each replica opens, fd 0) individually pinned
+	// to SOCKET_RW — per-descriptor relaxation, not a process-wide knob.
+	show("BASE + fd override", core.Config{
+		Mode: core.ModeReMon, Replicas: 2,
+		PolicyRules: &policy.Rules{
+			Default: policy.BaseLevel,
+			ByFD:    map[int]policy.Level{0: policy.SocketRWLevel},
+		},
+	})
+
+	// Hot reload: the same MVEE runs the workload at BASE, is re-relaxed
+	// to SOCKET_RW while alive, and runs again — no rebuild, no
+	// re-registration; streams adopt the new rules at their next RB
+	// handoff or monitored rendezvous.
+	m, err := core.New(core.Config{Mode: core.ModeReMon, Replicas: 2, Policy: policy.BaseLevel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	// Stats on a reused MVEE are cumulative; show per-run deltas.
+	var lastMon, lastUnmon uint64
+	showRun := func(label string) {
+		rep := m.Run(prog)
+		if rep.Verdict.Diverged {
+			log.Fatalf("%s diverged: %s", label, rep.Verdict.Reason)
+		}
+		unmon := rep.IPMon[0].Unmonitored
+		fmt.Printf("%-22s %14d unmonitored %14d lockstep calls\n", label,
+			unmon-lastUnmon, rep.Monitor.MonitoredCalls-lastMon)
+		lastMon, lastUnmon = rep.Monitor.MonitoredCalls, unmon
+	}
+	fmt.Println()
+	showRun("hot-reload: BASE")
+	if _, err := m.SetPolicyLevel(policy.SocketRWLevel); err != nil {
+		log.Fatal(err)
+	}
+	showRun("hot-reload: SOCKET_RW")
 }

@@ -41,9 +41,15 @@ func (o Outcome) String() string {
 
 // remonCfg is the standard 2-replica ReMon deployment attacks run against.
 func remonCfg() core.Config {
+	return remonCfgAt(policy.SocketRWLevel, 1)
+}
+
+// remonCfgAt parameterises the deployment by relaxation level and
+// divergence-checking epoch — the two axes of the golden verdict matrix.
+func remonCfgAt(level policy.Level, epoch int) core.Config {
 	return core.Config{
-		Mode: core.ModeReMon, Replicas: 2, Policy: policy.SocketRWLevel,
-		Partitions: 8,
+		Mode: core.ModeReMon, Replicas: 2, Policy: level,
+		Partitions: 8, EpochSize: epoch,
 	}
 }
 
@@ -51,8 +57,12 @@ func remonCfg() core.Config {
 // sensitive call with attacker-controlled arguments (the replicas, being
 // diversified, cannot be compromised consistently — §4 property iii).
 // Expected: GHUMVEE's lockstep comparison detects the divergence.
-func DivergentWriteMonitored() Outcome {
-	rep, err := core.RunProgram(core.Config{Mode: core.ModeGHUMVEE, Replicas: 2}, func(env *libc.Env) {
+func DivergentWriteMonitored() Outcome { return DivergentWriteMonitoredAt(1) }
+
+// DivergentWriteMonitoredAt is the epoch-parameterised variant (the CP
+// monitor path has no relaxation level).
+func DivergentWriteMonitoredAt(epoch int) Outcome {
+	rep, err := core.RunProgram(core.Config{Mode: core.ModeGHUMVEE, Replicas: 2, EpochSize: epoch}, func(env *libc.Env) {
 		payload := []byte("GET /index.html")
 		if env.T.Proc.ReplicaIndex == 0 {
 			payload = []byte("/bin/sh -c pwn!") // hijacked master
@@ -75,7 +85,17 @@ func DivergentWriteMonitored() Outcome {
 // unmonitored path: the slave's in-process argument comparison must catch
 // it and crash intentionally (§3.3).
 func DivergentWriteUnmonitored() Outcome {
-	rep, err := core.RunProgram(remonCfg(), func(env *libc.Env) {
+	return DivergentWriteUnmonitoredAt(policy.SocketRWLevel, 1)
+}
+
+// DivergentWriteUnmonitoredAt parameterises the divergent file write by
+// relaxation level: from NONSOCKET_RW up the write runs unmonitored and
+// the slave's in-process comparison must catch it; below that the write
+// stays on the lockstep path and GHUMVEE must catch it instead. Either
+// way the attack is detected — which monitor does the catching is the
+// only level-dependent part of the verdict.
+func DivergentWriteUnmonitoredAt(level policy.Level, epoch int) Outcome {
+	rep, err := core.RunProgram(remonCfgAt(level, epoch), func(env *libc.Env) {
 		payload := []byte("benign-file-write-content-xyz")
 		if env.T.Proc.ReplicaIndex == 0 {
 			payload = []byte("malicious-exfiltrated-secret!")
@@ -93,9 +113,10 @@ func DivergentWriteUnmonitored() Outcome {
 			ipmonCaught = true
 		}
 	}
+	wantIPMon := level >= policy.NonsocketRWLevel
 	return Outcome{
 		Name:     "divergent write (unmonitored)",
-		Detected: rep.Verdict.Diverged && ipmonCaught,
+		Detected: rep.Verdict.Diverged && ipmonCaught == wantIPMon,
 		Detail:   fmt.Sprintf("ipmon-detected=%v, %s", ipmonCaught, rep.Verdict.Reason),
 	}
 }
@@ -103,7 +124,12 @@ func DivergentWriteUnmonitored() Outcome {
 // DivergentSyscallSequence simulates a hijacked master executing an extra
 // sensitive syscall (classic payload behaviour).
 func DivergentSyscallSequence() Outcome {
-	rep, err := core.RunProgram(remonCfg(), func(env *libc.Env) {
+	return DivergentSyscallSequenceAt(policy.SocketRWLevel, 1)
+}
+
+// DivergentSyscallSequenceAt is the level/epoch-parameterised variant.
+func DivergentSyscallSequenceAt(level policy.Level, epoch int) Outcome {
+	rep, err := core.RunProgram(remonCfgAt(level, epoch), func(env *libc.Env) {
 		env.Getpid()
 		if env.T.Proc.ReplicaIndex == 0 {
 			// Payload: open a sensitive file only in the master.
@@ -127,13 +153,16 @@ func DivergentSyscallSequence() Outcome {
 // authorization token (§3.1): the attacker calls the IK-B verifier
 // directly with a forged 64-bit value. Expected: IK-B revokes and forces
 // the ptrace path, recording the violation.
-func TokenForgery() Outcome {
+func TokenForgery() Outcome { return TokenForgeryAt(policy.SocketRWLevel, 1) }
+
+// TokenForgeryAt is the level/epoch-parameterised variant.
+func TokenForgeryAt(level policy.Level, epoch int) Outcome {
 	// The forged completion deliberately desynchronises the lockstep
 	// group: the run only ends when the rendezvous watchdog fires. The
 	// scenario has no legitimate blocking at all, so run this instance
 	// with a short per-monitor watchdog instead of idling 10 wall-clock
 	// seconds (and instead of racing other live MVEEs on a global).
-	cfg := remonCfg()
+	cfg := remonCfgAt(level, epoch)
 	cfg.LockstepTimeout = 250 * time.Millisecond
 
 	m, err := core.New(cfg)
@@ -171,8 +200,11 @@ func TokenForgery() Outcome {
 // completing it. Expected: IK-B revokes the outstanding token (§3.1,
 // "if the first system call executed after a token has been granted does
 // not originate from within IP-MON itself").
-func StaleTokenReplay() Outcome {
-	m, err := core.New(remonCfg())
+func StaleTokenReplay() Outcome { return StaleTokenReplayAt(policy.SocketRWLevel, 1) }
+
+// StaleTokenReplayAt is the level/epoch-parameterised variant.
+func StaleTokenReplayAt(level policy.Level, epoch int) Outcome {
+	m, err := core.New(remonCfgAt(level, epoch))
 	if err != nil {
 		return Outcome{Name: "stale token replay", Detail: err.Error()}
 	}
@@ -192,10 +224,14 @@ func StaleTokenReplay() Outcome {
 
 // SharedMemoryChannel: replicas request a System V segment to build the
 // unmonitored bidirectional channel §2.1 forbids. Expected: EPERM.
-func SharedMemoryChannel() Outcome {
+func SharedMemoryChannel() Outcome { return SharedMemoryChannelAt(policy.SocketRWLevel, 1) }
+
+// SharedMemoryChannelAt is the level/epoch-parameterised variant (shmget
+// is sensitive at every level).
+func SharedMemoryChannelAt(level policy.Level, epoch int) Outcome {
 	var errsMu sync.Mutex
 	var errs []vkernel.Errno
-	rep, err := core.RunProgram(remonCfg(), func(env *libc.Env) {
+	rep, err := core.RunProgram(remonCfgAt(level, epoch), func(env *libc.Env) {
 		r := env.T.Syscall(vkernel.SysShmget, 42, 1<<16, 0)
 		errsMu.Lock()
 		errs = append(errs, r.Errno)
@@ -220,7 +256,13 @@ func SharedMemoryChannel() Outcome {
 // RBDisclosureViaProcMaps scans the maps the replica can read for any
 // region whose address matches the true RB mapping (§3.1's filtering).
 func RBDisclosureViaProcMaps() Outcome {
-	m, err := core.New(remonCfg())
+	return RBDisclosureViaProcMapsAt(policy.SocketRWLevel, 1)
+}
+
+// RBDisclosureViaProcMapsAt is the level/epoch-parameterised variant
+// (special-file reads are force-forwarded for filtering at every level).
+func RBDisclosureViaProcMapsAt(level policy.Level, epoch int) Outcome {
+	m, err := core.New(remonCfgAt(level, epoch))
 	if err != nil {
 		return Outcome{Name: "RB disclosure via /proc/maps", Detail: err.Error()}
 	}
@@ -266,8 +308,11 @@ func RBDisclosureViaProcMaps() Outcome {
 // for the 8-byte little-endian encoding of the RB base address — the
 // §3.1 register-only discipline means it must never appear in process
 // memory.
-func RBPointerLeakScan() Outcome {
-	m, err := core.New(remonCfg())
+func RBPointerLeakScan() Outcome { return RBPointerLeakScanAt(policy.SocketRWLevel, 1) }
+
+// RBPointerLeakScanAt is the level/epoch-parameterised variant.
+func RBPointerLeakScanAt(level policy.Level, epoch int) Outcome {
+	m, err := core.New(remonCfgAt(level, epoch))
 	if err != nil {
 		return Outcome{Name: "RB pointer leak scan", Detail: err.Error()}
 	}
@@ -405,10 +450,18 @@ func DCLIntegrity() Outcome {
 // master can issue before the slave's comparison catches the divergence —
 // the window §4 discusses, bounded by the RB capacity.
 func MasterRunAheadWindow(rbSize uint64) Outcome {
+	return MasterRunAheadWindowAt(rbSize, policy.SocketRWLevel, 1)
+}
+
+// MasterRunAheadWindowAt is the level/epoch-parameterised variant. Below
+// NONSOCKET_RW the "unmonitored spray" degenerates: every write is
+// lockstepped and the very first one is caught — the run-ahead window of
+// §4 exists only where relaxation does.
+func MasterRunAheadWindowAt(rbSize uint64, level policy.Level, epoch int) Outcome {
 	calls := 0
 	rep, err := core.RunProgram(core.Config{
-		Mode: core.ModeReMon, Replicas: 2, Policy: policy.SocketRWLevel,
-		RBSize: rbSize, Partitions: 1,
+		Mode: core.ModeReMon, Replicas: 2, Policy: level,
+		RBSize: rbSize, Partitions: 1, EpochSize: epoch,
 	}, func(env *libc.Env) {
 		fd, _ := env.Open("/tmp/runahead", vkernel.OCreat|vkernel.ORdwr, 0o644)
 		if env.T.Proc.ReplicaIndex == 0 {
@@ -489,6 +542,33 @@ func FleetShardCompromise() Outcome {
 		Detected: detected,
 		Detail: fmt.Sprintf("verdict=%q recovered=%v healthy-shard errors=%d (across %d shards)",
 			verdict.Reason, recovered, healthyErrors, len(healthyShards)),
+	}
+}
+
+// DetailStable reports whether a scenario's Detail string is
+// deterministic for a fixed (level, epoch) cell. "master run-ahead
+// window" reports the host-scheduling-dependent run-ahead depth, so only
+// its verdict — never its detail — participates in golden comparisons.
+func DetailStable(name string) bool {
+	return name != "master run-ahead window"
+}
+
+// RunSuiteAt executes every single-instance scenario of the suite under
+// one (relaxation level, epoch) cell — the golden-verdict-matrix row.
+// Excluded by construction: the VARAN baseline contrast (no ReMon
+// instance), the analytic entropy and DCL checks (no policy axis), and
+// the fleet scenario (covered separately; seconds per run).
+func RunSuiteAt(level policy.Level, epoch int) []Outcome {
+	return []Outcome{
+		DivergentWriteMonitoredAt(epoch),
+		DivergentWriteUnmonitoredAt(level, epoch),
+		DivergentSyscallSequenceAt(level, epoch),
+		TokenForgeryAt(level, epoch),
+		StaleTokenReplayAt(level, epoch),
+		SharedMemoryChannelAt(level, epoch),
+		RBDisclosureViaProcMapsAt(level, epoch),
+		RBPointerLeakScanAt(level, epoch),
+		MasterRunAheadWindowAt(1<<20, level, epoch),
 	}
 }
 

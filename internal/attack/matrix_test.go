@@ -1,0 +1,53 @@
+package attack
+
+import (
+	"testing"
+
+	"remon/internal/policy"
+)
+
+// TestGoldenVerdictMatrix runs the single-instance attack suite at every
+// relaxation level × {immediate, epoch=16} and snapshot-compares the
+// verdicts:
+//
+//   - every scenario must be DEFEATED in every cell — the relaxation
+//     spectrum moves detection between monitors (GHUMVEE lockstep vs the
+//     slave's in-process RB comparison) but never loses it;
+//   - for a fixed level, the full verdict detail strings must be
+//     bit-identical between epoch=1 and epoch=16 (the PR 3 epoch
+//     invariant, re-proven through the attack suite) — except the
+//     run-ahead scenario, whose detail reports a host-timing-dependent
+//     depth (DetailStable).
+//
+// Level-dependent detail drift (beyond the detector attribution the
+// scenarios explicitly model) would show up here as a DEFEATED/SURVIVED
+// flip.
+func TestGoldenVerdictMatrix(t *testing.T) {
+	levels := policy.Levels()[1:]
+	if testing.Short() {
+		levels = []policy.Level{policy.BaseLevel, policy.SocketRWLevel}
+	}
+	for _, lv := range levels {
+		immediate := RunSuiteAt(lv, 1)
+		batched := RunSuiteAt(lv, 16)
+		if len(immediate) != len(batched) {
+			t.Fatalf("%v: suite sizes differ", lv)
+		}
+		for i := range immediate {
+			im, ba := immediate[i], batched[i]
+			if im.Name != ba.Name {
+				t.Fatalf("%v: scenario order drift: %q vs %q", lv, im.Name, ba.Name)
+			}
+			if !im.Detected {
+				t.Errorf("%v epoch=1: %s", lv, im)
+			}
+			if !ba.Detected {
+				t.Errorf("%v epoch=16: %s", lv, ba)
+			}
+			if DetailStable(im.Name) && im.Detail != ba.Detail {
+				t.Errorf("%v %q: verdict detail differs across epochs:\n  epoch=1:  %s\n  epoch=16: %s",
+					lv, im.Name, im.Detail, ba.Detail)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package bench
+
+import "testing"
+
+// TestPolicySweepShape is the acceptance gate for the relaxation sweep:
+// as the level rises BASE -> SOCKET_RW, the monitored path must drain
+// monotonically into the unmonitored one (strictly fewer monitored calls,
+// strictly more unmonitored ones) and the deterministic virtual ns/call
+// must fall monotonically — unmonitored calls skip the GHUMVEE rendezvous
+// entirely. Host ns figures are reported, not asserted (CI machines are
+// noisy); the virtual figures are the load-bearing monotonicity.
+func TestPolicySweepShape(t *testing.T) {
+	results, err := RunPolicyPerf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("sweep rows = %d, want 6 (NO_IPMON + 5 levels)", len(results))
+	}
+	t.Logf("\n%s", FormatPolicyPerf(results))
+
+	base := results[0]
+	if base.Level != "NO_IPMON" || base.UnmonitoredCalls != 0 {
+		t.Fatalf("baseline row = %+v, want fully monitored NO_IPMON", base)
+	}
+	levels := results[1:]
+	for i := 1; i < len(levels); i++ {
+		prev, cur := levels[i-1], levels[i]
+		if cur.MonitoredCalls >= prev.MonitoredCalls {
+			t.Errorf("%s: monitored calls %d not below %s's %d",
+				cur.Level, cur.MonitoredCalls, prev.Level, prev.MonitoredCalls)
+		}
+		if cur.UnmonitoredCalls <= prev.UnmonitoredCalls {
+			t.Errorf("%s: unmonitored calls %d not above %s's %d",
+				cur.Level, cur.UnmonitoredCalls, prev.Level, prev.UnmonitoredCalls)
+		}
+		if cur.VirtualNsPerCall >= prev.VirtualNsPerCall {
+			t.Errorf("%s: virtual ns/call %.1f not below %s's %.1f",
+				cur.Level, cur.VirtualNsPerCall, prev.Level, prev.VirtualNsPerCall)
+		}
+	}
+	// The top level must have moved the bulk of the request path off the
+	// rendezvous: the per-request body (recv/time/pread/write/send) is
+	// entirely exempt at SOCKET_RW.
+	top := levels[len(levels)-1]
+	if top.UnmonitoredFrac < 0.5 {
+		t.Errorf("SOCKET_RW unmonitored fraction = %.2f, want > 0.5", top.UnmonitoredFrac)
+	}
+	for _, r := range results {
+		if r.Intercepted == 0 || r.Requests == 0 {
+			t.Errorf("%s: empty measurement: %+v", r.Name, r)
+		}
+	}
+}

@@ -68,8 +68,14 @@ type TemporalConfig struct {
 type Config struct {
 	Mode     Mode
 	Replicas int
-	Policy   policy.Level
-	Temporal *TemporalConfig
+	// Policy is the initial global relaxation level (Table 1).
+	Policy policy.Level
+	// PolicyRules, when set, is the full layered initial rule set (global
+	// default < per-fd-class rule < per-fd override) and takes precedence
+	// over Policy. Either way the rules land in a dynamic policy.Engine
+	// that SetPolicy can hot-reload mid-traffic.
+	PolicyRules *policy.Rules
+	Temporal    *TemporalConfig
 	// RBSize is the replication buffer size (default 16 MiB, §4).
 	RBSize uint64
 	// Partitions is the number of per-logical-thread RB partitions
@@ -120,6 +126,7 @@ type MVEE struct {
 	rbBases []mem.Addr
 	rrLog   *rr.Log
 	agents  []*rr.Agent
+	engine  *policy.Engine // shared relaxation engine (ModeReMon)
 
 	mu       sync.Mutex
 	ltids    map[*vkernel.Thread]int
@@ -258,9 +265,22 @@ func (m *MVEE) setupIPMon() error {
 		buf.SetAlwaysWake(true)
 	}
 
+	// One engine for the whole replica set: hot reloads are published
+	// once and every replica's IP-MON pins versions per stream, so the
+	// replicas' monitored/unmonitored decisions stay in lockstep. A
+	// broken initial rule set fails construction outright — silently
+	// degrading to LevelNone would lockstep every call.
+	rules := policy.LevelRules(m.Cfg.Policy)
+	if m.Cfg.PolicyRules != nil {
+		rules = *m.Cfg.PolicyRules
+	}
+	if err := rules.Validate(); err != nil {
+		return fmt.Errorf("core: invalid policy rules: %w", err)
+	}
+	m.engine = policy.NewEngine(rules)
+
 	var temporal *policy.Temporal
 	for i, p := range m.procs {
-		spatial := policy.NewSpatial(m.Cfg.Policy)
 		if m.Cfg.Temporal != nil {
 			// All replicas share one seed: the decision stream must be
 			// identical across replicas (policy.Temporal's contract).
@@ -274,7 +294,7 @@ func (m *MVEE) setupIPMon() error {
 			RBBase:           m.rbBases[i],
 			FileMap:          m.Monitor.FileMap(),
 			Shadow:           m.Monitor.EpollShadow(),
-			Policy:           spatial,
+			Engine:           m.engine,
 			Temporal:         temporal,
 			LtidOf:           m.ltidOf,
 			BlockingOverride: m.Cfg.AblateBlocking,
@@ -282,6 +302,27 @@ func (m *MVEE) setupIPMon() error {
 		m.IPMons = append(m.IPMons, ip)
 	}
 	return nil
+}
+
+// PolicyEngine exposes the shared relaxation engine (nil outside
+// ModeReMon).
+func (m *MVEE) PolicyEngine() *policy.Engine { return m.engine }
+
+// SetPolicy hot-reloads the relaxation rules while traffic is live: the
+// new snapshot is published atomically and each logical-thread stream
+// adopts it at its next replication-buffer handoff, so master and slave
+// replicas never disagree about a call's routing. Safe to call
+// concurrently with Run.
+func (m *MVEE) SetPolicy(rules policy.Rules) (*policy.Snapshot, error) {
+	if m.engine == nil {
+		return nil, fmt.Errorf("core: SetPolicy requires ModeReMon")
+	}
+	return m.engine.Install(rules)
+}
+
+// SetPolicyLevel is SetPolicy for the common single-layer case.
+func (m *MVEE) SetPolicyLevel(l policy.Level) (*policy.Snapshot, error) {
+	return m.SetPolicy(policy.LevelRules(l))
 }
 
 func (m *MVEE) ltidOf(t *vkernel.Thread) int {
@@ -367,10 +408,19 @@ func (m *MVEE) runReplica(idx int, prog libc.Program) {
 	if m.Cfg.Mode == ModeReMon {
 		ip := m.IPMons[idx]
 		mask := ip.UnmonitoredMask()
+		// Kernel-side grant bound: the engine's install-history ratchet —
+		// unless the temporal policy is active, which can legitimately
+		// exempt calls above every installed spatial level (§3.4), so
+		// only the static Table 1 bound applies.
+		var grantable func(nr int) bool
+		if m.Cfg.Temporal == nil {
+			grantable = m.engine.GrantableEver
+		}
 		m.Broker.StageRegistration(p, &ikb.Registration{
-			Mask:   mask,
-			Entry:  ip.Entry,
-			RBBase: m.rbBases[idx],
+			Mask:      mask,
+			Entry:     ip.Entry,
+			RBBase:    m.rbBases[idx],
+			Grantable: grantable,
 		})
 		// The new registration syscall (§3.5): arguments carry the mask
 		// cardinality and RB size so the lockstep comparison has

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"remon/internal/libc"
+	"remon/internal/policy"
+	"remon/internal/vkernel"
+)
+
+// TestPolicyHotReloadUnderTraffic is the hot-reload race/stress gate: 8
+// logical threads hammer the IP-MON fast path with calls from every
+// Table 1 class while a swapper goroutine installs new rule sets — global
+// level cycles plus per-fd overrides — as fast as it can. Run under
+// -race in CI.
+//
+// What it proves:
+//   - no torn policy state: the run completes with zero syscall errors;
+//   - no replica desync: a single call decided "monitored" by one
+//     replica and "unmonitored" by the other would wedge the lockstep
+//     rendezvous or the RB stream and surface as a divergence verdict /
+//     watchdog timeout — the verdict must stay clean;
+//   - streams only ever run under installed snapshots: version pins come
+//     exclusively from Engine.ByVersion, which serves only snapshots
+//     that went through Install (covered directly by the engine's own
+//     stress test; here the MVEE exercises the same path end to end).
+func TestPolicyHotReloadUnderTraffic(t *testing.T) {
+	const workers = 8
+	iters := 300
+	if testing.Short() {
+		iters = 120
+	}
+	m, err := New(Config{
+		Mode: ModeReMon, Replicas: 2, Policy: policy.BaseLevel,
+		Partitions: workers, LockstepTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var opErrors [2]atomic.Uint64
+	prog := func(env *libc.Env) {
+		worker := func(id int) libc.Program {
+			return func(env *libc.Env) {
+				ri := env.T.Proc.ReplicaIndex
+				path := fmt.Sprintf("/tmp/reload-%d", id)
+				fd, errno := env.Open(path, vkernel.OCreat|vkernel.ORdwr, 0o644)
+				if errno != 0 {
+					opErrors[ri].Add(1)
+					return
+				}
+				if _, errno := env.Write(fd, make([]byte, 512)); errno != 0 {
+					opErrors[ri].Add(1)
+				}
+				buf := make([]byte, 32)
+				for i := 0; i < iters; i++ {
+					env.TimeNow() // BASE class
+					if _, errno := env.Pread(fd, buf, int64(i%256)); errno != 0 {
+						opErrors[ri].Add(1)
+					}
+					if _, errno := env.Write(fd, buf[:8]); errno != 0 {
+						opErrors[ri].Add(1)
+					}
+					if _, errno := env.Lseek(fd, int64(i%128), 0); errno != 0 {
+						opErrors[ri].Add(1)
+					}
+				}
+				env.Close(fd)
+			}
+		}
+		var hs []*libc.ThreadHandle
+		for w := 1; w < workers; w++ {
+			hs = append(hs, env.Spawn(worker(w)))
+		}
+		worker(0)(env)
+		for _, h := range hs {
+			h.Join()
+		}
+	}
+
+	done := make(chan *Report, 1)
+	go func() { done <- m.Run(prog) }()
+
+	// The swapper: cycle every level with rotating per-fd overrides until
+	// the run finishes.
+	var swaps int
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		levels := policy.Levels()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rules := policy.Rules{
+				Default: levels[i%len(levels)],
+				ByFD:    map[int]policy.Level{3 + i%8: policy.SocketRWLevel},
+			}
+			if i%3 == 0 {
+				rules.ByClass = map[policy.FDClass]policy.Level{
+					policy.FDNonSocket: levels[(i+2)%len(levels)],
+				}
+			}
+			if _, err := m.SetPolicy(rules); err != nil {
+				t.Error(err)
+				return
+			}
+			swaps++
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+
+	rep := <-done
+	close(stop)
+	wg.Wait()
+
+	if rep.Verdict.Diverged {
+		t.Fatalf("hot reload caused a (false) divergence: %s", rep.Verdict.Reason)
+	}
+	if n := opErrors[0].Load() + opErrors[1].Load(); n != 0 {
+		t.Fatalf("%d syscall errors under policy churn", n)
+	}
+	if swaps < 3 {
+		t.Fatalf("only %d swaps landed during the run — not a stress", swaps)
+	}
+	if v := m.PolicyEngine().Version(); v < uint32(swaps) {
+		t.Fatalf("engine version %d below swap count %d", v, swaps)
+	}
+	t.Logf("swaps=%d final-version=%d ipmon-unmonitored=%d monitored=%d",
+		swaps, m.PolicyEngine().Version(), rep.IPMon[0].Unmonitored, rep.Monitor.MonitoredCalls)
+}
+
+// TestSetPolicyModes: SetPolicy is a ModeReMon facility; level reloads
+// install and take effect for subsequent runs too.
+func TestSetPolicyModes(t *testing.T) {
+	n, err := New(Config{Mode: ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SetPolicy(policy.LevelRules(policy.BaseLevel)); err == nil {
+		t.Fatal("SetPolicy accepted outside ModeReMon")
+	}
+
+	m, err := New(Config{Mode: ModeReMon, Replicas: 2, Policy: policy.BaseLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	prog := func(env *libc.Env) {
+		fd, _ := env.Open("/tmp/setpolicy", vkernel.OCreat|vkernel.ORdwr, 0o644)
+		for i := 0; i < 50; i++ {
+			env.Write(fd, []byte("record"))
+		}
+		env.Close(fd)
+	}
+	base := m.Run(prog)
+	if base.Verdict.Diverged {
+		t.Fatalf("BASE run diverged: %s", base.Verdict.Reason)
+	}
+	baseUnmon := base.IPMon[0].Unmonitored
+
+	if _, err := m.SetPolicyLevel(policy.SocketRWLevel); err != nil {
+		t.Fatal(err)
+	}
+	relaxed := m.Run(prog)
+	if relaxed.Verdict.Diverged {
+		t.Fatalf("relaxed run diverged: %s", relaxed.Verdict.Reason)
+	}
+	// Stats are cumulative per IP-MON instance: the delta is the second
+	// run, whose writes now run unmonitored. The stream adopts the reload
+	// at its first monitored forward, so up to one write still takes the
+	// lockstep path.
+	if delta := relaxed.IPMon[0].Unmonitored - baseUnmon; delta < 45 {
+		t.Fatalf("unmonitored delta after SOCKET_RW reload = %d, want ~49 writes", delta)
+	}
+}
+
+// TestPolicyReloadPerFDSplit: after a reload that pins one descriptor to
+// SOCKET_RW while the global default stays BASE, writes to that
+// descriptor run unmonitored while writes to a sibling descriptor stay on
+// the lockstep path — within one run, on live streams.
+func TestPolicyReloadPerFDSplit(t *testing.T) {
+	m, err := New(Config{Mode: ModeReMon, Replicas: 2, Policy: policy.BaseLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Descriptor numbers are deterministic: the first open in each
+	// replica yields fd 0, the second fd 1.
+	if _, err := m.SetPolicy(policy.Rules{
+		Default: policy.BaseLevel,
+		ByFD:    map[int]policy.Level{0: policy.SocketRWLevel},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Run(func(env *libc.Env) {
+		fast, _ := env.Open("/tmp/fast", vkernel.OCreat|vkernel.ORdwr, 0o644)
+		slow, _ := env.Open("/tmp/slow", vkernel.OCreat|vkernel.ORdwr, 0o644)
+		for i := 0; i < 40; i++ {
+			env.Write(fast, []byte("fast-path-record"))
+			env.Write(slow, []byte("slow-path-record"))
+		}
+		env.Close(fast)
+		env.Close(slow)
+	})
+	if rep.Verdict.Diverged {
+		t.Fatalf("per-fd split run diverged: %s", rep.Verdict.Reason)
+	}
+	// 80 writes per replica total; the fast half runs unmonitored (minus
+	// the adoption call: the stream pins the reloaded snapshot at its
+	// first monitored forward), the slow half must all hit the monitor.
+	unmon := rep.IPMon[0].Unmonitored
+	if unmon < 35 {
+		t.Fatalf("fd-0 writes not unmonitored: %d", unmon)
+	}
+	if unmon >= 75 {
+		t.Fatalf("fd-1 writes escaped monitoring: unmonitored=%d", unmon)
+	}
+}

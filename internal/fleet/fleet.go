@@ -95,6 +95,13 @@ type Config struct {
 	// level (policy.LevelNone — IP-MON disabled, everything lockstepped)
 	// stays selectable.
 	Policy *policy.Level
+	// RespawnPolicy is the level a shard respawns at after a *divergence*
+	// quarantine; nil selects BASE — the conservative posture: a shard
+	// that just hosted an attack comes back with everything but the
+	// cheapest read-only calls under full lockstep monitoring, and the
+	// operator re-relaxes it explicitly via SetShardPolicy once trusted
+	// again. Administrative drains (rolling restarts) keep Policy.
+	RespawnPolicy *policy.Level
 	// Routing is the balancer policy (default round-robin).
 	Routing Routing
 
@@ -142,6 +149,10 @@ func (c Config) withDefaults() Config {
 	if c.Policy == nil {
 		lv := policy.SocketRWLevel
 		c.Policy = &lv
+	}
+	if c.RespawnPolicy == nil {
+		lv := policy.BaseLevel
+		c.RespawnPolicy = &lv
 	}
 	if c.FrontAddr == "" {
 		c.FrontAddr = "fleet-lb:80"
@@ -198,6 +209,10 @@ type ShardInfo struct {
 	ConnsRouted uint64
 	InFlight    int
 	LastVerdict ghumvee.Verdict
+	// Policy is the shard's current global relaxation level (the active
+	// engine snapshot's default; per-fd refinements are not summarised
+	// here).
+	Policy policy.Level
 }
 
 // Stats is a fleet-wide snapshot.
@@ -217,14 +232,18 @@ type shard struct {
 	idx  int
 	addr string
 
-	mu          sync.Mutex
-	state       State
-	gen         int
-	net         *vnet.Network
-	kernel      *vkernel.Kernel
-	mvee        *core.MVEE
-	runDone     chan *core.Report
-	splices     map[*vnet.Splice]struct{}
+	mu    sync.Mutex
+	state State
+	gen   int
+	// level is the relaxation level the next buildShard boots the replica
+	// set at: the configured Policy normally, the conservative
+	// RespawnPolicy after a divergence quarantine.
+	level   policy.Level
+	net     *vnet.Network
+	kernel  *vkernel.Kernel
+	mvee    *core.MVEE
+	runDone chan *core.Report
+	splices map[*vnet.Splice]struct{}
 	// pending counts connections picked for this shard whose splice is
 	// not yet registered or abandoned (track/pendingDone retire the
 	// slot) — the drain-emptiness check must see them or it can cut a
@@ -298,6 +317,7 @@ func New(cfg Config) (*Fleet, error) {
 			idx:     i,
 			addr:    fmt.Sprintf("shard-%d:9000", i),
 			state:   Respawning,
+			level:   *cfg.Policy,
 			splices: map[*vnet.Splice]struct{}{},
 		}
 		f.shards = append(f.shards, s)
@@ -334,11 +354,13 @@ func (f *Fleet) buildShard(s *shard) error {
 	net := vnet.New(f.cfg.BackLink)
 	net.SetConnectWait(f.cfg.BackendConnectWait)
 	k := vkernel.New(net)
-	idx, gen := s.idx, s.gen
+	s.mu.Lock()
+	idx, gen, level := s.idx, s.gen, s.level
+	s.mu.Unlock()
 	mvee, err := core.New(core.Config{
 		Mode:     core.ModeReMon,
 		Replicas: f.cfg.Replicas,
-		Policy:   *f.cfg.Policy,
+		Policy:   level,
 		RBSize:   f.cfg.RBSize,
 		// Spread partitions so concurrent connections rarely share one.
 		Partitions:      f.cfg.Partitions,
@@ -459,9 +481,12 @@ func (f *Fleet) handleDivergence(ev verdictEvent) {
 	f.setState(s, Respawning, "replica set recycled")
 
 	// Respawn a fresh replica set (new diversification seed, recycled RB
-	// backing) and rejoin the pool.
+	// backing) and rejoin the pool — at the conservative respawn level: a
+	// shard that just diverged is not trusted with relaxed monitoring
+	// until an operator re-relaxes it (SetShardPolicy).
 	s.mu.Lock()
 	s.gen++
+	s.level = *f.cfg.RespawnPolicy
 	s.mu.Unlock()
 	if err := f.buildShard(s); err != nil {
 		// Fleet closing (or resource failure): leave the shard out of the
@@ -561,6 +586,55 @@ func (f *Fleet) DrainShard(idx int) error {
 	return nil
 }
 
+// SetShardPolicy hot-reloads a serving shard's relaxation rules while its
+// traffic is live: the rule set is installed into the shard MVEE's shared
+// policy engine and every logical-thread stream adopts it at its next
+// replication-buffer handoff — no drain, no restart. The shard also
+// remembers the new global default as its boot level for administrative
+// rotations (divergence respawns still fall back to RespawnPolicy).
+func (f *Fleet) SetShardPolicy(idx int, rules policy.Rules) error {
+	if idx < 0 || idx >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", idx)
+	}
+	s := f.shards[idx]
+	s.mu.Lock()
+	mvee, st, gen := s.mvee, s.state, s.gen
+	s.mu.Unlock()
+	if st != Serving && st != Draining || mvee == nil {
+		return fmt.Errorf("fleet: shard %d is %v, cannot reload policy", idx, st)
+	}
+	if _, err := mvee.SetPolicy(rules); err != nil {
+		return err
+	}
+	// Re-check under the lock before recording the new boot level: a
+	// concurrent divergence verdict may have replaced the replica set
+	// between the snapshot above and the install — in that case the rules
+	// landed in the retired MVEE's engine and the fresh set is running at
+	// RespawnPolicy, so the reload must be reported as lost, not applied.
+	s.mu.Lock()
+	if s.gen != gen || s.mvee != mvee {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: shard %d was replaced during the reload (gen %d -> %d); retry", idx, gen, s.gen)
+	}
+	s.level = rules.Default
+	s.mu.Unlock()
+	f.record(s, gen, st, st, fmt.Sprintf("policy reloaded (default %v)", rules.Default))
+	return nil
+}
+
+// ShardPolicy reports a shard's currently active global relaxation level
+// (the live engine snapshot's default when the shard is up, the pending
+// boot level otherwise).
+func (f *Fleet) ShardPolicy(idx int) (policy.Level, error) {
+	if idx < 0 || idx >= len(f.shards) {
+		return 0, fmt.Errorf("fleet: no shard %d", idx)
+	}
+	s := f.shards[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.effectiveLevelLocked(), nil
+}
+
 // InjectDivergence arms the compromised-master simulation on a shard:
 // its master replica tampers with the next response payload, which the
 // slave's IP-MON comparison catches as divergence (§3.3). Test, attack
@@ -571,6 +645,18 @@ func (f *Fleet) InjectDivergence(idx int) error {
 	}
 	f.shards[idx].inject.Store(true)
 	return nil
+}
+
+// effectiveLevelLocked resolves the shard's reported relaxation level:
+// the live engine snapshot's global default when a replica set is up, the
+// pending boot level otherwise. s.mu must be held.
+func (s *shard) effectiveLevelLocked() policy.Level {
+	if s.mvee != nil {
+		if e := s.mvee.PolicyEngine(); e != nil {
+			return e.Current().Default()
+		}
+	}
+	return s.level
 }
 
 // takeSplicesLocked detaches and returns the shard's in-flight splice
@@ -650,6 +736,7 @@ func (f *Fleet) Stats() Stats {
 	var routed uint64
 	for _, s := range f.shards {
 		s.mu.Lock()
+		lv := s.effectiveLevelLocked()
 		st.Shards = append(st.Shards, ShardInfo{
 			Index:       s.idx,
 			State:       s.state,
@@ -658,6 +745,7 @@ func (f *Fleet) Stats() Stats {
 			ConnsRouted: s.connsRouted,
 			InFlight:    len(s.splices),
 			LastVerdict: s.lastVerdict,
+			Policy:      lv,
 		})
 		routed += s.connsRouted
 		s.mu.Unlock()

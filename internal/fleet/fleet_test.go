@@ -6,6 +6,7 @@ import (
 
 	"remon/internal/mem"
 	"remon/internal/model"
+	"remon/internal/policy"
 )
 
 // quickCfg keeps test fleets small and fast.
@@ -281,5 +282,115 @@ func TestFleetCloseIdempotent(t *testing.T) {
 		if st, _ := f.ShardState(i); st == Serving {
 			t.Fatalf("shard %d still serving after Close", i)
 		}
+	}
+}
+
+// TestFleetRespawnConservativePolicy: a divergence quarantine respawns
+// the shard at the conservative RespawnPolicy level (BASE by default),
+// and the shard still serves correctly there — everything but the
+// cheapest read-only calls back under full lockstep monitoring.
+func TestFleetRespawnConservativePolicy(t *testing.T) {
+	f, err := New(quickCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if lv, err := f.ShardPolicy(0); err != nil || lv != policy.SocketRWLevel {
+		t.Fatalf("boot policy = %v (%v), want SOCKET_RW default", lv, err)
+	}
+	if err := f.InjectDivergence(0); err != nil {
+		t.Fatal(err)
+	}
+	if !f.WaitRecoveriesDriving(1, 30*time.Second, DriveConfig{}) {
+		t.Fatalf("no recovery; transitions: %+v", f.Transitions())
+	}
+	if lv, err := f.ShardPolicy(0); err != nil || lv != policy.BaseLevel {
+		t.Fatalf("post-quarantine policy = %v (%v), want BASE", lv, err)
+	}
+	if lv, _ := f.ShardPolicy(1); lv != policy.SocketRWLevel {
+		t.Fatalf("healthy shard demoted to %v", lv)
+	}
+	if st := f.Stats(); st.Shards[0].Policy != policy.BaseLevel || st.Shards[1].Policy != policy.SocketRWLevel {
+		t.Fatalf("Stats policy levels = %v/%v", st.Shards[0].Policy, st.Shards[1].Policy)
+	}
+
+	// The demoted shard still serves (monitored, slower, but correct).
+	out := f.DriveClients(DriveConfig{Conns: 8, RequestsPerConn: 6})
+	for _, o := range out {
+		if o.Errors != 0 {
+			t.Fatalf("errors on the BASE-respawned fleet: %+v", o)
+		}
+	}
+
+	// An operator can re-relax the recovered shard while it serves.
+	if err := f.SetShardPolicy(0, policy.LevelRules(policy.SocketRWLevel)); err != nil {
+		t.Fatal(err)
+	}
+	if lv, _ := f.ShardPolicy(0); lv != policy.SocketRWLevel {
+		t.Fatalf("re-relax did not land: %v", lv)
+	}
+	out = f.DriveClients(DriveConfig{Conns: 8, RequestsPerConn: 6})
+	for _, o := range out {
+		if o.Errors != 0 {
+			t.Fatalf("errors after re-relax: %+v", o)
+		}
+	}
+}
+
+// TestFleetSetShardPolicyLive: hot-reloading a serving shard's rules
+// mid-traffic neither drops requests nor destabilises the shard, and the
+// reload actually shifts calls off the lockstep path.
+func TestFleetSetShardPolicyLive(t *testing.T) {
+	lv := policy.BaseLevel
+	cfg := quickCfg(2)
+	cfg.Policy = &lv
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	loadDone := make(chan []ConnOutcome, 1)
+	go func() {
+		loadDone <- f.DriveClients(DriveConfig{
+			Conns: 12, RequestsPerConn: 30, ThinkTime: 2 * model.Microsecond,
+		})
+	}()
+	time.Sleep(1 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if err := f.SetShardPolicy(i, policy.LevelRules(policy.SocketRWLevel)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := <-loadDone
+	for _, o := range out {
+		if o.Errors != 0 {
+			t.Fatalf("errors during live policy reload: %+v", o)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if lv, _ := f.ShardPolicy(i); lv != policy.SocketRWLevel {
+			t.Fatalf("shard %d policy = %v after reload", i, lv)
+		}
+		if st, _ := f.ShardState(i); st != Serving {
+			t.Fatalf("shard %d state = %v after reload", i, st)
+		}
+	}
+	// A follow-up drive runs with relaxed monitoring: no verdicts, no
+	// errors.
+	out = f.DriveClients(DriveConfig{Conns: 8, RequestsPerConn: 8})
+	for _, o := range out {
+		if o.Errors != 0 {
+			t.Fatalf("errors after reload settled: %+v", o)
+		}
+	}
+	if f.Stats().Recoveries != 0 {
+		t.Fatal("policy reload triggered a spurious quarantine")
+	}
+
+	// Reloads are refused for out-of-range shards.
+	if err := f.SetShardPolicy(7, policy.LevelRules(policy.BaseLevel)); err == nil {
+		t.Fatal("SetShardPolicy accepted a bogus shard index")
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"remon/internal/mem"
 	"remon/internal/model"
+	"remon/internal/policy"
 	"remon/internal/vkernel"
 )
 
@@ -51,6 +52,11 @@ type Registration struct {
 	Mask   vkernel.SyscallMask
 	Entry  EntryPoint
 	RBBase mem.Addr // the replica's RB mapping (kernel-held, §3.1)
+	// Grantable, when set, further narrows what CompleteWithToken will
+	// finish unmonitored — typically policy.(*Engine).GrantableEver, the
+	// ratcheted bound of every rule set ever installed for this replica
+	// set. nil keeps only the static Table 1 bound.
+	Grantable func(nr int) bool
 }
 
 // Stats counts broker activity.
@@ -62,6 +68,10 @@ type Stats struct {
 	TokenViolations uint64
 	TokensRevoked   uint64
 	Registrations   uint64
+	// GrantDenied counts completions rejected by the kernel-side grant
+	// check: the completing call was outside the registered unmonitored
+	// set, so even a valid token cannot finish it without the monitor.
+	GrantDenied uint64
 }
 
 // Broker is the IK-B instance; it implements vkernel.Interceptor. A
@@ -258,13 +268,35 @@ func (b *Broker) handleRegistration(t *vkernel.Thread, c *vkernel.Call, reg *Reg
 // completes the (possibly modified) call. An invalid token, a consumed
 // context, or a call from outside IP-MON's entry point revokes the token
 // and forces the ptrace path (step 4').
+//
+// The verifier also re-validates that the completing call was actually
+// grantable: its syscall number must be inside the process's registered
+// unmonitored set (the kernel-held copy of Table 1's fast-path set,
+// §3.5). A compromised IP-MON holding a token minted for an exempt call
+// therefore still cannot complete a sensitive call (open, mmap, clone…)
+// unmonitored — the kernel-side half of the relaxation contract.
 func (ctx *Context) CompleteWithToken(token uint64, c *vkernel.Call) vkernel.Result {
 	b := ctx.Broker
 	t := ctx.Thread
 	t.Clock.Advance(model.CostTokenCheck)
 
 	b.mu.Lock()
-	valid := !ctx.used && b.tokens[t] == token && token == ctx.Token && t.InIPMon()
+	// Three independent bounds: the process's registered set (what this
+	// IP-MON asked for), the kernel's own Table 1 fast-path set
+	// (policy.Grantable) — so even a registration that somehow smuggled a
+	// sensitive call past the GHUMVEE veto cannot complete it here — and
+	// the registration's deployment-specific bound (the policy engine's
+	// install-history ratchet), which keeps e.g. socket I/O denied on a
+	// replica set that has only ever been configured at BASE.
+	granted := false
+	if reg := b.regs[t.Proc]; reg != nil && c != nil {
+		granted = reg.Mask.Has(c.Num) && policy.Grantable(c.Num) &&
+			(reg.Grantable == nil || reg.Grantable(c.Num))
+	}
+	if !granted {
+		b.stats.GrantDenied++
+	}
+	valid := !ctx.used && b.tokens[t] == token && token == ctx.Token && t.InIPMon() && granted
 	delete(b.tokens, t)
 	if !valid {
 		b.stats.TokenViolations++

@@ -308,3 +308,101 @@ func TestTokensUnpredictable(t *testing.T) {
 		t.Fatalf("only %d distinct tokens over 100 calls", len(seen))
 	}
 }
+
+// TestCompleteGrantCheck: a compromised IP-MON holding a perfectly valid
+// token still cannot complete a call outside the registered unmonitored
+// set — the broker re-validates grantability at completion time and
+// forces the ptrace path.
+func TestCompleteGrantCheck(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		ctx.Thread.SetInIPMon(true)
+		defer ctx.Thread.SetInIPMon(false)
+		// The attacker swaps the granted getpid for a sensitive open
+		// before completing with the (valid!) token.
+		evil := &vkernel.Call{Num: vkernel.SysOpen, Args: [6]uint64{0, 0, 0}}
+		return ctx.CompleteWithToken(ctx.Token, evil)
+	})
+	monBefore := e.fm.count()
+	e.t.Syscall(vkernel.SysGetpid)
+	st := e.b.Stats()
+	if st.GrantDenied == 0 {
+		t.Fatal("sensitive completion not counted as grant denial")
+	}
+	if st.TokenViolations == 0 || st.TokensRevoked == 0 {
+		t.Fatalf("grant denial did not revoke the token: %+v", st)
+	}
+	// The ORIGINAL call was restarted on the monitored path — the swapped
+	// open never executed unmonitored.
+	if e.fm.count() != monBefore+1 {
+		t.Fatal("denied completion did not fall back to the monitor")
+	}
+	e.fm.mu.Lock()
+	last := e.fm.calls[len(e.fm.calls)-1]
+	e.fm.mu.Unlock()
+	if last != vkernel.SysGetpid {
+		t.Fatalf("monitor received %s, want the original getpid", vkernel.SyscallName(last))
+	}
+}
+
+// TestCompleteGrantCheckAllowsMaskedCalls: legitimate completions within
+// the registered set do not trip the grant check.
+func TestCompleteGrantCheckAllowsMaskedCalls(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	e.register(t, mask, func(ctx *Context) vkernel.Result {
+		ctx.Thread.SetInIPMon(true)
+		defer ctx.Thread.SetInIPMon(false)
+		return ctx.CompleteWithToken(ctx.Token, ctx.Call)
+	})
+	for i := 0; i < 10; i++ {
+		if r := e.t.Syscall(vkernel.SysGetpid); !r.Ok() {
+			t.Fatalf("legitimate call failed: %v", r.Errno)
+		}
+	}
+	if st := e.b.Stats(); st.GrantDenied != 0 || st.TokenViolations != 0 {
+		t.Fatalf("clean flow tripped the grant check: %+v", st)
+	}
+}
+
+// TestCompleteGrantCheckDeploymentBound: a Registration may carry a
+// deployment-specific grant bound (the policy engine's install-history
+// ratchet); completions outside it are denied even when the call is in
+// the registered mask and Table 1 could grant it at some level.
+func TestCompleteGrantCheckDeploymentBound(t *testing.T) {
+	e := newBrokerEnv(t)
+	var mask vkernel.SyscallMask
+	mask.Set(vkernel.SysGetpid)
+	mask.Set(vkernel.SysWrite)
+	e.b.StageRegistration(e.p, &Registration{
+		Mask: mask, RBBase: e.rb,
+		// A BASE-only deployment: clock/pid queries grantable, I/O not.
+		Grantable: func(nr int) bool { return nr == vkernel.SysGetpid },
+		Entry: func(ctx *Context) vkernel.Result {
+			ctx.Thread.SetInIPMon(true)
+			defer ctx.Thread.SetInIPMon(false)
+			return ctx.CompleteWithToken(ctx.Token, ctx.Call)
+		},
+	})
+	if r := e.t.Syscall(vkernel.SysIPMonRegister, 1, 2, 3); !r.Ok() {
+		t.Fatalf("ipmon_register: %v", r.Errno)
+	}
+	if r := e.t.Syscall(vkernel.SysGetpid); !r.Ok() {
+		t.Fatalf("in-bound call failed: %v", r.Errno)
+	}
+	if st := e.b.Stats(); st.GrantDenied != 0 {
+		t.Fatalf("in-bound completion denied: %+v", st)
+	}
+	monBefore := e.fm.count()
+	e.t.Syscall(vkernel.SysWrite, 1, 0, 0)
+	st := e.b.Stats()
+	if st.GrantDenied == 0 {
+		t.Fatal("out-of-bound write completed unmonitored")
+	}
+	if e.fm.count() != monBefore+1 {
+		t.Fatal("denied completion did not fall back to the monitor")
+	}
+}

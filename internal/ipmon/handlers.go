@@ -36,8 +36,9 @@ type Handler struct {
 	Desc *sysdesc.Desc
 
 	// MaybeChecked reports whether the call must be monitored by GHUMVEE
-	// under the active policy (true = forward). nil = never checked.
-	MaybeChecked func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) bool
+	// under the stream's pinned policy snapshot (true = forward). nil =
+	// never checked.
+	MaybeChecked func(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, snap *policy.Snapshot) bool
 
 	// PreSide runs in every replica before execution/abort — used by
 	// epoll_ctl to register this replica's cookie in the shadow map.
@@ -126,30 +127,31 @@ func nextFrame(src []byte) (frame, rest []byte, ok bool) {
 	return src[4 : 4+n], src[4+n:], true
 }
 
-// genericMaybeChecked implements the policy decision of MAYBE_CHECKED:
+// genericMaybeChecked implements the policy decision of MAYBE_CHECKED
+// against the stream's pinned snapshot: the effective level is resolved
+// per descriptor (global default < class rule < per-fd override),
 // unconditional grants pass, conditional grants consult the file map, and
 // the temporal policy may stochastically exempt what spatial monitoring
 // would catch (§3.4).
-func genericMaybeChecked(ip *IPMon, t *vkernel.Thread, c *vkernel.Call) bool {
-	// §3.1: operations on special files (/proc/<pid>/maps and friends) are
-	// forcibly forwarded to GHUMVEE so their content can be filtered —
-	// even when the call itself is unconditionally exempt.
+func genericMaybeChecked(ip *IPMon, t *vkernel.Thread, c *vkernel.Call, snap *policy.Snapshot) bool {
+	fd := -1
+	var class policy.FDClass = policy.FDUnknown
 	if d := sysdesc.Lookup(c.Num); d != nil && d.NArgs > 0 && d.Args[0].Type == sysdesc.ArgFD {
-		if typ, _, open := ip.FileMap.Lookup(int(c.Arg(0))); open && typ == fdmap.TypeSpecial {
+		fd = int(c.Arg(0))
+		// §3.1: operations on special files (/proc/<pid>/maps and
+		// friends) are forcibly forwarded to GHUMVEE so their content can
+		// be filtered — even when the call itself is unconditionally
+		// exempt.
+		if typ, _, open := ip.FileMap.Lookup(fd); open && typ == fdmap.TypeSpecial {
 			return true
 		}
+		class = ip.FileMap.Class(fd)
 	}
-	switch ip.Policy.Verdict(c.Num) {
+	switch snap.Verdict(c.Num, fd, class) {
 	case policy.Unmonitored:
 		return false
 	case policy.Conditional:
-		var class policy.FDClass = policy.FDUnknown
-		if d := sysdesc.Lookup(c.Num); d != nil && d.NArgs > 0 && d.Args[0].Type == sysdesc.ArgFD {
-			class = ip.FileMap.Class(int(c.Arg(0)))
-		} else if c.Num == vkernel.SysFutex {
-			class = policy.FDUnknown
-		}
-		if ip.Policy.CheckConditional(c.Num, class) {
+		if snap.CheckConditional(c.Num, fd, class) {
 			return false
 		}
 	}

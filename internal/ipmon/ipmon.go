@@ -49,6 +49,27 @@ type ltState struct {
 	// payloads: GatherIn/GatherOut append into it instead of allocating
 	// per call.
 	scratch []byte
+	// snap is the policy snapshot this logical thread's stream is pinned
+	// to. Every stream starts at the engine's initial snapshot and
+	// advances only at replica-agreed stream positions (DESIGN.md §8):
+	//
+	//   - RB handoffs: the master re-pins to the engine's current
+	//     snapshot when it writes an entry (stamping the new version into
+	//     the header) and slaves re-pin after consuming that entry;
+	//   - forwarded calls: every monitored call is a lockstep rendezvous,
+	//     so the replicas adopt a first-arriver-agreed version there
+	//     (Engine.AgreeForward) — this is what lets a reload reach a
+	//     stream whose pinned level monitors everything.
+	//
+	// Both sides therefore decide call i under the pin agreed at call
+	// i-1, so a hot reload can never make replicas disagree on a
+	// monitored/unmonitored routing decision.
+	snap *policy.Snapshot
+	// gp is the stream's shared forwarded-call agreement cell set; fwdSeq
+	// counts this stream's policy-forwarded calls (identical across
+	// replicas by induction).
+	gp     *policy.GroupPin
+	fwdSeq uint32
 }
 
 // IPMon is one replica's in-process monitor instance.
@@ -59,13 +80,16 @@ type ltState struct {
 // (§3.1). It is never written into the replica's simulated address space;
 // the leak test in the attack suite scans replica memory to prove it.
 type IPMon struct {
-	Replica  int
-	Proc     *vkernel.Process
-	Buf      *rb.Buffer
-	RBBase   mem.Addr
-	FileMap  *fdmap.FileMap
-	Shadow   *fdmap.EpollShadow
-	Policy   *policy.Spatial
+	Replica int
+	Proc    *vkernel.Process
+	Buf     *rb.Buffer
+	RBBase  mem.Addr
+	FileMap *fdmap.FileMap
+	Shadow  *fdmap.EpollShadow
+	// Engine is the dynamic per-descriptor relaxation engine, shared by
+	// every replica of one MVEE (decisions are pinned per stream, see
+	// ltState.snap).
+	Engine   *policy.Engine
 	Temporal *policy.Temporal
 
 	// LtidOf resolves a thread's logical thread id — its RB partition.
@@ -87,13 +111,15 @@ type IPMon struct {
 
 // Config bundles IP-MON construction parameters.
 type Config struct {
-	Replica  int
-	Proc     *vkernel.Process
-	Buf      *rb.Buffer
-	RBBase   mem.Addr
-	FileMap  *fdmap.FileMap
-	Shadow   *fdmap.EpollShadow
-	Policy   *policy.Spatial
+	Replica int
+	Proc    *vkernel.Process
+	Buf     *rb.Buffer
+	RBBase  mem.Addr
+	FileMap *fdmap.FileMap
+	Shadow  *fdmap.EpollShadow
+	// Engine is the shared relaxation engine; nil selects a static
+	// SOCKET_RW engine (the library default).
+	Engine   *policy.Engine
 	Temporal *policy.Temporal
 	LtidOf   func(t *vkernel.Thread) int
 	// BlockingOverride: see IPMon.BlockingOverride.
@@ -102,6 +128,9 @@ type Config struct {
 
 // New creates a replica's IP-MON instance.
 func New(cfg Config) *IPMon {
+	if cfg.Engine == nil {
+		cfg.Engine = policy.NewEngine(policy.LevelRules(policy.SocketRWLevel))
+	}
 	ip := &IPMon{
 		Replica:          cfg.Replica,
 		Proc:             cfg.Proc,
@@ -109,7 +138,7 @@ func New(cfg Config) *IPMon {
 		RBBase:           cfg.RBBase,
 		FileMap:          cfg.FileMap,
 		Shadow:           cfg.Shadow,
-		Policy:           cfg.Policy,
+		Engine:           cfg.Engine,
 		Temporal:         cfg.Temporal,
 		LtidOf:           cfg.LtidOf,
 		BlockingOverride: cfg.BlockingOverride,
@@ -143,16 +172,17 @@ func (ip *IPMon) SupportedCalls() int {
 	return len(ip.handlers)
 }
 
-// UnmonitoredMask is the registration mask for IK-B (§3.5). With a
-// temporal policy active, IK-B must forward every fast-path call to
-// IP-MON — calls the spatial level would monitor may still be exempted
-// stochastically after an approval streak (§3.4) — so the mask covers the
-// whole handler table; MAYBE_CHECKED enforces the spatial level per call.
+// UnmonitoredMask is the registration mask for IK-B (§3.5). The mask must
+// cover every call any policy could ever exempt: the relaxation engine
+// hot-reloads rules after registration (re-registering mid-run is not a
+// thing, §3.5), and the temporal policy can stochastically exempt calls
+// the spatial level would monitor (§3.4) — so the mask is the whole
+// Table 1 fast-path set and MAYBE_CHECKED enforces the live per-fd level
+// on every call. IK-B independently refuses to complete anything outside
+// this set (policy.Grantable), so widening the registration does not
+// widen what can actually run unmonitored.
 func (ip *IPMon) UnmonitoredMask() vkernel.SyscallMask {
-	if ip.Temporal != nil {
-		return policy.NewSpatial(policy.SocketRWLevel).UnmonitoredSet()
-	}
-	return ip.Policy.UnmonitoredSet()
+	return policy.NewSpatial(policy.SocketRWLevel).UnmonitoredSet()
 }
 
 // MigrateRB installs a new RB mapping address after an IK-B-driven
@@ -179,12 +209,17 @@ func (ip *IPMon) bumpTemporal() {
 
 // state returns the per-ltid monitor state, creating cursors on first
 // use. The map lookup is the only locked operation on the fast path.
+//
+// New streams pin the engine's *initial* snapshot, not the current one:
+// replicas create a given ltid's state at different host times, and only
+// version 1 is guaranteed to be what every replica saw at that stream
+// position. The pin catches up through the stream's own RB entries.
 func (ip *IPMon) state(ltid int) *ltState {
 	ip.mu.Lock()
 	defer ip.mu.Unlock()
 	st, ok := ip.states[ltid]
 	if !ok {
-		st = &ltState{}
+		st = &ltState{snap: ip.Engine.Initial(), gp: ip.Engine.GroupPinFor(ltid)}
 		if ip.Replica == 0 {
 			st.w = ip.Buf.NewWriter(ltid%ip.Buf.Partitions(), ip.RBBase)
 		} else {
@@ -212,23 +247,55 @@ func (ip *IPMon) Entry(ctx *ikb.Context) vkernel.Result {
 		return ctx.ForwardToMonitor()
 	}
 
-	// §3.8: GHUMVEE raised the signals-pending flag; restart as a
-	// monitored call so the monitor can deliver at a rendezvous.
-	if ip.Buf.SignalsPending() {
-		ip.stats.forwardedSignal.Add(1)
+	ltid := 0
+	if ip.LtidOf != nil {
+		ltid = ip.LtidOf(t)
+	}
+	// Resolve the stream's pinned policy snapshot. Overflow ltids (beyond
+	// the RB partition count) have no stream to advance a pin through, so
+	// they stay on the initial snapshot — deterministic across replicas,
+	// and harmless: they are forwarded to the lockstep path below no
+	// matter what the policy says.
+	var st *ltState
+	var snap *policy.Snapshot
+	if ltid < ip.Buf.Partitions() {
+		st = ip.state(ltid)
+		snap = st.snap
+	} else {
+		snap = ip.Engine.Initial()
+	}
+
+	// MAYBE_CHECKED: policy verification (Listing 1) against the pinned
+	// snapshot's layered per-descriptor rules.
+	if h.MaybeChecked != nil && h.MaybeChecked(ip, t, c, snap) {
+		ip.stats.forwardedPolicy.Add(1)
+		if ip.Temporal != nil {
+			ip.Temporal.Approve(ltid, c.Num)
+		}
+		// Policy pin advance at a forwarded call: the call rendezvouses in
+		// GHUMVEE, so every replica passes this same stream position —
+		// adopt the first-arriver-agreed snapshot for the decisions that
+		// follow (the current call was decided under the old pin on every
+		// replica).
+		if st != nil {
+			seq := st.fwdSeq
+			st.fwdSeq++
+			if ns := ip.Engine.AgreeForward(st.gp, seq); ns != nil {
+				st.snap = ns
+			}
+		}
 		return ctx.ForwardToMonitor()
 	}
 
-	// MAYBE_CHECKED: policy verification (Listing 1).
-	if h.MaybeChecked != nil && h.MaybeChecked(ip, t, c) {
-		ip.stats.forwardedPolicy.Add(1)
-		if ip.Temporal != nil {
-			ltid := 0
-			if ip.LtidOf != nil {
-				ltid = ip.LtidOf(t)
-			}
-			ip.Temporal.Approve(ltid, c.Num)
-		}
+	// §3.8: GHUMVEE raised the signals-pending flag; restart as a
+	// monitored call so the monitor can deliver at a rendezvous. Checked
+	// AFTER the policy decision: the flag is raised asynchronously, so
+	// replicas may observe it differently for the same logical call — it
+	// must therefore not influence the deterministic per-stream state
+	// (the fwdSeq agreement counter, temporal approval streaks) that the
+	// MaybeChecked branch maintains.
+	if ip.Buf.SignalsPending() {
+		ip.stats.forwardedSignal.Add(1)
 		return ctx.ForwardToMonitor()
 	}
 
@@ -236,32 +303,27 @@ func (ip *IPMon) Entry(ctx *ikb.Context) vkernel.Result {
 		h.PreSide(ip, t, c)
 	}
 
-	ltid := 0
-	if ip.LtidOf != nil {
-		ltid = ip.LtidOf(t)
-	}
 	// Threads beyond the partitioned RB's capacity fall back to the
 	// lockstep path rather than sharing a partition (each replica thread
 	// must own its RB position, §3.2).
-	if ltid >= ip.Buf.Partitions() {
+	if st == nil {
 		ip.stats.forwardedTooBig.Add(1)
 		return ctx.ForwardToMonitor()
 	}
 
 	if ip.Replica == 0 {
-		return ip.masterPath(ctx, h, ltid)
+		return ip.masterPath(ctx, h, st)
 	}
-	return ip.slavePath(ctx, h, ltid)
+	return ip.slavePath(ctx, h, st)
 }
 
 // masterPath: PRECALL logs args into the RB, the call is restarted with
 // the token intact, POSTCALL replicates the results (§3.3). Input and
 // output payloads are gathered into the logical thread's reusable scratch
 // buffer, so a steady-state call allocates nothing.
-func (ip *IPMon) masterPath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Result {
+func (ip *IPMon) masterPath(ctx *ikb.Context, h *Handler, st *ltState) vkernel.Result {
 	t := ctx.Thread
 	c := ctx.Call
-	st := ip.state(ltid)
 
 	inPayload := h.GatherIn(ip, t, c, st.scratch[:0])
 	if inPayload != nil {
@@ -281,12 +343,21 @@ func (ip *IPMon) masterPath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Resu
 		flags |= rb.FlagBlocking
 	}
 
+	// Policy pin advance (engine hot reload): re-pin the stream to the
+	// engine's current snapshot and stamp its version into the entry so
+	// slaves re-pin at the same stream position. The pin moves only if
+	// Reserve succeeds — a forwarded call writes no entry, so slaves
+	// would never learn of the move.
+	cand := ip.Engine.Current()
+	st.w.SetPolicyVer(cand.Version())
+
 	res, err := st.w.Reserve(t, c, flags, inPayload, outCap)
 	if err != nil {
 		// CALCSIZE overflow: forward to GHUMVEE (§3.3).
 		ip.stats.forwardedTooBig.Add(1)
 		return ctx.ForwardToMonitor()
 	}
+	st.snap = cand
 
 	// Step 3: restart the call with the authorization token intact.
 	r := ctx.CompleteWithToken(ctx.Token, c)
@@ -309,15 +380,26 @@ func (ip *IPMon) masterPath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Resu
 // call (process-local calls like futex/nanosleep). The comparison runs
 // against the master's RB entry in place — the only copy is the slave's
 // own gather into its reusable scratch buffer.
-func (ip *IPMon) slavePath(ctx *ikb.Context, h *Handler, ltid int) vkernel.Result {
+func (ip *IPMon) slavePath(ctx *ikb.Context, h *Handler, st *ltState) vkernel.Result {
 	t := ctx.Thread
 	c := ctx.Call
-	st := ip.state(ltid)
 
 	ev, err := st.r.Next(t)
 	if err != nil {
 		ip.divergenceCrash(t, err.Error())
 		return vkernel.Result{Errno: vkernel.EPERM}
+	}
+
+	// Policy pin advance: the entry carries the snapshot version the
+	// master pinned after writing it; adopt it for this stream's *next*
+	// decision (the current call was already decided under the previous
+	// pin — on both sides). Unknown versions are impossible through the
+	// engine (ByVersion only serves installed snapshots); a zero or
+	// unknown stamp leaves the pin unchanged.
+	if ev.PolicyVer != st.snap.Version() {
+		if ns := ip.Engine.ByVersion(ev.PolicyVer); ns != nil {
+			st.snap = ns
+		}
 	}
 
 	slavePayload := h.GatherIn(ip, t, c, st.scratch[:0])

@@ -159,28 +159,74 @@ func TestMaybeCheckedPolicyDecisions(t *testing.T) {
 	fm.Set(4, fdmap.TypeSocket, false)
 	fm.Set(5, fdmap.TypeSpecial, false)
 
-	ip := &IPMon{FileMap: fm, Policy: policy.NewSpatial(policy.NonsocketRWLevel)}
+	ip := &IPMon{FileMap: fm}
+	snap := policy.NewEngine(policy.LevelRules(policy.NonsocketRWLevel)).Current()
 
 	read := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{3, 0, 8}}
-	if genericMaybeChecked(ip, e.t, read) {
+	if genericMaybeChecked(ip, e.t, read, snap) {
 		t.Fatal("file read forwarded at NONSOCKET_RW")
 	}
 	readSock := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{4, 0, 8}}
-	if !genericMaybeChecked(ip, e.t, readSock) {
+	if !genericMaybeChecked(ip, e.t, readSock, snap) {
 		t.Fatal("socket read NOT forwarded at NONSOCKET_RW")
 	}
 	readSpecial := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{5, 0, 8}}
-	if !genericMaybeChecked(ip, e.t, readSpecial) {
+	if !genericMaybeChecked(ip, e.t, readSpecial, snap) {
 		t.Fatal("special-file read NOT forwarded (maps filtering, §3.1)")
 	}
 	gtod := &vkernel.Call{Num: vkernel.SysGettimeofday, Args: [6]uint64{0}}
-	if genericMaybeChecked(ip, e.t, gtod) {
+	if genericMaybeChecked(ip, e.t, gtod, snap) {
 		t.Fatal("gettimeofday forwarded despite BASE grant")
 	}
 	// A socket write at NONSOCKET_RW must be forwarded.
 	writeSock := &vkernel.Call{Num: vkernel.SysWrite, Args: [6]uint64{4, 0, 8}}
-	if !genericMaybeChecked(ip, e.t, writeSock) {
+	if !genericMaybeChecked(ip, e.t, writeSock, snap) {
 		t.Fatal("socket write NOT forwarded at NONSOCKET_RW")
+	}
+}
+
+// TestMaybeCheckedLayeredRules exercises the dynamic engine's per-fd and
+// per-class layers through the dispatcher's decision function: the same
+// syscall on different descriptors resolves different effective levels.
+func TestMaybeCheckedLayeredRules(t *testing.T) {
+	e := newHandlerEnv(t)
+	fm := fdmap.New(mem.NewSharedSegment(13, fdmap.MapSize))
+	fm.Set(3, fdmap.TypeRegular, false)
+	fm.Set(4, fdmap.TypeSocket, false)
+	fm.Set(6, fdmap.TypeSocket, false)
+
+	ip := &IPMon{FileMap: fm}
+	// Global BASE, sockets at SOCKET_RO, fd 6 overridden to SOCKET_RW.
+	snap := policy.NewEngine(policy.Rules{
+		Default: policy.BaseLevel,
+		ByClass: map[policy.FDClass]policy.Level{policy.FDSock: policy.SocketROLevel},
+		ByFD:    map[int]policy.Level{6: policy.SocketRWLevel},
+	}).Current()
+
+	// File read: global BASE applies -> monitored.
+	readFile := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{3, 0, 8}}
+	if !genericMaybeChecked(ip, e.t, readFile, snap) {
+		t.Fatal("file read unmonitored despite BASE default")
+	}
+	// Socket read: class rule SOCKET_RO -> unmonitored.
+	readSock := &vkernel.Call{Num: vkernel.SysRead, Args: [6]uint64{4, 0, 8}}
+	if genericMaybeChecked(ip, e.t, readSock, snap) {
+		t.Fatal("socket read forwarded despite SOCKET_RO class rule")
+	}
+	// Socket write on fd 4: class rule SOCKET_RO -> monitored.
+	writeSock := &vkernel.Call{Num: vkernel.SysWrite, Args: [6]uint64{4, 0, 8}}
+	if !genericMaybeChecked(ip, e.t, writeSock, snap) {
+		t.Fatal("socket write unmonitored at SOCKET_RO class rule")
+	}
+	// Socket write on fd 6: per-fd override SOCKET_RW -> unmonitored.
+	writeOvr := &vkernel.Call{Num: vkernel.SysWrite, Args: [6]uint64{6, 0, 8}}
+	if genericMaybeChecked(ip, e.t, writeOvr, snap) {
+		t.Fatal("per-fd SOCKET_RW override not honoured")
+	}
+	// Descriptor-less BASE call: always unmonitored here.
+	gtod := &vkernel.Call{Num: vkernel.SysGettimeofday}
+	if genericMaybeChecked(ip, e.t, gtod, snap) {
+		t.Fatal("gettimeofday forwarded at BASE default")
 	}
 }
 

@@ -1,0 +1,300 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"remon/internal/vkernel"
+)
+
+// TestEngineLayeringPrecedence is the table-driven contract for rule
+// resolution: global default < per-class rule < per-fd override.
+func TestEngineLayeringPrecedence(t *testing.T) {
+	rules := Rules{
+		Default: BaseLevel,
+		ByClass: map[FDClass]Level{
+			FDSock:      SocketROLevel,
+			FDNonSocket: NonsocketRWLevel,
+		},
+		ByFD: map[int]Level{
+			7:  SocketRWLevel,    // socket promoted above its class rule
+			9:  LevelNone,        // fully monitored descriptor
+			11: NonsocketROLevel, // non-socket demoted below its class rule
+		},
+	}
+	s := NewEngine(rules).Current()
+
+	cases := []struct {
+		name  string
+		fd    int
+		class FDClass
+		want  Level
+	}{
+		{"default for unknown class", -1, FDUnknown, BaseLevel},
+		{"default for unruled class", 3, FDPollFD, BaseLevel},
+		{"class rule: socket", 4, FDSock, SocketROLevel},
+		{"class rule: non-socket", 5, FDNonSocket, NonsocketRWLevel},
+		{"fd override beats class (up)", 7, FDSock, SocketRWLevel},
+		{"fd override beats class (none)", 9, FDSock, LevelNone},
+		{"fd override beats class (down)", 11, FDNonSocket, NonsocketROLevel},
+		{"out-of-range fd falls to class", 5000, FDSock, SocketROLevel},
+	}
+	for _, c := range cases {
+		if got := s.Level(c.fd, c.class); got != c.want {
+			t.Errorf("%s: Level(%d, %d) = %v, want %v", c.name, c.fd, c.class, got, c.want)
+		}
+	}
+	if s.MaxLevel() != SocketRWLevel {
+		t.Errorf("MaxLevel = %v, want SOCKET_RW (from the fd 7 override)", s.MaxLevel())
+	}
+	if s.Default() != BaseLevel {
+		t.Errorf("Default = %v", s.Default())
+	}
+}
+
+// TestEngineVerdictMatrix covers Table 1's conditional-grant rows through
+// the layered resolution — including the ioctl/fcntl/futex/poll rows the
+// static policy tests skip.
+func TestEngineVerdictMatrix(t *testing.T) {
+	s := NewEngine(Rules{
+		Default: NonsocketROLevel,
+		ByFD: map[int]Level{
+			8: SocketRWLevel,
+			9: BaseLevel,
+		},
+	}).Current()
+
+	cases := []struct {
+		name        string
+		nr, fd      int
+		class       FDClass
+		wantVerdict Verdict
+		wantCond    bool // only meaningful for Conditional verdicts
+	}{
+		// read: conditional at NONSOCKET_RO; passes on non-sockets only.
+		{"read file", vkernel.SysRead, 3, FDNonSocket, Conditional, true},
+		{"read socket", vkernel.SysRead, 4, FDSock, Conditional, false},
+		{"read unknown", vkernel.SysRead, 5, FDUnknown, Conditional, false},
+		// read on the SOCKET_RW-overridden fd: unconditional.
+		{"read overridden fd", vkernel.SysRead, 8, FDSock, Unmonitored, false},
+		// read on the BASE-overridden fd: monitored outright.
+		{"read demoted fd", vkernel.SysRead, 9, FDNonSocket, Monitored, false},
+		// write: not granted at NONSOCKET_RO at all.
+		{"write file", vkernel.SysWrite, 3, FDNonSocket, Monitored, false},
+		{"write overridden fd", vkernel.SysWrite, 8, FDSock, Unmonitored, false},
+		// poll/select family: conditional, non-sockets only.
+		{"poll file", vkernel.SysPoll, 3, FDNonSocket, Conditional, true},
+		{"poll socket", vkernel.SysPoll, 4, FDSock, Conditional, false},
+		{"select file", vkernel.SysSelect, 3, FDNonSocket, Conditional, true},
+		// futex: conditional, no descriptor involved.
+		{"futex", vkernel.SysFutex, -1, FDUnknown, Conditional, true},
+		// ioctl/fcntl: conditional, query-style on non-sockets only.
+		{"ioctl file", vkernel.SysIoctl, 3, FDNonSocket, Conditional, true},
+		{"ioctl socket", vkernel.SysIoctl, 4, FDSock, Conditional, false},
+		{"fcntl file", vkernel.SysFcntl, 3, FDNonSocket, Conditional, true},
+		{"fcntl socket", vkernel.SysFcntl, 4, FDSock, Conditional, false},
+		// pwrite: conditional only from NONSOCKET_RW up.
+		{"pwrite file", vkernel.SysPwrite64, 3, FDNonSocket, Monitored, false},
+		// BASE grants hold everywhere.
+		{"gettimeofday", vkernel.SysGettimeofday, -1, FDUnknown, Unmonitored, false},
+		// Sensitive calls never appear in the table.
+		{"open", vkernel.SysOpen, -1, FDUnknown, Monitored, false},
+		{"close overridden fd", vkernel.SysClose, 8, FDSock, Monitored, false},
+		{"mmap", vkernel.SysMmap, -1, FDUnknown, Monitored, false},
+	}
+	for _, c := range cases {
+		if got := s.Verdict(c.nr, c.fd, c.class); got != c.wantVerdict {
+			t.Errorf("%s: Verdict(%s, fd %d) = %v, want %v",
+				c.name, vkernel.SyscallName(c.nr), c.fd, got, c.wantVerdict)
+			continue
+		}
+		if c.wantVerdict == Conditional {
+			if got := s.CheckConditional(c.nr, c.fd, c.class); got != c.wantCond {
+				t.Errorf("%s: CheckConditional = %v, want %v", c.name, got, c.wantCond)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesSpatial: with a pure global default the engine must be
+// decision-identical to the static Spatial policy at every level for
+// every syscall number and class.
+func TestEngineMatchesSpatial(t *testing.T) {
+	for _, lv := range Levels() {
+		sp := NewSpatial(lv)
+		snap := NewEngine(LevelRules(lv)).Current()
+		for nr := 0; nr < vkernel.MaxSyscall; nr++ {
+			if got, want := snap.Verdict(nr, -1, FDUnknown), sp.Verdict(nr); got != want {
+				t.Fatalf("%v %s: engine %v vs spatial %v", lv, vkernel.SyscallName(nr), got, want)
+			}
+			if got, want := VerdictAt(lv, nr), sp.Verdict(nr); got != want {
+				t.Fatalf("%v %s: VerdictAt %v vs spatial %v", lv, vkernel.SyscallName(nr), got, want)
+			}
+			for _, class := range []FDClass{FDUnknown, FDNonSocket, FDSock, FDPollFD} {
+				if got, want := snap.CheckConditional(nr, 3, class), sp.CheckConditional(nr, class); got != want {
+					t.Fatalf("%v %s class %d: engine cond %v vs spatial %v",
+						lv, vkernel.SyscallName(nr), class, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineInstallValidation: broken rule sets must be rejected before
+// publication, and the active snapshot must be unaffected.
+func TestEngineInstallValidation(t *testing.T) {
+	e := NewEngine(LevelRules(BaseLevel))
+	v1 := e.Current()
+	bad := []Rules{
+		{Default: Level(99)},
+		{Default: BaseLevel, ByClass: map[FDClass]Level{FDClass(9): BaseLevel}},
+		{Default: BaseLevel, ByClass: map[FDClass]Level{FDSock: Level(-2)}},
+		{Default: BaseLevel, ByFD: map[int]Level{-1: BaseLevel}},
+		{Default: BaseLevel, ByFD: map[int]Level{4096: BaseLevel}},
+		{Default: BaseLevel, ByFD: map[int]Level{3: Level(77)}},
+	}
+	for i, r := range bad {
+		if _, err := e.Install(r); err == nil {
+			t.Errorf("bad rule set %d accepted", i)
+		}
+	}
+	if e.Current() != v1 || e.Version() != 1 {
+		t.Fatal("rejected installs perturbed the active snapshot")
+	}
+}
+
+// TestEngineVersionHistory: every installed snapshot stays addressable by
+// version (the stream re-pinning path), and unknown versions return nil.
+func TestEngineVersionHistory(t *testing.T) {
+	e := NewEngine(LevelRules(BaseLevel))
+	s2, err := e.Install(LevelRules(SocketRWLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := e.Install(Rules{Default: NonsocketROLevel, ByFD: map[int]Level{4: SocketRWLevel}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Initial().Version() != 1 || s2.Version() != 2 || s3.Version() != 3 {
+		t.Fatalf("versions = %d/%d/%d", e.Initial().Version(), s2.Version(), s3.Version())
+	}
+	if e.ByVersion(2) != s2 || e.ByVersion(3) != s3 || e.ByVersion(1) != e.Initial() {
+		t.Fatal("ByVersion does not return the installed snapshots")
+	}
+	if e.ByVersion(0) != nil || e.ByVersion(4) != nil {
+		t.Fatal("ByVersion invented a snapshot")
+	}
+	if e.Current() != s3 {
+		t.Fatal("Current is not the last install")
+	}
+	// Mutating the caller's maps after Install must not leak in.
+	r := Rules{Default: BaseLevel, ByFD: map[int]Level{5: SocketRWLevel}}
+	s4, _ := e.Install(r)
+	r.ByFD[5] = LevelNone
+	if s4.Level(5, FDNonSocket) != SocketRWLevel {
+		t.Fatal("installed snapshot aliases the caller's rule map")
+	}
+}
+
+// TestGrantable: the kernel-side completion check admits exactly the
+// Table 1 fast-path set.
+func TestGrantable(t *testing.T) {
+	for _, nr := range []int{vkernel.SysRead, vkernel.SysWrite, vkernel.SysGetpid,
+		vkernel.SysRecvfrom, vkernel.SysSendto, vkernel.SysFutex, vkernel.SysEpollWait} {
+		if !Grantable(nr) {
+			t.Errorf("%s not grantable", vkernel.SyscallName(nr))
+		}
+	}
+	for _, nr := range []int{vkernel.SysOpen, vkernel.SysClose, vkernel.SysMmap,
+		vkernel.SysClone, vkernel.SysKill, vkernel.SysShmget, -1, vkernel.MaxSyscall + 5} {
+		if Grantable(nr) {
+			t.Errorf("%d (%s) grantable — must always be monitored", nr, vkernel.SyscallName(nr))
+		}
+	}
+}
+
+// TestSnapshotLookupZeroAlloc pins the fast path: an engine load plus a
+// layered verdict + conditional resolution must not allocate.
+func TestSnapshotLookupZeroAlloc(t *testing.T) {
+	e := NewEngine(Rules{
+		Default: NonsocketROLevel,
+		ByClass: map[FDClass]Level{FDSock: SocketROLevel},
+		ByFD:    map[int]Level{6: SocketRWLevel},
+	})
+	var sink Verdict
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := e.Current()
+		sink = s.Verdict(vkernel.SysRead, 6, FDSock)
+		sink = s.Verdict(vkernel.SysWrite, 3, FDNonSocket)
+		if s.CheckConditional(vkernel.SysRead, 3, FDNonSocket) {
+			sink = Conditional
+		}
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("policy fast-path lookup allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestEngineHotSwapStress hammers the read side from 8 workers while a
+// swapper installs new rule sets, under -race: every observed snapshot
+// must be one that went through Install (pointer identity), and its
+// contents must match what was installed for its version — no torn or
+// half-published state.
+func TestEngineHotSwapStress(t *testing.T) {
+	e := NewEngine(LevelRules(BaseLevel))
+	installed := sync.Map{} // version -> Level default installed under it
+	installed.Store(uint32(1), BaseLevel)
+
+	var stop atomic.Bool
+	levels := []Level{BaseLevel, NonsocketROLevel, NonsocketRWLevel, SocketROLevel, SocketRWLevel}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // swapper
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			lv := levels[i%len(levels)]
+			s, err := e.Install(Rules{Default: lv, ByFD: map[int]Level{3: SocketRWLevel}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			installed.Store(s.Version(), lv)
+		}
+		stop.Store(true)
+	}()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s := e.Current()
+				want, ok := installed.Load(s.Version())
+				if !ok {
+					t.Errorf("observed snapshot version %d that was never installed", s.Version())
+					return
+				}
+				if s.Default() != want.(Level) {
+					t.Errorf("version %d: default %v, installed %v — torn snapshot",
+						s.Version(), s.Default(), want)
+					return
+				}
+				// The per-fd layer must be intact too (version 1 is the
+				// boot snapshot without the override).
+				if s.Version() > 1 && s.Level(3, FDNonSocket) != SocketRWLevel {
+					t.Errorf("version %d: fd override missing — torn snapshot", s.Version())
+					return
+				}
+				if bv := e.ByVersion(s.Version()); bv != s {
+					t.Errorf("version %d: ByVersion returned a different snapshot", s.Version())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Version() != 501 {
+		t.Fatalf("final version = %d, want 501", e.Version())
+	}
+}

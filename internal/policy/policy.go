@@ -227,22 +227,7 @@ func (s *Spatial) Verdict(nr int) Verdict {
 // on non-sockets at NONSOCKET_RW+; socket operations only pass via the
 // unconditional grants of SOCKET_RO/SOCKET_RW.
 func (s *Spatial) CheckConditional(nr int, class FDClass) bool {
-	switch nr {
-	case vkernel.SysRead, vkernel.SysReadv, vkernel.SysPread64,
-		vkernel.SysPreadv, vkernel.SysSelect, vkernel.SysPselect6,
-		vkernel.SysPoll:
-		return class == FDNonSocket && s.Level >= NonsocketROLevel
-	case vkernel.SysWrite, vkernel.SysWritev, vkernel.SysPwrite64,
-		vkernel.SysPwritev:
-		return class == FDNonSocket && s.Level >= NonsocketRWLevel
-	case vkernel.SysFutex:
-		return s.Level >= NonsocketROLevel
-	case vkernel.SysIoctl, vkernel.SysFcntl:
-		// Only query-style operations on non-sockets are exempt; the
-		// dispatcher restricts further by command (F_GETFL etc.).
-		return class == FDNonSocket && s.Level >= NonsocketROLevel
-	}
-	return false
+	return checkConditionalAt(s.Level, nr, class)
 }
 
 // UnmonitoredSet builds the syscall mask IP-MON registers with IK-B

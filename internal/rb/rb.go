@@ -67,20 +67,21 @@ const (
 	// entryHeaderSize: see field offsets below.
 	entryHeaderSize = 112
 
-	offSize     = 0
-	offNr       = 4
-	offSeq      = 8
-	offFlags    = 16
-	offStatus   = 20 // futex word: 0 = results pending, 1 = ready
-	offRetVal   = 24
-	offRetErrno = 32
-	offNArgs    = 36
-	offArgsPub  = 40 // virtual time args were published
-	offResPub   = 48 // virtual time results were published
-	offArgs     = 56 // 6 * 8 bytes
-	offInLen    = 104
-	offOutLen   = 108
-	offPayload  = entryHeaderSize
+	offSize      = 0
+	offNr        = 4
+	offSeq       = 8
+	offPolicyVer = 12 // policy snapshot version pinned after this entry
+	offFlags     = 16
+	offStatus    = 20 // futex word: 0 = results pending, 1 = ready
+	offRetVal    = 24
+	offRetErrno  = 32
+	offNArgs     = 36
+	offArgsPub   = 40 // virtual time args were published
+	offResPub    = 48 // virtual time results were published
+	offArgs      = 56 // 6 * 8 bytes
+	offInLen     = 104
+	offOutLen    = 108
+	offPayload   = entryHeaderSize
 
 	maxReplicas = 12
 	// statusSpinLimit bounds the spin-read loop before falling back to the
@@ -247,11 +248,18 @@ type Writer struct {
 	gen  uint32
 	seq  uint32
 	off  uint64 // write offset within the partition data area
+	// polVer is the policy snapshot version stamped into each entry
+	// header: the master's IP-MON sets it before Reserve so slaves learn
+	// policy pin advances in stream order (internal/policy engine).
+	polVer uint32
 	// hdr is the staging buffer for entry headers: fields are assembled
 	// here and land in the segment with one copy, replacing the seed's
 	// ~15 individually locked word writes per entry.
 	hdr [entryHeaderSize]byte
 }
+
+// SetPolicyVer sets the policy version stamped into subsequent entries.
+func (w *Writer) SetPolicyVer(v uint32) { w.polVer = v }
 
 // NewWriter creates the master-side cursor for partition part.
 func (b *Buffer) NewWriter(part int, base mem.Addr) *Writer {
@@ -308,7 +316,8 @@ func (w *Writer) Reserve(t *vkernel.Thread, c *vkernel.Call, flags uint32, inPay
 	clear(hdr[:])
 	le.PutUint32(hdr[offSize:], uint32(need))
 	le.PutUint32(hdr[offNr:], uint32(c.Num))
-	le.PutUint64(hdr[offSeq:], uint64(w.seq))
+	le.PutUint32(hdr[offSeq:], w.seq)
+	le.PutUint32(hdr[offPolicyVer:], w.polVer)
 	le.PutUint32(hdr[offFlags:], flags)
 	le.PutUint32(hdr[offNArgs:], 6)
 	le.PutUint64(hdr[offArgsPub:], uint64(t.Clock.Now()))
@@ -409,6 +418,9 @@ type EntryView struct {
 	Flags    uint32
 	Args     [6]uint64
 	InLen    int
+	// PolicyVer is the policy snapshot version the master pinned after
+	// writing this entry (0 when the writer never stamped one).
+	PolicyVer uint32
 }
 
 // Next blocks until the master publishes the next entry and returns its
@@ -450,17 +462,18 @@ func (r *Reader) Next(t *vkernel.Thread) (*EntryView, error) {
 	}
 	ev := &r.view
 	*ev = EntryView{
-		r:        r,
-		entryOff: entryOff,
-		size:     size,
-		Nr:       int(le.Uint32(hdr[offNr:])),
-		Flags:    le.Uint32(hdr[offFlags:]),
-		InLen:    int(le.Uint32(hdr[offInLen:])),
+		r:         r,
+		entryOff:  entryOff,
+		size:      size,
+		Nr:        int(le.Uint32(hdr[offNr:])),
+		Flags:     le.Uint32(hdr[offFlags:]),
+		InLen:     int(le.Uint32(hdr[offInLen:])),
+		PolicyVer: le.Uint32(hdr[offPolicyVer:]),
 	}
 	for i := 0; i < 6; i++ {
 		ev.Args[i] = le.Uint64(hdr[offArgs+i*8:])
 	}
-	if le.Uint64(hdr[offSeq:]) != uint64(r.seq) {
+	if le.Uint32(hdr[offSeq:]) != r.seq {
 		return nil, ErrCorrupt
 	}
 	t.Clock.Advance(model.CostRBReadBase)

@@ -341,3 +341,44 @@ func TestDrained(t *testing.T) {
 		t.Fatal("fully consumed buffer not drained")
 	}
 }
+
+// TestPolicyVerRoundTrip: the policy snapshot version stamped by the
+// writer travels with each entry and updates per entry — the transport
+// the IP-MON stream-pinning protocol rides on.
+func TestPolicyVerRoundTrip(t *testing.T) {
+	e := newRBEnv(t, 1<<20, 1, nil)
+	w := e.buf.NewWriter(0, e.mBase)
+	r := e.buf.NewReader(0, 1, e.sBase)
+
+	c := &vkernel.Call{Num: vkernel.SysGetpid}
+	// Default stamp is 0 (no engine attached).
+	res, err := w.Reserve(e.master, c, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Complete(e.master, 1, 0, nil)
+	w.SetPolicyVer(7)
+	res, err = w.Reserve(e.master, c, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Complete(e.master, 2, 0, nil)
+	// The stamp is sticky until changed.
+	res, err = w.Reserve(e.master, c, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Complete(e.master, 3, 0, nil)
+
+	for i, want := range []uint32{0, 7, 7} {
+		ev, err := r.Next(e.slave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.PolicyVer != want {
+			t.Fatalf("entry %d: PolicyVer = %d, want %d", i, ev.PolicyVer, want)
+		}
+		ev.WaitResults(e.slave)
+		ev.Consume()
+	}
+}
