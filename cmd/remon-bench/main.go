@@ -7,6 +7,7 @@
 //	            [-iterations N] [-connections N] [-requests N] [-quick]
 //	            [-rb-json BENCH_rb.json] [-fleet-json BENCH_fleet.json]
 //	            [-ghumvee-json BENCH_ghumvee.json] [-policy-json BENCH_policy.json]
+//	            [-pipeline-json BENCH_pipeline.json]
 //
 // Absolute numbers are virtual-time measurements on the simulated
 // substrate; the claim being reproduced is the *shape* (see
@@ -32,6 +33,7 @@ func main() {
 	rbJSON := flag.String("rb-json", "", "write RB fast-path perf results (ns/op, allocs/op, virtual metrics) to this file, e.g. BENCH_rb.json")
 	policyJSON := flag.String("policy-json", "", "write the relaxation-level sweep (monitored vs unmonitored ns/call at each of the 5 levels) to this file, e.g. BENCH_policy.json")
 	ghumveeJSON := flag.String("ghumvee-json", "", "write GHUMVEE monitored-path perf results (ns/call, wakeups/call, epochs flushed) to this file, e.g. BENCH_ghumvee.json")
+	pipelineJSON := flag.String("pipeline-json", "", "write the master-ahead pipeline sweep (MaxLag x threads x replicas: unmonitored ns/call, futex wakes/call, group commits) to this file, e.g. BENCH_pipeline.json")
 	fleetJSON := flag.String("fleet-json", "", "write fleet serving results (shards, aggregate req/s in virtual time, p99 recovery latency) to this file, e.g. BENCH_fleet.json")
 	fleetRecoveries := flag.Int("fleet-recoveries", 5, "injected-divergence recovery samples for the fleet scenario")
 	flag.Parse()
@@ -103,6 +105,20 @@ func main() {
 			return os.WriteFile(*ghumveeJSON, append(payload, '\n'), 0o644)
 		})
 	}
+	if *pipelineJSON != "" {
+		run("Master-ahead pipeline sweep -> "+*pipelineJSON, func() error {
+			results, err := bench.RunPipelinePerf()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatPipelinePerf(results))
+			payload, err := bench.MarshalPipelinePerf(results)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*pipelineJSON, append(payload, '\n'), 0o644)
+		})
+	}
 	fleetDone := false
 	if *fleetJSON != "" {
 		fleetDone = true
@@ -119,7 +135,7 @@ func main() {
 			return os.WriteFile(*fleetJSON, append(payload, '\n'), 0o644)
 		})
 	}
-	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "") && *experiment == "" {
+	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "") && *experiment == "" {
 		return
 	}
 

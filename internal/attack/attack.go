@@ -44,12 +44,19 @@ func remonCfg() core.Config {
 	return remonCfgAt(policy.SocketRWLevel, 1)
 }
 
+// suiteMaxLag is the master-ahead window the suite's ReMon deployments
+// run at — the third axis of the golden verdict matrix. It is set only
+// by RunSuiteAtLag (which restores it); the suite is not meant to run
+// concurrently with itself.
+var suiteMaxLag int
+
 // remonCfgAt parameterises the deployment by relaxation level and
-// divergence-checking epoch — the two axes of the golden verdict matrix.
+// divergence-checking epoch — two axes of the golden verdict matrix (the
+// third, the master-ahead lag window, rides on suiteMaxLag).
 func remonCfgAt(level policy.Level, epoch int) core.Config {
 	return core.Config{
 		Mode: core.ModeReMon, Replicas: 2, Policy: level,
-		Partitions: 8, EpochSize: epoch,
+		Partitions: 8, EpochSize: epoch, MaxLag: suiteMaxLag,
 	}
 }
 
@@ -461,7 +468,7 @@ func MasterRunAheadWindowAt(rbSize uint64, level policy.Level, epoch int) Outcom
 	calls := 0
 	rep, err := core.RunProgram(core.Config{
 		Mode: core.ModeReMon, Replicas: 2, Policy: level,
-		RBSize: rbSize, Partitions: 1, EpochSize: epoch,
+		RBSize: rbSize, Partitions: 1, EpochSize: epoch, MaxLag: suiteMaxLag,
 	}, func(env *libc.Env) {
 		fd, _ := env.Open("/tmp/runahead", vkernel.OCreat|vkernel.ORdwr, 0o644)
 		if env.T.Proc.ReplicaIndex == 0 {
@@ -570,6 +577,18 @@ func RunSuiteAt(level policy.Level, epoch int) []Outcome {
 		RBPointerLeakScanAt(level, epoch),
 		MasterRunAheadWindowAt(1<<20, level, epoch),
 	}
+}
+
+// RunSuiteAtLag runs the golden-matrix cell with the suite's ReMon
+// deployments at the given master-ahead lag window (0 = the lockstep
+// publication every other entry point uses). Not safe concurrently with
+// other suite runs — the lag rides on package state by design (every
+// scenario constructor keeps its two-axis signature).
+func RunSuiteAtLag(level policy.Level, epoch, maxLag int) []Outcome {
+	prev := suiteMaxLag
+	suiteMaxLag = maxLag
+	defer func() { suiteMaxLag = prev }()
+	return RunSuiteAt(level, epoch)
 }
 
 // RunAll executes the full suite.

@@ -51,3 +51,45 @@ func TestGoldenVerdictMatrix(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenVerdictMatrixPipeline extends the matrix with the
+// master-ahead lag window (PR 5): MaxLag ∈ {0, 8, 64} × epoch {1, 16}
+// at the suite's standard SOCKET_RW level. Every scenario must stay
+// DEFEATED in every cell, and the stable verdict detail strings must be
+// bit-identical to the MaxLag=0 lockstep reference — the pipeline moves
+// publication and detection timing, never verdicts.
+func TestGoldenVerdictMatrixPipeline(t *testing.T) {
+	epochs := []int{1, 16}
+	lags := []int{0, 8, 64}
+	if testing.Short() {
+		epochs = []int{16}
+		lags = []int{0, 64}
+	}
+	for _, epoch := range epochs {
+		ref := RunSuiteAtLag(policy.SocketRWLevel, epoch, 0)
+		for i := range ref {
+			if !ref[i].Detected {
+				t.Errorf("epoch=%d lag=0: %s", epoch, ref[i])
+			}
+		}
+		for _, lag := range lags[1:] {
+			got := RunSuiteAtLag(policy.SocketRWLevel, epoch, lag)
+			if len(got) != len(ref) {
+				t.Fatalf("epoch=%d lag=%d: suite sizes differ", epoch, lag)
+			}
+			for i := range got {
+				re, ba := ref[i], got[i]
+				if re.Name != ba.Name {
+					t.Fatalf("epoch=%d lag=%d: scenario order drift: %q vs %q", epoch, lag, re.Name, ba.Name)
+				}
+				if !ba.Detected {
+					t.Errorf("epoch=%d lag=%d: %s", epoch, lag, ba)
+				}
+				if DetailStable(ba.Name) && ba.Detail != re.Detail {
+					t.Errorf("epoch=%d %q: verdict detail differs across lag windows:\n  lag=0:  %s\n  lag=%d: %s",
+						epoch, ba.Name, re.Detail, lag, ba.Detail)
+				}
+			}
+		}
+	}
+}

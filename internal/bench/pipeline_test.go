@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestPipelineSweepShape pins the qualitative shape of the master-ahead
+// sweep on a reduced grid: the lockstep cell issues two wake-suppression
+// probes per unmonitored call and no group commits, while a pipelined
+// cell batches most calls and collapses the probe rate by the group
+// size. Host wall-clock is not asserted (scheduler-dependent); the
+// counters below are deterministic properties of the protocol.
+func TestPipelineSweepShape(t *testing.T) {
+	lockstep, err := runPipelineCell(2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := runPipelineCell(2, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lockstep.Flushes != 0 || lockstep.Batched != 0 || lockstep.Flips != 0 {
+		t.Fatalf("lockstep cell ran the pipeline: %+v", lockstep)
+	}
+	if lockstep.WakeChecksPerCall < 1.9 {
+		t.Fatalf("lockstep wake checks/call = %.3f; want ~2 (reserve + complete)", lockstep.WakeChecksPerCall)
+	}
+	if piped.Batched == 0 || piped.Flushes == 0 {
+		t.Fatalf("pipelined cell never group-committed: %+v", piped)
+	}
+	if piped.WakeChecksPerCall > lockstep.WakeChecksPerCall/4 {
+		t.Fatalf("group commit left wake checks/call at %.3f (lockstep %.3f); want a >4x reduction",
+			piped.WakeChecksPerCall, lockstep.WakeChecksPerCall)
+	}
+	if piped.WakesPerCall > lockstep.WakesPerCall && piped.WakesPerCall > 0.5 {
+		t.Fatalf("wakes/call grew under group commit: %.4f -> %.4f", lockstep.WakesPerCall, piped.WakesPerCall)
+	}
+}

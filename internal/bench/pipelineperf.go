@@ -1,0 +1,200 @@
+// Master-ahead pipeline perf tracking: the MaxLag × threads × replicas
+// sweep behind remon-bench -pipeline-json BENCH_pipeline.json. Each cell
+// drives a batchable-call-dense multithreaded profile through ModeReMon
+// and reports host ns per unmonitored call plus the RB pipeline
+// counters, so PRs can diff the lag window's effect — and the futex
+// wakes per call that group commit is meant to collapse — against this
+// one. MaxLag = 0 is the lockstep publish-per-call reference in every
+// sweep.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"remon/internal/core"
+	"remon/internal/libc"
+	"remon/internal/policy"
+)
+
+// PipelinePerfResult is one (replicas, threads, maxLag) cell's figures.
+type PipelinePerfResult struct {
+	// Name is the experiment id, e.g. "pipeline/r4-t16-lag64".
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// UnmonNsPerCall is host wall-clock per unmonitored fast-path call —
+	// the optimisation target of the lag window.
+	UnmonNsPerCall float64 `json:"unmon_ns_per_call"`
+	// WakesPerCall counts futex wakes the master actually issued per
+	// unmonitored call; WakeChecksPerCall counts suppression probes.
+	// Both are host-scheduling figures (a wake happens only when a slave
+	// is parked), so compare them order-of-magnitude-wise.
+	WakesPerCall      float64 `json:"wakes_per_call"`
+	WakeChecksPerCall float64 `json:"wake_checks_per_call"`
+	// Flushes / Batched / Flips / LagWaits are the pipeline counters
+	// accumulated over the timed runs (zero at MaxLag 0).
+	Flushes  uint64 `json:"flushes"`
+	Batched  uint64 `json:"batched"`
+	Flips    uint64 `json:"flips"`
+	LagWaits uint64 `json:"lag_waits"`
+	// VirtualNsPerCall is the simulation-side figure of the final run.
+	// The deterministic virtual costs are identical across lag settings;
+	// the one host-coupled charge — the master's futex-wake syscalls,
+	// already scheduling-dependent under §3.7 wake suppression — shrinks
+	// with group commit, so this figure may drift slightly with MaxLag.
+	VirtualNsPerCall float64 `json:"virtual_ns_per_call"`
+	Replicas         int     `json:"replicas"`
+	Threads          int     `json:"threads"`
+	MaxLag           int     `json:"max_lag"`
+	N                int     `json:"n"`
+}
+
+// PipelineCallsPerThread is the per-thread batchable-call count of the
+// pipeline profile.
+const PipelineCallsPerThread = 120
+
+// pipelineProgram is the profile: every thread issues a dense loop of
+// register-only policy-batchable calls (getpid — the BASE set), the
+// workload class where Varan-style leader run-ahead pays most. Calls
+// that bump the libc arena (TimeNow and friends) are deliberately
+// absent: their periodic arena mmap is a monitored call, and a
+// rendezvous every few iterations would measure the lockstep path, not
+// the pipeline.
+func pipelineProgram(threads int) libc.Program {
+	return func(env *libc.Env) {
+		work := func(env *libc.Env) {
+			for i := 0; i < PipelineCallsPerThread; i++ {
+				env.Getpid()
+			}
+		}
+		var hs []*libc.ThreadHandle
+		for j := 1; j < threads; j++ {
+			hs = append(hs, env.Spawn(work))
+		}
+		work(env)
+		for _, h := range hs {
+			h.Join()
+		}
+	}
+}
+
+// PipelineSweepLags is the lag-window sweep every (replicas, threads)
+// point runs.
+var PipelineSweepLags = []int{0, 8, 64}
+
+type pipelinePerfCase struct {
+	replicas, threads, maxLag int
+}
+
+func pipelinePerfCases() []pipelinePerfCase {
+	var out []pipelinePerfCase
+	for _, rt := range [][2]int{{2, 4}, {4, 16}, {8, 16}} {
+		for _, lag := range PipelineSweepLags {
+			out = append(out, pipelinePerfCase{rt[0], rt[1], lag})
+		}
+	}
+	return out
+}
+
+// RunPipelinePerf executes the tracked sweep under testing.Benchmark.
+func RunPipelinePerf() ([]PipelinePerfResult, error) {
+	var out []PipelinePerfResult
+	for _, c := range pipelinePerfCases() {
+		r, err := runPipelineCell(c.replicas, c.threads, c.maxLag)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// runPipelineCell measures one sweep cell (exported logic kept together
+// so the shape test can run a reduced grid through the same path).
+func runPipelineCell(replicas, threads, maxLag int) (*PipelinePerfResult, error) {
+	prog := pipelineProgram(threads)
+	m, err := core.New(core.Config{
+		Mode: core.ModeReMon, Replicas: replicas, Policy: policy.SocketRWLevel,
+		Partitions: threads, Seed: 9, MaxLag: maxLag,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	// Warm-up outside the timed region (replica bootstrap, stream and
+	// scratch creation); the measured loop is the fast path.
+	if rep := m.Run(prog); rep.Verdict.Diverged {
+		return nil, errDiverged("pipeline warm-up", rep.Verdict.Reason)
+	}
+	preIP := m.IPMons[0].Stats()
+	preRB := m.RBStats()
+	var lastVirtual float64
+	var totalOps uint64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep := m.Run(prog)
+			if rep.Verdict.Diverged {
+				runErr = errDiverged("pipeline", rep.Verdict.Reason)
+				b.FailNow()
+			}
+			totalOps++
+			lastVirtual = rep.Duration.Seconds() * 1e9 / float64(threads*PipelineCallsPerThread)
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	postIP := m.IPMons[0].Stats()
+	postRB := m.RBStats()
+	// Stats deltas cover every run testing.Benchmark made (probe rounds
+	// included); pair them with the framework's per-run ns via the total
+	// op counter, as the ghumvee tracker does.
+	calls := postIP.Unmonitored - preIP.Unmonitored
+	if calls == 0 || totalOps == 0 {
+		return nil, fmt.Errorf("bench: pipeline cell measured no unmonitored calls")
+	}
+	callsPerOp := float64(calls) / float64(totalOps)
+	return &PipelinePerfResult{
+		Name:              fmt.Sprintf("pipeline/r%d-t%d-lag%d", replicas, threads, maxLag),
+		NsPerOp:           float64(br.NsPerOp()),
+		AllocsPerOp:       br.AllocsPerOp(),
+		BytesPerOp:        br.AllocedBytesPerOp(),
+		UnmonNsPerCall:    float64(br.NsPerOp()) / callsPerOp,
+		WakesPerCall:      float64(postRB.Wakes-preRB.Wakes) / float64(calls),
+		WakeChecksPerCall: float64(postRB.WakeChecks-preRB.WakeChecks) / float64(calls),
+		Flushes:           postRB.Flushes - preRB.Flushes,
+		Batched:           postRB.Batched - preRB.Batched,
+		Flips:             postRB.Flips - preRB.Flips,
+		LagWaits:          postRB.LagWaits - preRB.LagWaits,
+		VirtualNsPerCall:  lastVirtual,
+		Replicas:          replicas,
+		Threads:           threads,
+		MaxLag:            maxLag,
+		N:                 br.N,
+	}, nil
+}
+
+// FormatPipelinePerf renders the sweep as aligned rows.
+func FormatPipelinePerf(results []PipelinePerfResult) string {
+	s := fmt.Sprintf("%-24s %14s %12s %14s %10s %10s %10s\n",
+		"cell", "unmon-ns/call", "wakes/call", "checks/call", "flushes", "batched", "lag-waits")
+	for _, r := range results {
+		s += fmt.Sprintf("%-24s %14.0f %12.4f %14.4f %10d %10d %10d\n",
+			r.Name, r.UnmonNsPerCall, r.WakesPerCall, r.WakeChecksPerCall, r.Flushes, r.Batched, r.LagWaits)
+	}
+	return s
+}
+
+// MarshalPipelinePerf renders results as indented JSON (the
+// BENCH_pipeline.json payload).
+func MarshalPipelinePerf(results []PipelinePerfResult) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Schema  string               `json:"schema"`
+		Results []PipelinePerfResult `json:"results"`
+	}{Schema: "remon-pipeline-perf/v1", Results: results}, "", "  ")
+}

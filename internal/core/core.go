@@ -99,6 +99,17 @@ type Config struct {
 	// keeps immediate per-call verification). Virtual-time metrics are
 	// identical either way — only host-side monitor work is batched.
 	EpochSize int
+	// MaxLag enables the bounded master-ahead replication pipeline
+	// (DESIGN.md §9): the master completes checked, policy-batchable
+	// fast-path calls without waiting for slave consumption, staging up
+	// to rb.DefaultGroupCommit completed entries per writtenSeq
+	// release-store and running at most MaxLag entries ahead of the
+	// slowest slave's consumed counter; partition resets become
+	// double-buffered. 0 (the default) keeps the seed's lockstep
+	// publish-per-call protocol. Verdicts and per-replica results are
+	// bit-identical across settings; only host-side publication and
+	// waiting are batched.
+	MaxLag int
 	// OnVerdict, when set, is invoked exactly once if the monitor
 	// declares divergence — the fleet supervisor's quarantine trigger.
 	// It runs on the declaring goroutine after replica teardown has been
@@ -129,7 +140,6 @@ type MVEE struct {
 	engine  *policy.Engine // shared relaxation engine (ModeReMon)
 
 	mu       sync.Mutex
-	ltids    map[*vkernel.Thread]int
 	nextLtid []int // per replica
 	threads  []*vkernel.Thread
 	baseTime model.Duration
@@ -149,6 +159,9 @@ type Report struct {
 	Monitor  ghumvee.Stats
 	Broker   ikb.Stats
 	IPMon    []ipmon.Stats
+	// RB snapshots the replication buffer's cumulative pipeline counters
+	// (wakes, group commits, flips, lag waits) — host-side figures.
+	RB rb.Stats
 }
 
 // New constructs an MVEE.
@@ -175,7 +188,6 @@ func New(cfg Config) (*MVEE, error) {
 	m := &MVEE{
 		Cfg:      cfg,
 		Kernel:   k,
-		ltids:    map[*vkernel.Thread]int{},
 		nextLtid: make([]int, cfg.Replicas),
 	}
 
@@ -259,6 +271,7 @@ func (m *MVEE) setupIPMon() error {
 	if err != nil {
 		return err
 	}
+	buf.SetPipeline(m.Cfg.MaxLag)
 	m.rbuf = buf
 	m.Monitor.AttachRB(buf)
 	if m.Cfg.AblateAlwaysWake {
@@ -325,16 +338,55 @@ func (m *MVEE) SetPolicyLevel(l policy.Level) (*policy.Snapshot, error) {
 	return m.SetPolicy(policy.LevelRules(l))
 }
 
+// SetMaxLag adjusts the master-ahead lag window while traffic is live.
+// The pipeline protocol itself is fixed at construction (Config.MaxLag
+// 0 vs non-zero); on a non-pipelined instance an error is returned and
+// the caller applies the value at its next respawn instead.
+func (m *MVEE) SetMaxLag(n int) error {
+	if m.Cfg.Mode != ModeReMon || m.rbuf == nil {
+		return fmt.Errorf("core: SetMaxLag requires an active ReMon instance")
+	}
+	return m.rbuf.SetMaxLag(n)
+}
+
+// MaxLag reports the live master-ahead lag window (0 = lockstep
+// publication).
+func (m *MVEE) MaxLag() int {
+	if m.rbuf == nil {
+		return 0
+	}
+	return m.rbuf.MaxLag()
+}
+
+// RBStats snapshots the replication buffer's pipeline counters (zero
+// value outside ModeReMon).
+func (m *MVEE) RBStats() rb.Stats {
+	if m.rbuf == nil {
+		return rb.Stats{}
+	}
+	return m.rbuf.Stats()
+}
+
+// flushIPMon publishes t's staged group-commit entries at thread exit —
+// the last hard barrier of a stream's life, guaranteeing slaves never
+// starve on entries the master completed but had not yet published.
+func (m *MVEE) flushIPMon(idx int, t *vkernel.Thread) {
+	if m.Cfg.Mode == ModeReMon && idx < len(m.IPMons) {
+		m.IPMons[idx].FlushThread(t)
+	}
+}
+
+// ltidOf resolves a thread's logical id from its kernel-cached slot —
+// lock-free; the seed's shared map put a global mutex acquisition on
+// every IP-MON entry.
 func (m *MVEE) ltidOf(t *vkernel.Thread) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.ltids[t]
+	return t.Ltid()
 }
 
 // registerThread binds a thread to its logical id everywhere.
 func (m *MVEE) registerThread(t *vkernel.Thread, ltid int) {
+	t.SetLtid(ltid)
 	m.mu.Lock()
-	m.ltids[t] = ltid
 	m.threads = append(m.threads, t)
 	m.mu.Unlock()
 	if m.Monitor != nil {
@@ -348,6 +400,17 @@ func (m *MVEE) registerThread(t *vkernel.Thread, ltid int) {
 func (m *MVEE) Run(prog libc.Program) *Report {
 	m.mu.Lock()
 	m.baseTime = 0
+	// Logical thread ids restart every run: spawn order is serialised by
+	// the record/replay agent, so run N's k-th spawned thread gets the
+	// same ltid in every replica — and the same ltid run N-1 used, which
+	// keeps repeat runs on the partitioned RB fast path. (The seed let
+	// ltids grow monotonically across runs, so every run after the first
+	// overflowed the partition count and silently degraded to the
+	// lockstep path — benchmarks that reuse an MVEE were measuring
+	// GHUMVEE, not IP-MON.)
+	for i := range m.nextLtid {
+		m.nextLtid[i] = 0
+	}
 	m.mu.Unlock()
 
 	if m.Cfg.Mode == ModeReMon && m.rrLog == nil {
@@ -401,6 +464,7 @@ func (m *MVEE) runReplica(idx int, prog libc.Program) {
 			panic(r)
 		}
 		if !t.Exited() {
+			m.flushIPMon(idx, t)
 			t.ExitThread(0)
 		}
 	}()
@@ -421,6 +485,10 @@ func (m *MVEE) runReplica(idx int, prog libc.Program) {
 			Entry:     ip.Entry,
 			RBBase:    m.rbBases[idx],
 			Grantable: grantable,
+			// Hard barrier: any route to the CP monitor publishes this
+			// thread's staged group-commit entries first (master-ahead
+			// pipeline; no-op for slaves and non-pipelined buffers).
+			Barrier: ip.FlushThread,
 		})
 		// The new registration syscall (§3.5): arguments carry the mask
 		// cardinality and RB size so the lockstep comparison has
@@ -460,6 +528,7 @@ func (m *MVEE) spawnThread(idx int, parent *libc.Env, fn libc.Program) *libc.Thr
 				panic(r)
 			}
 			if !t.Exited() {
+				m.flushIPMon(idx, t)
 				t.ExitThread(0)
 			}
 		}()
@@ -495,6 +564,9 @@ func (m *MVEE) report(startCalls uint64) *Report {
 	}
 	for _, ip := range m.IPMons {
 		rep.IPMon = append(rep.IPMon, ip.Stats())
+	}
+	if m.rbuf != nil {
+		rep.RB = m.rbuf.Stats()
 	}
 	return rep
 }

@@ -130,6 +130,12 @@ type Config struct {
 	// EpochSize is each shard monitor's divergence-checking window
 	// (core.Config.EpochSize); 0 keeps immediate verification.
 	EpochSize int
+	// MaxLag is each shard's master-ahead replication window
+	// (core.Config.MaxLag): how many checked, batchable fast-path calls
+	// a shard master may complete ahead of its slowest slave's
+	// consumption. 0 keeps lockstep publication. SetShardLag adjusts the
+	// window per shard while serving.
+	MaxLag int
 
 	// DrainGrace bounds how long DrainShard waits for in-flight
 	// connections before cutting them (default 2s host time).
@@ -213,6 +219,9 @@ type ShardInfo struct {
 	// engine snapshot's default; per-fd refinements are not summarised
 	// here).
 	Policy policy.Level
+	// MaxLag is the shard's master-ahead replication window (0 =
+	// lockstep publication).
+	MaxLag int
 }
 
 // Stats is a fleet-wide snapshot.
@@ -238,7 +247,12 @@ type shard struct {
 	// level is the relaxation level the next buildShard boots the replica
 	// set at: the configured Policy normally, the conservative
 	// RespawnPolicy after a divergence quarantine.
-	level   policy.Level
+	level policy.Level
+	// maxLag is the master-ahead window the next buildShard boots with;
+	// a perf knob (not a security posture), so unlike level it survives
+	// divergence respawns. SetShardLag updates it and, when the live
+	// replica set runs the pipelined protocol, applies it immediately.
+	maxLag  int
 	net     *vnet.Network
 	kernel  *vkernel.Kernel
 	mvee    *core.MVEE
@@ -318,6 +332,7 @@ func New(cfg Config) (*Fleet, error) {
 			addr:    fmt.Sprintf("shard-%d:9000", i),
 			state:   Respawning,
 			level:   *cfg.Policy,
+			maxLag:  cfg.MaxLag,
 			splices: map[*vnet.Splice]struct{}{},
 		}
 		f.shards = append(f.shards, s)
@@ -355,7 +370,7 @@ func (f *Fleet) buildShard(s *shard) error {
 	net.SetConnectWait(f.cfg.BackendConnectWait)
 	k := vkernel.New(net)
 	s.mu.Lock()
-	idx, gen, level := s.idx, s.gen, s.level
+	idx, gen, level, maxLag := s.idx, s.gen, s.level, s.maxLag
 	s.mu.Unlock()
 	mvee, err := core.New(core.Config{
 		Mode:     core.ModeReMon,
@@ -368,6 +383,7 @@ func (f *Fleet) buildShard(s *shard) error {
 		Kernel:          k,
 		LockstepTimeout: f.cfg.LockstepTimeout,
 		EpochSize:       f.cfg.EpochSize,
+		MaxLag:          maxLag,
 		OnVerdict: func(v ghumvee.Verdict) {
 			f.notifyVerdict(idx, gen, v)
 		},
@@ -622,6 +638,50 @@ func (f *Fleet) SetShardPolicy(idx int, rules policy.Rules) error {
 	return nil
 }
 
+// SetShardLag adjusts a shard's master-ahead replication window while
+// it serves. The value is recorded as the shard's boot setting (it
+// survives respawns — lag is a performance knob, not a trust posture)
+// and, when the live replica set already runs the pipelined protocol,
+// applied immediately through the MVEE. A shard booted at MaxLag 0 runs
+// the legacy publish-per-call protocol, which cannot flip live — the
+// new window then takes effect at the shard's next respawn.
+func (f *Fleet) SetShardLag(idx, lag int) error {
+	if idx < 0 || idx >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", idx)
+	}
+	if lag < 0 {
+		return fmt.Errorf("fleet: negative lag window %d", lag)
+	}
+	s := f.shards[idx]
+	s.mu.Lock()
+	s.maxLag = lag
+	mvee, st, gen := s.mvee, s.state, s.gen
+	s.mu.Unlock()
+	applied := "at next respawn"
+	if (st == Serving || st == Draining) && mvee != nil && lag > 0 {
+		if err := mvee.SetMaxLag(lag); err == nil {
+			applied = "live"
+		}
+	}
+	f.record(s, gen, st, st, fmt.Sprintf("lag window set to %d (%s)", lag, applied))
+	return nil
+}
+
+// ShardLag reports a shard's live master-ahead window (its boot setting
+// when the shard is between replica sets).
+func (f *Fleet) ShardLag(idx int) (int, error) {
+	if idx < 0 || idx >= len(f.shards) {
+		return 0, fmt.Errorf("fleet: no shard %d", idx)
+	}
+	s := f.shards[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mvee != nil && (s.state == Serving || s.state == Draining) {
+		return s.mvee.MaxLag(), nil
+	}
+	return s.maxLag, nil
+}
+
 // ShardPolicy reports a shard's currently active global relaxation level
 // (the live engine snapshot's default when the shard is up, the pending
 // boot level otherwise).
@@ -737,6 +797,10 @@ func (f *Fleet) Stats() Stats {
 	for _, s := range f.shards {
 		s.mu.Lock()
 		lv := s.effectiveLevelLocked()
+		lag := s.maxLag
+		if s.mvee != nil && (s.state == Serving || s.state == Draining) {
+			lag = s.mvee.MaxLag()
+		}
 		st.Shards = append(st.Shards, ShardInfo{
 			Index:       s.idx,
 			State:       s.state,
@@ -746,6 +810,7 @@ func (f *Fleet) Stats() Stats {
 			InFlight:    len(s.splices),
 			LastVerdict: s.lastVerdict,
 			Policy:      lv,
+			MaxLag:      lag,
 		})
 		routed += s.connsRouted
 		s.mu.Unlock()

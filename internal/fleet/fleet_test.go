@@ -394,3 +394,66 @@ func TestFleetSetShardPolicyLive(t *testing.T) {
 		t.Fatal("SetShardPolicy accepted a bogus shard index")
 	}
 }
+
+// TestFleetSetShardLagLive: the master-ahead lag window is adjustable
+// per shard while it serves; a fleet booted at MaxLag 0 records the
+// value for the next respawn instead (the protocol is fixed per replica
+// set).
+func TestFleetSetShardLagLive(t *testing.T) {
+	cfg := quickCfg(2)
+	cfg.MaxLag = 8
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if lag, err := f.ShardLag(0); err != nil || lag != 8 {
+		t.Fatalf("boot lag = %d, %v; want 8", lag, err)
+	}
+	loadDone := make(chan []ConnOutcome, 1)
+	go func() {
+		loadDone <- f.DriveClients(DriveConfig{
+			Conns: 12, RequestsPerConn: 30, ThinkTime: 2 * model.Microsecond,
+		})
+	}()
+	time.Sleep(1 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if err := f.SetShardLag(i, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range <-loadDone {
+		if o.Errors != 0 {
+			t.Fatalf("errors during live lag reload: %+v", o)
+		}
+	}
+	st := f.Stats()
+	for i := 0; i < 2; i++ {
+		if lag, _ := f.ShardLag(i); lag != 64 {
+			t.Fatalf("shard %d lag = %d after reload", i, lag)
+		}
+		if st.Shards[i].MaxLag != 64 {
+			t.Fatalf("shard %d ShardInfo.MaxLag = %d", i, st.Shards[i].MaxLag)
+		}
+	}
+	if err := f.SetShardLag(9, 1); err == nil {
+		t.Fatal("SetShardLag accepted an unknown shard")
+	}
+	if err := f.SetShardLag(0, -1); err == nil {
+		t.Fatal("SetShardLag accepted a negative window")
+	}
+
+	// Legacy fleet: the live install is deferred to the next respawn.
+	legacy, err := New(quickCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if err := legacy.SetShardLag(0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if lag, _ := legacy.ShardLag(0); lag != 0 {
+		t.Fatalf("legacy shard reports live lag %d; the window applies at respawn", lag)
+	}
+}

@@ -910,9 +910,12 @@ func (m *Monitor) ApproveRegistration(p *vkernel.Process, mask *vkernel.SyscallM
 
 // ResetPartition implements rb.Arbiter (§3.2): wait until every slave has
 // drained the partition, then reset it. The wait is driven by the RB's
-// drain notification instead of a sleep poll.
+// drain notification, and teardown (divergence or administrative Stop)
+// interrupts it through the monitor's abort channel — both signalAbort
+// paths close it, so the old halted() polling is gone. Never invoked
+// under the double-buffered pipeline (writers flip halves themselves).
 func (m *Monitor) ResetPartition(b *rb.Buffer, part int) {
-	b.WaitDrained(part, m.halted)
+	b.WaitDrained(part, m.abort)
 	b.DoReset(part)
 	m.at.rbResets.Add(1)
 }

@@ -57,6 +57,13 @@ type Registration struct {
 	// ratcheted bound of every rule set ever installed for this replica
 	// set. nil keeps only the static Table 1 bound.
 	Grantable func(nr int) bool
+	// Barrier, when set, runs on the calling thread immediately before
+	// any of its calls is routed to the CP monitor — the master-ahead
+	// pipeline's hard-barrier hook (IP-MON publishes its staged
+	// group-commit entries there, so slaves can always drain their
+	// streams up to a rendezvous). It must be cheap and must not issue
+	// monitored calls.
+	Barrier func(t *vkernel.Thread)
 }
 
 // Stats counts broker activity.
@@ -74,44 +81,58 @@ type Stats struct {
 	GrantDenied uint64
 }
 
-// Broker is the IK-B instance; it implements vkernel.Interceptor. A
-// replica set with no IP-MON registrations and no outstanding tokens —
-// the pure-GHUMVEE mode, where every call funnels through the lockstep
-// monitor — routes through a lock-free fast path (two atomic gate loads
-// plus one batched counter); everything else takes the mutex-guarded
-// slow path, whose single lock acquisition also covers all its counter
-// updates (splitting them into per-counter atomics measurably hurt the
-// IP-MON path: several contended cache-line RMWs per call instead of
-// one).
+// Broker is the IK-B instance; it implements vkernel.Interceptor. The
+// entire per-call path is lock-free: the registration table is an
+// atomically published copy-on-write map (mutations only at
+// registration and RB migration time), the one-time token lives in a
+// per-thread kernel slot that only the owning thread's call path
+// touches, and the counters are independent atomics. The broker mutex
+// survives only for registration-time bookkeeping.
 type Broker struct {
 	kernel  *vkernel.Kernel
 	monitor MonitorBackend
 
-	// nRegs mirrors len(regs). Zero means the fast path is safe: tokens
-	// are only minted for registered processes, so with no registrations
-	// there is no routing decision and no revocation to check.
+	// regs is the active registration table, published as an immutable
+	// snapshot: one atomic load resolves a process's registration on
+	// every call. nRegs mirrors its size for the pure-GHUMVEE gate
+	// (tokens are only minted for registered processes, so with no
+	// registrations there is no routing decision and no revocation to
+	// check).
+	regs  atomic.Pointer[map[*vkernel.Process]*Registration]
 	nRegs atomic.Int32
 	// fastRouted counts fast-path monitor routes (folded into
 	// Intercepted / RoutedMonitor by Stats).
 	fastRouted atomic.Uint64
 
+	at atomicStats
+
 	mu         sync.Mutex
 	approver   RegistrationApprover
-	regs       map[*vkernel.Process]*Registration
 	pendingReg map[*vkernel.Process]*Registration
-	tokens     map[*vkernel.Thread]uint64
-	stats      Stats
+}
+
+// atomicStats is the hot-path counter block.
+type atomicStats struct {
+	intercepted     atomic.Uint64
+	routedIPMon     atomic.Uint64
+	routedMonitor   atomic.Uint64
+	tokensMinted    atomic.Uint64
+	tokenViolations atomic.Uint64
+	tokensRevoked   atomic.Uint64
+	registrations   atomic.Uint64
+	grantDenied     atomic.Uint64
 }
 
 // New creates a broker backed by the given CP monitor.
 func New(k *vkernel.Kernel, monitor MonitorBackend) *Broker {
-	return &Broker{
+	b := &Broker{
 		kernel:     k,
 		monitor:    monitor,
-		regs:       map[*vkernel.Process]*Registration{},
 		pendingReg: map[*vkernel.Process]*Registration{},
-		tokens:     map[*vkernel.Thread]uint64{},
 	}
+	empty := map[*vkernel.Process]*Registration{}
+	b.regs.Store(&empty)
+	return b
 }
 
 // SetApprover installs GHUMVEE's registration veto hook.
@@ -121,15 +142,38 @@ func (b *Broker) SetApprover(a RegistrationApprover) {
 	b.approver = a
 }
 
+// regFor resolves a process's active registration with one atomic load.
+func (b *Broker) regFor(p *vkernel.Process) *Registration {
+	return (*b.regs.Load())[p]
+}
+
+// publishReg installs or updates a registration snapshot (b.mu held).
+func (b *Broker) publishReg(p *vkernel.Process, reg *Registration) {
+	old := *b.regs.Load()
+	next := make(map[*vkernel.Process]*Registration, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	if _, had := next[p]; !had {
+		b.nRegs.Add(1)
+	}
+	next[p] = reg
+	b.regs.Store(&next)
+}
+
 // Stats snapshots the counters.
 func (b *Broker) Stats() Stats {
-	b.mu.Lock()
-	st := b.stats
-	b.mu.Unlock()
 	fast := b.fastRouted.Load()
-	st.Intercepted += fast
-	st.RoutedMonitor += fast
-	return st
+	return Stats{
+		Intercepted:     b.at.intercepted.Load() + fast,
+		RoutedIPMon:     b.at.routedIPMon.Load(),
+		RoutedMonitor:   b.at.routedMonitor.Load() + fast,
+		TokensMinted:    b.at.tokensMinted.Load(),
+		TokenViolations: b.at.tokenViolations.Load(),
+		TokensRevoked:   b.at.tokensRevoked.Load(),
+		Registrations:   b.at.registrations.Load(),
+		GrantDenied:     b.at.grantDenied.Load(),
+	}
 }
 
 // StageRegistration prepares a registration that the process will commit
@@ -144,21 +188,22 @@ func (b *Broker) StageRegistration(p *vkernel.Process, reg *Registration) {
 }
 
 // UpdateRBBase swaps the kernel-held RB pointer for p after an RB
-// migration (§4's periodic-move extension): future forwards carry the new
-// address.
+// migration (§4's periodic-move extension): future forwards carry the
+// new address. The registration is republished copy-on-write so
+// concurrent readers never observe a torn record.
 func (b *Broker) UpdateRBBase(p *vkernel.Process, base mem.Addr) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if reg := b.regs[p]; reg != nil {
-		reg.RBBase = base
+	if reg := b.regFor(p); reg != nil {
+		next := *reg
+		next.RBBase = base
+		b.publishReg(p, &next)
 	}
 }
 
 // Registered reports whether p has an active IP-MON registration.
 func (b *Broker) Registered(p *vkernel.Process) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.regs[p] != nil
+	return b.regFor(p) != nil
 }
 
 // Context is the per-forwarded-call capability IK-B hands to IP-MON: the
@@ -175,29 +220,33 @@ type Context struct {
 	used bool
 }
 
-// Intercept implements vkernel.Interceptor — step 1 of Figure 2.
+// Intercept implements vkernel.Interceptor — step 1 of Figure 2. The
+// whole routing decision is lock-free: one atomic load of the
+// registration snapshot, the per-thread token slot (owned by this very
+// thread), and independent atomic counters.
 func (b *Broker) Intercept(t *vkernel.Thread, c *vkernel.Call, exec func(*vkernel.Call) vkernel.Result) vkernel.Result {
-	// Lock-free fast path: no registrations and no outstanding tokens
-	// means there is no routing decision and no revocation to check —
-	// every call goes to the CP monitor (the pure-GHUMVEE mode).
+	// Pure-GHUMVEE gate: no registrations means there is no routing
+	// decision and no revocation to check — every call goes to the CP
+	// monitor.
 	if b.nRegs.Load() == 0 && c.Num != vkernel.SysIPMonRegister {
 		b.fastRouted.Add(1)
 		t.Clock.Advance(model.CostBrokerRoute)
 		return b.monitor.MonitorCall(t, c, exec)
 	}
 
-	b.mu.Lock()
-	b.stats.Intercepted++
+	b.at.intercepted.Add(1)
 
 	// An outstanding token whose follow-up call does not originate from
-	// inside IP-MON is revoked (§3.1).
-	if _, ok := b.tokens[t]; ok && !t.InIPMon() {
-		delete(b.tokens, t)
-		b.stats.TokensRevoked++
-		b.stats.TokenViolations++
+	// inside IP-MON is revoked (§3.1). The slot is this thread's own —
+	// no other goroutine touches it.
+	if _, live := t.TokenSlot(); live && !t.InIPMon() {
+		t.SetTokenSlot(0, false)
+		b.at.tokensRevoked.Add(1)
+		b.at.tokenViolations.Add(1)
 	}
 
 	if c.Num == vkernel.SysIPMonRegister {
+		b.mu.Lock()
 		reg := b.pendingReg[t.Proc]
 		delete(b.pendingReg, t.Proc)
 		approver := b.approver
@@ -206,23 +255,26 @@ func (b *Broker) Intercept(t *vkernel.Thread, c *vkernel.Call, exec func(*vkerne
 		return b.handleRegistration(t, c, reg, approver, monitor, exec)
 	}
 
-	reg := b.regs[t.Proc]
+	reg := b.regFor(t.Proc)
 	if reg != nil && reg.Mask.Has(c.Num) {
-		// Step 2: forward to IP-MON with a fresh one-time token.
+		// Step 2: forward to IP-MON with a fresh one-time token held in
+		// the thread's kernel slot.
 		token := b.kernel.Rand()
-		b.tokens[t] = token
-		b.stats.RoutedIPMon++
-		b.stats.TokensMinted++
-		entry := reg.Entry
-		rbBase := reg.RBBase
-		b.mu.Unlock()
+		t.SetTokenSlot(token, true)
+		b.at.routedIPMon.Add(1)
+		b.at.tokensMinted.Add(1)
 		t.Clock.Advance(model.CostBrokerRoute)
-		return entry(&Context{Broker: b, Thread: t, Call: c, Token: token, RBBase: rbBase, exec: exec})
+		return reg.Entry(&Context{Broker: b, Thread: t, Call: c, Token: token, RBBase: reg.RBBase, exec: exec})
 	}
 
-	// Step 2': ptrace path to GHUMVEE.
-	b.stats.RoutedMonitor++
-	b.mu.Unlock()
+	// Step 2': ptrace path to GHUMVEE. The registration barrier runs
+	// first so a master running ahead publishes its staged RB entries
+	// before the rendezvous; the slaves reach the same rendezvous only
+	// after consuming exactly those entries, in stream order.
+	b.at.routedMonitor.Add(1)
+	if reg != nil && reg.Barrier != nil {
+		reg.Barrier(t)
+	}
 	t.Clock.Advance(model.CostBrokerRoute)
 	return b.monitor.MonitorCall(t, c, exec)
 }
@@ -254,11 +306,8 @@ func (b *Broker) handleRegistration(t *vkernel.Thread, c *vkernel.Call, reg *Reg
 		return vkernel.Result{Errno: vkernel.EFAULT}
 	}
 	b.mu.Lock()
-	if b.regs[t.Proc] == nil {
-		b.nRegs.Add(1)
-	}
-	b.regs[t.Proc] = reg
-	b.stats.Registrations++
+	b.publishReg(t.Proc, reg)
+	b.at.registrations.Add(1)
 	b.mu.Unlock()
 	return vkernel.Result{}
 }
@@ -280,7 +329,6 @@ func (ctx *Context) CompleteWithToken(token uint64, c *vkernel.Call) vkernel.Res
 	t := ctx.Thread
 	t.Clock.Advance(model.CostTokenCheck)
 
-	b.mu.Lock()
 	// Three independent bounds: the process's registered set (what this
 	// IP-MON asked for), the kernel's own Table 1 fast-path set
 	// (policy.Grantable) — so even a registration that somehow smuggled a
@@ -289,25 +337,27 @@ func (ctx *Context) CompleteWithToken(token uint64, c *vkernel.Call) vkernel.Res
 	// install-history ratchet), which keeps e.g. socket I/O denied on a
 	// replica set that has only ever been configured at BASE.
 	granted := false
-	if reg := b.regs[t.Proc]; reg != nil && c != nil {
+	if reg := b.regFor(t.Proc); reg != nil && c != nil {
 		granted = reg.Mask.Has(c.Num) && policy.Grantable(c.Num) &&
 			(reg.Grantable == nil || reg.Grantable(c.Num))
 	}
 	if !granted {
-		b.stats.GrantDenied++
+		b.at.grantDenied.Add(1)
 	}
-	valid := !ctx.used && b.tokens[t] == token && token == ctx.Token && t.InIPMon() && granted
-	delete(b.tokens, t)
+	slotToken, slotLive := t.TokenSlot()
+	valid := !ctx.used && slotLive && slotToken == token && token == ctx.Token && t.InIPMon() && granted
+	t.SetTokenSlot(0, false)
 	if !valid {
-		b.stats.TokenViolations++
-		b.stats.TokensRevoked++
-		b.stats.RoutedMonitor++
+		b.at.tokenViolations.Add(1)
+		b.at.tokensRevoked.Add(1)
+		b.at.routedMonitor.Add(1)
 		ctx.used = true
-		b.mu.Unlock()
+		if reg := b.regFor(t.Proc); reg != nil && reg.Barrier != nil {
+			reg.Barrier(t)
+		}
 		return b.monitor.MonitorCall(t, ctx.Call, ctx.exec)
 	}
 	ctx.used = true
-	b.mu.Unlock()
 	return ctx.exec(c)
 }
 
@@ -316,24 +366,24 @@ func (ctx *Context) CompleteWithToken(token uint64, c *vkernel.Call) vkernel.Res
 // RB instead of entering the kernel (§3.3, "the slave replicas to abort
 // the original call").
 func (ctx *Context) AbortCall() {
-	b := ctx.Broker
-	b.mu.Lock()
-	delete(b.tokens, ctx.Thread)
+	ctx.Thread.SetTokenSlot(0, false)
 	ctx.used = true
-	b.mu.Unlock()
 }
 
 // ForwardToMonitor destroys the token and restarts the original call as a
 // monitored call (step 4': MAYBE_CHECKED said "monitor me", the RB was
-// full, or the signals-pending flag is up).
+// full, or the signals-pending flag is up). The registration barrier
+// runs before the lockstep rendezvous so any staged group-commit
+// entries are published first.
 func (ctx *Context) ForwardToMonitor() vkernel.Result {
 	b := ctx.Broker
 	t := ctx.Thread
-	b.mu.Lock()
-	delete(b.tokens, t)
-	b.stats.TokensRevoked++
-	b.stats.RoutedMonitor++
+	t.SetTokenSlot(0, false)
+	b.at.tokensRevoked.Add(1)
+	b.at.routedMonitor.Add(1)
 	ctx.used = true
-	b.mu.Unlock()
+	if reg := b.regFor(t.Proc); reg != nil && reg.Barrier != nil {
+		reg.Barrier(t)
+	}
 	return b.monitor.MonitorCall(t, ctx.Call, ctx.exec)
 }

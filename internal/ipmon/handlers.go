@@ -371,9 +371,9 @@ func genericRegMask(d *sysdesc.Desc) uint8 {
 }
 
 // buildHandlers constructs the fast-path handler table from the policy's
-// unmonitored set.
-func buildHandlers(pol *policy.Spatial) map[int]*Handler {
-	handlers := map[int]*Handler{}
+// unmonitored set, as a dense array indexed by syscall number.
+func buildHandlers(pol *policy.Spatial) [vkernel.MaxSyscall]*Handler {
+	var handlers [vkernel.MaxSyscall]*Handler
 	mask := pol.UnmonitoredSet()
 	for _, d := range sysdesc.All() {
 		if !(&mask).Has(d.Nr) {

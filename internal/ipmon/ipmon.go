@@ -10,6 +10,7 @@ import (
 	"remon/internal/model"
 	"remon/internal/policy"
 	"remon/internal/rb"
+	"remon/internal/sysdesc"
 	"remon/internal/vkernel"
 )
 
@@ -100,11 +101,19 @@ type IPMon struct {
 	// the futex condvar, false = always spin.
 	BlockingOverride *bool
 
-	// handlers is immutable after construction: lock-free lookup.
-	handlers map[int]*Handler
+	// handlers is immutable after construction: a dense bounds-checked
+	// array (the per-call map hash was measurable on the fast path).
+	handlers [vkernel.MaxSyscall]*Handler
+
+	// states holds the per-logical-thread monitor state, one slot per RB
+	// partition, published with an atomic pointer per slot: the per-call
+	// lookup is one array index + one atomic load (the seed's mutex+map
+	// pair was a global lock acquisition on every fast-path call). Slot
+	// creation takes ip.mu (see state) so it serialises with MigrateRB's
+	// rebase sweep; exactly one replica thread owns an ltid afterwards.
+	states []atomic.Pointer[ltState]
 
 	mu             sync.Mutex
-	states         map[int]*ltState
 	lastDivergence string
 	stats          counters
 }
@@ -142,7 +151,7 @@ func New(cfg Config) *IPMon {
 		Temporal:         cfg.Temporal,
 		LtidOf:           cfg.LtidOf,
 		BlockingOverride: cfg.BlockingOverride,
-		states:           map[int]*ltState{},
+		states:           make([]atomic.Pointer[ltState], cfg.Buf.Partitions()),
 	}
 	// Handlers are built for the full fast path; routing (the IK-B mask)
 	// and MAYBE_CHECKED decide what actually runs unmonitored.
@@ -169,7 +178,13 @@ func (ip *IPMon) Stats() Stats {
 
 // SupportedCalls reports how many syscalls have fast-path handlers.
 func (ip *IPMon) SupportedCalls() int {
-	return len(ip.handlers)
+	n := 0
+	for _, h := range ip.handlers {
+		if h != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // UnmonitoredMask is the registration mask for IK-B (§3.5). The mask must
@@ -193,7 +208,11 @@ func (ip *IPMon) MigrateRB(base mem.Addr) {
 	ip.mu.Lock()
 	defer ip.mu.Unlock()
 	ip.RBBase = base
-	for _, st := range ip.states {
+	for i := range ip.states {
+		st := ip.states[i].Load()
+		if st == nil {
+			continue
+		}
 		if st.w != nil {
 			st.w.Rebase(base)
 		}
@@ -208,25 +227,32 @@ func (ip *IPMon) bumpTemporal() {
 }
 
 // state returns the per-ltid monitor state, creating cursors on first
-// use. The map lookup is the only locked operation on the fast path.
+// use. The lookup is one array index plus one atomic load — the fast
+// path holds no lock at all. First use takes ip.mu (double-checked), so
+// cursor creation cannot race MigrateRB's rebase sweep: a freshly
+// created cursor always carries the current RBBase.
 //
 // New streams pin the engine's *initial* snapshot, not the current one:
 // replicas create a given ltid's state at different host times, and only
 // version 1 is guaranteed to be what every replica saw at that stream
 // position. The pin catches up through the stream's own RB entries.
 func (ip *IPMon) state(ltid int) *ltState {
-	ip.mu.Lock()
-	defer ip.mu.Unlock()
-	st, ok := ip.states[ltid]
-	if !ok {
+	slot := &ip.states[ltid%len(ip.states)]
+	if st := slot.Load(); st != nil {
+		return st
+	}
+	ip.mu.Lock() // serialise creation with MigrateRB's rebase sweep
+	st := slot.Load()
+	if st == nil {
 		st = &ltState{snap: ip.Engine.Initial(), gp: ip.Engine.GroupPinFor(ltid)}
 		if ip.Replica == 0 {
 			st.w = ip.Buf.NewWriter(ltid%ip.Buf.Partitions(), ip.RBBase)
 		} else {
 			st.r = ip.Buf.NewReader(ltid%ip.Buf.Partitions(), ip.Replica, ip.RBBase)
 		}
-		ip.states[ltid] = st
+		slot.Store(st)
 	}
+	ip.mu.Unlock()
 	return st
 }
 
@@ -240,7 +266,10 @@ func (ip *IPMon) Entry(ctx *ikb.Context) vkernel.Result {
 	defer t.SetInIPMon(false)
 
 	ip.stats.dispatched.Add(1)
-	h := ip.handlers[c.Num]
+	var h *Handler
+	if uint(c.Num) < uint(len(ip.handlers)) {
+		h = ip.handlers[c.Num]
+	}
 
 	if h == nil {
 		// Registered mask and handler table disagree — be conservative.
@@ -342,6 +371,16 @@ func (ip *IPMon) masterPath(ctx *ikb.Context, h *Handler, st *ltState) vkernel.R
 	if blocking {
 		flags |= rb.FlagBlocking
 	}
+	// Master-ahead pipeline (DESIGN.md §9): a checked, policy-batchable,
+	// non-blocking call is completed without waiting for slave
+	// consumption — its entry is staged and published by the next group
+	// commit. Sensitive calls (blocking, descriptor-lifecycle, special
+	// handling) keep immediate publication so slaves overlap with the
+	// master's execution, and they flush the staged run first (inside
+	// Reserve) to preserve publication order.
+	if !blocking && st.w.Pipelined() && batchableFast(h.Desc, c.Num) {
+		flags |= rb.FlagBatched
+	}
 
 	// Policy pin advance (engine hot reload): re-pin the stream to the
 	// engine's current snapshot and stamp its version into the entry so
@@ -432,6 +471,42 @@ func (ip *IPMon) slavePath(ctx *ikb.Context, h *Handler, st *ltState) vkernel.Re
 	ev.Consume()
 	ip.stats.unmonitored.Add(1)
 	return r
+}
+
+// batchableFast reports whether a fast-path call's publication may be
+// deferred to a group commit. It reuses the epoch-batching class
+// (policy.Batchable: the read-only BASE + NONSOCKET_RO sets) plus the
+// same descriptor-level guards GHUMVEE's epoch engine applies: no
+// special handling, no descriptor lifecycle effects. Deferral never
+// weakens detection — the master executes before any slave check in
+// both modes — it only bounds how late the slave's comparison can run.
+func batchableFast(d *sysdesc.Desc, nr int) bool {
+	return d != nil && d.Special == sysdesc.SpecNone &&
+		!d.FDCreating && !d.FDClosing &&
+		policy.Batchable(nr)
+}
+
+// FlushThread publishes any staged group-commit entries of t's logical
+// stream — the hard-barrier hook. IK-B invokes it on every route to the
+// CP monitor (rendezvous, signals-pending restarts, RB overflow
+// forwards) and the orchestrator invokes it at thread exit, so a slave
+// can always consume its stream up to any point where the replica set
+// synchronises. No-op on slave replicas, on non-pipelined buffers and
+// on streams with nothing staged.
+func (ip *IPMon) FlushThread(t *vkernel.Thread) {
+	if ip.Replica != 0 || !ip.Buf.Pipelined() {
+		return
+	}
+	ltid := 0
+	if ip.LtidOf != nil {
+		ltid = ip.LtidOf(t)
+	}
+	if ltid >= ip.Buf.Partitions() {
+		return
+	}
+	if st := ip.states[ltid].Load(); st != nil && st.w != nil {
+		st.w.Flush(t)
+	}
 }
 
 func (ip *IPMon) divergenceCrash(t *vkernel.Thread, reason string) {

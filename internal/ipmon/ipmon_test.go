@@ -255,11 +255,12 @@ func TestBlockingPrediction(t *testing.T) {
 
 func TestHandlerTableCoverage(t *testing.T) {
 	handlers := buildHandlers(policy.NewSpatial(policy.SocketRWLevel))
-	// The paper's fast path covers 67 calls; ours must be comparable.
-	if len(handlers) < 50 {
-		t.Fatalf("only %d fast-path handlers", len(handlers))
-	}
+	count := 0
 	for nr, h := range handlers {
+		if h == nil {
+			continue
+		}
+		count++
 		if h.Desc == nil {
 			t.Errorf("%s: handler without descriptor", vkernel.SyscallName(nr))
 		}
@@ -267,9 +268,13 @@ func TestHandlerTableCoverage(t *testing.T) {
 			t.Errorf("%s: incomplete handler", vkernel.SyscallName(nr))
 		}
 	}
+	// The paper's fast path covers 67 calls; ours must be comparable.
+	if count < 50 {
+		t.Fatalf("only %d fast-path handlers", count)
+	}
 	// Sensitive calls must have no handler.
 	for _, nr := range []int{vkernel.SysOpen, vkernel.SysMmap, vkernel.SysClone, vkernel.SysKill} {
-		if _, ok := handlers[nr]; ok {
+		if handlers[nr] != nil {
 			t.Errorf("%s has a fast-path handler — it must always be monitored", vkernel.SyscallName(nr))
 		}
 	}

@@ -46,12 +46,13 @@ type traceResult struct {
 	perReplica [2][]int64
 }
 
-// runTrace interprets script under one (level, epoch) configuration.
-func runTrace(script []byte, level policy.Level, epoch int) (*traceResult, error) {
+// runTrace interprets script under one (level, epoch, maxLag)
+// configuration.
+func runTrace(script []byte, level policy.Level, epoch, maxLag int) (*traceResult, error) {
 	res := &traceResult{}
 	rep, err := core.RunProgram(core.Config{
 		Mode: core.ModeReMon, Replicas: 2, Policy: level,
-		EpochSize: epoch,
+		EpochSize: epoch, MaxLag: maxLag,
 		// Generous watchdog: healthy and tampered traces both terminate
 		// through comparisons, never the watchdog — it exists only to
 		// bound a genuinely wedged run, and a tight value flakes under
@@ -152,22 +153,34 @@ func divergePoint(script []byte) int {
 }
 
 // checkEquivalence runs script under every level × epoch configuration
-// and asserts the invariant against the BASE/immediate reference.
+// (plus, for the boundary levels, the master-ahead MaxLag {0, 8, 64}
+// sweep — PR 5's pipeline axis) and asserts the invariant against the
+// BASE/immediate/lockstep reference.
 func checkEquivalence(t *testing.T, script []byte) {
 	t.Helper()
 	type cfg struct {
-		level policy.Level
-		epoch int
+		level  policy.Level
+		epoch  int
+		maxLag int
 	}
 	var cfgs []cfg
 	for _, lv := range policy.Levels()[1:] {
 		for _, ep := range []int{1, 16} {
-			cfgs = append(cfgs, cfg{lv, ep})
+			cfgs = append(cfgs, cfg{lv, ep, 0})
+		}
+	}
+	// Pipeline grid: the lowest and highest relaxation levels sweep the
+	// lag window across both epoch settings.
+	for _, lv := range []policy.Level{policy.BaseLevel, policy.SocketRWLevel} {
+		for _, ep := range []int{1, 16} {
+			for _, lag := range []int{8, 64} {
+				cfgs = append(cfgs, cfg{lv, ep, lag})
+			}
 		}
 	}
 	tampered := divergePoint(script) >= 0
 
-	ref, err := runTrace(script, cfgs[0].level, cfgs[0].epoch)
+	ref, err := runTrace(script, cfgs[0].level, cfgs[0].epoch, cfgs[0].maxLag)
 	if err != nil {
 		t.Fatalf("reference run: %v", err)
 	}
@@ -175,13 +188,13 @@ func checkEquivalence(t *testing.T, script []byte) {
 		t.Fatalf("reference diverged=%v, tampered=%v", ref.diverged, tampered)
 	}
 	for _, c := range cfgs[1:] {
-		got, err := runTrace(script, c.level, c.epoch)
+		got, err := runTrace(script, c.level, c.epoch, c.maxLag)
 		if err != nil {
-			t.Fatalf("%v/epoch=%d: %v", c.level, c.epoch, err)
+			t.Fatalf("%v/epoch=%d/lag=%d: %v", c.level, c.epoch, c.maxLag, err)
 		}
 		if got.diverged != ref.diverged {
-			t.Fatalf("%v/epoch=%d: diverged=%v, reference=%v — verdict must not depend on the relaxation level",
-				c.level, c.epoch, got.diverged, ref.diverged)
+			t.Fatalf("%v/epoch=%d/lag=%d: diverged=%v, reference=%v — verdict must not depend on the relaxation level or the lag window",
+				c.level, c.epoch, c.maxLag, got.diverged, ref.diverged)
 		}
 		for r := 0; r < 2; r++ {
 			refT, gotT := ref.perReplica[r], got.perReplica[r]
@@ -193,19 +206,19 @@ func checkEquivalence(t *testing.T, script []byte) {
 				// least 2 values — compare the guaranteed-complete prefix.
 				n := 4 + 2*divergePoint(script)
 				if len(refT) < n || len(gotT) < n {
-					t.Fatalf("%v/epoch=%d replica %d: trace truncated before the tamper point (%d/%d < %d)",
-						c.level, c.epoch, r, len(refT), len(gotT), n)
+					t.Fatalf("%v/epoch=%d/lag=%d replica %d: trace truncated before the tamper point (%d/%d < %d)",
+						c.level, c.epoch, c.maxLag, r, len(refT), len(gotT), n)
 				}
 				refT, gotT = refT[:n], gotT[:n]
 			}
 			if len(refT) != len(gotT) {
-				t.Fatalf("%v/epoch=%d replica %d: trace length %d, reference %d",
-					c.level, c.epoch, r, len(gotT), len(refT))
+				t.Fatalf("%v/epoch=%d/lag=%d replica %d: trace length %d, reference %d",
+					c.level, c.epoch, c.maxLag, r, len(gotT), len(refT))
 			}
 			for i := range refT {
 				if refT[i] != gotT[i] {
-					t.Fatalf("%v/epoch=%d replica %d: result %d = %d, reference %d — results must be bit-identical across levels",
-						c.level, c.epoch, r, i, gotT[i], refT[i])
+					t.Fatalf("%v/epoch=%d/lag=%d replica %d: result %d = %d, reference %d — results must be bit-identical across levels",
+						c.level, c.epoch, c.maxLag, r, i, gotT[i], refT[i])
 				}
 			}
 		}

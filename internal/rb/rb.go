@@ -37,6 +37,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"remon/internal/mem"
@@ -54,6 +55,13 @@ const (
 	// FlagForwarded marks a call the master ended up forwarding to
 	// GHUMVEE (§3.3 metadata).
 	FlagForwarded = 1 << 2
+	// FlagBatched marks an entry published by a writer-side group commit
+	// (DESIGN.md §9): its results are normally already complete when the
+	// entry becomes visible, so slaves never spin or park on its status
+	// word — except for the one entry a hard barrier may publish while
+	// still in flight, whose Complete wakes the status futex like an
+	// immediate entry's.
+	FlagBatched = 1 << 3
 )
 
 // Layout constants.
@@ -87,6 +95,19 @@ const (
 	// statusSpinLimit bounds the spin-read loop before falling back to the
 	// futex (§3.7's two waiting strategies).
 	statusSpinLimit = 200
+
+	// DefaultGroupCommit is the pipelined writer's group-commit size: up
+	// to this many completed entries are staged before one writtenSeq
+	// release-store publishes the whole run (clamped to MaxLag).
+	DefaultGroupCommit = 8
+	// maxDrainRun bounds how many entries a pipelined reader claims per
+	// acquire-load (and therefore how long its consumed-counter store can
+	// be deferred).
+	maxDrainRun = 64
+	// lagRecheck bounds how stale a pipelined writer's abort/progress
+	// check can get while it waits for slave consumption; the drain
+	// notification channel provides the prompt wake.
+	lagRecheck = 100 * time.Microsecond
 )
 
 var le = binary.LittleEndian
@@ -109,6 +130,43 @@ type Arbiter interface {
 	ResetPartition(b *Buffer, part int)
 }
 
+// Stats counts replication-buffer activity (pipelined mode; the legacy
+// per-call mode only feeds the wake counters). All counters are
+// host-side figures — they never touch virtual time.
+type Stats struct {
+	// Wakes is the number of FUTEX_WAKE syscalls actually issued by
+	// writers; WakeChecks counts wake-suppression probes (§3.7).
+	Wakes      uint64
+	WakeChecks uint64
+	// Flushes counts group-commit publications (one writtenSeq
+	// release-store each); Batched counts entries staged through them.
+	Flushes uint64
+	Batched uint64
+	// Flips counts double-buffered partition resets (the master switching
+	// to the spare half instead of blocking in WaitDrained).
+	Flips uint64
+	// LagWaits counts the times a writer hit the MaxLag budget (or a
+	// not-yet-drained spare half) and had to wait for slave consumption.
+	LagWaits uint64
+}
+
+// pipeState is the buffer-wide master-ahead pipeline configuration and
+// accounting (nil on legacy, publish-per-call buffers). The lag window
+// and the counters are monitor-side Go state — nothing here extends the
+// shared segment's attack surface.
+type pipeState struct {
+	maxLag atomic.Int32
+	// lagArmed[p] is raised while partition p's writer waits for slave
+	// consumption; consumers then ping the drain channel after their
+	// consumed-counter store.
+	lagArmed []atomic.Uint32
+
+	flushes  atomic.Uint64
+	batched  atomic.Uint64
+	flips    atomic.Uint64
+	lagWaits atomic.Uint64
+}
+
 // Buffer is the shared replication buffer.
 type Buffer struct {
 	seg       *mem.SharedSegment
@@ -122,12 +180,104 @@ type Buffer struct {
 	// drained carries one-shot per-partition notifications from slaves to
 	// the arbiter: during a reset window (ResetRequested set) the slave
 	// that consumes the last outstanding entry pings the channel, so the
-	// arbiter wakes immediately instead of sleep-polling.
+	// arbiter wakes immediately instead of sleep-polling. Pipelined
+	// writers reuse the same channel for their lag-window waits.
 	drained []chan struct{}
+	// pl is the master-ahead pipeline state; nil selects the legacy
+	// publish-per-call protocol (byte-identical to the pre-pipeline
+	// engine).
+	pl *pipeState
+	// wakeCtrs feed Stats in both modes (host-side only): one padded
+	// slot per partition, so each single-owner writer bumps its own
+	// cache line instead of all writers contending on one buffer-global
+	// RMW per call.
+	wakeCtrs []wakeCtr
+}
+
+// wakeCtr is one partition writer's wake accounting, padded to a cache
+// line.
+type wakeCtr struct {
+	checks atomic.Uint64
+	wakes  atomic.Uint64
+	_      [48]byte
 }
 
 // SetAlwaysWake toggles the wake-suppression ablation.
 func (b *Buffer) SetAlwaysWake(v bool) { b.alwaysWake = v }
+
+// SetPipeline enables the bounded master-ahead pipeline (DESIGN.md §9)
+// with the given lag window: writers group-commit completed entries and
+// run at most maxLag entries ahead of the slowest slave's consumed
+// counter, and partition resets become double-buffered. maxLag <= 0
+// keeps the legacy publish-per-call protocol. Call before any Writer or
+// Reader is created; the protocol choice is per buffer and cannot flip
+// while cursors exist (the two modes stamp sequence numbers
+// differently).
+func (b *Buffer) SetPipeline(maxLag int) {
+	if maxLag <= 0 {
+		b.pl = nil
+		return
+	}
+	pl := &pipeState{lagArmed: make([]atomic.Uint32, b.nParts)}
+	pl.maxLag.Store(int32(maxLag))
+	b.pl = pl
+}
+
+// Pipelined reports whether the master-ahead pipeline is active.
+func (b *Buffer) Pipelined() bool { return b.pl != nil }
+
+// MaxLag reports the live lag window (0 = legacy lockstep publication).
+func (b *Buffer) MaxLag() int {
+	if b.pl == nil {
+		return 0
+	}
+	return int(b.pl.maxLag.Load())
+}
+
+// SetMaxLag adjusts the lag window while traffic is live. The pipeline
+// protocol itself cannot be enabled or disabled after construction —
+// n is clamped to at least 1 and an error is returned on a legacy
+// buffer (the caller keeps the value for its next respawn instead).
+func (b *Buffer) SetMaxLag(n int) error {
+	if b.pl == nil {
+		return errors.New("rb: pipeline disabled at construction; the new lag window applies at the next respawn")
+	}
+	if n < 1 {
+		n = 1
+	}
+	b.pl.maxLag.Store(int32(n))
+	return nil
+}
+
+// groupCommit is the live group-commit size K: flush as soon as this
+// many completed entries are staged. Clamped so staging alone can never
+// exhaust the lag budget.
+func (b *Buffer) groupCommit() uint32 {
+	k := int32(DefaultGroupCommit)
+	if ml := b.pl.maxLag.Load(); ml < k {
+		k = ml
+	}
+	if k < 1 {
+		k = 1
+	}
+	return uint32(k)
+}
+
+// Stats snapshots the buffer counters.
+func (b *Buffer) Stats() Stats {
+	st := Stats{}
+	for i := range b.wakeCtrs {
+		st.Wakes += b.wakeCtrs[i].wakes.Load()
+		st.WakeChecks += b.wakeCtrs[i].checks.Load()
+	}
+	if b.pl != nil {
+		st.Flushes = b.pl.flushes.Load()
+		st.Batched = b.pl.batched.Load()
+		st.Flips = b.pl.flips.Load()
+		st.LagWaits = b.pl.lagWaits.Load()
+	}
+	return st
+}
 
 // New creates a buffer over seg for nReplicas replicas and nParts logical
 // threads. The arbiter handles overflow resets. Partition size is rounded
@@ -149,7 +299,8 @@ func New(seg *mem.SharedSegment, nReplicas, nParts int, arbiter Arbiter) (*Buffe
 	for i := range drained {
 		drained[i] = make(chan struct{}, 1)
 	}
-	return &Buffer{seg: seg, nReplicas: nReplicas, nParts: nParts, partSize: partSize, arbiter: arbiter, drained: drained}, nil
+	return &Buffer{seg: seg, nReplicas: nReplicas, nParts: nParts, partSize: partSize,
+		arbiter: arbiter, drained: drained, wakeCtrs: make([]wakeCtr, nParts)}, nil
 }
 
 // Segment exposes the backing shared segment (the monitors map it).
@@ -165,6 +316,12 @@ func (b *Buffer) partBase(p int) uint64 {
 
 // dataCap is the payload capacity of one partition.
 func (b *Buffer) dataCap() uint64 { return b.partSize - partHeaderSize }
+
+// halfCap is the per-generation payload capacity in pipelined mode: the
+// partition's data area split into two 16-byte-aligned halves so two
+// generations can be in flight. Writers and readers must agree on this
+// value — it defines every pipelined entry offset.
+func (b *Buffer) halfCap() uint64 { return (b.dataCap() / 2) &^ 15 }
 
 // slice returns an aliased view of [off, off+n); offsets are internal, so
 // a violation is a bug, not an input error.
@@ -189,14 +346,28 @@ func (b *Buffer) SetSignalsPending(v bool) {
 // SignalsPending reads the flag.
 func (b *Buffer) SignalsPending() bool { return b.seg.LoadU32(0) != 0 }
 
-// partition header field offsets.
+// partition header field offsets. The pipelined protocol reuses the two
+// words the legacy protocol leaves idle on its read side — phWriteOff
+// (only ever stored by DoReset, never loaded) and phResetReq (the
+// arbiter handshake, which double-buffered resets replace) — as the
+// per-half generation-start sequence numbers, so the 64-byte header
+// layout and every entry offset stay identical across modes.
 const (
-	phWriteOff   = 0
+	phWriteOff   = 0 // pipelined: halfStart[0]
 	phWrittenSeq = 4
 	phGeneration = 8
-	phResetReq   = 12
+	phResetReq   = 12 // pipelined: halfStart[1]
 	phConsumed   = 16 // nReplicas x u32
 )
+
+// halfStartOff is the header offset of half h's generation-start
+// sequence (pipelined mode).
+func halfStartOff(h uint32) uint64 {
+	if h == 0 {
+		return phWriteOff
+	}
+	return phResetReq
+}
 
 // ConsumedBy reports how many entries replica r has consumed in partition
 // p this generation.
@@ -256,6 +427,15 @@ type Writer struct {
 	// here and land in the segment with one copy, replacing the seed's
 	// ~15 individually locked word writes per entry.
 	hdr [entryHeaderSize]byte
+
+	// Pipelined-mode cursor state (DESIGN.md §9). seq doubles as the
+	// cumulative reservation count (u32, wrapping); completed counts
+	// entries whose results are in place, published mirrors the last
+	// writtenSeq release-store, and genStart is the cumulative sequence
+	// at which the current generation (half) began.
+	completed uint32
+	published uint32
+	genStart  uint32
 }
 
 // SetPolicyVer sets the policy version stamped into subsequent entries.
@@ -278,6 +458,9 @@ type Reservation struct {
 	inAlign  uint64 // aligned input payload length (out payload offset)
 	outCap   int
 	seq      uint32
+	// batched: publication is deferred to the next group commit
+	// (pipelined mode; the entry carries FlagBatched).
+	batched bool
 }
 
 // Reserve allocates an entry for the given call. inPayload is the deep
@@ -288,6 +471,9 @@ type Reservation struct {
 //
 // t is the master thread (for virtual-time charging and futex wakes).
 func (w *Writer) Reserve(t *vkernel.Thread, c *vkernel.Call, flags uint32, inPayload []byte, outCap int) (Reservation, error) {
+	if w.b.pl != nil {
+		return w.reservePipelined(t, c, flags, inPayload, outCap)
+	}
 	inLen := uint64(len(inPayload))
 	need := align16(entryHeaderSize + align16(inLen) + uint64(outCap))
 	if need > w.b.dataCap() {
@@ -351,13 +537,196 @@ func (w *Writer) Reserve(t *vkernel.Thread, c *vkernel.Call, flags uint32, inPay
 	return res, nil
 }
 
+// halfCap is the writer-side view of the buffer's per-generation
+// capacity.
+func (w *Writer) halfCap() uint64 { return w.b.halfCap() }
+
+// Pipelined reports whether this writer runs the master-ahead protocol.
+func (w *Writer) Pipelined() bool { return w.b.pl != nil }
+
+// reservePipelined is Reserve under the master-ahead pipeline: entries
+// carry cumulative (wrapping) sequence numbers, FlagBatched entries are
+// staged without publication until the next group commit, and a full
+// half flips to the spare one instead of invoking the arbiter. The
+// entry staging itself — header assembly, the single copy through the
+// aliased view, every virtual-time charge — is identical to the legacy
+// path.
+func (w *Writer) reservePipelined(t *vkernel.Thread, c *vkernel.Call, flags uint32, inPayload []byte, outCap int) (Reservation, error) {
+	b := w.b
+	inLen := uint64(len(inPayload))
+	need := align16(entryHeaderSize + align16(inLen) + uint64(outCap))
+	if need > w.halfCap() {
+		return Reservation{}, ErrTooBig
+	}
+	batched := flags&FlagBatched != 0
+	base := b.partBase(w.part)
+
+	// Publication order: an immediately-published entry may not overtake
+	// staged ones — writtenSeq covers a prefix.
+	if !batched {
+		w.Flush(t)
+	}
+
+	// Lag window: after this entry the master may be at most MaxLag
+	// entries ahead of the slowest slave's acknowledged consumption.
+	// High-water/low-water hysteresis: once the cap is hit, wait until
+	// half the window is free — a saturated stream then pays one wait
+	// per MaxLag/2 entries instead of one per entry, and each slave wake
+	// batch is amortised the same way.
+	maxLag := uint32(b.pl.maxLag.Load())
+	if w.lag() >= maxLag {
+		w.Flush(t)
+		low := maxLag / 2
+		if low == 0 {
+			low = 1
+		}
+		w.waitConsumed(t, w.seq+1-low)
+	}
+
+	// Overflow: flip to the spare half once every slave has left it (two
+	// generations in flight — the master blocks only when a slave is a
+	// full generation behind, never for the half it just filled).
+	if w.off+need > w.halfCap() {
+		w.Flush(t)
+		w.waitConsumed(t, w.genStart)
+		w.gen++
+		w.genStart = w.seq
+		b.seg.StoreU32(base+halfStartOff(w.gen&1), w.seq)
+		b.seg.StoreU32(base+phGeneration, w.gen)
+		w.off = 0
+		b.pl.flips.Add(1)
+	}
+
+	entryOff := base + partHeaderSize + uint64(w.gen&1)*w.halfCap() + w.off
+	hdr := &w.hdr
+	clear(hdr[:])
+	le.PutUint32(hdr[offSize:], uint32(need))
+	le.PutUint32(hdr[offNr:], uint32(c.Num))
+	le.PutUint32(hdr[offSeq:], w.seq)
+	le.PutUint32(hdr[offPolicyVer:], w.polVer)
+	le.PutUint32(hdr[offFlags:], flags)
+	le.PutUint32(hdr[offNArgs:], 6)
+	le.PutUint64(hdr[offArgsPub:], uint64(t.Clock.Now()))
+	for i := 0; i < 6; i++ {
+		le.PutUint64(hdr[offArgs+i*8:], c.Args[i])
+	}
+	le.PutUint32(hdr[offInLen:], uint32(inLen))
+	dst := b.slice(entryOff, entryHeaderSize+align16(inLen))
+	copy(dst, hdr[:])
+	if inLen > 0 {
+		copy(dst[offPayload:], inPayload)
+	}
+	t.Clock.Advance(model.RBCopyCost(entryHeaderSize + len(inPayload)))
+	t.Clock.Advance(model.Duration(w.b.nReplicas-1) * model.CostRBSharePerReplica)
+
+	res := Reservation{w: w, entryOff: entryOff, inAlign: align16(inLen), outCap: outCap, seq: w.seq, batched: batched}
+	w.off += need
+	w.seq++
+
+	if batched {
+		b.pl.batched.Add(1)
+	} else {
+		// Immediate publication (blocking / sensitive calls): argument
+		// visibility before execution, exactly like the legacy protocol,
+		// so slaves overlap their comparison with the master's call.
+		b.seg.StoreU32(base+phWrittenSeq, w.seq)
+		w.published = w.seq
+		w.wakeFutex(t, base+phWrittenSeq)
+	}
+	return res, nil
+}
+
+// lag is the distance (entries) between the master's reservations and
+// the slowest slave's acknowledged consumption, wrap-safe.
+func (w *Writer) lag() uint32 {
+	var worst uint32
+	base := w.b.partBase(w.part)
+	for r := 1; r < w.b.nReplicas; r++ {
+		if d := w.seq - w.b.seg.LoadU32(base+phConsumed+uint64(r)*4); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Flush publishes every staged entry with a single writtenSeq
+// release-store and at most one futex wake — the group commit. A no-op
+// when nothing staged is unpublished (including legacy mode, so barrier
+// call sites need not branch).
+//
+// Flush publishes up to w.seq, not w.completed: on the group-commit
+// paths the two are equal (Complete flushes after completing, Reserve
+// flushes before staging), but a hard barrier can fire with a staged,
+// not-yet-completed reservation in flight — the master is being routed
+// to the CP monitor mid-call (e.g. the invalid-token fallback) and the
+// slave must be able to read that entry's arguments to mirror the
+// stream, exactly as the legacy protocol's publish-at-Reserve allowed.
+// Such an entry is published with status 0; its Complete then wakes the
+// status futex like an immediate entry's.
+func (w *Writer) Flush(t *vkernel.Thread) {
+	if w.b.pl == nil {
+		return
+	}
+	delta := w.seq - w.published
+	if delta == 0 || delta >= 1<<31 {
+		return
+	}
+	base := w.b.partBase(w.part)
+	w.b.seg.StoreU32(base+phWrittenSeq, w.seq)
+	w.published = w.seq
+	w.b.pl.flushes.Add(1)
+	w.wakeFutex(t, base+phWrittenSeq)
+}
+
+// waitConsumed blocks until every slave's consumed counter has reached
+// target (wrap-safe), the thread is torn down, or — as a safety net —
+// the recheck timer notices a missed notification. Consumers ping the
+// partition's drain channel after their consumed-counter store while
+// lagArmed is up.
+func (w *Writer) waitConsumed(t *vkernel.Thread, target uint32) {
+	if w.consumedReached(target) {
+		return
+	}
+	pl := w.b.pl
+	pl.lagWaits.Add(1)
+	pl.lagArmed[w.part].Store(1)
+	defer pl.lagArmed[w.part].Store(0)
+	tm := time.NewTimer(lagRecheck)
+	defer tm.Stop()
+	for !w.consumedReached(target) {
+		if t.Exited() {
+			return
+		}
+		select {
+		case <-w.b.drained[w.part]:
+		case <-tm.C:
+			tm.Reset(lagRecheck)
+		}
+	}
+}
+
+// consumedReached reports whether every slave's acknowledged consumption
+// has reached target (wrap-safe: distances are always < 2^31).
+func (w *Writer) consumedReached(target uint32) bool {
+	base := w.b.partBase(w.part)
+	for r := 1; r < w.b.nReplicas; r++ {
+		if d := target - w.b.seg.LoadU32(base+phConsumed+uint64(r)*4); d != 0 && d < 1<<31 {
+			return false
+		}
+	}
+	return true
+}
+
 // wakeFutex wakes waiters on the futex word at segment offset segOff, but
 // only if someone is waiting (§3.7 wake suppression).
 func (w *Writer) wakeFutex(t *vkernel.Thread, segOff uint64) {
 	addr := w.base + mem.Addr(segOff)
+	ctr := &w.b.wakeCtrs[w.part]
+	ctr.checks.Add(1)
 	if !w.b.alwaysWake && t.Proc.Kernel.WaitingOn(t.Proc, addr) == 0 {
 		return
 	}
+	ctr.wakes.Add(1)
 	t.RawSyscall(vkernel.SysFutex, uint64(addr), vkernel.FutexWake, ^uint64(0)>>1)
 }
 
@@ -379,8 +748,27 @@ func (r *Reservation) Complete(t *vkernel.Thread, ret uint64, errno vkernel.Errn
 	b.seg.StoreU64(r.entryOff+offResPub, uint64(t.Clock.Now()))
 	t.Clock.Advance(model.RBCopyCost(len(outPayload) + 16))
 	// Release: status = 1, then wake any slave parked on this entry's
-	// condition variable.
+	// condition variable. A batched entry is not yet visible — its status
+	// rides the group commit's writtenSeq release-store, so no slave can
+	// be parked on it and the store needs no wake.
 	b.seg.StoreU32(r.entryOff+offStatus, 1)
+	if b.pl != nil {
+		r.w.completed = r.seq + 1
+		if r.batched {
+			if d := r.w.published - r.seq; d != 0 && d < 1<<31 {
+				// A hard barrier published this reservation before its
+				// results existed (Flush with an in-flight entry): a slave
+				// may be parked on the status word — wake it like an
+				// immediate entry's completion.
+				r.w.wakeFutex(t, r.entryOff+offStatus)
+				return
+			}
+			if r.w.completed-r.w.published >= b.groupCommit() {
+				r.w.Flush(t)
+			}
+			return
+		}
+	}
 	r.w.wakeFutex(t, r.entryOff+offStatus)
 }
 
@@ -393,6 +781,12 @@ type Reader struct {
 	gen     uint32
 	seq     uint32
 	off     uint64
+	// runLeft is the number of prefetched-run entries not yet consumed
+	// (pipelined mode): NextRun claims a contiguous run with one
+	// writtenSeq acquire-load, Next serves entries out of it without
+	// touching shared header words, and the consumed-counter store is
+	// issued once when the run is exhausted.
+	runLeft uint32
 	// view is the reusable entry view Next hands out (one entry is in
 	// flight per cursor at a time, so consuming a new entry may recycle
 	// the previous view).
@@ -428,6 +822,9 @@ type EntryView struct {
 //
 // The returned view is owned by the Reader and recycled on the next call.
 func (r *Reader) Next(t *vkernel.Thread) (*EntryView, error) {
+	if r.b.pl != nil {
+		return r.nextPipelined(t)
+	}
 	base := r.b.partBase(r.part)
 	for {
 		if t.Exited() {
@@ -479,6 +876,98 @@ func (r *Reader) Next(t *vkernel.Thread) (*EntryView, error) {
 	t.Clock.Advance(model.CostRBReadBase)
 	t.Clock.SyncTo(model.Duration(le.Uint64(hdr[offArgsPub:])))
 	return ev, nil
+}
+
+// nextPipelined serves the next entry out of the prefetched run,
+// claiming a new run first when the previous one is exhausted. Entry
+// parsing, virtual-time charges and the clock sync are identical to the
+// legacy path; what changes is that the shared header words (writtenSeq,
+// generation) are loaded once per run instead of once per entry.
+func (r *Reader) nextPipelined(t *vkernel.Thread) (*EntryView, error) {
+	if r.runLeft == 0 {
+		if _, err := r.NextRun(t); err != nil {
+			return nil, err
+		}
+	}
+	entryOff := r.b.partBase(r.part) + partHeaderSize + uint64(r.gen&1)*r.b.halfCap() + r.off
+	hdr := r.b.slice(entryOff, entryHeaderSize)
+	size := le.Uint32(hdr[offSize:])
+	if size < entryHeaderSize || uint64(size) > r.b.dataCap() {
+		return nil, ErrCorrupt
+	}
+	ev := &r.view
+	*ev = EntryView{
+		r:         r,
+		entryOff:  entryOff,
+		size:      size,
+		Nr:        int(le.Uint32(hdr[offNr:])),
+		Flags:     le.Uint32(hdr[offFlags:]),
+		InLen:     int(le.Uint32(hdr[offInLen:])),
+		PolicyVer: le.Uint32(hdr[offPolicyVer:]),
+	}
+	for i := 0; i < 6; i++ {
+		ev.Args[i] = le.Uint64(hdr[offArgs+i*8:])
+	}
+	if le.Uint32(hdr[offSeq:]) != r.seq {
+		return nil, ErrCorrupt
+	}
+	t.Clock.Advance(model.CostRBReadBase)
+	t.Clock.SyncTo(model.Duration(le.Uint64(hdr[offArgsPub:])))
+	return ev, nil
+}
+
+// NextRun blocks until the master publishes at least one entry this
+// reader has not consumed and claims a contiguous run of them — one
+// writtenSeq acquire-load covers the whole run, and the consumed-counter
+// store is deferred until the run is drained. The run never crosses a
+// generation (half) boundary. It returns the run length; Next serves
+// the individual views. Only meaningful in pipelined mode.
+func (r *Reader) NextRun(t *vkernel.Thread) (int, error) {
+	if r.b.pl == nil {
+		return 0, errors.New("rb: NextRun requires the pipelined protocol")
+	}
+	if r.runLeft > 0 {
+		return int(r.runLeft), nil
+	}
+	base := r.b.partBase(r.part)
+	for {
+		if t.Exited() {
+			return 0, ErrCorrupt
+		}
+		// Acquire: the writtenSeq load orders every published entry's
+		// header, payload and (for batched entries) results before the
+		// parses that follow.
+		ws := r.b.seg.LoadU32(base + phWrittenSeq)
+		gm := r.b.seg.LoadU32(base + phGeneration)
+		bound := ws
+		if gm != r.gen {
+			// The master moved on: this generation's final sequence is the
+			// start of the one occupying the other half. The word is stable
+			// — the master cannot reclaim that half again before this
+			// reader's own consumed counter passes the boundary.
+			bound = r.b.seg.LoadU32(base + halfStartOff((r.gen+1)&1))
+			if bound == r.seq {
+				// Generation fully consumed: flip to the other half.
+				r.gen++
+				r.off = 0
+				continue
+			}
+		}
+		avail := bound - r.seq
+		if pub := ws - r.seq; pub < avail {
+			avail = pub
+		}
+		if avail != 0 && avail < 1<<31 {
+			if avail > maxDrainRun {
+				avail = maxDrainRun
+			}
+			r.runLeft = avail
+			return int(avail), nil
+		}
+		// Nothing published for us yet: park on the writtenSeq futex word
+		// (through this replica's own mapping address).
+		t.RawSyscall(vkernel.SysFutex, uint64(r.base+mem.Addr(base+phWrittenSeq)), vkernel.FutexWait, uint64(ws))
+	}
 }
 
 // InPayload returns the master's deep-copied input buffers as a view
@@ -570,11 +1059,28 @@ func (ev *EntryView) WaitResults(t *vkernel.Thread) (ret uint64, errno vkernel.E
 // (its own consumed slot only — no read-write sharing). During a reset
 // window the consumer that drains the partition pings the arbiter; the
 // ResetRequested check keeps the common path notification-free.
+//
+// Pipelined mode defers the consumed-counter store to the end of the
+// prefetched run (one store per run), and pings the drain channel only
+// while the partition's writer has armed a lag wait.
 func (ev *EntryView) Consume() {
 	r := ev.r
 	r.off += uint64(ev.size)
 	r.seq++
 	b := r.b
+	if b.pl != nil {
+		r.runLeft--
+		if r.runLeft == 0 {
+			b.seg.StoreU32(b.partBase(r.part)+phConsumed+uint64(r.replica)*4, r.seq)
+			if b.pl.lagArmed[r.part].Load() != 0 {
+				select {
+				case b.drained[r.part] <- struct{}{}:
+				default:
+				}
+			}
+		}
+		return
+	}
 	b.seg.StoreU32(b.partBase(r.part)+phConsumed+uint64(r.replica)*4, r.seq)
 	if b.ResetRequested(r.part) && b.Drained(r.part) {
 		select {
@@ -585,20 +1091,32 @@ func (ev *EntryView) Consume() {
 }
 
 // WaitDrained blocks until every slave has drained partition p or abort
-// reports true. Drain notifications from consumers provide the prompt
-// wake; one pooled timer (re-armed, never reallocated) bounds how stale
-// the abort check can get. The notification is a wake-up hint, not a
-// guarantee — Drained is re-checked around every wake.
-func (b *Buffer) WaitDrained(p int, abort func() bool) {
-	if b.Drained(p) || abort() {
+// is closed. Drain notifications from consumers provide the prompt wake
+// and the abort channel makes teardown event-driven — the arbiter no
+// longer wakes every 100µs just to poll an abort predicate. One pooled
+// timer (re-armed, never reallocated) remains as the safety net for the
+// narrow race where a consumer's last store lands between the initial
+// Drained check and the reset request becoming visible to it (its ping
+// is skipped, so the notification is a hint, not a guarantee).
+//
+// Under the double-buffered pipeline the arbiter drain protocol stands
+// down entirely: writers flip to the spare half themselves and wait on
+// consumed counters directly (Writer.waitConsumed).
+func (b *Buffer) WaitDrained(p int, abort <-chan struct{}) {
+	if b.pl != nil {
 		return
 	}
-	const recheck = 100 * time.Microsecond
+	if b.Drained(p) {
+		return
+	}
+	const recheck = time.Millisecond
 	t := time.NewTimer(recheck)
 	defer t.Stop()
-	for !b.Drained(p) && !abort() {
+	for !b.Drained(p) {
 		select {
 		case <-b.drained[p]:
+		case <-abort:
+			return
 		case <-t.C:
 			t.Reset(recheck)
 		}

@@ -111,27 +111,36 @@ type Kernel struct {
 	Net *vnet.Network
 	Hub *Hub
 
-	mu        sync.Mutex
-	procs     map[int]*Process
-	nextPID   int
-	nextShm   int
-	shmSegs   map[int]*mem.SharedSegment
-	intercept Interceptor
-	exitHs    []ExitHandler
-	futex     *futexTable
-	rng       *model.RNG
+	mu      sync.Mutex
+	procs   map[int]*Process
+	nextPID int
+	nextShm int
+	shmSegs map[int]*mem.SharedSegment
+	exitHs  []ExitHandler
+	futex   *futexTable
+
+	// intercept / traceFn are read on every user syscall; they are
+	// published through atomics so the per-call fetch takes no lock.
+	intercept atomic.Pointer[Interceptor]
+	traceFn   atomic.Pointer[func(t *Thread, c *Call)]
+
+	// randState is the lock-free kernel entropy pool (token minting):
+	// an atomic splitmix64 counter, one RMW per draw instead of a
+	// kernel-mutex round trip.
+	randState atomic.Uint64
 
 	userSyscalls atomic.Uint64
-	traceFn      func(t *Thread, c *Call)
 }
 
 // SetTrace installs a callback observing every user-entry syscall (trace
 // recording for debugging and the remon CLI's -trace flag). Pass nil to
 // disable.
 func (k *Kernel) SetTrace(fn func(t *Thread, c *Call)) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.traceFn = fn
+	if fn == nil {
+		k.traceFn.Store(nil)
+		return
+	}
+	k.traceFn.Store(&fn)
 }
 
 // UserSyscalls reports the number of user-entry syscalls issued (the
@@ -149,8 +158,8 @@ func New(net *vnet.Network) *Kernel {
 		nextPID: 1000,
 		shmSegs: map[int]*mem.SharedSegment{},
 		futex:   newFutexTable(),
-		rng:     model.NewRNG(0xC0FFEE),
 	}
+	k.randState.Store(0xC0FFEE)
 	if net != nil {
 		net.SetNotifier(k.Hub)
 	}
@@ -159,9 +168,11 @@ func New(net *vnet.Network) *Kernel {
 
 // SetInterceptor installs the syscall interposition hook (IK-B).
 func (k *Kernel) SetInterceptor(i Interceptor) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.intercept = i
+	if i == nil {
+		k.intercept.Store(nil)
+		return
+	}
+	k.intercept.Store(&i)
 }
 
 // AddExitHandler registers an exit observer.
@@ -172,11 +183,13 @@ func (k *Kernel) AddExitHandler(h ExitHandler) {
 }
 
 // Rand returns a random 64-bit value from the kernel entropy pool (token
-// minting).
+// minting): splitmix64 over an atomic counter — one uncontended RMW per
+// draw, no kernel-mutex round trip on the per-call token path.
 func (k *Kernel) Rand() uint64 {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.rng.Uint64()
+	z := k.randState.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 // Process is one simulated process.
@@ -256,24 +269,61 @@ type Thread struct {
 	Clock model.Clock
 
 	mu       sync.Mutex
-	exited   bool
 	exitCode int
-	crashed  bool
+
+	// Hot flags are lock-free: every syscall reads exited and flips
+	// inIPMon twice, and the RB wait loops poll exited — taking t.mu for
+	// each was several uncontended-but-real lock pairs per fast-path
+	// call.
+	exited  atomic.Bool
+	crashed atomic.Bool
 
 	// inIPMon marks that the thread is currently executing inside the
 	// IP-MON system call entry point; IK-B's verifier consults it (calls
 	// re-entering the kernel with a token must originate from IP-MON).
-	inIPMon bool
+	inIPMon atomic.Bool
+
+	// ltid caches the thread's logical thread id (set once by the
+	// orchestrator at registration) so monitors resolve it without a
+	// shared map.
+	ltid atomic.Int32
 
 	// lastSyscall records the most recent call for tracer introspection
 	// (GHUMVEE's signal logic checks whether a replica sits in an IP-MON
 	// dispatched call, §3.8).
-	lastSyscall *Call
+	lastSyscall atomic.Pointer[Call]
+
+	// ipmonToken is IK-B's per-thread one-time-token slot (value +
+	// validity). Only the owning thread's call path touches it — mint,
+	// verification and revocation all happen on the thread's own syscall
+	// entries — so the slot needs no lock and the broker needs no shared
+	// token map.
+	ipmonToken     uint64
+	ipmonTokenLive bool
 
 	// rawExec is the cached raw-dispatch closure handed to interceptors —
 	// allocating a fresh closure per syscall costs one heap object on
 	// every monitored call.
 	rawExec func(*Call) Result
+}
+
+// SetLtid caches the thread's logical thread id.
+func (t *Thread) SetLtid(ltid int) { t.ltid.Store(int32(ltid)) }
+
+// Ltid reports the cached logical thread id (0 until registered).
+func (t *Thread) Ltid() int { return int(t.ltid.Load()) }
+
+// TokenSlot exposes the IK-B token slot. Callers must be on the owning
+// thread's call path (the slot is deliberately unsynchronised — the
+// kernel-held token never leaves the thread that minted it, §3.1).
+func (t *Thread) TokenSlot() (val uint64, live bool) {
+	return t.ipmonToken, t.ipmonTokenLive
+}
+
+// SetTokenSlot mints or revokes the thread's one-time token.
+func (t *Thread) SetTokenSlot(val uint64, live bool) {
+	t.ipmonToken = val
+	t.ipmonTokenLive = live
 }
 
 // NewThread spawns a thread whose clock starts at the parent's time.
@@ -320,39 +370,19 @@ func (p *Process) Threads() []*Thread {
 
 // SetInIPMon flags IP-MON entry-point execution (set by the IP-MON
 // dispatcher, cleared on return).
-func (t *Thread) SetInIPMon(v bool) {
-	t.mu.Lock()
-	t.inIPMon = v
-	t.mu.Unlock()
-}
+func (t *Thread) SetInIPMon(v bool) { t.inIPMon.Store(v) }
 
 // InIPMon reports whether the thread executes inside IP-MON.
-func (t *Thread) InIPMon() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.inIPMon
-}
+func (t *Thread) InIPMon() bool { return t.inIPMon.Load() }
 
 // LastSyscall reports the most recent syscall issued by the thread.
-func (t *Thread) LastSyscall() *Call {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.lastSyscall
-}
+func (t *Thread) LastSyscall() *Call { return t.lastSyscall.Load() }
 
 // Exited reports whether the thread has terminated.
-func (t *Thread) Exited() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.exited
-}
+func (t *Thread) Exited() bool { return t.exited.Load() }
 
 // Crashed reports whether the thread terminated abnormally.
-func (t *Thread) Crashed() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.crashed
-}
+func (t *Thread) Crashed() bool { return t.crashed.Load() }
 
 // Syscall is the user-space syscall instruction: it charges the trap cost,
 // runs the interposition chain, delivers pending signals at the boundary,
@@ -369,24 +399,22 @@ func (t *Thread) SyscallC(c *Call) Result {
 	if t.Exited() {
 		return Result{Errno: ESRCH}
 	}
-	t.mu.Lock()
-	t.lastSyscall = c
-	t.mu.Unlock()
+	t.lastSyscall.Store(c)
 	t.Proc.Kernel.userSyscalls.Add(1)
 	t.Clock.Advance(model.CostSyscallTrap)
 
+	// Interceptor and tracer are published through atomics: fetching
+	// them per call through the kernel mutex serialised every replica
+	// thread of every process on one lock.
 	k := t.Proc.Kernel
-	k.mu.Lock()
-	ic := k.intercept
-	trace := k.traceFn
-	k.mu.Unlock()
-	if trace != nil {
-		trace(t, c)
+	ic := k.intercept.Load()
+	if trace := k.traceFn.Load(); trace != nil {
+		(*trace)(t, c)
 	}
 
 	var r Result
 	if ic != nil {
-		r = ic.Intercept(t, c, t.rawExec)
+		r = (*ic).Intercept(t, c, t.rawExec)
 	} else {
 		r = k.rawSyscall(t, c)
 	}
@@ -570,13 +598,13 @@ func (t *Thread) Crash(reason string) {
 
 func (t *Thread) exit(code int, crashed bool) {
 	t.mu.Lock()
-	if t.exited {
+	if t.exited.Load() {
 		t.mu.Unlock()
 		return
 	}
-	t.exited = true
 	t.exitCode = code
-	t.crashed = crashed
+	t.crashed.Store(crashed)
+	t.exited.Store(true)
 	t.mu.Unlock()
 
 	p := t.Proc

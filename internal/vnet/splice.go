@@ -45,24 +45,27 @@ func NewSplice(a, b *Conn) *Splice {
 	return s
 }
 
-// pump copies src's stream into dst until EOF or reset, preserving each
-// chunk's virtual arrival time as the forwarded send time. A clean EOF
-// propagates as a one-way FIN (CloseWrite) so the reverse direction can
-// still deliver an in-flight response; a reset tears both sides down.
+// pump forwards src's stream into dst until EOF or reset, preserving
+// each segment's virtual arrival time as the forwarded send time. The
+// payload is never copied: RecvSeg transfers ownership of the received
+// segment's backing slice and SendSeg hands the same slice to the far
+// receiver (PR 1's aliased-view discipline on the network data plane),
+// so a steady-state splice allocates nothing. A clean EOF propagates as
+// a one-way FIN (CloseWrite) so the reverse direction can still deliver
+// an in-flight response; a reset tears both sides down.
 func (s *Splice) pump(src, dst *Conn, counter *atomic.Uint64) {
-	buf := make([]byte, 32<<10)
 	for {
-		n, arrive, err := src.Recv(buf, true)
+		data, arrive, err := src.RecvSeg(true)
 		if err != nil {
 			s.Abort()
 			return
 		}
-		if n == 0 {
+		if data == nil {
 			dst.CloseWrite()
 			return
 		}
-		counter.Add(uint64(n))
-		if _, err := dst.Send(buf[:n], arrive); err != nil {
+		counter.Add(uint64(len(data)))
+		if _, err := dst.SendSeg(data, arrive); err != nil {
 			s.Abort()
 			return
 		}

@@ -151,13 +151,48 @@ func (q *rxQueue) read(b []byte, block bool) (int, model.Duration, error) {
 			arrive = s.arrive
 		}
 		if c == len(s.data) {
-			q.segs = q.segs[1:]
+			q.popFront()
 		} else {
 			s.data = s.data[c:]
 			break
 		}
 	}
 	return n, arrive, nil
+}
+
+// popFront drops the queue head, rewinding to the backing array's start
+// when the queue empties so steady-state push/pop alternation reuses
+// the same storage instead of creeping toward a reallocation.
+func (q *rxQueue) popFront() {
+	q.segs[0] = segment{} // release the payload reference
+	if len(q.segs) == 1 {
+		q.segs = q.segs[:0]
+		return
+	}
+	q.segs = q.segs[1:]
+}
+
+// popSeg pops one whole queued segment without copying, transferring
+// payload ownership to the caller — the splice forwarder's zero-copy
+// receive. EOF is (nil, 0, nil).
+func (q *rxQueue) popSeg(block bool) ([]byte, model.Duration, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.segs) == 0 {
+		if q.reset {
+			return nil, 0, ErrClosed
+		}
+		if q.closed {
+			return nil, 0, nil // EOF
+		}
+		if !block {
+			return nil, 0, ErrWouldBlock
+		}
+		q.cond.Wait()
+	}
+	s := q.segs[0]
+	q.popFront()
+	return s.data, s.arrive, nil
 }
 
 // Conn is one endpoint of an established stream connection.
@@ -203,6 +238,34 @@ func (c *Conn) Send(data []byte, now model.Duration) (model.Duration, error) {
 // the data (the caller syncs its clock to it). EOF is (0, _, nil).
 func (c *Conn) Recv(b []byte, block bool) (int, model.Duration, error) {
 	return c.rx.read(b, block)
+}
+
+// RecvSeg pops one whole received segment without copying: the returned
+// slice is the transmitted payload itself and ownership transfers to
+// the caller (PR 1's aliased-view discipline applied to the network
+// data plane). EOF is (nil, 0, nil). The splice forwarder pairs it with
+// SendSeg to pump bytes with zero steady-state allocations.
+func (c *Conn) RecvSeg(block bool) ([]byte, model.Duration, error) {
+	return c.rx.popSeg(block)
+}
+
+// SendSeg transmits data at virtual time now without copying it: the
+// slice is handed to the receiver as-is, so the caller must not touch
+// it afterwards. Timing is identical to Send.
+func (c *Conn) SendSeg(data []byte, now model.Duration) (model.Duration, error) {
+	c.mu.Lock()
+	if c.closed || c.wclosed {
+		c.mu.Unlock()
+		return now, ErrClosed
+	}
+	peer := c.peer
+	c.mu.Unlock()
+	if peer == nil {
+		return now, ErrClosed
+	}
+	peer.rx.push(data, c.link.TransferTime(now, len(data)))
+	c.net.notify()
+	return now + model.Duration(len(data))*c.link.PerByte, nil
 }
 
 // ReadableNow reports whether Recv would return without blocking.
