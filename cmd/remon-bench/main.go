@@ -35,6 +35,7 @@ func main() {
 	ghumveeJSON := flag.String("ghumvee-json", "", "write GHUMVEE monitored-path perf results (ns/call, wakeups/call, epochs flushed) to this file, e.g. BENCH_ghumvee.json")
 	pipelineJSON := flag.String("pipeline-json", "", "write the master-ahead pipeline sweep (MaxLag x threads x replicas: unmonitored ns/call, futex wakes/call, group commits) to this file, e.g. BENCH_pipeline.json")
 	fleetJSON := flag.String("fleet-json", "", "write fleet serving results (shards, aggregate req/s in virtual time, p99 recovery latency) to this file, e.g. BENCH_fleet.json")
+	handoffJSON := flag.String("handoff-json", "", "write zero-loss failover results (p50/p99 handoff latency and requests lost at 1/2/4/8 shards) to this file, e.g. BENCH_handoff.json")
 	fleetRecoveries := flag.Int("fleet-recoveries", 5, "injected-divergence recovery samples for the fleet scenario")
 	flag.Parse()
 
@@ -135,7 +136,21 @@ func main() {
 			return os.WriteFile(*fleetJSON, append(payload, '\n'), 0o644)
 		})
 	}
-	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "") && *experiment == "" {
+	if *handoffJSON != "" {
+		run("Zero-loss failover (1/2/4/8 shards, kill each in turn) -> "+*handoffJSON, func() error {
+			results, err := bench.RunHandoffFailover(o, bench.DefaultHandoffShardCounts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatHandoff(results))
+			payload, err := bench.MarshalHandoff(results)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*handoffJSON, append(payload, '\n'), 0o644)
+		})
+	}
+	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "" || *handoffJSON != "") && *experiment == "" {
 		return
 	}
 

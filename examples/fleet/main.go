@@ -2,9 +2,11 @@
 // client streams behind the virtual load balancer; mid-run, one shard's
 // master replica is compromised and tampers with an unmonitored response.
 // The slave's IP-MON comparison catches the divergence, the supervisor
-// quarantines the shard, cuts its in-flight connections, recycles its
-// replica set and RB segment, and respawns it — while the other three
-// shards' streams finish untouched.
+// quarantines the shard — and, with live handoff enabled, freezes the
+// shard's in-flight connections, harvests their queued segments, and
+// replays the unacknowledged tail onto healthy successor shards, so
+// every client stream completes with zero lost requests while the
+// compromised shard's replica set is recycled and respawned.
 //
 //	go run ./examples/fleet
 package main
@@ -24,6 +26,8 @@ func main() {
 		Replicas:        2,
 		RequestSize:     64,
 		ResponseSize:    256,
+		Handoff:         true,
+		Routing:         fleet.RouteLeastLoaded,
 		LockstepTimeout: 5 * time.Second,
 	})
 	if err != nil {
@@ -31,7 +35,7 @@ func main() {
 	}
 	defer f.Close()
 
-	fmt.Println("== fleet up: 4 ReMon shards behind", f.FrontAddr(), "==")
+	fmt.Println("== fleet up: 4 ReMon shards behind", f.FrontAddr(), "(live handoff on) ==")
 
 	loadDone := make(chan []fleet.ConnOutcome, 1)
 	go func() {
@@ -68,7 +72,9 @@ func main() {
 		agg := perShard[i]
 		note := ""
 		if i == 0 {
-			note = "   <- compromised, quarantined + respawned"
+			// RouteOf reports where a stream finished: the quarantined
+			// shard's streams were handed off and completed elsewhere.
+			note = "   <- compromised; its streams handed off + finished on other shards"
 		}
 		fmt.Printf("shard %d: %4d completed, %2d errors%s\n", i, agg[0], agg[1], note)
 	}
@@ -88,7 +94,12 @@ func main() {
 	fmt.Printf("\nverdict: %q\n", st.Shards[0].LastVerdict.Reason)
 	fmt.Printf("conns routed=%d refused=%d failovers=%d recoveries=%d\n",
 		st.ConnsRouted, st.ConnsRefused, st.Failovers, st.Recoveries)
+	fmt.Printf("handoffs=%d replayed=%dB shed=%d\n",
+		st.Handoffs, st.ReplayedBytes, st.ConnsShed)
 	if lats := f.RecoveryLatencies(); len(lats) > 0 {
 		fmt.Printf("recovery latency: %v (host time)\n", lats[0].Round(10*time.Microsecond))
+	}
+	if lats := f.HandoffLatencies(); len(lats) > 0 {
+		fmt.Printf("first handoff latency: %v (host time)\n", lats[0].Round(10*time.Microsecond))
 	}
 }

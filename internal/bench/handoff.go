@@ -1,0 +1,142 @@
+// The HandoffFailover scenario: the zero-loss failover experiment behind
+// BENCH_handoff.json. For each shard count it drives open-loop load
+// through the balancer while every shard is killed in turn (injected
+// divergence -> quarantine -> live connection handoff -> respawn), then
+// reports the handoff latency distribution and the requests-lost count —
+// which the zero-loss contract requires to be exactly 0.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"remon/internal/chaos"
+	"remon/internal/fleet"
+	"remon/internal/model"
+)
+
+// HandoffRow is one shard-count measurement.
+type HandoffRow struct {
+	Shards    int `json:"shards"`
+	Conns     int `json:"conns"`
+	Requests  int `json:"requests"`
+	Responses int `json:"responses"`
+	// Lost must be 0: every accepted request gets exactly one response
+	// across every failover.
+	Lost      int `json:"requests_lost"`
+	Kills     int `json:"kills"`
+	Handoffs  int `json:"handoffs"`
+	Failovers int `json:"failovers"`
+	// Handoff latency: host time from a splice's freeze to its resumed
+	// pumping on the successor shard.
+	HandoffP50Ms float64 `json:"handoff_p50_ms"`
+	HandoffP99Ms float64 `json:"handoff_p99_ms"`
+	HandoffMaxMs float64 `json:"handoff_max_ms"`
+}
+
+// HandoffResults is the scenario's full output.
+type HandoffResults struct {
+	GeneratedBy string       `json:"generated_by"`
+	Rows        []HandoffRow `json:"rows"`
+}
+
+// DefaultHandoffShardCounts is the failover sweep.
+var DefaultHandoffShardCounts = []int{1, 2, 4, 8}
+
+// RunHandoffFailover measures the sweep. Every row kills each of its
+// shards once, 150ms apart, under windowed open-loop load sized so
+// requests stay outstanding across every kill.
+func RunHandoffFailover(o Options, shardCounts []int) (*HandoffResults, error) {
+	o = o.Defaults()
+	if len(shardCounts) == 0 {
+		shardCounts = DefaultHandoffShardCounts
+	}
+	res := &HandoffResults{GeneratedBy: "remon-bench -handoff-json"}
+	for _, n := range shardCounts {
+		row, err := runHandoffRow(o, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runHandoffRow(o Options, shards int) (HandoffRow, error) {
+	cfg := fleet.Config{
+		Shards:            shards,
+		Replicas:          2,
+		RequestSize:       64,
+		ResponseSize:      256,
+		ComputePerRequest: 20 * model.Microsecond,
+		Seed:              o.Seed,
+		Handoff:           true,
+		LockstepTimeout:   5 * time.Second,
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		return HandoffRow{}, err
+	}
+	defer f.Close()
+
+	const spacing = 150 * time.Millisecond
+	plan := chaos.KillEachShard(shards, 100*time.Millisecond, spacing)
+	// Size the drive so the send phase outlasts the last kill: the final
+	// kill lands at 100ms + (shards-1)*150ms.
+	horizon := 100*time.Millisecond + time.Duration(shards)*spacing
+	gap := 4 * time.Millisecond
+	perConn := int(horizon/gap) + 20
+	rep := chaos.Run(f, plan, chaos.Load{
+		Conns:           2 * shards,
+		RequestsPerConn: perConn,
+		Window:          4,
+		Gap:             gap,
+	})
+	if v := rep.Violations(); len(v) != 0 {
+		return HandoffRow{}, fmt.Errorf("bench: handoff %d shards: invariants violated: %s",
+			shards, strings.Join(v, "; "))
+	}
+
+	st := rep.FleetStats
+	row := HandoffRow{
+		Shards:    shards,
+		Conns:     len(rep.Conns),
+		Requests:  rep.RequestsSent(),
+		Responses: rep.ResponsesReceived(),
+		Lost:      rep.Lost(),
+		Kills:     rep.Kills,
+		Handoffs:  int(st.Handoffs),
+		Failovers: int(st.Failovers),
+	}
+	lats := f.HandoffLatencies()
+	if len(lats) > 0 {
+		sorted := append([]time.Duration(nil), lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		row.HandoffP50Ms = ms(quantile(sorted, 0.50))
+		row.HandoffP99Ms = ms(quantile(sorted, 0.99))
+		row.HandoffMaxMs = ms(sorted[len(sorted)-1])
+	}
+	return row, nil
+}
+
+// MarshalHandoff renders the results for BENCH_handoff.json.
+func MarshalHandoff(r *HandoffResults) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatHandoff renders the scenario as a human-readable table.
+func FormatHandoff(r *HandoffResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s %9s %10s %6s %6s %9s %10s %9s %9s\n",
+		"shards", "conns", "requests", "responses", "lost", "kills", "handoffs", "failovers", "p50(ms)", "p99(ms)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %6d %9d %10d %6d %6d %9d %10d %9.2f %9.2f\n",
+			row.Shards, row.Conns, row.Requests, row.Responses, row.Lost,
+			row.Kills, row.Handoffs, row.Failovers, row.HandoffP50Ms, row.HandoffP99Ms)
+	}
+	return b.String()
+}

@@ -5,6 +5,9 @@
 package fleet
 
 import (
+	"errors"
+	"time"
+
 	"remon/internal/model"
 	"remon/internal/vnet"
 )
@@ -29,9 +32,9 @@ func (f *Fleet) acceptLoop() {
 		if err != nil {
 			return // listener closed: fleet shutting down
 		}
-		tgt, ok := f.pickShard(conn.RemoteAddr())
-		if !ok {
-			f.refuse(conn)
+		tgt, err := f.pickShard(conn.RemoteAddr())
+		if err != nil {
+			f.refuse(conn, err)
 			continue
 		}
 		f.recordRoute(conn.RemoteAddr(), tgt)
@@ -53,11 +56,19 @@ func (f *Fleet) splice(conn *vnet.Conn, at model.Duration, tgt backendTarget) {
 	back, _, err := tgt.net.Connect(tgt.s.addr, at)
 	if err != nil {
 		tgt.s.pendingDone()
-		f.refuse(conn)
+		f.refuse(conn, err)
 		return
 	}
-	sp := vnet.NewSplice(conn, back)
-	if !tgt.s.track(sp, tgt.gen) {
+	var sp *vnet.Splice
+	if f.cfg.Handoff {
+		// Migration-capable forwarder: retains requests until their
+		// responses are delivered, so a shard death replays rather than
+		// drops them.
+		sp = vnet.NewHandoffSplice(conn, back, f.cfg.RequestSize, f.cfg.ResponseSize)
+	} else {
+		sp = vnet.NewSplice(conn, back)
+	}
+	if !tgt.s.track(sp, tgt.gen, f.cfg.Handoff) {
 		return // shard was quarantined (or respawned) since the pick; splice cut
 	}
 	<-sp.Done()
@@ -73,10 +84,13 @@ func (s *shard) pendingDone() {
 	s.mu.Unlock()
 }
 
-func (f *Fleet) refuse(conn *vnet.Conn) {
+func (f *Fleet) refuse(conn *vnet.Conn, err error) {
 	conn.Close()
 	f.mu.Lock()
 	f.refused++
+	if errors.Is(err, ErrOverloaded) {
+		f.shed++
+	}
 	f.mu.Unlock()
 }
 
@@ -88,34 +102,109 @@ func (f *Fleet) refuse(conn *vnet.Conn) {
 // the scan and the claim, and a pick it cannot see would be cut; a lost
 // claim retries the scan so the connection lands on another healthy
 // shard instead of being refused.
-func (f *Fleet) pickShard(clientAddr string) (backendTarget, bool) {
-	for attempt := 0; attempt < 3; attempt++ {
+//
+// Resilience: when a scan finds no admissible shard — the whole pool
+// momentarily Draining/Respawning, or every shard at its saturation
+// limit — the pick retries up to AdmitRetries times with jittered
+// exponential backoff before refusing, so a connection arriving during a
+// short respawn gap waits it out instead of failing. The terminal error
+// is typed: ErrOverloaded when saturation was the last obstacle (the
+// load-shedding signal), ErrShardNotServing otherwise.
+func (f *Fleet) pickShard(clientAddr string) (backendTarget, error) {
+	sawSaturated := false
+	for attempt := 0; ; attempt++ {
 		serving := make([]backendTarget, 0, len(f.shards))
+		saturated := 0
 		for _, s := range f.shards {
 			s.mu.Lock()
 			if s.state == Serving && s.mvee != nil {
-				serving = append(serving, backendTarget{s: s, net: s.net, gen: s.gen})
+				if f.saturatedLocked(s) {
+					saturated++
+				} else {
+					serving = append(serving, backendTarget{s: s, net: s.net, gen: s.gen})
+				}
 			}
 			s.mu.Unlock()
 		}
-		if len(serving) == 0 {
-			return backendTarget{}, false
-		}
-		var tgt backendTarget
-		if f.cfg.Routing == RouteAffinity {
-			tgt = rendezvousPickTarget(serving, clientAddr)
-		} else {
-			tgt = serving[int(f.rrNext.Add(1)-1)%len(serving)]
-		}
-		tgt.s.mu.Lock()
-		if tgt.s.state == Serving && tgt.s.gen == tgt.gen && tgt.s.mvee != nil {
-			tgt.s.pending++
+		if len(serving) > 0 {
+			var tgt backendTarget
+			switch f.cfg.Routing {
+			case RouteAffinity:
+				tgt = rendezvousPickTarget(serving, clientAddr)
+			case RouteLeastLoaded:
+				tgt = f.leastLoadedPick(serving)
+			default:
+				tgt = serving[int(f.rrNext.Add(1)-1)%len(serving)]
+			}
+			tgt.s.mu.Lock()
+			if tgt.s.state == Serving && tgt.s.gen == tgt.gen && tgt.s.mvee != nil && !f.saturatedLocked(tgt.s) {
+				tgt.s.pending++
+				tgt.s.mu.Unlock()
+				return tgt, nil
+			}
 			tgt.s.mu.Unlock()
-			return tgt, true
+		} else if saturated > 0 {
+			sawSaturated = true
 		}
-		tgt.s.mu.Unlock()
+		if attempt+1 >= f.cfg.AdmitRetries {
+			if sawSaturated {
+				return backendTarget{}, ErrOverloaded
+			}
+			return backendTarget{}, ErrShardNotServing
+		}
+		time.Sleep(f.admitBackoff(attempt))
 	}
-	return backendTarget{}, false
+}
+
+// saturatedLocked reports whether s is at its connection limit; s.mu
+// must be held. Pending picks count — they are connections in all but
+// registration.
+func (f *Fleet) saturatedLocked(s *shard) bool {
+	if f.cfg.MaxConnsPerShard <= 0 {
+		return false
+	}
+	return len(s.splices)+s.pending >= f.cfg.MaxConnsPerShard
+}
+
+// admitBackoff computes the jittered exponential admission backoff for
+// one failed attempt: base * 2^attempt, capped at 8x base, scaled by a
+// seeded ±50% jitter so concurrent retries decorrelate.
+func (f *Fleet) admitBackoff(attempt int) time.Duration {
+	d := f.cfg.AdmitBackoff << uint(attempt)
+	if max := 8 * f.cfg.AdmitBackoff; d > max {
+		d = max
+	}
+	f.admitMu.Lock()
+	j := f.admitRNG.Float64()
+	f.admitMu.Unlock()
+	return time.Duration(float64(d) * (0.5 + j))
+}
+
+// leastLoadedPick scores each candidate under its shard lock and takes
+// the minimum. Connection count dominates; the RB LagWaits delta since
+// the previous scoring pass breaks ties toward the shard whose
+// replication pipeline is keeping up.
+func (f *Fleet) leastLoadedPick(serving []backendTarget) backendTarget {
+	best := serving[0]
+	bestScore := uint64(1<<63 - 1)
+	for _, t := range serving {
+		t.s.mu.Lock()
+		score := uint64(len(t.s.splices)+t.s.pending) * 1000
+		if t.s.mvee != nil {
+			waits := t.s.mvee.RBStats().LagWaits
+			delta := waits - t.s.lastLagWaits
+			t.s.lastLagWaits = waits
+			if delta > 999 {
+				delta = 999 // never outweigh a whole connection
+			}
+			score += delta
+		}
+		t.s.mu.Unlock()
+		if score < bestScore {
+			best, bestScore = t, score
+		}
+	}
+	return best
 }
 
 // rendezvousPickTarget applies rendezvousPick over captured targets.
@@ -173,10 +262,19 @@ func fnv1a(addr string, salt uint64) uint64 {
 // Draining shard still admits it: the pick happened while Serving, and
 // drain semantics let already-routed connections finish within the
 // grace.
-func (s *shard) track(sp *vnet.Splice, gen int) bool {
+//
+// With handoff armed, a Quarantined shard of the *same generation* also
+// admits: the supervisor is waiting for exactly this pick to resolve
+// (waitPendingDrained) before taking the splice set, so registering here
+// puts the connection on the migration manifest instead of cutting it.
+// A generation mismatch still rejects — that shard's handoff episode is
+// over and nobody would ever migrate the splice.
+func (s *shard) track(sp *vnet.Splice, gen int, handoff bool) bool {
 	s.mu.Lock()
 	s.pending-- // the pick's slot converts into (or dies with) the splice
-	if (s.state != Serving && s.state != Draining) || s.gen != gen {
+	admit := s.gen == gen &&
+		(s.state == Serving || s.state == Draining || (handoff && s.state == Quarantined))
+	if !admit {
 		s.mu.Unlock()
 		sp.Abort()
 		return false

@@ -26,6 +26,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,17 @@ import (
 	"remon/internal/policy"
 	"remon/internal/vkernel"
 	"remon/internal/vnet"
+)
+
+// Typed admission/lifecycle errors. Both are sentinels so retry layers
+// (and tests) can branch with errors.Is.
+var (
+	// ErrShardNotServing: the operation targets a shard that is not in the
+	// Serving state (already Draining, Quarantined or Respawning).
+	ErrShardNotServing = errors.New("fleet: shard not serving")
+	// ErrOverloaded: admission was shed because every Serving shard is at
+	// its MaxConnsPerShard saturation limit.
+	ErrOverloaded = errors.New("fleet: all shards saturated")
 )
 
 // State is a shard's health state.
@@ -82,6 +94,13 @@ const (
 	// reaches the same shard, and a shard's removal only moves that
 	// shard's clients.
 	RouteAffinity
+	// RouteLeastLoaded picks the shard with the lowest live load score:
+	// in-flight connections (tracked splices plus pending picks) weighted
+	// heavily, with the shard RB's LagWaits delta since the last pick as
+	// a tie-breaking backpressure signal — a shard whose master keeps
+	// hitting the replication-lag budget is struggling even if its
+	// connection count looks fine.
+	RouteLeastLoaded
 )
 
 // Config parameterises a fleet.
@@ -143,6 +162,31 @@ type Config struct {
 	// BackendConnectWait bounds the balancer's wait for a shard's accept
 	// queue (default 250ms host time) so a wedged backend fails fast.
 	BackendConnectWait time.Duration
+
+	// Handoff enables live connection migration: a quarantined or
+	// drain-expired shard's in-flight connections are frozen, their
+	// queued responses harvested, their unacknowledged requests replayed
+	// to a successor shard, and the front conns re-spliced mid-flight —
+	// instead of being cut. Default false: the PR 2 cut-splice behaviour
+	// is reproduced exactly.
+	Handoff bool
+	// HandoffDeadline bounds one shard's whole freeze+migrate episode
+	// (host time, default 2s). Splices that miss it degrade to the old
+	// cut-and-close, counted as Failovers.
+	HandoffDeadline time.Duration
+	// AdmitRetries is how many times the balancer re-attempts shard
+	// admission for one connection when no shard currently admits
+	// (Draining/Respawning gap, or a lost claim race) before refusing
+	// (default 3).
+	AdmitRetries int
+	// AdmitBackoff is the base jittered backoff between admission
+	// attempts (default 500µs host time; exponential per attempt, capped
+	// at 8x, jittered ±50%).
+	AdmitBackoff time.Duration
+	// MaxConnsPerShard saturates a shard at this many in-flight
+	// connections (tracked + pending); when every Serving shard is
+	// saturated, admission sheds with ErrOverloaded. 0 = unlimited.
+	MaxConnsPerShard int
 }
 
 func (c Config) withDefaults() Config {
@@ -193,6 +237,15 @@ func (c Config) withDefaults() Config {
 	if c.BackendConnectWait <= 0 {
 		c.BackendConnectWait = 250 * time.Millisecond
 	}
+	if c.HandoffDeadline <= 0 {
+		c.HandoffDeadline = 2 * time.Second
+	}
+	if c.AdmitRetries <= 0 {
+		c.AdmitRetries = 3
+	}
+	if c.AdmitBackoff <= 0 {
+		c.AdmitBackoff = 500 * time.Microsecond
+	}
 	return c
 }
 
@@ -234,6 +287,14 @@ type Stats struct {
 	Failovers uint64
 	// Recoveries counts completed Quarantined->Serving cycles.
 	Recoveries int
+	// Handoffs counts in-flight connections migrated live onto a
+	// successor shard (the zero-loss path); ReplayedBytes is the request
+	// bytes re-sent across those migrations.
+	Handoffs      uint64
+	ReplayedBytes uint64
+	// ConnsShed counts admissions refused with ErrOverloaded (a subset
+	// of ConnsRefused).
+	ConnsShed uint64
 }
 
 // shard is one MVEE shard and its supervisor-owned runtime state.
@@ -265,6 +326,10 @@ type shard struct {
 	pending     int
 	connsRouted uint64
 	lastVerdict ghumvee.Verdict
+	// lastLagWaits is the RB LagWaits high-water observed at the last
+	// least-loaded scoring pass; the delta since is the shard's live
+	// replication-backpressure signal.
+	lastLagWaits uint64
 
 	// inject arms the next-request divergence (the compromised-master
 	// simulation); consumed by the shard server program's replica 0.
@@ -293,13 +358,24 @@ type Fleet struct {
 	stopping atomic.Bool
 	wg       sync.WaitGroup
 
+	// admitMu guards admitRNG, the jitter source for admission backoff.
+	admitMu  sync.Mutex
+	admitRNG *model.RNG
+
 	mu           sync.Mutex
 	transitions  []Transition
 	routes       map[string]routeEntry
 	refused      uint64
+	shed         uint64
 	failovers    uint64
+	handoffs     uint64
+	replayed     uint64
+	handoffLats  []time.Duration
 	recoveries   int
 	recoveryLats []time.Duration
+	// recoveryNote is closed and replaced each time a divergence recovery
+	// completes; WaitRecoveries blocks on it instead of polling.
+	recoveryNote chan struct{}
 }
 
 type routeEntry struct {
@@ -313,11 +389,13 @@ type routeEntry struct {
 func New(cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
 	f := &Fleet{
-		cfg:      cfg,
-		frontNet: vnet.New(cfg.FrontLink),
-		verdicts: make(chan verdictEvent, cfg.Shards*4),
-		stopCh:   make(chan struct{}),
-		routes:   map[string]routeEntry{},
+		cfg:          cfg,
+		frontNet:     vnet.New(cfg.FrontLink),
+		verdicts:     make(chan verdictEvent, cfg.Shards*4),
+		stopCh:       make(chan struct{}),
+		routes:       map[string]routeEntry{},
+		admitRNG:     model.NewRNG(cfg.Seed ^ 0xADB0FF),
+		recoveryNote: make(chan struct{}),
 	}
 	f.frontK = vkernel.New(f.frontNet)
 	lis, err := f.frontNet.Listen(cfg.FrontAddr, 1024)
@@ -358,6 +436,12 @@ func (f *Fleet) FrontNetwork() *vnet.Network { return f.frontNet }
 
 // FrontAddr reports the balancer address.
 func (f *Fleet) FrontAddr() string { return f.cfg.FrontAddr }
+
+// RequestShape reports the shard server protocol's request/response
+// sizes, so external load drivers can frame correctly.
+func (f *Fleet) RequestShape() (reqSize, respSize int) {
+	return f.cfg.RequestSize, f.cfg.ResponseSize
+}
 
 // buildShard constructs a fresh replica set for s: new network and
 // kernel, new MVEE (its RB segment comes from the mem arena when a
@@ -480,21 +564,47 @@ func (f *Fleet) handleDivergence(ev verdictEvent) {
 	s.lastVerdict = ev.v
 	mvee, runDone := s.mvee, s.runDone
 	s.mvee = nil
-	splices := s.takeSplicesLocked()
+	var splices map[*vnet.Splice]struct{}
+	if !f.cfg.Handoff {
+		splices = s.takeSplicesLocked()
+	}
 	s.mu.Unlock()
 	quarantinedAt := time.Now()
 	f.record(s, ev.gen, from, Quarantined, "divergence: "+ev.v.Reason)
 
-	// Drain: the shard's replicas are dead or dying, so in-flight
-	// connections cannot complete — cut them so their clients fail fast
-	// instead of hanging.
-	f.cutSplices(splices)
+	var frozen []*vnet.Splice
+	deadline := quarantinedAt.Add(f.cfg.HandoffDeadline)
+	if f.cfg.Handoff {
+		// Handoff path: let in-flight picks resolve into tracked splices
+		// (track admits on the matching generation even under quarantine
+		// when handoff is armed), then freeze the complete set at segment
+		// boundaries. Splices that miss the freeze deadline degrade to the
+		// old cut.
+		f.waitPendingDrained(s)
+		s.mu.Lock()
+		splices = s.takeSplicesLocked()
+		s.mu.Unlock()
+		frozen = f.freezeSplices(splices, deadline)
+	} else {
+		// Cut path (Handoff=false, the PR 2 behaviour): the shard's
+		// replicas are dead or dying, so in-flight connections cannot
+		// complete — cut them so their clients fail fast instead of
+		// hanging.
+		f.cutSplices(splices)
+	}
 
 	// Teardown: wait for Run to unwind (the verdict already crashed the
-	// replicas), then recycle the RB segment through the mem arena.
+	// replicas), then recycle the RB segment through the mem arena. After
+	// runDone the replica set can provably never transmit again, which is
+	// what makes the handoff harvest complete.
 	<-runDone
 	mvee.Close()
 	f.setState(s, Respawning, "replica set recycled")
+
+	// Migrate what can be placed now: with other shards Serving the
+	// frozen conns resume before this shard even respawns, so handoff
+	// latency is freeze + teardown, not freeze + respawn.
+	frozen = f.migrateSplices(frozen, quarantinedAt, deadline)
 
 	// Respawn a fresh replica set (new diversification seed, recycled RB
 	// backing) and rejoin the pool — at the conservative respawn level: a
@@ -507,13 +617,23 @@ func (f *Fleet) handleDivergence(ev verdictEvent) {
 	if err := f.buildShard(s); err != nil {
 		// Fleet closing (or resource failure): leave the shard out of the
 		// pool; Close will not find an MVEE to retire.
+		f.abortSplices(frozen)
 		f.setState(s, Quarantined, "respawn failed: "+err.Error())
 		return
 	}
 	f.setState(s, Serving, "respawned")
+
+	// Second migration pass now that the respawned shard is a candidate
+	// successor — the path a 1-shard fleet's handoffs take. Anything
+	// still unplaced degrades to a cut.
+	frozen = f.migrateSplices(frozen, quarantinedAt, deadline)
+	f.abortSplices(frozen)
+
 	f.mu.Lock()
 	f.recoveries++
 	f.recoveryLats = append(f.recoveryLats, time.Since(quarantinedAt))
+	close(f.recoveryNote)
+	f.recoveryNote = make(chan struct{})
 	f.mu.Unlock()
 }
 
@@ -533,7 +653,7 @@ func (f *Fleet) DrainShard(idx int) error {
 	if s.state != Serving || s.mvee == nil {
 		st := s.state
 		s.mu.Unlock()
-		return fmt.Errorf("fleet: shard %d is %v, not serving", idx, st)
+		return fmt.Errorf("shard %d is %v: %w", idx, st, ErrShardNotServing)
 	}
 	s.state = Draining
 	gen := s.gen
@@ -567,24 +687,42 @@ func (f *Fleet) DrainShard(idx int) error {
 		time.Sleep(200 * time.Microsecond)
 	}
 	reason := "drained"
+	var frozen []*vnet.Splice
+	drainEnd := time.Now()
+	handoffDeadline := drainEnd.Add(f.cfg.HandoffDeadline)
 	if n := len(splices); n > 0 {
-		reason = fmt.Sprintf("drain grace expired, %d connections cut", n)
+		if f.cfg.Handoff {
+			reason = fmt.Sprintf("drain grace expired, %d connections handed off", n)
+		} else {
+			reason = fmt.Sprintf("drain grace expired, %d connections cut", n)
+		}
 	}
 	f.record(s, gen, Draining, Respawning, reason)
-	f.cutSplices(splices)
+	if f.cfg.Handoff {
+		// Freeze the stragglers before tearing the replica set down: a
+		// response the shard manages to emit while its pumps park still
+		// lands in the back conn's queue and is harvested by the handoff.
+		frozen = f.freezeSplices(splices, handoffDeadline)
+	} else {
+		f.cutSplices(splices)
+	}
 
 	mvee.Shutdown(reason)
 	<-runDone
 	mvee.Close()
+	frozen = f.migrateSplices(frozen, drainEnd, handoffDeadline)
 
 	s.mu.Lock()
 	s.gen++
 	s.mu.Unlock()
 	if err := f.buildShard(s); err != nil {
+		f.abortSplices(frozen)
 		f.setState(s, Quarantined, "respawn failed: "+err.Error())
 		return err
 	}
 	f.setState(s, Serving, "rotated")
+	frozen = f.migrateSplices(frozen, drainEnd, handoffDeadline)
+	f.abortSplices(frozen)
 
 	// A verdict that fired while the fresh set was still booting hit the
 	// supervisor with the shard in Respawning, where the claim check
@@ -693,6 +831,27 @@ func (f *Fleet) ShardPolicy(idx int) (policy.Level, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.effectiveLevelLocked(), nil
+}
+
+// SetShardFault installs (or, with nil, clears) a fault profile on a
+// shard's backend network: every balancer->shard and shard->balancer
+// segment picks up the profile's extra latency and periodic RTO
+// redelivery. Chaos harnesses use it to model a stalling replica set —
+// degraded, but not diverged. The profile dies with the current replica
+// set: a respawn builds a fresh network without it.
+func (f *Fleet) SetShardFault(idx int, p *vnet.FaultProfile) error {
+	if idx < 0 || idx >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", idx)
+	}
+	s := f.shards[idx]
+	s.mu.Lock()
+	net := s.net
+	s.mu.Unlock()
+	if net == nil {
+		return fmt.Errorf("shard %d has no live network: %w", idx, ErrShardNotServing)
+	}
+	net.SetFaultProfile(p)
+	return nil
 }
 
 // InjectDivergence arms the compromised-master simulation on a shard:
@@ -818,26 +977,56 @@ func (f *Fleet) Stats() Stats {
 	f.mu.Lock()
 	st.ConnsRouted = routed
 	st.ConnsRefused = f.refused
+	st.ConnsShed = f.shed
 	st.Failovers = f.failovers
+	st.Handoffs = f.handoffs
+	st.ReplayedBytes = f.replayed
 	st.Recoveries = f.recoveries
 	f.mu.Unlock()
 	return st
 }
 
+// HandoffLatencies reports host-time freeze-to-resume durations for
+// completed live migrations, one entry per handed-off connection.
+func (f *Fleet) HandoffLatencies() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.handoffLats...)
+}
+
 // WaitRecoveries blocks (host time, bounded) until at least n divergence
-// recoveries completed. Reports whether the target was reached.
+// recoveries completed. Reports whether the target was reached. The wait
+// parks on the recovery-notification channel (closed and replaced by the
+// supervisor at each completed recovery), so it wakes exactly when the
+// count moves — no polling interval, mirroring the PR 5 WaitDrained
+// abort-channel fix.
 func (f *Fleet) WaitRecoveries(n int, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	for {
 		f.mu.Lock()
 		done := f.recoveries >= n
+		note := f.recoveryNote
 		f.mu.Unlock()
 		if done {
 			return true
 		}
-		time.Sleep(200 * time.Microsecond)
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-note:
+			t.Stop()
+		case <-t.C:
+			// Deadline reached; one last count check closes the race where
+			// the recovery landed as the timer fired.
+			f.mu.Lock()
+			done = f.recoveries >= n
+			f.mu.Unlock()
+			return done
+		}
 	}
-	return false
 }
 
 // WaitRecoveriesDriving waits like WaitRecoveries but interleaves small

@@ -32,6 +32,11 @@ type serverParams struct {
 type connState struct {
 	fd     int
 	served int
+	// pending accumulates received bytes not yet answered: pipelined
+	// clients (and handoff replays) deliver several requests in one
+	// coalesced read, and each complete RequestSize chunk is owed its
+	// own response.
+	pending int
 }
 
 // serverProgram builds the replica program. The same closure runs once
@@ -102,17 +107,21 @@ func serverProgram(p serverParams) libc.Program {
 					delete(conns, ev.Data)
 					continue
 				}
-				env.Compute(p.Compute)
-				payload := resp
-				// Only the master consumes the injection: the slave keeps
-				// the benign payload, so the replicas' unmonitored sends
-				// genuinely diverge.
-				if p.Inject != nil && env.T.Proc.ReplicaIndex == 0 &&
-					p.Inject.CompareAndSwap(true, false) {
-					payload = tampered
+				st.pending += got
+				for st.pending >= p.RequestSize {
+					st.pending -= p.RequestSize
+					env.Compute(p.Compute)
+					payload := resp
+					// Only the master consumes the injection: the slave
+					// keeps the benign payload, so the replicas'
+					// unmonitored sends genuinely diverge.
+					if p.Inject != nil && env.T.Proc.ReplicaIndex == 0 &&
+						p.Inject.CompareAndSwap(true, false) {
+						payload = tampered
+					}
+					env.Send(st.fd, payload)
+					st.served++
 				}
-				env.Send(st.fd, payload)
-				st.served++
 			}
 		}
 	}

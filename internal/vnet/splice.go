@@ -5,22 +5,97 @@
 // the balancer-owned endpoint) while carrying virtual arrival stamps
 // through unchanged, so end-to-end virtual time stays exact: the client is
 // charged both hops' link costs and nothing else.
+//
+// Two splice flavours share the type:
+//
+//   - NewSplice is the plain forwarder (PR 2/5 behaviour, byte-identical):
+//     EOF and resets propagate immediately, and the only recovery from a
+//     dying backend is Abort.
+//   - NewHandoffSplice adds live migration: the splice retains every
+//     forwarded request segment until the matching response has been
+//     delivered (the FIFO request/response ack protocol), can be Frozen at
+//     a segment boundary, and Handoff re-splices the front conn onto a
+//     successor backend — harvesting responses still queued at the dead
+//     backend, replaying the unacked request tail with original arrival
+//     stamps, and resuming the pumps mid-flight. Zero-loss shard failover
+//     is built on exactly this.
 package vnet
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"remon/internal/model"
 )
+
+// Handoff errors.
+var (
+	// ErrNotFrozen: Handoff requires a completed Freeze (pumps quiesced).
+	ErrNotFrozen = errors.New("vnet: splice not frozen")
+	// ErrSpliceAborted: the splice was cut before the handoff landed.
+	ErrSpliceAborted = errors.New("vnet: splice aborted")
+)
+
+// Pump directions.
+const (
+	dirFwd = iota // front -> back: client requests
+	dirRev        // back -> front: server responses
+)
+
+// retSeg is one retained (forwarded but not yet acknowledged) request
+// segment. The payload aliases the transmitted slice — nothing mutates
+// a segment after send, so a replay can hand the same backing bytes to
+// a successor backend.
+type retSeg struct {
+	data   []byte
+	arrive model.Duration
+}
+
+// handoffState is the migration half of a handoff-capable splice.
+type handoffState struct {
+	reqSize, respSize int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// frozen parks both pumps at their loop tops; set by Freeze, cleared
+	// by Handoff/Unfreeze.
+	frozen bool
+	// backDead parks the response pump when the back conn died
+	// mid-conversation (shard death): propagating that FIN would cut the
+	// client, and the supervisor's handoff (or abort) is on its way.
+	backDead bool
+	// frontFIN records that the request pump saw the client's FIN — the
+	// signal that a subsequent back-side FIN is ordinary teardown.
+	frontFIN bool
+	live     int // pumps not yet returned
+	parked   int // pumps currently parked on cond
+
+	// retained is the unacked request log (FIFO); ackedReq / respBytes
+	// are cumulative trim positions: every complete response releases
+	// one request's worth of retained bytes.
+	retained      []retSeg
+	retainedBytes int
+	respBytes     uint64
+	ackedReq      uint64
+	replayed      uint64
+	lastStamp     model.Duration
+}
 
 // Splice is one bidirectional forwarding session between two connections.
 type Splice struct {
-	a, b *Conn
+	a *Conn // front (fixed for the splice's lifetime)
+	b *Conn // back (swapped by Handoff on handoff-capable splices)
 
 	done    chan struct{}
 	closing sync.Once
+	aborted atomic.Bool
 
 	fwdBytes atomic.Uint64 // a -> b
 	revBytes atomic.Uint64 // b -> a
+
+	h *handoffState // nil on plain splices
 }
 
 // NewSplice starts forwarding between a and b in both directions. The
@@ -42,6 +117,19 @@ func NewSplice(a, b *Conn) *Splice {
 		wg.Wait()
 		close(s.done)
 	}()
+	return s
+}
+
+// NewHandoffSplice starts a handoff-capable forwarding session for a
+// reqSize/respSize framed request/response protocol (the retention trim
+// rule: one complete response acknowledges one request's bytes).
+func NewHandoffSplice(a, b *Conn, reqSize, respSize int) *Splice {
+	s := &Splice{a: a, b: b, done: make(chan struct{})}
+	h := &handoffState{reqSize: reqSize, respSize: respSize, live: 2}
+	h.cond = sync.NewCond(&h.mu)
+	s.h = h
+	go s.pumpH(dirFwd, &s.fwdBytes)
+	go s.pumpH(dirRev, &s.revBytes)
 	return s
 }
 
@@ -72,14 +160,276 @@ func (s *Splice) pump(src, dst *Conn, counter *atomic.Uint64) {
 	}
 }
 
+// pumpH is the handoff-capable pump. It differs from pump in three ways:
+// it re-resolves its endpoints each iteration (the back conn is swapped
+// by Handoff), it quiesces at the loop top while the splice is frozen
+// (or, response-side, while the back conn is dead awaiting a successor),
+// and the request direction logs every forwarded segment into the
+// retained/ack protocol.
+func (s *Splice) pumpH(dir int, counter *atomic.Uint64) {
+	h := s.h
+	defer func() {
+		h.mu.Lock()
+		h.live--
+		last := h.live == 0
+		h.mu.Unlock()
+		if last {
+			close(s.done)
+		}
+	}()
+	for {
+		// Quiescence point. Both park reasons resolve only through
+		// Handoff, Unfreeze or Abort.
+		h.mu.Lock()
+		for h.frozen || (dir == dirRev && h.backDead) {
+			if s.aborted.Load() {
+				h.mu.Unlock()
+				return
+			}
+			h.parked++
+			h.cond.Wait()
+			h.parked--
+		}
+		if s.aborted.Load() {
+			h.mu.Unlock()
+			return
+		}
+		var src, dst *Conn
+		if dir == dirFwd {
+			src, dst = s.a, s.b
+		} else {
+			src, dst = s.b, s.a
+		}
+		h.mu.Unlock()
+
+		data, arrive, err := src.RecvSeg(true)
+		switch {
+		case err == errInterrupted:
+			continue // freeze in progress: loop to the quiescence point
+		case err != nil:
+			if dir == dirRev && h.parkBackDead(s) {
+				continue
+			}
+			s.Abort()
+			return
+		case data == nil: // FIN
+			if dir == dirRev && h.parkBackDead(s) {
+				continue
+			}
+			if dir == dirFwd {
+				h.mu.Lock()
+				h.frontFIN = true
+				h.mu.Unlock()
+			}
+			dst.CloseWrite()
+			return
+		}
+
+		h.mu.Lock()
+		if arrive > h.lastStamp {
+			h.lastStamp = arrive
+		}
+		if dir == dirFwd {
+			h.retained = append(h.retained, retSeg{data: data, arrive: arrive})
+			h.retainedBytes += len(data)
+		}
+		h.mu.Unlock()
+
+		counter.Add(uint64(len(data)))
+		if _, err := dst.SendSeg(data, arrive); err != nil {
+			s.Abort()
+			return
+		}
+		if dir == dirRev {
+			h.mu.Lock()
+			h.ackLocked(len(data))
+			h.mu.Unlock()
+		}
+	}
+}
+
+// parkBackDead decides the response pump's fate when the back conn hits
+// EOF or reset mid-splice. If the client's own FIN has not yet crossed,
+// the only way the back side dies is backend death — propagating the
+// FIN would cut a client whose responses are still owed, so the pump
+// parks and waits for a Handoff (or Abort). A back-side FIN after the
+// client's FIN is ordinary connection teardown and flows through.
+func (h *handoffState) parkBackDead(s *Splice) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s.aborted.Load() || h.frontFIN {
+		return false
+	}
+	h.backDead = true
+	return true
+}
+
+// ackLocked accounts n delivered response bytes and trims the acked
+// prefix of the retained request log: every complete response releases
+// reqSize retained bytes (the FIFO request/response protocol the shard
+// servers run). h.mu must be held.
+func (h *handoffState) ackLocked(n int) {
+	h.respBytes += uint64(n)
+	if h.respSize <= 0 || h.reqSize <= 0 {
+		return
+	}
+	target := h.respBytes / uint64(h.respSize) * uint64(h.reqSize)
+	for h.ackedReq < target && len(h.retained) > 0 {
+		seg := &h.retained[0]
+		take := uint64(len(seg.data))
+		if h.ackedReq+take > target {
+			take = target - h.ackedReq
+			seg.data = seg.data[take:]
+			h.ackedReq += take
+			h.retainedBytes -= int(take)
+			break
+		}
+		h.ackedReq += take
+		h.retainedBytes -= int(take)
+		h.retained[0] = retSeg{}
+		h.retained = h.retained[1:]
+	}
+	if len(h.retained) == 0 {
+		h.retained = nil
+	}
+}
+
+// Freeze quiesces a handoff-capable splice: both pumps park at their
+// loop tops, so no segment is held in flight between the two conns and
+// the retained/ack accounting is stable. Blocking receives are
+// interrupted (and re-interrupted each poll round — a pump that entered
+// its wait between the generation bump and the check would otherwise
+// sleep through). Bounded by timeout (host time); reports whether full
+// quiescence was reached. On success the splice stays frozen until
+// Handoff or Unfreeze; on timeout it is left freeze-pending and the
+// caller is expected to Abort it (the graceful-degradation clause).
+func (s *Splice) Freeze(timeout time.Duration) bool {
+	h := s.h
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	h.frozen = true
+	h.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		front, back := s.a, s.b
+		quiesced := h.parked == h.live
+		h.mu.Unlock()
+		if quiesced {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		front.rx.interrupt()
+		back.rx.interrupt()
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// Unfreeze resumes a frozen splice in place (no backend swap).
+func (s *Splice) Unfreeze() {
+	h := s.h
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.frozen = false
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Handoff re-splices the frozen front conn onto newBack, the successor
+// backend, and resumes the pumps. Steps, in order:
+//
+//  1. Harvest: response segments the dead backend emitted before dying
+//     still sit in the old back endpooint's receive queue; they are
+//     forwarded to the front conn with their original arrival stamps and
+//     acked into the retention trim, so their requests are not replayed.
+//  2. Replay: the unacked request tail is re-sent to newBack, original
+//     stamps preserved. The segments stay retained — they ack out only
+//     when their responses arrive, so a successor that dies too gets the
+//     same replay from the next handoff.
+//  3. Swap and resume: newBack becomes the splice's back conn, the old
+//     one is closed, and both pumps continue mid-flight.
+//
+// The caller must only invoke Handoff after the old backend can no
+// longer transmit (replica set unwound): a segment pushed after the
+// harvest would be lost while its request double-executes on the
+// successor. Returns harvested/replayed byte counts.
+func (s *Splice) Handoff(newBack *Conn) (harvested, replayed int, err error) {
+	h := s.h
+	if h == nil {
+		return 0, 0, errors.New("vnet: not a handoff splice")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s.aborted.Load() {
+		return 0, 0, ErrSpliceAborted
+	}
+	if !h.frozen || h.parked != h.live {
+		return 0, 0, ErrNotFrozen
+	}
+
+	old := s.b
+	for {
+		data, arrive, rerr := old.rx.popSeg(false)
+		if rerr != nil || data == nil {
+			break
+		}
+		if arrive > h.lastStamp {
+			h.lastStamp = arrive
+		}
+		s.revBytes.Add(uint64(len(data)))
+		if _, serr := s.a.SendSeg(data, arrive); serr != nil {
+			return harvested, 0, serr
+		}
+		harvested += len(data)
+		h.ackLocked(len(data))
+	}
+	old.Close()
+
+	for _, seg := range h.retained {
+		if len(seg.data) == 0 {
+			continue
+		}
+		if _, serr := newBack.SendSeg(seg.data, seg.arrive); serr != nil {
+			return harvested, replayed, serr
+		}
+		replayed += len(seg.data)
+		h.replayed += uint64(len(seg.data))
+	}
+
+	s.b = newBack
+	h.backDead = false
+	h.frozen = false
+	h.cond.Broadcast()
+	return harvested, replayed, nil
+}
+
 // Abort force-closes both sides; in-flight data already queued at either
 // receiver still drains. Safe to call from any goroutine, any number of
 // times — the supervisor uses it to cut a quarantined shard's
-// connections.
+// connections (and as the degradation path when a handoff misses its
+// deadline). Parked pumps are woken so Done still fires.
 func (s *Splice) Abort() {
 	s.closing.Do(func() {
-		s.a.Close()
-		s.b.Close()
+		s.aborted.Store(true)
+		a, b := s.a, s.b
+		if s.h != nil {
+			s.h.mu.Lock()
+			a, b = s.a, s.b
+			s.h.mu.Unlock()
+		}
+		a.Close()
+		b.Close()
+		if s.h != nil {
+			s.h.mu.Lock()
+			s.h.cond.Broadcast()
+			s.h.mu.Unlock()
+		}
 	})
 }
 
@@ -89,4 +439,42 @@ func (s *Splice) Done() <-chan struct{} { return s.done }
 // Transferred reports total forwarded bytes (front->back, back->front).
 func (s *Splice) Transferred() (fwd, rev uint64) {
 	return s.fwdBytes.Load(), s.revBytes.Load()
+}
+
+// ClientAddr reports the far address of the front conn — the client's
+// ephemeral endpoint, the key affinity routing re-pins a handoff with.
+func (s *Splice) ClientAddr() string { return s.a.RemoteAddr() }
+
+// LastStamp reports the latest virtual arrival stamp the splice has
+// forwarded in either direction; handoff uses it as the successor
+// connection's virtual establishment time so the migrated stream's
+// timeline stays continuous. Zero on plain splices.
+func (s *Splice) LastStamp() model.Duration {
+	if s.h == nil {
+		return 0
+	}
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	return s.h.lastStamp
+}
+
+// Replayed reports total request bytes re-sent across all handoffs.
+func (s *Splice) Replayed() uint64 {
+	if s.h == nil {
+		return 0
+	}
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	return s.h.replayed
+}
+
+// Outstanding reports retained request bytes not yet acknowledged by a
+// complete response — the replay set a handoff would re-send right now.
+func (s *Splice) Outstanding() int {
+	if s.h == nil {
+		return 0
+	}
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	return s.h.retainedBytes
 }

@@ -14,6 +14,7 @@ package vnet
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remon/internal/model"
@@ -28,6 +29,12 @@ var (
 	ErrWouldBlock     = errors.New("vnet: would block")            // EAGAIN
 	ErrListenerClosed = errors.New("vnet: listener closed")
 )
+
+// errInterrupted is the package-internal sentinel a blocking popSeg
+// returns when the receive was interrupted (a splice freeze); the
+// caller is expected to re-check its control state and retry. It never
+// escapes the package: only the splice pumps see it.
+var errInterrupted = errors.New("vnet: recv interrupted")
 
 // Link describes one network link profile.
 type Link struct {
@@ -73,6 +80,23 @@ type rxQueue struct {
 	segs   []segment
 	closed bool // peer sent FIN
 	reset  bool // local side closed
+	// intr is bumped by interrupt(); a blocking popSeg that observes the
+	// generation change returns errInterrupted so a freezing splice can
+	// reclaim its pump from a parked receive.
+	intr uint64
+	// lastArrive enforces in-order delivery semantics: a segment that was
+	// delayed on the wire delays everything sent after it, so arrival
+	// stamps are clamped monotone per stream.
+	lastArrive model.Duration
+}
+
+// interrupt wakes a blocked popSeg with errInterrupted. Data is not
+// disturbed; only whole-segment (splice) receivers observe interrupts.
+func (q *rxQueue) interrupt() {
+	q.mu.Lock()
+	q.intr++
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 func newRxQueue() *rxQueue {
@@ -87,6 +111,10 @@ func (q *rxQueue) push(data []byte, arrive model.Duration) {
 	if q.reset {
 		return // receiver gone; drop
 	}
+	if arrive < q.lastArrive {
+		arrive = q.lastArrive
+	}
+	q.lastArrive = arrive
 	q.segs = append(q.segs, segment{data: data, arrive: arrive})
 	q.cond.Broadcast()
 }
@@ -174,10 +202,12 @@ func (q *rxQueue) popFront() {
 
 // popSeg pops one whole queued segment without copying, transferring
 // payload ownership to the caller — the splice forwarder's zero-copy
-// receive. EOF is (nil, 0, nil).
+// receive. EOF is (nil, 0, nil). A blocking pop returns errInterrupted
+// when interrupt() fires after entry (pending data still wins).
 func (q *rxQueue) popSeg(block bool) ([]byte, model.Duration, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	gen := q.intr
 	for len(q.segs) == 0 {
 		if q.reset {
 			return nil, 0, ErrClosed
@@ -187,6 +217,9 @@ func (q *rxQueue) popSeg(block bool) ([]byte, model.Duration, error) {
 		}
 		if !block {
 			return nil, 0, ErrWouldBlock
+		}
+		if q.intr != gen {
+			return nil, 0, errInterrupted
 		}
 		q.cond.Wait()
 	}
@@ -229,7 +262,7 @@ func (c *Conn) Send(data []byte, now model.Duration) (model.Duration, error) {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	peer.rx.push(buf, c.link.TransferTime(now, len(data)))
+	peer.rx.push(buf, c.link.TransferTime(now, len(data))+c.net.faultDelay())
 	c.net.notify()
 	return now + model.Duration(len(data))*c.link.PerByte, nil
 }
@@ -263,7 +296,7 @@ func (c *Conn) SendSeg(data []byte, now model.Duration) (model.Duration, error) 
 	if peer == nil {
 		return now, ErrClosed
 	}
-	peer.rx.push(data, c.link.TransferTime(now, len(data)))
+	peer.rx.push(data, c.link.TransferTime(now, len(data))+c.net.faultDelay())
 	c.net.notify()
 	return now + model.Duration(len(data))*c.link.PerByte, nil
 }
@@ -400,6 +433,27 @@ func (l *Listener) Close() {
 // for the client's SYN retransmission window.
 const DefaultConnectWait = 5 * time.Second
 
+// FaultProfile is a chaos-injection overlay on a network fabric: every
+// transmitted segment picks up ExtraLatency, and every DropEvery-th
+// segment is "dropped". On a reliable stream a drop is not a loss — the
+// transport recovers it by retransmission — so a dropped segment is
+// redelivered one RTO late rather than discarded, which keeps the
+// byte stream intact while still exercising timeout and reordering
+// pressure on everything above.
+type FaultProfile struct {
+	// ExtraLatency is added to every segment's arrival time.
+	ExtraLatency model.Duration
+	// DropEvery drops (RTO-delays) every Nth segment; 0 disables.
+	DropEvery int
+	// RTO is the retransmission delay charged to a dropped segment
+	// (default 40ms virtual when zero).
+	RTO model.Duration
+}
+
+// DefaultRTO is the retransmission timeout charged to fault-dropped
+// segments when the profile leaves RTO zero.
+const DefaultRTO = 40 * model.Millisecond
+
 // Network is the simulated network fabric.
 type Network struct {
 	mu          sync.Mutex
@@ -408,6 +462,39 @@ type Network struct {
 	notifier    Notifier
 	nextPort    int
 	connectWait time.Duration
+
+	fault  atomic.Pointer[FaultProfile]
+	faultN atomic.Uint64
+}
+
+// SetFaultProfile installs (or, with nil, clears) a chaos fault overlay.
+// The profile is copied; installation is atomic and applies to segments
+// sent from then on. The healthy path costs one atomic load per segment.
+func (n *Network) SetFaultProfile(p *FaultProfile) {
+	if p == nil {
+		n.fault.Store(nil)
+		return
+	}
+	cp := *p
+	n.fault.Store(&cp)
+}
+
+// faultDelay reports the extra arrival delay the active fault profile
+// imposes on the next segment.
+func (n *Network) faultDelay() model.Duration {
+	p := n.fault.Load()
+	if p == nil {
+		return 0
+	}
+	d := p.ExtraLatency
+	if p.DropEvery > 0 && n.faultN.Add(1)%uint64(p.DropEvery) == 0 {
+		rto := p.RTO
+		if rto <= 0 {
+			rto = DefaultRTO
+		}
+		d += rto
+	}
+	return d
 }
 
 // New creates a network whose connections use the given link profile.
