@@ -7,7 +7,7 @@
 //	            [-iterations N] [-connections N] [-requests N] [-quick]
 //	            [-rb-json BENCH_rb.json] [-fleet-json BENCH_fleet.json]
 //	            [-ghumvee-json BENCH_ghumvee.json] [-policy-json BENCH_policy.json]
-//	            [-pipeline-json BENCH_pipeline.json]
+//	            [-pipeline-json BENCH_pipeline.json] [-autotune-json BENCH_autotune.json]
 //
 // Absolute numbers are virtual-time measurements on the simulated
 // substrate; the claim being reproduced is the *shape* (see
@@ -36,6 +36,7 @@ func main() {
 	pipelineJSON := flag.String("pipeline-json", "", "write the master-ahead pipeline sweep (MaxLag x threads x replicas: unmonitored ns/call, futex wakes/call, group commits) to this file, e.g. BENCH_pipeline.json")
 	fleetJSON := flag.String("fleet-json", "", "write fleet serving results (shards, aggregate req/s in virtual time, p99 recovery latency) to this file, e.g. BENCH_fleet.json")
 	handoffJSON := flag.String("handoff-json", "", "write zero-loss failover results (p50/p99 handoff latency and requests lost at 1/2/4/8 shards) to this file, e.g. BENCH_handoff.json")
+	autotuneJSON := flag.String("autotune-json", "", "write the controller convergence experiment (conservative corner -> SLO under the 16-thread pipeline profile, plus the divergence snap-back) to this file, e.g. BENCH_autotune.json")
 	fleetRecoveries := flag.Int("fleet-recoveries", 5, "injected-divergence recovery samples for the fleet scenario")
 	flag.Parse()
 
@@ -120,6 +121,20 @@ func main() {
 			return os.WriteFile(*pipelineJSON, append(payload, '\n'), 0o644)
 		})
 	}
+	if *autotuneJSON != "" {
+		run("Controller autotune convergence -> "+*autotuneJSON, func() error {
+			res, err := bench.RunAutotune(bench.AutotuneConfig{})
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatAutotune(res))
+			payload, err := bench.MarshalAutotune(res)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*autotuneJSON, append(payload, '\n'), 0o644)
+		})
+	}
 	fleetDone := false
 	if *fleetJSON != "" {
 		fleetDone = true
@@ -150,7 +165,7 @@ func main() {
 			return os.WriteFile(*handoffJSON, append(payload, '\n'), 0o644)
 		})
 	}
-	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "" || *handoffJSON != "") && *experiment == "" {
+	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "" || *handoffJSON != "" || *autotuneJSON != "") && *experiment == "" {
 		return
 	}
 

@@ -1,0 +1,139 @@
+// Autotune: the self-tuning fleet demo. Four MVEE shards boot at the
+// conservative corner — BASE policy, lockstep publication (MaxLag 0),
+// per-call verification (epoch 1) — and serve mixed client load while
+// fleet.Controller watches each shard's telemetry deltas against a
+// virtual-time SLO and relaxes one knob per round through the live
+// reload paths. Once the fleet has converged to a relaxed steady state,
+// one shard's master replica is compromised: the divergence verdict
+// preempts the SLO loop, the supervisor respawns the shard at the
+// conservative posture, and the controller's tuner snaps back with it
+// and holds. The telemetry plane itself is exercised over the fleet's
+// own virtual network: the demo scrapes /metrics and /health mid-run.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"remon/internal/fleet"
+	"remon/internal/model"
+	"remon/internal/policy"
+	"remon/internal/telemetry"
+)
+
+func main() {
+	base := policy.BaseLevel
+	f, err := fleet.New(fleet.Config{
+		Shards:          4,
+		Replicas:        2,
+		RequestSize:     64,
+		ResponseSize:    256,
+		Policy:          &base, // conservative corner: BASE / lag 0 / epoch 1
+		EpochSize:       1,
+		LockstepTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	exp, _, err := f.ServeTelemetry("telemetry:9090")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer exp.Close()
+
+	fmt.Println("== fleet up: 4 shards at the conservative corner (BASE / MaxLag 0 / epoch 1) ==")
+
+	ctl := f.StartController(fleet.ControllerConfig{
+		Interval: 2 * time.Millisecond,
+		// An aggressive virtual-time SLO: this workload can't meet it at
+		// the conservative corner, so the controller climbs the ladder.
+		Tuner: fleet.TunerConfig{SLONsPerCall: 1, MinCalls: 16},
+	})
+	defer ctl.Close()
+
+	// Mixed load until every shard's spatial policy is fully relaxed and
+	// a lag window has been granted (the window lands live at the next
+	// respawn — lockstep-booted replica sets cannot flip protocol mid-run,
+	// and this demo leaves RotateForLag off).
+	relaxed := func() bool {
+		for i := 0; i < 4; i++ {
+			if k := ctl.ShardKnobs(i); k.Level != policy.SocketRWLevel || k.MaxLag == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !relaxed() {
+		if time.Now().After(deadline) {
+			log.Fatal("controller never relaxed the fleet")
+		}
+		f.DriveClients(fleet.DriveConfig{Conns: 8, RequestsPerConn: 8, ThinkTime: model.Microsecond})
+	}
+
+	fmt.Println("-- controller relaxed every shard; decision log (first steps of shard 0):")
+	seen := 0
+	for _, ev := range ctl.Events() {
+		if ev.Shard == 0 {
+			fmt.Printf("   %-9s %s\n", ev.Phase, ev.Reason)
+			if seen++; seen == 6 {
+				break
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		k := ctl.ShardKnobs(i)
+		fmt.Printf("   shard %d now at %v / lag %d / epoch %d\n", i, k.Level, k.MaxLag, k.Epoch)
+	}
+
+	// The plane under observation: scrape the fleet's own front network.
+	res, err := telemetry.Scrape(f.FrontNetwork(), "telemetry:9090", "/metrics", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- /metrics over vnet (excerpt):")
+	for _, line := range strings.Split(string(res.Body), "\n") {
+		if strings.HasPrefix(line, "remon_shard_state") ||
+			strings.HasPrefix(line, "remon_mvee_epoch_size") ||
+			strings.HasPrefix(line, "remon_fleet_conns_routed_total") {
+			fmt.Println("   " + line)
+		}
+	}
+
+	fmt.Println("-- compromising shard 2's master replica (tampered response)")
+	if err := f.InjectDivergence(2); err != nil {
+		log.Fatal(err)
+	}
+	if !f.WaitRecoveriesDriving(1, 30*time.Second, fleet.DriveConfig{}) {
+		log.Fatal("shard never recovered")
+	}
+	// Let the controller observe the respawned generation.
+	snapped := func() bool { return ctl.ShardKnobs(2) == fleet.ConservativeKnobs() }
+	deadline = time.Now().Add(10 * time.Second)
+	for !snapped() {
+		if time.Now().After(deadline) {
+			log.Fatal("tuner never snapped back after divergence")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	k := ctl.ShardKnobs(2)
+	fmt.Printf("-- divergence verdict wins: shard 2 reset to %v / lag %d / epoch %d (holding)\n",
+		k.Level, k.MaxLag, k.Epoch)
+
+	rep := f.Health()
+	for _, sh := range rep.Shards {
+		mark := ""
+		if sh.Diverged {
+			mark = "  <- diverged, respawned conservative"
+		}
+		fmt.Printf("   health: shard %d %-8s gen %d policy %-17s verdict %q%s\n",
+			sh.Shard, sh.State, sh.Gen, sh.Policy, sh.LastVerdict, mark)
+	}
+	fmt.Println("== done: relaxation is earned by the SLO loop, trust is reset by the verdict ==")
+}

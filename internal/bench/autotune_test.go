@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestAutotuneConvergence is the PR 7 acceptance experiment: starting
+// from the conservative corner (BASE / MaxLag 0 / epoch 1) under the
+// 16-thread pipeline profile, the tuner loop must converge inside its
+// SLO at a throughput within 1.3x of the hand-tuned MaxLag=64 cell, and
+// the injected divergence must reset the knobs to the conservative
+// corner with a verdict bit-identical to a tuner-off run.
+func TestAutotuneConvergence(t *testing.T) {
+	res, err := RunAutotune(AutotuneConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatAutotune(res))
+
+	if !res.Converged {
+		t.Fatalf("controller never converged inside SLO %.0f ns/call:\n%s",
+			res.SLONsPerCall, FormatAutotune(res))
+	}
+	if res.ThroughputRatio > 1.3 {
+		t.Fatalf("converged throughput ratio %.2f exceeds 1.3x hand-tuned", res.ThroughputRatio)
+	}
+	if len(res.Rounds) == 0 || res.Rounds[0].Knobs != (AutotuneKnobs{Level: "BASE_LEVEL", MaxLag: 0, Epoch: 1}) {
+		t.Fatalf("ladder did not start at the conservative corner: %+v", res.Rounds)
+	}
+	// Every round's measured call count is real traffic.
+	for _, rd := range res.Rounds {
+		if rd.Calls == 0 || rd.HostNsPerCall <= 0 {
+			t.Fatalf("round %d measured nothing: %+v", rd.Round, rd)
+		}
+	}
+
+	d := res.Divergence
+	if d.VerdictReason == "" {
+		t.Fatal("divergence leg produced no verdict")
+	}
+	if !d.ResetToConservative {
+		t.Fatalf("divergence did not reset to conservative knobs: %+v", d)
+	}
+	if !d.VerdictBitIdentical {
+		t.Fatalf("verdict differs between tuner-on and tuner-off runs: %+v", d)
+	}
+}
+
+// TestAutotuneMarshalShape pins the BENCH_autotune.json schema.
+func TestAutotuneMarshalShape(t *testing.T) {
+	res, err := RunAutotune(AutotuneConfig{Replicas: 2, Threads: 4, RunsPerRound: 1, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := MarshalAutotune(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string          `json:"schema"`
+		Result *AutotuneResult `json:"result"`
+	}
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "remon-autotune/v1" || doc.Result == nil {
+		t.Fatalf("schema wrapper wrong: %s", payload)
+	}
+	if doc.Result.BaselineHostNsPerCall <= 0 || doc.Result.SLONsPerCall <= doc.Result.BaselineHostNsPerCall {
+		t.Fatalf("baseline/SLO not populated: %+v", doc.Result)
+	}
+}

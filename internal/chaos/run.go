@@ -297,6 +297,21 @@ type Report struct {
 // Violations lists every invariant breach; empty means the run is clean.
 func (r *Report) Violations() []string { return r.violations }
 
+// Emit reports the run's audit figures as (metric, value) pairs under
+// the telemetry naming convention ("_total" marks cumulative counters).
+// Plain func signature so this package never imports the registry —
+// harnesses register a finished report as one more collector next to
+// the live fleet series.
+func (r *Report) Emit(emit func(name string, v uint64)) {
+	emit("kills_total", uint64(r.Kills))
+	emit("drains_total", uint64(r.Drains))
+	emit("requests_sent_total", uint64(r.RequestsSent()))
+	emit("responses_received_total", uint64(r.ResponsesReceived()))
+	emit("requests_lost_total", uint64(r.Lost()))
+	emit("violations_total", uint64(len(r.violations)))
+	emit("conns", uint64(len(r.Conns)))
+}
+
 // RequestsSent / ResponsesReceived total the audited connections.
 func (r *Report) RequestsSent() int {
 	t := 0

@@ -358,6 +358,24 @@ func (m *MVEE) MaxLag() int {
 	return m.rbuf.MaxLag()
 }
 
+// VirtualNow reports the instance's live virtual elapsed time: the
+// maximum current thread clock minus the run's base. Thread clocks are
+// atomic, so sampling mid-run is race-free; the value is the same
+// critical-path figure Report.Duration freezes at run end. The
+// telemetry plane divides its delta by the call-count delta to get live
+// virtual ns/call — the controller's SLO signal.
+func (m *MVEE) VirtualNow() model.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var maxT model.Duration
+	for _, t := range m.threads {
+		if now := t.Clock.Now(); now > maxT {
+			maxT = now
+		}
+	}
+	return maxT - m.baseTime
+}
+
 // RBStats snapshots the replication buffer's pipeline counters (zero
 // value outside ModeReMon).
 func (m *MVEE) RBStats() rb.Stats {

@@ -1,0 +1,531 @@
+// The self-tuning control plane: a per-shard closed loop that watches
+// the shard's telemetry deltas (wake rate, RB lag pressure,
+// monitored-call mix) against a latency SLO and steps the relaxation
+// knobs — policy level, master-ahead lag window, epoch size — through
+// the fleet's existing live-reload paths. The decision logic lives in
+// Tuner, a pure state machine (observe -> decide -> actuate ->
+// ratchet-check) with no clocks or locks, so every transition is unit
+// testable; Controller is the thin host-time loop around it.
+//
+// Two rules keep the loop sound (DESIGN.md §11):
+//
+//   - Divergence always wins. A shard whose verdict bit flipped is
+//     reset to the conservative knob set immediately, regardless of how
+//     far the SLO loop had relaxed it — the same precedence the fleet's
+//     RespawnPolicy enforces structurally. The SLO loop then holds off
+//     (HoldRounds) before re-stepping, so a flapping shard cannot be
+//     re-relaxed between attacks.
+//   - Relaxation is monotone per round and capped. The tuner steps ONE
+//     knob per decision (level first — it buys the most, then lag, then
+//     epoch) and never beyond the configured caps, mirroring the IK-B
+//     GrantableEver ratchet: the spectrum of states the controller can
+//     reach is fixed up front, not discovered at runtime.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remon/internal/core"
+	"remon/internal/policy"
+	"remon/internal/telemetry"
+)
+
+// Knobs is one shard's tunable position: the three relaxation axes the
+// controller may move.
+type Knobs struct {
+	// Level is the spatial relaxation level (which calls may take the
+	// IP-MON fast path).
+	Level policy.Level
+	// MaxLag is the master-ahead replication window (temporal
+	// relaxation; 0 = lockstep publication).
+	MaxLag int
+	// Epoch is the divergence-checking batch window (1 = immediate).
+	Epoch int
+}
+
+// ConservativeKnobs is the reset position: BASE spatial policy,
+// lockstep publication, immediate verification — the same posture a
+// diverged shard respawns into.
+func ConservativeKnobs() Knobs {
+	return Knobs{Level: policy.BaseLevel, MaxLag: 0, Epoch: 1}
+}
+
+// Signals is one observation round's input to the tuner: rates derived
+// from telemetry deltas over the controller interval.
+type Signals struct {
+	// Calls is the number of monitored+unmonitored calls the shard
+	// completed this round; rounds below TunerConfig.MinCalls are
+	// ignored (an idle shard teaches nothing).
+	Calls uint64
+	// NsPerCall is the shard's service time per call this round — the
+	// SLO-bearing signal. The unit is the harness's choice as long as
+	// it matches TunerConfig.SLONsPerCall: the live Controller feeds
+	// deterministic virtual ns, the autotune bench feeds host ns.
+	NsPerCall float64
+	// MonitoredFrac is the fraction of calls that took the monitored
+	// (lockstep) path rather than IP-MON.
+	MonitoredFrac float64
+	// WakesPerCall is the slave wakeups per call (RB signalling
+	// pressure; batching headroom remains while it is high).
+	WakesPerCall float64
+	// LagWaitRate is the master lag-budget stalls per call (the signal
+	// that the MaxLag window is too small for the offered load).
+	LagWaitRate float64
+	// LagHeadroom is the remaining fraction of the MaxLag window.
+	LagHeadroom float64
+	// Diverged reports that the shard produced a divergence verdict
+	// since the last round. It preempts everything else.
+	Diverged bool
+}
+
+// Phase is the tuner's control state.
+type Phase int
+
+// Tuner phases.
+const (
+	// Stepping: outside the SLO, actively moving one knob per round.
+	Stepping Phase = iota
+	// Steady: within the SLO; knobs parked.
+	Steady
+	// Hold: post-divergence backoff; no relaxation until the hold
+	// expires.
+	Hold
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Stepping:
+		return "stepping"
+	case Steady:
+		return "steady"
+	case Hold:
+		return "hold"
+	}
+	return "?"
+}
+
+// TunerConfig bounds the tuner's spectrum and sets its targets.
+type TunerConfig struct {
+	// SLONsPerCall is the service-time target, in whatever ns figure
+	// the harness feeds Signals.NsPerCall; rounds at or under it are
+	// Steady.
+	SLONsPerCall float64
+	// MonitoredFracMax: while more than this fraction of calls are
+	// monitored, stepping the policy level up is the first move.
+	MonitoredFracMax float64
+	// WakesPerCallMax: while slave wakeups per call exceed it, epoch
+	// batching still has headroom.
+	WakesPerCallMax float64
+	// MaxLevel / MaxMaxLag / MaxEpoch cap the spectrum (the ratchet:
+	// the tuner can never step past them).
+	MaxLevel policy.Level
+	MaxMaxLag int
+	MaxEpoch  int
+	// MinCalls gates decisions: rounds with fewer calls are no-ops.
+	MinCalls uint64
+	// HoldRounds is how many rounds a divergence freezes relaxation.
+	HoldRounds int
+}
+
+func (c TunerConfig) withDefaults() TunerConfig {
+	if c.SLONsPerCall <= 0 {
+		c.SLONsPerCall = 1500
+	}
+	if c.MonitoredFracMax <= 0 {
+		c.MonitoredFracMax = 0.05
+	}
+	if c.WakesPerCallMax <= 0 {
+		c.WakesPerCallMax = 0.25
+	}
+	if c.MaxLevel == policy.LevelNone {
+		c.MaxLevel = policy.SocketRWLevel
+	}
+	if c.MaxMaxLag <= 0 {
+		c.MaxMaxLag = 64
+	}
+	if c.MaxEpoch <= 0 {
+		c.MaxEpoch = 16
+	}
+	if c.MinCalls == 0 {
+		c.MinCalls = 64
+	}
+	if c.HoldRounds <= 0 {
+		c.HoldRounds = 3
+	}
+	return c
+}
+
+// Decision is one tuner round's outcome.
+type Decision struct {
+	Knobs   Knobs
+	Changed bool
+	Phase   Phase
+	Reason  string
+}
+
+// Tuner is the pure per-shard decision state machine. Not safe for
+// concurrent use; the Controller drives one per shard.
+type Tuner struct {
+	cfg   TunerConfig
+	knobs Knobs
+	phase Phase
+	hold  int
+}
+
+// NewTuner builds a tuner starting from the given knob position.
+func NewTuner(cfg TunerConfig, start Knobs) *Tuner {
+	t := &Tuner{cfg: cfg.withDefaults(), knobs: start, phase: Stepping}
+	t.clamp()
+	return t
+}
+
+// Knobs reports the tuner's current position.
+func (t *Tuner) Knobs() Knobs { return t.knobs }
+
+// clamp enforces the spectrum caps — the ratchet check. Runs after
+// every decision so no code path, present or future, can step outside
+// the configured spectrum.
+func (t *Tuner) clamp() {
+	if t.knobs.Level > t.cfg.MaxLevel {
+		t.knobs.Level = t.cfg.MaxLevel
+	}
+	if t.knobs.MaxLag > t.cfg.MaxMaxLag {
+		t.knobs.MaxLag = t.cfg.MaxMaxLag
+	}
+	if t.knobs.Epoch > t.cfg.MaxEpoch {
+		t.knobs.Epoch = t.cfg.MaxEpoch
+	}
+	if t.knobs.Epoch < 1 {
+		t.knobs.Epoch = 1
+	}
+	if t.knobs.MaxLag < 0 {
+		t.knobs.MaxLag = 0
+	}
+}
+
+// Step runs one observe -> decide -> actuate-plan -> ratchet-check
+// round. The returned decision carries the knob position the caller
+// should actuate (Changed reports whether it moved).
+func (t *Tuner) Step(sig Signals) Decision {
+	// Divergence always wins: conservative reset plus a hold, before any
+	// SLO consideration. Even a round that is also under MinCalls resets
+	// — the verdict is a trust event, not a performance sample.
+	if sig.Diverged {
+		prev := t.knobs
+		t.knobs = ConservativeKnobs()
+		t.phase = Hold
+		t.hold = t.cfg.HoldRounds
+		t.clamp()
+		return Decision{
+			Knobs:   t.knobs,
+			Changed: prev != t.knobs,
+			Phase:   Hold,
+			Reason:  "divergence: conservative reset",
+		}
+	}
+
+	if t.phase == Hold {
+		t.hold--
+		if t.hold > 0 {
+			return Decision{Knobs: t.knobs, Phase: Hold, Reason: fmt.Sprintf("holding (%d rounds left)", t.hold)}
+		}
+		t.phase = Stepping
+	}
+
+	if sig.Calls < t.cfg.MinCalls {
+		return Decision{Knobs: t.knobs, Phase: t.phase, Reason: "insufficient traffic"}
+	}
+
+	if sig.NsPerCall <= t.cfg.SLONsPerCall {
+		t.phase = Steady
+		return Decision{Knobs: t.knobs, Phase: Steady, Reason: "within SLO"}
+	}
+
+	// Outside the SLO: step exactly one knob, in fixed priority order.
+	t.phase = Stepping
+	prev := t.knobs
+	reason := "at spectrum cap"
+	switch {
+	// Level first: while a meaningful share of calls still takes the
+	// monitored path, widening the spatial policy buys the most.
+	case sig.MonitoredFrac > t.cfg.MonitoredFracMax && t.knobs.Level < t.cfg.MaxLevel:
+		t.knobs.Level++
+		reason = fmt.Sprintf("monitored frac %.2f: level -> %v", sig.MonitoredFrac, t.knobs.Level)
+	// Lag next: masters stalling on the lag budget (or running with no
+	// headroom) want a wider master-ahead window. 0 -> 8, then double.
+	// Lockstep publication (MaxLag 0) never reports lag waits — the
+	// master blocks inside the publish itself — so the bootstrap off 0
+	// is unconditional once the level axis is exhausted.
+	case (t.knobs.MaxLag == 0 || sig.LagWaitRate > 0 || sig.LagHeadroom < 0.25) && t.knobs.MaxLag < t.cfg.MaxMaxLag:
+		if t.knobs.MaxLag == 0 {
+			t.knobs.MaxLag = 8
+			reason = fmt.Sprintf("lockstep publication: granting lag window -> %d", t.knobs.MaxLag)
+		} else {
+			t.knobs.MaxLag *= 2
+			reason = fmt.Sprintf("lag pressure (waits %.3f/call, headroom %.2f): maxlag -> %d", sig.LagWaitRate, sig.LagHeadroom, t.knobs.MaxLag)
+		}
+	// Epoch last: high wake rates mean verification still runs
+	// per-call; batch it. 1 -> 4, then quadruple.
+	case sig.WakesPerCall > t.cfg.WakesPerCallMax && t.knobs.Epoch < t.cfg.MaxEpoch:
+		if t.knobs.Epoch < 4 {
+			t.knobs.Epoch = 4
+		} else {
+			t.knobs.Epoch *= 4
+		}
+		reason = fmt.Sprintf("wakes %.2f/call: epoch -> %d", sig.WakesPerCall, t.knobs.Epoch)
+	}
+	t.clamp()
+	return Decision{Knobs: t.knobs, Changed: t.knobs != prev, Phase: Stepping, Reason: reason}
+}
+
+// ControllerConfig parameterises the fleet control loop.
+type ControllerConfig struct {
+	Tuner TunerConfig
+	// Interval is the host-time observation period (default 10ms — the
+	// virtual workloads burn host time fast).
+	Interval time.Duration
+	// RotateForLag lets the controller rotate (DrainShard) a shard whose
+	// replica set was booted at MaxLag 0 when the tuner wants a lag
+	// window: the lockstep publication protocol cannot flip live, so
+	// without rotation the new window only lands at the next organic
+	// respawn. Rotation runs async and at most once in flight per shard.
+	RotateForLag bool
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	c.Tuner = c.Tuner.withDefaults()
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	return c
+}
+
+// TuneEvent is one recorded controller decision.
+type TuneEvent struct {
+	Shard  int
+	Gen    int
+	At     time.Time
+	Phase  Phase
+	Knobs  Knobs
+	Reason string
+}
+
+// shardLoop is the controller's per-shard observation state.
+type shardLoop struct {
+	tuner    *Tuner
+	gen      int
+	prev     core.TelemetrySnapshot
+	havePrev bool
+	rotating bool
+}
+
+// Controller drives one Tuner per shard against live fleet telemetry.
+type Controller struct {
+	f   *Fleet
+	cfg ControllerConfig
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	loops  []*shardLoop
+	events []TuneEvent
+
+	rounds    *telemetry.Counter
+	actuation *telemetry.Counter
+	resets    *telemetry.Counter
+}
+
+// StartController begins closed-loop tuning of every shard. The loop
+// owns the SetShardPolicy/SetShardLag/SetShardEpoch paths for the
+// fleet's lifetime; mixing manual knob changes with a running
+// controller is undefined (last writer wins). Close stops it.
+func (f *Fleet) StartController(cfg ControllerConfig) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{f: f, cfg: cfg, stop: make(chan struct{})}
+	for _, s := range f.shards {
+		s.mu.Lock()
+		start := Knobs{Level: s.level, MaxLag: s.maxLag, Epoch: s.epoch}
+		gen := s.gen
+		s.mu.Unlock()
+		c.loops = append(c.loops, &shardLoop{tuner: NewTuner(cfg.Tuner, start), gen: gen})
+	}
+	c.wg.Add(1)
+	go c.run()
+	return c
+}
+
+// RegisterTelemetry adds the controller's own series to reg.
+func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
+	c.rounds = reg.Counter("remon_controller_rounds_total", "controller observation rounds", nil)
+	c.actuation = reg.Counter("remon_controller_actuations_total", "knob changes applied", nil)
+	c.resets = reg.Counter("remon_controller_resets_total", "divergence-forced conservative resets", nil)
+}
+
+// Events returns a copy of the decision log entries that changed knobs
+// or reset a shard.
+func (c *Controller) Events() []TuneEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TuneEvent(nil), c.events...)
+}
+
+// ShardKnobs reports a shard tuner's current position.
+func (c *Controller) ShardKnobs(idx int) Knobs {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loops[idx].tuner.Knobs()
+}
+
+// Close stops the control loop (the fleet keeps its last knob set).
+func (c *Controller) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.wg.Wait()
+}
+
+func (c *Controller) run() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.round()
+		}
+	}
+}
+
+// round observes every shard, steps its tuner, and actuates changes.
+func (c *Controller) round() {
+	if c.rounds != nil {
+		c.rounds.Inc()
+	}
+	for idx, s := range c.f.shards {
+		c.mu.Lock()
+		loop := c.loops[idx]
+		c.mu.Unlock()
+
+		sig, gen, ok := c.observe(s, loop)
+		if !ok {
+			continue
+		}
+		dec := loop.tuner.Step(sig)
+		if sig.Diverged && c.resets != nil {
+			c.resets.Inc()
+		}
+		if dec.Changed {
+			c.actuate(idx, loop, dec)
+		}
+		if dec.Changed || sig.Diverged {
+			c.mu.Lock()
+			c.events = append(c.events, TuneEvent{
+				Shard: idx, Gen: gen, At: time.Now(),
+				Phase: dec.Phase, Knobs: dec.Knobs, Reason: dec.Reason,
+			})
+			c.mu.Unlock()
+		}
+	}
+}
+
+// observe samples one shard's telemetry and derives the round's
+// signals. A generation bump since the last round means the supervisor
+// respawned the shard; if its last verdict was a divergence, that is
+// the Diverged signal (the controller never races the supervisor — it
+// reacts to the completed recovery, the supervisor's RespawnPolicy
+// already made the shard conservative structurally).
+func (c *Controller) observe(s *shard, loop *shardLoop) (Signals, int, bool) {
+	s.mu.Lock()
+	state, gen := s.state, s.gen
+	diverged := s.lastVerdict.Diverged
+	mvee := s.mvee
+	var snap core.TelemetrySnapshot
+	if mvee != nil && (state == Serving || state == Draining) {
+		snap = mvee.Telemetry()
+	}
+	s.mu.Unlock()
+	if mvee == nil || (state != Serving && state != Draining) {
+		return Signals{}, gen, false
+	}
+
+	if gen != loop.gen {
+		// Respawn happened. Re-baseline the deltas against the fresh
+		// replica set and surface the divergence (if that is what killed
+		// the previous generation) exactly once.
+		loop.gen = gen
+		loop.prev = snap
+		loop.havePrev = true
+		return Signals{Diverged: diverged}, gen, diverged
+	}
+	if !loop.havePrev {
+		loop.prev = snap
+		loop.havePrev = true
+		return Signals{}, gen, false
+	}
+
+	prev := loop.prev
+	loop.prev = snap
+
+	calls := (snap.Monitor.MonitoredCalls - prev.Monitor.MonitoredCalls) +
+		(snap.IPMon.Unmonitored - prev.IPMon.Unmonitored)
+	if calls == 0 {
+		return Signals{Calls: 0}, gen, true
+	}
+	monitored := snap.Monitor.MonitoredCalls - prev.Monitor.MonitoredCalls
+	wakes := snap.RB.Wakes - prev.RB.Wakes
+	lagWaits := snap.RB.LagWaits - prev.RB.LagWaits
+	vns := float64(snap.VirtualNs-prev.VirtualNs) / float64(calls)
+
+	sig := Signals{
+		Calls:            calls,
+		NsPerCall: vns,
+		MonitoredFrac:    float64(monitored) / float64(calls),
+		WakesPerCall:     float64(wakes) / float64(calls),
+		LagWaitRate:      float64(lagWaits) / float64(calls),
+		LagHeadroom:      1,
+	}
+	if snap.MaxLag > 0 {
+		used := float64(snap.RB.CurLag) / float64(snap.MaxLag)
+		if used > 1 {
+			used = 1
+		}
+		sig.LagHeadroom = 1 - used
+	}
+	return sig, gen, true
+}
+
+// actuate applies a decision through the fleet's live-reload paths.
+// Errors are tolerated (a shard mid-respawn rejects reloads; the next
+// round re-observes and the boot-knob records still carry the change).
+func (c *Controller) actuate(idx int, loop *shardLoop, dec Decision) {
+	if c.actuation != nil {
+		c.actuation.Inc()
+	}
+	_ = c.f.SetShardPolicy(idx, policy.LevelRules(dec.Knobs.Level))
+	_ = c.f.SetShardEpoch(idx, dec.Knobs.Epoch)
+	_ = c.f.SetShardLag(idx, dec.Knobs.MaxLag)
+
+	// A shard whose live replica set runs lockstep publication cannot
+	// widen its lag window in place; optionally rotate it so the window
+	// lands now instead of at the next organic respawn.
+	if c.cfg.RotateForLag && dec.Knobs.MaxLag > 0 && !loop.rotating {
+		if live, err := c.f.ShardLag(idx); err == nil && live == 0 {
+			loop.rotating = true
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				_ = c.f.DrainShard(idx)
+				c.mu.Lock()
+				loop.rotating = false
+				c.mu.Unlock()
+			}()
+		}
+	}
+}

@@ -275,6 +275,9 @@ type ShardInfo struct {
 	// MaxLag is the shard's master-ahead replication window (0 =
 	// lockstep publication).
 	MaxLag int
+	// EpochSize is the shard monitor's divergence-checking window
+	// (1 = immediate verification).
+	EpochSize int
 }
 
 // Stats is a fleet-wide snapshot.
@@ -313,7 +316,12 @@ type shard struct {
 	// a perf knob (not a security posture), so unlike level it survives
 	// divergence respawns. SetShardLag updates it and, when the live
 	// replica set runs the pipelined protocol, applies it immediately.
-	maxLag  int
+	maxLag int
+	// epoch is the divergence-checking window the next buildShard boots
+	// with; like maxLag it is a perf knob and survives respawns.
+	// SetShardEpoch updates it and applies it to the live monitor
+	// immediately (epoch size is runtime-adjustable, PR 3).
+	epoch   int
 	net     *vnet.Network
 	kernel  *vkernel.Kernel
 	mvee    *core.MVEE
@@ -411,6 +419,7 @@ func New(cfg Config) (*Fleet, error) {
 			state:   Respawning,
 			level:   *cfg.Policy,
 			maxLag:  cfg.MaxLag,
+			epoch:   cfg.EpochSize,
 			splices: map[*vnet.Splice]struct{}{},
 		}
 		f.shards = append(f.shards, s)
@@ -454,7 +463,7 @@ func (f *Fleet) buildShard(s *shard) error {
 	net.SetConnectWait(f.cfg.BackendConnectWait)
 	k := vkernel.New(net)
 	s.mu.Lock()
-	idx, gen, level, maxLag := s.idx, s.gen, s.level, s.maxLag
+	idx, gen, level, maxLag, epoch := s.idx, s.gen, s.level, s.maxLag, s.epoch
 	s.mu.Unlock()
 	mvee, err := core.New(core.Config{
 		Mode:     core.ModeReMon,
@@ -466,7 +475,7 @@ func (f *Fleet) buildShard(s *shard) error {
 		Seed:            f.cfg.Seed + uint64(idx)*0x10001 + uint64(gen)*0x9E3779B9,
 		Kernel:          k,
 		LockstepTimeout: f.cfg.LockstepTimeout,
-		EpochSize:       f.cfg.EpochSize,
+		EpochSize:       epoch,
 		MaxLag:          maxLag,
 		OnVerdict: func(v ghumvee.Verdict) {
 			f.notifyVerdict(idx, gen, v)
@@ -805,6 +814,48 @@ func (f *Fleet) SetShardLag(idx, lag int) error {
 	return nil
 }
 
+// SetShardEpoch adjusts a shard's divergence-checking window while it
+// serves. Like SetShardLag this is a performance knob, not a trust
+// posture: the value is recorded as the shard's boot setting (surviving
+// respawns) and applied to the live monitor immediately — epoch size is
+// runtime-adjustable, so unlike the lag window there is no
+// "at next respawn" case for a live shard.
+func (f *Fleet) SetShardEpoch(idx, n int) error {
+	if idx < 0 || idx >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", idx)
+	}
+	if n < 1 {
+		n = 1
+	}
+	s := f.shards[idx]
+	s.mu.Lock()
+	s.epoch = n
+	mvee, st, gen := s.mvee, s.state, s.gen
+	applied := "at next respawn"
+	if (st == Serving || st == Draining) && mvee != nil && mvee.Monitor != nil {
+		mvee.Monitor.SetEpochSize(n)
+		applied = "live"
+	}
+	s.mu.Unlock()
+	f.record(s, gen, st, st, fmt.Sprintf("epoch size set to %d (%s)", n, applied))
+	return nil
+}
+
+// ShardEpoch reports a shard's live divergence-checking window (its
+// boot setting when the shard is between replica sets).
+func (f *Fleet) ShardEpoch(idx int) (int, error) {
+	if idx < 0 || idx >= len(f.shards) {
+		return 0, fmt.Errorf("fleet: no shard %d", idx)
+	}
+	s := f.shards[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mvee != nil && s.mvee.Monitor != nil && (s.state == Serving || s.state == Draining) {
+		return s.mvee.Monitor.EpochSize(), nil
+	}
+	return s.epoch, nil
+}
+
 // ShardLag reports a shard's live master-ahead window (its boot setting
 // when the shard is between replica sets).
 func (f *Fleet) ShardLag(idx int) (int, error) {
@@ -950,15 +1001,37 @@ func (f *Fleet) RouteOf(clientAddr string) (shard, gen int, ok bool) {
 }
 
 // Stats snapshots the fleet.
+//
+// Consistency contract: Stats is NOT one global atomic snapshot — it is
+// a sequence of per-lock snapshots. Each ShardInfo is taken under that
+// shard's s.mu, so the fields *within* one ShardInfo (state, gen,
+// in-flight, verdict, knobs) are mutually consistent. The fleet-global
+// counters (ConnsRefused, ConnsShed, Failovers, Handoffs,
+// ReplayedBytes, Recoveries) are all read under one f.mu critical
+// section — the same lock every writer holds when it advances them —
+// so *they* are mutually consistent too: a handoff that bumped
+// Handoffs has also bumped ReplayedBytes by the time either is
+// visible, because both increments share the writer's f.mu section
+// (see migrateSplices in handoff.go). What the contract does
+// NOT give you is consistency *across* the two groups or between two
+// shards: a connection can be routed (bumping a shard's ConnsRouted)
+// after its shard's row was snapshotted but before f.mu is taken.
+// Cumulative counters only ever grow, so the skew is bounded and
+// monotone — exactly the semantics a metrics scrape needs, and
+// TestStatsConsistencyUnderChaos pins the invariants that must hold
+// across any such snapshot.
 func (f *Fleet) Stats() Stats {
 	st := Stats{}
 	var routed uint64
 	for _, s := range f.shards {
 		s.mu.Lock()
 		lv := s.effectiveLevelLocked()
-		lag := s.maxLag
+		lag, epoch := s.maxLag, s.epoch
 		if s.mvee != nil && (s.state == Serving || s.state == Draining) {
 			lag = s.mvee.MaxLag()
+			if s.mvee.Monitor != nil {
+				epoch = s.mvee.Monitor.EpochSize()
+			}
 		}
 		st.Shards = append(st.Shards, ShardInfo{
 			Index:       s.idx,
@@ -970,6 +1043,7 @@ func (f *Fleet) Stats() Stats {
 			LastVerdict: s.lastVerdict,
 			Policy:      lv,
 			MaxLag:      lag,
+			EpochSize:   epoch,
 		})
 		routed += s.connsRouted
 		s.mu.Unlock()

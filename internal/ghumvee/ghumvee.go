@@ -82,6 +82,25 @@ type Stats struct {
 	EpochFlushes uint64
 }
 
+// Emit reports the snapshot as (metric, value) pairs under the
+// telemetry naming convention ("_total" marks cumulative counters).
+// Plain func signature so this package never imports the registry.
+func (s Stats) Emit(emit func(name string, v uint64)) {
+	emit("monitored_calls_total", s.MonitoredCalls)
+	emit("master_calls_total", s.MasterCalls)
+	emit("all_replica_calls_total", s.AllReplicaCalls)
+	emit("ptrace_stops_total", s.PtraceStops)
+	emit("bytes_compared_total", s.BytesCompared)
+	emit("bytes_replicated_total", s.BytesReplicated)
+	emit("signals_deferred_total", s.SignalsDeferred)
+	emit("shm_rejected_total", s.ShmRejected)
+	emit("rb_resets_total", s.RBResets)
+	emit("divergences_total", s.Divergences)
+	emit("wakeups_total", s.Wakeups)
+	emit("epoch_batched_total", s.EpochBatched)
+	emit("epoch_flushes_total", s.EpochFlushes)
+}
+
 // atomicStats is the hot-path counter block; Stats() snapshots it.
 type atomicStats struct {
 	monitoredCalls  atomic.Uint64

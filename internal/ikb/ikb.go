@@ -81,6 +81,20 @@ type Stats struct {
 	GrantDenied uint64
 }
 
+// Emit reports the snapshot as (metric, value) pairs under the
+// telemetry naming convention ("_total" marks cumulative counters).
+// Plain func signature so this package never imports the registry.
+func (s Stats) Emit(emit func(name string, v uint64)) {
+	emit("intercepted_total", s.Intercepted)
+	emit("routed_ipmon_total", s.RoutedIPMon)
+	emit("routed_monitor_total", s.RoutedMonitor)
+	emit("tokens_minted_total", s.TokensMinted)
+	emit("token_violations_total", s.TokenViolations)
+	emit("tokens_revoked_total", s.TokensRevoked)
+	emit("registrations_total", s.Registrations)
+	emit("grant_denied_total", s.GrantDenied)
+}
+
 // Broker is the IK-B instance; it implements vkernel.Interceptor. The
 // entire per-call path is lock-free: the registration table is an
 // atomically published copy-on-write map (mutations only at

@@ -27,6 +27,19 @@ type Stats struct {
 	LastDivergence string
 }
 
+// Emit reports the snapshot as (metric, value) pairs under the
+// telemetry naming convention ("_total" marks cumulative counters).
+// Plain func signature so this package never imports the registry.
+func (s Stats) Emit(emit func(name string, v uint64)) {
+	emit("dispatched_total", s.Dispatched)
+	emit("unmonitored_total", s.Unmonitored)
+	emit("forwarded_policy_total", s.ForwardedPolicy)
+	emit("forwarded_signal_total", s.ForwardedSignal)
+	emit("forwarded_too_big_total", s.ForwardedTooBig)
+	emit("temporal_exempt_total", s.TemporalExempt)
+	emit("divergences_total", s.Divergences)
+}
+
 // counters is the lock-free backing for Stats: the fast path bumps these
 // without touching the instance mutex (the seed took it 3–4 times per
 // unmonitored call).

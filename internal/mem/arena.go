@@ -30,6 +30,16 @@ type ArenaStats struct {
 	ScrubbedBytes uint64
 }
 
+// Emit reports the snapshot as (metric, value) pairs under the
+// telemetry naming convention ("_total" marks cumulative counters).
+// Plain func signature so this package never imports the registry.
+func (s ArenaStats) Emit(emit func(name string, v uint64)) {
+	emit("hits_total", s.Hits)
+	emit("misses_total", s.Misses)
+	emit("releases_total", s.Releases)
+	emit("scrubbed_bytes_total", s.ScrubbedBytes)
+}
+
 var (
 	arenaMu    sync.Mutex
 	arenaFree  = map[uint64][]*SharedSegment{}

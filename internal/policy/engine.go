@@ -291,6 +291,47 @@ func (e *Engine) Install(rules Rules) (*Snapshot, error) {
 // Current returns the active snapshot (never nil).
 func (e *Engine) Current() *Snapshot { return e.cur.Load() }
 
+// EngineStats is the engine's control-plane summary: install history
+// depth, the live snapshot's identity and the grant ratchet's position.
+type EngineStats struct {
+	// Installs is the number of rule sets ever installed (== the live
+	// snapshot version — versions are dense from 1).
+	Installs uint64
+	// Version / DefaultLevel / MaxLevel describe the active snapshot.
+	Version      uint64
+	DefaultLevel Level
+	MaxLevel     Level
+	// MaxEverLevel is the GrantableEver ratchet: the highest MaxLevel
+	// across the install history (never lowered).
+	MaxEverLevel Level
+}
+
+// Stats snapshots the engine.
+func (e *Engine) Stats() EngineStats {
+	cur := e.Current()
+	e.mu.Lock()
+	installs := uint64(len(e.history))
+	e.mu.Unlock()
+	return EngineStats{
+		Installs:     installs,
+		Version:      uint64(cur.version),
+		DefaultLevel: cur.def,
+		MaxLevel:     cur.max,
+		MaxEverLevel: Level(e.maxEver.Load()),
+	}
+}
+
+// Emit reports the snapshot as (metric, value) pairs under the
+// telemetry naming convention ("_total" marks cumulative counters).
+// Plain func signature so this package never imports the registry.
+func (s EngineStats) Emit(emit func(name string, v uint64)) {
+	emit("installs_total", s.Installs)
+	emit("snapshot_version", s.Version)
+	emit("default_level", uint64(s.DefaultLevel))
+	emit("max_level", uint64(s.MaxLevel))
+	emit("max_ever_level", uint64(s.MaxEverLevel))
+}
+
 // Initial returns version 1 — the snapshot every logical-thread stream is
 // pinned to before its first replication-buffer handoff.
 func (e *Engine) Initial() *Snapshot {

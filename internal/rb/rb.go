@@ -148,6 +148,34 @@ type Stats struct {
 	// LagWaits counts the times a writer hit the MaxLag budget (or a
 	// not-yet-drained spare half) and had to wait for slave consumption.
 	LagWaits uint64
+
+	// Lag distribution (pipelined mode; fleet.Controller's inputs).
+	// CurLag is the live distance, in entries, between the most-ahead
+	// partition's published sequence and its slowest slave's acknowledged
+	// consumption — sampled at snapshot time, wrap-safe. HighWaterLag is
+	// the largest lag any writer observed at a group-commit publication.
+	// LowWaterWaits counts the LagWaits that were the MaxLag-budget
+	// hysteresis waits (resumed at the MaxLag/2 low-water mark), as
+	// opposed to generation-flip waits — a high ratio means the window
+	// itself, not buffer capacity, is the bottleneck.
+	CurLag        uint64
+	HighWaterLag  uint64
+	LowWaterWaits uint64
+}
+
+// Emit reports the snapshot as (metric, value) pairs under the
+// telemetry naming convention ("_total" marks cumulative counters).
+// Plain func signature so this package never imports the registry.
+func (s Stats) Emit(emit func(name string, v uint64)) {
+	emit("wakes_total", s.Wakes)
+	emit("wake_checks_total", s.WakeChecks)
+	emit("flushes_total", s.Flushes)
+	emit("batched_total", s.Batched)
+	emit("flips_total", s.Flips)
+	emit("lag_waits_total", s.LagWaits)
+	emit("low_water_waits_total", s.LowWaterWaits)
+	emit("cur_lag", s.CurLag)
+	emit("high_water_lag", s.HighWaterLag)
 }
 
 // pipeState is the buffer-wide master-ahead pipeline configuration and
@@ -165,6 +193,22 @@ type pipeState struct {
 	batched  atomic.Uint64
 	flips    atomic.Uint64
 	lagWaits atomic.Uint64
+	// highWater is the largest publication-time lag any writer has
+	// observed (monotone CAS max); lowWaterWaits counts the lag-budget
+	// hysteresis waits within lagWaits.
+	highWater     atomic.Uint64
+	lowWaterWaits atomic.Uint64
+}
+
+// noteLag advances the high-water lag mark (monotone, CAS race-safe).
+func (pl *pipeState) noteLag(d uint32) {
+	v := uint64(d)
+	for {
+		hw := pl.highWater.Load()
+		if v <= hw || pl.highWater.CompareAndSwap(hw, v) {
+			return
+		}
+	}
 }
 
 // Buffer is the shared replication buffer.
@@ -275,8 +319,32 @@ func (b *Buffer) Stats() Stats {
 		st.Batched = b.pl.batched.Load()
 		st.Flips = b.pl.flips.Load()
 		st.LagWaits = b.pl.lagWaits.Load()
+		st.HighWaterLag = b.pl.highWater.Load()
+		st.LowWaterWaits = b.pl.lowWaterWaits.Load()
+		st.CurLag = uint64(b.curLag())
 	}
 	return st
+}
+
+// curLag samples the live lag: the worst (writtenSeq - consumed)
+// distance across partitions and slaves. Pipelined counters are
+// cumulative and wrap-safe; the read side loads writtenSeq before each
+// consumed counter, so a concurrent consume can make the distance
+// appear negative (wrapped huge) — such reads are clamped out. The
+// whole walk is atomic loads over the shared segment: zero allocations
+// (pinned by TestStatsZeroAlloc).
+func (b *Buffer) curLag() uint32 {
+	var worst uint32
+	for p := 0; p < b.nParts; p++ {
+		base := b.partBase(p)
+		seq := b.seg.LoadU32(base + phWrittenSeq)
+		for r := 1; r < b.nReplicas; r++ {
+			if d := seq - b.seg.LoadU32(base+phConsumed+uint64(r)*4); d < 1<<31 && d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
 }
 
 // New creates a buffer over seg for nReplicas replicas and nParts logical
@@ -580,7 +648,7 @@ func (w *Writer) reservePipelined(t *vkernel.Thread, c *vkernel.Call, flags uint
 		if low == 0 {
 			low = 1
 		}
-		w.waitConsumed(t, w.seq+1-low)
+		w.waitConsumed(t, w.seq+1-low, true)
 	}
 
 	// Overflow: flip to the spare half once every slave has left it (two
@@ -588,7 +656,7 @@ func (w *Writer) reservePipelined(t *vkernel.Thread, c *vkernel.Call, flags uint
 	// full generation behind, never for the half it just filled).
 	if w.off+need > w.halfCap() {
 		w.Flush(t)
-		w.waitConsumed(t, w.genStart)
+		w.waitConsumed(t, w.genStart, false)
 		w.gen++
 		w.genStart = w.seq
 		b.seg.StoreU32(base+halfStartOff(w.gen&1), w.seq)
@@ -675,6 +743,7 @@ func (w *Writer) Flush(t *vkernel.Thread) {
 	w.b.seg.StoreU32(base+phWrittenSeq, w.seq)
 	w.published = w.seq
 	w.b.pl.flushes.Add(1)
+	w.b.pl.noteLag(w.lag())
 	w.wakeFutex(t, base+phWrittenSeq)
 }
 
@@ -683,12 +752,15 @@ func (w *Writer) Flush(t *vkernel.Thread) {
 // the recheck timer notices a missed notification. Consumers ping the
 // partition's drain channel after their consumed-counter store while
 // lagArmed is up.
-func (w *Writer) waitConsumed(t *vkernel.Thread, target uint32) {
+func (w *Writer) waitConsumed(t *vkernel.Thread, target uint32, lowWater bool) {
 	if w.consumedReached(target) {
 		return
 	}
 	pl := w.b.pl
 	pl.lagWaits.Add(1)
+	if lowWater {
+		pl.lowWaterWaits.Add(1)
+	}
 	pl.lagArmed[w.part].Store(1)
 	defer pl.lagArmed[w.part].Store(0)
 	tm := time.NewTimer(lagRecheck)

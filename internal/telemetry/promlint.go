@@ -1,0 +1,277 @@
+// A minimal Prometheus text-exposition (0.0.4) validator: enough of the
+// grammar to prove scrape output is machine-parseable — names, label
+// syntax, float values, TYPE declarations, histogram completeness —
+// without importing a client library. Tests and harnesses run every
+// exporter payload through it.
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromParse validates text as Prometheus exposition format and returns
+// the parsed samples. Checks applied:
+//
+//   - metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+//   - label values are quoted with valid escapes;
+//   - sample values parse as Go floats (+Inf/-Inf/NaN allowed);
+//   - every sample's base family has exactly one preceding # TYPE line,
+//     and histogram samples only use the _bucket/_sum/_count suffixes;
+//   - histogram series carry an le="+Inf" bucket whose value equals the
+//     series' _count, and bucket counts are monotone in le.
+func PromParse(text string) ([]PromSample, error) {
+	var samples []PromSample
+	types := map[string]string{}
+	// histogram completeness accounting: family+labels(without le) ->
+	// last cumulative bucket, +Inf value, _count value.
+	type histState struct {
+		lastLe  float64
+		lastCum float64
+		inf     *float64
+		count   *float64
+	}
+	hists := map[string]*histState{}
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, kind := fields[2], fields[3]
+				if !validName(name) {
+					return nil, fmt.Errorf("line %d: invalid family name %q", lineNo, name)
+				}
+				if _, dup := types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q", lineNo, kind)
+				}
+				types[name] = kind
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := s.Name
+		if fam, suffix := histFamily(s.Name, types); fam != "" {
+			base = fam
+			key := fam + "|" + labelsKeyWithoutLe(s.Labels)
+			h := hists[key]
+			if h == nil {
+				h = &histState{lastLe: -1}
+				hists[key] = h
+			}
+			switch suffix {
+			case "_bucket":
+				le, ok := s.Labels["le"]
+				if !ok {
+					return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				if le == "+Inf" {
+					v := s.Value
+					h.inf = &v
+				} else {
+					b, perr := strconv.ParseFloat(le, 64)
+					if perr != nil {
+						return nil, fmt.Errorf("line %d: bad le %q", lineNo, le)
+					}
+					if b <= h.lastLe {
+						return nil, fmt.Errorf("line %d: le %q not increasing", lineNo, le)
+					}
+					if s.Value < h.lastCum {
+						return nil, fmt.Errorf("line %d: bucket counts not cumulative", lineNo)
+					}
+					h.lastLe, h.lastCum = b, s.Value
+				}
+			case "_count":
+				v := s.Value
+				h.count = &v
+			}
+		}
+		if _, ok := types[base]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, s.Name)
+		}
+		samples = append(samples, s)
+	}
+
+	for key, h := range hists {
+		if h.inf == nil {
+			return nil, fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", key)
+		}
+		if h.count == nil {
+			return nil, fmt.Errorf("histogram %s: missing _count", key)
+		}
+		if *h.inf != *h.count {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %v != count %v", key, *h.inf, *h.count)
+		}
+		if h.lastCum > *h.inf {
+			return nil, fmt.Errorf("histogram %s: finite bucket exceeds +Inf", key)
+		}
+	}
+	return samples, nil
+}
+
+// histFamily resolves a sample name to its declared histogram family, if
+// the name is one of the histogram expansion suffixes of a family with
+// TYPE histogram. Returns ("", "") otherwise.
+func histFamily(name string, types map[string]string) (fam, suffix string) {
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, sfx) {
+			base := strings.TrimSuffix(name, sfx)
+			if types[base] == "histogram" {
+				return base, sfx
+			}
+		}
+	}
+	return "", ""
+}
+
+func labelsKeyWithoutLe(labels map[string]string) string {
+	var parts []string
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	// Order-stable enough for grouping: the renderer emits label sets in
+	// one fixed order, so identical sets produce identical map contents;
+	// sort for determinism across map iteration.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseSampleLine parses `name{labels} value` (timestamp not supported —
+// the registry never emits one).
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	// Name runs to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("no value: %q", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set: %q", line)
+		}
+		if err := parseLabels(rest[1:close], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("no value: %q", line)
+	}
+	// Only the value field remains (no timestamps emitted).
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, into map[string]string) error {
+	for body != "" {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return fmt.Errorf("label without '=': %q", body)
+		}
+		key := body[:eq]
+		if !validName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		body = body[eq+1:]
+		if body == "" || body[0] != '"' {
+			return fmt.Errorf("label %q value not quoted", key)
+		}
+		body = body[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return fmt.Errorf("label %q: dangling escape", key)
+				}
+				i++
+				switch body[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("label %q: bad escape \\%c", key, body[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(body) {
+			return fmt.Errorf("label %q: unterminated value", key)
+		}
+		if _, dup := into[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		into[key] = val.String()
+		body = body[i+1:]
+		if body != "" {
+			if body[0] != ',' {
+				return fmt.Errorf("labels not comma-separated near %q", body)
+			}
+			body = body[1:]
+		}
+	}
+	return nil
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if i == 0 && !letter {
+			return false
+		}
+		if !letter && !(c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}

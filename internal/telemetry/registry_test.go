@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries is the golden test for the
+// power-of-two bucket map: every boundary value lands in the bucket
+// whose rendered le is the smallest 2^i - 1 at or above it.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{16, 5},
+		{1023, 10}, {1024, 11},
+		{1<<32 - 1, 32},
+		// Values past the covered range clamp into the last bucket.
+		{1 << 32, 32},
+		{math.MaxUint64, 32},
+	}
+	for _, c := range cases {
+		h := &Histogram{}
+		h.Observe(c.v)
+		for i := 0; i < HistBuckets; i++ {
+			want := uint64(0)
+			if i == c.bucket {
+				want = 1
+			}
+			if got := h.buckets[i].Load(); got != want {
+				t.Errorf("Observe(%d): bucket %d = %d, want %d", c.v, i, got, want)
+			}
+		}
+		if c.v < 1<<32 && BucketBound(c.bucket) < c.v {
+			t.Errorf("Observe(%d): landed in bucket %d with bound %d < value",
+				c.v, c.bucket, BucketBound(c.bucket))
+		}
+		if c.bucket > 0 && c.v < 1<<32 && BucketBound(c.bucket-1) >= c.v {
+			t.Errorf("Observe(%d): previous bucket bound %d already covers it",
+				c.v, BucketBound(c.bucket-1))
+		}
+	}
+}
+
+// TestBucketBoundGolden pins the rendered upper bounds.
+func TestBucketBoundGolden(t *testing.T) {
+	want := []uint64{0, 1, 3, 7, 15, 31, 63, 127, 255, 511, 1023}
+	for i, w := range want {
+		if got := BucketBound(i); got != w {
+			t.Errorf("BucketBound(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := BucketBound(32); got != 1<<32-1 {
+		t.Errorf("BucketBound(32) = %d, want %d", got, uint64(1<<32-1))
+	}
+}
+
+// TestUpdateZeroAlloc pins the hot-path contract: metric updates on
+// pre-registered cells are allocation-free.
+func TestUpdateZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	ctr := reg.Counter("test_ops_total", "ops", L("shard", "0"))
+	g := reg.Gauge("test_depth", "depth", L("shard", "0"))
+	h := reg.Histogram("test_lat", "latency", L("shard", "0"))
+
+	if n := testing.AllocsPerRun(200, func() { ctr.Inc(); ctr.Add(3) }); n != 0 {
+		t.Errorf("Counter update allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { g.Set(4.2) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %.1f/op, want 0", n)
+	}
+	var v uint64
+	if n := testing.AllocsPerRun(200, func() { h.Observe(v); v += 97 }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestConcurrentRegisterScrape hammers registration, updates and
+// scrapes from many goroutines; run under -race this is the data-race
+// proof for the registry lock discipline.
+func TestConcurrentRegisterScrape(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: register-or-find cells and update them.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := reg.Counter("conc_ops_total", "ops", L("w", fmt.Sprint(w%3)))
+				c.Inc()
+				h := reg.Histogram("conc_lat", "lat", L("w", fmt.Sprint(w%3)))
+				h.Observe(uint64(i))
+				reg.Gauge("conc_depth", "d", L("w", fmt.Sprint(w%3))).Set(float64(i))
+			}
+		}(w)
+	}
+	// A collector registering mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reg.RegisterCollector(L("src", "coll"), func(s *Sampler) {
+			s.MetricU("conc_sampled_total", 7)
+			s.Metric("conc_sampled_gauge", 1.5)
+		})
+	}()
+	// Scrapers.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := PromParse(reg.PromText()); err != nil {
+					t.Errorf("mid-flight scrape invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+
+	// Final scrape: counts must add up.
+	samples, err := PromParse(reg.PromText())
+	if err != nil {
+		t.Fatalf("final scrape invalid: %v", err)
+	}
+	var total float64
+	for _, s := range samples {
+		if s.Name == "conc_ops_total" {
+			total += s.Value
+		}
+	}
+	if total != 4*200 {
+		t.Errorf("conc_ops_total sums to %.0f, want %d", total, 4*200)
+	}
+}
+
+// TestPromTextFormat checks the rendered exposition against the
+// validator and pins the histogram expansion shape.
+func TestPromTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fmt_reqs_total", "requests", L("shard", "0")).Add(12)
+	reg.Counter("fmt_reqs_total", "requests", L("shard", "1")).Add(30)
+	reg.Gauge("fmt_lag", "lag", nil).Set(2.5)
+	h := reg.Histogram("fmt_lat", "latency", L("shard", "0"))
+	h.Observe(0)
+	h.Observe(5)  // bucket 3 (le 7)
+	h.Observe(70) // bucket 7 (le 127)
+
+	text := reg.PromText()
+	samples, err := PromParse(text)
+	if err != nil {
+		t.Fatalf("invalid exposition:\n%s\nerr: %v", text, err)
+	}
+
+	find := func(name string, labels map[string]string) *PromSample {
+		for i := range samples {
+			s := &samples[i]
+			if s.Name != name {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s
+			}
+		}
+		return nil
+	}
+
+	if s := find("fmt_reqs_total", map[string]string{"shard": "1"}); s == nil || s.Value != 30 {
+		t.Errorf("fmt_reqs_total{shard=1}: got %+v, want 30", s)
+	}
+	if s := find("fmt_lag", nil); s == nil || s.Value != 2.5 {
+		t.Errorf("fmt_lag: got %+v, want 2.5", s)
+	}
+	// Histogram: cumulative buckets at the observed boundaries.
+	if s := find("fmt_lat_bucket", map[string]string{"le": "0"}); s == nil || s.Value != 1 {
+		t.Errorf("le=0 bucket: got %+v, want 1", s)
+	}
+	if s := find("fmt_lat_bucket", map[string]string{"le": "7"}); s == nil || s.Value != 2 {
+		t.Errorf("le=7 bucket: got %+v, want cumulative 2", s)
+	}
+	if s := find("fmt_lat_bucket", map[string]string{"le": "127"}); s == nil || s.Value != 3 {
+		t.Errorf("le=127 bucket: got %+v, want cumulative 3", s)
+	}
+	if s := find("fmt_lat_bucket", map[string]string{"le": "+Inf"}); s == nil || s.Value != 3 {
+		t.Errorf("+Inf bucket: got %+v, want 3", s)
+	}
+	if s := find("fmt_lat_sum", nil); s == nil || s.Value != 75 {
+		t.Errorf("fmt_lat_sum: got %+v, want 75", s)
+	}
+	if s := find("fmt_lat_count", nil); s == nil || s.Value != 3 {
+		t.Errorf("fmt_lat_count: got %+v, want 3", s)
+	}
+	// One TYPE line per family.
+	if n := strings.Count(text, "# TYPE fmt_reqs_total "); n != 1 {
+		t.Errorf("fmt_reqs_total has %d TYPE lines, want 1", n)
+	}
+	// Determinism: a second render with unchanged cells is identical.
+	if text2 := reg.PromText(); text2 != text {
+		t.Error("render is not deterministic for fixed cell values")
+	}
+}
+
+// TestSamplerKindInference pins the "_total" convention the Emit
+// bridges rely on.
+func TestSamplerKindInference(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterCollector(L("shard", "2"), func(s *Sampler) {
+		s.MetricU("inf_calls_total", 41)
+		s.MetricU("inf_cur_lag", 9)
+	})
+	text := reg.PromText()
+	if !strings.Contains(text, "# TYPE inf_calls_total counter") {
+		t.Errorf("_total not inferred as counter:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE inf_cur_lag gauge") {
+		t.Errorf("non-_total not inferred as gauge:\n%s", text)
+	}
+	if !strings.Contains(text, `inf_calls_total{shard="2"} 41`) {
+		t.Errorf("collector labels not applied:\n%s", text)
+	}
+	// Re-sampling stores absolutes, not increments.
+	if _, err := PromParse(reg.PromText()); err != nil {
+		t.Fatal(err)
+	}
+	text = reg.PromText()
+	if !strings.Contains(text, `inf_calls_total{shard="2"} 41`) {
+		t.Errorf("collector re-sample not absolute:\n%s", text)
+	}
+}
+
+// TestPromParseRejects exercises the validator's negative space.
+func TestPromParseRejects(t *testing.T) {
+	bad := []string{
+		"no_type_line 3",
+		"# TYPE x counter\n1bad_name 3",
+		"# TYPE x gauge\nx{l=unquoted} 3",
+		"# TYPE x gauge\nx notafloat",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"3\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\nh_sum 3",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\nh_sum 3",
+	}
+	for _, text := range bad {
+		if _, err := PromParse(text); err == nil {
+			t.Errorf("accepted invalid exposition:\n%s", text)
+		}
+	}
+}
+
+// TestLabelEscaping round-trips a hostile label value.
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("esc_g", "g", L("msg", "a\"b\\c\nd")).Set(1)
+	samples, err := PromParse(reg.PromText())
+	if err != nil {
+		t.Fatalf("escaped label broke parsing: %v", err)
+	}
+	if samples[0].Labels["msg"] != "a\"b\\c\nd" {
+		t.Errorf("label round-trip got %q", samples[0].Labels["msg"])
+	}
+}

@@ -263,6 +263,8 @@ func (c *Conn) Send(data []byte, now model.Duration) (model.Duration, error) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	peer.rx.push(buf, c.link.TransferTime(now, len(data))+c.net.faultDelay())
+	c.net.st.segments.Add(1)
+	c.net.st.bytes.Add(uint64(len(data)))
 	c.net.notify()
 	return now + model.Duration(len(data))*c.link.PerByte, nil
 }
@@ -297,6 +299,8 @@ func (c *Conn) SendSeg(data []byte, now model.Duration) (model.Duration, error) 
 		return now, ErrClosed
 	}
 	peer.rx.push(data, c.link.TransferTime(now, len(data))+c.net.faultDelay())
+	c.net.st.segments.Add(1)
+	c.net.st.bytes.Add(uint64(len(data)))
 	c.net.notify()
 	return now + model.Duration(len(data))*c.link.PerByte, nil
 }
@@ -410,6 +414,7 @@ func (l *Listener) Accept(block bool) (*Conn, model.Duration, error) {
 	// Popping opened backlog room: wake connectors parked in the SYN
 	// queue (Connect's wait-for-room loop shares this cond).
 	l.cond.Broadcast()
+	l.net.st.accepts.Add(1)
 	return p.conn, p.arrive, nil
 }
 
@@ -465,6 +470,57 @@ type Network struct {
 
 	fault  atomic.Pointer[FaultProfile]
 	faultN atomic.Uint64
+
+	st netCounters
+}
+
+// netCounters is the fabric's lock-free activity accounting (Stats).
+type netCounters struct {
+	connects  atomic.Uint64
+	refused   atomic.Uint64
+	accepts   atomic.Uint64
+	segments  atomic.Uint64
+	bytes     atomic.Uint64
+	faultHits atomic.Uint64
+}
+
+// NetStats counts fabric activity: connection establishment on the
+// control plane, segments/bytes pushed on the data plane, fault-profile
+// perturbations. All host-side counters; nothing here affects virtual
+// time.
+type NetStats struct {
+	Connects uint64 // successful Connect calls
+	Refused  uint64 // Connects refused (no listener / backlog timeout)
+	Accepts  uint64 // connections taken from accept queues
+	Segments uint64 // segments pushed onto rx queues
+	Bytes    uint64 // payload bytes pushed onto rx queues
+	// FaultHits counts segments perturbed by an active fault profile
+	// (extra latency or RTO redelivery).
+	FaultHits uint64
+}
+
+// Emit reports the snapshot as (metric, value) pairs under the
+// telemetry naming convention ("_total" marks cumulative counters).
+// Plain func signature so this package never imports the registry.
+func (s NetStats) Emit(emit func(name string, v uint64)) {
+	emit("connects_total", s.Connects)
+	emit("refused_total", s.Refused)
+	emit("accepts_total", s.Accepts)
+	emit("segments_total", s.Segments)
+	emit("bytes_total", s.Bytes)
+	emit("fault_hits_total", s.FaultHits)
+}
+
+// Stats snapshots the fabric counters.
+func (n *Network) Stats() NetStats {
+	return NetStats{
+		Connects:  n.st.connects.Load(),
+		Refused:   n.st.refused.Load(),
+		Accepts:   n.st.accepts.Load(),
+		Segments:  n.st.segments.Load(),
+		Bytes:     n.st.bytes.Load(),
+		FaultHits: n.st.faultHits.Load(),
+	}
 }
 
 // SetFaultProfile installs (or, with nil, clears) a chaos fault overlay.
@@ -493,6 +549,9 @@ func (n *Network) faultDelay() model.Duration {
 			rto = DefaultRTO
 		}
 		d += rto
+	}
+	if d > 0 {
+		n.st.faultHits.Add(1)
 	}
 	return d
 }
@@ -590,6 +649,7 @@ func (n *Network) Connect(addr string, now model.Duration) (*Conn, model.Duratio
 	localAddr := "ephemeral:" + itoa(n.nextPort)
 	n.mu.Unlock()
 	if l == nil {
+		n.st.refused.Add(1)
 		return nil, now + 2*link.Latency, ErrConnRefused
 	}
 
@@ -601,11 +661,13 @@ func (n *Network) Connect(addr string, now model.Duration) (*Conn, model.Duratio
 	l.mu.Lock()
 	if !l.waitRoom(wait) {
 		l.mu.Unlock()
+		n.st.refused.Add(1)
 		return nil, now + 2*link.Latency, ErrConnRefused
 	}
 	l.queue = append(l.queue, pendingConn{conn: server, arrive: now + link.Latency})
 	l.cond.Broadcast()
 	l.mu.Unlock()
+	n.st.connects.Add(1)
 	n.notify()
 	return client, now + 2*link.Latency, nil
 }
