@@ -8,6 +8,7 @@
 //	            [-rb-json BENCH_rb.json] [-fleet-json BENCH_fleet.json]
 //	            [-ghumvee-json BENCH_ghumvee.json] [-policy-json BENCH_policy.json]
 //	            [-pipeline-json BENCH_pipeline.json] [-autotune-json BENCH_autotune.json]
+//	            [-autoscale-json BENCH_autoscale.json]
 //
 // Absolute numbers are virtual-time measurements on the simulated
 // substrate; the claim being reproduced is the *shape* (see
@@ -37,6 +38,7 @@ func main() {
 	fleetJSON := flag.String("fleet-json", "", "write fleet serving results (shards, aggregate req/s in virtual time, p99 recovery latency) to this file, e.g. BENCH_fleet.json")
 	handoffJSON := flag.String("handoff-json", "", "write zero-loss failover results (p50/p99 handoff latency and requests lost at 1/2/4/8 shards) to this file, e.g. BENCH_handoff.json")
 	autotuneJSON := flag.String("autotune-json", "", "write the controller convergence experiment (conservative corner -> SLO under the 16-thread pipeline profile, plus the divergence snap-back) to this file, e.g. BENCH_autotune.json")
+	autoscaleJSON := flag.String("autoscale-json", "", "write the elastic-vs-fixed surge campaign (pool size vs offered load, shed rate, p99 admission latency) to this file, e.g. BENCH_autoscale.json")
 	fleetRecoveries := flag.Int("fleet-recoveries", 5, "injected-divergence recovery samples for the fleet scenario")
 	flag.Parse()
 
@@ -135,6 +137,20 @@ func main() {
 			return os.WriteFile(*autotuneJSON, append(payload, '\n'), 0o644)
 		})
 	}
+	if *autoscaleJSON != "" {
+		run("Elastic autoscale surge (elastic vs fixed pool) -> "+*autoscaleJSON, func() error {
+			res, err := bench.RunAutoscaleSurge(bench.AutoscaleConfig{})
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatAutoscale(res))
+			payload, err := bench.MarshalAutoscale(res)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*autoscaleJSON, append(payload, '\n'), 0o644)
+		})
+	}
 	fleetDone := false
 	if *fleetJSON != "" {
 		fleetDone = true
@@ -165,7 +181,7 @@ func main() {
 			return os.WriteFile(*handoffJSON, append(payload, '\n'), 0o644)
 		})
 	}
-	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "" || *handoffJSON != "" || *autotuneJSON != "") && *experiment == "" {
+	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "" || *handoffJSON != "" || *autotuneJSON != "" || *autoscaleJSON != "") && *experiment == "" {
 		return
 	}
 

@@ -1,0 +1,273 @@
+// Autoscale surge tracking: the elasticity experiment behind
+// remon-bench -autoscale-json BENCH_autoscale.json. The same
+// steady/surge/decay offered-load schedule runs twice — once against a
+// fleet under fleet.Autoscaler control, once against an identical fleet
+// pinned at its boot capacity — and the payload records both pool-size
+// trajectories against the offered load, the shed/refused admission
+// counters, and the admission-latency quantiles. The headline figures:
+// the elastic run grows to the clamp and sheds nothing (the admission
+// retry budget bridges the scale-up), the fixed run sheds, and the
+// elastic pool is back at the floor by the end of the settle window.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"remon/internal/chaos"
+	"remon/internal/fleet"
+)
+
+// AutoscaleConfig sizes the surge experiment. The defaults mirror the
+// chaos acceptance test's capacity math: connections live long enough
+// that the whole burst is concurrent, under the elastic clamp's slots
+// but far over the fixed pool's.
+type AutoscaleConfig struct {
+	MinShards        int           // boot + floor (default 2)
+	MaxShards        int           // elastic clamp (default 4)
+	MaxConnsPerShard int           // per-shard admission cap (default 6)
+	SteadyConnsPerSec int          // trickle arrival rate (default 10)
+	SurgeConnsPerSec  int          // surge arrival rate (default 100)
+	SteadyDur        time.Duration // trickle phase span (default 200ms)
+	SurgeDur         time.Duration // surge phase span (default 150ms)
+	RequestsPerConn  int           // per-connection round trips (default 40)
+	Gap              time.Duration // per-connection send pacing (default 35ms)
+	Settle           time.Duration // post-load sampling window (default 3s)
+	KillAt           time.Duration // shard-kill offset, 0 = no kill (default 400ms)
+}
+
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.MinShards <= 0 {
+		c.MinShards = 2
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 4
+	}
+	if c.MaxConnsPerShard <= 0 {
+		c.MaxConnsPerShard = 6
+	}
+	if c.SteadyConnsPerSec <= 0 {
+		c.SteadyConnsPerSec = 10
+	}
+	if c.SurgeConnsPerSec <= 0 {
+		c.SurgeConnsPerSec = 100
+	}
+	if c.SteadyDur <= 0 {
+		c.SteadyDur = 200 * time.Millisecond
+	}
+	if c.SurgeDur <= 0 {
+		c.SurgeDur = 150 * time.Millisecond
+	}
+	if c.RequestsPerConn <= 0 {
+		c.RequestsPerConn = 40
+	}
+	if c.Gap <= 0 {
+		c.Gap = 35 * time.Millisecond
+	}
+	if c.Settle <= 0 {
+		c.Settle = 3 * time.Second
+	}
+	if c.KillAt < 0 {
+		c.KillAt = 0
+	}
+	return c
+}
+
+// AutoscaleSample is one trajectory point in JSON form.
+type AutoscaleSample struct {
+	AtMs       float64 `json:"at_ms"`
+	Serving    int     `json:"serving"`
+	Pool       int     `json:"pool"`
+	Launched   int     `json:"launched"`
+	Shed       uint64  `json:"shed"`
+	AdmitWaits uint64  `json:"admit_waits"`
+}
+
+// AutoscaleRun is one campaign's outcome.
+type AutoscaleRun struct {
+	Mode         string            `json:"mode"` // "elastic" | "fixed"
+	Launched     int               `json:"launched"`
+	Sent         int               `json:"requests_sent"`
+	Responses    int               `json:"responses_received"`
+	Lost         int               `json:"requests_lost"`
+	Shed         uint64            `json:"conns_shed"`
+	Refused      uint64            `json:"conns_refused"`
+	AdmitWaits   uint64            `json:"admit_waits"`
+	Handoffs     uint64            `json:"handoffs"`
+	Recoveries   int               `json:"recoveries"`
+	Kills        int               `json:"kills"`
+	PeakServing  int               `json:"peak_serving"`
+	FinalServing int               `json:"final_serving"`
+	AdmitP50Ms   float64           `json:"admit_p50_ms"`
+	AdmitP99Ms   float64           `json:"admit_p99_ms"`
+	ScaleUps     int               `json:"scale_ups"`
+	ScaleDowns   int               `json:"scale_downs"`
+	Violations   []string          `json:"violations,omitempty"`
+	Samples      []AutoscaleSample `json:"samples"`
+}
+
+// AutoscaleResult is the full experiment payload.
+type AutoscaleResult struct {
+	Config struct {
+		MinShards        int `json:"min_shards"`
+		MaxShards        int `json:"max_shards"`
+		MaxConnsPerShard int `json:"max_conns_per_shard"`
+		SteadyConnsPerSec int `json:"steady_conns_per_sec"`
+		SurgeConnsPerSec  int `json:"surge_conns_per_sec"`
+	} `json:"config"`
+	Elastic AutoscaleRun `json:"elastic"`
+	Fixed   AutoscaleRun `json:"fixed"`
+	// ShedAdvantage is fixed sheds minus elastic sheds — positive means
+	// elasticity bought graceful capacity where the fixed pool refused.
+	ShedAdvantage int64 `json:"shed_advantage"`
+}
+
+func autoscaleFleet(cfg AutoscaleConfig) (*fleet.Fleet, error) {
+	return fleet.New(fleet.Config{
+		Shards:           cfg.MinShards,
+		Replicas:         2,
+		RequestSize:      32,
+		ResponseSize:     128,
+		Handoff:          true,
+		MaxConnsPerShard: cfg.MaxConnsPerShard,
+		AdmitRetries:     96,
+		AdmitBackoff:     time.Millisecond,
+		LockstepTimeout:  5 * time.Second,
+	})
+}
+
+func autoscaleLoad(cfg AutoscaleConfig) chaos.SurgeLoad {
+	return chaos.SurgeLoad{
+		Phases: []chaos.SurgePhase{
+			{Duration: cfg.SteadyDur, ConnsPerSec: cfg.SteadyConnsPerSec},
+			{Duration: cfg.SurgeDur, ConnsPerSec: cfg.SurgeConnsPerSec},
+			{Duration: cfg.SteadyDur, ConnsPerSec: cfg.SteadyConnsPerSec},
+		},
+		RequestsPerConn: cfg.RequestsPerConn,
+		Window:          4,
+		Gap:             cfg.Gap,
+		SampleEvery:     5 * time.Millisecond,
+		Settle:          cfg.Settle,
+	}
+}
+
+func runJSON(rep chaos.SurgeReport, mode string, ups, downs int) AutoscaleRun {
+	run := AutoscaleRun{
+		Mode:         mode,
+		Launched:     rep.Launched,
+		Sent:         rep.RequestsSent(),
+		Responses:    rep.ResponsesReceived(),
+		Lost:         rep.Lost(),
+		Shed:         rep.FleetStats.ConnsShed,
+		Refused:      rep.FleetStats.ConnsRefused,
+		AdmitWaits:   rep.FleetStats.AdmitWaits,
+		Handoffs:     rep.FleetStats.Handoffs,
+		Recoveries:   rep.FleetStats.Recoveries,
+		Kills:        rep.Kills,
+		PeakServing:  rep.PeakServing,
+		FinalServing: rep.FinalServing,
+		AdmitP50Ms:   float64(rep.AdmitP(0.50)) / 1e6,
+		AdmitP99Ms:   float64(rep.AdmitP(0.99)) / 1e6,
+		ScaleUps:     ups,
+		ScaleDowns:   downs,
+		Violations:   rep.Violations(),
+	}
+	for _, s := range rep.Samples {
+		run.Samples = append(run.Samples, AutoscaleSample{
+			AtMs:       float64(s.At) / 1e6,
+			Serving:    s.Serving,
+			Pool:       s.Pool,
+			Launched:   s.Launched,
+			Shed:       s.Shed,
+			AdmitWaits: s.AdmitWaits,
+		})
+	}
+	return run
+}
+
+// RunAutoscaleSurge executes the elastic and fixed campaigns.
+func RunAutoscaleSurge(cfg AutoscaleConfig) (*AutoscaleResult, error) {
+	cfg = cfg.withDefaults()
+	res := &AutoscaleResult{}
+	res.Config.MinShards = cfg.MinShards
+	res.Config.MaxShards = cfg.MaxShards
+	res.Config.MaxConnsPerShard = cfg.MaxConnsPerShard
+	res.Config.SteadyConnsPerSec = cfg.SteadyConnsPerSec
+	res.Config.SurgeConnsPerSec = cfg.SurgeConnsPerSec
+
+	plan := chaos.Plan{}
+	if cfg.KillAt > 0 {
+		plan.Events = []chaos.Event{{At: cfg.KillAt, Kind: chaos.KillShard, Shard: 0}}
+	}
+
+	// Elastic leg.
+	f, err := autoscaleFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	as := f.StartAutoscaler(fleet.AutoscalerConfig{
+		Scaler: fleet.ScalerConfig{
+			MinShards: cfg.MinShards, MaxShards: cfg.MaxShards,
+			AdmitWaitHigh: 4,
+			UpRounds:      2, DownRounds: 6,
+			UpCooldown: 10, DownCooldown: 4,
+			InFlightFracHigh: 0.8, InFlightFracLow: 0.45,
+		},
+		Interval: 5 * time.Millisecond,
+		Window:   4,
+	})
+	rep := chaos.RunSurge(f, plan, autoscaleLoad(cfg))
+	ups, downs := 0, 0
+	for _, ev := range as.Events() {
+		switch ev.Decision {
+		case fleet.ScaleUp:
+			ups++
+		case fleet.ScaleDown:
+			downs++
+		}
+	}
+	as.Close()
+	f.Close()
+	res.Elastic = runJSON(rep, "elastic", ups, downs)
+
+	// Fixed leg: identical fleet and schedule, capacity pinned. The kill
+	// is omitted — the comparison isolates elasticity, and a fixed pool's
+	// failover story is already PR 6's experiment.
+	ff, err := autoscaleFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fixed := chaos.RunSurge(ff, chaos.Plan{}, autoscaleLoad(cfg))
+	ff.Close()
+	res.Fixed = runJSON(fixed, "fixed", 0, 0)
+
+	res.ShedAdvantage = int64(res.Fixed.Shed) - int64(res.Elastic.Shed)
+	return res, nil
+}
+
+// FormatAutoscale renders the experiment as aligned rows.
+func FormatAutoscale(r *AutoscaleResult) string {
+	s := fmt.Sprintf("autoscale surge: %d->%d shards, %d conns/shard, %d->%d conns/s\n",
+		r.Config.MinShards, r.Config.MaxShards, r.Config.MaxConnsPerShard,
+		r.Config.SteadyConnsPerSec, r.Config.SurgeConnsPerSec)
+	s += fmt.Sprintf("%-8s %9s %6s %6s %6s %6s %6s %6s %11s %11s %5s %5s\n",
+		"mode", "launched", "sent", "resp", "lost", "shed", "peak", "final", "admit-p50", "admit-p99", "ups", "downs")
+	for _, run := range []*AutoscaleRun{&r.Elastic, &r.Fixed} {
+		s += fmt.Sprintf("%-8s %9d %6d %6d %6d %6d %6d %6d %9.1fms %9.1fms %5d %5d\n",
+			run.Mode, run.Launched, run.Sent, run.Responses, run.Lost, run.Shed,
+			run.PeakServing, run.FinalServing, run.AdmitP50Ms, run.AdmitP99Ms,
+			run.ScaleUps, run.ScaleDowns)
+	}
+	s += fmt.Sprintf("shed advantage (fixed - elastic): %d conns\n", r.ShedAdvantage)
+	return s
+}
+
+// MarshalAutoscale renders the result as indented JSON (the
+// BENCH_autoscale.json payload).
+func MarshalAutoscale(r *AutoscaleResult) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Schema string           `json:"schema"`
+		Result *AutoscaleResult `json:"result"`
+	}{Schema: "remon-autoscale/v1", Result: r}, "", "  ")
+}

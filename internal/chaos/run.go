@@ -74,6 +74,12 @@ type ConnReport struct {
 	Phantom   bool   // received bytes for requests never sent
 	Regressed bool   // arrival stamps went backwards
 	Err       string // terminal stream error, if any
+	// Admit is the host time from connect start to the first complete
+	// response — the end-to-end admission latency a surging client
+	// experiences, including any balancer retry backoff spent waiting
+	// for the autoscaler to add capacity. Zero when no response ever
+	// completed.
+	Admit time.Duration
 }
 
 // Run executes plan against f under load and audits the result. The
@@ -190,6 +196,7 @@ func waitServing(f *fleet.Fleet, idx int, timeout time.Duration) bool {
 // exactly that loss is the harness's job.
 func driveOpenLoop(net *vnet.Network, addr string, load Load) ConnReport {
 	r := ConnReport{}
+	connStart := time.Now()
 	c, now, err := net.Connect(addr, 0)
 	if err != nil {
 		r.Err = "connect: " + err.Error()
@@ -208,12 +215,18 @@ func driveOpenLoop(net *vnet.Network, addr string, load Load) ConnReport {
 	tokens := make(chan struct{}, load.Window)
 	deadline := time.Now().Add(load.Timeout)
 	writerDone := make(chan struct{})
+	readerDone := make(chan struct{})
 
 	go func() {
 		defer close(writerDone)
 		for i := 0; i < load.RequestsPerConn; i++ {
 			select {
 			case tokens <- struct{}{}:
+			case <-readerDone:
+				// The reader gave up (EOF on a refused conn, stream error)
+				// with the window full — no token will ever free. It records
+				// the loss.
+				return
 			case <-time.After(time.Until(deadline)):
 				return // reader stalled out; it records the loss
 			}
@@ -256,6 +269,9 @@ func driveOpenLoop(net *vnet.Network, addr string, load Load) ConnReport {
 		}
 		lastArrive = at
 		r.RespBytes += n
+		if r.Admit == 0 && r.RespBytes >= load.ResponseSize {
+			r.Admit = time.Since(connStart)
+		}
 		// Phantom check: bytes may only arrive for requests already sent.
 		if int64(r.RespBytes) > sent.Load()*int64(load.ResponseSize) {
 			r.Phantom = true
@@ -268,6 +284,7 @@ func driveOpenLoop(net *vnet.Network, addr string, load Load) ConnReport {
 			}
 		}
 	}
+	close(readerDone)
 	<-writerDone
 	r.Sent = int(sent.Load())
 	if missing := r.Sent*load.ResponseSize - r.RespBytes; missing > 0 {

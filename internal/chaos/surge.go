@@ -1,0 +1,262 @@
+// The surge campaign: open-loop load whose *offered rate* is shaped in
+// phases (steady -> N-fold surge -> decay), composed with a fault plan,
+// against a fleet under elastic autoscaling. Where Run proves zero-loss
+// failover at fixed capacity, RunSurge proves the autoscaler's story:
+// the pool grows to the clamp under the surge, sheds gracefully (typed
+// backpressure, not queue collapse) at the ceiling, shrinks back after
+// the decay — and a shard killed mid-scale-up still costs zero accepted
+// requests. A sampler records the pool-size trajectory against the
+// offered load so the bench can plot capacity chasing demand.
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remon/internal/fleet"
+)
+
+// SurgePhase is one segment of the offered-load schedule.
+type SurgePhase struct {
+	// Duration is the phase's host-time span.
+	Duration time.Duration
+	// ConnsPerSec is the open-loop connection arrival rate for the
+	// phase. Arrivals are paced, not batched: one connection every
+	// 1/rate, each running the full windowed open-loop request sequence
+	// regardless of how the fleet responds — the definition of offered
+	// (not admitted) load.
+	ConnsPerSec int
+}
+
+// SurgeLoad shapes a surge campaign.
+type SurgeLoad struct {
+	// Phases is the offered-load schedule, executed in order.
+	Phases []SurgePhase
+	// RequestsPerConn / Window / Gap / sizes / Timeout shape each
+	// launched connection exactly as Load does.
+	RequestsPerConn int
+	Window          int
+	Gap             time.Duration
+	RequestSize     int
+	ResponseSize    int
+	Timeout         time.Duration
+	// SampleEvery is the pool-trajectory sampling period (default 5ms).
+	SampleEvery time.Duration
+	// Settle is how long sampling continues after the last connection
+	// finishes (default 1s) — the window in which the scale-down back to
+	// the floor must show up in the trajectory.
+	Settle time.Duration
+}
+
+func (l SurgeLoad) withDefaults(reqSize, respSize int) SurgeLoad {
+	if len(l.Phases) == 0 {
+		l.Phases = []SurgePhase{{Duration: time.Second, ConnsPerSec: 10}}
+	}
+	if l.RequestsPerConn <= 0 {
+		l.RequestsPerConn = 32
+	}
+	if l.Window <= 0 {
+		l.Window = 4
+	}
+	if l.Gap <= 0 {
+		l.Gap = 500 * time.Microsecond
+	}
+	if l.RequestSize <= 0 {
+		l.RequestSize = reqSize
+	}
+	if l.ResponseSize <= 0 {
+		l.ResponseSize = respSize
+	}
+	if l.Timeout <= 0 {
+		l.Timeout = 30 * time.Second
+	}
+	if l.SampleEvery <= 0 {
+		l.SampleEvery = 5 * time.Millisecond
+	}
+	if l.Settle <= 0 {
+		l.Settle = time.Second
+	}
+	return l
+}
+
+// load projects the per-connection shape for driveOpenLoop.
+func (l SurgeLoad) load() Load {
+	return Load{
+		Conns:           1,
+		RequestsPerConn: l.RequestsPerConn,
+		Window:          l.Window,
+		Gap:             l.Gap,
+		RequestSize:     l.RequestSize,
+		ResponseSize:    l.ResponseSize,
+		Timeout:         l.Timeout,
+	}
+}
+
+// PoolSample is one point on the pool-size-vs-offered-load trajectory.
+type PoolSample struct {
+	// At is the host-time offset into the campaign.
+	At time.Duration
+	// Serving / Pool are the serving shard count and total pool slots.
+	Serving int
+	Pool    int
+	// Launched is the cumulative offered load: connections started.
+	Launched int
+	// Routed / Refused / Shed / AdmitWaits are the fleet's cumulative
+	// admission counters at the sample.
+	Routed     uint64
+	Refused    uint64
+	Shed       uint64
+	AdmitWaits uint64
+}
+
+// SurgeReport is a completed surge campaign: the standard chaos audit
+// plus the capacity trajectory.
+type SurgeReport struct {
+	Report
+	// Samples is the pool trajectory, SampleEvery apart.
+	Samples []PoolSample
+	// Launched is the total offered connections.
+	Launched int
+	// PeakServing / FinalServing summarize the trajectory: the largest
+	// serving count any sample saw, and the last sample's.
+	PeakServing  int
+	FinalServing int
+}
+
+// AdmitP reports the q-quantile (0 < q <= 1) of per-connection
+// admission latency over connections that completed at least one
+// response. Zero when none did.
+func (r *SurgeReport) AdmitP(q float64) time.Duration {
+	var lat []time.Duration
+	for _, c := range r.Conns {
+		if c.Admit > 0 {
+			lat = append(lat, c.Admit)
+		}
+	}
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(q*float64(len(lat))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return lat[idx]
+}
+
+// RunSurge executes the fault plan against f while offering load per
+// the phase schedule, sampling the pool trajectory throughout (including
+// the settle window after the load ends), then audits. The fleet — and
+// any autoscaler attached to it — must outlive the call.
+func RunSurge(f *fleet.Fleet, plan Plan, sl SurgeLoad) SurgeReport {
+	reqSize, respSize := f.RequestShape()
+	sl = sl.withDefaults(reqSize, respSize)
+	perConn := sl.load()
+	start := time.Now()
+
+	rep := SurgeReport{Report: Report{Plan: plan, Load: perConn}}
+
+	var injected, drains atomic.Int64
+	faultsDone := make(chan struct{})
+	go func() {
+		defer close(faultsDone)
+		runEvents(f, plan, start, &injected, &drains)
+	}()
+
+	// Launcher: paced open-loop connection arrivals. Each connection's
+	// outcome lands in conns under mu (the count is not known up front —
+	// pacing is host-time and phases may be cut short only by config).
+	var mu sync.Mutex
+	var conns []ConnReport
+	var launched atomic.Int64
+	var wg sync.WaitGroup
+	launchDone := make(chan struct{})
+	go func() {
+		defer close(launchDone)
+		for _, ph := range sl.Phases {
+			if ph.ConnsPerSec <= 0 {
+				time.Sleep(ph.Duration)
+				continue
+			}
+			interval := time.Second / time.Duration(ph.ConnsPerSec)
+			phaseEnd := time.Now().Add(ph.Duration)
+			for time.Now().Before(phaseEnd) {
+				wg.Add(1)
+				launched.Add(1)
+				go func() {
+					defer wg.Done()
+					out := driveOpenLoop(f.FrontNetwork(), f.FrontAddr(), perConn)
+					mu.Lock()
+					conns = append(conns, out)
+					mu.Unlock()
+				}()
+				time.Sleep(interval)
+			}
+		}
+	}()
+
+	// Sampler: pool trajectory until the campaign (load + settle) ends.
+	sampleStop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(sl.SampleEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleStop:
+				return
+			case <-tick.C:
+				serving, pool := f.PoolSize()
+				st := f.Stats()
+				mu.Lock()
+				rep.Samples = append(rep.Samples, PoolSample{
+					At:      time.Since(start),
+					Serving: serving, Pool: pool,
+					Launched:   int(launched.Load()),
+					Routed:     st.ConnsRouted,
+					Refused:    st.ConnsRefused,
+					Shed:       st.ConnsShed,
+					AdmitWaits: st.AdmitWaits,
+				})
+				mu.Unlock()
+			}
+		}
+	}()
+
+	<-launchDone
+	wg.Wait()
+	<-faultsDone
+
+	rep.Kills = int(injected.Load())
+	rep.Drains = int(drains.Load())
+	if rep.Kills > 0 && !f.WaitRecoveries(rep.Kills, perConn.Timeout) {
+		rep.lostVerdicts = true
+	}
+
+	// Settle: keep sampling so the shrink back to the floor is on the
+	// trajectory, then stop.
+	time.Sleep(sl.Settle)
+	close(sampleStop)
+	<-samplerDone
+
+	rep.Launched = int(launched.Load())
+	rep.Conns = conns
+	rep.Elapsed = time.Since(start)
+	rep.FleetStats = f.Stats()
+	for _, s := range rep.Samples {
+		if s.Serving > rep.PeakServing {
+			rep.PeakServing = s.Serving
+		}
+	}
+	if n := len(rep.Samples); n > 0 {
+		rep.FinalServing = rep.Samples[n-1].Serving
+	}
+	rep.audit()
+	return rep
+}

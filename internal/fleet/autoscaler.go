@@ -1,0 +1,538 @@
+// The elastic autoscaler: a pure observe → decide → actuate state
+// machine (mirroring Tuner's shape, DESIGN.md §12) that grows the shard
+// pool when windowed admission pressure — shed/refused connections,
+// admission-retry backoffs, RB lag occupancy, in-flight saturation —
+// crosses high water, and shrinks it via the drain+handoff machinery
+// when sustained headroom crosses low water.
+//
+// Three rules keep the loop sound:
+//
+//   - Supervisor wins. A divergence quarantine or respawn in flight
+//     (or a completed recovery inside the signal window) preempts scale
+//     decisions and resets the hysteresis streaks: the self-healing
+//     path is re-arranging the same capacity the scaler would reason
+//     about, and a kill mid-scale-up must not double into a second
+//     grow or a panic shrink.
+//   - Hysteresis everywhere. Scale-up needs UpRounds consecutive
+//     overloaded rounds, scale-down DownRounds consecutive idle rounds,
+//     and every actuation starts a cooldown — so one burst buys one
+//     shard, not a staircase, and the pool never flaps around a
+//     threshold.
+//   - Clamps are terminal, not errors. At MaxShards the pool stops
+//     growing and admission degrades gracefully: typed backpressure
+//     (*OverloadError with a retry-after hint) instead of queue
+//     collapse. At MinShards the pool stops shrinking. Both hold the
+//     streak armed so the decision log shows the pressure.
+//
+// The decision logic lives in Scaler, a pure state machine with no
+// clocks or locks (every transition unit-testable); Autoscaler is the
+// host-time loop that feeds it CounterWindow deltas over fleet Stats
+// and actuates AddShard/RemoveShard asynchronously.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remon/internal/telemetry"
+)
+
+// ScaleDecision is one scaler round's outcome.
+type ScaleDecision int
+
+// Scale decisions.
+const (
+	// ScaleHold: no pool change this round.
+	ScaleHold ScaleDecision = iota
+	// ScaleUp: add one shard.
+	ScaleUp
+	// ScaleDown: drain and retire one shard.
+	ScaleDown
+)
+
+func (d ScaleDecision) String() string {
+	switch d {
+	case ScaleHold:
+		return "hold"
+	case ScaleUp:
+		return "up"
+	case ScaleDown:
+		return "down"
+	}
+	return "?"
+}
+
+// ScalerConfig bounds the pool and sets the thresholds.
+type ScalerConfig struct {
+	// MinShards / MaxShards clamp the pool (defaults 1 / 8). The scaler
+	// never decides past them.
+	MinShards int
+	MaxShards int
+
+	// High-water thresholds — ANY of them overloaded arms scale-up.
+	// All are evaluated over the host loop's signal window, not
+	// since boot.
+
+	// ShedHigh: windowed shed+refused connections (default 1 — a single
+	// dropped client inside the window is already an SLO breach).
+	ShedHigh uint64
+	// AdmitWaitHigh: windowed admission backoff sleeps (default 8).
+	// This is the pre-shed signal: retries burn before refusals happen,
+	// so the pool can grow before a client is actually lost.
+	AdmitWaitHigh uint64
+	// LagOccupancyHigh: worst serving shard's CurLag/MaxLag (default
+	// 0.75). A master pinned against its replication-lag budget is
+	// saturated even if its connection count looks fine.
+	LagOccupancyHigh float64
+	// InFlightFracHigh: in-flight connections over serving capacity
+	// (serving shards × MaxConnsPerShard; default 0.85). Unused when
+	// the fleet has no connection cap.
+	InFlightFracHigh float64
+
+	// Low-water thresholds — ALL of them idle arms scale-down.
+
+	// LagOccupancyLow (default 0.25): every serving shard's lag window
+	// must be mostly empty.
+	LagOccupancyLow float64
+	// InFlightFracLow (default 0.5): the *projected* in-flight fraction
+	// with one shard fewer must stay under this — the shrink must not
+	// immediately re-trip the high water.
+	InFlightFracLow float64
+
+	// Hysteresis streaks and cooldowns, in decision rounds.
+
+	// UpRounds: consecutive overloaded rounds before a scale-up
+	// (default 2 — growing is cheap and urgent).
+	UpRounds int
+	// DownRounds: consecutive idle rounds before a scale-down (default
+	// 8 — shrinking is deliberate; a lull is not decay).
+	DownRounds int
+	// UpCooldown / DownCooldown: rounds to hold after an actuation
+	// (defaults 8 / 4), letting the new capacity's effect reach the
+	// signals before the next decision.
+	UpCooldown   int
+	DownCooldown int
+}
+
+func (c ScalerConfig) withDefaults() ScalerConfig {
+	if c.MinShards <= 0 {
+		c.MinShards = 1
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 8
+	}
+	if c.MaxShards < c.MinShards {
+		c.MaxShards = c.MinShards
+	}
+	if c.ShedHigh == 0 {
+		c.ShedHigh = 1
+	}
+	if c.AdmitWaitHigh == 0 {
+		c.AdmitWaitHigh = 8
+	}
+	if c.LagOccupancyHigh <= 0 {
+		c.LagOccupancyHigh = 0.75
+	}
+	if c.InFlightFracHigh <= 0 {
+		c.InFlightFracHigh = 0.85
+	}
+	if c.LagOccupancyLow <= 0 {
+		c.LagOccupancyLow = 0.25
+	}
+	if c.InFlightFracLow <= 0 {
+		c.InFlightFracLow = 0.5
+	}
+	if c.UpRounds <= 0 {
+		c.UpRounds = 2
+	}
+	if c.DownRounds <= 0 {
+		c.DownRounds = 8
+	}
+	if c.UpCooldown <= 0 {
+		c.UpCooldown = 8
+	}
+	if c.DownCooldown <= 0 {
+		c.DownCooldown = 4
+	}
+	return c
+}
+
+// ScaleSignals is one observation round's input: windowed deltas and
+// instantaneous occupancies derived from fleet Stats.
+type ScaleSignals struct {
+	// Serving is the current Serving shard count (the capacity
+	// denominator and the clamp comparand).
+	Serving int
+	// Shed is the windowed shed+refused connection delta.
+	Shed uint64
+	// AdmitWaits is the windowed admission backoff-sleep delta.
+	AdmitWaits uint64
+	// LagOccupancy is the worst serving shard's CurLag/MaxLag (0 when
+	// no shard runs a lag window).
+	LagOccupancy float64
+	// InFlightFrac is in-flight connections over serving capacity; 0
+	// when the fleet has no MaxConnsPerShard cap.
+	InFlightFrac float64
+	// Disrupted reports supervisor activity: a shard Quarantined or
+	// Respawning right now, a recovery completed inside the window, or
+	// a scale actuation still in flight. Preempts every decision.
+	Disrupted bool
+}
+
+// ScaleStep is one scaler round's outcome.
+type ScaleStep struct {
+	Decision ScaleDecision
+	Reason   string
+}
+
+// Scaler is the pure pool-sizing state machine. Not safe for concurrent
+// use; the Autoscaler drives one.
+type Scaler struct {
+	cfg      ScalerConfig
+	high     int // consecutive overloaded rounds
+	low      int // consecutive idle rounds
+	cooldown int // rounds left before the next decision may fire
+}
+
+// NewScaler builds a scaler.
+func NewScaler(cfg ScalerConfig) *Scaler {
+	return &Scaler{cfg: cfg.withDefaults()}
+}
+
+// Config reports the scaler's effective (defaulted) configuration.
+func (s *Scaler) Config() ScalerConfig { return s.cfg }
+
+func hold(reason string) ScaleStep {
+	return ScaleStep{Decision: ScaleHold, Reason: reason}
+}
+
+// Step runs one observe → decide round.
+func (s *Scaler) Step(sig ScaleSignals) ScaleStep {
+	// Supervisor wins: quarantine/respawn (or an actuation already in
+	// flight) resets the streaks — the capacity picture is changing
+	// under us, and half the pressure may be the disruption itself.
+	if sig.Disrupted {
+		s.high, s.low = 0, 0
+		if s.cooldown > 0 {
+			s.cooldown--
+		}
+		return hold("supervisor active: scale decisions preempted")
+	}
+	if s.cooldown > 0 {
+		s.cooldown--
+		return hold(fmt.Sprintf("cooldown (%d rounds left)", s.cooldown))
+	}
+
+	overloaded, overloadWhy := s.overloaded(sig)
+	idle := s.idle(sig)
+	switch {
+	case overloaded:
+		s.low = 0
+		s.high++
+		if s.high < s.cfg.UpRounds {
+			return hold(fmt.Sprintf("overload streak %d/%d (%s)", s.high, s.cfg.UpRounds, overloadWhy))
+		}
+		if sig.Serving >= s.cfg.MaxShards {
+			// Ceiling: stay armed (the log keeps showing the pressure) but
+			// degrade gracefully — admission's typed backpressure is the
+			// escape valve now, not pool growth.
+			s.high = s.cfg.UpRounds
+			return hold(fmt.Sprintf("at MaxShards=%d ceiling (%s): shedding with backpressure", s.cfg.MaxShards, overloadWhy))
+		}
+		s.high = 0
+		s.cooldown = s.cfg.UpCooldown
+		return ScaleStep{Decision: ScaleUp, Reason: overloadWhy}
+	case idle:
+		s.high = 0
+		s.low++
+		if s.low < s.cfg.DownRounds {
+			return hold(fmt.Sprintf("idle streak %d/%d", s.low, s.cfg.DownRounds))
+		}
+		if sig.Serving <= s.cfg.MinShards {
+			s.low = s.cfg.DownRounds
+			return hold(fmt.Sprintf("at MinShards=%d floor", s.cfg.MinShards))
+		}
+		s.low = 0
+		s.cooldown = s.cfg.DownCooldown
+		return ScaleStep{Decision: ScaleDown, Reason: "sustained headroom"}
+	default:
+		// Between the waters: comfortable, but not shrinkably so.
+		s.high, s.low = 0, 0
+		return hold("steady")
+	}
+}
+
+// overloaded reports whether any high-water threshold tripped, naming
+// the first.
+func (s *Scaler) overloaded(sig ScaleSignals) (bool, string) {
+	switch {
+	case sig.Shed >= s.cfg.ShedHigh:
+		return true, fmt.Sprintf("shed %d conns in window", sig.Shed)
+	case sig.AdmitWaits >= s.cfg.AdmitWaitHigh:
+		return true, fmt.Sprintf("admission pressure: %d backoff waits in window", sig.AdmitWaits)
+	case sig.LagOccupancy >= s.cfg.LagOccupancyHigh:
+		return true, fmt.Sprintf("lag occupancy %.2f", sig.LagOccupancy)
+	case sig.InFlightFrac > 0 && sig.InFlightFrac >= s.cfg.InFlightFracHigh:
+		return true, fmt.Sprintf("in-flight %.2f of capacity", sig.InFlightFrac)
+	}
+	return false, ""
+}
+
+// idle reports whether every low-water condition holds — including that
+// the pool one shard smaller would still sit below high water.
+func (s *Scaler) idle(sig ScaleSignals) bool {
+	if sig.Shed != 0 || sig.AdmitWaits != 0 {
+		return false
+	}
+	if sig.LagOccupancy > s.cfg.LagOccupancyLow {
+		return false
+	}
+	if sig.InFlightFrac > 0 {
+		if sig.Serving <= 1 {
+			return false // nothing to project onto
+		}
+		projected := sig.InFlightFrac * float64(sig.Serving) / float64(sig.Serving-1)
+		if projected > s.cfg.InFlightFracLow {
+			return false
+		}
+	}
+	return true
+}
+
+// AutoscalerConfig parameterises the host loop.
+type AutoscalerConfig struct {
+	Scaler ScalerConfig
+	// Interval is the host-time observation period (default 10ms).
+	Interval time.Duration
+	// Window is how many observation rounds the counter deltas span
+	// (default 4).
+	Window int
+}
+
+func (c AutoscalerConfig) withDefaults() AutoscalerConfig {
+	c.Scaler = c.Scaler.withDefaults()
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	return c
+}
+
+// ScaleEvent is one recorded non-hold decision (plus ceiling holds —
+// the moments graceful degradation was the chosen answer).
+type ScaleEvent struct {
+	At       time.Time
+	Decision ScaleDecision
+	// Serving is the serving count the decision was made against.
+	Serving int
+	Reason  string
+}
+
+// Autoscaler drives a Scaler against live fleet stats and actuates pool
+// changes.
+type Autoscaler struct {
+	f      *Fleet
+	cfg    AutoscalerConfig
+	scaler *Scaler
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// Signal windows, owned by the loop goroutine.
+	shed  *CounterWindow // ConnsShed + ConnsRefused
+	waits *CounterWindow // AdmitWaits
+	recov *CounterWindow // Recoveries
+
+	mu     sync.Mutex
+	busy   bool // an AddShard/RemoveShard actuation in flight
+	events []ScaleEvent
+
+	rounds *telemetry.Counter
+	ups    *telemetry.Counter
+	downs  *telemetry.Counter
+}
+
+// StartAutoscaler begins elastic pool control. The loop owns
+// AddShard/RemoveShard for the fleet's lifetime; mixing manual pool
+// changes with a running autoscaler is undefined. Close stops it (the
+// pool keeps its last size).
+func (f *Fleet) StartAutoscaler(cfg AutoscalerConfig) *Autoscaler {
+	cfg = cfg.withDefaults()
+	a := &Autoscaler{
+		f:      f,
+		cfg:    cfg,
+		scaler: NewScaler(cfg.Scaler),
+		stop:   make(chan struct{}),
+		shed:   NewCounterWindow(cfg.Window),
+		waits:  NewCounterWindow(cfg.Window),
+		recov:  NewCounterWindow(cfg.Window),
+	}
+	a.wg.Add(1)
+	go a.run()
+	return a
+}
+
+// RegisterTelemetry adds the autoscaler's own series to reg.
+func (a *Autoscaler) RegisterTelemetry(reg *telemetry.Registry) {
+	a.rounds = reg.Counter("remon_autoscaler_rounds_total", "autoscaler observation rounds", nil)
+	a.ups = reg.Counter("remon_autoscaler_scale_ups_total", "shards added by the autoscaler", nil)
+	a.downs = reg.Counter("remon_autoscaler_scale_downs_total", "shards retired by the autoscaler", nil)
+}
+
+// Events returns a copy of the decision log (scale-ups, scale-downs,
+// and ceiling holds).
+func (a *Autoscaler) Events() []ScaleEvent {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]ScaleEvent(nil), a.events...)
+}
+
+// Close stops the loop and waits for any in-flight actuation.
+func (a *Autoscaler) Close() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	a.wg.Wait()
+}
+
+func (a *Autoscaler) run() {
+	defer a.wg.Done()
+	tick := time.NewTicker(a.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-tick.C:
+			a.round()
+		}
+	}
+}
+
+// round observes the fleet, steps the scaler, and actuates.
+func (a *Autoscaler) round() {
+	if a.rounds != nil {
+		a.rounds.Inc()
+	}
+	st := a.f.Stats()
+
+	disrupted := false
+	inFlight := 0
+	worstOcc := 0.0
+	for _, sh := range st.Shards {
+		switch sh.State {
+		case Quarantined, Respawning:
+			// Draining deliberately does NOT disrupt: drains are the
+			// scaler's own actuation (and rotations are planned, not
+			// emergencies).
+			disrupted = true
+		}
+		if sh.State == Serving {
+			inFlight += sh.InFlight
+			if sh.MaxLag > 0 {
+				if occ := float64(sh.CurLag) / float64(sh.MaxLag); occ > worstOcc {
+					worstOcc = occ
+				}
+			}
+		}
+	}
+	a.shed.Observe(st.ConnsShed + st.ConnsRefused)
+	a.waits.Observe(st.AdmitWaits)
+	a.recov.Observe(uint64(st.Recoveries))
+	if a.recov.Delta() > 0 {
+		// A recovery completed inside the window: the pool just went
+		// through a kill/respawn cycle — let the signals settle before
+		// trusting them.
+		disrupted = true
+	}
+
+	inFlightFrac := 0.0
+	if cap := a.f.cfg.MaxConnsPerShard; cap > 0 && st.ServingShards > 0 {
+		inFlightFrac = float64(inFlight) / float64(st.ServingShards*cap)
+	}
+
+	a.mu.Lock()
+	busy := a.busy
+	a.mu.Unlock()
+
+	sig := ScaleSignals{
+		Serving:      st.ServingShards,
+		Shed:         a.shed.Delta(),
+		AdmitWaits:   a.waits.Delta(),
+		LagOccupancy: worstOcc,
+		InFlightFrac: inFlightFrac,
+		Disrupted:    disrupted || busy,
+	}
+	step := a.scaler.Step(sig)
+
+	switch step.Decision {
+	case ScaleUp:
+		a.recordEvent(step, sig.Serving)
+		a.actuate(func() { _, _ = a.f.AddShard() }, a.ups)
+	case ScaleDown:
+		victim := a.pickVictim(st)
+		if victim < 0 {
+			return
+		}
+		a.recordEvent(step, sig.Serving)
+		a.actuate(func() { _ = a.f.RemoveShard(victim) }, a.downs)
+	default:
+		// Ceiling holds go in the log too: they are the degradation
+		// decisions an operator wants to see.
+		if sig.Serving >= a.cfg.Scaler.MaxShards && a.scaler.high >= a.cfg.Scaler.UpRounds {
+			a.recordEvent(step, sig.Serving)
+		}
+	}
+}
+
+// pickVictim chooses the scale-down target: the serving shard with the
+// fewest in-flight connections (cheapest drain), highest index on ties
+// (so repeated shrinks walk the pool back the way it grew).
+func (a *Autoscaler) pickVictim(st Stats) int {
+	victim, best := -1, -1
+	for _, sh := range st.Shards {
+		if sh.State != Serving {
+			continue
+		}
+		if victim < 0 || sh.InFlight < best || (sh.InFlight == best && sh.Index > victim) {
+			victim, best = sh.Index, sh.InFlight
+		}
+	}
+	return victim
+}
+
+// actuate runs one pool change on its own goroutine, holding the busy
+// flag so the scaler treats the in-flight change as disruption.
+func (a *Autoscaler) actuate(fn func(), counter *telemetry.Counter) {
+	a.mu.Lock()
+	if a.busy {
+		a.mu.Unlock()
+		return
+	}
+	a.busy = true
+	a.mu.Unlock()
+	if counter != nil {
+		counter.Inc()
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		fn()
+		a.mu.Lock()
+		a.busy = false
+		a.mu.Unlock()
+	}()
+}
+
+func (a *Autoscaler) recordEvent(step ScaleStep, serving int) {
+	a.mu.Lock()
+	a.events = append(a.events, ScaleEvent{
+		At: time.Now(), Decision: step.Decision, Serving: serving, Reason: step.Reason,
+	})
+	a.mu.Unlock()
+}

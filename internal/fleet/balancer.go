@@ -107,15 +107,20 @@ func (f *Fleet) refuse(conn *vnet.Conn, err error) {
 // momentarily Draining/Respawning, or every shard at its saturation
 // limit — the pick retries up to AdmitRetries times with jittered
 // exponential backoff before refusing, so a connection arriving during a
-// short respawn gap waits it out instead of failing. The terminal error
-// is typed: ErrOverloaded when saturation was the last obstacle (the
-// load-shedding signal), ErrShardNotServing otherwise.
+// short respawn gap waits it out instead of failing. Each backoff sleep
+// bumps Stats.AdmitWaits — the pre-shed pressure signal the autoscaler
+// watches. The pool is re-snapshotted every attempt, so a shard the
+// autoscaler adds mid-retry becomes a candidate before the budget runs
+// out. The terminal error is typed: an *OverloadError (unwrapping to
+// ErrOverloaded, carrying the retry-after capacity hint) when saturation
+// was the last obstacle, ErrShardNotServing otherwise.
 func (f *Fleet) pickShard(clientAddr string) (backendTarget, error) {
 	sawSaturated := false
 	for attempt := 0; ; attempt++ {
-		serving := make([]backendTarget, 0, len(f.shards))
+		pool := f.pool()
+		serving := make([]backendTarget, 0, len(pool))
 		saturated := 0
-		for _, s := range f.shards {
+		for _, s := range pool {
 			s.mu.Lock()
 			if s.state == Serving && s.mvee != nil {
 				if f.saturatedLocked(s) {
@@ -148,12 +153,40 @@ func (f *Fleet) pickShard(clientAddr string) (backendTarget, error) {
 		}
 		if attempt+1 >= f.cfg.AdmitRetries {
 			if sawSaturated {
-				return backendTarget{}, ErrOverloaded
+				return backendTarget{}, &OverloadError{RetryAfter: f.retryAfterHint()}
 			}
 			return backendTarget{}, ErrShardNotServing
 		}
+		f.admitWaits.Add(1)
 		time.Sleep(f.admitBackoff(attempt))
 	}
+}
+
+// retryAfterHint derives the OverloadError's capacity hint from drain
+// progress: when a shard is mid-drain, its slots come back when the
+// grace expires (rotation or scale-down completes), so the soonest
+// remaining grace is the honest estimate. With no drain in flight the
+// hint falls back to the backoff ceiling — "try again after the window
+// we already waited", never zero.
+func (f *Fleet) retryAfterHint() time.Duration {
+	hint := time.Duration(0)
+	now := time.Now()
+	for _, s := range f.pool() {
+		s.mu.Lock()
+		if s.state == Draining {
+			if left := s.drainUntil.Sub(now); left > 0 && (hint == 0 || left < hint) {
+				hint = left
+			}
+		}
+		s.mu.Unlock()
+	}
+	if hint <= 0 {
+		hint = 8 * f.cfg.AdmitBackoff
+	}
+	if hint < f.cfg.AdmitBackoff {
+		hint = f.cfg.AdmitBackoff
+	}
+	return hint
 }
 
 // saturatedLocked reports whether s is at its connection limit; s.mu

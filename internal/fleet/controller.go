@@ -127,6 +127,20 @@ type TunerConfig struct {
 	MinCalls uint64
 	// HoldRounds is how many rounds a divergence freezes relaxation.
 	HoldRounds int
+	// IdleRounds enables the reverse edge: after this many consecutive
+	// comfortably-idle rounds (service time at or under
+	// StepDownFrac*SLONsPerCall, with traffic above MinCalls) the tuner
+	// re-tightens one knob, in reverse priority — epoch first (giving
+	// back verification batching costs the least), then lag, then level
+	// — and never past the conservative corner. 0 (the default)
+	// disables stepping down: the ladder stays monotone-until-reset,
+	// the pre-PR-8 behaviour.
+	IdleRounds int
+	// StepDownFrac is the idle hysteresis band (default 0.5): only
+	// rounds under this fraction of the SLO count as comfortably idle,
+	// so a shard hovering just inside the SLO parks Steady instead of
+	// oscillating relax/tighten around the threshold.
+	StepDownFrac float64
 }
 
 func (c TunerConfig) withDefaults() TunerConfig {
@@ -154,6 +168,9 @@ func (c TunerConfig) withDefaults() TunerConfig {
 	if c.HoldRounds <= 0 {
 		c.HoldRounds = 3
 	}
+	if c.StepDownFrac <= 0 {
+		c.StepDownFrac = 0.5
+	}
 	return c
 }
 
@@ -172,6 +189,9 @@ type Tuner struct {
 	knobs Knobs
 	phase Phase
 	hold  int
+	// idle counts consecutive comfortably-idle rounds toward a
+	// step-down; any pressure, hold or divergence resets it.
+	idle int
 }
 
 // NewTuner builds a tuner starting from the given knob position.
@@ -217,6 +237,7 @@ func (t *Tuner) Step(sig Signals) Decision {
 		t.knobs = ConservativeKnobs()
 		t.phase = Hold
 		t.hold = t.cfg.HoldRounds
+		t.idle = 0
 		t.clamp()
 		return Decision{
 			Knobs:   t.knobs,
@@ -228,6 +249,7 @@ func (t *Tuner) Step(sig Signals) Decision {
 
 	if t.phase == Hold {
 		t.hold--
+		t.idle = 0
 		if t.hold > 0 {
 			return Decision{Knobs: t.knobs, Phase: Hold, Reason: fmt.Sprintf("holding (%d rounds left)", t.hold)}
 		}
@@ -240,11 +262,27 @@ func (t *Tuner) Step(sig Signals) Decision {
 
 	if sig.NsPerCall <= t.cfg.SLONsPerCall {
 		t.phase = Steady
+		// The reverse edge: sustained comfortably-idle rounds give one
+		// knob back per IdleRounds window. Rounds merely inside the SLO
+		// (but above the StepDownFrac band) park Steady without counting
+		// — the hysteresis that prevents relax/tighten oscillation.
+		if t.cfg.IdleRounds > 0 && sig.NsPerCall <= t.cfg.StepDownFrac*t.cfg.SLONsPerCall {
+			t.idle++
+			if t.idle >= t.cfg.IdleRounds {
+				t.idle = 0
+				if dec, ok := t.stepDown(); ok {
+					return dec
+				}
+			}
+		} else {
+			t.idle = 0
+		}
 		return Decision{Knobs: t.knobs, Phase: Steady, Reason: "within SLO"}
 	}
 
 	// Outside the SLO: step exactly one knob, in fixed priority order.
 	t.phase = Stepping
+	t.idle = 0
 	prev := t.knobs
 	reason := "at spectrum cap"
 	switch {
@@ -280,6 +318,40 @@ func (t *Tuner) Step(sig Signals) Decision {
 	return Decision{Knobs: t.knobs, Changed: t.knobs != prev, Phase: Stepping, Reason: reason}
 }
 
+// stepDown re-tightens exactly one knob — the relaxation ladder's
+// reverse edge, in reverse priority: epoch first (giving back
+// verification batching costs the least throughput), then the lag
+// window, then the policy level (the most valuable relaxation,
+// surrendered last). The conservative corner is the floor; at it,
+// stepDown reports false and the tuner simply stays Steady.
+func (t *Tuner) stepDown() (Decision, bool) {
+	prev := t.knobs
+	var reason string
+	switch {
+	case t.knobs.Epoch > 1:
+		if t.knobs.Epoch <= 4 {
+			t.knobs.Epoch = 1
+		} else {
+			t.knobs.Epoch /= 4
+		}
+		reason = fmt.Sprintf("sustained idle: epoch -> %d", t.knobs.Epoch)
+	case t.knobs.MaxLag > 0:
+		if t.knobs.MaxLag <= 8 {
+			t.knobs.MaxLag = 0
+		} else {
+			t.knobs.MaxLag /= 2
+		}
+		reason = fmt.Sprintf("sustained idle: maxlag -> %d", t.knobs.MaxLag)
+	case t.knobs.Level > policy.BaseLevel:
+		t.knobs.Level--
+		reason = fmt.Sprintf("sustained idle: level -> %v", t.knobs.Level)
+	default:
+		return Decision{}, false
+	}
+	t.clamp()
+	return Decision{Knobs: t.knobs, Changed: t.knobs != prev, Phase: Steady, Reason: reason}, true
+}
+
 // ControllerConfig parameterises the fleet control loop.
 type ControllerConfig struct {
 	Tuner TunerConfig
@@ -290,14 +362,26 @@ type ControllerConfig struct {
 	// replica set was booted at MaxLag 0 when the tuner wants a lag
 	// window: the lockstep publication protocol cannot flip live, so
 	// without rotation the new window only lands at the next organic
-	// respawn. Rotation runs async and at most once in flight per shard.
+	// respawn. The rotation is driven from the tuner's *standing grant*
+	// every round — not one-shot from a knob-change decision — so a
+	// rotation preempted by a verdict, or a grant that arrived while the
+	// shard was mid-respawn, retries until the window is live. Runs
+	// async, at most once in flight per shard.
 	RotateForLag bool
+	// SignalWindow is how many observation rounds the per-shard signal
+	// deltas span (default 4, via CounterWindow): rates fed to the tuner
+	// are windowed, so one quiet round does not erase sustained pressure
+	// and one spike does not register as a trend.
+	SignalWindow int
 }
 
 func (c ControllerConfig) withDefaults() ControllerConfig {
 	c.Tuner = c.Tuner.withDefaults()
 	if c.Interval <= 0 {
 		c.Interval = 10 * time.Millisecond
+	}
+	if c.SignalWindow <= 0 {
+		c.SignalWindow = 4
 	}
 	return c
 }
@@ -312,13 +396,51 @@ type TuneEvent struct {
 	Reason string
 }
 
-// shardLoop is the controller's per-shard observation state.
+// shardLoop is the controller's per-shard observation state: the tuner
+// plus ring-windowed samplers over the shard's cumulative telemetry
+// counters (a generation bump resets them — the fresh replica set's
+// counters restart from zero).
 type shardLoop struct {
-	tuner    *Tuner
-	gen      int
-	prev     core.TelemetrySnapshot
-	havePrev bool
+	tuner *Tuner
+	gen   int
+	mon   *CounterWindow // Monitor.MonitoredCalls
+	unmon *CounterWindow // IPMon.Unmonitored
+	wakes *CounterWindow // RB.Wakes
+	lagW  *CounterWindow // RB.LagWaits
+	vns   *CounterWindow // VirtualNs
+	// rotating marks a RotateForLag drain in flight; guarded by the
+	// controller's mu on both set and clear.
 	rotating bool
+}
+
+func newShardLoop(cfg ControllerConfig, start Knobs, gen int) *shardLoop {
+	return &shardLoop{
+		tuner: NewTuner(cfg.Tuner, start),
+		gen:   gen,
+		mon:   NewCounterWindow(cfg.SignalWindow),
+		unmon: NewCounterWindow(cfg.SignalWindow),
+		wakes: NewCounterWindow(cfg.SignalWindow),
+		lagW:  NewCounterWindow(cfg.SignalWindow),
+		vns:   NewCounterWindow(cfg.SignalWindow),
+	}
+}
+
+// observeSnap appends one telemetry snapshot to every signal window.
+func (l *shardLoop) observeSnap(snap core.TelemetrySnapshot) {
+	l.mon.Observe(snap.Monitor.MonitoredCalls)
+	l.unmon.Observe(snap.IPMon.Unmonitored)
+	l.wakes.Observe(snap.RB.Wakes)
+	l.lagW.Observe(snap.RB.LagWaits)
+	l.vns.Observe(snap.VirtualNs)
+}
+
+// resetWindows re-baselines after a generation bump.
+func (l *shardLoop) resetWindows() {
+	l.mon.Reset()
+	l.unmon.Reset()
+	l.wakes.Reset()
+	l.lagW.Reset()
+	l.vns.Reset()
 }
 
 // Controller drives one Tuner per shard against live fleet telemetry.
@@ -345,16 +467,32 @@ type Controller struct {
 func (f *Fleet) StartController(cfg ControllerConfig) *Controller {
 	cfg = cfg.withDefaults()
 	c := &Controller{f: f, cfg: cfg, stop: make(chan struct{})}
-	for _, s := range f.shards {
-		s.mu.Lock()
-		start := Knobs{Level: s.level, MaxLag: s.maxLag, Epoch: s.epoch}
-		gen := s.gen
-		s.mu.Unlock()
-		c.loops = append(c.loops, &shardLoop{tuner: NewTuner(cfg.Tuner, start), gen: gen})
+	for idx, s := range f.pool() {
+		c.loopFor(idx, s)
 	}
 	c.wg.Add(1)
 	go c.run()
 	return c
+}
+
+// loopFor resolves (lazily creating) the per-shard loop for idx. Pool
+// growth after StartController — the autoscaler appending shards — gets
+// a fresh tuner seeded from the new shard's boot knobs on the first
+// round that sees it.
+func (c *Controller) loopFor(idx int, s *shard) *shardLoop {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.loops) <= idx {
+		c.loops = append(c.loops, nil)
+	}
+	if c.loops[idx] == nil {
+		s.mu.Lock()
+		start := Knobs{Level: s.level, MaxLag: s.maxLag, Epoch: s.epoch}
+		gen := s.gen
+		s.mu.Unlock()
+		c.loops[idx] = newShardLoop(c.cfg, start, gen)
+	}
+	return c.loops[idx]
 }
 
 // RegisterTelemetry adds the controller's own series to reg.
@@ -372,10 +510,14 @@ func (c *Controller) Events() []TuneEvent {
 	return append([]TuneEvent(nil), c.events...)
 }
 
-// ShardKnobs reports a shard tuner's current position.
+// ShardKnobs reports a shard tuner's current position (zero Knobs for
+// an index the controller has not yet observed).
 func (c *Controller) ShardKnobs(idx int) Knobs {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if idx < 0 || idx >= len(c.loops) || c.loops[idx] == nil {
+		return Knobs{}
+	}
 	return c.loops[idx].tuner.Knobs()
 }
 
@@ -404,26 +546,31 @@ func (c *Controller) run() {
 }
 
 // round observes every shard, steps its tuner, and actuates changes.
+// The pool snapshot is re-taken every round, so shards the autoscaler
+// appends join the control loop within one interval.
 func (c *Controller) round() {
 	if c.rounds != nil {
 		c.rounds.Inc()
 	}
-	for idx, s := range c.f.shards {
-		c.mu.Lock()
-		loop := c.loops[idx]
-		c.mu.Unlock()
+	for idx, s := range c.f.pool() {
+		loop := c.loopFor(idx, s)
 
 		sig, gen, ok := c.observe(s, loop)
 		if !ok {
 			continue
 		}
+		// Step under c.mu: ShardKnobs reads the tuner position from other
+		// goroutines while the loop runs.
+		c.mu.Lock()
 		dec := loop.tuner.Step(sig)
+		c.mu.Unlock()
 		if sig.Diverged && c.resets != nil {
 			c.resets.Inc()
 		}
 		if dec.Changed {
-			c.actuate(idx, loop, dec)
+			c.actuate(idx, dec)
 		}
+		c.maybeRotateForLag(idx, loop)
 		if dec.Changed || sig.Diverged {
 			c.mu.Lock()
 			c.events = append(c.events, TuneEvent{
@@ -456,40 +603,37 @@ func (c *Controller) observe(s *shard, loop *shardLoop) (Signals, int, bool) {
 	}
 
 	if gen != loop.gen {
-		// Respawn happened. Re-baseline the deltas against the fresh
-		// replica set and surface the divergence (if that is what killed
-		// the previous generation) exactly once.
+		// Respawn happened. Re-baseline the signal windows against the
+		// fresh replica set (its counters restart from zero — letting the
+		// old samples age out would read as a huge wraparound delta) and
+		// surface the divergence, if that is what killed the previous
+		// generation, exactly once.
 		loop.gen = gen
-		loop.prev = snap
-		loop.havePrev = true
+		loop.resetWindows()
+		loop.observeSnap(snap)
 		return Signals{Diverged: diverged}, gen, diverged
 	}
-	if !loop.havePrev {
-		loop.prev = snap
-		loop.havePrev = true
+	loop.observeSnap(snap)
+	if loop.mon.Samples() < 2 {
 		return Signals{}, gen, false
 	}
 
-	prev := loop.prev
-	loop.prev = snap
-
-	calls := (snap.Monitor.MonitoredCalls - prev.Monitor.MonitoredCalls) +
-		(snap.IPMon.Unmonitored - prev.IPMon.Unmonitored)
+	calls := loop.mon.Delta() + loop.unmon.Delta()
 	if calls == 0 {
 		return Signals{Calls: 0}, gen, true
 	}
-	monitored := snap.Monitor.MonitoredCalls - prev.Monitor.MonitoredCalls
-	wakes := snap.RB.Wakes - prev.RB.Wakes
-	lagWaits := snap.RB.LagWaits - prev.RB.LagWaits
-	vns := float64(snap.VirtualNs-prev.VirtualNs) / float64(calls)
+	monitored := loop.mon.Delta()
+	wakes := loop.wakes.Delta()
+	lagWaits := loop.lagW.Delta()
+	vns := float64(loop.vns.Delta()) / float64(calls)
 
 	sig := Signals{
-		Calls:            calls,
-		NsPerCall: vns,
-		MonitoredFrac:    float64(monitored) / float64(calls),
-		WakesPerCall:     float64(wakes) / float64(calls),
-		LagWaitRate:      float64(lagWaits) / float64(calls),
-		LagHeadroom:      1,
+		Calls:         calls,
+		NsPerCall:     vns,
+		MonitoredFrac: float64(monitored) / float64(calls),
+		WakesPerCall:  float64(wakes) / float64(calls),
+		LagWaitRate:   float64(lagWaits) / float64(calls),
+		LagHeadroom:   1,
 	}
 	if snap.MaxLag > 0 {
 		used := float64(snap.RB.CurLag) / float64(snap.MaxLag)
@@ -504,28 +648,49 @@ func (c *Controller) observe(s *shard, loop *shardLoop) (Signals, int, bool) {
 // actuate applies a decision through the fleet's live-reload paths.
 // Errors are tolerated (a shard mid-respawn rejects reloads; the next
 // round re-observes and the boot-knob records still carry the change).
-func (c *Controller) actuate(idx int, loop *shardLoop, dec Decision) {
+func (c *Controller) actuate(idx int, dec Decision) {
 	if c.actuation != nil {
 		c.actuation.Inc()
 	}
 	_ = c.f.SetShardPolicy(idx, policy.LevelRules(dec.Knobs.Level))
 	_ = c.f.SetShardEpoch(idx, dec.Knobs.Epoch)
 	_ = c.f.SetShardLag(idx, dec.Knobs.MaxLag)
+}
 
-	// A shard whose live replica set runs lockstep publication cannot
-	// widen its lag window in place; optionally rotate it so the window
-	// lands now instead of at the next organic respawn.
-	if c.cfg.RotateForLag && dec.Knobs.MaxLag > 0 && !loop.rotating {
-		if live, err := c.f.ShardLag(idx); err == nil && live == 0 {
-			loop.rotating = true
-			c.wg.Add(1)
-			go func() {
-				defer c.wg.Done()
-				_ = c.f.DrainShard(idx)
-				c.mu.Lock()
-				loop.rotating = false
-				c.mu.Unlock()
-			}()
-		}
+// maybeRotateForLag rotates a lockstep-booted shard whose tuner holds a
+// standing lag grant. A shard booted at MaxLag 0 runs the lockstep
+// publication protocol, which cannot flip live — only a rotation
+// (drain + respawn at the recorded boot knobs) lands the window. Driving
+// the rotate from the grant state every round (rather than one-shot
+// from a Changed decision, the pre-PR-8 gap) means a rotation lost to a
+// concurrent verdict, a closing fleet, or a grant that arrived while
+// the shard was mid-respawn is retried until the window is actually
+// live. The in-flight flag is read and written under c.mu (the old
+// actuate-path read was unsynchronised against the goroutine's clear).
+func (c *Controller) maybeRotateForLag(idx int, loop *shardLoop) {
+	if !c.cfg.RotateForLag || loop.tuner.Knobs().MaxLag == 0 {
+		return
 	}
+	if st, _ := c.f.ShardState(idx); st != Serving {
+		return
+	}
+	live, err := c.f.ShardLag(idx)
+	if err != nil || live != 0 {
+		return
+	}
+	c.mu.Lock()
+	if loop.rotating {
+		c.mu.Unlock()
+		return
+	}
+	loop.rotating = true
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		_ = c.f.DrainShard(idx)
+		c.mu.Lock()
+		loop.rotating = false
+		c.mu.Unlock()
+	}()
 }

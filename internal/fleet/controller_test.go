@@ -148,6 +148,146 @@ func TestTunerRespectsCaps(t *testing.T) {
 	}
 }
 
+// idleSignals is a comfortably-idle round: real traffic, service time
+// far under the SLO, no pressure anywhere.
+func idleSignals() Signals {
+	return Signals{Calls: 1000, NsPerCall: 500, LagHeadroom: 1}
+}
+
+// TestTunerStepsDownWhenIdle walks the reverse ladder: with IdleRounds
+// enabled, sustained comfortably-idle rounds re-tighten one knob per
+// window in reverse priority — epoch, then lag, then level — and stop
+// at the conservative corner.
+func TestTunerStepsDownWhenIdle(t *testing.T) {
+	tu := NewTuner(
+		TunerConfig{SLONsPerCall: 2000, IdleRounds: 2},
+		Knobs{Level: policy.SocketRWLevel, MaxLag: 64, Epoch: 16},
+	)
+	prev := tu.Knobs()
+	var ladder []Knobs
+	for round := 0; round < 64; round++ {
+		dec := tu.Step(idleSignals())
+		if !dec.Changed {
+			continue
+		}
+		cur := dec.Knobs
+		moved := 0
+		if cur.Level != prev.Level {
+			moved++
+		}
+		if cur.MaxLag != prev.MaxLag {
+			moved++
+		}
+		if cur.Epoch != prev.Epoch {
+			moved++
+		}
+		if moved != 1 {
+			t.Fatalf("round %d moved %d knobs: %+v -> %+v", round, moved, prev, cur)
+		}
+		// Reverse priority: lag may not tighten while epoch is above 1;
+		// level may not tighten while lag is above 0.
+		if cur.MaxLag != prev.MaxLag && prev.Epoch != 1 {
+			t.Fatalf("round %d tightened lag before epoch floored: %+v", round, cur)
+		}
+		if cur.Level != prev.Level && prev.MaxLag != 0 {
+			t.Fatalf("round %d tightened level before lag floored: %+v", round, cur)
+		}
+		prev = cur
+		ladder = append(ladder, cur)
+	}
+	if got := tu.Knobs(); got != ConservativeKnobs() {
+		t.Fatalf("reverse ladder ended at %+v, want the conservative corner", got)
+	}
+	if len(ladder) == 0 {
+		t.Fatal("ladder never moved")
+	}
+	// The corner is the floor: more idle rounds change nothing.
+	for i := 0; i < 8; i++ {
+		if dec := tu.Step(idleSignals()); dec.Changed {
+			t.Fatalf("stepped below the conservative corner: %+v", dec)
+		}
+	}
+}
+
+// TestTunerStepDownHysteresis: rounds inside the SLO but above the
+// StepDownFrac band park Steady without counting toward a step-down —
+// the band that prevents relax/tighten oscillation at the threshold.
+func TestTunerStepDownHysteresis(t *testing.T) {
+	tu := NewTuner(
+		TunerConfig{SLONsPerCall: 2000, IdleRounds: 2, StepDownFrac: 0.5},
+		Knobs{Level: policy.BaseLevel, MaxLag: 0, Epoch: 4},
+	)
+	// 1500 is within the SLO (2000) but above the band (1000).
+	nearSLO := Signals{Calls: 1000, NsPerCall: 1500, LagHeadroom: 1}
+	for i := 0; i < 8; i++ {
+		if dec := tu.Step(nearSLO); dec.Changed {
+			t.Fatalf("near-SLO round %d tightened: %+v", i, dec)
+		}
+	}
+	// Alternating idle/near-SLO never completes the streak either.
+	for i := 0; i < 8; i++ {
+		if dec := tu.Step(idleSignals()); dec.Changed {
+			t.Fatalf("alternating round %d tightened: %+v", i, dec)
+		}
+		if dec := tu.Step(nearSLO); dec.Changed {
+			t.Fatalf("alternating round %d tightened: %+v", i, dec)
+		}
+	}
+	// Two consecutive idle rounds do.
+	tu.Step(idleSignals())
+	if dec := tu.Step(idleSignals()); !dec.Changed || dec.Knobs.Epoch != 1 {
+		t.Fatalf("sustained idle did not give back the epoch: %+v", dec)
+	}
+	// Disabled by default: IdleRounds 0 never steps down.
+	tu2 := NewTuner(TunerConfig{SLONsPerCall: 2000}, Knobs{Level: policy.BaseLevel, MaxLag: 0, Epoch: 4})
+	for i := 0; i < 8; i++ {
+		if dec := tu2.Step(idleSignals()); dec.Changed {
+			t.Fatalf("IdleRounds=0 tuner tightened: %+v", dec)
+		}
+	}
+}
+
+// TestControllerRotateLandsLagGrant: a fleet booted at MaxLag 0 runs
+// the lockstep publication protocol, which cannot flip live. With
+// RotateForLag the controller must notice the tuner's standing lag
+// grant and rotate the shard so the respawned replica set actually runs
+// the window — closing the gap where a one-shot rotate lost to timing
+// left the grant on paper forever.
+func TestControllerRotateLandsLagGrant(t *testing.T) {
+	cfg := quickCfg(2)
+	cfg.MaxLag = 0 // lockstep boot: the grant needs a rotation to land
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctl := f.StartController(ControllerConfig{
+		Interval:     2 * time.Millisecond,
+		RotateForLag: true,
+		Tuner:        TunerConfig{SLONsPerCall: 1, MinCalls: 16},
+	})
+	defer ctl.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		f.DriveClients(DriveConfig{Conns: 8, RequestsPerConn: 8, ThinkTime: model.Microsecond})
+		// The grant has landed when a *serving, rotated* replica set
+		// reports a live lag window. Mid-drain, ShardLag falls back to the
+		// boot record (already granted) — only the generation bump proves
+		// the pipelined protocol is actually running.
+		st, gen := f.ShardState(0)
+		lag, err := f.ShardLag(0)
+		if st == Serving && gen > 0 && err == nil && lag > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lag grant never landed live (state=%v gen=%d lag=%d, knobs=%+v); events: %+v",
+				st, gen, lag, ctl.ShardKnobs(0), ctl.Events())
+		}
+	}
+}
+
 // TestControllerRelaxesLiveFleet runs the closed loop against a real
 // fleet under load: starting from the conservative corner, the
 // controller must step the shards' policy level up through the live

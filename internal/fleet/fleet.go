@@ -6,10 +6,18 @@
 // a diverging (possibly attacked) shard is quarantined and replaced while
 // the rest of the fleet keeps serving.
 //
-// Shard lifecycle (DESIGN.md §6):
+// Shard lifecycle (DESIGN.md §6, §12):
 //
 //	Serving ──(divergence verdict)──> Quarantined ──> Respawning ──> Serving
 //	Serving ──(DrainShard)──────────> Draining ─────> Respawning ──> Serving
+//	Serving ──(RemoveShard)─────────> Draining ─────> Retired ─(AddShard)─> Respawning ──> Serving
+//
+// The pool is elastic (PR 8): AddShard grows it while serving,
+// RemoveShard shrinks it through the same drain+handoff machinery a
+// rolling restart uses. Removal never compacts the slice — the slot
+// becomes a Retired tombstone so shard indices stay stable for routing,
+// telemetry labels and the transition log, and a later AddShard revives
+// the slot before appending a new one.
 //
 // A supervisor loop subscribes to each shard monitor's verdict
 // notification. On divergence it quarantines the shard (the balancer
@@ -36,6 +44,7 @@ import (
 	"remon/internal/ghumvee"
 	"remon/internal/model"
 	"remon/internal/policy"
+	"remon/internal/telemetry"
 	"remon/internal/vkernel"
 	"remon/internal/vnet"
 )
@@ -50,6 +59,24 @@ var (
 	// its MaxConnsPerShard saturation limit.
 	ErrOverloaded = errors.New("fleet: all shards saturated")
 )
+
+// OverloadError is the typed backpressure admission sheds with at the
+// pool ceiling: the retry budget ran out and saturation was the last
+// obstacle. It unwraps to ErrOverloaded, so errors.Is branches keep
+// working; RetryAfter is the balancer's capacity hint — the soonest
+// remaining drain grace when a shard is mid-drain (its slots come back
+// when the rotation completes), the admission backoff ceiling otherwise.
+// Degradation stays graceful: the caller gets a bounded, typed answer
+// instead of an unbounded queue.
+type OverloadError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", ErrOverloaded, e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // State is a shard's health state.
 type State int32
@@ -66,6 +93,12 @@ const (
 	Quarantined
 	// Respawning: old replica set recycled; a fresh one is being built.
 	Respawning
+	// Retired: removed from the pool by scale-down (RemoveShard). A
+	// terminal tombstone, not a phase: the slot keeps its index (routing
+	// history, telemetry labels and transitions stay coherent) but holds
+	// no replica set, takes no traffic, and does not degrade Health.
+	// AddShard revives retired slots before growing the slice.
+	Retired
 )
 
 func (s State) String() string {
@@ -78,6 +111,8 @@ func (s State) String() string {
 		return "quarantined"
 	case Respawning:
 		return "respawning"
+	case Retired:
+		return "retired"
 	}
 	return "?"
 }
@@ -278,6 +313,11 @@ type ShardInfo struct {
 	// EpochSize is the shard monitor's divergence-checking window
 	// (1 = immediate verification).
 	EpochSize int
+	// CurLag is the live master-ahead occupancy (calls the master is
+	// currently ahead of its slowest slave); 0 for lockstep or between
+	// replica sets. CurLag/MaxLag is the autoscaler's lag-occupancy
+	// signal.
+	CurLag int
 }
 
 // Stats is a fleet-wide snapshot.
@@ -298,6 +338,13 @@ type Stats struct {
 	// ConnsShed counts admissions refused with ErrOverloaded (a subset
 	// of ConnsRefused).
 	ConnsShed uint64
+	// AdmitWaits counts admission backoff sleeps — retries the balancer
+	// burned waiting for a shard to admit. Pressure that has not (yet)
+	// become a shed.
+	AdmitWaits uint64
+	// ServingShards counts shards currently in Serving — the live
+	// capacity denominator (the Shards slice includes Retired slots).
+	ServingShards int
 }
 
 // shard is one MVEE shard and its supervisor-owned runtime state.
@@ -312,6 +359,10 @@ type shard struct {
 	// set at: the configured Policy normally, the conservative
 	// RespawnPolicy after a divergence quarantine.
 	level policy.Level
+	// drainUntil is the host-time end of the current drain grace while
+	// the shard is Draining — the balancer's retry-after hint derives
+	// from it (capacity returns when the drain completes).
+	drainUntil time.Time
 	// maxLag is the master-ahead window the next buildShard boots with;
 	// a perf knob (not a security posture), so unlike level it survives
 	// divergence respawns. SetShardLag updates it and, when the live
@@ -358,13 +409,25 @@ type Fleet struct {
 	frontNet *vnet.Network
 	frontK   *vkernel.Kernel
 	lis      *vnet.Listener
-	shards   []*shard
+
+	// poolMu guards the shards slice itself (append by AddShard). The
+	// slice is append-only — removal retires in place — so a snapshot
+	// taken under poolMu stays valid forever: indices never shift and
+	// entries never disappear. Per-shard state still needs each s.mu.
+	poolMu sync.RWMutex
+	shards []*shard
 
 	rrNext   atomic.Uint64
 	verdicts chan verdictEvent
 	stopCh   chan struct{}
 	stopping atomic.Bool
 	wg       sync.WaitGroup
+
+	// admitWaits counts admission backoff sleeps (pickShard retries) —
+	// the pre-shed pressure signal the autoscaler watches: it moves
+	// before ConnsShed does, because every shed first exhausted its
+	// retries.
+	admitWaits atomic.Uint64
 
 	// admitMu guards admitRNG, the jitter source for admission backoff.
 	admitMu  sync.Mutex
@@ -384,6 +447,10 @@ type Fleet struct {
 	// recoveryNote is closed and replaced each time a divergence recovery
 	// completes; WaitRecoveries blocks on it instead of polling.
 	recoveryNote chan struct{}
+	// regs are the registries RegisterTelemetry wired this fleet into;
+	// AddShard registers a fresh shard's collector into each so a scrape
+	// stays complete across pool growth.
+	regs []*telemetry.Registry
 }
 
 type routeEntry struct {
@@ -413,16 +480,7 @@ func New(cfg Config) (*Fleet, error) {
 	f.lis = lis
 
 	for i := 0; i < cfg.Shards; i++ {
-		s := &shard{
-			idx:     i,
-			addr:    fmt.Sprintf("shard-%d:9000", i),
-			state:   Respawning,
-			level:   *cfg.Policy,
-			maxLag:  cfg.MaxLag,
-			epoch:   cfg.EpochSize,
-			splices: map[*vnet.Splice]struct{}{},
-		}
-		f.shards = append(f.shards, s)
+		s := f.newShardSlot()
 		if err := f.buildShard(s); err != nil {
 			f.Close()
 			return nil, err
@@ -450,6 +508,60 @@ func (f *Fleet) FrontAddr() string { return f.cfg.FrontAddr }
 // sizes, so external load drivers can frame correctly.
 func (f *Fleet) RequestShape() (reqSize, respSize int) {
 	return f.cfg.RequestSize, f.cfg.ResponseSize
+}
+
+// pool snapshots the shard slice under the pool lock. The slice is
+// append-only (removal retires in place), so the snapshot never goes
+// stale structurally — an iterator may see a shard appended after the
+// snapshot one round late, never a dangling entry. Per-shard state still
+// needs each s.mu.
+func (f *Fleet) pool() []*shard {
+	f.poolMu.RLock()
+	defer f.poolMu.RUnlock()
+	return append([]*shard(nil), f.shards...)
+}
+
+// shardAt resolves a shard index against the live pool.
+func (f *Fleet) shardAt(idx int) (*shard, error) {
+	f.poolMu.RLock()
+	defer f.poolMu.RUnlock()
+	if idx < 0 || idx >= len(f.shards) {
+		return nil, fmt.Errorf("fleet: no shard %d", idx)
+	}
+	return f.shards[idx], nil
+}
+
+// PoolSize reports (serving, total) shard counts; total includes
+// Retired tombstones.
+func (f *Fleet) PoolSize() (serving, total int) {
+	for _, s := range f.pool() {
+		total++
+		s.mu.Lock()
+		if s.state == Serving && s.mvee != nil {
+			serving++
+		}
+		s.mu.Unlock()
+	}
+	return serving, total
+}
+
+// newShardSlot appends a fresh Respawning shard slot at the fleet's
+// configured boot knobs and returns it. Boot (buildShard) and the
+// Serving flip are the caller's job.
+func (f *Fleet) newShardSlot() *shard {
+	f.poolMu.Lock()
+	s := &shard{
+		idx:     len(f.shards),
+		addr:    fmt.Sprintf("shard-%d:9000", len(f.shards)),
+		state:   Respawning,
+		level:   *f.cfg.Policy,
+		maxLag:  f.cfg.MaxLag,
+		epoch:   f.cfg.EpochSize,
+		splices: map[*vnet.Splice]struct{}{},
+	}
+	f.shards = append(f.shards, s)
+	f.poolMu.Unlock()
+	return s
 }
 
 // buildShard constructs a fresh replica set for s: new network and
@@ -556,7 +668,10 @@ func (f *Fleet) supervise() {
 // handleDivergence runs the Quarantined -> Respawning -> Serving cycle
 // for one shard verdict.
 func (f *Fleet) handleDivergence(ev verdictEvent) {
-	s := f.shards[ev.shard]
+	s, err := f.shardAt(ev.shard)
+	if err != nil {
+		return
+	}
 
 	// Claim the shard: a Serving — or Draining: a rolling restart must
 	// not erase an attack signal — shard of the matching generation
@@ -651,13 +766,13 @@ func (f *Fleet) handleDivergence(ev verdictEvent) {
 // to finish, then the replica set is torn down and respawned — a rolling
 // restart.
 func (f *Fleet) DrainShard(idx int) error {
-	if idx < 0 || idx >= len(f.shards) {
-		return fmt.Errorf("fleet: no shard %d", idx)
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return err
 	}
 	if f.stopping.Load() {
 		return fmt.Errorf("fleet: closing")
 	}
-	s := f.shards[idx]
 	s.mu.Lock()
 	if s.state != Serving || s.mvee == nil {
 		st := s.state
@@ -665,6 +780,7 @@ func (f *Fleet) DrainShard(idx int) error {
 		return fmt.Errorf("shard %d is %v: %w", idx, st, ErrShardNotServing)
 	}
 	s.state = Draining
+	s.drainUntil = time.Now().Add(f.cfg.DrainGrace)
 	gen := s.gen
 	s.mu.Unlock()
 	f.record(s, gen, Serving, Draining, "drain requested")
@@ -749,6 +865,159 @@ func (f *Fleet) DrainShard(idx int) error {
 	return nil
 }
 
+// AddShard grows the pool by one Serving shard — the autoscaler's
+// scale-up actuator, also usable administratively. A Retired tombstone
+// is revived in place when one exists (the slice stays bounded under
+// repeated scale cycles); otherwise a fresh slot is appended and its
+// telemetry collector registered into every registry the fleet is wired
+// to, so a scrape stays complete across pool growth. The shard boots at
+// the fleet's configured policy/lag/epoch knobs and joins the balancer's
+// candidate set once its server listens. Returns the shard's index.
+func (f *Fleet) AddShard() (int, error) {
+	if f.stopping.Load() {
+		return -1, fmt.Errorf("fleet: closing")
+	}
+	var s *shard
+	from := Respawning
+	f.poolMu.RLock()
+	for _, cand := range f.shards {
+		cand.mu.Lock()
+		if cand.state == Retired {
+			// Revive in place: a fresh generation at the configured boot
+			// knobs, exactly as a fresh slot would get. The state flip under
+			// cand.mu is the claim — a concurrent AddShard sees Respawning
+			// and moves on.
+			cand.state = Respawning
+			cand.gen++
+			cand.level = *f.cfg.Policy
+			cand.maxLag = f.cfg.MaxLag
+			cand.epoch = f.cfg.EpochSize
+			cand.splices = map[*vnet.Splice]struct{}{}
+			s = cand
+			from = Retired
+		}
+		cand.mu.Unlock()
+		if s != nil {
+			break
+		}
+	}
+	f.poolMu.RUnlock()
+	if s == nil {
+		s = f.newShardSlot()
+		f.registerShardCollectors(s)
+	}
+	s.mu.Lock()
+	gen := s.gen
+	s.mu.Unlock()
+	f.record(s, gen, from, Respawning, "scale-up")
+	if err := f.buildShard(s); err != nil {
+		f.setState(s, Retired, "scale-up failed: "+err.Error())
+		return s.idx, err
+	}
+	f.setState(s, Serving, "scaled up")
+	return s.idx, nil
+}
+
+// RemoveShard retires a Serving shard from the pool — the scale-down
+// actuator. Admission routes around it immediately (Draining), in-flight
+// connections get DrainGrace to finish; with handoff armed the
+// stragglers migrate live onto the surviving shards, exactly as a
+// rolling restart's would — but instead of respawning, the replica set
+// is recycled and the slot becomes a Retired tombstone (index preserved;
+// AddShard revives it). Two refusals keep the pool sound: removing the
+// last Serving shard is rejected up front, and a divergence verdict that
+// claims the shard mid-drain preempts the removal — supervisor wins, the
+// quarantine/respawn cycle runs instead, and RemoveShard reports the
+// preemption so the caller re-observes before trying again.
+func (f *Fleet) RemoveShard(idx int) error {
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return err
+	}
+	if f.stopping.Load() {
+		return fmt.Errorf("fleet: closing")
+	}
+	others := 0
+	for _, o := range f.pool() {
+		if o == s {
+			continue
+		}
+		o.mu.Lock()
+		if o.state == Serving && o.mvee != nil {
+			others++
+		}
+		o.mu.Unlock()
+	}
+	if others == 0 {
+		return fmt.Errorf("fleet: refusing to remove shard %d: no other serving shard", idx)
+	}
+	s.mu.Lock()
+	if s.state != Serving || s.mvee == nil {
+		st := s.state
+		s.mu.Unlock()
+		return fmt.Errorf("shard %d is %v: %w", idx, st, ErrShardNotServing)
+	}
+	s.state = Draining
+	s.drainUntil = time.Now().Add(f.cfg.DrainGrace)
+	gen := s.gen
+	s.mu.Unlock()
+	f.record(s, gen, Serving, Draining, "scale-down drain")
+
+	deadline := time.Now().Add(f.cfg.DrainGrace)
+	var mvee *core.MVEE
+	var runDone chan *core.Report
+	var splices map[*vnet.Splice]struct{}
+	for {
+		s.mu.Lock()
+		if s.state != Draining || s.mvee == nil {
+			st := s.state
+			s.mu.Unlock()
+			return fmt.Errorf("fleet: shard %d removal preempted (shard now %v): %w", idx, st, ErrShardNotServing)
+		}
+		if (len(s.splices) == 0 && s.pending == 0) || time.Now().After(deadline) {
+			s.state = Retired
+			mvee, runDone = s.mvee, s.runDone
+			s.mvee = nil
+			splices = s.takeSplicesLocked()
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+	}
+	reason := "scaled down"
+	var frozen []*vnet.Splice
+	drainEnd := time.Now()
+	handoffDeadline := drainEnd.Add(f.cfg.HandoffDeadline)
+	if n := len(splices); n > 0 {
+		if f.cfg.Handoff {
+			reason = fmt.Sprintf("scaled down, %d connections handed off", n)
+		} else {
+			reason = fmt.Sprintf("scaled down, %d connections cut", n)
+		}
+	}
+	f.record(s, gen, Draining, Retired, reason)
+	if f.cfg.Handoff {
+		frozen = f.freezeSplices(splices, handoffDeadline)
+	} else {
+		f.cutSplices(splices)
+	}
+
+	mvee.Shutdown(reason)
+	<-runDone
+	mvee.Close()
+	// Migrate stragglers onto the surviving shards. Unlike a drain there
+	// is no "after the respawn" second pass — the victim is gone — so
+	// retry within the handoff deadline before degrading to a cut.
+	frozen = f.migrateSplices(frozen, drainEnd, handoffDeadline)
+	for len(frozen) > 0 && time.Now().Before(handoffDeadline) {
+		time.Sleep(200 * time.Microsecond)
+		frozen = f.migrateSplices(frozen, drainEnd, handoffDeadline)
+	}
+	f.abortSplices(frozen)
+	return nil
+}
+
 // SetShardPolicy hot-reloads a serving shard's relaxation rules while its
 // traffic is live: the rule set is installed into the shard MVEE's shared
 // policy engine and every logical-thread stream adopts it at its next
@@ -756,10 +1025,10 @@ func (f *Fleet) DrainShard(idx int) error {
 // remembers the new global default as its boot level for administrative
 // rotations (divergence respawns still fall back to RespawnPolicy).
 func (f *Fleet) SetShardPolicy(idx int, rules policy.Rules) error {
-	if idx < 0 || idx >= len(f.shards) {
-		return fmt.Errorf("fleet: no shard %d", idx)
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return err
 	}
-	s := f.shards[idx]
 	s.mu.Lock()
 	mvee, st, gen := s.mvee, s.state, s.gen
 	s.mu.Unlock()
@@ -793,13 +1062,13 @@ func (f *Fleet) SetShardPolicy(idx int, rules policy.Rules) error {
 // the legacy publish-per-call protocol, which cannot flip live — the
 // new window then takes effect at the shard's next respawn.
 func (f *Fleet) SetShardLag(idx, lag int) error {
-	if idx < 0 || idx >= len(f.shards) {
-		return fmt.Errorf("fleet: no shard %d", idx)
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return err
 	}
 	if lag < 0 {
 		return fmt.Errorf("fleet: negative lag window %d", lag)
 	}
-	s := f.shards[idx]
 	s.mu.Lock()
 	s.maxLag = lag
 	mvee, st, gen := s.mvee, s.state, s.gen
@@ -821,13 +1090,13 @@ func (f *Fleet) SetShardLag(idx, lag int) error {
 // runtime-adjustable, so unlike the lag window there is no
 // "at next respawn" case for a live shard.
 func (f *Fleet) SetShardEpoch(idx, n int) error {
-	if idx < 0 || idx >= len(f.shards) {
-		return fmt.Errorf("fleet: no shard %d", idx)
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return err
 	}
 	if n < 1 {
 		n = 1
 	}
-	s := f.shards[idx]
 	s.mu.Lock()
 	s.epoch = n
 	mvee, st, gen := s.mvee, s.state, s.gen
@@ -844,10 +1113,10 @@ func (f *Fleet) SetShardEpoch(idx, n int) error {
 // ShardEpoch reports a shard's live divergence-checking window (its
 // boot setting when the shard is between replica sets).
 func (f *Fleet) ShardEpoch(idx int) (int, error) {
-	if idx < 0 || idx >= len(f.shards) {
-		return 0, fmt.Errorf("fleet: no shard %d", idx)
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return 0, err
 	}
-	s := f.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.mvee != nil && s.mvee.Monitor != nil && (s.state == Serving || s.state == Draining) {
@@ -859,10 +1128,10 @@ func (f *Fleet) ShardEpoch(idx int) (int, error) {
 // ShardLag reports a shard's live master-ahead window (its boot setting
 // when the shard is between replica sets).
 func (f *Fleet) ShardLag(idx int) (int, error) {
-	if idx < 0 || idx >= len(f.shards) {
-		return 0, fmt.Errorf("fleet: no shard %d", idx)
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return 0, err
 	}
-	s := f.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.mvee != nil && (s.state == Serving || s.state == Draining) {
@@ -875,10 +1144,10 @@ func (f *Fleet) ShardLag(idx int) (int, error) {
 // (the live engine snapshot's default when the shard is up, the pending
 // boot level otherwise).
 func (f *Fleet) ShardPolicy(idx int) (policy.Level, error) {
-	if idx < 0 || idx >= len(f.shards) {
-		return 0, fmt.Errorf("fleet: no shard %d", idx)
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return 0, err
 	}
-	s := f.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.effectiveLevelLocked(), nil
@@ -891,10 +1160,10 @@ func (f *Fleet) ShardPolicy(idx int) (policy.Level, error) {
 // degraded, but not diverged. The profile dies with the current replica
 // set: a respawn builds a fresh network without it.
 func (f *Fleet) SetShardFault(idx int, p *vnet.FaultProfile) error {
-	if idx < 0 || idx >= len(f.shards) {
-		return fmt.Errorf("fleet: no shard %d", idx)
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return err
 	}
-	s := f.shards[idx]
 	s.mu.Lock()
 	net := s.net
 	s.mu.Unlock()
@@ -910,10 +1179,11 @@ func (f *Fleet) SetShardFault(idx int, p *vnet.FaultProfile) error {
 // slave's IP-MON comparison catches as divergence (§3.3). Test, attack
 // and bench harnesses use it to exercise the quarantine path.
 func (f *Fleet) InjectDivergence(idx int) error {
-	if idx < 0 || idx >= len(f.shards) {
-		return fmt.Errorf("fleet: no shard %d", idx)
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return err
 	}
-	f.shards[idx].inject.Store(true)
+	s.inject.Store(true)
 	return nil
 }
 
@@ -982,9 +1252,15 @@ func (f *Fleet) RecoveryLatencies() []time.Duration {
 	return append([]time.Duration(nil), f.recoveryLats...)
 }
 
-// ShardState reports a shard's current state and generation.
+// ShardState reports a shard's current state and generation. An
+// out-of-range index reports (Retired, -1) — an index that was valid
+// once stays valid forever (removal retires in place), so this only
+// happens for indices the pool never held.
 func (f *Fleet) ShardState(idx int) (State, int) {
-	s := f.shards[idx]
+	s, err := f.shardAt(idx)
+	if err != nil {
+		return Retired, -1
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.state, s.gen
@@ -1023,15 +1299,19 @@ func (f *Fleet) RouteOf(clientAddr string) (shard, gen int, ok bool) {
 func (f *Fleet) Stats() Stats {
 	st := Stats{}
 	var routed uint64
-	for _, s := range f.shards {
+	for _, s := range f.pool() {
 		s.mu.Lock()
 		lv := s.effectiveLevelLocked()
-		lag, epoch := s.maxLag, s.epoch
+		lag, epoch, curLag := s.maxLag, s.epoch, 0
 		if s.mvee != nil && (s.state == Serving || s.state == Draining) {
 			lag = s.mvee.MaxLag()
 			if s.mvee.Monitor != nil {
 				epoch = s.mvee.Monitor.EpochSize()
 			}
+			curLag = int(s.mvee.RBStats().CurLag)
+		}
+		if s.state == Serving && s.mvee != nil {
+			st.ServingShards++
 		}
 		st.Shards = append(st.Shards, ShardInfo{
 			Index:       s.idx,
@@ -1044,10 +1324,12 @@ func (f *Fleet) Stats() Stats {
 			Policy:      lv,
 			MaxLag:      lag,
 			EpochSize:   epoch,
+			CurLag:      curLag,
 		})
 		routed += s.connsRouted
 		s.mu.Unlock()
 	}
+	st.AdmitWaits = f.admitWaits.Load()
 	f.mu.Lock()
 	st.ConnsRouted = routed
 	st.ConnsRefused = f.refused
@@ -1138,7 +1420,7 @@ func (f *Fleet) Close() {
 	close(f.stopCh)
 	f.wg.Wait()
 
-	for _, s := range f.shards {
+	for _, s := range f.pool() {
 		s.mu.Lock()
 		mvee, runDone := s.mvee, s.runDone
 		s.mvee = nil

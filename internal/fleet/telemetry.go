@@ -18,10 +18,12 @@ import (
 // the fleet-global admission/failover counters. Status is "ok" only
 // while every shard serves; any shard mid-drain, quarantined or
 // respawning degrades the report (the fleet still serves — degraded is
-// a capacity warning, not an outage).
+// a capacity warning, not an outage). Retired tombstones are reported
+// but do not degrade: a deliberately scaled-down slot is not a capacity
+// loss, the autoscaler already accounted for it.
 func (f *Fleet) Health() telemetry.HealthReport {
 	rep := telemetry.HealthReport{Status: "ok"}
-	for _, s := range f.shards {
+	for _, s := range f.pool() {
 		s.mu.Lock()
 		h := telemetry.ShardHealth{
 			Shard:       s.idx,
@@ -41,7 +43,7 @@ func (f *Fleet) Health() telemetry.HealthReport {
 			}
 			h.CurLag = int(s.mvee.RBStats().CurLag)
 		}
-		if s.state != Serving {
+		if s.state != Serving && s.state != Retired {
 			rep.Status = "degraded"
 		}
 		s.mu.Unlock()
@@ -85,14 +87,43 @@ func (f *Fleet) Health() telemetry.HealthReport {
 // Safe to call once per registry; collectors run at scrape time under
 // the registry lock, so a scrape observes each shard's replica set
 // per-shard-consistently (see the Stats consistency contract).
+//
+// Pool mutation tolerance: the registry is remembered, and AddShard
+// registers a freshly appended shard's collector into every remembered
+// registry — a scrape racing a scale-up sees either the old or the new
+// pool, never a torn one (registration and scraping serialise on the
+// registry lock). Retired shards keep their collector: the lifecycle
+// gauges keep reporting the tombstone, the per-MVEE series simply stop.
 func (f *Fleet) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.RegisterCollector(nil, f.collectFleet)
-	for _, s := range f.shards {
-		s := s
-		labels := telemetry.Labels{{Key: "shard", Value: fmt.Sprintf("%d", s.idx)}}
-		reg.RegisterCollector(labels, func(sam *telemetry.Sampler) { f.collectShard(s, sam) })
+	pool := f.pool()
+	f.mu.Lock()
+	f.regs = append(f.regs, reg)
+	f.mu.Unlock()
+	for _, s := range pool {
+		f.registerShardInto(reg, s)
 	}
 	core.RegisterArenaTelemetry(reg)
+}
+
+// registerShardInto wires one shard's collector into one registry.
+func (f *Fleet) registerShardInto(reg *telemetry.Registry, s *shard) {
+	labels := telemetry.Labels{{Key: "shard", Value: fmt.Sprintf("%d", s.idx)}}
+	reg.RegisterCollector(labels, func(sam *telemetry.Sampler) { f.collectShard(s, sam) })
+}
+
+// registerShardCollectors wires a freshly appended shard into every
+// registry the fleet is already registered with (AddShard's half of the
+// pool-mutation tolerance contract). Revived tombstones skip this —
+// their collector from the original registration still points at the
+// same slot.
+func (f *Fleet) registerShardCollectors(s *shard) {
+	f.mu.Lock()
+	regs := append([]*telemetry.Registry(nil), f.regs...)
+	f.mu.Unlock()
+	for _, reg := range regs {
+		f.registerShardInto(reg, s)
+	}
 }
 
 // collectFleet samples the fleet-global counters and the front network.
@@ -112,8 +143,12 @@ func (f *Fleet) collectFleet(sam *telemetry.Sampler) {
 	sam.MetricU("remon_fleet_replayed_bytes_total", st.ReplayedBytes)
 	sam.Help("remon_fleet_recoveries_total", "completed quarantine->serving divergence recoveries")
 	sam.MetricU("remon_fleet_recoveries_total", uint64(st.Recoveries))
-	sam.Help("remon_fleet_shards", "configured shard count")
-	sam.Metric("remon_fleet_shards", float64(len(f.shards)))
+	sam.Help("remon_fleet_admit_waits_total", "admission retry backoff sleeps (pre-shed pressure)")
+	sam.MetricU("remon_fleet_admit_waits_total", st.AdmitWaits)
+	sam.Help("remon_fleet_shards", "pool slots (serving + transitioning + retired)")
+	sam.Metric("remon_fleet_shards", float64(len(st.Shards)))
+	sam.Help("remon_fleet_serving_shards", "shards currently serving traffic")
+	sam.Metric("remon_fleet_serving_shards", float64(st.ServingShards))
 
 	front := f.frontNet.Stats()
 	front.Emit(func(name string, v uint64) {
@@ -139,7 +174,7 @@ func (f *Fleet) collectShard(s *shard, sam *telemetry.Sampler) {
 	net := s.net
 	s.mu.Unlock()
 
-	sam.Help("remon_shard_state", "lifecycle state (0=serving 1=draining 2=quarantined 3=respawning)")
+	sam.Help("remon_shard_state", "lifecycle state (0=serving 1=draining 2=quarantined 3=respawning 4=retired)")
 	sam.Metric("remon_shard_state", float64(state))
 	sam.Help("remon_shard_gen", "respawn generation")
 	sam.Metric("remon_shard_gen", float64(gen))

@@ -1,0 +1,72 @@
+// CounterWindow: a ring-windowed delta sampler over cumulative
+// counters. Fleet and MVEE telemetry expose monotone counters
+// (ConnsShed, AdmitWaits, RB.Wakes, ...); control loops want *rates* —
+// "how much did this move over the last W observation rounds". The ring
+// keeps the last W+1 samples so Delta is a true windowed difference, not
+// a since-boot figure that can never come back down, which is what lets
+// hysteresis thresholds disarm after a burst passes.
+//
+// Wraparound contract: deltas are computed with unsigned subtraction, so
+// a counter that wraps uint64 (or is reset behind our back and re-read
+// smaller, which subtracts to a huge positive value) produces a large
+// Delta for the W rounds the discontinuity stays inside the window, then
+// self-heals. Callers that re-baseline on known discontinuities (a shard
+// generation bump) should Reset instead.
+package fleet
+
+// CounterWindow holds the last Size+1 samples of one cumulative counter.
+// Not safe for concurrent use; each control loop owns its windows.
+type CounterWindow struct {
+	buf   []uint64
+	next  int // ring write position
+	count int // samples held, saturates at len(buf)
+}
+
+// NewCounterWindow builds a window of the given size (observation rounds
+// spanned by Delta); size < 1 is treated as 1.
+func NewCounterWindow(size int) *CounterWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &CounterWindow{buf: make([]uint64, size+1)}
+}
+
+// Observe appends one cumulative sample, evicting the oldest when full.
+func (w *CounterWindow) Observe(v uint64) {
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+}
+
+// Delta reports newest-minus-oldest over the held samples — the counter
+// movement across the window. Zero until at least two samples exist.
+func (w *CounterWindow) Delta() uint64 {
+	if w.count < 2 {
+		return 0
+	}
+	newest := w.buf[(w.next-1+len(w.buf))%len(w.buf)]
+	oldest := w.buf[(w.next-w.count+len(w.buf))%len(w.buf)]
+	return newest - oldest
+}
+
+// Last reports the newest sample (zero before any Observe).
+func (w *CounterWindow) Last() uint64 {
+	if w.count == 0 {
+		return 0
+	}
+	return w.buf[(w.next-1+len(w.buf))%len(w.buf)]
+}
+
+// Full reports whether Delta spans the configured window size.
+func (w *CounterWindow) Full() bool { return w.count == len(w.buf) }
+
+// Samples reports how many samples the window currently holds.
+func (w *CounterWindow) Samples() int { return w.count }
+
+// Reset drops all samples — the re-baseline for known discontinuities
+// (a shard respawn starts its counters from zero again).
+func (w *CounterWindow) Reset() {
+	w.next, w.count = 0, 0
+}

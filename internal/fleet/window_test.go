@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterWindowDelta(t *testing.T) {
+	w := NewCounterWindow(3)
+	if w.Delta() != 0 || w.Full() {
+		t.Fatalf("empty window: Delta=%d Full=%v", w.Delta(), w.Full())
+	}
+	w.Observe(10)
+	if w.Delta() != 0 {
+		t.Fatalf("one sample: Delta=%d, want 0", w.Delta())
+	}
+	w.Observe(15)
+	if w.Delta() != 5 {
+		t.Fatalf("two samples: Delta=%d, want 5", w.Delta())
+	}
+	w.Observe(15)
+	w.Observe(40)
+	if !w.Full() {
+		t.Fatal("4 samples in a size-3 window should be Full")
+	}
+	// Window now spans samples {10,15,15,40}: newest-oldest = 30.
+	if w.Delta() != 30 {
+		t.Fatalf("full window: Delta=%d, want 30", w.Delta())
+	}
+	// Evict the 10: {15,15,40,41} -> 26.
+	w.Observe(41)
+	if w.Delta() != 26 {
+		t.Fatalf("after eviction: Delta=%d, want 26", w.Delta())
+	}
+	if w.Last() != 41 {
+		t.Fatalf("Last=%d, want 41", w.Last())
+	}
+	w.Reset()
+	if w.Delta() != 0 || w.Full() || w.Last() != 0 {
+		t.Fatalf("after Reset: Delta=%d Full=%v Last=%d", w.Delta(), w.Full(), w.Last())
+	}
+}
+
+// TestCounterWindowWraparound pins the monotone-counter wraparound
+// contract: unsigned subtraction across a uint64 wrap yields the true
+// modular delta, and a counter reset (re-read smaller without a Reset)
+// yields a huge delta that self-heals once the discontinuity leaves the
+// window.
+func TestCounterWindowWraparound(t *testing.T) {
+	w := NewCounterWindow(2)
+	w.Observe(math.MaxUint64 - 2)
+	w.Observe(math.MaxUint64)
+	w.Observe(3) // wrapped: true movement is 4
+	if got := w.Delta(); got != 6 {
+		// Window spans {MaxUint64-2, MaxUint64, 3}: modular delta 6.
+		t.Fatalf("wrapped Delta=%d, want 6", got)
+	}
+
+	// Counter reset behind our back: 100 -> 1 subtracts to a huge value.
+	w = NewCounterWindow(2)
+	w.Observe(100)
+	w.Observe(1)
+	if got := w.Delta(); got < 1<<63 {
+		t.Fatalf("reset-counter Delta=%d, want huge (unsigned wrap)", got)
+	}
+	// The discontinuity ages out: once every held sample postdates the
+	// reset the delta is sane again.
+	w.Observe(2)
+	w.Observe(5)
+	if got := w.Delta(); got != 4 {
+		t.Fatalf("post-heal Delta=%d, want 4", got)
+	}
+}
