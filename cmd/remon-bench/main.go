@@ -8,7 +8,7 @@
 //	            [-rb-json BENCH_rb.json] [-fleet-json BENCH_fleet.json]
 //	            [-ghumvee-json BENCH_ghumvee.json] [-policy-json BENCH_policy.json]
 //	            [-pipeline-json BENCH_pipeline.json] [-autotune-json BENCH_autotune.json]
-//	            [-autoscale-json BENCH_autoscale.json]
+//	            [-autoscale-json BENCH_autoscale.json] [-attackgen-json BENCH_attackgen.json]
 //
 // Absolute numbers are virtual-time measurements on the simulated
 // substrate; the claim being reproduced is the *shape* (see
@@ -39,6 +39,7 @@ func main() {
 	handoffJSON := flag.String("handoff-json", "", "write zero-loss failover results (p50/p99 handoff latency and requests lost at 1/2/4/8 shards) to this file, e.g. BENCH_handoff.json")
 	autotuneJSON := flag.String("autotune-json", "", "write the controller convergence experiment (conservative corner -> SLO under the 16-thread pipeline profile, plus the divergence snap-back) to this file, e.g. BENCH_autotune.json")
 	autoscaleJSON := flag.String("autoscale-json", "", "write the elastic-vs-fixed surge campaign (pool size vs offered load, shed rate, p99 admission latency) to this file, e.g. BENCH_autoscale.json")
+	attackgenJSON := flag.String("attackgen-json", "", "write the generated attack-class matrix (cells run, defeat rate, detection latency in calls per class, fleet smoke) to this file, e.g. BENCH_attackgen.json")
 	fleetRecoveries := flag.Int("fleet-recoveries", 5, "injected-divergence recovery samples for the fleet scenario")
 	flag.Parse()
 
@@ -151,6 +152,20 @@ func main() {
 			return os.WriteFile(*autoscaleJSON, append(payload, '\n'), 0o644)
 		})
 	}
+	if *attackgenJSON != "" {
+		run("Attack-generator matrix -> "+*attackgenJSON, func() error {
+			res, err := bench.RunAttackGen(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatAttackGen(res))
+			payload, err := bench.MarshalAttackGen(res)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*attackgenJSON, append(payload, '\n'), 0o644)
+		})
+	}
 	fleetDone := false
 	if *fleetJSON != "" {
 		fleetDone = true
@@ -181,7 +196,7 @@ func main() {
 			return os.WriteFile(*handoffJSON, append(payload, '\n'), 0o644)
 		})
 	}
-	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "" || *handoffJSON != "" || *autotuneJSON != "" || *autoscaleJSON != "") && *experiment == "" {
+	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "" || *handoffJSON != "" || *autotuneJSON != "" || *autoscaleJSON != "" || *attackgenJSON != "") && *experiment == "" {
 		return
 	}
 

@@ -553,11 +553,15 @@ func FleetShardCompromise() Outcome {
 }
 
 // DetailStable reports whether a scenario's Detail string is
-// deterministic for a fixed (level, epoch) cell. "master run-ahead
-// window" reports the host-scheduling-dependent run-ahead depth, so only
-// its verdict — never its detail — participates in golden comparisons.
+// deterministic for a fixed (level, epoch) cell. The "master run-ahead
+// window" scenarios (including the budgeted RB-size sweep variants)
+// report the host-scheduling-dependent run-ahead depth, so only their
+// verdicts — never their details — participate in golden comparisons.
+// Every other suite scenario, and every trace the generator
+// (internal/attack/gen) emits, must keep its detail bit-identical across
+// epoch and lag settings.
 func DetailStable(name string) bool {
-	return name != "master run-ahead window"
+	return !strings.HasPrefix(name, "master run-ahead window")
 }
 
 // RunSuiteAt executes every single-instance scenario of the suite under
@@ -566,7 +570,35 @@ func DetailStable(name string) bool {
 // instance), the analytic entropy and DCL checks (no policy axis), and
 // the fleet scenario (covered separately; seconds per run).
 func RunSuiteAt(level policy.Level, epoch int) []Outcome {
-	return []Outcome{
+	return RunSuiteAtBudget(level, epoch, SuiteBudget{})
+}
+
+// SuiteBudget bounds the multi-instance scenarios a golden-matrix cell
+// runs on top of the fixed single-instance set. The zero value is the
+// historical cell (one 1 MiB run-ahead window, no entropy sampling);
+// FullBudget opts matrix runs into the sweeps that used to live only in
+// RunAll.
+type SuiteBudget struct {
+	// EntropySamples, when positive, appends RBGuessingEntropy with that
+	// many sampled layouts (each sample is a full MVEE construction).
+	EntropySamples int
+	// RunAheadRBSizes sweeps MasterRunAheadWindowAt over these RB sizes;
+	// nil runs the single default 1 MiB window under the historical
+	// name. Swept entries are renamed per size so golden comparisons can
+	// track each cell independently.
+	RunAheadRBSizes []uint64
+}
+
+// FullBudget is the RunAll-scale budget: the entropy check plus a
+// two-point run-ahead RB sweep.
+func FullBudget() SuiteBudget {
+	return SuiteBudget{EntropySamples: 16, RunAheadRBSizes: []uint64{256 << 10, 1 << 20}}
+}
+
+// RunSuiteAtBudget is RunSuiteAt with the multi-instance scenarios
+// folded in behind the cell budget.
+func RunSuiteAtBudget(level policy.Level, epoch int, b SuiteBudget) []Outcome {
+	out := []Outcome{
 		DivergentWriteMonitoredAt(epoch),
 		DivergentWriteUnmonitoredAt(level, epoch),
 		DivergentSyscallSequenceAt(level, epoch),
@@ -575,8 +607,30 @@ func RunSuiteAt(level policy.Level, epoch int) []Outcome {
 		SharedMemoryChannelAt(level, epoch),
 		RBDisclosureViaProcMapsAt(level, epoch),
 		RBPointerLeakScanAt(level, epoch),
-		MasterRunAheadWindowAt(1<<20, level, epoch),
 	}
+	if len(b.RunAheadRBSizes) == 0 {
+		out = append(out, MasterRunAheadWindowAt(1<<20, level, epoch))
+	} else {
+		for _, sz := range b.RunAheadRBSizes {
+			o := MasterRunAheadWindowAt(sz, level, epoch)
+			o.Name = fmt.Sprintf("master run-ahead window (rb=%dKiB)", sz>>10)
+			out = append(out, o)
+		}
+	}
+	if b.EntropySamples > 0 {
+		out = append(out, RBGuessingEntropy(b.EntropySamples))
+	}
+	return out
+}
+
+// withSuiteLag installs the suite's MaxLag override around f, restoring
+// the previous value even when f panics — a panicking scenario must not
+// leak the lag override into later golden-matrix cells.
+func withSuiteLag(maxLag int, f func() []Outcome) []Outcome {
+	prev := suiteMaxLag
+	suiteMaxLag = maxLag
+	defer func() { suiteMaxLag = prev }()
+	return f()
 }
 
 // RunSuiteAtLag runs the golden-matrix cell with the suite's ReMon
@@ -585,26 +639,22 @@ func RunSuiteAt(level policy.Level, epoch int) []Outcome {
 // other suite runs — the lag rides on package state by design (every
 // scenario constructor keeps its two-axis signature).
 func RunSuiteAtLag(level policy.Level, epoch, maxLag int) []Outcome {
-	prev := suiteMaxLag
-	suiteMaxLag = maxLag
-	defer func() { suiteMaxLag = prev }()
-	return RunSuiteAt(level, epoch)
+	return withSuiteLag(maxLag, func() []Outcome { return RunSuiteAt(level, epoch) })
 }
 
-// RunAll executes the full suite.
+// RunSuiteAtLagBudget is RunSuiteAtLag with an explicit cell budget.
+func RunSuiteAtLagBudget(level policy.Level, epoch, maxLag int, b SuiteBudget) []Outcome {
+	return withSuiteLag(maxLag, func() []Outcome { return RunSuiteAtBudget(level, epoch, b) })
+}
+
+// RunAll executes the full suite: the golden-matrix cell at its standard
+// SOCKET_RW coordinates under the full budget (entropy sampling and the
+// run-ahead RB sweep included), plus the scenarios with no policy axis.
 func RunAll() []Outcome {
-	return []Outcome{
-		DivergentWriteMonitored(),
-		DivergentWriteUnmonitored(),
-		DivergentSyscallSequence(),
-		TokenForgery(),
-		SharedMemoryChannel(),
-		RBDisclosureViaProcMaps(),
-		RBPointerLeakScan(),
-		RBGuessingEntropy(16),
+	out := RunSuiteAtBudget(policy.SocketRWLevel, 1, FullBudget())
+	return append(out,
 		DCLIntegrity(),
-		MasterRunAheadWindow(1 << 20),
 		VaranMissesDivergentWrite(),
 		FleetShardCompromise(),
-	}
+	)
 }

@@ -1,0 +1,59 @@
+package gen
+
+import (
+	"remon/internal/workload"
+)
+
+// FuzzScripts projects the template corpus into the op alphabet of the
+// policy package's FuzzVerdictEquivalence harness (one byte per op:
+// op = b mod 10, operand nibble = b >> 4, op 9 = the tampered write).
+// Each generated trace contributes its op skeleton with the tamper point
+// mapped to the divergent-write op, so the fuzz corpus starts from the
+// vulnerability-class shapes rather than only hand-picked scripts.
+// Token-misuse traces project to healthy scripts (their defeat has no
+// divergence to express in the fuzz alphabet).
+func FuzzScripts() [][]byte {
+	var out [][]byte
+	for _, tr := range Traces(Params{}) {
+		var script []byte
+		for i, op := range tr.Ops {
+			var code int
+			switch op.Kind {
+			case workload.TraceTime:
+				code = 0
+			case workload.TraceGetpid:
+				code = 1
+			case workload.TracePread, workload.TraceRecv:
+				code = 2
+			case workload.TraceWrite, workload.TraceSend:
+				code = 3
+			case workload.TraceLseek:
+				code = 4
+			case workload.TraceAccess:
+				code = 5
+			case workload.TraceStat:
+				code = 6
+			case workload.TraceFsync:
+				code = 7
+			case workload.TraceOpen, workload.TracePipe, workload.TraceSocket:
+				code = 8
+			default:
+				// TraceClose / TraceProbe: no analogue in the fuzz alphabet.
+				continue
+			}
+			if i == tr.TamperIndex && tr.Probe == nil {
+				code = 9
+			}
+			// Encode (code, arg) as b = 16*arg + r with (16*arg+r) mod 10
+			// == code, matching the harness's op/operand decoding.
+			arg := (len(op.Data) + int(op.Off)) & 0x0F
+			r := (code - 6*arg) % 10
+			if r < 0 {
+				r += 10
+			}
+			script = append(script, byte(16*arg+r))
+		}
+		out = append(out, script)
+	}
+	return out
+}

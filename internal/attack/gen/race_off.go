@@ -1,0 +1,9 @@
+//go:build !race
+
+package gen
+
+// raceEnabled gates the full acceptance grid in tests: under the race
+// detector the matrix shrinks to the small grid (the full 60-cell ×
+// 24-trace grid is a multi-minute run at race-detector overhead, and the
+// race step's job is interleaving coverage, not grid coverage).
+const raceEnabled = false

@@ -1,0 +1,167 @@
+// The attack-generator matrix scenario behind BENCH_attackgen.json: the
+// generated vulnerability-class corpus replayed across the full
+// configuration grid, reported as per-class defeat rates and
+// detection-latency distributions (in trace calls past the injection
+// point), plus a live-fleet smoke leg per class. The defeat rate is the
+// paper's security claim as a number: anything below 1.0 is a cell where
+// a generated attack survived.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"remon/internal/attack/gen"
+	"remon/internal/policy"
+)
+
+// AttackGenClassRow is one vulnerability class's aggregate across the
+// grid.
+type AttackGenClassRow struct {
+	Class    string `json:"class"`
+	Variants int    `json:"variants"`
+	// Cells / Defeated / DefeatRate: grid coverage for this class.
+	Cells      int     `json:"cells"`
+	Defeated   int     `json:"defeated"`
+	DefeatRate float64 `json:"defeat_rate"`
+	// IPMonCells counts cells whose divergence was filed by the
+	// in-process monitor (the relaxed-path catches).
+	IPMonCells int `json:"ipmon_cells"`
+	// Detection latency in trace calls the compromised master executed
+	// past the injection point before the run ended.
+	DetectP50Calls int64 `json:"detect_p50_calls"`
+	DetectMaxCalls int64 `json:"detect_max_calls"`
+}
+
+// AttackGenFleetRow is one class's live-fleet smoke outcome.
+type AttackGenFleetRow struct {
+	Class    string `json:"class"`
+	Trace    string `json:"trace"`
+	Defeated bool   `json:"defeated"`
+	Detail   string `json:"detail"`
+}
+
+// AttackGenResults is the scenario's full output.
+type AttackGenResults struct {
+	GeneratedBy string `json:"generated_by"`
+	Seed        string `json:"seed"`
+	Traces      int    `json:"traces"`
+	GridCells   int    `json:"grid_cells"`
+	CellsRun    int    `json:"cells_run"`
+	Defeated    int    `json:"cells_defeated"`
+	DefeatRate  float64 `json:"defeat_rate"`
+	Rows        []AttackGenClassRow `json:"rows"`
+	Fleet       []AttackGenFleetRow `json:"fleet"`
+}
+
+// RunAttackGen replays the generated corpus across the grid (the small
+// CI slice when quick, the full acceptance grid otherwise) and runs the
+// per-class fleet smoke.
+func RunAttackGen(quick bool) (*AttackGenResults, error) {
+	traces := gen.Traces(gen.Params{})
+	cells := gen.Grid()
+	if quick {
+		cells = gen.SmallGrid()
+	}
+	results := gen.RunMatrix(traces, cells)
+
+	res := &AttackGenResults{
+		GeneratedBy: "remon-bench -attackgen-json",
+		Seed:        fmt.Sprintf("0x%X", uint64(gen.DefaultSeed)),
+		Traces:      len(traces),
+		GridCells:   len(cells),
+		CellsRun:    len(results),
+	}
+	type agg struct {
+		variants map[int]bool
+		cells    int
+		defeated int
+		ipmon    int
+		detect   []int64
+	}
+	byClass := map[gen.Class]*agg{}
+	for _, r := range results {
+		a := byClass[r.Class]
+		if a == nil {
+			a = &agg{variants: map[int]bool{}}
+			byClass[r.Class] = a
+		}
+		a.variants[r.Variant] = true
+		a.cells++
+		if r.Defeated {
+			a.defeated++
+			res.Defeated++
+		}
+		if r.IPMonCaught {
+			a.ipmon++
+		}
+		a.detect = append(a.detect, r.DetectionCalls)
+	}
+	if res.CellsRun > 0 {
+		res.DefeatRate = float64(res.Defeated) / float64(res.CellsRun)
+	}
+	for _, class := range gen.Classes() {
+		a := byClass[class]
+		if a == nil {
+			continue
+		}
+		sort.Slice(a.detect, func(i, j int) bool { return a.detect[i] < a.detect[j] })
+		row := AttackGenClassRow{
+			Class:      class.String(),
+			Variants:   len(a.variants),
+			Cells:      a.cells,
+			Defeated:   a.defeated,
+			DefeatRate: float64(a.defeated) / float64(a.cells),
+			IPMonCells: a.ipmon,
+		}
+		if n := len(a.detect); n > 0 {
+			row.DetectP50Calls = a.detect[n/2]
+			row.DetectMaxCalls = a.detect[n-1]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	for _, class := range gen.Classes() {
+		for _, tr := range traces {
+			if tr.Class != class || tr.Variant != 0 {
+				continue
+			}
+			fr := gen.RunFleetClass(tr, 2, policy.SocketRWLevel)
+			res.Fleet = append(res.Fleet, AttackGenFleetRow{
+				Class: class.String(), Trace: tr.Name,
+				Defeated: fr.Defeated, Detail: fr.Detail,
+			})
+			break
+		}
+	}
+	return res, nil
+}
+
+// MarshalAttackGen renders the results for BENCH_attackgen.json.
+func MarshalAttackGen(r *AttackGenResults) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatAttackGen renders the scenario as a human-readable table.
+func FormatAttackGen(r *AttackGenResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "corpus: %d traces x %d grid cells (seed %s), defeat rate %.3f\n",
+		r.Traces, r.GridCells, r.Seed, r.DefeatRate)
+	fmt.Fprintf(&b, "%-24s %8s %6s %9s %7s %6s %11s %11s\n",
+		"class", "variants", "cells", "defeated", "rate", "ipmon", "p50(calls)", "max(calls)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %8d %6d %9d %7.3f %6d %11d %11d\n",
+			row.Class, row.Variants, row.Cells, row.Defeated, row.DefeatRate,
+			row.IPMonCells, row.DetectP50Calls, row.DetectMaxCalls)
+	}
+	for _, fr := range r.Fleet {
+		verdict := "DEFEATED"
+		if !fr.Defeated {
+			verdict = "SURVIVED!"
+		}
+		fmt.Fprintf(&b, "fleet %-24s %-9s %s\n", fr.Class, verdict, fr.Detail)
+	}
+	return b.String()
+}

@@ -391,8 +391,10 @@ type shard struct {
 	lastLagWaits uint64
 
 	// inject arms the next-request divergence (the compromised-master
-	// simulation); consumed by the shard server program's replica 0.
-	inject atomic.Bool
+	// simulation); it holds the tamper payload the master splices over
+	// its next response. Consumed by the shard server program's
+	// replica 0.
+	inject atomic.Pointer[[]byte]
 }
 
 // verdictEvent carries a shard monitor's divergence notification to the
@@ -596,7 +598,7 @@ func (f *Fleet) buildShard(s *shard) error {
 	if err != nil {
 		return fmt.Errorf("fleet: building shard %d gen %d: %w", idx, gen, err)
 	}
-	s.inject.Store(false)
+	s.inject.Store(nil)
 	runDone := make(chan *core.Report, 1)
 	prog := serverProgram(serverParams{
 		Addr:         s.addr,
@@ -1179,11 +1181,24 @@ func (f *Fleet) SetShardFault(idx int, p *vnet.FaultProfile) error {
 // slave's IP-MON comparison catches as divergence (§3.3). Test, attack
 // and bench harnesses use it to exercise the quarantine path.
 func (f *Fleet) InjectDivergence(idx int) error {
+	return f.InjectTamper(idx, []byte("PWNED-EXFIL!"))
+}
+
+// InjectTamper arms the compromised-master simulation with an explicit
+// tamper payload: the master splices payload over the prefix of its next
+// response (truncated to the response size). The attack generator's
+// fleet path uses this to replay each vulnerability class's exact
+// exfiltration bytes through a live shard.
+func (f *Fleet) InjectTamper(idx int, payload []byte) error {
 	s, err := f.shardAt(idx)
 	if err != nil {
 		return err
 	}
-	s.inject.Store(true)
+	if len(payload) == 0 {
+		payload = []byte("PWNED-EXFIL!")
+	}
+	p := append([]byte(nil), payload...)
+	s.inject.Store(&p)
 	return nil
 }
 

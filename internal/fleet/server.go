@@ -21,11 +21,12 @@ type serverParams struct {
 	ResponseSize int
 	Compute      model.Duration
 	// Inject, when armed, makes the master replica tamper with exactly
-	// one response payload. At SOCKET_RW level the send is unmonitored,
-	// so the slave's in-process IP-MON comparison — not GHUMVEE — must
-	// catch it (§3.3), which is exactly the detection path a compromised
-	// master would face.
-	Inject *atomic.Bool
+	// one response payload, splicing the held bytes over the response
+	// prefix. At SOCKET_RW level the send is unmonitored, so the slave's
+	// in-process IP-MON comparison — not GHUMVEE — must catch it (§3.3),
+	// which is exactly the detection path a compromised master would
+	// face.
+	Inject *atomic.Pointer[[]byte]
 }
 
 // connState tracks one in-flight connection of the shard server.
@@ -69,8 +70,6 @@ func serverProgram(p serverParams) libc.Program {
 			resp[i] = byte('a' + i%26)
 		}
 		tampered := make([]byte, p.ResponseSize)
-		copy(tampered, resp)
-		copy(tampered, "PWNED-EXFIL!")
 
 		reqBuf := make([]byte, p.RequestSize+64)
 		events := make([]libc.EpollEvent, 32)
@@ -115,9 +114,12 @@ func serverProgram(p serverParams) libc.Program {
 					// Only the master consumes the injection: the slave
 					// keeps the benign payload, so the replicas'
 					// unmonitored sends genuinely diverge.
-					if p.Inject != nil && env.T.Proc.ReplicaIndex == 0 &&
-						p.Inject.CompareAndSwap(true, false) {
-						payload = tampered
+					if p.Inject != nil && env.T.Proc.ReplicaIndex == 0 {
+						if t := p.Inject.Swap(nil); t != nil {
+							copy(tampered, resp)
+							copy(tampered, *t)
+							payload = tampered
+						}
 					}
 					env.Send(st.fd, payload)
 					st.served++

@@ -66,6 +66,19 @@ type Registration struct {
 	Barrier func(t *vkernel.Thread)
 }
 
+// Grants reports whether the kernel-side verifier would let syscall nr
+// complete unmonitored under this registration: it must be inside the
+// registered set, inside the kernel's static Table 1 fast-path bound
+// (policy.Grantable), and inside the deployment-specific Grantable bound
+// when one is installed. This is the exact predicate CompleteWithToken
+// enforces; the attack generator uses it to predict, per policy level,
+// whether a forged completion trips only the token check or the grant
+// check too.
+func (reg *Registration) Grants(nr int) bool {
+	return reg.Mask.Has(nr) && policy.Grantable(nr) &&
+		(reg.Grantable == nil || reg.Grantable(nr))
+}
+
 // Stats counts broker activity.
 type Stats struct {
 	Intercepted     uint64
@@ -234,6 +247,28 @@ type Context struct {
 	used bool
 }
 
+// ForgeContext fabricates a Context as if IK-B had granted a token for
+// c — the attack-suite hook modelling a compromised IP-MON that invents
+// a capability instead of receiving one. Unlike a hand-built Context
+// literal (whose unexported exec is nil and wedges the lockstep group in
+// MonitorCall), the forged context carries a deny-everything executor:
+// when the verifier rejects the token and routes the call to the CP
+// monitor, the rendezvous completes with EPERM and the replica set keeps
+// running — which is what lets the generator's token-misuse traces
+// replay the probe on every replica and finish the workload healthily,
+// with the violation recorded in Stats.
+func (b *Broker) ForgeContext(t *vkernel.Thread, c *vkernel.Call, token uint64) *Context {
+	return &Context{
+		Broker: b,
+		Thread: t,
+		Call:   c,
+		Token:  token,
+		exec: func(*vkernel.Call) vkernel.Result {
+			return vkernel.Result{Errno: vkernel.EPERM}
+		},
+	}
+}
+
 // Intercept implements vkernel.Interceptor — step 1 of Figure 2. The
 // whole routing decision is lock-free: one atomic load of the
 // registration snapshot, the per-thread token slot (owned by this very
@@ -352,8 +387,7 @@ func (ctx *Context) CompleteWithToken(token uint64, c *vkernel.Call) vkernel.Res
 	// replica set that has only ever been configured at BASE.
 	granted := false
 	if reg := b.regFor(t.Proc); reg != nil && c != nil {
-		granted = reg.Mask.Has(c.Num) && policy.Grantable(c.Num) &&
-			(reg.Grantable == nil || reg.Grantable(c.Num))
+		granted = reg.Grants(c.Num)
 	}
 	if !granted {
 		b.at.grantDenied.Add(1)

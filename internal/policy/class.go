@@ -1,0 +1,53 @@
+package policy
+
+import "remon/internal/vkernel"
+
+// spatialCache memoizes NewSpatial per level: RelaxedAt is called from
+// the attack generator's per-cell expectation predicates, which would
+// otherwise rebuild the verdict map thousands of times per matrix run.
+var spatialCache = func() map[Level]*Spatial {
+	m := make(map[Level]*Spatial, len(Levels()))
+	for _, l := range Levels() {
+		m[l] = NewSpatial(l)
+	}
+	return m
+}()
+
+// RelaxedAt reports whether syscall nr, applied to a descriptor of the
+// given class, executes unmonitored at the given spatial level. This is
+// the attribution predicate for injected divergences: a tamper on a
+// relaxed call is caught by IP-MON's in-process comparison of the
+// replicated argument frame; a tamper on a monitored call is caught by
+// GHUMVEE's lockstep rendezvous. Either way the attack is defeated —
+// RelaxedAt only predicts *which* monitor files the verdict.
+func RelaxedAt(level Level, nr int, class FDClass) bool {
+	s := spatialCache[level]
+	if s == nil {
+		s = NewSpatial(level)
+	}
+	switch s.Verdict(nr) {
+	case Unmonitored:
+		return true
+	case Conditional:
+		return checkConditionalAt(level, nr, class)
+	}
+	return false
+}
+
+// ClassIO maps a descriptor class to the representative data-plane
+// syscall the libc layer issues against it: write/read for non-sockets,
+// sendto/recvfrom for sockets. The attack generator uses this to turn a
+// template's "target fd class" parameter into the syscall number its
+// expectation predicate feeds RelaxedAt.
+func ClassIO(class FDClass, write bool) int {
+	if class == FDSock {
+		if write {
+			return vkernel.SysSendto
+		}
+		return vkernel.SysRecvfrom
+	}
+	if write {
+		return vkernel.SysWrite
+	}
+	return vkernel.SysRead
+}

@@ -255,12 +255,15 @@ func TestEngineHotSwapStress(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < 500; i++ {
 			lv := levels[i%len(levels)]
-			s, err := e.Install(Rules{Default: lv, ByFD: map[int]Level{3: SocketRWLevel}})
-			if err != nil {
+			// Pre-register the version Install will assign (versions are
+			// dense and this goroutine is the only installer): a reader may
+			// observe the published snapshot before Install returns, so
+			// recording the version afterwards races with the observation.
+			installed.Store(uint32(i+2), lv)
+			if _, err := e.Install(Rules{Default: lv, ByFD: map[int]Level{3: SocketRWLevel}}); err != nil {
 				t.Error(err)
 				return
 			}
-			installed.Store(s.Version(), lv)
 		}
 		stop.Store(true)
 	}()

@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"remon/internal/attack/gen"
 	"remon/internal/core"
 	"remon/internal/libc"
 	"remon/internal/policy"
@@ -240,6 +241,12 @@ func FuzzVerdictEquivalence(f *testing.F) {
 	f.Add([]byte{2, 3, 2, 3, 0, 1, 4, 9})
 	// Double tamper byte (second degrades to a healthy write).
 	f.Add([]byte{1, 9, 1, 9, 1})
+	// The attack generator's template corpus, projected into this op
+	// alphabet: every vulnerability class × variant contributes its op
+	// skeleton with the tamper point mapped to the divergent write.
+	for _, script := range gen.FuzzScripts() {
+		f.Add(script)
+	}
 	f.Fuzz(func(t *testing.T, script []byte) {
 		checkEquivalence(t, script)
 	})

@@ -1,0 +1,286 @@
+// Trace replay: the attack generator (internal/attack/gen) compiles
+// vulnerability-class templates into concrete syscall traces; this file
+// turns such a trace into a replica program. A trace is the workload
+// analogue of the fuzz harness's op scripts, but first-class: every op
+// names its target descriptor slot, carries its payload, and may carry a
+// master-side tamper — the compromised-master substitution replica 0
+// applies at the injection point.
+//
+// Replay is deterministic by construction: both replicas execute the
+// identical op sequence (the tamper only changes *what* the master passes,
+// never *which* calls it makes), so the lockstep and in-process monitors
+// see well-formed streams right up to the divergence the tamper causes.
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"remon/internal/libc"
+	"remon/internal/vkernel"
+)
+
+// TraceOpKind enumerates the replayable operations.
+type TraceOpKind int
+
+// Trace operations. Slots index the trace's descriptor table in creation
+// order: TraceOpen, TracePipe (two slots: read end then write end) and
+// TraceSocket each append.
+const (
+	// TraceOpen opens Path (O_CREAT|O_RDWR) into a new slot.
+	TraceOpen TraceOpKind = iota
+	// TracePipe creates a pipe into two new slots (read, write).
+	TracePipe
+	// TraceSocket connects a stream socket to the trace's sink into a new
+	// slot. The replay program provisions the sink (listener + drain
+	// thread) when any TraceSocket op is present.
+	TraceSocket
+	// TraceWrite writes Data to Slot.
+	TraceWrite
+	// TracePread reads Len bytes at Off from Slot.
+	TracePread
+	// TraceLseek repositions Slot to Off.
+	TraceLseek
+	// TraceStat stats Path.
+	TraceStat
+	// TraceAccess checks Path.
+	TraceAccess
+	// TraceFsync flushes Slot.
+	TraceFsync
+	// TraceGetpid issues getpid.
+	TraceGetpid
+	// TraceTime issues clock_gettime.
+	TraceTime
+	// TraceSend sends Data on Slot (a socket slot).
+	TraceSend
+	// TraceRecv receives Len bytes from Slot (a socket slot; the sink
+	// pre-pumps exactly the trace's recv demand so replay never blocks).
+	TraceRecv
+	// TraceClose closes Slot.
+	TraceClose
+	// TraceProbe calls Probe(env) — the hook the token-misuse template
+	// uses to drive the IK-B verifier directly. The closure must issue
+	// the identical (possibly monitored) call sequence on every replica.
+	TraceProbe
+)
+
+// TraceTamper is the master-side substitution applied at the injection
+// point: replica 0 swaps in any field that is set. Which syscalls run is
+// never changed — only arguments and payloads — so the replicas'
+// monitored/unmonitored call streams stay aligned until the comparison
+// that catches the divergence.
+type TraceTamper struct {
+	// Slot, when >= 0, redirects the op to this descriptor slot (fd
+	// confusion).
+	Slot int
+	// Path, when non-empty, replaces the op's path (TOCTOU swap).
+	Path string
+	// Data, when non-nil, replaces the op's payload (overflow, info
+	// leak, key-material exfiltration).
+	Data []byte
+	// Off, when >= 0, replaces the op's offset.
+	Off int64
+}
+
+// NoTamper returns a TraceTamper whose fields are all "keep" — callers
+// set just the fields their template perturbs.
+func NoTamper() TraceTamper { return TraceTamper{Slot: -1, Off: -1} }
+
+// TraceOp is one replayed operation.
+type TraceOp struct {
+	Kind TraceOpKind
+	Slot int
+	Path string
+	Data []byte
+	Len  int
+	Off  int64
+	// Tamper, when non-nil, is the compromised-master substitution.
+	Tamper *TraceTamper
+	// Probe is the TraceProbe hook.
+	Probe func(env *libc.Env)
+}
+
+// TraceCounts measures replay progress per replica — the detection
+// latency instrumentation: each op increments its replica's counter
+// before issuing, so a replica killed mid-run has counted exactly the
+// ops it started.
+type TraceCounts struct {
+	executed [8]atomic.Int64
+}
+
+// Executed reports how many ops replica r started.
+func (c *TraceCounts) Executed(r int) int64 {
+	if r < 0 || r >= len(c.executed) {
+		return 0
+	}
+	return c.executed[r].Load()
+}
+
+// traceSlots is the per-replica descriptor table.
+type traceSlots struct {
+	fds []int
+}
+
+func (s *traceSlots) add(fd int) { s.fds = append(s.fds, fd) }
+
+func (s *traceSlots) fd(i int) int {
+	if i < 0 || i >= len(s.fds) {
+		return -1
+	}
+	return s.fds[i]
+}
+
+// traceRecvDemand computes the per-op chunk sizes the sink must pre-pump
+// so TraceRecv never blocks.
+func traceRecvDemand(ops []TraceOp) []int {
+	var demand []int
+	for _, op := range ops {
+		if op.Kind == TraceRecv {
+			n := op.Len
+			if n <= 0 {
+				n = 1
+			}
+			demand = append(demand, n)
+		}
+	}
+	return demand
+}
+
+// TraceProgram builds the replica program replaying ops. counts may be
+// nil. The program is self-contained: it provisions the socket sink when
+// the trace uses sockets, and both replicas execute the identical
+// syscall sequence (modulo the tamper's argument substitutions).
+func TraceProgram(ops []TraceOp, counts *TraceCounts) libc.Program {
+	needSock := false
+	for _, op := range ops {
+		if op.Kind == TraceSocket {
+			needSock = true
+		}
+	}
+	port := syntheticPortSeq.Add(1)
+	sinkAddr := fmt.Sprintf("trace-sink-%d:9", port)
+	demand := traceRecvDemand(ops)
+
+	return func(env *libc.Env) {
+		ri := env.T.Proc.ReplicaIndex
+		var sinkDone *libc.ThreadHandle
+		lfd := -1
+		if needSock {
+			lfd, _ = env.Socket()
+			env.Bind(lfd, sinkAddr)
+			env.Listen(lfd, 4)
+			sinkDone = env.Spawn(func(se *libc.Env) {
+				conn, errno := se.Accept(lfd)
+				if errno != 0 {
+					return
+				}
+				for _, n := range demand {
+					se.Send(conn, make([]byte, n))
+				}
+				buf := make([]byte, 512)
+				for {
+					n, errno := se.Recv(conn, buf)
+					if errno != 0 || n == 0 {
+						return
+					}
+				}
+			})
+		}
+
+		slots := &traceSlots{}
+		buf := make([]byte, 512)
+		for _, op := range ops {
+			if counts != nil && ri >= 0 && ri < len(counts.executed) {
+				counts.executed[ri].Add(1)
+			}
+			// Resolve the master-side substitutions.
+			slot, path, data, off := op.Slot, op.Path, op.Data, op.Off
+			if op.Tamper != nil && ri == 0 {
+				if op.Tamper.Slot >= 0 {
+					slot = op.Tamper.Slot
+				}
+				if op.Tamper.Path != "" {
+					path = op.Tamper.Path
+				}
+				if op.Tamper.Data != nil {
+					data = op.Tamper.Data
+				}
+				if op.Tamper.Off >= 0 {
+					off = op.Tamper.Off
+				}
+			}
+			switch op.Kind {
+			case TraceOpen:
+				fd, _ := env.Open(path, vkernel.OCreat|vkernel.ORdwr, 0o644)
+				slots.add(fd)
+			case TracePipe:
+				r, w, _ := env.Pipe()
+				slots.add(r)
+				slots.add(w)
+			case TraceSocket:
+				fd, _ := env.Socket()
+				env.Connect(fd, sinkAddr)
+				slots.add(fd)
+			case TraceWrite:
+				env.Write(slots.fd(slot), data)
+			case TracePread:
+				n := op.Len
+				if n <= 0 || n > len(buf) {
+					n = len(buf)
+				}
+				env.Pread(slots.fd(slot), buf[:n], off)
+			case TraceLseek:
+				env.Lseek(slots.fd(slot), off, 0)
+			case TraceStat:
+				env.Stat(path)
+			case TraceAccess:
+				env.Access(path)
+			case TraceFsync:
+				env.Fsync(slots.fd(slot))
+			case TraceGetpid:
+				env.Getpid()
+			case TraceTime:
+				env.TimeNow()
+			case TraceSend:
+				env.Send(slots.fd(slot), data)
+			case TraceRecv:
+				n := op.Len
+				if n <= 0 || n > len(buf) {
+					n = len(buf)
+				}
+				env.Recv(slots.fd(slot), buf[:n])
+			case TraceClose:
+				env.Close(slots.fd(slot))
+			case TraceProbe:
+				if op.Probe != nil {
+					op.Probe(env)
+				}
+			}
+		}
+		if needSock {
+			// Shut down every socket slot so the sink drains to EOF and
+			// joins; walk the ops to recover which slots are sockets.
+			slotIdx := 0
+			for _, op := range ops {
+				switch op.Kind {
+				case TraceOpen:
+					slotIdx++
+				case TracePipe:
+					slotIdx += 2
+				case TraceSocket:
+					if fd := slots.fd(slotIdx); fd >= 0 {
+						env.Shutdown(fd)
+						env.Close(fd)
+					}
+					slotIdx++
+				}
+			}
+			if sinkDone != nil {
+				sinkDone.Join()
+			}
+			if lfd >= 0 {
+				env.Close(lfd)
+			}
+		}
+	}
+}
