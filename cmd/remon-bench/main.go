@@ -9,6 +9,7 @@
 //	            [-ghumvee-json BENCH_ghumvee.json] [-policy-json BENCH_policy.json]
 //	            [-pipeline-json BENCH_pipeline.json] [-autotune-json BENCH_autotune.json]
 //	            [-autoscale-json BENCH_autoscale.json] [-attackgen-json BENCH_attackgen.json]
+//	            [-mconn-json BENCH_mconn.json] [-mconn-levels N,N,N] [-mconn-rate N]
 //
 // Absolute numbers are virtual-time measurements on the simulated
 // substrate; the claim being reproduced is the *shape* (see
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"remon/internal/bench"
 	"remon/internal/workload"
@@ -40,6 +43,9 @@ func main() {
 	autotuneJSON := flag.String("autotune-json", "", "write the controller convergence experiment (conservative corner -> SLO under the 16-thread pipeline profile, plus the divergence snap-back) to this file, e.g. BENCH_autotune.json")
 	autoscaleJSON := flag.String("autoscale-json", "", "write the elastic-vs-fixed surge campaign (pool size vs offered load, shed rate, p99 admission latency) to this file, e.g. BENCH_autoscale.json")
 	attackgenJSON := flag.String("attackgen-json", "", "write the generated attack-class matrix (cells run, defeat rate, detection latency in calls per class, fleet smoke) to this file, e.g. BENCH_attackgen.json")
+	mconnJSON := flag.String("mconn-json", "", "write the million-connection sweep (paced open-loop arrivals per level, admit/response latency quantiles, goroutine high-water) to this file, e.g. BENCH_mconn.json")
+	mconnLevels := flag.String("mconn-levels", "", "comma-separated connection counts for the mconn sweep (default 10000,100000,1000000)")
+	mconnRate := flag.Int("mconn-rate", 0, "offered arrival rate for the mconn sweep in conns/s (0 = default; tune to the host's sustained service rate)")
 	fleetRecoveries := flag.Int("fleet-recoveries", 5, "injected-divergence recovery samples for the fleet scenario")
 	flag.Parse()
 
@@ -166,6 +172,30 @@ func main() {
 			return os.WriteFile(*attackgenJSON, append(payload, '\n'), 0o644)
 		})
 	}
+	if *mconnJSON != "" {
+		run("Million-connection sweep -> "+*mconnJSON, func() error {
+			cfg := bench.MConnConfig{RatePerSec: *mconnRate}
+			if *mconnLevels != "" {
+				for _, s := range strings.Split(*mconnLevels, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(s))
+					if err != nil || n <= 0 {
+						return fmt.Errorf("bad -mconn-levels entry %q", s)
+					}
+					cfg.Levels = append(cfg.Levels, n)
+				}
+			}
+			res, err := bench.RunMConn(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatMConn(res))
+			payload, err := bench.MarshalMConn(res)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*mconnJSON, append(payload, '\n'), 0o644)
+		})
+	}
 	fleetDone := false
 	if *fleetJSON != "" {
 		fleetDone = true
@@ -196,7 +226,7 @@ func main() {
 			return os.WriteFile(*handoffJSON, append(payload, '\n'), 0o644)
 		})
 	}
-	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "" || *handoffJSON != "" || *autotuneJSON != "" || *autoscaleJSON != "" || *attackgenJSON != "") && *experiment == "" {
+	if (*rbJSON != "" || *fleetJSON != "" || *ghumveeJSON != "" || *policyJSON != "" || *pipelineJSON != "" || *handoffJSON != "" || *autotuneJSON != "" || *autoscaleJSON != "" || *attackgenJSON != "" || *mconnJSON != "") && *experiment == "" {
 		return
 	}
 

@@ -1,0 +1,338 @@
+// The million-connection sweep: remon-bench -mconn-json BENCH_mconn.json.
+// An event-driven open-loop generator (chaos.Gen — poller loops + timer
+// wheel, no per-connection goroutines) offers paced connection arrivals
+// at 10k / 100k / 1M total connections against a live autoscaling fleet
+// whose data plane runs on the polled splice set. Each level records the
+// full audit (zero lost, zero phantom), admission- and response-latency
+// quantiles to p999, achieved connection throughput, and the goroutine
+// high-water — the figure that proves the engine is O(loops + shards),
+// not O(connections).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"remon/internal/chaos"
+	"remon/internal/fleet"
+)
+
+// MConnConfig sizes the sweep.
+type MConnConfig struct {
+	// Levels are the total-connection counts, run in order (default
+	// 10k, 100k, 1M). Each level gets a fresh fleet so the audits are
+	// independent.
+	Levels []int
+	// Shards / MaxShards / Replicas / MaxConnsPerShard shape each
+	// level's fleet (defaults 4 / 8 / 2 / 4096). The autoscaler runs
+	// live between the floor and the clamp.
+	Shards           int
+	MaxShards        int
+	Replicas         int
+	MaxConnsPerShard int
+	// RequestsPerConn / Window / Gap shape each connection (defaults
+	// 2 / 2 / 100µs) — short-lived conns, so the level's concurrency is
+	// arrival rate times service latency, not the total count.
+	RequestsPerConn int
+	Window          int
+	Gap             time.Duration
+	// RatePerSec is the offered arrival rate; the level wall time is
+	// roughly Levels[i] / RatePerSec. The default (6000) is what a
+	// single core sustains indefinitely: 10k/s holds for tens of
+	// seconds but falls behind over a 100s+ campaign, and in an open
+	// loop any sustained deficit compounds into deadline losses.
+	RatePerSec int
+	// Loops / SpliceLoops size the generator and fleet event-loop pools
+	// (defaults 8 / 4): the run's total goroutine budget.
+	Loops       int
+	SpliceLoops int
+	// Timeout is the per-connection response deadline (default 30s).
+	Timeout time.Duration
+}
+
+func (c MConnConfig) withDefaults() MConnConfig {
+	if len(c.Levels) == 0 {
+		c.Levels = []int{10_000, 100_000, 1_000_000}
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.MaxConnsPerShard <= 0 {
+		c.MaxConnsPerShard = 4096
+	}
+	if c.RequestsPerConn <= 0 {
+		c.RequestsPerConn = 2
+	}
+	if c.Window <= 0 {
+		c.Window = 2
+	}
+	if c.Gap <= 0 {
+		c.Gap = 100 * time.Microsecond
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 6_000
+	}
+	if c.Loops <= 0 {
+		c.Loops = 8
+	}
+	if c.SpliceLoops <= 0 {
+		c.SpliceLoops = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// MConnLevel is one level's audited outcome.
+type MConnLevel struct {
+	Conns       int     `json:"conns"`
+	Launched    int     `json:"launched"`
+	Sent        int     `json:"requests_sent"`
+	Responses   int     `json:"responses_received"`
+	Lost        int     `json:"requests_lost"`
+	Phantom     int     `json:"phantom_conns"`
+	Regressed   int     `json:"regressed_conns"`
+	ConnErrs    int     `json:"conn_errors"`
+	Shed        uint64  `json:"conns_shed"`
+	Refused     uint64  `json:"conns_refused"`
+	AdmitWaits  uint64  `json:"admit_waits"`
+	WallMs      float64 `json:"wall_ms"`
+	ConnsPerSec float64 `json:"conns_per_sec"`
+	AdmitP50Ms  float64 `json:"admit_p50_ms"`
+	AdmitP99Ms  float64 `json:"admit_p99_ms"`
+	AdmitP999Ms float64 `json:"admit_p999_ms"`
+	RespP50Ms   float64 `json:"resp_p50_ms"`
+	RespP99Ms   float64 `json:"resp_p99_ms"`
+	RespP999Ms  float64 `json:"resp_p999_ms"`
+	// GoroutineHighWater is the peak process goroutine count during the
+	// level — flat across 10k -> 1M is the engine's whole claim.
+	GoroutineHighWater int `json:"goroutine_high_water"`
+	// PeakActive / PeakServing are the concurrency and pool high-waters.
+	PeakActive  int `json:"peak_active"`
+	PeakServing int `json:"peak_serving"`
+}
+
+// MConnResult is the full sweep payload.
+type MConnResult struct {
+	Config struct {
+		Shards           int `json:"shards"`
+		MaxShards        int `json:"max_shards"`
+		Replicas         int `json:"replicas"`
+		MaxConnsPerShard int `json:"max_conns_per_shard"`
+		RequestsPerConn  int `json:"requests_per_conn"`
+		RatePerSec       int `json:"rate_per_sec"`
+		Loops            int `json:"gen_loops"`
+		SpliceLoops      int `json:"splice_loops"`
+	} `json:"config"`
+	Levels []MConnLevel `json:"levels"`
+}
+
+func mconnFleet(cfg MConnConfig) (*fleet.Fleet, error) {
+	return fleet.New(fleet.Config{
+		Shards:           cfg.Shards,
+		Replicas:         cfg.Replicas,
+		RequestSize:      32,
+		ResponseSize:     64,
+		MaxConnsPerShard: cfg.MaxConnsPerShard,
+		AdmitRetries:     128,
+		AdmitBackoff:     time.Millisecond,
+		SpliceLoops:      cfg.SpliceLoops,
+		DisableRouteLog:  true,
+		LockstepTimeout:  10 * time.Second,
+	})
+}
+
+func durQuantile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(lat))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return lat[idx]
+}
+
+// RunMConnLevel offers total connections at the configured rate against
+// a fresh autoscaling fleet and audits the outcome.
+func RunMConnLevel(cfg MConnConfig, total int) (MConnLevel, error) {
+	cfg = cfg.withDefaults()
+	lv := MConnLevel{Conns: total}
+
+	f, err := mconnFleet(cfg)
+	if err != nil {
+		return lv, err
+	}
+	defer f.Close()
+	as := f.StartAutoscaler(fleet.AutoscalerConfig{
+		Scaler: fleet.ScalerConfig{
+			MinShards: cfg.Shards, MaxShards: cfg.MaxShards,
+			AdmitWaitHigh: 4,
+			UpRounds:      2, DownRounds: 6,
+			UpCooldown: 10, DownCooldown: 4,
+			InFlightFracHigh: 0.8, InFlightFracLow: 0.45,
+		},
+		Interval: 10 * time.Millisecond,
+		Window:   4,
+	})
+	defer as.Close()
+
+	interval := time.Second / time.Duration(cfg.RatePerSec)
+	arrivals := make([]time.Duration, total)
+	for i := range arrivals {
+		arrivals[i] = time.Duration(i) * interval
+	}
+
+	perConn := chaos.Load{
+		Conns:           1,
+		RequestsPerConn: cfg.RequestsPerConn,
+		Window:          cfg.Window,
+		Gap:             cfg.Gap,
+		RequestSize:     32,
+		ResponseSize:    64,
+		Timeout:         cfg.Timeout,
+		Loops:           cfg.Loops,
+	}
+
+	var admit, resp []time.Duration
+	var active atomic.Int64
+	g := &chaos.Gen{
+		Net:      f.FrontNetwork(),
+		Addr:     f.FrontAddr(),
+		PerConn:  perConn,
+		Arrivals: arrivals,
+		Loops:    cfg.Loops,
+		Active:   &active,
+		OnDone: func(r chaos.ConnReport) {
+			lv.Launched++
+			lv.Sent += r.Sent
+			lv.Responses += r.RespBytes / 64
+			lv.Lost += r.Lost
+			if r.Phantom {
+				lv.Phantom++
+			}
+			if r.Regressed {
+				lv.Regressed++
+			}
+			if r.Err != "" {
+				lv.ConnErrs++
+			}
+			if r.Admit > 0 {
+				admit = append(admit, r.Admit)
+			}
+			resp = append(resp, r.Elapsed)
+		},
+	}
+
+	// Sampler: goroutine / concurrency / pool high-waters while the
+	// campaign runs.
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if n := runtime.NumGoroutine(); n > lv.GoroutineHighWater {
+					lv.GoroutineHighWater = n
+				}
+				if a := int(active.Load()); a > lv.PeakActive {
+					lv.PeakActive = a
+				}
+				if serving, _ := f.PoolSize(); serving > lv.PeakServing {
+					lv.PeakServing = serving
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	g.Run()
+	wall := time.Since(start)
+	close(stop)
+	<-sampled
+
+	st := f.Stats()
+	lv.Shed = st.ConnsShed
+	lv.Refused = st.ConnsRefused
+	lv.AdmitWaits = st.AdmitWaits
+	lv.WallMs = float64(wall) / 1e6
+	if wall > 0 {
+		lv.ConnsPerSec = float64(total) / wall.Seconds()
+	}
+	sort.Slice(admit, func(i, j int) bool { return admit[i] < admit[j] })
+	sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+	lv.AdmitP50Ms = float64(durQuantile(admit, 0.50)) / 1e6
+	lv.AdmitP99Ms = float64(durQuantile(admit, 0.99)) / 1e6
+	lv.AdmitP999Ms = float64(durQuantile(admit, 0.999)) / 1e6
+	lv.RespP50Ms = float64(durQuantile(resp, 0.50)) / 1e6
+	lv.RespP99Ms = float64(durQuantile(resp, 0.99)) / 1e6
+	lv.RespP999Ms = float64(durQuantile(resp, 0.999)) / 1e6
+	return lv, nil
+}
+
+// RunMConn executes the sweep.
+func RunMConn(cfg MConnConfig) (*MConnResult, error) {
+	cfg = cfg.withDefaults()
+	res := &MConnResult{}
+	res.Config.Shards = cfg.Shards
+	res.Config.MaxShards = cfg.MaxShards
+	res.Config.Replicas = cfg.Replicas
+	res.Config.MaxConnsPerShard = cfg.MaxConnsPerShard
+	res.Config.RequestsPerConn = cfg.RequestsPerConn
+	res.Config.RatePerSec = cfg.RatePerSec
+	res.Config.Loops = cfg.Loops
+	res.Config.SpliceLoops = cfg.SpliceLoops
+	for _, total := range cfg.Levels {
+		lv, err := RunMConnLevel(cfg, total)
+		if err != nil {
+			return nil, err
+		}
+		res.Levels = append(res.Levels, lv)
+	}
+	return res, nil
+}
+
+// FormatMConn renders the sweep as aligned rows.
+func FormatMConn(r *MConnResult) string {
+	s := fmt.Sprintf("mconn sweep: %d->%d shards, %d req/conn, %d conns/s offered, %d+%d loops\n",
+		r.Config.Shards, r.Config.MaxShards, r.Config.RequestsPerConn,
+		r.Config.RatePerSec, r.Config.Loops, r.Config.SpliceLoops)
+	s += fmt.Sprintf("%9s %9s %9s %5s %8s %9s %10s %10s %10s %6s %6s\n",
+		"conns", "sent", "resp", "lost", "wall", "conns/s", "admit-p99", "resp-p99", "resp-p999", "gorou", "active")
+	for _, lv := range r.Levels {
+		s += fmt.Sprintf("%9d %9d %9d %5d %7.1fs %9.0f %8.2fms %8.2fms %8.2fms %6d %6d\n",
+			lv.Conns, lv.Sent, lv.Responses, lv.Lost,
+			lv.WallMs/1e3, lv.ConnsPerSec,
+			lv.AdmitP99Ms, lv.RespP99Ms, lv.RespP999Ms,
+			lv.GoroutineHighWater, lv.PeakActive)
+	}
+	return s
+}
+
+// MarshalMConn renders the result as indented JSON (the
+// BENCH_mconn.json payload).
+func MarshalMConn(r *MConnResult) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Schema string       `json:"schema"`
+		Result *MConnResult `json:"result"`
+	}{Schema: "remon-mconn/v1", Result: r}, "", "  ")
+}

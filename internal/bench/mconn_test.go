@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestMConnSmokeZeroLossPinnedGoroutines runs a scaled-down sweep and
+// pins the engine's claims: zero lost requests, no phantom or regressed
+// connections, and a goroutine high-water that stays O(loops + shards)
+// — independent of the connection count.
+func TestMConnSmokeZeroLossPinnedGoroutines(t *testing.T) {
+	levels := []int{2_000, 8_000}
+	if testing.Short() {
+		levels = []int{1_500}
+	}
+	cfg := MConnConfig{
+		Levels:     levels,
+		RatePerSec: 8_000,
+	}
+	res, err := RunMConn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.withDefaults()
+	// The whole pipeline's standing goroutines: generator loops, splice
+	// loops + admit workers, per-shard MVEE machinery (scaled to the
+	// autoscaler clamp), samplers, runtime — with headroom. What matters
+	// is that the bound is a config function, never a load function.
+	pin := runtime.NumGoroutine() + cfg.Loops + 2*cfg.SpliceLoops +
+		cfg.MaxShards*(6+4*cfg.Replicas) + 32
+	for _, lv := range res.Levels {
+		if lv.Lost != 0 {
+			t.Errorf("%d conns: %d requests lost", lv.Conns, lv.Lost)
+		}
+		if lv.Phantom != 0 || lv.Regressed != 0 {
+			t.Errorf("%d conns: %d phantom, %d regressed", lv.Conns, lv.Phantom, lv.Regressed)
+		}
+		if lv.ConnErrs != 0 {
+			t.Errorf("%d conns: %d conn errors", lv.Conns, lv.ConnErrs)
+		}
+		if lv.Launched != lv.Conns {
+			t.Errorf("%d conns: only %d launched", lv.Conns, lv.Launched)
+		}
+		if lv.GoroutineHighWater > pin {
+			t.Errorf("%d conns: goroutine high-water %d exceeds pin %d",
+				lv.Conns, lv.GoroutineHighWater, pin)
+		}
+		if lv.Responses != lv.Conns*cfg.RequestsPerConn {
+			t.Errorf("%d conns: %d responses, want %d",
+				lv.Conns, lv.Responses, lv.Conns*cfg.RequestsPerConn)
+		}
+	}
+	// The high-water must not scale with the level: the larger level may
+	// not cost more than a constant over the smaller one.
+	if n := len(res.Levels); n == 2 {
+		if grow := res.Levels[1].GoroutineHighWater - res.Levels[0].GoroutineHighWater; grow > 16 {
+			t.Errorf("goroutine high-water grew by %d between levels (4x conns); want <= 16", grow)
+		}
+	}
+}

@@ -7,12 +7,10 @@ package chaos
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"remon/internal/fleet"
-	"remon/internal/model"
 	"remon/internal/vnet"
 )
 
@@ -38,6 +36,9 @@ type Load struct {
 	// responses after faults (default 30s host time); a connection that
 	// exceeds it records lost requests.
 	Timeout time.Duration
+	// Loops is the generator's event-loop pool size (default 4). The
+	// whole drive costs Loops goroutines regardless of Conns.
+	Loops int
 }
 
 func (l Load) withDefaults(shards, reqSize, respSize int) Load {
@@ -62,6 +63,9 @@ func (l Load) withDefaults(shards, reqSize, respSize int) Load {
 	if l.Timeout <= 0 {
 		l.Timeout = 30 * time.Second
 	}
+	if l.Loops <= 0 {
+		l.Loops = 4
+	}
 	return l
 }
 
@@ -80,6 +84,10 @@ type ConnReport struct {
 	// for the autoscaler to add capacity. Zero when no response ever
 	// completed.
 	Admit time.Duration
+	// Elapsed is the host time from connect start to the connection's
+	// completion (all responses in, error, or timeout) — the response
+	// latency figure the mconn bench quantiles.
+	Elapsed time.Duration
 }
 
 // Run executes plan against f under load and audits the result. The
@@ -102,17 +110,18 @@ func Run(f *fleet.Fleet, plan Plan, load Load) Report {
 		runEvents(f, plan, start, &injected, &drains)
 	}()
 
-	// Open-loop clients.
-	conns := make([]ConnReport, load.Conns)
-	var wg sync.WaitGroup
-	for i := 0; i < load.Conns; i++ {
-		wg.Add(1)
-		go func(idx int) {
-			defer wg.Done()
-			conns[idx] = driveOpenLoop(f.FrontNetwork(), f.FrontAddr(), load)
-		}(i)
+	// Open-loop clients: every connection launches at once (offset 0)
+	// on the event-driven generator — the fixed-capacity drive.
+	conns := make([]ConnReport, 0, load.Conns)
+	g := &Gen{
+		Net:      f.FrontNetwork(),
+		Addr:     f.FrontAddr(),
+		PerConn:  load,
+		Arrivals: make([]time.Duration, load.Conns),
+		Loops:    load.Loops,
+		OnDone:   func(r ConnReport) { conns = append(conns, r) },
 	}
-	wg.Wait()
+	g.Run()
 	<-faultsDone
 
 	// Verdict conservation: every injected divergence must complete a
@@ -187,113 +196,6 @@ func waitServing(f *fleet.Fleet, idx int, timeout time.Duration) bool {
 		}
 		time.Sleep(time.Millisecond)
 	}
-}
-
-// driveOpenLoop runs one connection: a writer that issues requests
-// paced by Gap with up to Window outstanding, and a reader that audits
-// every arriving byte. The reader polls non-blocking with a deadline —
-// a blocking read could hang forever on a lost response, and detecting
-// exactly that loss is the harness's job.
-func driveOpenLoop(net *vnet.Network, addr string, load Load) ConnReport {
-	r := ConnReport{}
-	connStart := time.Now()
-	c, now, err := net.Connect(addr, 0)
-	if err != nil {
-		r.Err = "connect: " + err.Error()
-		r.Lost = load.RequestsPerConn
-		return r
-	}
-	r.Addr = c.LocalAddr()
-	defer c.Close()
-
-	req := make([]byte, load.RequestSize)
-	for i := range req {
-		req[i] = byte('A' + i%26)
-	}
-
-	var sent atomic.Int64
-	tokens := make(chan struct{}, load.Window)
-	deadline := time.Now().Add(load.Timeout)
-	writerDone := make(chan struct{})
-	readerDone := make(chan struct{})
-
-	go func() {
-		defer close(writerDone)
-		for i := 0; i < load.RequestsPerConn; i++ {
-			select {
-			case tokens <- struct{}{}:
-			case <-readerDone:
-				// The reader gave up (EOF on a refused conn, stream error)
-				// with the window full — no token will ever free. It records
-				// the loss.
-				return
-			case <-time.After(time.Until(deadline)):
-				return // reader stalled out; it records the loss
-			}
-			at, serr := c.Send(req, now)
-			if serr != nil {
-				// The conn was cut under us; the reader sees the reset.
-				return
-			}
-			now = at
-			sent.Add(1)
-			if load.Gap > 0 {
-				time.Sleep(load.Gap)
-			}
-		}
-	}()
-
-	buf := make([]byte, 32<<10)
-	want := load.RequestsPerConn * load.ResponseSize
-	var lastArrive model.Duration
-	acked := 0
-	for r.RespBytes < want {
-		n, at, rerr := c.Recv(buf, false)
-		if rerr == vnet.ErrWouldBlock {
-			if time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(100 * time.Microsecond)
-			continue
-		}
-		if rerr != nil {
-			r.Err = rerr.Error()
-			break
-		}
-		if n == 0 {
-			r.Err = "premature EOF"
-			break
-		}
-		if at < lastArrive {
-			r.Regressed = true
-		}
-		lastArrive = at
-		r.RespBytes += n
-		if r.Admit == 0 && r.RespBytes >= load.ResponseSize {
-			r.Admit = time.Since(connStart)
-		}
-		// Phantom check: bytes may only arrive for requests already sent.
-		if int64(r.RespBytes) > sent.Load()*int64(load.ResponseSize) {
-			r.Phantom = true
-		}
-		// Release writer tokens for each newly completed response.
-		for done := r.RespBytes / load.ResponseSize; acked < done; acked++ {
-			select {
-			case <-tokens:
-			default:
-			}
-		}
-	}
-	close(readerDone)
-	<-writerDone
-	r.Sent = int(sent.Load())
-	if missing := r.Sent*load.ResponseSize - r.RespBytes; missing > 0 {
-		r.Lost = (missing + load.ResponseSize - 1) / load.ResponseSize
-	}
-	// Requests never written because the conn died early count as lost
-	// too — the client accepted them into its send loop.
-	r.Lost += load.RequestsPerConn - r.Sent
-	return r
 }
 
 // Report is a completed chaos run plus its audit.

@@ -48,6 +48,8 @@ type SurgeLoad struct {
 	// finishes (default 1s) — the window in which the scale-down back to
 	// the floor must show up in the trajectory.
 	Settle time.Duration
+	// Loops is the generator's event-loop pool size (default 4).
+	Loops int
 }
 
 func (l SurgeLoad) withDefaults(reqSize, respSize int) SurgeLoad {
@@ -78,10 +80,13 @@ func (l SurgeLoad) withDefaults(reqSize, respSize int) SurgeLoad {
 	if l.Settle <= 0 {
 		l.Settle = time.Second
 	}
+	if l.Loops <= 0 {
+		l.Loops = 4
+	}
 	return l
 }
 
-// load projects the per-connection shape for driveOpenLoop.
+// load projects the per-connection shape for the generator.
 func (l SurgeLoad) load() Load {
 	return Load{
 		Conns:           1,
@@ -91,7 +96,26 @@ func (l SurgeLoad) load() Load {
 		RequestSize:     l.RequestSize,
 		ResponseSize:    l.ResponseSize,
 		Timeout:         l.Timeout,
+		Loops:           l.Loops,
 	}
+}
+
+// arrivals lowers the phase schedule into per-connection launch offsets:
+// one connection every 1/rate through each phase — the offered-load
+// definition, independent of how the fleet responds.
+func (l SurgeLoad) arrivals() []time.Duration {
+	var at []time.Duration
+	base := time.Duration(0)
+	for _, ph := range l.Phases {
+		if ph.ConnsPerSec > 0 {
+			interval := time.Second / time.Duration(ph.ConnsPerSec)
+			for off := time.Duration(0); off < ph.Duration; off += interval {
+				at = append(at, base+off)
+			}
+		}
+		base += ph.Duration
+	}
+	return at
 }
 
 // PoolSample is one point on the pool-size-vs-offered-load trajectory.
@@ -168,36 +192,29 @@ func RunSurge(f *fleet.Fleet, plan Plan, sl SurgeLoad) SurgeReport {
 		runEvents(f, plan, start, &injected, &drains)
 	}()
 
-	// Launcher: paced open-loop connection arrivals. Each connection's
-	// outcome lands in conns under mu (the count is not known up front —
-	// pacing is host-time and phases may be cut short only by config).
+	// The generator drives the paced arrival schedule on its fixed
+	// event-loop pool; finished connections stream into conns under mu
+	// (shared with the sampler, which reads Launched concurrently).
 	var mu sync.Mutex
 	var conns []ConnReport
 	var launched atomic.Int64
-	var wg sync.WaitGroup
-	launchDone := make(chan struct{})
+	g := &Gen{
+		Net:      f.FrontNetwork(),
+		Addr:     f.FrontAddr(),
+		PerConn:  perConn,
+		Arrivals: sl.arrivals(),
+		Loops:    sl.Loops,
+		Launched: &launched,
+		OnDone: func(r ConnReport) {
+			mu.Lock()
+			conns = append(conns, r)
+			mu.Unlock()
+		},
+	}
+	genDone := make(chan struct{})
 	go func() {
-		defer close(launchDone)
-		for _, ph := range sl.Phases {
-			if ph.ConnsPerSec <= 0 {
-				time.Sleep(ph.Duration)
-				continue
-			}
-			interval := time.Second / time.Duration(ph.ConnsPerSec)
-			phaseEnd := time.Now().Add(ph.Duration)
-			for time.Now().Before(phaseEnd) {
-				wg.Add(1)
-				launched.Add(1)
-				go func() {
-					defer wg.Done()
-					out := driveOpenLoop(f.FrontNetwork(), f.FrontAddr(), perConn)
-					mu.Lock()
-					conns = append(conns, out)
-					mu.Unlock()
-				}()
-				time.Sleep(interval)
-			}
-		}
+		defer close(genDone)
+		g.Run()
 	}()
 
 	// Sampler: pool trajectory until the campaign (load + settle) ends.
@@ -229,8 +246,7 @@ func RunSurge(f *fleet.Fleet, plan Plan, sl SurgeLoad) SurgeReport {
 		}
 	}()
 
-	<-launchDone
-	wg.Wait()
+	<-genDone
 	<-faultsDone
 
 	rep.Kills = int(injected.Load())

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remon/internal/ghumvee"
@@ -132,8 +133,12 @@ type MVEE struct {
 	Broker  *ikb.Broker      // nil for ModeNative
 	IPMons  []*ipmon.IPMon   // ModeReMon only
 
-	procs   []*vkernel.Process
-	rbuf    *rb.Buffer
+	procs []*vkernel.Process
+	// rbuf is atomic so lock-free observers (the fleet balancer's
+	// least-loaded scoring reads RBStats through a published admission
+	// snapshot) never race Close's release; rb.Stats itself is all
+	// atomic loads, safe even on a segment already recycled.
+	rbuf    atomic.Pointer[rb.Buffer]
 	rbBases []mem.Addr
 	rrLog   *rr.Log
 	agents  []*rr.Agent
@@ -272,7 +277,7 @@ func (m *MVEE) setupIPMon() error {
 		return err
 	}
 	buf.SetPipeline(m.Cfg.MaxLag)
-	m.rbuf = buf
+	m.rbuf.Store(buf)
 	m.Monitor.AttachRB(buf)
 	if m.Cfg.AblateAlwaysWake {
 		buf.SetAlwaysWake(true)
@@ -343,19 +348,21 @@ func (m *MVEE) SetPolicyLevel(l policy.Level) (*policy.Snapshot, error) {
 // 0 vs non-zero); on a non-pipelined instance an error is returned and
 // the caller applies the value at its next respawn instead.
 func (m *MVEE) SetMaxLag(n int) error {
-	if m.Cfg.Mode != ModeReMon || m.rbuf == nil {
+	buf := m.rbuf.Load()
+	if m.Cfg.Mode != ModeReMon || buf == nil {
 		return fmt.Errorf("core: SetMaxLag requires an active ReMon instance")
 	}
-	return m.rbuf.SetMaxLag(n)
+	return buf.SetMaxLag(n)
 }
 
 // MaxLag reports the live master-ahead lag window (0 = lockstep
 // publication).
 func (m *MVEE) MaxLag() int {
-	if m.rbuf == nil {
+	buf := m.rbuf.Load()
+	if buf == nil {
 		return 0
 	}
-	return m.rbuf.MaxLag()
+	return buf.MaxLag()
 }
 
 // VirtualNow reports the instance's live virtual elapsed time: the
@@ -379,10 +386,11 @@ func (m *MVEE) VirtualNow() model.Duration {
 // RBStats snapshots the replication buffer's pipeline counters (zero
 // value outside ModeReMon).
 func (m *MVEE) RBStats() rb.Stats {
-	if m.rbuf == nil {
+	buf := m.rbuf.Load()
+	if buf == nil {
 		return rb.Stats{}
 	}
-	return m.rbuf.Stats()
+	return buf.Stats()
 }
 
 // flushIPMon publishes t's staged group-commit entries at thread exit —
@@ -583,8 +591,8 @@ func (m *MVEE) report(startCalls uint64) *Report {
 	for _, ip := range m.IPMons {
 		rep.IPMon = append(rep.IPMon, ip.Stats())
 	}
-	if m.rbuf != nil {
-		rep.RB = m.rbuf.Stats()
+	if buf := m.rbuf.Load(); buf != nil {
+		rep.RB = buf.Stats()
 	}
 	return rep
 }
@@ -605,10 +613,11 @@ func (m *MVEE) report(startCalls uint64) *Report {
 // IP-MON (the real system would perform the swap during a global ptrace
 // stop).
 func (m *MVEE) MigrateRB() error {
-	if m.Cfg.Mode != ModeReMon || m.rbuf == nil {
+	buf := m.rbuf.Load()
+	if m.Cfg.Mode != ModeReMon || buf == nil {
 		return fmt.Errorf("core: MigrateRB requires an active ReMon instance")
 	}
-	seg := m.rbuf.Segment()
+	seg := buf.Segment()
 	for i, p := range m.procs {
 		old := m.rbBases[i]
 		reg, err := p.Mem.MapShared(seg, mem.ProtRead|mem.ProtWrite, "rb")
@@ -652,9 +661,8 @@ func (m *MVEE) Shutdown(reason string) {
 // optional: an unclosed MVEE is simply collected by the GC without
 // recycling its segment.
 func (m *MVEE) Close() {
-	if m.rbuf != nil {
-		m.Kernel.ReleaseShm(m.rbuf.Segment().ID)
-		m.rbuf = nil
+	if buf := m.rbuf.Swap(nil); buf != nil {
+		m.Kernel.ReleaseShm(buf.Segment().ID)
 	}
 }
 

@@ -2,35 +2,58 @@
 // policies. The data plane is vnet's splice forwarder — the balancer
 // never copies request bytes itself beyond the splice pumps, and it
 // carries virtual arrival stamps through untouched.
+//
+// Admission is a lock-free fast path. The Serving set lives in an
+// immutable, atomically-swapped snapshot (servingSnapshot, republished
+// by record() on every lifecycle transition), and a successful pick is
+// one snapshot load plus one CAS on the chosen shard's packed occupancy
+// word — no mutex, no allocation. The post-claim revalidation reads the
+// shard's atomic state/gen: a claim that raced a transition rolls its
+// slot back and the scan moves on. Only the failure path (empty pool,
+// full saturation, lost claims) falls back to the retry/backoff slow
+// path.
 package fleet
 
 import (
 	"errors"
 	"time"
 
+	"remon/internal/core"
 	"remon/internal/model"
 	"remon/internal/vnet"
 )
 
-// backendTarget is a shard pick with its network captured under the
-// shard lock — s.net is rewritten on respawn, so the balancer must never
-// read it unlocked.
+// backendTarget is a shard pick with its network and replica set
+// captured at snapshot publication — s.net/s.mvee are rewritten on
+// respawn, so the balancer must never read them unlocked; the snapshot
+// capture happens under the shard lock and the generation check detects
+// staleness.
 type backendTarget struct {
-	s   *shard
-	net *vnet.Network
-	gen int
+	s    *shard
+	net  *vnet.Network
+	gen  int
+	mvee *core.MVEE
 }
 
-// acceptLoop takes front-end connections and splices each onto a healthy
-// shard's backend. The (possibly blocking) backend connect runs on a
-// per-connection goroutine so one shard's full accept queue never
-// head-of-line blocks connections bound for the other shards.
+// acceptLoop takes front-end connections and dispatches each toward a
+// healthy shard. In polled mode (SpliceLoops>0) accepted conns queue to
+// the fixed admit-worker pool; otherwise the (possibly blocking)
+// backend connect runs on a per-connection goroutine so one shard's
+// full accept queue never head-of-line blocks connections bound for the
+// other shards.
 func (f *Fleet) acceptLoop() {
 	defer f.wg.Done()
+	if f.admitCh != nil {
+		defer close(f.admitCh)
+	}
 	for {
 		conn, at, err := f.lis.Accept(true)
 		if err != nil {
 			return // listener closed: fleet shutting down
+		}
+		if f.admitCh != nil {
+			f.admitCh <- admitReq{conn: conn, at: at}
+			continue
 		}
 		tgt, err := f.pickShard(conn.RemoteAddr())
 		if err != nil {
@@ -46,9 +69,57 @@ func (f *Fleet) acceptLoop() {
 	}
 }
 
+// admitWorker drains the accept queue in polled mode: pick, backend
+// connect, polled splice. A fixed pool of these plus the SpliceSet's
+// event loops is the fleet's whole per-connection goroutine budget.
+func (f *Fleet) admitWorker() {
+	defer f.wg.Done()
+	for req := range f.admitCh {
+		f.admitOne(req.conn, req.at)
+	}
+}
+
+// admitOne wires one accepted connection onto a polled splice. The
+// splice is created inert, registered with the shard, then armed — so
+// its completion callback (untrack) can never run before track, however
+// short the connection's life.
+//
+// A pick can go stale in the claim-to-track window: the backend connect
+// may sit in a loaded shard's accept queue while a scale-down retires
+// that shard. The inert splice has moved no client bytes yet, so a
+// stale track re-routes the connection — discard the splice, close the
+// backend leg, pick again — instead of cutting it. Each retry needs a
+// fresh lifecycle transition to fail again, and pickShard itself
+// refuses when the pool is gone, so the loop terminates.
+func (f *Fleet) admitOne(conn *vnet.Conn, at model.Duration) {
+	for {
+		tgt, err := f.pickShard(conn.RemoteAddr())
+		if err != nil {
+			f.refuse(conn, err)
+			return
+		}
+		f.recordRoute(conn.RemoteAddr(), tgt)
+		back, _, err := tgt.net.Connect(tgt.s.addr, at)
+		if err != nil {
+			tgt.s.pendingDone()
+			f.refuse(conn, err)
+			return
+		}
+		owner := tgt.s
+		sp := f.spliceSet.NewSplice(conn, back, func(sp *vnet.Splice) { owner.untrack(sp) })
+		if owner.track(sp, tgt.gen, false) {
+			f.spliceSet.Start(sp)
+			return
+		}
+		f.spliceSet.Discard(sp)
+		back.Close()
+	}
+}
+
 // splice opens the backend leg and wires the forwarder for one accepted
-// connection. Address rewriting happens by construction: the shard sees
-// a connection from the balancer's ephemeral endpoint, the client sees
+// connection — the per-connection-goroutine path (Handoff-capable).
+// Address rewriting happens by construction: the shard sees a
+// connection from the balancer's ephemeral endpoint, the client sees
 // the balancer's front address. The backend connect reuses the
 // front-side establishment time so virtual time is continuous across the
 // hop.
@@ -69,7 +140,8 @@ func (f *Fleet) splice(conn *vnet.Conn, at model.Duration, tgt backendTarget) {
 		sp = vnet.NewSplice(conn, back)
 	}
 	if !tgt.s.track(sp, tgt.gen, f.cfg.Handoff) {
-		return // shard was quarantined (or respawned) since the pick; splice cut
+		sp.Abort() // shard was quarantined (or respawned) since the pick
+		return
 	}
 	<-sp.Done()
 	tgt.s.untrack(sp)
@@ -79,77 +151,58 @@ func (f *Fleet) splice(conn *vnet.Conn, at model.Duration, tgt backendTarget) {
 // before registration (track retires it itself, atomically with the
 // register).
 func (s *shard) pendingDone() {
-	s.mu.Lock()
-	s.pending--
-	s.mu.Unlock()
+	s.occ.Add(-occPendOne)
 }
 
 func (f *Fleet) refuse(conn *vnet.Conn, err error) {
 	conn.Close()
-	f.mu.Lock()
-	f.refused++
+	f.refusedCt.Add(1)
 	if errors.Is(err, ErrOverloaded) {
-		f.shed++
+		f.shedCt.Add(1)
 	}
-	f.mu.Unlock()
 }
 
-// pickShard chooses a Serving shard for a new client connection,
-// capturing its network and generation under the shard lock, and claims
-// a pending slot on it so drains see the pick before its splice is
-// registered. The claim re-validates state and generation in its own
-// critical section — a drain or quarantine may take the shard between
-// the scan and the claim, and a pick it cannot see would be cut; a lost
-// claim retries the scan so the connection lands on another healthy
-// shard instead of being refused.
+// pickShard chooses a Serving shard for a new client connection and
+// claims a pending slot on it so drains see the pick before its splice
+// is registered. The fast path is lock-free and allocation-free: load
+// the admission snapshot, select per the routing policy, CAS-claim the
+// shard's occupancy word, revalidate state+generation. A drain or
+// quarantine may take the shard between the snapshot and the claim; the
+// revalidation rolls the lost claim back and the scan lands the
+// connection on another healthy shard instead of refusing it.
 //
-// Resilience: when a scan finds no admissible shard — the whole pool
-// momentarily Draining/Respawning, or every shard at its saturation
-// limit — the pick retries up to AdmitRetries times with jittered
-// exponential backoff before refusing, so a connection arriving during a
-// short respawn gap waits it out instead of failing. Each backoff sleep
-// bumps Stats.AdmitWaits — the pre-shed pressure signal the autoscaler
-// watches. The pool is re-snapshotted every attempt, so a shard the
+// Resilience: when a pass claims nothing — the whole pool momentarily
+// Draining/Respawning, or every shard at its saturation limit — the
+// pick retries up to AdmitRetries times with jittered exponential
+// backoff before refusing, so a connection arriving during a short
+// respawn gap waits it out instead of failing. Each backoff sleep bumps
+// Stats.AdmitWaits — the pre-shed pressure signal the autoscaler
+// watches. The snapshot is re-loaded every attempt, so a shard the
 // autoscaler adds mid-retry becomes a candidate before the budget runs
 // out. The terminal error is typed: an *OverloadError (unwrapping to
-// ErrOverloaded, carrying the retry-after capacity hint) when saturation
-// was the last obstacle, ErrShardNotServing otherwise.
+// ErrOverloaded, carrying the retry-after capacity hint) when
+// saturation was the last obstacle, ErrShardNotServing otherwise.
 func (f *Fleet) pickShard(clientAddr string) (backendTarget, error) {
 	sawSaturated := false
+	limit := f.cfg.MaxConnsPerShard
 	for attempt := 0; ; attempt++ {
-		pool := f.pool()
-		serving := make([]backendTarget, 0, len(pool))
-		saturated := 0
-		for _, s := range pool {
-			s.mu.Lock()
-			if s.state == Serving && s.mvee != nil {
-				if f.saturatedLocked(s) {
-					saturated++
-				} else {
-					serving = append(serving, backendTarget{s: s, net: s.net, gen: s.gen})
-				}
-			}
-			s.mu.Unlock()
-		}
-		if len(serving) > 0 {
+		if snap := f.serving.Load(); snap != nil && len(snap.targets) > 0 {
 			var tgt backendTarget
+			var ok, sat bool
 			switch f.cfg.Routing {
 			case RouteAffinity:
-				tgt = rendezvousPickTarget(serving, clientAddr)
+				tgt, ok, sat = affinityClaim(snap.targets, clientAddr, limit)
 			case RouteLeastLoaded:
-				tgt = f.leastLoadedPick(serving)
+				tgt, ok, sat = leastLoadedClaim(snap.targets, limit)
 			default:
-				tgt = serving[int(f.rrNext.Add(1)-1)%len(serving)]
+				tgt, ok, sat = f.roundRobinClaim(snap.targets, limit)
 			}
-			tgt.s.mu.Lock()
-			if tgt.s.state == Serving && tgt.s.gen == tgt.gen && tgt.s.mvee != nil && !f.saturatedLocked(tgt.s) {
-				tgt.s.pending++
-				tgt.s.mu.Unlock()
+			if ok {
 				return tgt, nil
 			}
-			tgt.s.mu.Unlock()
-		} else if saturated > 0 {
-			sawSaturated = true
+			if sat {
+				sawSaturated = true
+			}
 		}
 		if attempt+1 >= f.cfg.AdmitRetries {
 			if sawSaturated {
@@ -158,8 +211,111 @@ func (f *Fleet) pickShard(clientAddr string) (backendTarget, error) {
 			return backendTarget{}, ErrShardNotServing
 		}
 		f.admitWaits.Add(1)
-		time.Sleep(f.admitBackoff(attempt))
+		time.Sleep(f.admitBackoff(attempt, f.admitSeq.Add(1)))
 	}
+}
+
+// claimTarget CAS-claims one pending slot on t's shard against the
+// saturation limit, then revalidates the snapshot's state and
+// generation. Go atomics are sequentially consistent, so the claim's
+// CAS precedes the revalidation loads precede (on success) the caller's
+// use — and a drain that flips the state before our revalidation is
+// guaranteed to observe the claimed slot in its occupancy poll.
+// Reports (claimed, saturated).
+func claimTarget(t backendTarget, limit int) (bool, bool) {
+	s := t.s
+	for {
+		v := s.occ.Load()
+		if limit > 0 && occConns(v)+occPending(v) >= limit {
+			return false, true
+		}
+		if s.occ.CompareAndSwap(v, v+occPendOne) {
+			break
+		}
+	}
+	if s.state.Load() == Serving && int(s.gen.Load()) == t.gen {
+		return true, false
+	}
+	s.occ.Add(-occPendOne) // lost the race to a transition; roll back
+	return false, false
+}
+
+// roundRobinClaim scans the snapshot in rotation order and claims the
+// first admissible shard.
+func (f *Fleet) roundRobinClaim(ts []backendTarget, limit int) (backendTarget, bool, bool) {
+	start := int(f.rrNext.Add(1) - 1)
+	anySat := false
+	for i := 0; i < len(ts); i++ {
+		t := ts[(start+i)%len(ts)]
+		ok, sat := claimTarget(t, limit)
+		if ok {
+			return t, true, anySat
+		}
+		anySat = anySat || sat
+	}
+	return backendTarget{}, false, anySat
+}
+
+// affinityClaim picks the best non-saturated rendezvous score and
+// claims it — single claim, like the lock-based picker: a lost claim
+// retries through the outer attempt loop so the affinity mapping stays
+// score-ordered rather than falling over to an arbitrary shard.
+func affinityClaim(ts []backendTarget, clientAddr string, limit int) (backendTarget, bool, bool) {
+	var best backendTarget
+	var bestScore uint64
+	found, anySat := false, false
+	for _, t := range ts {
+		v := t.s.occ.Load()
+		if limit > 0 && occConns(v)+occPending(v) >= limit {
+			anySat = true
+			continue
+		}
+		score := fnv1a(clientAddr, uint64(t.s.idx))
+		if !found || score > bestScore {
+			best, bestScore, found = t, score, true
+		}
+	}
+	if !found {
+		return backendTarget{}, false, anySat
+	}
+	ok, sat := claimTarget(best, limit)
+	return best, ok, anySat || sat
+}
+
+// leastLoadedClaim scores each candidate lock-free and claims the
+// minimum. Connection count (occupancy word) dominates; the RB LagWaits
+// delta since the previous scoring pass breaks ties toward the shard
+// whose replication pipeline is keeping up. The mvee pointer comes from
+// the snapshot; RBStats is all atomic loads, safe even against a
+// concurrent respawn of the shard it belonged to.
+func leastLoadedClaim(ts []backendTarget, limit int) (backendTarget, bool, bool) {
+	var best backendTarget
+	bestScore := uint64(1<<63 - 1)
+	found, anySat := false, false
+	for _, t := range ts {
+		v := t.s.occ.Load()
+		if limit > 0 && occConns(v)+occPending(v) >= limit {
+			anySat = true
+			continue
+		}
+		score := uint64(occConns(v)+occPending(v)) * 1000
+		if t.mvee != nil {
+			waits := t.mvee.RBStats().LagWaits
+			delta := waits - t.s.lastLagWaits.Swap(waits)
+			if delta > 999 {
+				delta = 999 // never outweigh a whole connection
+			}
+			score += delta
+		}
+		if !found || score < bestScore {
+			best, bestScore, found = t, score, true
+		}
+	}
+	if !found {
+		return backendTarget{}, false, anySat
+	}
+	ok, sat := claimTarget(best, limit)
+	return best, ok, anySat || sat
 }
 
 // retryAfterHint derives the OverloadError's capacity hint from drain
@@ -167,13 +323,14 @@ func (f *Fleet) pickShard(clientAddr string) (backendTarget, error) {
 // grace expires (rotation or scale-down completes), so the soonest
 // remaining grace is the honest estimate. With no drain in flight the
 // hint falls back to the backoff ceiling — "try again after the window
-// we already waited", never zero.
+// we already waited", never zero. Slow path only (the admission shed);
+// the lock walk is fine here.
 func (f *Fleet) retryAfterHint() time.Duration {
 	hint := time.Duration(0)
 	now := time.Now()
 	for _, s := range f.pool() {
 		s.mu.Lock()
-		if s.state == Draining {
+		if s.state.Load() == Draining {
 			if left := s.drainUntil.Sub(now); left > 0 && (hint == 0 || left < hint) {
 				hint = left
 			}
@@ -189,70 +346,19 @@ func (f *Fleet) retryAfterHint() time.Duration {
 	return hint
 }
 
-// saturatedLocked reports whether s is at its connection limit; s.mu
-// must be held. Pending picks count — they are connections in all but
-// registration.
-func (f *Fleet) saturatedLocked(s *shard) bool {
-	if f.cfg.MaxConnsPerShard <= 0 {
-		return false
-	}
-	return len(s.splices)+s.pending >= f.cfg.MaxConnsPerShard
-}
-
 // admitBackoff computes the jittered exponential admission backoff for
 // one failed attempt: base * 2^attempt, capped at 8x base, scaled by a
-// seeded ±50% jitter so concurrent retries decorrelate.
-func (f *Fleet) admitBackoff(attempt int) time.Duration {
+// seeded ±50% jitter so concurrent retries decorrelate. The jitter
+// derives from a per-sleep token through the deterministic splitmix64
+// stream (model.NewRNG) — same distribution the shared locked RNG
+// produced, no lock.
+func (f *Fleet) admitBackoff(attempt int, token uint64) time.Duration {
 	d := f.cfg.AdmitBackoff << uint(attempt)
 	if max := 8 * f.cfg.AdmitBackoff; d > max {
 		d = max
 	}
-	f.admitMu.Lock()
-	j := f.admitRNG.Float64()
-	f.admitMu.Unlock()
+	j := model.NewRNG(f.cfg.Seed ^ 0xADB0FF ^ token).Float64()
 	return time.Duration(float64(d) * (0.5 + j))
-}
-
-// leastLoadedPick scores each candidate under its shard lock and takes
-// the minimum. Connection count dominates; the RB LagWaits delta since
-// the previous scoring pass breaks ties toward the shard whose
-// replication pipeline is keeping up.
-func (f *Fleet) leastLoadedPick(serving []backendTarget) backendTarget {
-	best := serving[0]
-	bestScore := uint64(1<<63 - 1)
-	for _, t := range serving {
-		t.s.mu.Lock()
-		score := uint64(len(t.s.splices)+t.s.pending) * 1000
-		if t.s.mvee != nil {
-			waits := t.s.mvee.RBStats().LagWaits
-			delta := waits - t.s.lastLagWaits
-			t.s.lastLagWaits = waits
-			if delta > 999 {
-				delta = 999 // never outweigh a whole connection
-			}
-			score += delta
-		}
-		t.s.mu.Unlock()
-		if score < bestScore {
-			best, bestScore = t, score
-		}
-	}
-	return best
-}
-
-// rendezvousPickTarget applies rendezvousPick over captured targets.
-func rendezvousPickTarget(serving []backendTarget, clientAddr string) backendTarget {
-	shards := make([]*shard, len(serving))
-	for i, t := range serving {
-		shards[i] = t.s
-	}
-	best := rendezvousPick(shards, clientAddr)
-	for _, t := range serving {
-		if t.s == best {
-			return t
-		}
-	}
-	return serving[0]
 }
 
 // rendezvousPick implements highest-random-weight hashing: each (client,
@@ -304,35 +410,52 @@ func fnv1a(addr string, salt uint64) uint64 {
 // over and nobody would ever migrate the splice.
 func (s *shard) track(sp *vnet.Splice, gen int, handoff bool) bool {
 	s.mu.Lock()
-	s.pending-- // the pick's slot converts into (or dies with) the splice
-	admit := s.gen == gen &&
-		(s.state == Serving || s.state == Draining || (handoff && s.state == Quarantined))
+	st := s.state.Load()
+	admit := int64(gen) == s.gen.Load() &&
+		(st == Serving || st == Draining || (handoff && st == Quarantined))
 	if !admit {
+		// The pending slot rolls back here; what happens to the splice is
+		// the caller's call — the polled path re-routes it, the pump and
+		// migration paths abort it.
+		s.occ.Add(-occPendOne)
 		s.mu.Unlock()
-		sp.Abort()
 		return false
 	}
 	s.splices[sp] = struct{}{}
-	s.connsRouted++
+	s.connsRouted.Add(1)
+	// The pick's pending slot converts into a tracked connection in one
+	// atomic step, so the occupancy never dips to zero mid-conversion.
+	s.occ.Add(1 - occPendOne)
 	s.mu.Unlock()
 	return true
 }
 
 // untrack drops a finished splice (a no-op if quarantine already swept
-// it).
+// it — takeSplicesLocked removed its occupancy along with the map
+// entry).
 func (s *shard) untrack(sp *vnet.Splice) {
 	s.mu.Lock()
-	delete(s.splices, sp)
+	if _, ok := s.splices[sp]; ok {
+		delete(s.splices, sp)
+		s.occ.Add(-1)
+	}
 	s.mu.Unlock()
 }
 
 // recordRoute remembers clientAddr -> shard for test and attack
-// harnesses that partition client outcomes by shard. Bounded: beyond
+// harnesses that partition client outcomes by shard. Striped 64 ways so
+// concurrent admit workers rarely contend, bounded globally: beyond
 // 1<<20 routes recording stops (the balancer itself never reads this).
+// Config.DisableRouteLog turns it off entirely.
 func (f *Fleet) recordRoute(clientAddr string, tgt backendTarget) {
-	f.mu.Lock()
-	if len(f.routes) < 1<<20 {
-		f.routes[clientAddr] = routeEntry{shard: tgt.s.idx, gen: tgt.gen}
+	if f.cfg.DisableRouteLog || f.routeCount.Load() >= 1<<20 {
+		return
 	}
-	f.mu.Unlock()
+	st := &f.routes[fnv1a(clientAddr, 0)&63]
+	st.mu.Lock()
+	if _, ok := st.m[clientAddr]; !ok {
+		f.routeCount.Add(1)
+	}
+	st.m[clientAddr] = routeEntry{shard: tgt.s.idx, gen: tgt.gen}
+	st.mu.Unlock()
 }

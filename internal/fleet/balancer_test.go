@@ -26,13 +26,13 @@ func TestPickShardExhaustsOnTotalUnavailability(t *testing.T) {
 	// attempt, with no drain machinery racing the budget.
 	for _, s := range f.pool() {
 		s.mu.Lock()
-		s.state = Draining
+		s.state.Store(Draining)
 		s.mu.Unlock()
 	}
 	defer func() {
 		for _, s := range f.pool() {
 			s.mu.Lock()
-			s.state = Serving
+			s.state.Store(Serving)
 			s.mu.Unlock()
 		}
 	}()
@@ -85,13 +85,13 @@ func TestPickShardSaturationReturnsOverloadError(t *testing.T) {
 	// Saturate by claiming every slot as a pending pick.
 	for _, s := range f.pool() {
 		s.mu.Lock()
-		s.pending = cfg.MaxConnsPerShard
+		s.occ.Store(occPendOne * int64(cfg.MaxConnsPerShard))
 		s.mu.Unlock()
 	}
 	defer func() {
 		for _, s := range f.pool() {
 			s.mu.Lock()
-			s.pending = 0
+			s.occ.Store(0)
 			s.mu.Unlock()
 		}
 	}()
@@ -112,12 +112,12 @@ func TestPickShardSaturationReturnsOverloadError(t *testing.T) {
 	// With a shard mid-drain, the hint tracks its remaining grace.
 	s0 := f.pool()[0]
 	s0.mu.Lock()
-	s0.state = Draining
+	s0.state.Store(Draining)
 	s0.drainUntil = time.Now().Add(100 * time.Millisecond)
 	s0.mu.Unlock()
 	defer func() {
 		s0.mu.Lock()
-		s0.state = Serving
+		s0.state.Store(Serving)
 		s0.mu.Unlock()
 	}()
 	_, err = f.pickShard("client-3:5000")

@@ -488,7 +488,7 @@ func (c *Controller) loopFor(idx int, s *shard) *shardLoop {
 	if c.loops[idx] == nil {
 		s.mu.Lock()
 		start := Knobs{Level: s.level, MaxLag: s.maxLag, Epoch: s.epoch}
-		gen := s.gen
+		gen := int(s.gen.Load())
 		s.mu.Unlock()
 		c.loops[idx] = newShardLoop(c.cfg, start, gen)
 	}
@@ -590,7 +590,7 @@ func (c *Controller) round() {
 // already made the shard conservative structurally).
 func (c *Controller) observe(s *shard, loop *shardLoop) (Signals, int, bool) {
 	s.mu.Lock()
-	state, gen := s.state, s.gen
+	state, gen := s.state.Load(), int(s.gen.Load())
 	diverged := s.lastVerdict.Diverged
 	mvee := s.mvee
 	var snap core.TelemetrySnapshot

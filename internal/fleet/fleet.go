@@ -101,6 +101,25 @@ const (
 	Retired
 )
 
+// atomicState is a State slot the admission fast path reads lock-free.
+// Transitions still happen under the owning shard's s.mu (the lifecycle
+// invariants need the lock); only the loads moved off it.
+type atomicState struct{ v atomic.Int32 }
+
+func (a *atomicState) Load() State   { return State(a.v.Load()) }
+func (a *atomicState) Store(s State) { a.v.Store(int32(s)) }
+
+// Packed shard occupancy: one atomic int64 holding both halves of the
+// in-flight count — pending picks in the high 32 bits, tracked
+// connections in the low 32. One CAS claims a pending slot against the
+// saturation bound; one Add converts it into a tracked connection
+// (track) or releases it (pendingDone); drains read a single load to
+// see emptiness including picks still mid-establishment.
+const occPendOne = int64(1) << 32
+
+func occPending(v int64) int { return int(v >> 32) }
+func occConns(v int64) int   { return int(int32(v)) }
+
 func (s State) String() string {
 	switch s {
 	case Serving:
@@ -222,6 +241,20 @@ type Config struct {
 	// connections (tracked + pending); when every Serving shard is
 	// saturated, admission sheds with ErrOverloaded. 0 = unlimited.
 	MaxConnsPerShard int
+
+	// SpliceLoops selects the polled data plane: with a positive value,
+	// a vnet.SpliceSet of this many event loops forwards every
+	// connection and a fixed admit-worker pool replaces the
+	// per-connection goroutines — the million-connection engine's
+	// O(cores+shards) goroutine budget. 0 keeps the per-connection pump
+	// goroutines (and is required when Handoff is armed: live migration
+	// needs the freeze/replay-capable pump flavour).
+	SpliceLoops int
+	// DisableRouteLog turns off the clientAddr->shard route table. Test
+	// and attack harnesses need it (RouteOf); a million-connection
+	// open-loop run does not, and skipping it keeps admission free of
+	// per-connection map inserts.
+	DisableRouteLog bool
 }
 
 func (c Config) withDefaults() Config {
@@ -352,9 +385,18 @@ type shard struct {
 	idx  int
 	addr string
 
-	mu    sync.Mutex
-	state State
-	gen   int
+	// state and gen are written under s.mu (lifecycle transitions keep
+	// their lock-based invariants) but read lock-free by the admission
+	// fast path's post-claim revalidation.
+	state atomicState
+	gen   atomic.Int64
+	// occ is the packed pending|conns occupancy (see occPendOne). The
+	// pending half moves entirely lock-free (pickShard's CAS claim,
+	// pendingDone's release); the conns half moves under s.mu alongside
+	// the splices map it mirrors.
+	occ atomic.Int64
+
+	mu sync.Mutex
 	// level is the relaxation level the next buildShard boots the replica
 	// set at: the configured Policy normally, the conservative
 	// RespawnPolicy after a divergence quarantine.
@@ -378,17 +420,15 @@ type shard struct {
 	mvee    *core.MVEE
 	runDone chan *core.Report
 	splices map[*vnet.Splice]struct{}
-	// pending counts connections picked for this shard whose splice is
-	// not yet registered or abandoned (track/pendingDone retire the
-	// slot) — the drain-emptiness check must see them or it can cut a
-	// stream mid-establishment.
-	pending     int
-	connsRouted uint64
+	// connsRouted counts admissions; atomic so Stats and telemetry read
+	// it without widening track's critical section.
+	connsRouted atomic.Uint64
 	lastVerdict ghumvee.Verdict
 	// lastLagWaits is the RB LagWaits high-water observed at the last
 	// least-loaded scoring pass; the delta since is the shard's live
-	// replication-backpressure signal.
-	lastLagWaits uint64
+	// replication-backpressure signal. Atomic Swap keeps the scoring
+	// pass lock-free.
+	lastLagWaits atomic.Uint64
 
 	// inject arms the next-request divergence (the compromised-master
 	// simulation); it holds the tamper payload the master splices over
@@ -425,21 +465,42 @@ type Fleet struct {
 	stopping atomic.Bool
 	wg       sync.WaitGroup
 
+	// serving is the atomically-swapped immutable admission snapshot:
+	// the Serving shards with their networks and generations captured at
+	// publication (the policy.Engine pattern). pickShard loads it with
+	// one atomic read; record republishes it on every transition, under
+	// pubMu so the last store always reflects the newest shard state.
+	serving atomic.Pointer[servingSnapshot]
+	pubMu   sync.Mutex
+
+	// spliceSet and admitCh are non-nil in polled mode (SpliceLoops>0):
+	// accepted connections flow through admitCh to a fixed worker pool,
+	// and the SpliceSet's event loops forward them.
+	spliceSet *vnet.SpliceSet
+	admitCh   chan admitReq
+
 	// admitWaits counts admission backoff sleeps (pickShard retries) —
 	// the pre-shed pressure signal the autoscaler watches: it moves
 	// before ConnsShed does, because every shed first exhausted its
 	// retries.
 	admitWaits atomic.Uint64
+	// admitSeq tokens decorrelate concurrent admission backoffs: each
+	// sleep derives its jitter from a fresh token, no shared RNG lock.
+	admitSeq atomic.Uint64
 
-	// admitMu guards admitRNG, the jitter source for admission backoff.
-	admitMu  sync.Mutex
-	admitRNG *model.RNG
+	// refusedCt/shedCt are atomic so refuse never touches f.mu — the
+	// admission path's only f.mu hit would otherwise be its failures.
+	refusedCt atomic.Uint64
+	shedCt    atomic.Uint64
+
+	// routes is striped 64 ways so route recording (opt-out via
+	// DisableRouteLog) never serialises concurrent admit workers on one
+	// lock; routeCount enforces the global bound across stripes.
+	routes     []routeStripe
+	routeCount atomic.Int64
 
 	mu           sync.Mutex
 	transitions  []Transition
-	routes       map[string]routeEntry
-	refused      uint64
-	shed         uint64
 	failovers    uint64
 	handoffs     uint64
 	replayed     uint64
@@ -460,19 +521,41 @@ type routeEntry struct {
 	gen   int
 }
 
+// routeStripe is one shard of the clientAddr->route table.
+type routeStripe struct {
+	mu sync.Mutex
+	m  map[string]routeEntry
+}
+
+// servingSnapshot is the immutable admission view pickShard reads.
+type servingSnapshot struct {
+	targets []backendTarget
+}
+
+// admitReq is one accepted front connection queued for an admit worker.
+type admitReq struct {
+	conn *vnet.Conn
+	at   model.Duration
+}
+
 // New builds the fleet: N shards (each booted and listening) behind a
 // bound front-end balancer, with the supervisor running. Callers must
 // Close the fleet.
 func New(cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
+	if cfg.SpliceLoops > 0 && cfg.Handoff {
+		return nil, fmt.Errorf("fleet: SpliceLoops and Handoff are incompatible: live migration needs the freeze-capable pump splices")
+	}
 	f := &Fleet{
 		cfg:          cfg,
 		frontNet:     vnet.New(cfg.FrontLink),
 		verdicts:     make(chan verdictEvent, cfg.Shards*4),
 		stopCh:       make(chan struct{}),
-		routes:       map[string]routeEntry{},
-		admitRNG:     model.NewRNG(cfg.Seed ^ 0xADB0FF),
+		routes:       make([]routeStripe, 64),
 		recoveryNote: make(chan struct{}),
+	}
+	for i := range f.routes {
+		f.routes[i].m = map[string]routeEntry{}
 	}
 	f.frontK = vkernel.New(f.frontNet)
 	lis, err := f.frontNet.Listen(cfg.FrontAddr, 1024)
@@ -488,6 +571,19 @@ func New(cfg Config) (*Fleet, error) {
 			return nil, err
 		}
 		f.setState(s, Serving, "boot")
+	}
+
+	if cfg.SpliceLoops > 0 {
+		f.spliceSet = vnet.NewSpliceSet(cfg.SpliceLoops)
+		f.admitCh = make(chan admitReq, 1024)
+		workers := cfg.SpliceLoops
+		if workers < 2 {
+			workers = 2
+		}
+		f.wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go f.admitWorker()
+		}
 	}
 
 	f.wg.Add(2)
@@ -539,7 +635,7 @@ func (f *Fleet) PoolSize() (serving, total int) {
 	for _, s := range f.pool() {
 		total++
 		s.mu.Lock()
-		if s.state == Serving && s.mvee != nil {
+		if s.state.Load() == Serving && s.mvee != nil {
 			serving++
 		}
 		s.mu.Unlock()
@@ -555,12 +651,12 @@ func (f *Fleet) newShardSlot() *shard {
 	s := &shard{
 		idx:     len(f.shards),
 		addr:    fmt.Sprintf("shard-%d:9000", len(f.shards)),
-		state:   Respawning,
 		level:   *f.cfg.Policy,
 		maxLag:  f.cfg.MaxLag,
 		epoch:   f.cfg.EpochSize,
 		splices: map[*vnet.Splice]struct{}{},
 	}
+	s.state.Store(Respawning)
 	f.shards = append(f.shards, s)
 	f.poolMu.Unlock()
 	return s
@@ -577,7 +673,7 @@ func (f *Fleet) buildShard(s *shard) error {
 	net.SetConnectWait(f.cfg.BackendConnectWait)
 	k := vkernel.New(net)
 	s.mu.Lock()
-	idx, gen, level, maxLag, epoch := s.idx, s.gen, s.level, s.maxLag, s.epoch
+	idx, gen, level, maxLag, epoch := s.idx, int(s.gen.Load()), s.level, s.maxLag, s.epoch
 	s.mu.Unlock()
 	mvee, err := core.New(core.Config{
 		Mode:     core.ModeReMon,
@@ -681,12 +777,13 @@ func (f *Fleet) handleDivergence(ev verdictEvent) {
 	// a Draining shard is safe: DrainShard's wait loop observes the
 	// state change (or the taken MVEE) and bows out.
 	s.mu.Lock()
-	if s.gen != ev.gen || (s.state != Serving && s.state != Draining) || s.mvee == nil {
+	st := s.state.Load()
+	if int(s.gen.Load()) != ev.gen || (st != Serving && st != Draining) || s.mvee == nil {
 		s.mu.Unlock()
 		return
 	}
-	from := s.state
-	s.state = Quarantined
+	from := st
+	s.state.Store(Quarantined)
 	s.lastVerdict = ev.v
 	mvee, runDone := s.mvee, s.runDone
 	s.mvee = nil
@@ -737,7 +834,7 @@ func (f *Fleet) handleDivergence(ev verdictEvent) {
 	// shard that just diverged is not trusted with relaxed monitoring
 	// until an operator re-relaxes it (SetShardPolicy).
 	s.mu.Lock()
-	s.gen++
+	s.gen.Add(1)
 	s.level = *f.cfg.RespawnPolicy
 	s.mu.Unlock()
 	if err := f.buildShard(s); err != nil {
@@ -776,14 +873,14 @@ func (f *Fleet) DrainShard(idx int) error {
 		return fmt.Errorf("fleet: closing")
 	}
 	s.mu.Lock()
-	if s.state != Serving || s.mvee == nil {
-		st := s.state
+	if s.state.Load() != Serving || s.mvee == nil {
+		st := s.state.Load()
 		s.mu.Unlock()
 		return fmt.Errorf("shard %d is %v: %w", idx, st, ErrShardNotServing)
 	}
-	s.state = Draining
+	s.state.Store(Draining)
 	s.drainUntil = time.Now().Add(f.cfg.DrainGrace)
-	gen := s.gen
+	gen := int(s.gen.Load())
 	s.mu.Unlock()
 	f.record(s, gen, Serving, Draining, "drain requested")
 
@@ -797,13 +894,17 @@ func (f *Fleet) DrainShard(idx int) error {
 	var splices map[*vnet.Splice]struct{}
 	for {
 		s.mu.Lock()
-		if s.state != Draining || s.mvee == nil {
+		if s.state.Load() != Draining || s.mvee == nil {
 			// A concurrent verdict or Close claimed the shard first.
 			s.mu.Unlock()
 			return nil
 		}
-		if (len(s.splices) == 0 && s.pending == 0) || time.Now().After(deadline) {
-			s.state = Respawning
+		// occ is a single load covering both tracked splices and pending
+		// picks: a pick's CAS precedes its state revalidation, so any
+		// claim that validated Serving before the Draining flip is visible
+		// in this read.
+		if s.occ.Load() == 0 || time.Now().After(deadline) {
+			s.state.Store(Respawning)
 			mvee, runDone = s.mvee, s.runDone
 			s.mvee = nil
 			splices = s.takeSplicesLocked()
@@ -840,7 +941,7 @@ func (f *Fleet) DrainShard(idx int) error {
 	frozen = f.migrateSplices(frozen, drainEnd, handoffDeadline)
 
 	s.mu.Lock()
-	s.gen++
+	s.gen.Add(1)
 	s.mu.Unlock()
 	if err := f.buildShard(s); err != nil {
 		f.abortSplices(frozen)
@@ -859,7 +960,7 @@ func (f *Fleet) DrainShard(idx int) error {
 	// single-threaded, so a boot-time verdict waits in the channel until
 	// the shard is Serving.)
 	s.mu.Lock()
-	fresh, freshGen := s.mvee, s.gen
+	fresh, freshGen := s.mvee, int(s.gen.Load())
 	s.mu.Unlock()
 	if fresh != nil && fresh.Monitor != nil && fresh.Monitor.Diverged() {
 		f.notifyVerdict(s.idx, freshGen, fresh.Monitor.Verdict())
@@ -884,13 +985,13 @@ func (f *Fleet) AddShard() (int, error) {
 	f.poolMu.RLock()
 	for _, cand := range f.shards {
 		cand.mu.Lock()
-		if cand.state == Retired {
+		if cand.state.Load() == Retired {
 			// Revive in place: a fresh generation at the configured boot
 			// knobs, exactly as a fresh slot would get. The state flip under
 			// cand.mu is the claim — a concurrent AddShard sees Respawning
 			// and moves on.
-			cand.state = Respawning
-			cand.gen++
+			cand.state.Store(Respawning)
+			cand.gen.Add(1)
 			cand.level = *f.cfg.Policy
 			cand.maxLag = f.cfg.MaxLag
 			cand.epoch = f.cfg.EpochSize
@@ -908,9 +1009,7 @@ func (f *Fleet) AddShard() (int, error) {
 		s = f.newShardSlot()
 		f.registerShardCollectors(s)
 	}
-	s.mu.Lock()
-	gen := s.gen
-	s.mu.Unlock()
+	gen := int(s.gen.Load())
 	f.record(s, gen, from, Respawning, "scale-up")
 	if err := f.buildShard(s); err != nil {
 		f.setState(s, Retired, "scale-up failed: "+err.Error())
@@ -945,7 +1044,7 @@ func (f *Fleet) RemoveShard(idx int) error {
 			continue
 		}
 		o.mu.Lock()
-		if o.state == Serving && o.mvee != nil {
+		if o.state.Load() == Serving && o.mvee != nil {
 			others++
 		}
 		o.mu.Unlock()
@@ -954,14 +1053,14 @@ func (f *Fleet) RemoveShard(idx int) error {
 		return fmt.Errorf("fleet: refusing to remove shard %d: no other serving shard", idx)
 	}
 	s.mu.Lock()
-	if s.state != Serving || s.mvee == nil {
-		st := s.state
+	if s.state.Load() != Serving || s.mvee == nil {
+		st := s.state.Load()
 		s.mu.Unlock()
 		return fmt.Errorf("shard %d is %v: %w", idx, st, ErrShardNotServing)
 	}
-	s.state = Draining
+	s.state.Store(Draining)
 	s.drainUntil = time.Now().Add(f.cfg.DrainGrace)
-	gen := s.gen
+	gen := int(s.gen.Load())
 	s.mu.Unlock()
 	f.record(s, gen, Serving, Draining, "scale-down drain")
 
@@ -971,13 +1070,13 @@ func (f *Fleet) RemoveShard(idx int) error {
 	var splices map[*vnet.Splice]struct{}
 	for {
 		s.mu.Lock()
-		if s.state != Draining || s.mvee == nil {
-			st := s.state
+		if s.state.Load() != Draining || s.mvee == nil {
+			st := s.state.Load()
 			s.mu.Unlock()
 			return fmt.Errorf("fleet: shard %d removal preempted (shard now %v): %w", idx, st, ErrShardNotServing)
 		}
-		if (len(s.splices) == 0 && s.pending == 0) || time.Now().After(deadline) {
-			s.state = Retired
+		if s.occ.Load() == 0 || time.Now().After(deadline) {
+			s.state.Store(Retired)
 			mvee, runDone = s.mvee, s.runDone
 			s.mvee = nil
 			splices = s.takeSplicesLocked()
@@ -1032,7 +1131,7 @@ func (f *Fleet) SetShardPolicy(idx int, rules policy.Rules) error {
 		return err
 	}
 	s.mu.Lock()
-	mvee, st, gen := s.mvee, s.state, s.gen
+	mvee, st, gen := s.mvee, s.state.Load(), int(s.gen.Load())
 	s.mu.Unlock()
 	if st != Serving && st != Draining || mvee == nil {
 		return fmt.Errorf("fleet: shard %d is %v, cannot reload policy", idx, st)
@@ -1046,9 +1145,10 @@ func (f *Fleet) SetShardPolicy(idx int, rules policy.Rules) error {
 	// landed in the retired MVEE's engine and the fresh set is running at
 	// RespawnPolicy, so the reload must be reported as lost, not applied.
 	s.mu.Lock()
-	if s.gen != gen || s.mvee != mvee {
+	if int(s.gen.Load()) != gen || s.mvee != mvee {
+		cur := int(s.gen.Load())
 		s.mu.Unlock()
-		return fmt.Errorf("fleet: shard %d was replaced during the reload (gen %d -> %d); retry", idx, gen, s.gen)
+		return fmt.Errorf("fleet: shard %d was replaced during the reload (gen %d -> %d); retry", idx, gen, cur)
 	}
 	s.level = rules.Default
 	s.mu.Unlock()
@@ -1073,7 +1173,7 @@ func (f *Fleet) SetShardLag(idx, lag int) error {
 	}
 	s.mu.Lock()
 	s.maxLag = lag
-	mvee, st, gen := s.mvee, s.state, s.gen
+	mvee, st, gen := s.mvee, s.state.Load(), int(s.gen.Load())
 	s.mu.Unlock()
 	applied := "at next respawn"
 	if (st == Serving || st == Draining) && mvee != nil && lag > 0 {
@@ -1101,7 +1201,7 @@ func (f *Fleet) SetShardEpoch(idx, n int) error {
 	}
 	s.mu.Lock()
 	s.epoch = n
-	mvee, st, gen := s.mvee, s.state, s.gen
+	mvee, st, gen := s.mvee, s.state.Load(), int(s.gen.Load())
 	applied := "at next respawn"
 	if (st == Serving || st == Draining) && mvee != nil && mvee.Monitor != nil {
 		mvee.Monitor.SetEpochSize(n)
@@ -1121,7 +1221,7 @@ func (f *Fleet) ShardEpoch(idx int) (int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.mvee != nil && s.mvee.Monitor != nil && (s.state == Serving || s.state == Draining) {
+	if st := s.state.Load(); s.mvee != nil && s.mvee.Monitor != nil && (st == Serving || st == Draining) {
 		return s.mvee.Monitor.EpochSize(), nil
 	}
 	return s.epoch, nil
@@ -1136,7 +1236,7 @@ func (f *Fleet) ShardLag(idx int) (int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.mvee != nil && (s.state == Serving || s.state == Draining) {
+	if st := s.state.Load(); s.mvee != nil && (st == Serving || st == Draining) {
 		return s.mvee.MaxLag(), nil
 	}
 	return s.maxLag, nil
@@ -1215,10 +1315,15 @@ func (s *shard) effectiveLevelLocked() policy.Level {
 }
 
 // takeSplicesLocked detaches and returns the shard's in-flight splice
-// set; s.mu must be held.
+// set; s.mu must be held. The occ conns half tracks the map, so the
+// taken connections leave the occupancy too (their untracks become
+// no-ops).
 func (s *shard) takeSplicesLocked() map[*vnet.Splice]struct{} {
 	splices := s.splices
 	s.splices = map[*vnet.Splice]struct{}{}
+	if n := len(splices); n > 0 {
+		s.occ.Add(-int64(n))
+	}
 	return splices
 }
 
@@ -1237,9 +1342,9 @@ func (f *Fleet) cutSplices(splices map[*vnet.Splice]struct{}) {
 // setState transitions s and records it.
 func (f *Fleet) setState(s *shard, to State, reason string) {
 	s.mu.Lock()
-	from := s.state
-	s.state = to
-	gen := s.gen
+	from := s.state.Load()
+	s.state.Store(to)
+	gen := int(s.gen.Load())
 	s.mu.Unlock()
 	f.record(s, gen, from, to, reason)
 }
@@ -1250,6 +1355,35 @@ func (f *Fleet) record(s *shard, gen int, from, to State, reason string) {
 		Shard: s.idx, Gen: gen, From: from, To: to, At: time.Now(), Reason: reason,
 	})
 	f.mu.Unlock()
+	// Every lifecycle mutation flows through here (after the shard lock
+	// is released), so republishing now keeps the admission snapshot
+	// current without any polling.
+	f.publishServing()
+}
+
+// publishServing rebuilds and swaps the admission snapshot. pubMu
+// serialises concurrent publishers so the last store is always built
+// from the newest shard state — a stale snapshot could otherwise
+// outlive the transition that should have retired it. Readers cost one
+// atomic pointer load; post-claim revalidation in pickShard catches the
+// (bounded) window between a transition and its republication.
+func (f *Fleet) publishServing() {
+	f.pubMu.Lock()
+	defer f.pubMu.Unlock()
+	f.poolMu.RLock()
+	shards := append([]*shard(nil), f.shards...)
+	f.poolMu.RUnlock()
+	targets := make([]backendTarget, 0, len(shards))
+	for _, s := range shards {
+		s.mu.Lock()
+		if s.state.Load() == Serving && s.mvee != nil {
+			targets = append(targets, backendTarget{
+				s: s, net: s.net, gen: int(s.gen.Load()), mvee: s.mvee,
+			})
+		}
+		s.mu.Unlock()
+	}
+	f.serving.Store(&servingSnapshot{targets: targets})
 }
 
 // Transitions returns a copy of the state-change log.
@@ -1278,16 +1412,18 @@ func (f *Fleet) ShardState(idx int) (State, int) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.state, s.gen
+	return s.state.Load(), int(s.gen.Load())
 }
 
 // RouteOf reports which shard (and generation) a client address was
 // balanced to. Client addresses are the ephemeral endpoints vnet assigns
-// at connect time (Conn.LocalAddr on the client side).
+// at connect time (Conn.LocalAddr on the client side). Always reports
+// not-found when Config.DisableRouteLog turned recording off.
 func (f *Fleet) RouteOf(clientAddr string) (shard, gen int, ok bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	r, ok := f.routes[clientAddr]
+	st := &f.routes[fnv1a(clientAddr, 0)&63]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.m[clientAddr]
 	return r.shard, r.gen, ok
 }
 
@@ -1296,19 +1432,21 @@ func (f *Fleet) RouteOf(clientAddr string) (shard, gen int, ok bool) {
 // Consistency contract: Stats is NOT one global atomic snapshot — it is
 // a sequence of per-lock snapshots. Each ShardInfo is taken under that
 // shard's s.mu, so the fields *within* one ShardInfo (state, gen,
-// in-flight, verdict, knobs) are mutually consistent. The fleet-global
-// counters (ConnsRefused, ConnsShed, Failovers, Handoffs,
-// ReplayedBytes, Recoveries) are all read under one f.mu critical
-// section — the same lock every writer holds when it advances them —
-// so *they* are mutually consistent too: a handoff that bumped
-// Handoffs has also bumped ReplayedBytes by the time either is
-// visible, because both increments share the writer's f.mu section
-// (see migrateSplices in handoff.go). What the contract does
-// NOT give you is consistency *across* the two groups or between two
-// shards: a connection can be routed (bumping a shard's ConnsRouted)
-// after its shard's row was snapshotted but before f.mu is taken.
-// Cumulative counters only ever grow, so the skew is bounded and
-// monotone — exactly the semantics a metrics scrape needs, and
+// in-flight, verdict, knobs) are mutually consistent. The migration
+// counters (Failovers, Handoffs, ReplayedBytes, Recoveries) are all
+// read under one f.mu critical section — the same lock every writer
+// holds when it advances them — so *they* are mutually consistent too:
+// a handoff that bumped Handoffs has also bumped ReplayedBytes by the
+// time either is visible, because both increments share the writer's
+// f.mu section (see migrateSplices in handoff.go). ConnsRefused and
+// ConnsShed are plain atomics (refuse never takes f.mu — the admission
+// path stays lock-free even on failure), so a shed can be visible in
+// ConnsShed one scrape before ConnsRefused; both only grow. What the
+// contract does NOT give you is consistency *across* the groups or
+// between two shards: a connection can be routed (bumping a shard's
+// ConnsRouted) after its shard's row was snapshotted but before f.mu
+// is taken. Cumulative counters only ever grow, so the skew is bounded
+// and monotone — exactly the semantics a metrics scrape needs, and
 // TestStatsConsistencyUnderChaos pins the invariants that must hold
 // across any such snapshot.
 func (f *Fleet) Stats() Stats {
@@ -1317,23 +1455,25 @@ func (f *Fleet) Stats() Stats {
 	for _, s := range f.pool() {
 		s.mu.Lock()
 		lv := s.effectiveLevelLocked()
+		sstate := s.state.Load()
 		lag, epoch, curLag := s.maxLag, s.epoch, 0
-		if s.mvee != nil && (s.state == Serving || s.state == Draining) {
+		if s.mvee != nil && (sstate == Serving || sstate == Draining) {
 			lag = s.mvee.MaxLag()
 			if s.mvee.Monitor != nil {
 				epoch = s.mvee.Monitor.EpochSize()
 			}
 			curLag = int(s.mvee.RBStats().CurLag)
 		}
-		if s.state == Serving && s.mvee != nil {
+		if sstate == Serving && s.mvee != nil {
 			st.ServingShards++
 		}
+		sRouted := s.connsRouted.Load()
 		st.Shards = append(st.Shards, ShardInfo{
 			Index:       s.idx,
-			State:       s.state,
-			Gen:         s.gen,
+			State:       sstate,
+			Gen:         int(s.gen.Load()),
 			Addr:        s.addr,
-			ConnsRouted: s.connsRouted,
+			ConnsRouted: sRouted,
 			InFlight:    len(s.splices),
 			LastVerdict: s.lastVerdict,
 			Policy:      lv,
@@ -1341,14 +1481,14 @@ func (f *Fleet) Stats() Stats {
 			EpochSize:   epoch,
 			CurLag:      curLag,
 		})
-		routed += s.connsRouted
+		routed += sRouted
 		s.mu.Unlock()
 	}
 	st.AdmitWaits = f.admitWaits.Load()
-	f.mu.Lock()
 	st.ConnsRouted = routed
-	st.ConnsRefused = f.refused
-	st.ConnsShed = f.shed
+	st.ConnsRefused = f.refusedCt.Load()
+	st.ConnsShed = f.shedCt.Load()
+	f.mu.Lock()
 	st.Failovers = f.failovers
 	st.Handoffs = f.handoffs
 	st.ReplayedBytes = f.replayed
@@ -1440,7 +1580,7 @@ func (f *Fleet) Close() {
 		mvee, runDone := s.mvee, s.runDone
 		s.mvee = nil
 		splices := s.takeSplicesLocked()
-		s.state = Quarantined
+		s.state.Store(Quarantined)
 		s.mu.Unlock()
 		for sp := range splices {
 			sp.Abort()
@@ -1450,5 +1590,10 @@ func (f *Fleet) Close() {
 			<-runDone
 			mvee.Close()
 		}
+	}
+	if f.spliceSet != nil {
+		// After the sweep every polled splice is aborted; closing the set
+		// lets its event loops drain the resulting events and exit.
+		f.spliceSet.Close()
 	}
 }

@@ -35,10 +35,7 @@ import (
 func (f *Fleet) waitPendingDrained(s *shard) {
 	deadline := time.Now().Add(f.cfg.BackendConnectWait + 100*time.Millisecond)
 	for {
-		s.mu.Lock()
-		n := s.pending
-		s.mu.Unlock()
-		if n == 0 || time.Now().After(deadline) {
+		if occPending(s.occ.Load()) == 0 || time.Now().After(deadline) {
 			return
 		}
 		time.Sleep(50 * time.Microsecond)
@@ -118,8 +115,8 @@ func (f *Fleet) migrateSplices(frozen []*vnet.Splice, start, deadline time.Time)
 			continue
 		}
 		if !tgt.s.track(sp, tgt.gen, true) {
-			// The successor was itself claimed between pick and track;
-			// track already aborted the splice.
+			// The successor was itself claimed between pick and track.
+			sp.Abort()
 			cut++
 			continue
 		}

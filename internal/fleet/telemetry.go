@@ -27,23 +27,23 @@ func (f *Fleet) Health() telemetry.HealthReport {
 		s.mu.Lock()
 		h := telemetry.ShardHealth{
 			Shard:       s.idx,
-			State:       s.state.String(),
-			Gen:         s.gen,
+			State:       s.state.Load().String(),
+			Gen:         int(s.gen.Load()),
 			Policy:      s.effectiveLevelLocked().String(),
 			MaxLag:      s.maxLag,
 			EpochSize:   s.epoch,
-			InFlight:    len(s.splices) + s.pending,
+			InFlight:    occConns(s.occ.Load()) + occPending(s.occ.Load()),
 			LastVerdict: s.lastVerdict.Reason,
 			Diverged:    s.lastVerdict.Diverged,
 		}
-		if s.mvee != nil && (s.state == Serving || s.state == Draining) {
+		if st := s.state.Load(); s.mvee != nil && (st == Serving || st == Draining) {
 			h.MaxLag = s.mvee.MaxLag()
 			if s.mvee.Monitor != nil {
 				h.EpochSize = s.mvee.Monitor.EpochSize()
 			}
 			h.CurLag = int(s.mvee.RBStats().CurLag)
 		}
-		if s.state != Serving && s.state != Retired {
+		if st := s.state.Load(); st != Serving && st != Retired {
 			rep.Status = "degraded"
 		}
 		s.mu.Unlock()
@@ -165,10 +165,11 @@ func (f *Fleet) collectFleet(sam *telemetry.Sampler) {
 // atomic reads against memory the GC keeps alive regardless).
 func (f *Fleet) collectShard(s *shard, sam *telemetry.Sampler) {
 	s.mu.Lock()
-	state, gen := s.state, s.gen
+	state, gen := s.state.Load(), int(s.gen.Load())
 	maxLag, epoch := s.maxLag, s.epoch
-	inFlight := len(s.splices) + s.pending
-	routed := s.connsRouted
+	occ := s.occ.Load()
+	inFlight := occConns(occ) + occPending(occ)
+	routed := s.connsRouted.Load()
 	diverged := s.lastVerdict.Diverged
 	mvee := s.mvee
 	net := s.net

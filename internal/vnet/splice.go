@@ -96,6 +96,8 @@ type Splice struct {
 	revBytes atomic.Uint64 // b -> a
 
 	h *handoffState // nil on plain splices
+
+	polled *polledState // nil unless driven by a SpliceSet event loop
 }
 
 // NewSplice starts forwarding between a and b in both directions. The

@@ -1,0 +1,232 @@
+// The polled splice data plane: the third splice flavour. Where
+// NewSplice burns a goroutine pair per connection (fine for tens,
+// ruinous for a million), a SpliceSet drives every splice registered
+// with it from a fixed pool of poller event loops — K goroutines for N
+// connections, the balancer-side half of the million-connection
+// engine. Forwarding semantics are identical to NewSplice: zero-copy
+// segment transfer, arrival stamps preserved, EOF as a one-way FIN,
+// reset or send-failure aborts both sides. Handoff (Freeze/Handoff) is
+// not supported on polled splices — the fleet keeps the pump-based
+// flavour when live migration is armed.
+package vnet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// polledState is the event-loop half of a polled splice.
+type polledState struct {
+	loop     *spliceLoop
+	keyFwd   uint64 // keyFwd+1 is the reverse direction
+	dirsLeft atomic.Int32
+	// onDone runs on the event loop when both directions have finished —
+	// the callback that replaces the per-splice Done-waiter goroutine.
+	onDone func(*Splice)
+}
+
+// spliceDir is one forwarding direction of one polled splice.
+type spliceDir struct {
+	sp      *Splice
+	src     *Conn
+	dst     *Conn
+	counter *atomic.Uint64
+}
+
+// spliceLoop is one event loop: a poller plus the directions it drives.
+type spliceLoop struct {
+	p       *Poller
+	mu      sync.Mutex
+	dirs    map[uint64]*spliceDir
+	nextKey uint64
+}
+
+// SpliceSet drives polled splices from a fixed pool of event loops.
+type SpliceSet struct {
+	loops  []*spliceLoop
+	next   atomic.Uint64
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewSpliceSet starts a set with the given number of event loops
+// (minimum 1). Callers must Close it after the last splice finishes.
+func NewSpliceSet(loops int) *SpliceSet {
+	if loops <= 0 {
+		loops = 1
+	}
+	ss := &SpliceSet{}
+	for i := 0; i < loops; i++ {
+		lp := &spliceLoop{p: NewPoller(), dirs: map[uint64]*spliceDir{}}
+		ss.loops = append(ss.loops, lp)
+		ss.wg.Add(1)
+		go lp.run(ss)
+	}
+	return ss
+}
+
+// Loops reports the event-loop count.
+func (ss *SpliceSet) Loops() int { return len(ss.loops) }
+
+// Splice forwards between a and b on one of the set's event loops:
+// NewSplice followed immediately by Start. Use the two-step form when
+// bookkeeping must see the splice before its first event (and therefore
+// before onDone) can fire.
+func (ss *SpliceSet) Splice(a, b *Conn, onDone func(*Splice)) *Splice {
+	s := ss.NewSplice(a, b, onDone)
+	ss.Start(s)
+	return s
+}
+
+// NewSplice creates an inert polled splice between a and b. Nothing is
+// forwarded — and onDone cannot fire — until Start; callers register
+// the splice with their own accounting in between. Both conns must be
+// unregistered with any poller (fresh Connect/Accept endpoints are).
+// onDone, if non-nil, runs on the event loop once both directions have
+// terminated — after Done() is closed. The splice supports
+// Abort/Done/Transferred exactly like the pump flavour; Freeze/Handoff
+// report not-supported.
+func (ss *SpliceSet) NewSplice(a, b *Conn, onDone func(*Splice)) *Splice {
+	s := &Splice{a: a, b: b, done: make(chan struct{})}
+	lp := ss.loops[int(ss.next.Add(1)-1)%len(ss.loops)]
+	ps := &polledState{loop: lp, onDone: onDone}
+	ps.dirsLeft.Store(2)
+	s.polled = ps
+	lp.register(s)
+	return s
+}
+
+// Start arms a NewSplice-created splice on its event loop. Data queued
+// before Start (or an Abort called in between) is picked up by the
+// initial ready-before-register event. Call exactly once per splice.
+func (ss *SpliceSet) Start(s *Splice) {
+	s.polled.loop.arm(s)
+}
+
+// Discard unwinds a NewSplice-created splice that was never Started —
+// the balancer's re-route path when shard admission goes stale between
+// building the splice and registering it. The inert splice has moved no
+// bytes and armed no poller, so discarding is pure bookkeeping: both
+// direction entries leave the loop's table, neither conn is touched,
+// and onDone never fires. Exclusive with Start.
+func (ss *SpliceSet) Discard(s *Splice) {
+	lp := s.polled.loop
+	kf := s.polled.keyFwd
+	lp.mu.Lock()
+	delete(lp.dirs, kf)
+	delete(lp.dirs, kf+1)
+	lp.mu.Unlock()
+}
+
+// Close stops the event loops after draining already-queued events.
+// Splices still in flight stop being driven — callers stop creating
+// splices and Abort stragglers before closing the set.
+func (ss *SpliceSet) Close() {
+	if !ss.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, lp := range ss.loops {
+		lp.p.Close()
+	}
+	ss.wg.Wait()
+}
+
+// register allocates keys for both directions of s and installs them in
+// the loop's direction table. The poller is not armed yet.
+func (lp *spliceLoop) register(s *Splice) {
+	fwd := &spliceDir{sp: s, src: s.a, dst: s.b, counter: &s.fwdBytes}
+	rev := &spliceDir{sp: s, src: s.b, dst: s.a, counter: &s.revBytes}
+	lp.mu.Lock()
+	kf := lp.nextKey
+	lp.nextKey += 2
+	lp.dirs[kf] = fwd
+	lp.dirs[kf+1] = rev
+	lp.mu.Unlock()
+	s.polled.keyFwd = kf
+}
+
+// arm registers both directions with the poller. Conns already readable
+// (data queued, or an Abort before Start) deliver immediately.
+func (lp *spliceLoop) arm(s *Splice) {
+	kf := s.polled.keyFwd
+	if err := lp.p.AddConn(s.a, kf); err != nil {
+		s.Abort()
+		lp.mu.Lock()
+		fwd := lp.dirs[kf]
+		lp.mu.Unlock()
+		lp.finish(kf, fwd)
+	}
+	if err := lp.p.AddConn(s.b, kf+1); err != nil {
+		s.Abort()
+		lp.mu.Lock()
+		rev := lp.dirs[kf+1]
+		lp.mu.Unlock()
+		lp.finish(kf+1, rev)
+	}
+}
+
+func (lp *spliceLoop) run(ss *SpliceSet) {
+	defer ss.wg.Done()
+	events := make([]Event, 128)
+	for {
+		n := lp.p.Wait(events, true)
+		if n == 0 {
+			return // poller closed and backlog drained
+		}
+		for i := 0; i < n; i++ {
+			lp.handle(events[i].Key)
+		}
+	}
+}
+
+// handle drains one direction to ErrWouldBlock — the edge-triggered
+// consumer contract. Stale events for finished directions miss the map
+// and fall through.
+func (lp *spliceLoop) handle(key uint64) {
+	lp.mu.Lock()
+	d := lp.dirs[key]
+	lp.mu.Unlock()
+	if d == nil {
+		return
+	}
+	for {
+		data, arrive, err := d.src.RecvSeg(false)
+		switch {
+		case err == ErrWouldBlock:
+			return
+		case err != nil:
+			d.sp.Abort()
+			lp.finish(key, d)
+			return
+		case data == nil: // FIN
+			d.dst.CloseWrite()
+			lp.finish(key, d)
+			return
+		}
+		d.counter.Add(uint64(len(data)))
+		if _, err := d.dst.SendSeg(data, arrive); err != nil {
+			d.sp.Abort()
+			lp.finish(key, d)
+			return
+		}
+	}
+}
+
+// finish retires one direction; the second retirement fires Done and
+// the completion callback.
+func (lp *spliceLoop) finish(key uint64, d *spliceDir) {
+	if d == nil {
+		return
+	}
+	lp.mu.Lock()
+	delete(lp.dirs, key)
+	lp.mu.Unlock()
+	lp.p.RemoveConn(d.src)
+	ps := d.sp.polled
+	if ps.dirsLeft.Add(-1) == 0 {
+		close(d.sp.done)
+		if ps.onDone != nil {
+			ps.onDone(d.sp)
+		}
+	}
+}

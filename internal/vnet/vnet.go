@@ -28,6 +28,10 @@ var (
 	ErrClosed         = errors.New("vnet: connection closed")      // ECONNRESET
 	ErrWouldBlock     = errors.New("vnet: would block")            // EAGAIN
 	ErrListenerClosed = errors.New("vnet: listener closed")
+	// ErrBacklogFull is TryConnect's refusal when the listener is live
+	// but its accept queue is full — the case a blocking Connect would
+	// have waited out. Callers pace their own retry.
+	ErrBacklogFull = errors.New("vnet: accept backlog full") // ~SYN dropped
 )
 
 // errInterrupted is the package-internal sentinel a blocking popSeg
@@ -88,14 +92,20 @@ type rxQueue struct {
 	// delayed on the wire delays everything sent after it, so arrival
 	// stamps are clamped monotone per stream.
 	lastArrive model.Duration
+	// watch is the queue's (single) poller registration; every mutation
+	// that would wake a parked blocking receive also notifies it.
+	watch *pollReg
 }
 
 // interrupt wakes a blocked popSeg with errInterrupted. Data is not
 // disturbed; only whole-segment (splice) receivers observe interrupts.
+// A registered poller is woken too — a freeze must reclaim an event-loop
+// consumer exactly as it reclaims a parked pump.
 func (q *rxQueue) interrupt() {
 	q.mu.Lock()
 	q.intr++
 	q.cond.Broadcast()
+	q.watch.notify()
 	q.mu.Unlock()
 }
 
@@ -117,6 +127,7 @@ func (q *rxQueue) push(data []byte, arrive model.Duration) {
 	q.lastArrive = arrive
 	q.segs = append(q.segs, segment{data: data, arrive: arrive})
 	q.cond.Broadcast()
+	q.watch.notify()
 }
 
 func (q *rxQueue) closePeer() {
@@ -124,6 +135,7 @@ func (q *rxQueue) closePeer() {
 	defer q.mu.Unlock()
 	q.closed = true
 	q.cond.Broadcast()
+	q.watch.notify()
 }
 
 func (q *rxQueue) closeLocal() {
@@ -132,6 +144,7 @@ func (q *rxQueue) closeLocal() {
 	q.reset = true
 	q.segs = nil
 	q.cond.Broadcast()
+	q.watch.notify()
 }
 
 // peekArrival reports the arrival time of the earliest queued segment.
@@ -372,6 +385,9 @@ type Listener struct {
 	queue   []pendingConn
 	closed  bool
 	backlog int
+	// watch is the listener's (single) poller registration; enqueue and
+	// close notify it.
+	watch *pollReg
 }
 
 // Addr reports the listening address.
@@ -425,6 +441,7 @@ func (l *Listener) Close() {
 	l.queue = nil
 	l.closed = true
 	l.cond.Broadcast()
+	l.watch.notify()
 	l.mu.Unlock()
 	for _, p := range queued {
 		p.conn.Close()
@@ -641,6 +658,20 @@ func (n *Network) unbind(addr string, l *Listener) {
 // the queue is a host-scheduling matter, the connection's virtual times
 // derive from the caller's clock exactly as before.
 func (n *Network) Connect(addr string, now model.Duration) (*Conn, model.Duration, error) {
+	return n.connect(addr, now, true)
+}
+
+// TryConnect is Connect without the SYN wait: a live listener whose
+// accept queue is full refuses immediately with ErrBacklogFull instead
+// of blocking the caller. Event-driven clients (the chaos generator's
+// event loops) use this and pace their own retransmission through their
+// timers, so a wedged server can never stall the client's event loop —
+// the failure mode that turns a saturated fleet into a frozen campaign.
+func (n *Network) TryConnect(addr string, now model.Duration) (*Conn, model.Duration, error) {
+	return n.connect(addr, now, false)
+}
+
+func (n *Network) connect(addr string, now model.Duration, block bool) (*Conn, model.Duration, error) {
 	n.mu.Lock()
 	l := n.listeners[addr]
 	link := n.link
@@ -648,6 +679,9 @@ func (n *Network) Connect(addr string, now model.Duration) (*Conn, model.Duratio
 	n.nextPort++
 	localAddr := "ephemeral:" + itoa(n.nextPort)
 	n.mu.Unlock()
+	if !block {
+		wait = 0
+	}
 	if l == nil {
 		n.st.refused.Add(1)
 		return nil, now + 2*link.Latency, ErrConnRefused
@@ -660,12 +694,17 @@ func (n *Network) Connect(addr string, now model.Duration) (*Conn, model.Duratio
 
 	l.mu.Lock()
 	if !l.waitRoom(wait) {
+		full := !l.closed && l.backlog > 0 && len(l.queue) >= l.backlog
 		l.mu.Unlock()
 		n.st.refused.Add(1)
+		if !block && full {
+			return nil, now + 2*link.Latency, ErrBacklogFull
+		}
 		return nil, now + 2*link.Latency, ErrConnRefused
 	}
 	l.queue = append(l.queue, pendingConn{conn: server, arrive: now + link.Latency})
 	l.cond.Broadcast()
+	l.watch.notify()
 	l.mu.Unlock()
 	n.st.connects.Add(1)
 	n.notify()
